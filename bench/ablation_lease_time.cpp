@@ -1,0 +1,68 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Ablation (DESIGN.md §5): sensitivity of the leased Treiber stack to
+// MAX_LEASE_TIME. The paper asserts results hold "even if we decrease
+// MAX_LEASE_TIME to 1K cycles"; this sweep shows where the mechanism
+// actually breaks down — leases shorter than the read-CAS window start
+// expiring involuntarily and the benefit collapses toward the baseline.
+#include "bench/harness.hpp"
+#include "ds/treiber_stack.hpp"
+
+namespace lrsim::bench {
+namespace {
+
+constexpr int kPrefill = 256;
+
+Variant stack_variant(std::string name, bool leases, Cycle mlt) {
+  Variant v;
+  v.name = std::move(name);
+  v.configure = [leases, mlt](MachineConfig& cfg) {
+    cfg.leases_enabled = leases;
+    if (mlt > 0) cfg.max_lease_time = mlt;
+  };
+  v.make = [leases](Machine& m, const BenchOptions& opt) {
+    auto stack = std::make_shared<TreiberStack>(m, TreiberOptions{.use_lease = leases});
+    m.spawn(0, [stack](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < kPrefill; ++i) co_await stack->push(ctx, 5);
+    });
+    m.run();
+    return [stack, &opt](Ctx& ctx, int) -> Task<void> {
+      for (int i = 0; i < opt.ops_per_thread; ++i) {
+        if (ctx.rng().next_bool(0.5)) {
+          co_await stack->push(ctx, 7);
+        } else {
+          co_await stack->pop(ctx);
+        }
+        co_await think(ctx, opt);
+      }
+    };
+  };
+  return v;
+}
+
+int main_impl(int argc, char** argv) {
+  BenchOptions opt;
+  if (!parse_flags(argc, argv, "ablation_lease_time", opt)) return 0;
+  auto samples = run_experiment("Ablation: MAX_LEASE_TIME sweep on the leased Treiber stack",
+                                "ablation_lease_time",
+                                {stack_variant("base", false, 0),
+                                 stack_variant("lease-50", true, 50),
+                                 stack_variant("lease-200", true, 200),
+                                 stack_variant("lease-1k", true, 1000),
+                                 stack_variant("lease-20k", true, 20000)},
+                                opt);
+  Table invol{{"threads", "variant", "involuntary releases", "voluntary releases"}};
+  for (const auto& s : samples) {
+    if (s.variant == "base") continue;
+    invol.add_row({static_cast<std::int64_t>(s.threads), s.variant,
+                   s.stats.releases_involuntary, s.stats.releases_voluntary});
+  }
+  std::cout << "-- involuntary releases (leases expiring mid-operation) --\n";
+  invol.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace lrsim::bench
+
+int main(int argc, char** argv) { return lrsim::bench::main_impl(argc, argv); }

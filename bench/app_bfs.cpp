@@ -1,0 +1,49 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Second CRONO-style application (companion to Figure 5's Pagerank):
+// level-synchronous BFS whose next-frontier appends funnel through one
+// contended lock. Leasing the lock line for each append burst keeps the
+// frontier queue from collapsing at high thread counts.
+//
+// Throughput = frontier vertices processed per second; the whole BFS runs
+// once per (variant, threads) point, so cycles-to-completion is the real
+// quantity (lower is better; Mops/s folds both together).
+#include "bench/harness.hpp"
+#include "apps/bfs.hpp"
+
+namespace lrsim::bench {
+namespace {
+
+Variant bfs_variant(std::string name, bool lease, std::size_t vertices) {
+  Variant v;
+  v.name = std::move(name);
+  v.configure = [lease](MachineConfig& cfg) { cfg.leases_enabled = lease; };
+  v.make = [lease, vertices](Machine& m, const BenchOptions& opt) {
+    auto bfs = std::make_shared<Bfs>(
+        m, m.config().num_cores,
+        BfsOptions{.num_vertices = vertices, .avg_degree = 6, .use_lease = lease,
+                   .seed = opt.seed});
+    return [bfs](Ctx& ctx, int) { return bfs->run_worker(ctx); };
+  };
+  return v;
+}
+
+int main_impl(int argc, char** argv) {
+  BenchOptions opt;
+  std::int64_t vertices = 2048;
+  if (!parse_flags(argc, argv, "app_bfs", opt, [&](FlagSet& f) {
+        f.add("vertices", &vertices, "graph size");
+      })) {
+    return 0;
+  }
+  run_experiment("Application: CRONO-style BFS (contended frontier lock)", "app_bfs",
+                 {bfs_variant("base", false, static_cast<std::size_t>(vertices)),
+                  bfs_variant("lease", true, static_cast<std::size_t>(vertices))},
+                 opt);
+  return 0;
+}
+
+}  // namespace
+}  // namespace lrsim::bench
+
+int main(int argc, char** argv) { return lrsim::bench::main_impl(argc, argv); }

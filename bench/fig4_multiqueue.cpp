@@ -1,0 +1,56 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Figure 4 (MultiQueues): "threads alternate between insert and deleteMin
+// operations ... on a set of eight queues", base vs MultiLease on the two
+// deleteMin locks (Algorithm 4).
+//
+// Expected shape: a moderate but consistent lease win (the paper reports
+// ~50%, limited by the long sequential critical sections).
+#include "bench/harness.hpp"
+#include "ds/multiqueue.hpp"
+
+namespace lrsim::bench {
+namespace {
+
+constexpr int kPrefill = 512;
+
+Variant mq_variant(std::string name, bool lease) {
+  Variant v;
+  v.name = std::move(name);
+  v.configure = [lease](MachineConfig& cfg) { cfg.leases_enabled = lease; };
+  v.make = [lease](Machine& m, const BenchOptions& opt) {
+    auto mq = std::make_shared<MultiQueue>(
+        m, MultiQueueOptions{.num_queues = 8, .capacity = 8192, .use_lease = lease});
+    m.spawn(0, [mq](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < kPrefill * 4; ++i) co_await mq->insert(ctx, 1 + ctx.rng().next_below(1 << 20));
+    });
+    m.run();
+    return [mq, &opt](Ctx& ctx, int) -> Task<void> {
+      for (int i = 0; i < opt.ops_per_thread; ++i) {
+        // Alternate insert / deleteMin, as in the paper's benchmark.
+        if (i % 2 == 0) {
+          co_await mq->insert(ctx, 1 + ctx.rng().next_below(1 << 20));
+        } else {
+          co_await mq->delete_min(ctx);
+        }
+        co_await think(ctx, opt);
+      }
+    };
+  };
+  return v;
+}
+
+int main_impl(int argc, char** argv) {
+  BenchOptions opt;
+  opt.ops_per_thread = 60;
+  if (!parse_flags(argc, argv, "fig4_multiqueue", opt)) return 0;
+  run_experiment("Figure 4 (MultiQueues): 8 queues, alternating insert/deleteMin",
+                 "fig4_multiqueue", {mq_variant("base", false), mq_variant("multi-lease", true)},
+                 opt);
+  return 0;
+}
+
+}  // namespace
+}  // namespace lrsim::bench
+
+int main(int argc, char** argv) { return lrsim::bench::main_impl(argc, argv); }

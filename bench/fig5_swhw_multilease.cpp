@@ -1,0 +1,47 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Figure 5 (left): hardware vs software MultiLeases on the TL2 benchmark.
+//
+// The software emulation issues staggered single-line leases in sorted
+// order (Section 4): joint holding is probable, not guaranteed. Expected
+// shape: "their performance is comparable; software MultiLeases incur a
+// slight, but consistent performance hit".
+#include "bench/harness.hpp"
+#include "ds/tl2.hpp"
+
+namespace lrsim::bench {
+namespace {
+
+Variant tl2_ml_variant(std::string name, bool software) {
+  Variant v;
+  v.name = std::move(name);
+  v.configure = [software](MachineConfig& cfg) {
+    cfg.leases_enabled = true;
+    cfg.software_multilease = software;
+  };
+  v.make = [](Machine& m, const BenchOptions& opt) {
+    auto bench = std::make_shared<Tl2Bench>(m, Tl2Options{.lease_mode = TxLeaseMode::kBoth});
+    return [bench, &opt](Ctx& ctx, int) -> Task<void> {
+      for (int i = 0; i < opt.ops_per_thread; ++i) {
+        co_await bench->run_transaction(ctx);
+        co_await think(ctx, opt);
+      }
+    };
+  };
+  return v;
+}
+
+int main_impl(int argc, char** argv) {
+  BenchOptions opt;
+  if (!parse_flags(argc, argv, "fig5_swhw_multilease", opt)) return 0;
+  run_experiment("Figure 5 (left): hardware vs software MultiLease on TL2",
+                 "fig5_swhw_multilease",
+                 {tl2_ml_variant("hw-multilease", false), tl2_ml_variant("sw-multilease", true)},
+                 opt);
+  return 0;
+}
+
+}  // namespace
+}  // namespace lrsim::bench
+
+int main(int argc, char** argv) { return lrsim::bench::main_impl(argc, argv); }

@@ -1,0 +1,212 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Shared experiment harness for the paper-reproduction benches.
+//
+// Every bench binary sweeps the paper's thread counts (2..64, powers of
+// two), runs each variant on a fresh simulated machine, and prints
+// paper-style series: throughput (Mops/s at the 1 GHz clock of Table 1),
+// energy (nJ/op from the event-based model), messages/op and misses/op.
+// The same rows are written as CSV under --csv_dir for plotting.
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lrsim.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace lrsim::bench {
+
+struct BenchOptions {
+  std::vector<int> threads{2, 4, 8, 16, 32, 64};
+  int ops_per_thread = 100;
+  bool full = false;  ///< --full: 5x the operations for smoother curves.
+  std::string csv_dir = "bench_out";
+  Cycle max_lease_time = 20000;  ///< Paper: 20K cycles (= 20 us at 1 GHz).
+  int max_num_leases = 4;
+  std::uint64_t seed = 1;
+  Cycle think_max = 40;  ///< Random local work between ops (0..think_max).
+};
+
+/// Parses the common flags; `extra` lets a bench add its own. Returns false
+/// if --help was requested (usage already printed).
+inline bool parse_flags(int argc, char** argv, const std::string& name, BenchOptions& opt,
+                        const std::function<void(FlagSet&)>& extra = {}) {
+  FlagSet flags{name};
+  int max_threads = 64;
+  flags.add("max_threads", &max_threads, "largest thread count in the sweep");
+  flags.add("ops", &opt.ops_per_thread, "operations per thread");
+  flags.add("full", &opt.full, "run the full-size experiment (5x ops)");
+  flags.add("csv_dir", &opt.csv_dir, "directory for CSV output (empty to disable)");
+  flags.add("max_lease_time", &opt.max_lease_time, "MAX_LEASE_TIME in cycles");
+  flags.add("max_num_leases", &opt.max_num_leases, "MAX_NUM_LEASES per core");
+  flags.add("seed", &opt.seed, "workload RNG seed");
+  flags.add("think", &opt.think_max, "max random local work between ops (cycles)");
+  if (extra) extra(flags);
+  try {
+    flags.parse(argc, argv);
+  } catch (const FlagSet::FlagHelp& h) {
+    std::cout << h.text;
+    return false;
+  }
+  opt.threads.clear();
+  for (int t = 2; t <= max_threads; t *= 2) opt.threads.push_back(t);
+  if (opt.full) opt.ops_per_thread *= 5;
+  return true;
+}
+
+/// One (variant, thread-count) measurement.
+struct Sample {
+  std::string variant;
+  int threads = 0;
+  std::uint64_t ops = 0;
+  Cycle cycles = 0;
+  Stats stats;  ///< Steady-state stats (prefill excluded).
+  std::size_t dir_peak_queue = 0;  ///< Peak per-line directory queue depth.
+
+  double mops_per_sec() const {  // 1 cycle == 1 ns (1 GHz core, Table 1)
+    return cycles == 0 ? 0.0 : static_cast<double>(ops) * 1e3 / static_cast<double>(cycles);
+  }
+  double energy_per_op() const {
+    return ops == 0 ? 0.0 : stats.energy_nj() / static_cast<double>(ops);
+  }
+  double msgs_per_op() const {
+    return ops == 0 ? 0.0 : static_cast<double>(stats.total_messages()) / static_cast<double>(ops);
+  }
+  double misses_per_op() const {
+    return ops == 0 ? 0.0 : static_cast<double>(stats.l1_misses) / static_cast<double>(ops);
+  }
+};
+
+/// A benchmark variant: configures the machine and produces the per-thread
+/// worker after any prefill. `make` may spawn+run prefill work on the
+/// machine before returning.
+struct Variant {
+  std::string name;
+  std::function<void(MachineConfig&)> configure;  ///< e.g. enable leases.
+  std::function<std::function<Task<void>(Ctx&, int)>(Machine&, const BenchOptions&)> make;
+};
+
+inline Sample run_one(const Variant& v, int threads, const BenchOptions& opt) {
+  MachineConfig cfg;
+  cfg.num_cores = threads;
+  cfg.max_lease_time = opt.max_lease_time;
+  cfg.max_num_leases = opt.max_num_leases;
+  if (v.configure) v.configure(cfg);
+  Machine m{cfg, opt.seed};
+
+  auto worker = v.make(m, opt);  // may prefill (and run) on the machine
+  const Stats prefill = m.total_stats();
+  const Cycle start = m.events().now();
+
+  for (int t = 0; t < threads; ++t) {
+    m.spawn(t, [worker, t](Ctx& ctx) { return worker(ctx, t); });
+  }
+  m.run(/*limit=*/(Cycle)4'000'000'000ull);
+  if (!m.all_done()) {
+    std::cerr << "WARNING: " << v.name << " @" << threads << " threads hit the watchdog\n";
+  }
+
+  Sample s;
+  s.variant = v.name;
+  s.threads = threads;
+  s.cycles = m.events().now() - start;
+  s.stats = m.total_stats();
+  s.dir_peak_queue = m.directory().peak_queue_depth();
+  // Subtract prefill-phase counters so the series reflect steady state.
+  Stats adj = s.stats;
+  adj.ops_completed -= prefill.ops_completed;
+  adj.l1_hits -= prefill.l1_hits;
+  adj.l1_misses -= prefill.l1_misses;
+  adj.l2_accesses -= prefill.l2_accesses;
+  adj.dram_accesses -= prefill.dram_accesses;
+  adj.msgs_gets -= prefill.msgs_gets;
+  adj.msgs_getx -= prefill.msgs_getx;
+  adj.msgs_inv -= prefill.msgs_inv;
+  adj.msgs_downgrade -= prefill.msgs_downgrade;
+  adj.msgs_data -= prefill.msgs_data;
+  adj.msgs_ack -= prefill.msgs_ack;
+  adj.msgs_wb -= prefill.msgs_wb;
+  s.stats = adj;
+  s.ops = adj.ops_completed;
+  return s;
+}
+
+/// Runs all variants across the thread sweep and prints the paper-style
+/// tables (throughput + energy + traffic). Returns all samples.
+inline std::vector<Sample> run_experiment(const std::string& title, const std::string& csv_name,
+                                          const std::vector<Variant>& variants,
+                                          const BenchOptions& opt) {
+  std::cout << "=== " << title << " ===\n";
+  std::cout << "machine: " << "1GHz in-order cores, 32KB 4-way L1 (1cy), shared L2 (tag/data 3/8cy), "
+            << "64B lines, MSI directory, net " << MachineConfig{}.net_latency
+            << "cy/hop; MAX_LEASE_TIME=" << opt.max_lease_time
+            << " MAX_NUM_LEASES=" << opt.max_num_leases << "\n";
+  std::cout << "workload: " << opt.ops_per_thread << " ops/thread, think 0.."
+            << opt.think_max << " cycles, seed " << opt.seed << "\n\n";
+
+  std::vector<Sample> samples;
+  for (int t : opt.threads) {
+    for (const Variant& v : variants) samples.push_back(run_one(v, t, opt));
+  }
+
+  auto series_table = [&](const std::string& metric, auto getter) {
+    std::vector<std::string> headers{"threads"};
+    for (const auto& v : variants) headers.push_back(v.name);
+    Table tbl{headers};
+    for (int t : opt.threads) {
+      std::vector<Cell> row{static_cast<std::int64_t>(t)};
+      for (const auto& v : variants) {
+        for (const Sample& s : samples) {
+          if (s.threads == t && s.variant == v.name) row.push_back(getter(s));
+        }
+      }
+      tbl.add_row(std::move(row));
+    }
+    std::cout << "-- " << metric << " --\n";
+    tbl.print(std::cout);
+    std::cout << "\n";
+  };
+
+  series_table("throughput (Mops/s)", [](const Sample& s) { return s.mops_per_sec(); });
+  series_table("energy (nJ/op)", [](const Sample& s) { return s.energy_per_op(); });
+  series_table("coherence messages / op", [](const Sample& s) { return s.msgs_per_op(); });
+  series_table("L1 misses / op", [](const Sample& s) { return s.misses_per_op(); });
+
+  if (!opt.csv_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opt.csv_dir, ec);
+    Table csv{{"variant", "threads", "ops", "cycles", "mops_per_sec", "nj_per_op", "msgs_per_op",
+               "misses_per_op", "cas_failure_rate", "lock_failed_trylocks", "txn_aborts",
+               "leases", "releases_voluntary", "releases_involuntary"}};
+    for (const Sample& s : samples) {
+      const double failrate =
+          s.stats.cas_attempts == 0
+              ? 0.0
+              : static_cast<double>(s.stats.cas_failures) / static_cast<double>(s.stats.cas_attempts);
+      csv.add_row({s.variant, static_cast<std::int64_t>(s.threads), s.ops, s.cycles,
+                   s.mops_per_sec(), s.energy_per_op(), s.msgs_per_op(), s.misses_per_op(),
+                   failrate, s.stats.lock_failed_trylocks, s.stats.txn_aborts, s.stats.leases_taken,
+                   s.stats.releases_voluntary, s.stats.releases_involuntary});
+    }
+    const std::string path = opt.csv_dir + "/" + csv_name + ".csv";
+    if (csv.write_csv(path)) {
+      std::cout << "csv: " << path << "\n\n";
+    }
+  }
+  return samples;
+}
+
+/// Think-time helper used by most workloads.
+inline Task<void> think(Ctx& ctx, const BenchOptions& opt) {
+  if (opt.think_max > 0) {
+    const Cycle w = ctx.rng().next_below(opt.think_max);
+    if (w > 0) co_await ctx.work(w);
+  }
+}
+
+}  // namespace lrsim::bench

@@ -1,0 +1,92 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Host-side microbenchmarks (google-benchmark) for the simulator engine
+// itself: event-queue throughput and end-to-end simulated-instruction rate.
+// These guard the simulator's own performance — the figure benches simulate
+// millions of cycles and need the engine to stay fast.
+#include <benchmark/benchmark.h>
+
+#include "lrsim.hpp"
+#include "ds/treiber_stack.hpp"
+
+namespace lrsim {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    EventQueue q;
+    std::uint64_t sum = 0;
+    for (int i = 0; i < n; ++i) {
+      q.schedule_at(static_cast<Cycle>((i * 2654435761u) % 100000), [&sum] { ++sum; });
+    }
+    q.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    EventQueue q;
+    std::vector<EventHandle> handles;
+    handles.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) handles.push_back(q.schedule_at(static_cast<Cycle>(i), [] {}));
+    for (int i = 0; i < n; i += 2) handles[static_cast<std::size_t>(i)].cancel();
+    q.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(1 << 14);
+
+void BM_SimulatedLoadsPerSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    MachineConfig cfg;
+    cfg.num_cores = 1;
+    Machine m{cfg};
+    Addr a = m.heap().alloc_line();
+    m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < 20000; ++i) {
+        benchmark::DoNotOptimize(co_await ctx.load(a));
+      }
+    });
+    m.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+  state.SetLabel("simulated L1-hit loads");
+}
+BENCHMARK(BM_SimulatedLoadsPerSecond);
+
+void BM_ContendedStackSimulation(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::uint64_t sim_cycles = 0;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    MachineConfig cfg;
+    cfg.num_cores = threads;
+    cfg.leases_enabled = true;
+    Machine m{cfg};
+    TreiberStack s{m, {.use_lease = true}};
+    for (int t = 0; t < threads; ++t) {
+      m.spawn(t, [&](Ctx& ctx) -> Task<void> {
+        for (int i = 0; i < 50; ++i) {
+          co_await s.push(ctx, 1);
+          co_await s.pop(ctx);
+        }
+      });
+    }
+    sim_cycles += m.run();
+    ops += m.total_stats().ops_completed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  state.counters["sim_cycles_per_iter"] =
+      benchmark::Counter(static_cast<double>(sim_cycles) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ContendedStackSimulation)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace lrsim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Section 7, "Comparison with Backoffs": randomized exponential backoff on
+// the Treiber stack vs the base implementation vs leases.
+//
+// Expected shape: "adding backoffs improves performance by up to 3x over
+// the base implementation, but is considerably inferior to using leases"
+// (the paper quotes leases ~2.5x above even a highly tuned backoff stack).
+#include "bench/harness.hpp"
+#include "ds/treiber_stack.hpp"
+
+namespace lrsim::bench {
+namespace {
+
+constexpr int kPrefill = 256;
+
+Variant stack_variant(std::string name, bool leases, bool backoff, Cycle bo_min, Cycle bo_max) {
+  Variant v;
+  v.name = std::move(name);
+  v.configure = [leases](MachineConfig& cfg) { cfg.leases_enabled = leases; };
+  v.make = [leases, backoff, bo_min, bo_max](Machine& m, const BenchOptions& opt) {
+    auto stack = std::make_shared<TreiberStack>(
+        m, TreiberOptions{.use_lease = leases,
+                          .use_backoff = backoff,
+                          .backoff_min = bo_min,
+                          .backoff_max = bo_max});
+    m.spawn(0, [stack](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < kPrefill; ++i) co_await stack->push(ctx, 5);
+    });
+    m.run();
+    return [stack, &opt](Ctx& ctx, int) -> Task<void> {
+      for (int i = 0; i < opt.ops_per_thread; ++i) {
+        if (ctx.rng().next_bool(0.5)) {
+          co_await stack->push(ctx, 7);
+        } else {
+          co_await stack->pop(ctx);
+        }
+        co_await think(ctx, opt);
+      }
+    };
+  };
+  return v;
+}
+
+int main_impl(int argc, char** argv) {
+  BenchOptions opt;
+  if (!parse_flags(argc, argv, "tbl_backoff_compare", opt)) return 0;
+  run_experiment("Backoff comparison (Section 7): Treiber stack",
+                 "tbl_backoff_compare",
+                 {stack_variant("base", false, false, 0, 0),
+                  stack_variant("backoff", false, true, 64, 4096),
+                  stack_variant("backoff-tuned", false, true, 256, 16384),
+                  stack_variant("lease", true, false, 0, 0)},
+                 opt);
+  return 0;
+}
+
+}  // namespace
+}  // namespace lrsim::bench
+
+int main(int argc, char** argv) { return lrsim::bench::main_impl(argc, argv); }

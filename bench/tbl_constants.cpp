@@ -1,0 +1,83 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Section 7 "constants" claims: with leases, per-operation cache misses and
+// coherence messages stay ~constant as contention grows ("average cache
+// misses per operation for the stack are constant around 2.1 from 4 to 64
+// threads ... average coherence messages per operation constant around 9.5
+// ... even if we decrease MAX_LEASE_TIME to 1K cycles"), while on the base
+// implementation misses/op grow ~5x at 64 threads.
+//
+// This bench prints exactly those series: stack misses/op and msgs/op for
+// base, lease @ 20K, and lease @ 1K cycles.
+#include "bench/harness.hpp"
+#include "ds/treiber_stack.hpp"
+
+namespace lrsim::bench {
+namespace {
+
+constexpr int kPrefill = 256;
+
+Variant stack_variant(std::string name, bool leases, Cycle max_lease_time) {
+  Variant v;
+  v.name = std::move(name);
+  v.configure = [leases, max_lease_time](MachineConfig& cfg) {
+    cfg.leases_enabled = leases;
+    if (max_lease_time > 0) cfg.max_lease_time = max_lease_time;
+  };
+  v.make = [leases](Machine& m, const BenchOptions& opt) {
+    auto stack = std::make_shared<TreiberStack>(m, TreiberOptions{.use_lease = leases});
+    m.spawn(0, [stack](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < kPrefill; ++i) co_await stack->push(ctx, 5);
+    });
+    m.run();
+    return [stack, &opt](Ctx& ctx, int) -> Task<void> {
+      for (int i = 0; i < opt.ops_per_thread; ++i) {
+        if (ctx.rng().next_bool(0.5)) {
+          co_await stack->push(ctx, 7);
+        } else {
+          co_await stack->pop(ctx);
+        }
+        co_await think(ctx, opt);
+      }
+    };
+  };
+  return v;
+}
+
+int main_impl(int argc, char** argv) {
+  BenchOptions opt;
+  if (!parse_flags(argc, argv, "tbl_constants", opt)) return 0;
+  auto samples = run_experiment(
+      "Traffic constants (Section 7): stack misses/op and msgs/op vs contention",
+      "tbl_constants",
+      {stack_variant("base", false, 0), stack_variant("lease-20k", true, 20000),
+       stack_variant("lease-1k", true, 1000)},
+      opt);
+
+  // Growth factors relative to the smallest thread count, the paper's
+  // framing ("constant ... from 4 to 64 threads", base grows 5x).
+  Table growth{{"variant", "misses/op @min", "misses/op @max", "growth", "msgs/op @min",
+                "msgs/op @max", "growth(msgs)"}};
+  for (const char* name : {"base", "lease-20k", "lease-1k"}) {
+    const Sample *lo = nullptr, *hi = nullptr;
+    for (const auto& s : samples) {
+      if (s.variant != name) continue;
+      if (lo == nullptr || s.threads < lo->threads) lo = &s;
+      if (hi == nullptr || s.threads > hi->threads) hi = &s;
+    }
+    if (lo == nullptr || hi == nullptr) continue;
+    growth.add_row({std::string(name), lo->misses_per_op(), hi->misses_per_op(),
+                    lo->misses_per_op() > 0 ? hi->misses_per_op() / lo->misses_per_op() : 0.0,
+                    lo->msgs_per_op(), hi->msgs_per_op(),
+                    lo->msgs_per_op() > 0 ? hi->msgs_per_op() / lo->msgs_per_op() : 0.0});
+  }
+  std::cout << "-- growth from " << opt.threads.front() << " to " << opt.threads.back()
+            << " threads --\n";
+  growth.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace lrsim::bench
+
+int main(int argc, char** argv) { return lrsim::bench::main_impl(argc, argv); }

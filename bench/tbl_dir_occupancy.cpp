@@ -1,0 +1,93 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Section 5, "Directory Structure and Queuing": "leases may increase the
+// maximum queuing occupancy over time, and may thus require the directory
+// to have larger queues. However, in the average case, leases enable the
+// system to make more forward progress ... reducing system load."
+//
+// This table measures exactly that: peak per-line directory queue depth and
+// total request volume, base vs lease, on the contended stack and counter.
+#include "bench/harness.hpp"
+#include "ds/counter.hpp"
+#include "ds/treiber_stack.hpp"
+
+namespace lrsim::bench {
+namespace {
+
+constexpr int kPrefill = 256;
+
+Variant stack_variant(std::string name, bool leases) {
+  Variant v;
+  v.name = std::move(name);
+  v.configure = [leases](MachineConfig& cfg) { cfg.leases_enabled = leases; };
+  v.make = [leases](Machine& m, const BenchOptions& opt) {
+    auto stack = std::make_shared<TreiberStack>(m, TreiberOptions{.use_lease = leases});
+    m.spawn(0, [stack](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < kPrefill; ++i) co_await stack->push(ctx, 5);
+    });
+    m.run();
+    return [stack, &opt](Ctx& ctx, int) -> Task<void> {
+      for (int i = 0; i < opt.ops_per_thread; ++i) {
+        if (ctx.rng().next_bool(0.5)) {
+          co_await stack->push(ctx, 7);
+        } else {
+          co_await stack->pop(ctx);
+        }
+        co_await think(ctx, opt);
+      }
+    };
+  };
+  return v;
+}
+
+Variant counter_variant(std::string name, CounterLockKind kind) {
+  Variant v;
+  v.name = std::move(name);
+  v.configure = [](MachineConfig& cfg) { cfg.leases_enabled = true; };
+  v.make = [kind](Machine& m, const BenchOptions& opt) {
+    auto counter = std::make_shared<LockedCounter>(m, kind);
+    return [counter, &opt](Ctx& ctx, int) -> Task<void> {
+      for (int i = 0; i < opt.ops_per_thread; ++i) {
+        co_await counter->increment(ctx);
+        co_await think(ctx, opt);
+      }
+    };
+  };
+  return v;
+}
+
+void occupancy_table(const std::vector<Sample>& samples) {
+  Table t{{"threads", "variant", "peak dir queue", "total requests", "requests/op"}};
+  for (const auto& s : samples) {
+    const std::uint64_t reqs = s.stats.msgs_gets + s.stats.msgs_getx;
+    t.add_row({static_cast<std::int64_t>(s.threads), s.variant,
+               static_cast<std::uint64_t>(s.dir_peak_queue), reqs,
+               s.ops ? static_cast<double>(reqs) / static_cast<double>(s.ops) : 0.0});
+  }
+  std::cout << "-- directory occupancy --\n";
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+int main_impl(int argc, char** argv) {
+  BenchOptions opt;
+  if (!parse_flags(argc, argv, "tbl_dir_occupancy", opt)) return 0;
+
+  auto s1 = run_experiment("Directory occupancy (Section 5): Treiber stack",
+                           "tbl_dir_occupancy_stack",
+                           {stack_variant("base", false), stack_variant("lease", true)}, opt);
+  occupancy_table(s1);
+
+  auto s2 = run_experiment("Directory occupancy (Section 5): TTS counter",
+                           "tbl_dir_occupancy_counter",
+                           {counter_variant("tts", CounterLockKind::kTTS),
+                            counter_variant("tts+lease", CounterLockKind::kTTSLease)},
+                           opt);
+  occupancy_table(s2);
+  return 0;
+}
+
+}  // namespace
+}  // namespace lrsim::bench
+
+int main(int argc, char** argv) { return lrsim::bench::main_impl(argc, argv); }

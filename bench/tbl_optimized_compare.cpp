@@ -1,0 +1,99 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Section 7, "Comparison with Backoffs and Optimized Implementations":
+// "Using single leases, the relatively simple classic data structure
+// designs such as the Treiber stack match or improve the performance of
+// optimized, complex implementations" — the paper names tuned backoffs,
+// elimination, and flat combining as that comparison set.
+//
+// Variants: plain Treiber, tuned backoff, elimination-backoff stack, flat-
+// combining stack, and the leased Treiber stack. Expected ordering at high
+// thread counts: base < backoff <= {elimination, flat-combining} < lease.
+#include "bench/harness.hpp"
+#include "ds/elimination_stack.hpp"
+#include "ds/fc_stack.hpp"
+#include "ds/treiber_stack.hpp"
+
+namespace lrsim::bench {
+namespace {
+
+constexpr int kPrefill = 256;
+
+template <typename StackT>
+std::function<Task<void>(Ctx&, int)> stack_ops(std::shared_ptr<StackT> s, const BenchOptions& opt) {
+  return [s, &opt](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < opt.ops_per_thread; ++i) {
+      if (ctx.rng().next_bool(0.5)) {
+        co_await s->push(ctx, 7);
+      } else {
+        co_await s->pop(ctx);
+      }
+      co_await think(ctx, opt);
+    }
+  };
+}
+
+template <typename StackT>
+void prefill(Machine& m, std::shared_ptr<StackT> s) {
+  m.spawn(0, [s](Ctx& ctx) -> Task<void> {
+    for (int i = 0; i < kPrefill; ++i) co_await s->push(ctx, 5);
+  });
+  m.run();
+}
+
+Variant treiber_variant(std::string name, bool lease, bool backoff) {
+  Variant v;
+  v.name = std::move(name);
+  v.configure = [lease](MachineConfig& cfg) { cfg.leases_enabled = lease; };
+  v.make = [lease, backoff](Machine& m, const BenchOptions& opt) {
+    auto s = std::make_shared<TreiberStack>(
+        m, TreiberOptions{.use_lease = lease,
+                          .use_backoff = backoff,
+                          .backoff_min = 256,
+                          .backoff_max = 16384});
+    prefill(m, s);
+    return stack_ops(s, opt);
+  };
+  return v;
+}
+
+Variant elimination_variant() {
+  Variant v;
+  v.name = "elimination";
+  v.configure = [](MachineConfig& cfg) { cfg.leases_enabled = false; };
+  v.make = [](Machine& m, const BenchOptions& opt) {
+    auto s = std::make_shared<EliminationStack>(m, EliminationOptions{.slots = 8, .wait = 400});
+    prefill(m, s);
+    return stack_ops(s, opt);
+  };
+  return v;
+}
+
+Variant fc_variant() {
+  Variant v;
+  v.name = "flat-combining";
+  v.configure = [](MachineConfig& cfg) { cfg.leases_enabled = false; };
+  v.make = [](Machine& m, const BenchOptions& opt) {
+    auto s = std::make_shared<FcStack>(m, FcOptions{.max_threads = m.config().num_cores});
+    prefill(m, s);
+    return stack_ops(s, opt);
+  };
+  return v;
+}
+
+int main_impl(int argc, char** argv) {
+  BenchOptions opt;
+  if (!parse_flags(argc, argv, "tbl_optimized_compare", opt)) return 0;
+  run_experiment(
+      "Optimized-implementation comparison (Section 7): stacks",
+      "tbl_optimized_compare",
+      {treiber_variant("base", false, false), treiber_variant("backoff-tuned", false, true),
+       elimination_variant(), fc_variant(), treiber_variant("lease", true, false)},
+      opt);
+  return 0;
+}
+
+}  // namespace
+}  // namespace lrsim::bench
+
+int main(int argc, char** argv) { return lrsim::bench::main_impl(argc, argv); }

@@ -1,0 +1,63 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Example: what a lease actually does to a contended critical section.
+//
+// A TTS spin lock protects a shared counter. We run the same workload with
+// the lock line leased for the duration of the critical section (Section 6
+// of the paper, "Leases for TryLocks") and without, and print the coherence
+// traffic side by side: with the lease, the holder never loses the line
+// mid-critical-section, the unlock is an L1 hit, and waiters queue
+// implicitly instead of bouncing the line.
+#include <cstdio>
+
+#include "ds/counter.hpp"
+#include "lrsim.hpp"
+
+using namespace lrsim;
+
+namespace {
+
+void run(CounterLockKind kind, const char* label) {
+  constexpr int kThreads = 32;
+  constexpr int kIncrements = 50;
+
+  MachineConfig cfg;
+  cfg.num_cores = kThreads;
+  cfg.leases_enabled = true;
+  Machine m{cfg};
+  LockedCounter counter{m, kind, /*cs_work=*/50};
+
+  for (int t = 0; t < kThreads; ++t) {
+    m.spawn(t, [&](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < kIncrements; ++i) {
+        co_await counter.increment(ctx);
+        co_await ctx.work(ctx.rng().next_below(64));
+      }
+    });
+  }
+  const Cycle cycles = m.run();
+  const Stats s = m.total_stats();
+
+  std::printf("%-12s  %8llu cycles  %6.2f Mops/s  msgs/op %6.1f  misses/op %5.2f  nJ/op %7.2f\n",
+              label, static_cast<unsigned long long>(cycles),
+              static_cast<double>(s.ops_completed) * 1e3 / static_cast<double>(cycles),
+              s.messages_per_op(), s.misses_per_op(), s.energy_per_op_nj());
+  if (counter.value() != static_cast<std::uint64_t>(kThreads) * kIncrements) {
+    std::printf("  !! lost updates: %llu\n", static_cast<unsigned long long>(counter.value()));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("32 threads incrementing one lock-protected counter (50-cycle critical section):\n\n");
+  run(CounterLockKind::kTTS, "tts");
+  run(CounterLockKind::kTTSLease, "tts+lease");
+  run(CounterLockKind::kTicket, "ticket");
+  run(CounterLockKind::kCLH, "clh");
+  std::printf(
+      "\nThe leased TTS lock keeps messages/op constant: the holder retains the lock line\n"
+      "for the whole critical section, waiters park at the core (one) and at the\n"
+      "directory (the rest), and the unlock store is a 1-cycle L1 hit.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Example: a relaxed priority scheduler built on MultiQueues + MultiLease.
+//
+// A classic scheduling pattern the paper's Algorithm 4 targets: worker
+// threads pull the (approximately) earliest-deadline task from a set of
+// per-queue heaps, executing the MultiLease-guarded two-choice deleteMin.
+// We verify the relaxation quality: with M queues, the rank error of each
+// pop is small, and leases improve throughput without changing the
+// semantics.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "ds/multiqueue.hpp"
+#include "lrsim.hpp"
+
+using namespace lrsim;
+
+namespace {
+
+struct SchedResult {
+  Cycle cycles = 0;
+  std::vector<std::uint64_t> pop_order;  // deadlines in pop order
+};
+
+SchedResult run(bool use_lease, int workers, int tasks_per_worker) {
+  MachineConfig cfg;
+  cfg.num_cores = workers;
+  cfg.leases_enabled = use_lease;
+  Machine m{cfg};
+  MultiQueue mq{m, {.num_queues = 8, .capacity = 16384, .use_lease = use_lease}};
+
+  SchedResult out;
+  // Seed the scheduler with "tasks" (deadlines).
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    for (int i = 0; i < workers * tasks_per_worker; ++i) {
+      co_await mq.insert(ctx, 1 + ctx.rng().next_below(1'000'000));
+    }
+  });
+  m.run();
+
+  const Cycle start = m.events().now();
+  for (int w = 0; w < workers; ++w) {
+    m.spawn(w, [&, tasks_per_worker](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < tasks_per_worker; ++i) {
+        std::optional<std::uint64_t> deadline = co_await mq.delete_min(ctx);
+        if (deadline.has_value()) {
+          out.pop_order.push_back(*deadline);
+          co_await ctx.work(100);  // "execute" the task
+        }
+      }
+    });
+  }
+  m.run();
+  out.cycles = m.events().now() - start;
+  return out;
+}
+
+/// Relaxation quality: how far from sorted is the pop order? We count
+/// inversions against a sliding window — a proxy for rank error.
+double disorder(const std::vector<std::uint64_t>& order) {
+  if (order.size() < 2) return 0.0;
+  std::size_t inversions = 0, pairs = 0;
+  const std::size_t window = 16;
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    for (std::size_t j = i + 1; j < std::min(order.size(), i + window); ++j) {
+      ++pairs;
+      if (order[i] > order[j]) ++inversions;
+    }
+  }
+  return static_cast<double>(inversions) / static_cast<double>(pairs);
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kWorkers = 16;
+  constexpr int kTasks = 60;
+
+  const SchedResult base = run(false, kWorkers, kTasks);
+  const SchedResult leased = run(true, kWorkers, kTasks);
+
+  std::printf("MultiQueue scheduler, %d workers x %d tasks, 8 queues:\n", kWorkers, kTasks);
+  std::printf("  base : %8llu cycles, windowed disorder %.3f\n",
+              static_cast<unsigned long long>(base.cycles), disorder(base.pop_order));
+  std::printf("  lease: %8llu cycles, windowed disorder %.3f\n",
+              static_cast<unsigned long long>(leased.cycles), disorder(leased.pop_order));
+  std::printf("  speedup %.2fx with the same relaxed-priority semantics\n",
+              static_cast<double>(base.cycles) / static_cast<double>(leased.cycles));
+  return 0;
+}

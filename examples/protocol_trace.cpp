@@ -1,0 +1,50 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Example: watch the coherence protocol and a lease at work, event by event.
+//
+// Two cores fight over one counter; we trace every protocol event on its
+// cache line and print the timeline. Run it twice mentally: without the
+// lease, core 1's probe would steal the line mid-critical-section; with it,
+// the probe parks and is serviced the instant core 0 releases.
+#include <cstdio>
+#include <iostream>
+
+#include "lrsim.hpp"
+
+using namespace lrsim;
+
+int main() {
+  MachineConfig cfg;
+  cfg.num_cores = 2;
+  cfg.leases_enabled = true;
+  Machine m{cfg};
+  const Addr counter = m.heap().alloc_line();
+  Tracer& tracer = m.enable_tracing(/*capacity=*/128, line_of(counter));
+
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.lease(counter, 5000);            // bring the line in, leased
+    const std::uint64_t v = co_await ctx.load(counter);
+    co_await ctx.work(800);                       // "compute" while leased
+    co_await ctx.store(counter, v + 1);           // still an L1 hit
+    co_await ctx.release(counter);                // parked probe fires here
+  });
+  m.spawn(1, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.work(300);                       // arrive mid-lease
+    const std::uint64_t v = co_await ctx.load(counter);
+    std::printf(">> core 1 finally reads %llu at cycle %llu\n",
+                static_cast<unsigned long long>(v),
+                static_cast<unsigned long long>(ctx.now()));
+    co_return;
+  });
+  m.run();
+
+  std::printf("\nProtocol timeline for the counter line (0x%llx):\n\n",
+              static_cast<unsigned long long>(line_of(counter)));
+  tracer.dump(std::cout);
+  std::printf(
+      "\nReading the trace: core 0's lease-grant pins the line; core 1's load\n"
+      "triggers a dir-service whose probe *parks* at core 0 (probe-park). The\n"
+      "voluntary release services it immediately — core 1 waits exactly as long\n"
+      "as core 0's critical section, with zero retries and zero extra messages.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Example: cheap lock-free snapshots from the Release return value
+// (Section 5, "Cheap Snapshots").
+//
+// "The snapshot operation first leases the lines corresponding to the
+//  locations, reads them, and then releases them. If all the releases are
+//  voluntary, the values read form a correct snapshot."
+//
+// A writer keeps three counters advancing in lockstep (x == y == z
+// invariant between writes); readers snapshot all three. Without leases a
+// naive triple-read tears constantly; with leases, one or two attempts
+// suffice and the voluntary-release flags certify atomicity.
+#include <cstdio>
+#include <vector>
+
+#include "lrsim.hpp"
+
+using namespace lrsim;
+
+namespace {
+
+struct SnapshotStats {
+  int attempts = 0;
+  int torn_reads = 0;  // snapshots where the three values were inconsistent
+};
+
+Task<void> writer(Ctx& ctx, Addr x, Addr y, Addr z, int rounds) {
+  for (int i = 1; i <= rounds; ++i) {
+    co_await ctx.store(x, static_cast<std::uint64_t>(i));
+    co_await ctx.store(y, static_cast<std::uint64_t>(i));
+    co_await ctx.store(z, static_cast<std::uint64_t>(i));
+    co_await ctx.work(30);
+  }
+}
+
+/// Leased snapshot: retry until every release reports "voluntary".
+Task<void> leased_reader(Ctx& ctx, Addr x, Addr y, Addr z, int snaps, SnapshotStats* out) {
+  for (int i = 0; i < snaps; ++i) {
+    while (true) {
+      ++out->attempts;
+      co_await ctx.lease(x, 2000);
+      co_await ctx.lease(y, 2000);
+      co_await ctx.lease(z, 2000);
+      const std::uint64_t vx = co_await ctx.load(x);
+      co_await ctx.work(ctx.rng().next_below(120));  // slow consumer...
+      const std::uint64_t vy = co_await ctx.load(y);
+      co_await ctx.work(ctx.rng().next_below(120));
+      const std::uint64_t vz = co_await ctx.load(z);
+      const bool ok_x = co_await ctx.release(x);
+      const bool ok_y = co_await ctx.release(y);
+      const bool ok_z = co_await ctx.release(z);
+      if (ok_x && ok_y && ok_z) {
+        // Certified: all three lines were held jointly across the reads.
+        // The writer updates x before y before z, so a consistent cut can
+        // differ by at most the in-flight store.
+        if (!(vx >= vy && vy >= vz && vx - vz <= 1)) ++out->torn_reads;
+        break;
+      }
+      // An involuntary release: the snapshot may be torn, retry.
+    }
+    co_await ctx.work(200);
+  }
+}
+
+/// Naive snapshot: just read the three words; count visibly torn results.
+Task<void> naive_reader(Ctx& ctx, Addr x, Addr y, Addr z, int snaps, SnapshotStats* out) {
+  for (int i = 0; i < snaps; ++i) {
+    ++out->attempts;
+    const std::uint64_t vx = co_await ctx.load(x);
+    co_await ctx.work(ctx.rng().next_below(120));  // same slow consumer
+    const std::uint64_t vy = co_await ctx.load(y);
+    co_await ctx.work(ctx.rng().next_below(120));
+    const std::uint64_t vz = co_await ctx.load(z);
+    if (!(vx >= vy && vy >= vz && vx - vz <= 1)) ++out->torn_reads;
+    co_await ctx.work(200);
+  }
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kSnapshots = 200;
+
+  for (bool leased : {false, true}) {
+    MachineConfig cfg;
+    cfg.num_cores = 3;
+    cfg.leases_enabled = true;
+    cfg.max_num_leases = 4;
+    Machine m{cfg};
+    Addr x = m.heap().alloc_line();
+    Addr y = m.heap().alloc_line();
+    Addr z = m.heap().alloc_line();
+
+    SnapshotStats stats;
+    m.spawn(0, [&](Ctx& ctx) { return writer(ctx, x, y, z, 3000); });
+    if (leased) {
+      m.spawn(1, [&](Ctx& ctx) { return leased_reader(ctx, x, y, z, kSnapshots, &stats); });
+      m.spawn(2, [&](Ctx& ctx) { return leased_reader(ctx, x, y, z, kSnapshots, &stats); });
+    } else {
+      m.spawn(1, [&](Ctx& ctx) { return naive_reader(ctx, x, y, z, kSnapshots, &stats); });
+      m.spawn(2, [&](Ctx& ctx) { return naive_reader(ctx, x, y, z, kSnapshots, &stats); });
+    }
+    m.run();
+
+    std::printf("%-14s snapshots=%d attempts=%d torn=%d\n", leased ? "lease-certified" : "naive",
+                2 * kSnapshots, stats.attempts, stats.torn_reads);
+  }
+  std::printf("\nLease-certified snapshots are never torn: a snapshot is only accepted when\n"
+              "every release reports it was voluntary (the lines were held throughout).\n");
+  return 0;
+}

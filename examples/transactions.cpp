@@ -1,0 +1,61 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Example: MultiLease for transactional workloads (Figure 4's TL2 setup).
+//
+// Bank-account transfers: each transaction locks two random accounts,
+// moves money, and unlocks. Failed acquisitions abort and retry. Jointly
+// leasing both lock words before the try-locks makes the two acquisitions
+// behave like one: by the time the core owns both lines, the locks are
+// almost always free, so aborts nearly disappear.
+#include <cstdio>
+
+#include "ds/tl2.hpp"
+#include "lrsim.hpp"
+
+using namespace lrsim;
+
+namespace {
+
+void run(TxLeaseMode mode, const char* label) {
+  constexpr int kThreads = 32;
+  constexpr int kTxns = 60;
+
+  MachineConfig cfg;
+  cfg.num_cores = kThreads;
+  cfg.leases_enabled = true;
+  Machine m{cfg};
+  Tl2Bench bank{m, {.num_objects = 10, .lease_mode = mode, .compute_work = 50}};
+  const std::uint64_t before = bank.total_value();
+
+  for (int t = 0; t < kThreads; ++t) {
+    m.spawn(t, [&](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < kTxns; ++i) {
+        co_await bank.run_transaction(ctx);
+        co_await ctx.work(ctx.rng().next_below(64));
+      }
+    });
+  }
+  const Cycle cycles = m.run();
+  const Stats s = m.total_stats();
+  const double abort_rate =
+      static_cast<double>(s.txn_aborts) / static_cast<double>(s.txn_commits + s.txn_aborts);
+
+  std::printf("%-12s %9llu cycles  %5.2f Mtx/s  aborts %5.1f%%  conserved=%s\n", label,
+              static_cast<unsigned long long>(cycles),
+              static_cast<double>(s.txn_commits) * 1e3 / static_cast<double>(cycles),
+              100.0 * abort_rate, bank.total_value() == before ? "yes" : "NO!");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("32 threads x 60 two-account transfers over 10 accounts:\n\n");
+  run(TxLeaseMode::kNone, "base");
+  run(TxLeaseMode::kFirst, "lease-first");
+  run(TxLeaseMode::kBoth, "multi-lease");
+  std::printf(
+      "\nMultiLease acquires both lock lines in sorted order (deadlock-free,\n"
+      "Proposition 3) and holds them through the commit: competing transactions\n"
+      "queue at the coherence level instead of aborting at the lock level.\n");
+  return 0;
+}

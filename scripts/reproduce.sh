@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Reproduce every paper figure/table at full scale and collect the outputs.
+#
+#   scripts/reproduce.sh [build-dir] [out-dir]
+#
+# Runs each bench binary with --full (5x operations) and writes per-bench
+# logs plus the CSV series into the output directory.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-reproduction}"
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "error: $BUILD_DIR/bench not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+echo "== lrsim full reproduction run -> $OUT_DIR =="
+
+for bench in "$BUILD_DIR"/bench/*; do
+  name="$(basename "$bench")"
+  [[ -x "$bench" ]] || continue
+  case "$name" in
+    sim_microbench)
+      echo "-- $name (engine microbench)"
+      "$bench" --benchmark_min_time=0.1s > "$OUT_DIR/$name.txt" 2>&1 || true
+      ;;
+    *)
+      echo "-- $name --full"
+      "$bench" --full --csv_dir "$OUT_DIR/csv" > "$OUT_DIR/$name.txt" 2>&1
+      ;;
+  esac
+done
+
+echo "== done. Logs in $OUT_DIR/, CSV series in $OUT_DIR/csv/ =="

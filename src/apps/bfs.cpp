@@ -1,0 +1,121 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+
+#include "apps/bfs.hpp"
+
+#include <deque>
+
+#include "util/rng.hpp"
+
+namespace lrsim {
+
+Bfs::Bfs(Machine& m, int participants, BfsOptions opt)
+    : m_(m),
+      opt_(opt),
+      participants_(participants),
+      frontier_lock_(m, LockOptions{.use_lease = opt.use_lease}),
+      barrier_(m, participants) {
+  const std::size_t n = opt_.num_vertices;
+  Rng rng{opt_.seed};
+
+  // Random graph (out-edges; BFS follows them as directed edges).
+  host_adj_.resize(n);
+  std::size_t total_edges = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t deg = rng.next_below(2 * opt_.avg_degree + 1);
+    for (std::size_t e = 0; e < deg; ++e) {
+      host_adj_[v].push_back(static_cast<std::size_t>(rng.next_below(n)));
+    }
+    total_edges += host_adj_[v].size();
+  }
+  // Make vertex 0 reach a decent chunk: link it to a few hubs.
+  for (int i = 0; i < 4; ++i) host_adj_[0].push_back(1 + rng.next_below(n - 1));
+  total_edges += 4;
+
+  offsets_ = m.heap().alloc(8 * (n + 1), kLineSize);
+  edges_ = m.heap().alloc(8 * std::max<std::size_t>(1, total_edges), kLineSize);
+  dist_ = m.heap().alloc(8 * n, kLineSize);
+  std::size_t off = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    m.memory().write(offsets_ + 8 * v, off);
+    for (std::size_t u : host_adj_[v]) m.memory().write(edges_ + 8 * off++, u);
+    m.memory().write(dist_ + 8 * v, kUnreached);
+  }
+  m.memory().write(offsets_ + 8 * n, off);
+
+  for (int b = 0; b < 2; ++b) {
+    frontier_[b] = m.heap().alloc(8 * n, kLineSize);
+    frontier_count_[b] = m.heap().alloc_line();
+    m.memory().write(frontier_count_[b], 0);
+  }
+  cursor_ = m.heap().alloc_line();
+  level_ = m.heap().alloc_line();
+
+  // Seed: vertex 0 at distance 0 in frontier buffer 0.
+  m.memory().write(dist_ + 0, 0);
+  m.memory().write(frontier_[0], 0);
+  m.memory().write(frontier_count_[0], 1);
+  m.memory().write(cursor_, 0);
+  m.memory().write(level_, 0);
+}
+
+Task<void> Bfs::run_worker(Ctx& ctx) {
+  while (true) {
+    const std::uint64_t level = co_await ctx.load(level_);
+    const int cur = static_cast<int>(level % 2);
+    const int nxt = 1 - cur;
+    const std::uint64_t count = co_await ctx.load(frontier_count_[cur]);
+    if (count == 0) co_return;  // fixpoint: everyone sees the same emptiness
+
+    // Claim-and-process loop over the current frontier.
+    while (true) {
+      const std::uint64_t idx = co_await ctx.faa(cursor_, 1);
+      if (idx >= count) break;
+      const std::uint64_t v = co_await ctx.load(frontier_[cur] + 8 * idx);
+      const std::uint64_t off = co_await ctx.load(offsets_ + 8 * v);
+      const std::uint64_t end = co_await ctx.load(offsets_ + 8 * (v + 1));
+      for (std::uint64_t e = off; e < end; ++e) {
+        const std::uint64_t u = co_await ctx.load(edges_ + 8 * e);
+        // Claim the vertex exactly once.
+        const bool claimed = co_await ctx.cas(dist_ + 8 * u, kUnreached, level + 1);
+        if (!claimed) continue;
+        // Append to the next frontier under the contended lock (the
+        // critical section the lease protects).
+        co_await frontier_lock_.lock(ctx);
+        const std::uint64_t slot = co_await ctx.load(frontier_count_[nxt]);
+        co_await ctx.store(frontier_[nxt] + 8 * slot, u);
+        co_await ctx.store(frontier_count_[nxt], slot + 1);
+        co_await frontier_lock_.unlock(ctx);
+      }
+      ctx.count_op();
+    }
+
+    co_await barrier_.wait(ctx);
+    if (ctx.core() == 0) {
+      // Single coordinator flips the level and resets the consumed buffer.
+      co_await ctx.store(frontier_count_[cur], 0);
+      co_await ctx.store(cursor_, 0);
+      co_await ctx.store(level_, level + 1);
+    }
+    co_await barrier_.wait(ctx);
+  }
+}
+
+std::vector<std::uint64_t> Bfs::oracle_distances() const {
+  std::vector<std::uint64_t> dist(opt_.num_vertices, kUnreached);
+  std::deque<std::size_t> q;
+  dist[0] = 0;
+  q.push_back(0);
+  while (!q.empty()) {
+    const std::size_t v = q.front();
+    q.pop_front();
+    for (std::size_t u : host_adj_[v]) {
+      if (dist[u] == kUnreached) {
+        dist[u] = dist[v] + 1;
+        q.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace lrsim

@@ -1,0 +1,71 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Level-synchronous BFS with a lock-protected shared frontier — the second
+// CRONO-style graph kernel (the paper's Figure 5 uses CRONO's Pagerank; BFS
+// is the suite's other lock-bottlenecked kernel and exercises leases on a
+// different access pattern: bursty appends to one shared queue).
+//
+// Each level: threads claim frontier slots with fetch&add (uncontended),
+// mark neighbours visited with CAS (per-vertex), and append newly
+// discovered vertices to the *next* frontier under a single TTS lock — the
+// contended critical section the lease protects.
+#pragma once
+
+#include <vector>
+
+#include "runtime/machine.hpp"
+#include "runtime/task.hpp"
+#include "sync/barrier.hpp"
+#include "sync/locks.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+struct BfsOptions {
+  std::size_t num_vertices = 512;
+  std::size_t avg_degree = 4;
+  bool use_lease = false;  ///< Lease the frontier lock's line per append burst.
+  std::uint64_t seed = 7;
+};
+
+class Bfs {
+ public:
+  /// `participants` = number of worker threads that will call run_worker.
+  Bfs(Machine& m, int participants, BfsOptions opt = {});
+
+  /// One worker's share of the whole BFS (all levels, with barriers).
+  /// Spawn exactly `participants` of these.
+  Task<void> run_worker(Ctx& ctx);
+
+  /// Functional distance read-back (after run). kUnreached if untouched.
+  static constexpr std::uint64_t kUnreached = ~0ull;
+  std::uint64_t distance(std::size_t v) const { return m_.memory().read(dist_ + 8 * v); }
+
+  /// Host-side oracle: sequential BFS distances on the same graph.
+  std::vector<std::uint64_t> oracle_distances() const;
+
+  std::size_t num_vertices() const { return opt_.num_vertices; }
+
+ private:
+  Machine& m_;
+  BfsOptions opt_;
+  int participants_;
+  TTSLock frontier_lock_;
+  SenseBarrier barrier_;
+
+  // CSR graph in simulated memory.
+  Addr offsets_;  ///< num_vertices+1 words.
+  Addr edges_;    ///< total edge endpoints.
+  Addr dist_;     ///< per-vertex distance (kUnreached until visited).
+
+  // Double-buffered frontier.
+  Addr frontier_[2];        ///< vertex arrays.
+  Addr frontier_count_[2];  ///< sizes (own lines).
+  Addr cursor_;             ///< work-claim cursor for the current frontier.
+  Addr level_;              ///< current BFS depth (written by one thread).
+
+  // Host-side adjacency copy for the oracle.
+  std::vector<std::vector<std::size_t>> host_adj_;
+};
+
+}  // namespace lrsim

@@ -1,0 +1,64 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+
+#include "apps/pagerank.hpp"
+
+#include "util/rng.hpp"
+
+namespace lrsim {
+
+Pagerank::Pagerank(Machine& m, PagerankOptions opt)
+    : m_(m), opt_(opt), lock_(m, LockOptions{.use_lease = opt.use_lease}), acc_(m.heap().alloc_line()) {
+  m.memory().write(acc_, 0);
+  ranks_ = m.heap().alloc(8 * opt_.num_vertices, kLineSize);
+  adjacency_.resize(opt_.num_vertices, 0);
+  degree_.resize(opt_.num_vertices, 0);
+  dangling_.resize(opt_.num_vertices, false);
+
+  Rng rng{opt_.seed};
+  for (std::size_t v = 0; v < opt_.num_vertices; ++v) {
+    m.memory().write(ranks_ + 8 * v, 100);  // initial integer "rank"
+    if (rng.next_bool(opt_.dangling_fraction)) {
+      dangling_[v] = true;
+      ++num_dangling_;
+      continue;
+    }
+    const std::size_t deg = 1 + rng.next_below(2 * opt_.avg_degree - 1);
+    degree_[v] = deg;
+    adjacency_[v] = m.heap().alloc(8 * deg, kLineSize);
+    for (std::size_t e = 0; e < deg; ++e) {
+      m.memory().write(adjacency_[v] + 8 * e, rng.next_below(opt_.num_vertices));
+    }
+  }
+}
+
+Task<void> Pagerank::process_range(Ctx& ctx, std::size_t begin, std::size_t end) {
+  for (std::size_t v = begin; v < end && v < opt_.num_vertices; ++v) {
+    // Gather neighbour ranks (read-mostly traffic, scales well).
+    std::uint64_t sum = 0;
+    for (std::size_t e = 0; e < degree_[v]; ++e) {
+      const std::uint64_t u = co_await ctx.load(adjacency_[v] + 8 * e);
+      sum += co_await ctx.load(ranks_ + 8 * u);
+    }
+    if (opt_.rank_work > 0) co_await ctx.work(opt_.rank_work);
+    const std::uint64_t old_rank = co_await ctx.load(ranks_ + 8 * v);
+    const std::uint64_t new_rank = degree_[v] ? (15 + (85 * sum / (100 * degree_[v]))) : old_rank;
+    co_await ctx.store(ranks_ + 8 * v, new_rank);
+
+    if (dangling_[v]) {
+      if (opt_.accum == PagerankAccum::kFaa) {
+        // Lock-free alternative: one atomic RMW on the hot line.
+        co_await ctx.faa(acc_, new_rank);
+      } else {
+        // The contended critical section: all threads funnel dangling mass
+        // into one accumulator behind one lock.
+        co_await lock_.lock(ctx);
+        const std::uint64_t acc = co_await ctx.load(acc_);
+        co_await ctx.store(acc_, acc + new_rank);
+        co_await lock_.unlock(ctx);
+      }
+    }
+    ctx.count_op();
+  }
+}
+
+}  // namespace lrsim

@@ -1,0 +1,103 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Machine configuration. Defaults mirror Table 1 of the paper:
+//
+//   Core model            1 GHz, in-order core
+//   L1-I/D cache per tile 32 KB, 4-way, 1 cycle
+//   L2 cache per tile     256 KB, 8-way, inclusive, tag/data 3/8 cycles
+//   Cache line size       64 bytes
+//   Coherence protocol    MSI (private L1, shared L2)
+//
+// plus the Lease/Release parameters from Sections 3-5 (MAX_LEASE_TIME is
+// 20K cycles = 20 us at 1 GHz in the paper's experiments; Section 7 also
+// exercises 1K cycles).
+#pragma once
+
+#include "sim/stats.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+/// Coherence protocol family. Lease/Release applies to both with identical
+/// semantics (Section 8 "Other Protocols"): a leased line is held in an
+/// exclusive state and incoming requests are delayed until release.
+enum class CoherenceProtocol : std::uint8_t {
+  kMSI,    ///< The paper's evaluation protocol (Table 1).
+  kMESI,   ///< Adds the clean-Exclusive state: a sole reader may write
+           ///< without a coherence transaction.
+  kMOESI,  ///< Additionally keeps a downgraded dirty owner in the Owned
+           ///< state: it supplies data to readers without writing back.
+           ///< Per Section 8, a *leased* line can never be in O — a lease
+           ///< holds the line in E/M and parks the downgrade that would
+           ///< create O.
+};
+
+struct MachineConfig {
+  int num_cores = 64;
+  CoherenceProtocol protocol = CoherenceProtocol::kMSI;
+
+  // --- latencies (cycles) -------------------------------------------------
+  Cycle l1_latency = 1;        ///< L1 hit (Table 1).
+  Cycle l2_tag_latency = 3;    ///< Directory/L2 tag lookup (Table 1).
+  Cycle l2_data_latency = 8;   ///< L2 data array access (Table 1).
+  Cycle dram_latency = 100;    ///< Off-chip access on first touch of a line.
+  Cycle net_latency = 15;      ///< One-way core <-> directory latency (flat model).
+
+  // --- optional 2D-mesh NoC (Graphite-style tiled chip) ---------------------
+  bool mesh_topology = false;     ///< Replace the flat latency with per-hop mesh costs.
+  Cycle mesh_hop_latency = 2;     ///< Link traversal per Manhattan hop.
+  Cycle mesh_router_latency = 1;  ///< Router pipeline per hop (+1 for injection).
+
+  // --- private L1 geometry -------------------------------------------------
+  int l1_ways = 4;
+  int l1_sets = 128;  ///< 128 sets x 4 ways x 64 B = 32 KB.
+
+  // --- shared L2 capacity ----------------------------------------------------
+  /// By default the inclusive L2 is modeled as unbounded (first touch pays
+  /// DRAM, everything stays on-chip). Enabling this bounds it to
+  /// l2_sets x l2_ways lines; refills evict an LRU victim, back-invalidating
+  /// its L1 copies (inclusion). A lease on a victim line is force-released —
+  /// capacity management overrides leases, exactly like the L1 pinned-set
+  /// case, and early release never affects correctness (Section 5).
+  bool l2_finite = false;
+  int l2_ways = 8;
+  int l2_sets = 512;  ///< 512 sets x 8 ways x 64 B = 256 KB (Table 1).
+
+  // --- Lease/Release engine (Section 3) ------------------------------------
+  bool leases_enabled = true;        ///< false => Lease/Release become no-ops (baseline machine).
+  Cycle max_lease_time = 20000;      ///< System-wide MAX_LEASE_TIME bound.
+  int max_num_leases = 4;            ///< System-wide MAX_NUM_LEASES bound.
+  bool lease_priority_mode = false;  ///< Section 5 "Prioritization": regular requests break leases.
+  bool software_multilease = false;  ///< Section 4: emulate MultiLease with staggered single leases.
+  Cycle sw_multilease_stagger = 0;   ///< X parameter for software MultiLease; 0 => auto-derive.
+  /// Extra cycles of per-address software bookkeeping in the emulated
+  /// MultiLease (group-id maintenance, timeout arithmetic). This is what
+  /// makes the Figure 5 software variant "slightly but consistently" slower.
+  Cycle sw_multilease_overhead = 6;
+
+  // --- Section 5 design alternatives -----------------------------------------
+  /// Respond to probes on leased lines with a NACK + bounded retry instead
+  /// of parking them (the paper notes Lease/Release fits NACK-based
+  /// protocols; this mode makes the directory queue never wait on a core).
+  bool nack_on_lease = false;
+  Cycle nack_retry_delay = 50;  ///< Directory re-probe backoff after a NACK.
+
+  /// Speculative futility predictor (Section 5 "Speculative Execution"):
+  /// after `predictor_threshold` consecutive involuntary releases on a
+  /// line, further Lease instructions on it are ignored until a voluntary
+  /// release is observed again.
+  bool lease_predictor = false;
+  int predictor_threshold = 3;
+
+  EnergyModel energy;
+
+  /// Stagger used by software MultiLease: an approximation of the time to
+  /// fulfil one exclusive-ownership request (Section 4, parameter X).
+  Cycle effective_sw_stagger() const noexcept {
+    if (sw_multilease_stagger != 0) return sw_multilease_stagger;
+    // request + probe + data forward, plus service overheads.
+    return 3 * net_latency + l2_tag_latency + l2_data_latency;
+  }
+};
+
+}  // namespace lrsim

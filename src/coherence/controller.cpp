@@ -1,0 +1,339 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+
+#include "coherence/controller.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "coherence/directory.hpp"
+
+namespace lrsim {
+
+void CacheController::cpu_read(Addr a, std::function<void(std::uint64_t)> done) {
+  assert(is_word_aligned(a));
+  const LineId l = line_of(a);
+  if (tracer_) tracer_->emit(TraceEvent::kCpuLoad, ev_.now(), core_, l, a);
+  if (l1_.state(l) != LineState::I) {
+    ++stats_.l1_hits;
+    l1_.touch(l);
+    ev_.schedule_in(cfg_.l1_latency, [this, a, done = std::move(done)] { done(mem_.read(a)); });
+    return;
+  }
+  ++stats_.l1_misses;
+  ++stats_.msgs_gets;
+  ev_.schedule_in(cfg_.l1_latency + topo_.core_to_home(core_, l), [this, a, l, done = std::move(done)] {
+    dir_->request(core_, l, Directory::ReqType::kGetS, /*is_lease_req=*/false,
+                  [this, a, l, done](bool exclusive) {
+                    // MESI sole-reader grant installs clean-Exclusive.
+                    install(l, exclusive ? LineState::E : LineState::S);
+                    done(mem_.read(a));
+                  });
+  });
+}
+
+void CacheController::with_exclusive(Addr a, bool is_lease_req, std::function<void()> then) {
+  assert(is_word_aligned(a));
+  const LineId l = line_of(a);
+  if (is_exclusive(l1_.state(l))) {
+    // MESI: writing a clean-Exclusive line upgrades to M silently — no
+    // coherence transaction, the whole point of the E state.
+    if (l1_.state(l) == LineState::E) l1_.install(l, LineState::M, pinned_fn());
+    ++stats_.l1_hits;
+    l1_.touch(l);
+    ev_.schedule_in(cfg_.l1_latency, std::move(then));
+    return;
+  }
+  // Both cold misses and S->M upgrades count as coherence misses.
+  ++stats_.l1_misses;
+  ++stats_.msgs_getx;
+  ev_.schedule_in(cfg_.l1_latency + topo_.core_to_home(core_, l),
+                  [this, l, is_lease_req, then = std::move(then)] {
+    dir_->request(core_, l, Directory::ReqType::kGetX, is_lease_req, [this, l, then](bool) {
+      install(l, LineState::M);
+      then();
+    });
+  });
+}
+
+void CacheController::cpu_write(Addr a, std::uint64_t v, std::function<void()> done) {
+  if (tracer_) tracer_->emit(TraceEvent::kCpuStore, ev_.now(), core_, line_of(a), a);
+  with_exclusive(a, /*is_lease_req=*/false, [this, a, v, done = std::move(done)] {
+    mem_.write(a, v);
+    done();
+  });
+}
+
+void CacheController::cpu_cas(Addr a, std::uint64_t expect, std::uint64_t desired,
+                              std::function<void(bool, std::uint64_t)> done) {
+  if (tracer_) tracer_->emit(TraceEvent::kCpuRmw, ev_.now(), core_, line_of(a), a);
+  with_exclusive(a, /*is_lease_req=*/false, [this, a, expect, desired, done = std::move(done)] {
+    // The core holds the line in M: the read-compare-write below is atomic
+    // with respect to every other core (any competing access must first win
+    // the line through the directory, which serializes per line).
+    const std::uint64_t old = mem_.read(a);
+    const bool ok = old == expect;
+    if (ok) mem_.write(a, desired);
+    ++stats_.cas_attempts;
+    if (!ok) ++stats_.cas_failures;
+    done(ok, old);
+  });
+}
+
+void CacheController::cpu_faa(Addr a, std::uint64_t add, std::function<void(std::uint64_t)> done) {
+  with_exclusive(a, /*is_lease_req=*/false, [this, a, add, done = std::move(done)] {
+    const std::uint64_t old = mem_.read(a);
+    mem_.write(a, old + add);
+    done(old);
+  });
+}
+
+void CacheController::cpu_xchg(Addr a, std::uint64_t v, std::function<void(std::uint64_t)> done) {
+  with_exclusive(a, /*is_lease_req=*/false, [this, a, v, done = std::move(done)] {
+    const std::uint64_t old = mem_.read(a);
+    mem_.write(a, v);
+    done(old);
+  });
+}
+
+void CacheController::cpu_lease(Addr a, Cycle duration, std::function<void()> done) {
+  if (!cfg_.leases_enabled) {
+    // Baseline machine: the lease instruction does not exist; model it as
+    // free so base runs pay no phantom cost.
+    ev_.schedule_in(0, std::move(done));
+    return;
+  }
+  const LineId l = line_of(a);
+  if (leases_.has(l)) {
+    // No extension of an existing lease (footnote 1).
+    ev_.schedule_in(cfg_.l1_latency, std::move(done));
+    return;
+  }
+  if (tracer_) tracer_->emit(TraceEvent::kLease, ev_.now(), core_, l, duration);
+  if (leases_.predicts_futile(l)) {
+    // Section 5 "Speculative Execution": leases that keep expiring
+    // involuntarily are ignored — early release never affects correctness.
+    ++stats_.leases_suppressed;
+    ev_.schedule_in(cfg_.l1_latency, std::move(done));
+    return;
+  }
+  leases_.add(l, duration);
+  if (is_exclusive(l1_.state(l))) {
+    // A lease demands exclusive ownership; clean-E qualifies (MESI).
+    ++stats_.l1_hits;
+    l1_.touch(l);
+    leases_.on_granted(l);
+    if (tracer_) tracer_->emit(TraceEvent::kLeaseGrant, ev_.now(), core_, l);
+    ev_.schedule_in(cfg_.l1_latency, std::move(done));
+    return;
+  }
+  ++stats_.l1_misses;
+  ++stats_.msgs_getx;
+  ev_.schedule_in(cfg_.l1_latency + topo_.core_to_home(core_, l), [this, l, done = std::move(done)] {
+    dir_->request(core_, l, Directory::ReqType::kGetX, /*is_lease_req=*/true, [this, l, done](bool) {
+      install(l, LineState::M);
+      // The entry may have been FIFO-evicted while the request was in
+      // flight (possible only inside a MultiLease chain); on_granted
+      // no-ops in that case.
+      leases_.on_granted(l);
+      if (tracer_) tracer_->emit(TraceEvent::kLeaseGrant, ev_.now(), core_, l);
+      done();
+    });
+  });
+}
+
+void CacheController::cpu_release(Addr a, std::function<void(bool)> done) {
+  if (!cfg_.leases_enabled) {
+    ev_.schedule_in(0, [done = std::move(done)] { done(false); });
+    return;
+  }
+  // Release has memory-fence semantics (Section 5); on this in-order,
+  // one-outstanding-op core the fence itself is free.
+  ev_.schedule_in(cfg_.l1_latency, [this, a, done = std::move(done)] {
+    const bool voluntary = leases_.release(line_of(a));
+    if (tracer_) tracer_->emit(TraceEvent::kRelease, ev_.now(), core_, line_of(a), voluntary ? 1 : 0);
+    done(voluntary);
+  });
+}
+
+void CacheController::cpu_release_all(std::function<void()> done) {
+  if (!cfg_.leases_enabled) {
+    ev_.schedule_in(0, std::move(done));
+    return;
+  }
+  ev_.schedule_in(cfg_.l1_latency, [this, done = std::move(done)] {
+    leases_.release_all();
+    done();
+  });
+}
+
+void CacheController::cpu_multi_lease(std::vector<Addr> addrs, Cycle duration,
+                                      std::function<void()> done) {
+  if (!cfg_.leases_enabled) {
+    ev_.schedule_in(0, std::move(done));
+    return;
+  }
+  // Sort by line id — the fixed global comparison criterion that makes the
+  // acquisition order deadlock-free (Proposition 3) — and drop duplicate
+  // lines (two words on one line need only one lease).
+  auto lines = std::make_shared<std::vector<LineId>>();
+  lines->reserve(addrs.size());
+  for (Addr a : addrs) lines->push_back(line_of(a));
+  std::sort(lines->begin(), lines->end());
+  lines->erase(std::unique(lines->begin(), lines->end()), lines->end());
+
+  if (cfg_.software_multilease) {
+    // Software emulation (Section 4): staggered independent single leases;
+    // joint holding is *probable*, not guaranteed.
+    ev_.schedule_in(cfg_.l1_latency, [this, lines, duration, done = std::move(done)] {
+      leases_.release_all();
+      sw_multi_lease_step(lines, 0, duration, done);
+    });
+    return;
+  }
+
+  ev_.schedule_in(cfg_.l1_latency, [this, lines, duration, done = std::move(done)] {
+    // Algorithm 2: release all currently held leases first; a group that
+    // would exceed MAX_NUM_LEASES is ignored.
+    leases_.release_all();
+    if (static_cast<int>(lines->size()) + leases_.size() > cfg_.max_num_leases) {
+      done();
+      return;
+    }
+    multi_lease_step(lines, 0, duration, done);
+  });
+}
+
+void CacheController::multi_lease_step(std::shared_ptr<std::vector<LineId>> lines, std::size_t i,
+                                       Cycle duration, std::function<void()> done) {
+  if (i == lines->size()) {
+    // Whole group granted: allocate and start all counters jointly
+    // (Section 5, "MultiLeases require the counters ... to be correlated").
+    leases_.start_group();
+    done();
+    return;
+  }
+  const LineId l = (*lines)[i];
+  leases_.add(l, duration, /*in_group=*/true);
+  auto next = [this, lines, i, duration, done = std::move(done)] {
+    multi_lease_step(lines, i + 1, duration, done);
+  };
+  if (is_exclusive(l1_.state(l))) {
+    ++stats_.l1_hits;
+    l1_.touch(l);
+    leases_.on_granted(l);
+    ev_.schedule_in(cfg_.l1_latency, std::move(next));
+    return;
+  }
+  ++stats_.l1_misses;
+  ++stats_.msgs_getx;
+  ev_.schedule_in(cfg_.l1_latency + topo_.core_to_home(core_, l), [this, l, next = std::move(next)] {
+    dir_->request(core_, l, Directory::ReqType::kGetX, /*is_lease_req=*/true, [this, l, next](bool) {
+      install(l, LineState::M);
+      leases_.on_granted(l);
+      next();
+    });
+  });
+}
+
+void CacheController::sw_multi_lease_step(std::shared_ptr<std::vector<LineId>> lines, std::size_t i,
+                                          Cycle duration, std::function<void()> done) {
+  if (i == lines->size()) {
+    done();
+    return;
+  }
+  // The j-th lease in acquisition order runs for (time + jX) counted from
+  // the *innermost*: the first-acquired (outermost) lease gets the longest
+  // interval so the group probably overlaps for `duration` cycles.
+  const Cycle extra =
+      static_cast<Cycle>(lines->size() - 1 - i) * cfg_.effective_sw_stagger();
+  // Software emulation pays real instructions per address (group-id
+  // bookkeeping, timeout arithmetic) that the hardware instruction does not.
+  ev_.schedule_in(cfg_.sw_multilease_overhead, [this, lines, i, duration, extra,
+                                                done = std::move(done)] {
+    cpu_lease(line_base((*lines)[i]), duration + extra,
+              [this, lines, i, duration, done] {
+                sw_multi_lease_step(lines, i + 1, duration, done);
+              });
+  });
+}
+
+void CacheController::probe(LineId line, ProbeType type, bool requestor_is_lease,
+                            std::function<void(bool)> on_serviced) {
+  if (tracer_) {
+    tracer_->emit(TraceEvent::kProbe, ev_.now(), core_, line,
+                  type == ProbeType::kInvalidate ? 1 : 0);
+  }
+  if (cfg_.leases_enabled && cfg_.nack_on_lease) {
+    // Transient blocking via negative acknowledgments (Section 5): instead
+    // of parking at this core, the probe is NACKed back to the directory,
+    // which re-probes after a bounded delay. Termination follows from the
+    // bounded lease: eventually the line is released and a retry succeeds.
+    if (leases_.blocks_probe(line, requestor_is_lease)) {
+      if (tracer_) tracer_->emit(TraceEvent::kProbeNack, ev_.now(), core_, line);
+      stats_.msgs_nack += 2;  // NACK to the directory + the retry probe
+      ev_.schedule_in(cfg_.nack_retry_delay,
+                      [this, line, type, requestor_is_lease, on_serviced = std::move(on_serviced)] {
+                        probe(line, type, requestor_is_lease, on_serviced);
+                      });
+      return;
+    }
+  }
+  auto do_service = [this, line, type, on_serviced = std::move(on_serviced)] {
+    // Apply the coherence action *atomically with the service decision*.
+    // If it were deferred (even by one cycle), a Lease instruction executing
+    // in the window would see a stale M state, grant via the hit path, and
+    // leave a lease entry for a line this core no longer owns — a later
+    // probe would then park behind that phantom lease and wedge the line's
+    // directory queue for a full MAX_LEASE_TIME. Only the response latency
+    // is modeled by the delay below.
+    const bool dirty = is_dirty(l1_.state(line));
+    if (type == ProbeType::kInvalidate) {
+      l1_.invalidate(line);
+    } else {
+      l1_.downgrade(line, /*to_owned=*/type == ProbeType::kDowngradeToOwned);
+    }
+    ev_.schedule_in(1, [on_serviced, dirty] { on_serviced(dirty); });
+  };
+  if (cfg_.leases_enabled && leases_.maybe_park_probe(line, requestor_is_lease, do_service)) {
+    if (tracer_) tracer_->emit(TraceEvent::kProbePark, ev_.now(), core_, line);
+    return;  // parked; runs at (voluntary or involuntary) release
+  }
+  do_service();
+}
+
+void CacheController::back_invalidate(LineId line, std::function<void(bool)> on_serviced) {
+  leases_.force_release(line);  // never park an inclusion victim's probe
+  const bool dirty = is_dirty(l1_.state(line));
+  l1_.invalidate(line);
+  ev_.schedule_in(1, [on_serviced = std::move(on_serviced), dirty] { on_serviced(dirty); });
+}
+
+void CacheController::make_room(LineId line) {
+  auto pinned = pinned_fn();
+  while (l1_.set_full_of_pinned(line, pinned)) {
+    auto victim = l1_.any_pinned_in_set(line, pinned);
+    if (!victim) break;
+    // Pathological case: an entire L1 set pinned by leases. Force-release
+    // the offending lease (its parked probe, if any, is serviced).
+    leases_.force_release(*victim);
+  }
+}
+
+void CacheController::install(LineId line, LineState st) {
+  make_room(line);
+  auto victim = l1_.install(line, st, pinned_fn());
+  if (victim) {
+    ++stats_.l1_evictions;
+    if (is_dirty(victim->state)) {
+      dir_->eviction_notice(core_, victim->line, Directory::EvictKind::kDirty);
+    } else if (victim->state == LineState::E) {
+      // Clean-exclusive victim: no data to write back, but the directory
+      // must forget the owner or future requests would probe a ghost.
+      dir_->eviction_notice(core_, victim->line, Directory::EvictKind::kCleanExclusive);
+    }
+    // Shared victims are dropped silently; the directory's sharer entry
+    // goes stale and is corrected lazily by a future invalidation probe.
+  }
+}
+
+}  // namespace lrsim

@@ -1,0 +1,162 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Per-core L1 cache controller: the component the paper modifies.
+//
+// "We extended the L1 cache controller logic (at the cores) to implement
+//  memory leases. As such, the directory did not have to be modified in
+//  any way." (Section 7)
+//
+// The controller services CPU memory operations (load / store / CAS / FAA /
+// exchange) against the private L1, issues directory requests on misses,
+// answers coherence probes, and hosts the LeaseTable. All methods are
+// callback-based; completions fire as events at the correct simulated cycle.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "coherence/config.hpp"
+#include "coherence/l1_cache.hpp"
+#include "coherence/topology.hpp"
+#include "core/lease_table.hpp"
+#include "mem/memory.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/trace.hpp"
+#include "sim/stats.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+class Directory;
+
+/// External coherence probe kinds delivered to a controller.
+enum class ProbeType : std::uint8_t {
+  kInvalidate,        ///< Another core wants Exclusive: drop the line.
+  kDowngrade,         ///< Another core wants Shared: M -> S (with writeback).
+  kDowngradeToOwned,  ///< MOESI: M -> O, keep supplying dirty data (no writeback).
+};
+
+class CacheController {
+ public:
+  CacheController(CoreId core, EventQueue& ev, SimMemory& mem, const MachineConfig& cfg, Stats& stats)
+      : core_(core),
+        ev_(ev),
+        mem_(mem),
+        cfg_(cfg),
+        stats_(stats),
+        l1_(cfg.l1_sets, cfg.l1_ways),
+        leases_(ev, stats, cfg),
+        topo_(cfg) {}
+
+  CacheController(const CacheController&) = delete;
+  CacheController& operator=(const CacheController&) = delete;
+
+  /// Wired by Machine after construction (controller <-> directory cycle).
+  void attach_directory(Directory* dir) { dir_ = dir; }
+
+  /// Optional tracing (Machine::enable_tracing). Null = off.
+  void set_tracer(Tracer* t) { tracer_ = t; }
+
+  // --- CPU-side operations (one outstanding op per in-order core) ---------
+  //
+  // Each completion callback runs as an event at the cycle the instruction
+  // retires; read the time from the event queue if needed.
+
+  void cpu_read(Addr a, std::function<void(std::uint64_t)> done);
+  void cpu_write(Addr a, std::uint64_t v, std::function<void()> done);
+
+  /// Compare-and-swap; completes with (success, old_value).
+  void cpu_cas(Addr a, std::uint64_t expect, std::uint64_t desired,
+               std::function<void(bool, std::uint64_t)> done);
+
+  /// Fetch-and-add; completes with the old value.
+  void cpu_faa(Addr a, std::uint64_t add, std::function<void(std::uint64_t)> done);
+
+  /// Atomic exchange; completes with the old value.
+  void cpu_xchg(Addr a, std::uint64_t v, std::function<void(std::uint64_t)> done);
+
+  /// Lease instruction (Section 3). Blocks (in-order core) until the line is
+  /// owned exclusively and the countdown has started. No-op when leases are
+  /// disabled or the line is already leased.
+  void cpu_lease(Addr a, Cycle duration, std::function<void()> done);
+
+  /// Release instruction. Completes with true iff the release was voluntary
+  /// (the lease was still active) — the Section 5 cheap-snapshot signal.
+  void cpu_release(Addr a, std::function<void(bool)> done);
+
+  /// MultiLease (Section 4, Algorithm 2): releases all current leases, then
+  /// jointly leases `addrs`. Acquisition happens in globally sorted line
+  /// order (deadlock freedom, Proposition 3). A request whose group would
+  /// exceed MAX_NUM_LEASES is ignored. In software-multilease mode this
+  /// instead issues staggered single leases (Section 4, "Software
+  /// Implementation").
+  void cpu_multi_lease(std::vector<Addr> addrs, Cycle duration, std::function<void()> done);
+
+  /// ReleaseAll (Algorithm 2).
+  void cpu_release_all(std::function<void()> done);
+
+  // --- directory-side interface -------------------------------------------
+
+  /// A coherence probe arrives (already past the network latency). The
+  /// controller services it after a 1-cycle action — or parks it behind a
+  /// lease. `on_serviced(dirty)` is invoked once the line has actually been
+  /// invalidated/downgraded; `dirty` reports whether the local copy was in
+  /// M (so the directory charges a writeback only when real — an E owner
+  /// may still be clean). The directory then forwards data to the requester.
+  void probe(LineId line, ProbeType type, bool requestor_is_lease,
+             std::function<void(bool dirty)> on_serviced);
+
+  /// Inclusion back-invalidation (finite L2 evicting `line`). Unlike a
+  /// regular probe this never parks: any lease on the line is force-
+  /// released first (capacity management overrides leases; early release is
+  /// always safe). `on_serviced(dirty)` fires after the 1-cycle action.
+  void back_invalidate(LineId line, std::function<void(bool dirty)> on_serviced);
+
+  // --- introspection (tests / harness) -------------------------------------
+  LineState line_state(LineId l) const { return l1_.state(l); }
+  const LeaseTable& lease_table() const { return leases_; }
+  LeaseTable& lease_table() { return leases_; }
+  const L1Cache& l1() const { return l1_; }
+  Stats& stats() { return stats_; }
+  CoreId core_id() const { return core_; }
+
+ private:
+  /// Ensures the line can be installed: if the set is entirely pinned by
+  /// leases, force-release one of them (Section 5 notes the lease table
+  /// mirrors the load buffer; a set full of leases is the pathological case).
+  void make_room(LineId line);
+
+  /// Installs a line in the L1 with state `st`, handling victim writeback.
+  void install(LineId line, LineState st);
+
+  /// Common exclusive-ownership path for write-type ops: obtains M state for
+  /// `line`, then runs `then` (at the cycle M is held).
+  void with_exclusive(Addr a, bool is_lease_req, std::function<void()> then);
+
+  std::function<bool(LineId)> pinned_fn() {
+    return [this](LineId l) { return leases_.pins(l); };
+  }
+
+  /// Continues a MultiLease acquisition chain at index `i` of the sorted
+  /// line list.
+  void multi_lease_step(std::shared_ptr<std::vector<LineId>> lines, std::size_t i, Cycle duration,
+                        std::function<void()> done);
+
+  void sw_multi_lease_step(std::shared_ptr<std::vector<LineId>> lines, std::size_t i, Cycle duration,
+                           std::function<void()> done);
+
+  CoreId core_;
+  EventQueue& ev_;
+  SimMemory& mem_;
+  const MachineConfig& cfg_;
+  Stats& stats_;
+  L1Cache l1_;
+  LeaseTable leases_;
+  Topology topo_;
+  Directory* dir_ = nullptr;
+  Tracer* tracer_ = nullptr;
+};
+
+}  // namespace lrsim

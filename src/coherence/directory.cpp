@@ -1,0 +1,359 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+
+#include "coherence/directory.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "coherence/controller.hpp"
+
+namespace lrsim {
+
+void Directory::request(CoreId requester, LineId line, ReqType type, bool is_lease_req,
+                        std::function<void(bool)> on_done) {
+  Entry& e = dir_[line];
+  e.queue.push_back(Req{requester, type, is_lease_req, std::move(on_done)});
+  peak_queue_depth_ = std::max(peak_queue_depth_, e.queue.size());
+  if (!e.busy) begin_service(line);
+}
+
+void Directory::begin_service(LineId line) {
+  Entry& e = dir_[line];
+  if (e.busy || e.queue.empty()) return;
+  e.busy = true;
+  Req req = std::move(e.queue.front());
+  e.queue.pop_front();
+  ++stats_.l2_accesses;  // directory/L2 tag lookup
+  ev_.schedule_in(cfg_.l2_tag_latency,
+                  [this, line, req = std::move(req)]() mutable { service(line, std::move(req)); });
+}
+
+void Directory::service(LineId line, Req req) {
+  if (tracer_) {
+    tracer_->emit(TraceEvent::kDirService, ev_.now(), -1, line,
+                  static_cast<std::uint64_t>(req.requester));
+  }
+  Entry& e = dir_[line];
+  const bool want_x = req.type == ReqType::kGetX;
+  const bool moesi = cfg_.protocol == CoherenceProtocol::kMOESI;
+  const bool owner_holds =
+      (e.st == LineSt::kModified || e.st == LineSt::kExclusive || e.st == LineSt::kOwned);
+  const bool owner_other = owner_holds && e.owner != req.requester;
+
+  // --- MOESI: the requester upgrades its own Owned copy (O -> M) -----------
+  if (e.st == LineSt::kOwned && e.owner == req.requester && want_x) {
+    // It already has the data; invalidate every sharer and grant ownership.
+    std::vector<CoreId> targets = e.sharers;
+    auto remaining = std::make_shared<int>(static_cast<int>(targets.size()) + 1);
+    auto req_shared = std::make_shared<Req>(std::move(req));
+    auto leg_done = [this, line, remaining, req_shared] {
+      if (--*remaining == 0) {
+        complete(line, *req_shared, LineSt::kModified, /*exclusive_grant=*/true);
+      }
+    };
+    for (CoreId c : targets) {
+      ++stats_.msgs_inv;
+      ev_.schedule_in(topo_.home_to_core(line, c), [this, line, c, req_shared, leg_done] {
+        cores_[static_cast<std::size_t>(c)]->probe(
+            line, ProbeType::kInvalidate, req_shared->is_lease_req, [this, line, c, leg_done](bool) {
+              ++stats_.msgs_ack;
+              ev_.schedule_in(topo_.core_to_home(c, line), leg_done);
+            });
+      });
+    }
+    ++stats_.msgs_ack;  // ownership grant, no data needed
+    ev_.schedule_in(topo_.home_to_core(line, req_shared->requester), leg_done);
+    return;
+  }
+
+  // --- line is owned (M, E or O) at another core: probe the owner ----------
+  if (owner_other) {
+    const CoreId owner = e.owner;
+    // GetS under MOESI leaves the dirty owner in O (no writeback);
+    // otherwise the classic downgrade-with-writeback.
+    const ProbeType pt = want_x ? ProbeType::kInvalidate
+                                : (moesi ? ProbeType::kDowngradeToOwned : ProbeType::kDowngrade);
+    const LineSt result = want_x ? LineSt::kModified : (moesi ? LineSt::kOwned : LineSt::kShared);
+    if (want_x) {
+      ++stats_.msgs_inv;
+    } else {
+      ++stats_.msgs_downgrade;
+    }
+    // A GetX on an O line must also invalidate the S sharers.
+    std::vector<CoreId> targets;
+    if (want_x && e.st == LineSt::kOwned) {
+      for (CoreId c : e.sharers)
+        if (c != req.requester) targets.push_back(c);
+    }
+    auto remaining = std::make_shared<int>(static_cast<int>(targets.size()) + 1);
+    auto req_shared = std::make_shared<Req>(std::move(req));
+    auto leg_done = [this, line, remaining, req_shared, result, want_x] {
+      if (--*remaining == 0) complete(line, *req_shared, result, /*exclusive_grant=*/want_x);
+    };
+    for (CoreId c : targets) {
+      ++stats_.msgs_inv;
+      ev_.schedule_in(topo_.home_to_core(line, c), [this, line, c, req_shared, leg_done] {
+        cores_[static_cast<std::size_t>(c)]->probe(
+            line, ProbeType::kInvalidate, req_shared->is_lease_req, [this, line, c, leg_done](bool) {
+              ++stats_.msgs_ack;
+              ev_.schedule_in(topo_.core_to_home(c, line), leg_done);
+            });
+      });
+    }
+    ev_.schedule_in(topo_.home_to_core(line, owner),
+                    [this, line, owner, want_x, pt, req_shared, leg_done]() mutable {
+      // The probe may be parked behind a lease at the owner; the callback
+      // fires once the owner has actually relinquished the line (bounded by
+      // MAX_LEASE_TIME — Proposition 2). `dirty` says whether the owner had
+      // really modified it (an E owner may still be clean).
+      cores_[static_cast<std::size_t>(owner)]->probe(
+          line, pt, req_shared->is_lease_req,
+          [this, line, owner, want_x, pt, req_shared, leg_done](bool dirty) mutable {
+            // Cache-to-cache forward to the requester plus an ack to the
+            // directory; a classic downgrade of a dirty line also writes the
+            // data back to L2 (a MOESI downgrade-to-O keeps it at the owner).
+            ++stats_.msgs_data;
+            ++stats_.msgs_ack;
+            if (!want_x && dirty && pt == ProbeType::kDowngrade) ++stats_.msgs_wb;
+            const Cycle fwd = topo_.latency(owner, req_shared->requester);
+            ev_.schedule_in(fwd, leg_done);
+          });
+    });
+    return;
+  }
+
+  // --- line is Shared (or owned by the requester itself, a benign race
+  //     after a silent eviction + re-request) ------------------------------
+  if (e.st == LineSt::kShared && want_x) {
+    // Invalidate every other sharer; data comes from L2 unless the
+    // requester already holds an S copy (upgrade). Sharer entries can be
+    // stale after silent S evictions; the probe finds the line absent and
+    // acks immediately, exactly like a real sparse directory.
+    std::vector<CoreId> targets;
+    for (CoreId c : e.sharers)
+      if (c != req.requester) targets.push_back(c);
+    const bool requester_has_s =
+        std::find(e.sharers.begin(), e.sharers.end(), req.requester) != e.sharers.end();
+
+    auto remaining = std::make_shared<int>(static_cast<int>(targets.size()) + 1);
+    auto req_shared = std::make_shared<Req>(std::move(req));
+    auto leg_done = [this, line, remaining, req_shared] {
+      if (--*remaining == 0) {
+        complete(line, *req_shared, LineSt::kModified, /*exclusive_grant=*/true);
+      }
+    };
+
+    for (CoreId c : targets) {
+      ++stats_.msgs_inv;
+      ev_.schedule_in(topo_.home_to_core(line, c), [this, line, c, req_shared, leg_done] {
+        cores_[static_cast<std::size_t>(c)]->probe(
+            line, ProbeType::kInvalidate, req_shared->is_lease_req, [this, line, c, leg_done](bool) {
+              ++stats_.msgs_ack;
+              ev_.schedule_in(topo_.core_to_home(c, line), leg_done);
+            });
+      });
+    }
+    // Grant leg: data (or just an ownership grant for an upgrade).
+    Cycle grant_lat = topo_.home_to_core(line, req_shared->requester);
+    if (requester_has_s) {
+      ++stats_.msgs_ack;  // upgrade grant, no data needed
+    } else {
+      ++stats_.msgs_data;
+      grant_lat += cfg_.l2_data_latency;
+    }
+    ev_.schedule_in(grant_lat, leg_done);
+    return;
+  }
+
+  if (e.st == LineSt::kShared && !want_x) {
+    ++stats_.msgs_data;
+    const Cycle grant = cfg_.l2_data_latency + topo_.home_to_core(line, req.requester);
+    ev_.schedule_in(grant, [this, line, req = std::move(req)]() mutable {
+      complete(line, req, LineSt::kShared, /*exclusive_grant=*/false);
+    });
+    return;
+  }
+
+  // --- Uncached (or owned-by-requester, treated as an L2 refill) -----------
+  Cycle lat = 0;
+  const bool refill = !e.touched;
+  if (refill) {
+    ++stats_.dram_accesses;
+    lat += cfg_.dram_latency;
+    e.touched = true;
+  }
+  lat += cfg_.l2_data_latency + topo_.home_to_core(line, req.requester);
+  ++stats_.msgs_data;
+  // MESI: a sole reader gets the clean-Exclusive state and can write later
+  // without another transaction.
+  const bool grant_e = !want_x && cfg_.protocol != CoherenceProtocol::kMSI;
+  const LineSt result = want_x ? LineSt::kModified : (grant_e ? LineSt::kExclusive : LineSt::kShared);
+  auto finish = [this, line, lat, result, want_x, grant_e, req = std::move(req)]() mutable {
+    ev_.schedule_in(lat, [this, line, result, want_x, grant_e, req = std::move(req)]() mutable {
+      complete(line, req, result, /*exclusive_grant=*/want_x || grant_e);
+    });
+  };
+  if (l2_tags_ && refill) {
+    // Finite inclusive L2: the refill may displace a victim, whose L1
+    // copies must be back-invalidated first (inclusion).
+    auto busy = [this](LineId l) {
+      auto it = dir_.find(l);
+      return it != dir_.end() && (it->second.busy || !it->second.queue.empty());
+    };
+    std::optional<LineId> victim = l2_tags_->insert(line, busy);
+    if (victim.has_value()) {
+      evict_l2_victim(*victim, std::move(finish));
+      return;
+    }
+  }
+  finish();
+}
+
+void Directory::evict_l2_victim(LineId victim, std::function<void()> done) {
+  ++stats_.l2_evictions;
+  Entry& v = dir_[victim];
+  std::vector<CoreId> holders;
+  if (owner_holds_line(v) && v.owner >= 0) holders.push_back(v.owner);
+  for (CoreId c : v.sharers) {
+    if (std::find(holders.begin(), holders.end(), c) == holders.end()) holders.push_back(c);
+  }
+  v.st = LineSt::kUncached;
+  v.owner = -1;
+  v.sharers.clear();
+  v.touched = false;  // next access pays DRAM again
+  if (holders.empty()) {
+    done();
+    return;
+  }
+  auto remaining = std::make_shared<int>(static_cast<int>(holders.size()));
+  auto done_shared = std::make_shared<std::function<void()>>(std::move(done));
+  for (CoreId c : holders) {
+    ++stats_.msgs_inv;
+    ev_.schedule_in(topo_.home_to_core(victim, c), [this, victim, c, remaining, done_shared] {
+      cores_[static_cast<std::size_t>(c)]->back_invalidate(
+          victim, [this, victim, c, remaining, done_shared](bool dirty) {
+            ++stats_.msgs_ack;
+            if (dirty) ++stats_.msgs_wb;
+            ev_.schedule_in(topo_.core_to_home(c, victim), [remaining, done_shared] {
+              if (--*remaining == 0) (*done_shared)();
+            });
+          });
+    });
+  }
+}
+
+bool Directory::l2_resident(LineId line) const {
+  if (!l2_tags_) {
+    auto it = dir_.find(line);
+    return it != dir_.end() && it->second.touched;
+  }
+  return l2_tags_->present(line);
+}
+
+void Directory::complete(LineId line, const Req& req, LineSt result, bool exclusive_grant) {
+  if (tracer_) {
+    tracer_->emit(TraceEvent::kDirComplete, ev_.now(), -1, line,
+                  static_cast<std::uint64_t>(req.requester));
+  }
+  Entry& e = dir_[line];
+  switch (result) {
+    case LineSt::kModified:
+    case LineSt::kExclusive:
+      e.st = result;
+      e.owner = req.requester;
+      e.sharers.clear();
+      break;
+    case LineSt::kOwned:
+      // MOESI read of a dirty line: the old owner keeps the data in O; the
+      // requester joins as a sharer.
+      e.st = LineSt::kOwned;
+      add_sharer(e, req.requester);
+      break;
+    case LineSt::kShared: {
+      std::vector<CoreId> sharers;
+      if (owner_holds_line(e) && e.owner >= 0) {
+        sharers = e.sharers;         // O sharers survive the flush
+        sharers.push_back(e.owner);  // old owner was downgraded to S
+      } else if (e.st == LineSt::kShared) {
+        sharers = e.sharers;
+      }
+      e.st = LineSt::kShared;
+      e.sharers = std::move(sharers);
+      add_sharer(e, req.requester);
+      e.owner = -1;
+      break;
+    }
+    case LineSt::kUncached:
+      assert(false && "cannot complete to Uncached");
+      break;
+  }
+  e.touched = true;
+  // The requester installs the line and retires its instruction now.
+  req.on_done(exclusive_grant);
+  e.busy = false;
+  if (!e.queue.empty()) {
+    // Defer to a fresh event: keeps per-transaction callback chains shallow
+    // and preserves deterministic FIFO order.
+    ev_.schedule_in(0, [this, line] { begin_service(line); });
+  }
+}
+
+bool Directory::owner_holds_line(const Entry& e) {
+  return e.st == LineSt::kModified || e.st == LineSt::kExclusive || e.st == LineSt::kOwned;
+}
+
+void Directory::add_sharer(Entry& e, CoreId c) {
+  if (std::find(e.sharers.begin(), e.sharers.end(), c) == e.sharers.end()) e.sharers.push_back(c);
+}
+
+void Directory::eviction_notice(CoreId core, LineId line, EvictKind kind) {
+  auto it = dir_.find(line);
+  if (it == dir_.end()) return;
+  Entry& e = it->second;
+  switch (kind) {
+    case EvictKind::kDirty:
+      ++stats_.msgs_wb;
+      if (e.st == LineSt::kOwned && e.owner == core) {
+        // The O provider left; its sharers keep their S copies and the
+        // data now lives in L2.
+        e.st = e.sharers.empty() ? LineSt::kUncached : LineSt::kShared;
+        e.owner = -1;
+        break;
+      }
+      [[fallthrough]];
+    case EvictKind::kCleanExclusive:
+      if ((e.st == LineSt::kModified || e.st == LineSt::kExclusive) && e.owner == core) {
+        e.st = LineSt::kUncached;
+        e.owner = -1;
+      }
+      break;
+    case EvictKind::kShared:
+      e.sharers.erase(std::remove(e.sharers.begin(), e.sharers.end(), core), e.sharers.end());
+      break;
+  }
+}
+
+Directory::LineSt Directory::line_state(LineId line) const {
+  auto it = dir_.find(line);
+  return it == dir_.end() ? LineSt::kUncached : it->second.st;
+}
+
+CoreId Directory::owner_of(LineId line) const {
+  auto it = dir_.find(line);
+  return it == dir_.end() ? -1 : it->second.owner;
+}
+
+std::size_t Directory::queue_depth(LineId line) const {
+  auto it = dir_.find(line);
+  return it == dir_.end() ? 0 : it->second.queue.size();
+}
+
+bool Directory::has_sharer(LineId line, CoreId c) const {
+  auto it = dir_.find(line);
+  if (it == dir_.end()) return false;
+  const auto& s = it->second.sharers;
+  return std::find(s.begin(), s.end(), c) != s.end();
+}
+
+}  // namespace lrsim

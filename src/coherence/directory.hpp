@@ -1,0 +1,210 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// The shared L2 + directory slice of the simulated machine.
+//
+// Key modeling decision (DESIGN.md §5.1): the directory keeps an independent
+// FIFO request queue *per cache line* and services one transaction per line
+// at a time — exactly Assumption 1 of the paper, and what Graphite
+// implements ("The directory structure in Graphite implements a separate
+// request queue per cache line", Section 7). Proposition 1 (at most one
+// probe parked per core per line) holds by construction.
+//
+// Protocols: MSI (the paper's configuration) and MESI (Section 8 "Other
+// Protocols") — under MESI a sole reader is granted the clean-Exclusive
+// state and may upgrade to M silently; the directory tracks E and M owners
+// identically (it cannot observe the silent upgrade) and probes report
+// whether the line was actually dirty so writeback traffic is only charged
+// when real.
+//
+// Capacity model: the shared L2 is inclusive and modeled as unbounded; the
+// first touch of a line is charged a DRAM access. Private L1s are finite.
+// This keeps back-invalidation (which the paper never discusses and which
+// would interact with leases in unspecified ways) out of the model while
+// preserving all contention behaviour, which lives entirely in L1<->L1
+// transfers through the directory.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/config.hpp"
+#include "coherence/topology.hpp"
+#include "mem/memory.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/trace.hpp"
+#include "sim/stats.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+class CacheController;
+
+class Directory {
+ public:
+  enum class ReqType : std::uint8_t { kGetS, kGetX };
+
+  /// How a local L1 eviction leaves the line.
+  enum class EvictKind : std::uint8_t {
+    kShared,          ///< S victim (callers may skip notifying — lazy sharer lists).
+    kCleanExclusive,  ///< E victim: owner gone, nothing to write back.
+    kDirty,           ///< M victim: writeback message.
+  };
+
+  Directory(EventQueue& ev, SimMemory& mem, const MachineConfig& cfg, Stats& stats)
+      : ev_(ev), mem_(mem), cfg_(cfg), stats_(stats), topo_(cfg) {
+    if (cfg.l2_finite) l2_tags_ = std::make_unique<L2Tags>(cfg.l2_sets, cfg.l2_ways);
+  }
+
+  Directory(const Directory&) = delete;
+  Directory& operator=(const Directory&) = delete;
+
+  /// Wired by Machine: controller for each core, indexed by CoreId.
+  void attach_cores(std::vector<CacheController*> cores) { cores_ = std::move(cores); }
+
+  /// Optional tracing (Machine::enable_tracing). Null = off.
+  void set_tracer(Tracer* t) { tracer_ = t; }
+
+  /// A request arriving at the directory (the caller has already modeled
+  /// the core->directory network latency and counted the request message).
+  /// `on_done(exclusive)` fires at the cycle the data/ownership reaches the
+  /// requester; `exclusive` tells a GetS requester it received an E grant
+  /// (MESI sole-reader case). GetX grants always pass true.
+  ///
+  /// `is_lease_req` tags requests issued on behalf of a Lease instruction;
+  /// it is carried in the probe so the owning core can apply the Section 5
+  /// prioritization policy.
+  void request(CoreId requester, LineId line, ReqType type, bool is_lease_req,
+               std::function<void(bool exclusive)> on_done);
+
+  /// Synchronous bookkeeping for an L1 eviction. Dirty lines send a
+  /// writeback message; clean-exclusive victims just clear the owner;
+  /// Shared victims are dropped silently by the controller (the stale
+  /// sharer entry is lazily corrected when an invalidation finds the line
+  /// absent, as in real sparse directories).
+  void eviction_notice(CoreId core, LineId line, EvictKind kind);
+
+  // --- introspection (tests) ------------------------------------------------
+  enum class LineSt : std::uint8_t { kUncached, kShared, kExclusive, kOwned, kModified };
+  LineSt line_state(LineId line) const;
+  CoreId owner_of(LineId line) const;
+  std::size_t queue_depth(LineId line) const;
+  bool has_sharer(LineId line, CoreId c) const;
+
+  /// Peak per-line queue occupancy observed so far (Section 5 discusses
+  /// whether leases grow directory queues).
+  std::size_t peak_queue_depth() const noexcept { return peak_queue_depth_; }
+
+  /// Finite-L2 introspection: is the line currently resident in the L2?
+  /// Always true (conceptually) when the L2 is modeled as unbounded.
+  bool l2_resident(LineId line) const;
+
+ private:
+  struct Req {
+    CoreId requester;
+    ReqType type;
+    bool is_lease_req;
+    std::function<void(bool)> on_done;
+  };
+
+  struct Entry {
+    LineSt st = LineSt::kUncached;
+    CoreId owner = -1;            ///< Valid when st is kModified/kExclusive.
+    std::vector<CoreId> sharers;  ///< Valid when st == kShared (may contain stale cores).
+    std::deque<Req> queue;        ///< Per-line FIFO (Assumption 1).
+    bool busy = false;            ///< A transaction for this line is in flight.
+    bool touched = false;         ///< Line has been brought on-chip before.
+  };
+
+  /// Inclusive-L2 tag array for the optional finite-capacity model. Allows
+  /// transient overflow when every victim candidate has a transaction in
+  /// flight (documented in docs/PROTOCOL.md).
+  class L2Tags {
+   public:
+    L2Tags(int sets, int ways) : sets_(sets), ways_(ways), sets_vec_(static_cast<std::size_t>(sets)) {}
+
+    /// Records `line` as resident. Returns an LRU victim to evict if the
+    /// set exceeded capacity and a non-busy candidate exists.
+    std::optional<LineId> insert(LineId line, const std::function<bool(LineId)>& busy) {
+      auto& set = sets_vec_[index(line)];
+      for (auto& e : set) {
+        if (e.line == line) {
+          e.lru = ++tick_;
+          return std::nullopt;
+        }
+      }
+      set.push_back({line, ++tick_});
+      if (static_cast<int>(set.size()) <= ways_) return std::nullopt;
+      // Evict the LRU non-busy resident (never the just-inserted line).
+      std::size_t victim = set.size();
+      for (std::size_t i = 0; i + 1 < set.size(); ++i) {
+        if (busy(set[i].line)) continue;
+        if (victim == set.size() || set[i].lru < set[victim].lru) victim = i;
+      }
+      if (victim == set.size()) return std::nullopt;  // transient overflow
+      const LineId out = set[victim].line;
+      set.erase(set.begin() + static_cast<std::ptrdiff_t>(victim));
+      return out;
+    }
+
+    bool present(LineId line) const {
+      for (const auto& e : sets_vec_[index(line)]) {
+        if (e.line == line) return true;
+      }
+      return false;
+    }
+
+    void remove(LineId line) {
+      auto& set = sets_vec_[index(line)];
+      for (std::size_t i = 0; i < set.size(); ++i) {
+        if (set[i].line == line) {
+          set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+          return;
+        }
+      }
+    }
+
+   private:
+    struct Tag {
+      LineId line;
+      std::uint64_t lru;
+    };
+    std::size_t index(LineId line) const {
+      return static_cast<std::size_t>(line % static_cast<LineId>(sets_));
+    }
+    int sets_;
+    int ways_;
+    std::vector<std::vector<Tag>> sets_vec_;
+    std::uint64_t tick_ = 0;
+  };
+
+  /// Back-invalidates every L1 copy of an evicted L2 victim, then runs
+  /// `done` (inclusion maintenance; leases on the victim are force-released
+  /// by the controllers).
+  void evict_l2_victim(LineId victim, std::function<void()> done);
+
+  static bool owner_holds_line(const Entry& e);
+  void begin_service(LineId line);
+  void service(LineId line, Req req);
+  /// Finishes a transaction, setting the line to `result` for the
+  /// requester. `exclusive_grant` is forwarded to the requester's on_done.
+  void complete(LineId line, const Req& req, LineSt result, bool exclusive_grant);
+  void add_sharer(Entry& e, CoreId c);
+
+  EventQueue& ev_;
+  SimMemory& mem_;
+  const MachineConfig& cfg_;
+  Stats& stats_;
+  Topology topo_;
+  Tracer* tracer_ = nullptr;
+  std::vector<CacheController*> cores_;
+  std::unordered_map<LineId, Entry> dir_;
+  std::unique_ptr<L2Tags> l2_tags_;  ///< Null when the L2 is unbounded.
+  std::size_t peak_queue_depth_ = 0;
+};
+
+}  // namespace lrsim

@@ -1,0 +1,183 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Private per-core L1 data cache: finite, set-associative, LRU, with MSI
+// line states. The cache tracks *coherence state only* — data values live in
+// the canonical SimMemory store (see mem/memory.hpp for why that is sound).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace lrsim {
+
+/// Line states. MSI uses {I, S, M}; MESI additionally grants E
+/// (clean-exclusive) to a sole reader, letting it upgrade to M silently.
+/// Leases work identically in both (Section 8 "Other Protocols"): a leased
+/// line is held in E or M and probes are delayed until release.
+enum class LineState : std::uint8_t { I, S, E, O, M };
+
+/// True if the state permits local writes without a coherence transaction.
+constexpr bool is_exclusive(LineState s) noexcept {
+  return s == LineState::E || s == LineState::M;
+}
+
+/// True if this copy is responsible for the dirty data (writeback on evict).
+constexpr bool is_dirty(LineState s) noexcept {
+  return s == LineState::O || s == LineState::M;
+}
+
+/// Set-associative tag/state array with true-LRU replacement.
+class L1Cache {
+ public:
+  L1Cache(int sets, int ways) : sets_(sets), ways_(ways), array_(static_cast<std::size_t>(sets) * ways) {
+    assert(sets > 0 && (sets & (sets - 1)) == 0 && "set count must be a power of two");
+    assert(ways > 0);
+  }
+
+  LineState state(LineId line) const {
+    const Way* w = find(line);
+    return w ? w->state : LineState::I;
+  }
+
+  bool present(LineId line) const { return find(line) != nullptr; }
+
+  /// Marks `line` most-recently-used (call on every hit).
+  void touch(LineId line) {
+    if (Way* w = find(line)) w->lru = ++tick_;
+  }
+
+  /// A line displaced to make room for an install.
+  struct Victim {
+    LineId line;
+    LineState state;
+  };
+
+  /// Installs `line` with `st`, evicting the LRU non-pinned way if the set
+  /// is full. `pinned(l)` must return true for lines that may not be chosen
+  /// as victims (leased lines — the lease engine pins them).
+  ///
+  /// Returns the displaced victim, or nullopt if no eviction was needed.
+  /// Precondition: at least one way in the set is not pinned (the
+  /// controller force-releases a lease first if needed — see
+  /// CacheController::make_room).
+  std::optional<Victim> install(LineId line, LineState st, const std::function<bool(LineId)>& pinned) {
+    const std::size_t base = set_index(line) * static_cast<std::size_t>(ways_);
+    // Tag hit: just update state.
+    for (int i = 0; i < ways_; ++i) {
+      Way& w = array_[base + i];
+      if (w.state != LineState::I && w.line == line) {
+        w.state = st;
+        w.lru = ++tick_;
+        return std::nullopt;
+      }
+    }
+    // Prefer an invalid way.
+    for (int i = 0; i < ways_; ++i) {
+      Way& w = array_[base + i];
+      if (w.state == LineState::I) {
+        w = Way{line, st, ++tick_};
+        return std::nullopt;
+      }
+    }
+    // Evict LRU among non-pinned ways.
+    Way* victim = nullptr;
+    for (int i = 0; i < ways_; ++i) {
+      Way& w = array_[base + i];
+      if (pinned(w.line)) continue;
+      if (victim == nullptr || w.lru < victim->lru) victim = &w;
+    }
+    assert(victim != nullptr && "all ways pinned by leases; controller must force-release first");
+    Victim out{victim->line, victim->state};
+    *victim = Way{line, st, ++tick_};
+    return out;
+  }
+
+  /// Finds a pinned line in `line`'s set, if the set is entirely pinned
+  /// candidates. Used by the controller to pick a lease to force-release
+  /// when a set fills up with leased lines.
+  std::optional<LineId> any_pinned_in_set(LineId line, const std::function<bool(LineId)>& pinned) const {
+    const std::size_t base = set_index(line) * static_cast<std::size_t>(ways_);
+    for (int i = 0; i < ways_; ++i) {
+      const Way& w = array_[base + i];
+      if (w.state != LineState::I && pinned(w.line)) return w.line;
+    }
+    return std::nullopt;
+  }
+
+  /// True if installing `line` would require evicting and every candidate
+  /// way is pinned.
+  bool set_full_of_pinned(LineId line, const std::function<bool(LineId)>& pinned) const {
+    const std::size_t base = set_index(line) * static_cast<std::size_t>(ways_);
+    for (int i = 0; i < ways_; ++i) {
+      const Way& w = array_[base + i];
+      if (w.state != LineState::I && w.line == line) return false;  // tag hit
+      if (w.state == LineState::I) return false;
+      if (!pinned(w.line)) return false;
+    }
+    return true;
+  }
+
+  /// Drops `line` (external invalidation or local eviction bookkeeping).
+  void invalidate(LineId line) {
+    if (Way* w = find(line)) w->state = LineState::I;
+  }
+
+  /// External downgrade probe: M -> S (MSI/MESI writeback path), E -> S,
+  /// or M -> O under MOESI (`to_owned`); no-op if the line is absent.
+  void downgrade(LineId line, bool to_owned = false) {
+    Way* w = find(line);
+    if (w == nullptr) return;
+    if (w->state == LineState::M) {
+      w->state = to_owned ? LineState::O : LineState::S;
+    } else if (w->state == LineState::E || w->state == LineState::O) {
+      // Clean-exclusive drops to S; an O provider stays O on further reads
+      // unless explicitly flushed to S (non-MOESI call).
+      w->state = to_owned ? w->state : LineState::S;
+    }
+  }
+
+  int sets() const noexcept { return sets_; }
+  int ways() const noexcept { return ways_; }
+
+  std::size_t occupancy() const {
+    std::size_t n = 0;
+    for (const Way& w : array_)
+      if (w.state != LineState::I) ++n;
+    return n;
+  }
+
+ private:
+  struct Way {
+    LineId line = 0;
+    LineState state = LineState::I;
+    std::uint64_t lru = 0;
+  };
+
+  std::size_t set_index(LineId line) const noexcept {
+    return static_cast<std::size_t>(line) & static_cast<std::size_t>(sets_ - 1);
+  }
+
+  const Way* find(LineId line) const {
+    const std::size_t base = set_index(line) * static_cast<std::size_t>(ways_);
+    for (int i = 0; i < ways_; ++i) {
+      const Way& w = array_[base + i];
+      if (w.state != LineState::I && w.line == line) return &w;
+    }
+    return nullptr;
+  }
+  Way* find(LineId line) {
+    return const_cast<Way*>(static_cast<const L1Cache*>(this)->find(line));
+  }
+
+  int sets_;
+  int ways_;
+  std::vector<Way> array_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace lrsim

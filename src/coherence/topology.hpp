@@ -1,0 +1,60 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Network topology model. Graphite simulates a tiled chip with a 2D mesh
+// NoC and the directory banked across tiles; by default lrsim uses a flat
+// average latency (MachineConfig::net_latency), and this class optionally
+// replaces it with per-hop 2D-mesh latencies: messages between tile A and
+// tile B cost router + hop cycles per Manhattan hop, and each cache line's
+// directory bank lives on a home tile chosen by address interleaving.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "coherence/config.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+class Topology {
+ public:
+  explicit Topology(const MachineConfig& cfg)
+      : cfg_(&cfg), cores_(cfg.num_cores) {
+    side_ = 1;
+    while (side_ * side_ < cores_) ++side_;
+  }
+
+  /// Directory bank (home tile) of a line: static address interleaving.
+  CoreId home_of(LineId line) const noexcept {
+    return static_cast<CoreId>(line % static_cast<LineId>(cores_));
+  }
+
+  /// One-way message latency between two tiles.
+  Cycle latency(CoreId a, CoreId b) const noexcept {
+    if (!cfg_->mesh_topology) return cfg_->net_latency;
+    const int h = hops(a, b);
+    return cfg_->mesh_router_latency * static_cast<Cycle>(h + 1) +
+           cfg_->mesh_hop_latency * static_cast<Cycle>(h);
+  }
+
+  /// Latency from a core to the directory bank holding `line`.
+  Cycle core_to_home(CoreId c, LineId line) const noexcept { return latency(c, home_of(line)); }
+
+  /// Latency from `line`'s directory bank to a core.
+  Cycle home_to_core(LineId line, CoreId c) const noexcept { return latency(home_of(line), c); }
+
+  int hops(CoreId a, CoreId b) const noexcept {
+    const int ax = a % side_, ay = a / side_;
+    const int bx = b % side_, by = b / side_;
+    return std::abs(ax - bx) + std::abs(ay - by);
+  }
+
+  int side() const noexcept { return side_; }
+
+ private:
+  const MachineConfig* cfg_;
+  int cores_;
+  int side_;
+};
+
+}  // namespace lrsim

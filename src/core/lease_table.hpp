@@ -1,0 +1,316 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// The Lease/Release engine (the paper's primary contribution).
+//
+// One LeaseTable sits in each core's L1 controller. It implements the
+// semantics of Algorithm 1 (single-line Lease/Release) and the hardware side
+// of Algorithm 2 (MultiLease groups):
+//
+//  * at most MAX_NUM_LEASES entries; a new single lease past the bound
+//    FIFO-evicts (auto-releases) the oldest lease;
+//  * no lease extension: a Lease on an already-leased line is a no-op
+//    (footnote 1 of the paper — extension would break the MAX_LEASE_TIME
+//    bound);
+//  * each started lease expires after min(time, MAX_LEASE_TIME) cycles —
+//    an *involuntary* release;
+//  * an incoming coherence probe for a leased line is parked in the entry
+//    and serviced on release; by Proposition 1 (per-line FIFO service at
+//    the directory) at most one probe can ever be parked per line, which
+//    this class asserts;
+//  * group (MultiLease) entries share one timer that starts only when every
+//    line of the group has been granted; during the acquisition phase,
+//    probes for already-granted group lines are parked (the deadlock-freedom
+//    argument of Proposition 3 relies on the globally sorted acquisition
+//    order, which CacheController::cpu_multi_lease enforces);
+//  * optional priority mode (Section 5 "Prioritization"): a probe on behalf
+//    of a *regular* request breaks the lease instead of parking.
+//
+// Timers are cancellable events rather than per-cycle counters — this is
+// semantically identical to Algorithm 1's CLOCK-TICK decrement loop and
+// costs O(1) per lease.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/config.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+/// Why an entry left the lease table. Reported to stats and, for voluntary
+/// vs. involuntary, to the program (the Release return value enables the
+/// cheap-snapshot idiom of Section 5).
+enum class ReleaseKind : std::uint8_t {
+  kVoluntary,    ///< Release instruction before expiry.
+  kInvoluntary,  ///< Timer reached zero.
+  kEvicted,      ///< FIFO-evicted by a newer lease at MAX_NUM_LEASES.
+  kBroken,       ///< Broken by a priority ("regular") request.
+};
+
+class LeaseTable {
+ public:
+  LeaseTable(EventQueue& ev, Stats& stats, const MachineConfig& cfg)
+      : ev_(ev), stats_(stats), cfg_(cfg) {}
+
+  LeaseTable(const LeaseTable&) = delete;
+  LeaseTable& operator=(const LeaseTable&) = delete;
+
+  /// Begins tracking a lease on `line` for `duration` cycles (clamped to
+  /// MAX_LEASE_TIME). The lease is *not started* until on_granted(line) —
+  /// exclusive ownership — arrives. If the table is full, the oldest lease
+  /// is FIFO-evicted first (Algorithm 1 line 7).
+  ///
+  /// Returns false (no-op) if the line is already leased: leases cannot be
+  /// extended.
+  bool add(LineId line, Cycle duration, bool in_group = false) {
+    if (find(line) != nullptr) return false;
+    if (static_cast<int>(entries_.size()) >= cfg_.max_num_leases) {
+      remove(entries_.front().line, ReleaseKind::kEvicted);
+    }
+    Entry e;
+    e.line = line;
+    e.duration = std::min(duration, cfg_.max_lease_time);
+    e.in_group = in_group;
+    entries_.push_back(std::move(e));
+    ++stats_.leases_taken;
+    return true;
+  }
+
+  /// The controller obtained the line in Exclusive/Modified state. Starts
+  /// the countdown for single leases; group leases start jointly via
+  /// start_group() once the whole group is granted.
+  void on_granted(LineId line) {
+    Entry* e = find(line);
+    if (e == nullptr || e->granted) return;
+    e->granted = true;
+    if (!e->in_group) start_timer(*e);
+  }
+
+  /// True when every entry of the current group has been granted.
+  bool group_complete() const {
+    bool any = false;
+    for (const Entry& e : entries_) {
+      if (!e.in_group) continue;
+      any = true;
+      if (!e.granted) return false;
+    }
+    return any;
+  }
+
+  /// Starts the (joint) countdown of all group entries. All counters are
+  /// "allocated and started" together, as in Section 5's implementation
+  /// sketch.
+  void start_group() {
+    for (Entry& e : entries_) {
+      if (e.in_group && e.granted && !e.started) start_timer(e);
+    }
+  }
+
+  /// Voluntary release of one line. Returns true if the entry still existed
+  /// (i.e. the release really was voluntary); false means the lease had
+  /// already expired / been evicted — the involuntary-release signal used by
+  /// the cheap-snapshot idiom.
+  ///
+  /// For a group entry this releases the *entire* group (MultiRelease
+  /// semantics: "a release on any address in the group causes all the other
+  /// leases to be canceled").
+  bool release(LineId line) {
+    Entry* e = find(line);
+    if (e == nullptr) return false;
+    if (e->in_group) {
+      release_all_group();
+      return true;
+    }
+    remove(line, ReleaseKind::kVoluntary);
+    return true;
+  }
+
+  /// Releases every lease (ReleaseAll of Algorithm 2). Per the pseudocode,
+  /// this first deletes all entries, then services outstanding probes.
+  void release_all() {
+    std::vector<Entry> doomed;
+    doomed.swap(entries_);
+    for (Entry& e : doomed) retire(e, ReleaseKind::kVoluntary);
+    for (Entry& e : doomed) service_parked(e);
+  }
+
+  /// Called by the L1 controller when a coherence probe arrives for `line`.
+  /// If the line is leased (or mid-group-acquisition), parks `service` and
+  /// returns true; the probe runs at release/expiry. Returns false if the
+  /// probe should be serviced immediately — including the priority-mode
+  /// case where a regular request breaks the lease.
+  bool maybe_park_probe(LineId line, bool requestor_is_lease, std::function<void()> service) {
+    Entry* e = find(line);
+    if (e == nullptr || !e->granted) return false;
+    if (cfg_.lease_priority_mode && !requestor_is_lease) {
+      // Section 5 "Prioritization": the regular request automatically breaks
+      // the lease. Group entries drop the whole group, mirroring release().
+      if (e->in_group) {
+        release_all_group(ReleaseKind::kBroken);
+      } else {
+        remove(line, ReleaseKind::kBroken);
+      }
+      return false;
+    }
+    // Proposition 1: directory FIFO service per line means at most one
+    // probe can be outstanding at this core for this line.
+    assert(!e->parked_probe && "second probe parked for one line (violates Proposition 1)");
+    e->parked_probe = std::move(service);
+    e->parked_at = ev_.now();
+    ++stats_.probes_queued;
+    return true;
+  }
+
+  /// NACK-mode query (Section 5 protocol-correctness discussion): returns
+  /// true if a probe for `line` is currently blocked by a granted lease.
+  /// Applies the priority-break policy exactly like maybe_park_probe, but
+  /// never parks — the caller NACKs and retries instead.
+  bool blocks_probe(LineId line, bool requestor_is_lease) {
+    Entry* e = find(line);
+    if (e == nullptr || !e->granted) return false;
+    if (cfg_.lease_priority_mode && !requestor_is_lease) {
+      if (e->in_group) {
+        release_all_group(ReleaseKind::kBroken);
+      } else {
+        remove(line, ReleaseKind::kBroken);
+      }
+      return false;
+    }
+    return true;
+  }
+
+  /// Futility predictor (Section 5 "Speculative Execution"): true when the
+  /// line's recent leases keep expiring involuntarily and further leases
+  /// should be skipped. A voluntary release rehabilitates the line.
+  bool predicts_futile(LineId line) const {
+    if (!cfg_.lease_predictor) return false;
+    auto it = futility_.find(line);
+    return it != futility_.end() && it->second >= cfg_.predictor_threshold;
+  }
+
+  /// Forcibly releases a lease (controller uses this when an L1 set fills
+  /// with pinned lines and a victim is needed).
+  void force_release(LineId line) {
+    if (Entry* e = find(line)) {
+      if (e->in_group) {
+        release_all_group(ReleaseKind::kEvicted);
+      } else {
+        remove(line, ReleaseKind::kEvicted);
+      }
+    }
+  }
+
+  bool has(LineId line) const { return find(line) != nullptr; }
+
+  /// A granted lease pins its line in the L1 (it must stay in M state for
+  /// the duration; see CacheController victim selection).
+  bool pins(LineId line) const {
+    const Entry* e = find(line);
+    return e != nullptr && e->granted;
+  }
+
+  int size() const { return static_cast<int>(entries_.size()); }
+
+  bool has_group() const {
+    for (const Entry& e : entries_)
+      if (e.in_group) return true;
+    return false;
+  }
+
+ private:
+  struct Entry {
+    LineId line = 0;
+    Cycle duration = 0;
+    bool in_group = false;
+    bool granted = false;  ///< Exclusive ownership obtained ("transition to lease" done).
+    bool started = false;  ///< Countdown running.
+    EventHandle timer;
+    std::function<void()> parked_probe;
+    Cycle parked_at = 0;
+  };
+
+  const Entry* find(LineId line) const {
+    for (const Entry& e : entries_)
+      if (e.line == line) return &e;
+    return nullptr;
+  }
+  Entry* find(LineId line) { return const_cast<Entry*>(static_cast<const LeaseTable*>(this)->find(line)); }
+
+  void start_timer(Entry& e) {
+    e.started = true;
+    const LineId line = e.line;
+    e.timer = ev_.schedule_in(e.duration, [this, line] { remove(line, ReleaseKind::kInvoluntary); });
+  }
+
+  /// Removes the entry for `line`, accounts the release, and services any
+  /// parked probe.
+  void remove(LineId line, ReleaseKind kind) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->line != line) continue;
+      Entry e = std::move(*it);
+      entries_.erase(it);
+      retire(e, kind);
+      service_parked(e);
+      return;
+    }
+  }
+
+  /// Group-wide removal: delete all group entries first, then service their
+  /// probes (two-phase, as in Algorithm 2's ReleaseAll).
+  void release_all_group(ReleaseKind kind = ReleaseKind::kVoluntary) {
+    std::vector<Entry> doomed;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->in_group) {
+        doomed.push_back(std::move(*it));
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (Entry& e : doomed) retire(e, kind);
+    for (Entry& e : doomed) service_parked(e);
+  }
+
+  void retire(Entry& e, ReleaseKind kind) {
+    e.timer.cancel();
+    switch (kind) {
+      case ReleaseKind::kVoluntary:
+        ++stats_.releases_voluntary;
+        if (cfg_.lease_predictor) futility_[e.line] = 0;  // rehabilitated
+        break;
+      case ReleaseKind::kInvoluntary:
+        ++stats_.releases_involuntary;
+        if (cfg_.lease_predictor) ++futility_[e.line];
+        break;
+      case ReleaseKind::kEvicted:
+        ++stats_.releases_evicted;
+        break;
+      case ReleaseKind::kBroken:
+        ++stats_.releases_broken;
+        break;
+    }
+  }
+
+  void service_parked(Entry& e) {
+    if (!e.parked_probe) return;
+    stats_.probe_queued_cycles += ev_.now() - e.parked_at;
+    auto probe = std::move(e.parked_probe);
+    e.parked_probe = nullptr;
+    probe();
+  }
+
+  EventQueue& ev_;
+  Stats& stats_;
+  const MachineConfig& cfg_;
+  std::vector<Entry> entries_;  ///< Insertion order == FIFO age order.
+  std::unordered_map<LineId, int> futility_;  ///< Consecutive involuntary releases per line.
+};
+
+}  // namespace lrsim

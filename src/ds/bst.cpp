@@ -1,0 +1,165 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+
+#include "ds/bst.hpp"
+
+namespace lrsim {
+
+ExternalBst::ExternalBst(Machine& m, BstOptions opt) : m_(m), opt_(opt) {
+  if (opt_.lease_time == 0) opt_.lease_time = m.config().max_lease_time;
+  // Sentinel construction (Ellen et al.): root is internal with key inf2;
+  // its children are leaves inf1 (left) and inf2 (right). All real keys
+  // route into the left subtree.
+  const Addr l1 = alloc_leaf(kInf1);
+  const Addr l2 = alloc_leaf(kInf2);
+  root_ = alloc_internal(kInf2, l1, l2);
+}
+
+Addr ExternalBst::alloc_leaf(std::uint64_t key) {
+  const Addr n = m_.heap().alloc_line(48);
+  m_.memory().write(n + kKeyOff, key);
+  m_.memory().write(n + kIsLeafOff, 1);
+  m_.memory().write(n + kLeftOff, 0);
+  m_.memory().write(n + kRightOff, 0);
+  m_.memory().write(n + kLockOff, 0);
+  m_.memory().write(n + kRemovedOff, 0);
+  return n;
+}
+
+Addr ExternalBst::alloc_internal(std::uint64_t key, Addr left, Addr right) {
+  const Addr n = m_.heap().alloc_line(48);
+  m_.memory().write(n + kKeyOff, key);
+  m_.memory().write(n + kIsLeafOff, 0);
+  m_.memory().write(n + kLeftOff, left);
+  m_.memory().write(n + kRightOff, right);
+  m_.memory().write(n + kLockOff, 0);
+  m_.memory().write(n + kRemovedOff, 0);
+  return n;
+}
+
+Task<void> ExternalBst::node_lock(Ctx& ctx, Addr node) {
+  if (opt_.use_lease) co_await ctx.lease(node + kLockOff, opt_.lease_time);
+  while (true) {
+    const std::uint64_t old = co_await ctx.xchg(node + kLockOff, 1);
+    if (old == 0) co_return;
+    if (opt_.use_lease) co_await ctx.release(node + kLockOff);
+    while (co_await ctx.load(node + kLockOff) != 0) {
+    }
+    if (opt_.use_lease) co_await ctx.lease(node + kLockOff, opt_.lease_time);
+  }
+}
+
+Task<void> ExternalBst::node_unlock(Ctx& ctx, Addr node) {
+  co_await ctx.store(node + kLockOff, 0);
+  if (opt_.use_lease) co_await ctx.release(node + kLockOff);
+}
+
+Task<ExternalBst::SearchResult> ExternalBst::search(Ctx& ctx, std::uint64_t key) {
+  SearchResult r{0, root_, 0};
+  Addr curr = co_await ctx.load(root_ + kLeftOff);
+  while (true) {
+    const std::uint64_t is_leaf = co_await ctx.load(curr + kIsLeafOff);
+    if (is_leaf) {
+      r.leaf = curr;
+      co_return r;
+    }
+    r.gparent = r.parent;
+    r.parent = curr;
+    const std::uint64_t ck = co_await ctx.load(curr + kKeyOff);
+    curr = co_await ctx.load(curr + (key < ck ? kLeftOff : kRightOff));
+  }
+}
+
+Task<bool> ExternalBst::insert(Ctx& ctx, std::uint64_t key) {
+  while (true) {
+    SearchResult r = co_await search(ctx, key);
+    const std::uint64_t leaf_key = co_await ctx.load(r.leaf + kKeyOff);
+    if (leaf_key == key) {
+      ctx.count_op();
+      co_return false;
+    }
+    co_await node_lock(ctx, r.parent);
+    // Validate: parent not removed and still points at the leaf.
+    const std::uint64_t removed = co_await ctx.load(r.parent + kRemovedOff);
+    const std::uint64_t pk = co_await ctx.load(r.parent + kKeyOff);
+    const Addr side = r.parent + (key < pk ? kLeftOff : kRightOff);
+    const Addr child = co_await ctx.load(side);
+    if (removed != 0 || child != r.leaf) {
+      co_await node_unlock(ctx, r.parent);
+      continue;
+    }
+    const Addr new_leaf = alloc_leaf(key);
+    const std::uint64_t max_key = std::max(key, leaf_key);
+    const Addr new_internal =
+        key < leaf_key ? alloc_internal(max_key, new_leaf, r.leaf)
+                       : alloc_internal(max_key, r.leaf, new_leaf);
+    // Touch the new nodes through the ISA so their lines are owned (and the
+    // allocation cost is modeled) before publication.
+    co_await ctx.store(new_internal + kKeyOff, max_key);
+    co_await ctx.store(side, new_internal);
+    co_await node_unlock(ctx, r.parent);
+    ctx.count_op();
+    co_return true;
+  }
+}
+
+Task<bool> ExternalBst::remove(Ctx& ctx, std::uint64_t key) {
+  while (true) {
+    SearchResult r = co_await search(ctx, key);
+    const std::uint64_t leaf_key = co_await ctx.load(r.leaf + kKeyOff);
+    if (leaf_key != key) {
+      ctx.count_op();
+      co_return false;
+    }
+    // Lock grandparent then parent (top-down, same order everywhere).
+    co_await node_lock(ctx, r.gparent);
+    co_await node_lock(ctx, r.parent);
+    const std::uint64_t g_removed = co_await ctx.load(r.gparent + kRemovedOff);
+    const std::uint64_t p_removed = co_await ctx.load(r.parent + kRemovedOff);
+    const std::uint64_t gk = co_await ctx.load(r.gparent + kKeyOff);
+    const Addr g_side = r.gparent + (key < gk ? kLeftOff : kRightOff);
+    const Addr g_child = co_await ctx.load(g_side);
+    const std::uint64_t pk = co_await ctx.load(r.parent + kKeyOff);
+    const Addr p_side = r.parent + (key < pk ? kLeftOff : kRightOff);
+    const Addr p_other = r.parent + (key < pk ? kRightOff : kLeftOff);
+    const Addr p_child = co_await ctx.load(p_side);
+    if (g_removed != 0 || p_removed != 0 || g_child != r.parent || p_child != r.leaf) {
+      co_await node_unlock(ctx, r.parent);
+      co_await node_unlock(ctx, r.gparent);
+      continue;
+    }
+    const Addr sibling = co_await ctx.load(p_other);
+    co_await ctx.store(r.parent + kRemovedOff, 1);
+    co_await ctx.store(r.leaf + kRemovedOff, 1);
+    co_await ctx.store(g_side, sibling);
+    co_await node_unlock(ctx, r.parent);
+    co_await node_unlock(ctx, r.gparent);
+    ctx.count_op();
+    co_return true;
+  }
+}
+
+Task<bool> ExternalBst::contains(Ctx& ctx, std::uint64_t key) {
+  SearchResult r = co_await search(ctx, key);
+  const std::uint64_t leaf_key = co_await ctx.load(r.leaf + kKeyOff);
+  ctx.count_op();
+  co_return leaf_key == key;
+}
+
+void ExternalBst::snapshot_rec(Addr node, std::vector<std::uint64_t>& out) const {
+  if (node == 0) return;
+  if (m_.memory().read(node + kIsLeafOff) != 0) {
+    const std::uint64_t k = m_.memory().read(node + kKeyOff);
+    if (k < kInf1) out.push_back(k);
+    return;
+  }
+  snapshot_rec(m_.memory().read(node + kLeftOff), out);
+  snapshot_rec(m_.memory().read(node + kRightOff), out);
+}
+
+std::vector<std::uint64_t> ExternalBst::snapshot() const {
+  std::vector<std::uint64_t> out;
+  snapshot_rec(root_, out);
+  return out;
+}
+
+}  // namespace lrsim

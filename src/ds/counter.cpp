@@ -1,0 +1,69 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+
+#include "ds/counter.hpp"
+
+namespace lrsim {
+
+LockedCounter::LockedCounter(Machine& m, CounterLockKind kind, Cycle cs_work)
+    : m_(m), kind_(kind), cs_work_(cs_work), counter_(m.heap().alloc_line()) {
+  m.memory().write(counter_, 0);
+  switch (kind_) {
+    case CounterLockKind::kTTS:
+      tts_ = std::make_unique<TTSLock>(m, LockOptions{.use_lease = false});
+      break;
+    case CounterLockKind::kTTSLease:
+      tts_ = std::make_unique<TTSLock>(m, LockOptions{.use_lease = true});
+      break;
+    case CounterLockKind::kTicket:
+      // Linear (proportional) backoff, as in the paper's ticket-lock baseline.
+      ticket_ = std::make_unique<TicketLock>(m, /*backoff_slope=*/64);
+      break;
+    case CounterLockKind::kCLH:
+      clh_ = std::make_unique<CLHLock>(m);
+      break;
+    case CounterLockKind::kMCS:
+      mcs_ = std::make_unique<MCSLock>(m);
+      break;
+  }
+}
+
+Task<void> LockedCounter::increment(Ctx& ctx) {
+  switch (kind_) {
+    case CounterLockKind::kTTS:
+    case CounterLockKind::kTTSLease:
+      co_await tts_->lock(ctx);
+      break;
+    case CounterLockKind::kTicket:
+      co_await ticket_->lock(ctx);
+      break;
+    case CounterLockKind::kCLH:
+      co_await clh_->lock(ctx);
+      break;
+    case CounterLockKind::kMCS:
+      co_await mcs_->lock(ctx);
+      break;
+  }
+
+  const std::uint64_t v = co_await ctx.load(counter_);
+  if (cs_work_ > 0) co_await ctx.work(cs_work_);
+  co_await ctx.store(counter_, v + 1);
+
+  switch (kind_) {
+    case CounterLockKind::kTTS:
+    case CounterLockKind::kTTSLease:
+      co_await tts_->unlock(ctx);
+      break;
+    case CounterLockKind::kTicket:
+      co_await ticket_->unlock(ctx);
+      break;
+    case CounterLockKind::kCLH:
+      co_await clh_->unlock(ctx);
+      break;
+    case CounterLockKind::kMCS:
+      co_await mcs_->unlock(ctx);
+      break;
+  }
+  ctx.count_op();
+}
+
+}  // namespace lrsim

@@ -1,0 +1,46 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// The lock-based shared counter of Figure 3 (left): one contended lock
+// protecting a counter variable. Variants select the lock implementation —
+// TTS (with or without a lease around the critical section), ticket lock
+// with linear backoff, and CLH queue lock — matching the paper's comparison
+// set ("optimized hierarchical ticket locks and CLH queue locks").
+#pragma once
+
+#include <memory>
+
+#include "runtime/machine.hpp"
+#include "runtime/task.hpp"
+#include "sync/locks.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+enum class CounterLockKind { kTTS, kTTSLease, kTicket, kCLH, kMCS };
+
+class LockedCounter {
+ public:
+  /// `cs_work` adds fixed local computation inside the critical section
+  /// (cycles), modeling a non-trivial protected region.
+  LockedCounter(Machine& m, CounterLockKind kind, Cycle cs_work = 0);
+
+  /// Locks, increments, unlocks; counts one op.
+  Task<void> increment(Ctx& ctx);
+
+  /// Functional read for oracles.
+  std::uint64_t value() const { return m_.memory().read(counter_); }
+
+  Addr counter_addr() const noexcept { return counter_; }
+
+ private:
+  Machine& m_;
+  CounterLockKind kind_;
+  Cycle cs_work_;
+  Addr counter_;
+  std::unique_ptr<TTSLock> tts_;
+  std::unique_ptr<TicketLock> ticket_;
+  std::unique_ptr<CLHLock> clh_;
+  std::unique_ptr<MCSLock> mcs_;
+};
+
+}  // namespace lrsim

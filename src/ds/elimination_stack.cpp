@@ -1,0 +1,123 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+
+#include "ds/elimination_stack.hpp"
+
+namespace lrsim {
+
+namespace {
+constexpr std::uint64_t kEmpty = 0;
+constexpr std::uint64_t kTaken = 2;
+constexpr std::uint64_t pusher_word(std::uint64_t v) { return (v << 2) | 1; }
+constexpr bool is_pusher(std::uint64_t w) { return (w & 3) == 1; }
+constexpr std::uint64_t pusher_value(std::uint64_t w) { return w >> 2; }
+}  // namespace
+
+EliminationStack::EliminationStack(Machine& m, EliminationOptions opt)
+    : m_(m), opt_(opt), head_(m.heap().alloc_line()) {
+  m.memory().write(head_, 0);
+  for (std::size_t i = 0; i < opt_.slots; ++i) {
+    slots_.push_back(m.heap().alloc_line());
+    m.memory().write(slots_.back(), kEmpty);
+  }
+}
+
+Task<bool> EliminationStack::try_push_cas(Ctx& ctx, Addr node) {
+  const Addr h = co_await ctx.load(head_);
+  co_await ctx.store(node + kNextOff, h);
+  co_return co_await ctx.cas(head_, h, node);
+}
+
+Task<std::optional<std::uint64_t>> EliminationStack::try_pop_cas(Ctx& ctx, bool* empty) {
+  *empty = false;
+  const Addr h = co_await ctx.load(head_);
+  if (h == 0) {
+    *empty = true;
+    co_return std::nullopt;
+  }
+  const Addr n = co_await ctx.load(h + kNextOff);
+  const std::uint64_t v = co_await ctx.load(h + kValueOff);
+  const bool ok = co_await ctx.cas(head_, h, n);
+  if (ok) co_return v;
+  co_return std::nullopt;
+}
+
+Task<bool> EliminationStack::eliminate_push(Ctx& ctx, std::uint64_t v) {
+  const Addr slot = slots_[ctx.rng().next_below(slots_.size())];
+  const bool claimed = co_await ctx.cas(slot, kEmpty, pusher_word(v));
+  if (!claimed) co_return false;  // slot busy: go back to the stack
+  co_await ctx.work(opt_.wait);   // park, waiting for a popper
+  // Try to withdraw the offer; failure means a popper took it.
+  const bool withdrawn = co_await ctx.cas(slot, pusher_word(v), kEmpty);
+  if (withdrawn) co_return false;
+  // The popper left the taken marker: clear it and report success.
+  co_await ctx.store(slot, kEmpty);
+  ++eliminations_;
+  co_return true;
+}
+
+Task<std::optional<std::uint64_t>> EliminationStack::eliminate_pop(Ctx& ctx) {
+  const Addr slot = slots_[ctx.rng().next_below(slots_.size())];
+  for (int i = 0; i < opt_.spin_checks; ++i) {
+    const std::uint64_t w = co_await ctx.load(slot);
+    if (is_pusher(w)) {
+      const bool took = co_await ctx.cas(slot, w, kTaken);
+      if (took) {
+        ++eliminations_;
+        co_return pusher_value(w);
+      }
+    }
+    co_await ctx.work(opt_.wait / static_cast<Cycle>(opt_.spin_checks));
+  }
+  co_return std::nullopt;
+}
+
+Task<void> EliminationStack::push(Ctx& ctx, std::uint64_t v) {
+  const Addr node = m_.heap().alloc_line(16);
+  co_await ctx.store(node + kValueOff, v);
+  while (true) {
+    const bool ok = co_await try_push_cas(ctx, node);
+    if (ok) {
+      ctx.count_op();
+      co_return;
+    }
+    // Contention: try to hand the value to a concurrent popper instead.
+    const bool eliminated = co_await eliminate_push(ctx, v);
+    if (eliminated) {
+      ctx.count_op();
+      co_return;
+    }
+  }
+}
+
+Task<std::optional<std::uint64_t>> EliminationStack::pop(Ctx& ctx) {
+  while (true) {
+    bool empty = false;
+    std::optional<std::uint64_t> v = co_await try_pop_cas(ctx, &empty);
+    if (v.has_value()) {
+      ctx.count_op();
+      co_return v;
+    }
+    if (empty) {
+      // Give elimination one chance before reporting empty (a waiting
+      // pusher's value is logically in the stack).
+      std::optional<std::uint64_t> ev = co_await eliminate_pop(ctx);
+      ctx.count_op();
+      co_return ev;
+    }
+    std::optional<std::uint64_t> ev = co_await eliminate_pop(ctx);
+    if (ev.has_value()) {
+      ctx.count_op();
+      co_return ev;
+    }
+  }
+}
+
+std::vector<std::uint64_t> EliminationStack::snapshot() const {
+  std::vector<std::uint64_t> out;
+  for (Addr p = m_.memory().read(head_); p != 0; p = m_.memory().read(p + kNextOff)) {
+    out.push_back(m_.memory().read(p + kValueOff));
+  }
+  return out;
+}
+
+}  // namespace lrsim

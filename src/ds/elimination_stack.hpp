@@ -1,0 +1,62 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Elimination-backoff stack [Hendler, Shavit, Yerushalmi 2004; the paper's
+// reference [39] is the elimination-tree precursor]: a Treiber stack whose
+// CAS failures divert into an elimination array where concurrent push/pop
+// pairs cancel out without ever touching the hot head pointer.
+//
+// This is one of the "complex, highly optimized software techniques" the
+// paper compares leases against (Section 7: lease-augmented classic designs
+// "match or improve the performance of optimized, complex implementations").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "runtime/machine.hpp"
+#include "runtime/task.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+struct EliminationOptions {
+  std::size_t slots = 4;     ///< Elimination array width.
+  Cycle wait = 400;          ///< Cycles a pusher parks in a slot.
+  int spin_checks = 4;       ///< Polls a popper makes while matching.
+};
+
+/// Slot word encoding: 0 = empty; (value<<2)|1 = waiting pusher;
+/// 2 = "taken" marker left for the pusher by the matching popper.
+class EliminationStack {
+ public:
+  EliminationStack(Machine& m, EliminationOptions opt = {});
+
+  Task<void> push(Ctx& ctx, std::uint64_t v);
+  Task<std::optional<std::uint64_t>> pop(Ctx& ctx);
+
+  std::vector<std::uint64_t> snapshot() const;
+
+  /// Host-side counters (diagnostics / tests).
+  std::uint64_t eliminations() const noexcept { return eliminations_; }
+
+ private:
+  Task<bool> try_push_cas(Ctx& ctx, Addr node);
+  Task<std::optional<std::uint64_t>> try_pop_cas(Ctx& ctx, bool* empty);
+
+  /// Pusher-side elimination: park `v` in a random slot; true if a popper
+  /// took it.
+  Task<bool> eliminate_push(Ctx& ctx, std::uint64_t v);
+  /// Popper-side elimination: scan one random slot for a waiting pusher.
+  Task<std::optional<std::uint64_t>> eliminate_pop(Ctx& ctx);
+
+  static constexpr Addr kValueOff = 0;
+  static constexpr Addr kNextOff = 8;
+
+  Machine& m_;
+  EliminationOptions opt_;
+  Addr head_;
+  std::vector<Addr> slots_;  ///< One cache line each.
+  std::uint64_t eliminations_ = 0;
+};
+
+}  // namespace lrsim

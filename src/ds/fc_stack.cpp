@@ -1,0 +1,109 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+
+#include "ds/fc_stack.hpp"
+
+namespace lrsim {
+
+namespace {
+constexpr std::uint64_t kIdle = 0;
+constexpr std::uint64_t kPendingPush = 1;
+constexpr std::uint64_t kPendingPop = 2;
+constexpr std::uint64_t kDone = 3;
+}  // namespace
+
+FcStack::FcStack(Machine& m, FcOptions opt)
+    : m_(m), opt_(opt), lock_(m, LockOptions{.use_lease = false}), head_(m.heap().alloc_line()) {
+  m.memory().write(head_, 0);
+  records_.reserve(static_cast<std::size_t>(opt_.max_threads));
+  for (int i = 0; i < opt_.max_threads; ++i) {
+    records_.push_back(m.heap().alloc_line(24));
+    m.memory().write(records_.back() + kReqOff, kIdle);
+  }
+}
+
+Task<void> FcStack::publish_and_wait(Ctx& ctx, std::uint64_t request, std::uint64_t arg) {
+  const Addr rec = record_of(ctx.core());
+  co_await ctx.store(rec + kValOff, arg);
+  co_await ctx.store(rec + kReqOff, request);
+  while (true) {
+    // Response ready?
+    const std::uint64_t st = co_await ctx.load(rec + kReqOff);
+    if (st == kDone) {
+      co_await ctx.store(rec + kReqOff, kIdle);
+      co_return;
+    }
+    // Try to become the combiner; a failed attempt just polls again.
+    const bool got = co_await lock_.try_lock(ctx);
+    if (got) {
+      co_await combine(ctx);
+      co_await lock_.unlock(ctx);
+      // Our own record was serviced by our combining pass.
+      const std::uint64_t st2 = co_await ctx.load(rec + kReqOff);
+      if (st2 == kDone) {
+        co_await ctx.store(rec + kReqOff, kIdle);
+        co_return;
+      }
+      continue;
+    }
+    co_await ctx.work(opt_.poll_wait);
+  }
+}
+
+Task<void> FcStack::combine(Ctx& ctx) {
+  ++passes_;
+  // Scan every publication record and apply pending ops to the sequential
+  // stack. The scan itself is the flat-combining cost model: one pass of
+  // reads over the records replaces per-op CAS storms on the head.
+  const int n = std::min(opt_.max_threads, ctx.config().num_cores);
+  for (int i = 0; i < n; ++i) {
+    const Addr rec = records_[static_cast<std::size_t>(i)];
+    const std::uint64_t st = co_await ctx.load(rec + kReqOff);
+    if (st == kPendingPush) {
+      const std::uint64_t v = co_await ctx.load(rec + kValOff);
+      const Addr node = m_.heap().alloc_line(16);
+      co_await ctx.store(node + kNodeValue, v);
+      const Addr h = co_await ctx.load(head_);
+      co_await ctx.store(node + kNodeNext, h);
+      co_await ctx.store(head_, node);
+      co_await ctx.store(rec + kReqOff, kDone);
+      ++combined_;
+    } else if (st == kPendingPop) {
+      const Addr h = co_await ctx.load(head_);
+      if (h == 0) {
+        co_await ctx.store(rec + kHasOff, 0);
+      } else {
+        const std::uint64_t v = co_await ctx.load(h + kNodeValue);
+        const Addr next = co_await ctx.load(h + kNodeNext);
+        co_await ctx.store(head_, next);
+        co_await ctx.store(rec + kValOff, v);
+        co_await ctx.store(rec + kHasOff, 1);
+      }
+      co_await ctx.store(rec + kReqOff, kDone);
+      ++combined_;
+    }
+  }
+}
+
+Task<void> FcStack::push(Ctx& ctx, std::uint64_t v) {
+  co_await publish_and_wait(ctx, kPendingPush, v);
+  ctx.count_op();
+}
+
+Task<std::optional<std::uint64_t>> FcStack::pop(Ctx& ctx) {
+  co_await publish_and_wait(ctx, kPendingPop, 0);
+  const Addr rec = record_of(ctx.core());
+  const std::uint64_t has = co_await ctx.load(rec + kHasOff);
+  ctx.count_op();
+  if (has == 0) co_return std::nullopt;
+  co_return co_await ctx.load(rec + kValOff);
+}
+
+std::vector<std::uint64_t> FcStack::snapshot() const {
+  std::vector<std::uint64_t> out;
+  for (Addr p = m_.memory().read(head_); p != 0; p = m_.memory().read(p + kNodeNext)) {
+    out.push_back(m_.memory().read(p + kNodeValue));
+  }
+  return out;
+}
+
+}  // namespace lrsim

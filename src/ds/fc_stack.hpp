@@ -1,0 +1,67 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Flat-combining stack [Hendler, Incze, Shavit, Tzafrir — SPAA'10, the
+// paper's reference [18]]: threads publish operations in per-thread
+// records; whoever wins a global lock becomes the *combiner* and applies
+// every pending operation to a sequential stack, so a burst of N ops costs
+// one lock handoff instead of N contended CASes.
+//
+// Part of the Section 7 "optimized software techniques" comparison set.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "runtime/machine.hpp"
+#include "runtime/task.hpp"
+#include "sync/locks.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+struct FcOptions {
+  int max_threads = 64;   ///< Publication slots (indexed by core id).
+  Cycle poll_wait = 60;   ///< Waiter poll interval on its record.
+};
+
+/// Publication record (one line per thread):
+///   word 0: request state — 0 idle, 1 pending-push, 2 pending-pop,
+///           3 done (response ready)
+///   word 1: argument / response value
+///   word 2: response flag — for pops, 1 if a value was returned
+class FcStack {
+ public:
+  FcStack(Machine& m, FcOptions opt = {});
+
+  Task<void> push(Ctx& ctx, std::uint64_t v);
+  Task<std::optional<std::uint64_t>> pop(Ctx& ctx);
+
+  std::vector<std::uint64_t> snapshot() const;
+
+  /// Host-side diagnostics: how many combining passes ran and how many ops
+  /// they batched.
+  std::uint64_t combining_passes() const noexcept { return passes_; }
+  std::uint64_t combined_ops() const noexcept { return combined_; }
+
+ private:
+  Task<void> publish_and_wait(Ctx& ctx, std::uint64_t request, std::uint64_t arg);
+  Task<void> combine(Ctx& ctx);
+
+  static constexpr Addr kReqOff = 0;
+  static constexpr Addr kValOff = 8;
+  static constexpr Addr kHasOff = 16;
+  static constexpr Addr kNodeValue = 0;
+  static constexpr Addr kNodeNext = 8;
+
+  Addr record_of(CoreId c) const { return records_[static_cast<std::size_t>(c)]; }
+
+  Machine& m_;
+  FcOptions opt_;
+  TTSLock lock_;                ///< The combiner lock.
+  Addr head_;                   ///< Sequential stack head (combiner-only).
+  std::vector<Addr> records_;   ///< Publication record per core.
+  std::uint64_t passes_ = 0;
+  std::uint64_t combined_ = 0;
+};
+
+}  // namespace lrsim

@@ -1,0 +1,124 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+
+#include "ds/harris_list.hpp"
+
+namespace lrsim {
+
+namespace {
+constexpr Addr kKeyOff = 0;
+constexpr Addr kNextOff = 8;
+constexpr std::uint64_t kTailKey = ~0ull;
+}  // namespace
+
+HarrisList::HarrisList(Machine& m, HarrisOptions opt) : m_(m), opt_(opt) {
+  if (opt_.lease_time == 0) opt_.lease_time = m.config().max_lease_time;
+  head_ = m.heap().alloc_line(16);
+  tail_ = m.heap().alloc_line(16);
+  m.memory().write(head_ + kKeyOff, 0);
+  m.memory().write(head_ + kNextOff, tail_);
+  m.memory().write(tail_ + kKeyOff, kTailKey);
+  m.memory().write(tail_ + kNextOff, 0);
+}
+
+Task<HarrisList::Window> HarrisList::search(Ctx& ctx, std::uint64_t key) {
+  while (true) {
+    Addr pred = head_;
+    std::uint64_t pred_next = co_await ctx.load(pred + kNextOff);
+    Addr curr = ptr(pred_next);
+    bool restart = false;
+    while (true) {
+      std::uint64_t curr_next = co_await ctx.load(curr + kNextOff);
+      while (marked(curr_next)) {
+        // curr is logically deleted: help unlink it from pred.
+        const bool ok = co_await ctx.cas(pred + kNextOff, curr, ptr(curr_next));
+        if (!ok) {
+          restart = true;
+          break;
+        }
+        curr = ptr(curr_next);
+        curr_next = co_await ctx.load(curr + kNextOff);
+      }
+      if (restart) break;
+      const std::uint64_t ck = co_await ctx.load(curr + kKeyOff);
+      if (ck >= key || curr == tail_) co_return Window{pred, curr};
+      pred = curr;
+      curr = ptr(curr_next);
+    }
+  }
+}
+
+Task<bool> HarrisList::insert(Ctx& ctx, std::uint64_t key) {
+  const Addr node = m_.heap().alloc_line(16);
+  co_await ctx.store(node + kKeyOff, key);
+  while (true) {
+    // The paper's recipe for linear structures leases the *predecessor*,
+    // which is only known after the search: search first, then lease the
+    // pred line; the CAS re-validates the window.
+    Window w = co_await search(ctx, key);
+    const std::uint64_t ck = co_await ctx.load(w.curr + kKeyOff);
+    if (ck == key && w.curr != tail_) {
+      ctx.count_op();
+      co_return false;  // already present
+    }
+    if (opt_.use_lease) co_await ctx.lease(w.pred + kNextOff, opt_.lease_time);
+    co_await ctx.store(node + kNextOff, w.curr);
+    const bool ok = co_await ctx.cas(w.pred + kNextOff, w.curr, node);
+    if (opt_.use_lease) co_await ctx.release(w.pred + kNextOff);
+    if (ok) {
+      ctx.count_op();
+      co_return true;
+    }
+  }
+}
+
+Task<bool> HarrisList::remove(Ctx& ctx, std::uint64_t key) {
+  while (true) {
+    Window w = co_await search(ctx, key);
+    const std::uint64_t ck = co_await ctx.load(w.curr + kKeyOff);
+    if (ck != key || w.curr == tail_) {
+      ctx.count_op();
+      co_return false;
+    }
+    if (opt_.use_lease) co_await ctx.lease(w.curr + kNextOff, opt_.lease_time);
+    const std::uint64_t succ = co_await ctx.load(w.curr + kNextOff);
+    if (marked(succ)) {
+      if (opt_.use_lease) co_await ctx.release(w.curr + kNextOff);
+      continue;  // someone else is deleting curr
+    }
+    // Logical delete: mark curr's next pointer.
+    const bool marked_ok = co_await ctx.cas(w.curr + kNextOff, succ, succ | kMark);
+    if (opt_.use_lease) co_await ctx.release(w.curr + kNextOff);
+    if (!marked_ok) continue;
+    // Physical unlink (best effort; search() helps if this fails).
+    co_await ctx.cas(w.pred + kNextOff, w.curr, succ);
+    ctx.count_op();
+    co_return true;
+  }
+}
+
+Task<bool> HarrisList::contains(Ctx& ctx, std::uint64_t key) {
+  // Wait-free read-only traversal (Michael's variant of the lookup).
+  Addr curr = ptr(co_await ctx.load(head_ + kNextOff));
+  while (true) {
+    const std::uint64_t ck = co_await ctx.load(curr + kKeyOff);
+    if (ck >= key || curr == tail_) {
+      const std::uint64_t next = co_await ctx.load(curr + kNextOff);
+      ctx.count_op();
+      co_return ck == key && curr != tail_ && !marked(next);
+    }
+    curr = ptr(co_await ctx.load(curr + kNextOff));
+  }
+}
+
+std::vector<std::uint64_t> HarrisList::snapshot() const {
+  std::vector<std::uint64_t> out;
+  Addr curr = ptr(m_.memory().read(head_ + kNextOff));
+  while (curr != tail_) {
+    const std::uint64_t next = m_.memory().read(curr + kNextOff);
+    if (!marked(next)) out.push_back(m_.memory().read(curr + kKeyOff));
+    curr = ptr(next);
+  }
+  return out;
+}
+
+}  // namespace lrsim

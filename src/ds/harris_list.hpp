@@ -1,0 +1,60 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Harris's lock-free sorted linked list [DISC'01] over the simulated ISA.
+//
+// Deleted nodes are *logically* marked by setting the low bit of their next
+// pointer (simulated node addresses are line-aligned, so bit 0 is free),
+// then physically unlinked by any traversal that encounters them (helping).
+//
+// Lease placement follows the paper's "linear data structure" observation:
+// leasing the *predecessor* node's next-pointer line across the
+// search-validate-CAS window is sufficient — and preferable to multi-leases
+// — because owning the predecessor gates access to the successor chain.
+#pragma once
+
+#include <optional>
+
+#include "runtime/machine.hpp"
+#include "runtime/task.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+struct HarrisOptions {
+  bool use_lease = false;  ///< Lease the predecessor line around the CAS.
+  Cycle lease_time = 0;    ///< 0 => MAX_LEASE_TIME.
+};
+
+/// Node: word 0 = key, word 1 = next | mark-bit.
+class HarrisList {
+ public:
+  explicit HarrisList(Machine& m, HarrisOptions opt = {});
+
+  Task<bool> insert(Ctx& ctx, std::uint64_t key);
+  Task<bool> remove(Ctx& ctx, std::uint64_t key);
+  Task<bool> contains(Ctx& ctx, std::uint64_t key);
+
+  /// Functional walk of unmarked nodes (oracle).
+  std::vector<std::uint64_t> snapshot() const;
+
+ private:
+  struct Window {
+    Addr pred;  ///< Node whose next points at curr.
+    Addr curr;  ///< First unmarked node with key >= target (or tail).
+  };
+
+  /// Harris search: returns (pred, curr), physically unlinking any marked
+  /// nodes passed over (helping).
+  Task<Window> search(Ctx& ctx, std::uint64_t key);
+
+  static constexpr std::uint64_t kMark = 1;
+  static Addr ptr(std::uint64_t word) { return word & ~kMark; }
+  static bool marked(std::uint64_t word) { return (word & kMark) != 0; }
+
+  Machine& m_;
+  HarrisOptions opt_;
+  Addr head_;  ///< Sentinel with key 0 (reserved).
+  Addr tail_;  ///< Sentinel with key UINT64_MAX.
+};
+
+}  // namespace lrsim

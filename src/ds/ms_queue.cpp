@@ -1,0 +1,135 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+
+#include "ds/ms_queue.hpp"
+
+namespace lrsim {
+
+namespace {
+constexpr Addr kValueOff = 0;
+constexpr Addr kNextOff = 8;
+}  // namespace
+
+MsQueue::MsQueue(Machine& m, MsQueueOptions opt)
+    : m_(m), head_(m.heap().alloc_line()), tail_(m.heap().alloc_line()), opt_(opt) {
+  if (opt_.lease_time == 0) opt_.lease_time = m.config().max_lease_time;
+  // Dummy node precedes the real items.
+  const Addr dummy = m.heap().alloc_line(16);
+  m.memory().write(dummy + kValueOff, 0);
+  m.memory().write(dummy + kNextOff, 0);
+  m.memory().write(head_, dummy);
+  m.memory().write(tail_, dummy);
+}
+
+Task<void> MsQueue::enqueue(Ctx& ctx, std::uint64_t v) {
+  const Addr w = m_.heap().alloc_line(16);
+  co_await ctx.store(w + kValueOff, v);
+  co_await ctx.store(w + kNextOff, 0);
+  Backoff backoff{opt_.backoff_min, opt_.backoff_max};
+
+  while (true) {
+    Addr next_lease = 0;  // kNextPtr: the line actually leased this round
+    if (opt_.lease_mode == QueueLeaseMode::kSingle) {
+      co_await ctx.lease(tail_, opt_.lease_time);
+    } else if (opt_.lease_mode == QueueLeaseMode::kNextPtr) {
+      // Section 6 alternative placement: peek the tail, lease only the last
+      // node's next-pointer line. Other threads can still read/advance the
+      // tail pointer (more parallelism), at the cost of duplicated
+      // tail-swing CASes when they see it trailing.
+      const Addr t_peek = co_await ctx.load(tail_);
+      next_lease = t_peek + kNextOff;
+      co_await ctx.lease(next_lease, opt_.lease_time);
+    } else if (opt_.lease_mode == QueueLeaseMode::kMulti) {
+      // Joint lease on the tail pointer and the last node's next-pointer
+      // line: peek at the tail (plain load) to learn the node address, then
+      // MultiLease both. The peeked tail can go stale; the validation below
+      // catches that, exactly like the base algorithm.
+      const Addr t_peek = co_await ctx.load(tail_);
+      std::vector<Addr> group;
+      group.push_back(tail_);
+      group.push_back(t_peek + kNextOff);
+      co_await ctx.multi_lease(std::move(group), opt_.lease_time);
+    }
+    const Addr t = co_await ctx.load(tail_);
+    const Addr n = co_await ctx.load(t + kNextOff);
+    if (t == (co_await ctx.load(tail_))) {  // pointers consistent?
+      if (n == 0) {                         // tail pointing to last node
+        const bool linked = co_await ctx.cas(t + kNextOff, 0, w);
+        if (linked) {
+          co_await ctx.cas(tail_, t, w);  // swing tail to inserted node
+          co_await release_leases(ctx, t, next_lease);
+          ctx.count_op();
+          co_return;
+        }
+      } else {
+        co_await ctx.cas(tail_, t, n);  // tail fell behind: help swing it
+      }
+    }
+    co_await release_leases(ctx, t, next_lease);
+    if (opt_.use_backoff) co_await backoff.pause(ctx);
+  }
+}
+
+Task<std::optional<std::uint64_t>> MsQueue::dequeue(Ctx& ctx) {
+  Backoff backoff{opt_.backoff_min, opt_.backoff_max};
+  while (true) {
+    if (opt_.lease_mode != QueueLeaseMode::kNone) {
+      // Dequeues always use a single lease on the head pointer (the paper's
+      // multi-lease experiments apply the joint lease on the enqueue side).
+      co_await ctx.lease(head_, opt_.lease_time);
+    }
+    const Addr h = co_await ctx.load(head_);
+    const Addr t = co_await ctx.load(tail_);
+    const Addr n = co_await ctx.load(h + kNextOff);
+    if (h == (co_await ctx.load(head_))) {  // pointers consistent?
+      if (h == t) {
+        if (n == 0) {
+          if (opt_.lease_mode != QueueLeaseMode::kNone) co_await ctx.release(head_);
+          ctx.count_op();
+          co_return std::nullopt;  // queue empty
+        }
+        co_await ctx.cas(tail_, t, n);  // tail fell behind, update it
+      } else {
+        const std::uint64_t v = co_await ctx.load(n + kValueOff);
+        const bool ok = co_await ctx.cas(head_, h, n);  // swing head
+        if (ok) {
+          if (opt_.lease_mode != QueueLeaseMode::kNone) co_await ctx.release(head_);
+          ctx.count_op();
+          co_return v;
+        }
+      }
+    }
+    if (opt_.lease_mode != QueueLeaseMode::kNone) co_await ctx.release(head_);
+    if (opt_.use_backoff) co_await backoff.pause(ctx);
+  }
+}
+
+Task<void> MsQueue::release_leases(Ctx& ctx, Addr t, Addr next_lease) {
+  switch (opt_.lease_mode) {
+    case QueueLeaseMode::kNone:
+      break;
+    case QueueLeaseMode::kSingle:
+      co_await ctx.release(tail_);
+      break;
+    case QueueLeaseMode::kNextPtr:
+      if (next_lease != 0) co_await ctx.release(next_lease);
+      break;
+    case QueueLeaseMode::kMulti:
+      // Releasing any member of the group releases the whole group; t's
+      // next-line lease goes with it. release_all also covers the case
+      // where the group was ignored/evicted.
+      (void)t;
+      co_await ctx.release_all();
+      break;
+  }
+}
+
+std::vector<std::uint64_t> MsQueue::snapshot() const {
+  std::vector<std::uint64_t> out;
+  const Addr dummy = m_.memory().read(head_);
+  for (Addr p = m_.memory().read(dummy + kNextOff); p != 0; p = m_.memory().read(p + kNextOff)) {
+    out.push_back(m_.memory().read(p + kValueOff));
+  }
+  return out;
+}
+
+}  // namespace lrsim

@@ -1,0 +1,70 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// The Michael–Scott non-blocking FIFO queue [PODC'96] over the simulated
+// ISA, following the paper's Algorithm 3:
+//
+//  * kSingle lease mode leases the tail pointer (enqueue) / head pointer
+//    (dequeue) at the top of the retry loop and releases at the end — the
+//    paper's preferred placement ("cleanly ordering the operations").
+//  * kMulti additionally leases the last node's next-pointer line jointly
+//    with the tail for enqueues — the Section 7 variant shown in Figure 3's
+//    queue plot, which the paper found *slower* than the single lease
+//    ("leasing the predecessor node makes extra cache misses on successors
+//    unlikely"); we reproduce that ordering.
+//
+// Head and tail pointers live on separate cache lines (Section 7 explicitly
+// warns that colocating them would create false sharing between leases).
+#pragma once
+
+#include <optional>
+
+#include "runtime/machine.hpp"
+#include "runtime/task.hpp"
+#include "sync/backoff.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+enum class QueueLeaseMode {
+  kNone,
+  kSingle,   ///< Lease the head/tail *pointer* lines (the paper's default).
+  kMulti,    ///< Jointly lease tail pointer + last node's next line (Section 7).
+  kNextPtr,  ///< Lease only the last node's next-pointer line on enqueue
+             ///< (Section 6's alternative: "increases parallelism, but
+             ///< slightly decreases performance since threads become likely
+             ///< to see the tail trailing behind").
+};
+
+struct MsQueueOptions {
+  QueueLeaseMode lease_mode = QueueLeaseMode::kNone;
+  Cycle lease_time = 0;  ///< 0 => MAX_LEASE_TIME.
+  bool use_backoff = false;
+  Cycle backoff_min = 32;
+  Cycle backoff_max = 8192;
+};
+
+/// Node layout (one line per node): word 0 = value, word 1 = next.
+class MsQueue {
+ public:
+  MsQueue(Machine& m, MsQueueOptions opt = {});
+
+  Task<void> enqueue(Ctx& ctx, std::uint64_t v);
+  Task<std::optional<std::uint64_t>> dequeue(Ctx& ctx);
+
+  Addr head_addr() const noexcept { return head_; }
+  Addr tail_addr() const noexcept { return tail_; }
+
+  /// Functional snapshot (front to back) for test oracles.
+  std::vector<std::uint64_t> snapshot() const;
+
+ private:
+  /// Releases whatever lease mode `lease_mode` took on the enqueue path.
+  Task<void> release_leases(Ctx& ctx, Addr t, Addr next_lease);
+
+  Machine& m_;
+  Addr head_;  ///< Points at the dummy node (own line).
+  Addr tail_;  ///< Points at the last node (own line).
+  MsQueueOptions opt_;
+};
+
+}  // namespace lrsim

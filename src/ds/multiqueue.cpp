@@ -1,0 +1,159 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+
+#include "ds/multiqueue.hpp"
+
+namespace lrsim {
+
+// ---------------------------------------------------------------------------
+// SimHeapPq
+// ---------------------------------------------------------------------------
+
+SimHeapPq::SimHeapPq(Machine& m, std::size_t capacity) : m_(m), capacity_(capacity) {
+  base_ = m.heap().alloc_line(8 * (capacity + 1));
+  m.memory().write(base_, 0);
+}
+
+Task<bool> SimHeapPq::insert(Ctx& ctx, std::uint64_t key) {
+  std::uint64_t n = co_await ctx.load(base_);
+  if (n >= capacity_) co_return false;
+  // Sift up.
+  std::size_t i = static_cast<std::size_t>(n);
+  co_await ctx.store(slot(i), key);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    const std::uint64_t pv = co_await ctx.load(slot(parent));
+    if (pv <= key) break;
+    co_await ctx.store(slot(i), pv);
+    co_await ctx.store(slot(parent), key);
+    i = parent;
+  }
+  co_await ctx.store(base_, n + 1);
+  co_return true;
+}
+
+Task<std::optional<std::uint64_t>> SimHeapPq::top(Ctx& ctx) {
+  const std::uint64_t n = co_await ctx.load(base_);
+  if (n == 0) co_return std::nullopt;
+  const std::uint64_t v = co_await ctx.load(slot(0));
+  co_return v;
+}
+
+Task<std::optional<std::uint64_t>> SimHeapPq::delete_min(Ctx& ctx) {
+  const std::uint64_t n = co_await ctx.load(base_);
+  if (n == 0) co_return std::nullopt;
+  const std::uint64_t min = co_await ctx.load(slot(0));
+  const std::uint64_t last = co_await ctx.load(slot(static_cast<std::size_t>(n - 1)));
+  co_await ctx.store(base_, n - 1);
+  const std::size_t size = static_cast<std::size_t>(n - 1);
+  // Sift down from the root.
+  std::size_t i = 0;
+  co_await ctx.store(slot(0), last);
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l >= size) break;
+    std::size_t smallest = l;
+    std::uint64_t sv = co_await ctx.load(slot(l));
+    if (r < size) {
+      const std::uint64_t rv = co_await ctx.load(slot(r));
+      if (rv < sv) {
+        smallest = r;
+        sv = rv;
+      }
+    }
+    if (sv >= last) break;
+    co_await ctx.store(slot(i), sv);
+    co_await ctx.store(slot(smallest), last);
+    i = smallest;
+  }
+  co_return min;
+}
+
+// ---------------------------------------------------------------------------
+// MultiQueue
+// ---------------------------------------------------------------------------
+
+MultiQueue::MultiQueue(Machine& m, MultiQueueOptions opt) : m_(m), opt_(opt) {
+  if (opt_.lease_time == 0) opt_.lease_time = m.config().max_lease_time;
+  for (std::size_t i = 0; i < opt_.num_queues; ++i) {
+    queues_.push_back(std::make_unique<SimHeapPq>(m, opt_.capacity));
+    // The lock lines are what the leases protect; try_lock/lease handling
+    // is done here per Algorithm 4, so the TTSLock itself is lease-free.
+    locks_.push_back(std::make_unique<TTSLock>(m, LockOptions{.use_lease = false}));
+  }
+}
+
+Task<void> MultiQueue::insert(Ctx& ctx, std::uint64_t key) {
+  while (true) {
+    const std::size_t i = static_cast<std::size_t>(ctx.rng().next_below(opt_.num_queues));
+    if (opt_.use_lease) co_await ctx.lease(locks_[i]->addr(), opt_.lease_time);
+    const bool locked = co_await locks_[i]->try_lock(ctx);
+    if (locked) {
+      co_await queues_[i]->insert(ctx, key);  // sequential
+      co_await locks_[i]->unlock(ctx);
+      if (opt_.use_lease) co_await ctx.release(locks_[i]->addr());
+      ctx.count_op();
+      co_return;
+    }
+    if (opt_.use_lease) co_await ctx.release(locks_[i]->addr());
+  }
+}
+
+Task<std::optional<std::uint64_t>> MultiQueue::delete_min(Ctx& ctx) {
+  int dry_runs = 0;
+  while (true) {
+    std::size_t i = static_cast<std::size_t>(ctx.rng().next_below(opt_.num_queues));
+    std::size_t k = static_cast<std::size_t>(ctx.rng().next_below(opt_.num_queues));
+    if (k == i) k = (k + 1) % opt_.num_queues;
+    if (opt_.use_lease) {
+      std::vector<Addr> group;
+      group.push_back(locks_[i]->addr());
+      group.push_back(locks_[k]->addr());
+      co_await ctx.multi_lease(std::move(group), opt_.lease_time);
+    }
+    const bool got_i = co_await locks_[i]->try_lock(ctx);
+    if (got_i) {
+      const bool got_k = co_await locks_[k]->try_lock(ctx);
+      if (got_k) {
+        // Compare tops; the loser is unlocked (and both leases dropped)
+        // *before* the long sequential pop, per Algorithm 4.
+        std::optional<std::uint64_t> ti = co_await queues_[i]->top(ctx);
+        std::optional<std::uint64_t> tk = co_await queues_[k]->top(ctx);
+        if (!ti && tk) std::swap(i, k), std::swap(ti, tk);
+        if (ti && tk && *tk < *ti) {
+          std::swap(i, k);
+          std::swap(ti, tk);
+        }
+        // i now indexes the queue holding the better (smaller) top.
+        co_await locks_[k]->unlock(ctx);
+        if (opt_.use_lease) co_await ctx.release_all();
+        if (!ti) {
+          co_await locks_[i]->unlock(ctx);
+          if (++dry_runs >= 4) {
+            ctx.count_op();
+            co_return std::nullopt;  // probably empty
+          }
+          continue;
+        }
+        std::optional<std::uint64_t> rtn = co_await queues_[i]->delete_min(ctx);
+        co_await locks_[i]->unlock(ctx);
+        ctx.count_op();
+        co_return rtn;
+      }
+      // Failed to acquire Locks[k].
+      co_await locks_[i]->unlock(ctx);
+      if (opt_.use_lease) co_await ctx.release_all();
+    } else {
+      // Failed to acquire Locks[i].
+      if (opt_.use_lease) co_await ctx.release_all();
+    }
+  }
+}
+
+std::size_t MultiQueue::total_size() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q->size();
+  return n;
+}
+
+}  // namespace lrsim

@@ -1,0 +1,354 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+
+#include "ds/skiplist_pq.hpp"
+
+namespace lrsim {
+
+using namespace skipnode;
+
+namespace {
+constexpr std::uint64_t kHeadKey = 0;
+constexpr std::uint64_t kTailKey = ~0ull;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LazySkipList
+// ---------------------------------------------------------------------------
+
+LazySkipList::LazySkipList(Machine& m) : m_(m) {
+  head_ = alloc_node(kHeadKey, kSkipMaxLevel - 1);
+  tail_ = alloc_node(kTailKey, kSkipMaxLevel - 1);
+  for (int lvl = 0; lvl < kSkipMaxLevel; ++lvl) {
+    m_.memory().write(head_ + next_off(lvl), tail_);
+  }
+  m_.memory().write(head_ + kFullyLinked, 1);
+  m_.memory().write(tail_ + kFullyLinked, 1);
+}
+
+Addr LazySkipList::alloc_node(std::uint64_t key, int top_level) {
+  const Addr n = m_.heap().alloc_line(kNodeBytes);
+  m_.memory().write(n + kKey, key);
+  m_.memory().write(n + kMarked, 0);
+  m_.memory().write(n + kFullyLinked, 0);
+  m_.memory().write(n + kLock, 0);
+  m_.memory().write(n + kTopLevel, static_cast<std::uint64_t>(top_level));
+  for (int lvl = 0; lvl < kSkipMaxLevel; ++lvl) m_.memory().write(n + next_off(lvl), 0);
+  return n;
+}
+
+int LazySkipList::random_level(Ctx& ctx) {
+  int lvl = 0;
+  while (lvl < kSkipMaxLevel - 1 && (ctx.rng().next() & 1)) ++lvl;
+  return lvl;
+}
+
+Task<void> LazySkipList::node_lock(Ctx& ctx, Addr node) {
+  while (true) {
+    while (co_await ctx.load(node + kLock) != 0) {
+    }
+    const std::uint64_t old = co_await ctx.xchg(node + kLock, 1);
+    if (old == 0) co_return;
+  }
+}
+
+Task<void> LazySkipList::node_unlock(Ctx& ctx, Addr node) { co_await ctx.store(node + kLock, 0); }
+
+Task<LazySkipList::FindResult> LazySkipList::find(Ctx& ctx, std::uint64_t key) {
+  FindResult r;
+  Addr pred = head_;
+  for (int lvl = kSkipMaxLevel - 1; lvl >= 0; --lvl) {
+    Addr curr = co_await ctx.load(pred + next_off(lvl));
+    while (true) {
+      const std::uint64_t ck = co_await ctx.load(curr + kKey);
+      if (ck < key) {
+        pred = curr;
+        curr = co_await ctx.load(pred + next_off(lvl));
+      } else {
+        if (ck == key && r.level_found == -1) r.level_found = lvl;
+        break;
+      }
+    }
+    r.preds[static_cast<std::size_t>(lvl)] = pred;
+    r.succs[static_cast<std::size_t>(lvl)] = curr;
+  }
+  co_return r;
+}
+
+Task<bool> LazySkipList::insert(Ctx& ctx, std::uint64_t key) {
+  const int top_level = random_level(ctx);
+  while (true) {
+    FindResult r = co_await find(ctx, key);
+    if (r.level_found != -1) {
+      const Addr found = r.succs[static_cast<std::size_t>(r.level_found)];
+      const std::uint64_t marked = co_await ctx.load(found + kMarked);
+      if (!marked) {
+        // Another insert of the same key may still be linking; wait for it
+        // to become fully linked, then report "already present".
+        while (co_await ctx.load(found + kFullyLinked) == 0) {
+        }
+        co_return false;
+      }
+      continue;  // being deleted: retry until physically gone
+    }
+
+    // Lock distinct predecessors bottom-up and validate.
+    int highest_locked = -1;
+    Addr prev_pred = 0;
+    bool valid = true;
+    for (int lvl = 0; valid && lvl <= top_level; ++lvl) {
+      const Addr pred = r.preds[static_cast<std::size_t>(lvl)];
+      const Addr succ = r.succs[static_cast<std::size_t>(lvl)];
+      if (pred != prev_pred) {
+        co_await node_lock(ctx, pred);
+        highest_locked = lvl;
+        prev_pred = pred;
+      }
+      const std::uint64_t pred_marked = co_await ctx.load(pred + kMarked);
+      const std::uint64_t succ_marked = co_await ctx.load(succ + kMarked);
+      const Addr link = co_await ctx.load(pred + next_off(lvl));
+      valid = pred_marked == 0 && succ_marked == 0 && link == succ;
+    }
+    if (!valid) {
+      prev_pred = 0;
+      for (int lvl = 0; lvl <= highest_locked; ++lvl) {
+        const Addr pred = r.preds[static_cast<std::size_t>(lvl)];
+        if (pred != prev_pred) {
+          co_await node_unlock(ctx, pred);
+          prev_pred = pred;
+        }
+      }
+      continue;
+    }
+
+    const Addr node = alloc_node(key, top_level);
+    for (int lvl = 0; lvl <= top_level; ++lvl) {
+      co_await ctx.store(node + next_off(lvl), r.succs[static_cast<std::size_t>(lvl)]);
+    }
+    for (int lvl = 0; lvl <= top_level; ++lvl) {
+      co_await ctx.store(r.preds[static_cast<std::size_t>(lvl)] + next_off(lvl), node);
+    }
+    co_await ctx.store(node + kFullyLinked, 1);
+
+    prev_pred = 0;
+    for (int lvl = 0; lvl <= highest_locked; ++lvl) {
+      const Addr pred = r.preds[static_cast<std::size_t>(lvl)];
+      if (pred != prev_pred) {
+        co_await node_unlock(ctx, pred);
+        prev_pred = pred;
+      }
+    }
+    co_return true;
+  }
+}
+
+Task<bool> LazySkipList::contains(Ctx& ctx, std::uint64_t key) {
+  FindResult r = co_await find(ctx, key);
+  if (r.level_found == -1) co_return false;
+  const Addr found = r.succs[static_cast<std::size_t>(r.level_found)];
+  const std::uint64_t marked = co_await ctx.load(found + kMarked);
+  const std::uint64_t linked = co_await ctx.load(found + kFullyLinked);
+  co_return marked == 0 && linked == 1;
+}
+
+Task<bool> LazySkipList::remove(Ctx& ctx, std::uint64_t key) {
+  while (true) {
+    FindResult r = co_await find(ctx, key);
+    if (r.level_found == -1) co_return false;
+    const Addr victim = r.succs[static_cast<std::size_t>(r.level_found)];
+    const std::uint64_t linked = co_await ctx.load(victim + kFullyLinked);
+    const std::uint64_t vtop = co_await ctx.load(victim + kTopLevel);
+    const std::uint64_t marked = co_await ctx.load(victim + kMarked);
+    if (linked == 0 || marked != 0 || static_cast<int>(vtop) != r.level_found) {
+      co_return false;  // not a stable, fully linked victim found at its top
+    }
+    co_await node_lock(ctx, victim);
+    const std::uint64_t marked_now = co_await ctx.load(victim + kMarked);
+    if (marked_now != 0) {
+      co_await node_unlock(ctx, victim);
+      co_return false;  // someone else won the logical delete
+    }
+    co_await ctx.store(victim + kMarked, 1);
+    co_await unlink(ctx, victim, key);  // releases the victim lock
+    co_return true;
+  }
+}
+
+Task<void> LazySkipList::unlink(Ctx& ctx, Addr victim, std::uint64_t key) {
+  const int top_level = static_cast<int>(m_.memory().read(victim + kTopLevel));
+  while (true) {
+    FindResult r = co_await find(ctx, key);
+    // Lock distinct preds and validate they still point at the victim.
+    int highest_locked = -1;
+    Addr prev_pred = 0;
+    bool valid = true;
+    for (int lvl = 0; valid && lvl <= top_level; ++lvl) {
+      const Addr pred = r.preds[static_cast<std::size_t>(lvl)];
+      if (pred != prev_pred) {
+        co_await node_lock(ctx, pred);
+        highest_locked = lvl;
+        prev_pred = pred;
+      }
+      const std::uint64_t pred_marked = co_await ctx.load(pred + kMarked);
+      const Addr link = co_await ctx.load(pred + next_off(lvl));
+      valid = pred_marked == 0 && link == victim;
+    }
+    if (valid) {
+      for (int lvl = top_level; lvl >= 0; --lvl) {
+        const Addr vnext = co_await ctx.load(victim + next_off(lvl));
+        co_await ctx.store(r.preds[static_cast<std::size_t>(lvl)] + next_off(lvl), vnext);
+      }
+      co_await node_unlock(ctx, victim);
+    }
+    prev_pred = 0;
+    for (int lvl = 0; lvl <= highest_locked; ++lvl) {
+      const Addr pred = r.preds[static_cast<std::size_t>(lvl)];
+      if (pred != prev_pred) {
+        co_await node_unlock(ctx, pred);
+        prev_pred = pred;
+      }
+    }
+    if (valid) co_return;
+  }
+}
+
+Task<std::optional<std::uint64_t>> LazySkipList::delete_min(Ctx& ctx) {
+  // Lotan–Shavit: walk the bottom level, claim the first unmarked,
+  // fully linked node by lock+mark, then physically unlink it.
+  while (true) {
+    Addr curr = co_await ctx.load(head_ + next_off(0));
+    bool claimed = false;
+    std::uint64_t key = 0;
+    while (true) {
+      key = co_await ctx.load(curr + kKey);
+      if (key == kTailKey) break;  // empty (or everything claimed)
+      const std::uint64_t marked = co_await ctx.load(curr + kMarked);
+      const std::uint64_t linked = co_await ctx.load(curr + kFullyLinked);
+      if (marked == 0 && linked == 1) {
+        co_await node_lock(ctx, curr);
+        const std::uint64_t marked_now = co_await ctx.load(curr + kMarked);
+        if (marked_now == 0) {
+          co_await ctx.store(curr + kMarked, 1);
+          claimed = true;
+          break;
+        }
+        co_await node_unlock(ctx, curr);
+      }
+      curr = co_await ctx.load(curr + next_off(0));
+    }
+    if (!claimed) co_return std::nullopt;
+    co_await unlink(ctx, curr, key);  // releases curr's lock
+    co_return key;
+  }
+}
+
+std::vector<std::uint64_t> LazySkipList::snapshot() const {
+  std::vector<std::uint64_t> out;
+  Addr curr = m_.memory().read(head_ + next_off(0));
+  while (m_.memory().read(curr + kKey) != kTailKey) {
+    if (m_.memory().read(curr + kMarked) == 0) out.push_back(m_.memory().read(curr + kKey));
+    curr = m_.memory().read(curr + next_off(0));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LotanShavitPq
+// ---------------------------------------------------------------------------
+
+Task<void> LotanShavitPq::insert(Ctx& ctx, std::uint64_t priority) {
+  const std::uint64_t key = (priority << kPrioShift) |
+                            (++seq_ & ((1ull << kPrioShift) - 1));
+  co_await list_.insert(ctx, key);
+  ctx.count_op();
+}
+
+Task<std::optional<std::uint64_t>> LotanShavitPq::delete_min(Ctx& ctx) {
+  std::optional<std::uint64_t> key = co_await list_.delete_min(ctx);
+  ctx.count_op();
+  if (!key) co_return std::nullopt;
+  co_return *key >> kPrioShift;
+}
+
+// ---------------------------------------------------------------------------
+// GlobalLockSkiplistPq (sequential skiplist under a leased global lock)
+// ---------------------------------------------------------------------------
+
+GlobalLockSkiplistPq::GlobalLockSkiplistPq(Machine& m, bool use_lease)
+    : m_(m), lock_(m, LockOptions{.use_lease = use_lease}) {
+  // Sequential nodes reuse the LazySkipList layout; lock/marked words unused.
+  head_ = m.heap().alloc_line(kNodeBytes);
+  tail_ = m.heap().alloc_line(kNodeBytes);
+  m.memory().write(head_ + kKey, kHeadKey);
+  m.memory().write(tail_ + kKey, kTailKey);
+  for (int lvl = 0; lvl < kSkipMaxLevel; ++lvl) {
+    m.memory().write(head_ + next_off(lvl), tail_);
+    m.memory().write(tail_ + next_off(lvl), 0);
+  }
+}
+
+int GlobalLockSkiplistPq::random_level(Ctx& ctx) {
+  int lvl = 0;
+  while (lvl < kSkipMaxLevel - 1 && (ctx.rng().next() & 1)) ++lvl;
+  return lvl;
+}
+
+Task<void> GlobalLockSkiplistPq::seq_insert(Ctx& ctx, std::uint64_t key) {
+  std::array<Addr, kSkipMaxLevel> preds{};
+  Addr pred = head_;
+  for (int lvl = kSkipMaxLevel - 1; lvl >= 0; --lvl) {
+    Addr curr = co_await ctx.load(pred + next_off(lvl));
+    while (true) {
+      const std::uint64_t ck = co_await ctx.load(curr + kKey);
+      if (ck < key) {
+        pred = curr;
+        curr = co_await ctx.load(pred + next_off(lvl));
+      } else {
+        break;
+      }
+    }
+    preds[static_cast<std::size_t>(lvl)] = pred;
+  }
+  const int top = random_level(ctx);
+  const Addr node = m_.heap().alloc_line(kNodeBytes);
+  co_await ctx.store(node + kKey, key);
+  co_await ctx.store(node + kTopLevel, static_cast<std::uint64_t>(top));
+  for (int lvl = 0; lvl <= top; ++lvl) {
+    const Addr p = preds[static_cast<std::size_t>(lvl)];
+    const Addr succ = co_await ctx.load(p + next_off(lvl));
+    co_await ctx.store(node + next_off(lvl), succ);
+    co_await ctx.store(p + next_off(lvl), node);
+  }
+}
+
+Task<std::optional<std::uint64_t>> GlobalLockSkiplistPq::seq_delete_min(Ctx& ctx) {
+  const Addr first = co_await ctx.load(head_ + next_off(0));
+  const std::uint64_t key = co_await ctx.load(first + kKey);
+  if (key == kTailKey) co_return std::nullopt;
+  // The minimum node's predecessor is the head at every level it occupies.
+  const int top = static_cast<int>(co_await ctx.load(first + kTopLevel));
+  for (int lvl = top; lvl >= 0; --lvl) {
+    const Addr succ = co_await ctx.load(first + next_off(lvl));
+    co_await ctx.store(head_ + next_off(lvl), succ);
+  }
+  co_return key;
+}
+
+Task<void> GlobalLockSkiplistPq::insert(Ctx& ctx, std::uint64_t priority) {
+  const std::uint64_t key = (priority << LotanShavitPq::kPrioShift) |
+                            (++seq_ & ((1ull << LotanShavitPq::kPrioShift) - 1));
+  co_await lock_.lock(ctx);
+  co_await seq_insert(ctx, key);
+  co_await lock_.unlock(ctx);
+  ctx.count_op();
+}
+
+Task<std::optional<std::uint64_t>> GlobalLockSkiplistPq::delete_min(Ctx& ctx) {
+  co_await lock_.lock(ctx);
+  std::optional<std::uint64_t> key = co_await seq_delete_min(ctx);
+  co_await lock_.unlock(ctx);
+  ctx.count_op();
+  if (!key) co_return std::nullopt;
+  co_return *key >> LotanShavitPq::kPrioShift;
+}
+
+}  // namespace lrsim

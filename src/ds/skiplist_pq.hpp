@@ -1,0 +1,139 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Skiplist-based priority queues for Figure 3 (right):
+//
+//  * LazySkipList — a fine-grained-locking skiplist set (optimistic
+//    lock-based insert/remove in the style of Pugh's concurrent skiplist /
+//    the Herlihy–Shavit lazy skiplist), the substrate for the paper's
+//    baseline: "The baseline Lotan-Shavit priority queue is based on a
+//    fine-grained locking skiplist design by Pugh."
+//  * LotanShavitPq — deleteMin via logical marking of the first unmarked
+//    bottom-level node, then physical unlink [Lotan & Shavit, IPDPS'00].
+//  * GlobalLockSkiplistPq — the paper's lease-based variant: a *sequential*
+//    skiplist protected by one global TTS lock whose line is leased for the
+//    duration of the critical section ("The lease-based implementation
+//    relies on a global lock").
+//
+// Keys must be unique (the PQ wrappers guarantee this by packing a
+// disambiguation counter into the low bits of the priority).
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "runtime/machine.hpp"
+#include "runtime/task.hpp"
+#include "sync/locks.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+/// Tower height bound; 2^kSkipMaxLevel elements keep expected O(log n).
+inline constexpr int kSkipMaxLevel = 12;
+
+namespace skipnode {
+// Node field offsets (words). One node spans ceil((5+kSkipMaxLevel)/8)
+// lines; nodes are line-aligned so tower traffic is per-node.
+inline constexpr Addr kKey = 0 * 8;
+inline constexpr Addr kMarked = 1 * 8;       ///< Logical deletion flag.
+inline constexpr Addr kFullyLinked = 2 * 8;  ///< Insert has linked all levels.
+inline constexpr Addr kLock = 3 * 8;         ///< Per-node TTS lock word.
+inline constexpr Addr kTopLevel = 4 * 8;
+inline constexpr Addr next_off(int level) { return static_cast<Addr>(5 + level) * 8; }
+inline constexpr std::size_t kNodeBytes = (5 + kSkipMaxLevel) * 8;
+}  // namespace skipnode
+
+/// Fine-grained-locking skiplist set over the simulated ISA.
+class LazySkipList {
+ public:
+  explicit LazySkipList(Machine& m);
+
+  /// Inserts `key` (must not be 0 or UINT64_MAX, the sentinels' keys).
+  /// Returns false if the key is already present.
+  Task<bool> insert(Ctx& ctx, std::uint64_t key);
+
+  /// Removes `key`; returns false if absent.
+  Task<bool> remove(Ctx& ctx, std::uint64_t key);
+
+  /// Membership test (wait-free traversal).
+  Task<bool> contains(Ctx& ctx, std::uint64_t key);
+
+  /// Claims and removes the minimum element (Lotan–Shavit deleteMin).
+  /// Returns nullopt when empty.
+  Task<std::optional<std::uint64_t>> delete_min(Ctx& ctx);
+
+  Addr head() const noexcept { return head_; }
+  Addr tail() const noexcept { return tail_; }
+
+  /// Functional bottom-level walk (unmarked nodes) for oracles.
+  std::vector<std::uint64_t> snapshot() const;
+
+ private:
+  struct FindResult {
+    int level_found = -1;
+    std::array<Addr, kSkipMaxLevel> preds{};
+    std::array<Addr, kSkipMaxLevel> succs{};
+  };
+
+  /// Wait-free search recording predecessors/successors per level.
+  Task<FindResult> find(Ctx& ctx, std::uint64_t key);
+
+  /// Physically unlinks a marked, locked victim (caller holds its lock and
+  /// releases it here).
+  Task<void> unlink(Ctx& ctx, Addr victim, std::uint64_t key);
+
+  int random_level(Ctx& ctx);
+  Addr alloc_node(std::uint64_t key, int top_level);
+
+  Task<void> node_lock(Ctx& ctx, Addr node);
+  Task<void> node_unlock(Ctx& ctx, Addr node);
+
+  Machine& m_;
+  Addr head_;
+  Addr tail_;
+};
+
+/// Lotan–Shavit priority queue over the LazySkipList. Priorities are
+/// disambiguated with a per-insert sequence number so skiplist keys stay
+/// unique; lower priority value == higher priority.
+class LotanShavitPq {
+ public:
+  explicit LotanShavitPq(Machine& m) : list_(m) {}
+
+  static constexpr int kPrioShift = 20;  ///< Up to 2^20 inserts per priority.
+
+  Task<void> insert(Ctx& ctx, std::uint64_t priority);
+  Task<std::optional<std::uint64_t>> delete_min(Ctx& ctx);
+
+  LazySkipList& list() noexcept { return list_; }
+
+ private:
+  LazySkipList list_;
+  std::uint64_t seq_ = 0;  ///< Host-side unique-suffix counter.
+};
+
+/// Sequential skiplist + one global (leased) TTS lock: the paper's
+/// lease-based priority-queue implementation.
+class GlobalLockSkiplistPq {
+ public:
+  GlobalLockSkiplistPq(Machine& m, bool use_lease);
+
+  Task<void> insert(Ctx& ctx, std::uint64_t priority);
+  Task<std::optional<std::uint64_t>> delete_min(Ctx& ctx);
+
+  TTSLock& lock() noexcept { return lock_; }
+
+ private:
+  // Sequential helpers (run inside the critical section).
+  Task<void> seq_insert(Ctx& ctx, std::uint64_t key);
+  Task<std::optional<std::uint64_t>> seq_delete_min(Ctx& ctx);
+  int random_level(Ctx& ctx);
+
+  Machine& m_;
+  TTSLock lock_;
+  Addr head_;
+  Addr tail_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace lrsim

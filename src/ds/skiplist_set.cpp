@@ -1,0 +1,208 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+
+#include "ds/skiplist_set.hpp"
+
+namespace lrsim {
+
+namespace {
+constexpr std::uint64_t kTailKey = ~0ull;
+}
+
+LockFreeSkipList::LockFreeSkipList(Machine& m, LfSkipListOptions opt) : m_(m), opt_(opt) {
+  if (opt_.lease_time == 0) opt_.lease_time = m.config().max_lease_time;
+  head_ = m.heap().alloc_line(kNodeBytes);
+  tail_ = m.heap().alloc_line(kNodeBytes);
+  m.memory().write(head_ + kKeyOff, 0);
+  m.memory().write(head_ + kTopOff, kLfSkipMaxLevel - 1);
+  m.memory().write(tail_ + kKeyOff, kTailKey);
+  m.memory().write(tail_ + kTopOff, kLfSkipMaxLevel - 1);
+  for (int lvl = 0; lvl < kLfSkipMaxLevel; ++lvl) {
+    m.memory().write(head_ + next_off(lvl), tail_);
+    m.memory().write(tail_ + next_off(lvl), 0);
+  }
+}
+
+int LockFreeSkipList::random_level(Ctx& ctx) {
+  int lvl = 0;
+  while (lvl < kLfSkipMaxLevel - 1 && (ctx.rng().next() & 1)) ++lvl;
+  return lvl;
+}
+
+Task<LockFreeSkipList::FindResult> LockFreeSkipList::find(Ctx& ctx, std::uint64_t key) {
+  while (true) {
+    FindResult r;
+    Addr pred = head_;
+    bool retry = false;
+    for (int lvl = kLfSkipMaxLevel - 1; lvl >= 0 && !retry; --lvl) {
+      Addr curr = ptr(co_await ctx.load(pred + next_off(lvl)));
+      while (true) {
+        std::uint64_t succ_word = co_await ctx.load(curr + next_off(lvl));
+        // Help unlink marked successors of curr.
+        while (marked(succ_word)) {
+          const bool snip = co_await ctx.cas(pred + next_off(lvl), curr, ptr(succ_word));
+          if (!snip) {
+            retry = true;
+            break;
+          }
+          curr = ptr(co_await ctx.load(pred + next_off(lvl)));
+          succ_word = co_await ctx.load(curr + next_off(lvl));
+        }
+        if (retry) break;
+        const std::uint64_t ck = co_await ctx.load(curr + kKeyOff);
+        if (ck < key) {
+          pred = curr;
+          curr = ptr(succ_word);
+        } else {
+          r.preds[static_cast<std::size_t>(lvl)] = pred;
+          r.succs[static_cast<std::size_t>(lvl)] = curr;
+          break;
+        }
+      }
+    }
+    if (retry) continue;
+    const std::uint64_t k0 = co_await ctx.load(r.succs[0] + kKeyOff);
+    r.found = k0 == key && r.succs[0] != tail_;
+    co_return r;
+  }
+}
+
+Task<bool> LockFreeSkipList::insert(Ctx& ctx, std::uint64_t key) {
+  const int top = random_level(ctx);
+  const Addr node = m_.heap().alloc_line(kNodeBytes);
+  co_await ctx.store(node + kKeyOff, key);
+  co_await ctx.store(node + kTopOff, static_cast<std::uint64_t>(top));
+
+  while (true) {
+    FindResult r = co_await find(ctx, key);
+    if (r.found) {
+      ctx.count_op();
+      co_return false;
+    }
+    for (int lvl = 0; lvl <= top; ++lvl) {
+      co_await ctx.store(node + next_off(lvl), r.succs[static_cast<std::size_t>(lvl)]);
+    }
+    // Linking CAS at the bottom level decides membership; optionally lease
+    // the predecessor's line across it (paper: lease the predecessor).
+    const Addr pred0 = r.preds[0];
+    const Addr succ0 = r.succs[0];
+    if (opt_.use_lease) co_await ctx.lease(pred0 + next_off(0), opt_.lease_time);
+    const bool ok = co_await ctx.cas(pred0 + next_off(0), succ0, node);
+    if (opt_.use_lease) co_await ctx.release(pred0 + next_off(0));
+    if (!ok) continue;
+
+    // Link upper levels (helping re-find on failure).
+    for (int lvl = 1; lvl <= top; ++lvl) {
+      while (true) {
+        const Addr pred = r.preds[static_cast<std::size_t>(lvl)];
+        const Addr succ = r.succs[static_cast<std::size_t>(lvl)];
+        const bool linked = co_await ctx.cas(pred + next_off(lvl), succ, node);
+        if (linked) break;
+        r = co_await find(ctx, key);  // refresh preds/succs
+        if (!r.found) {
+          // Node vanished (concurrent remove won before upper linking):
+          // membership was decided at level 0, so report success.
+          ctx.count_op();
+          co_return true;
+        }
+        // Our node's next at this level may be stale; refresh it.
+        co_await ctx.store(node + next_off(lvl), r.succs[static_cast<std::size_t>(lvl)]);
+      }
+    }
+    ctx.count_op();
+    co_return true;
+  }
+}
+
+Task<bool> LockFreeSkipList::remove(Ctx& ctx, std::uint64_t key) {
+  FindResult r = co_await find(ctx, key);
+  if (!r.found) {
+    ctx.count_op();
+    co_return false;
+  }
+  const Addr victim = r.succs[0];
+  const int top = static_cast<int>(co_await ctx.load(victim + kTopOff));
+
+  // Mark top-down, levels > 0 (idempotent).
+  for (int lvl = top; lvl >= 1; --lvl) {
+    std::uint64_t succ_word = co_await ctx.load(victim + next_off(lvl));
+    while (!marked(succ_word)) {
+      co_await ctx.cas(victim + next_off(lvl), succ_word, succ_word | kMark);
+      succ_word = co_await ctx.load(victim + next_off(lvl));
+    }
+  }
+  // Bottom level: whoever sets the mark owns the removal.
+  while (true) {
+    const std::uint64_t succ_word = co_await ctx.load(victim + next_off(0));
+    if (marked(succ_word)) {
+      ctx.count_op();
+      co_return false;  // someone else removed it
+    }
+    const bool i_marked = co_await ctx.cas(victim + next_off(0), succ_word, succ_word | kMark);
+    if (i_marked) {
+      co_await find(ctx, key);  // physical unlink via helping
+      ctx.count_op();
+      co_return true;
+    }
+  }
+}
+
+Task<bool> LockFreeSkipList::contains(Ctx& ctx, std::uint64_t key) {
+  // Wait-free traversal that skips marked nodes without helping.
+  Addr pred = head_;
+  Addr curr = 0;
+  for (int lvl = kLfSkipMaxLevel - 1; lvl >= 0; --lvl) {
+    curr = ptr(co_await ctx.load(pred + next_off(lvl)));
+    while (true) {
+      std::uint64_t succ_word = co_await ctx.load(curr + next_off(lvl));
+      while (marked(succ_word)) {
+        curr = ptr(succ_word);
+        succ_word = co_await ctx.load(curr + next_off(lvl));
+      }
+      const std::uint64_t ck = co_await ctx.load(curr + kKeyOff);
+      if (ck < key) {
+        pred = curr;
+        curr = ptr(succ_word);
+      } else {
+        break;
+      }
+    }
+  }
+  const std::uint64_t ck = co_await ctx.load(curr + kKeyOff);
+  ctx.count_op();
+  co_return ck == key && curr != tail_;
+}
+
+Task<Addr> LockFreeSkipList::advance(Ctx& ctx, Addr node, int level, int steps) {
+  Addr curr = node;
+  for (int i = 0; i < steps; ++i) {
+    if (curr == tail_) co_return curr;
+    std::uint64_t next_word = co_await ctx.load(curr + next_off(level));
+    Addr next = ptr(next_word);
+    // Skip over marked (logically deleted) successors without counting them.
+    while (next != 0 && next != tail_) {
+      const std::uint64_t nn = co_await ctx.load(next + next_off(level));
+      if (!marked(nn)) break;
+      next = ptr(nn);
+    }
+    if (next == 0) co_return tail_;
+    curr = next;
+  }
+  co_return curr;
+}
+
+Task<std::uint64_t> LockFreeSkipList::read_key(Ctx& ctx, Addr node) {
+  co_return co_await ctx.load(node + kKeyOff);
+}
+
+std::vector<std::uint64_t> LockFreeSkipList::snapshot() const {
+  std::vector<std::uint64_t> out;
+  Addr curr = ptr(m_.memory().read(head_ + next_off(0)));
+  while (curr != tail_ && curr != 0) {
+    const std::uint64_t next = m_.memory().read(curr + next_off(0));
+    if (!marked(next)) out.push_back(m_.memory().read(curr + kKeyOff));
+    curr = ptr(next);
+  }
+  return out;
+}
+
+}  // namespace lrsim

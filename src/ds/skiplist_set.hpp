@@ -1,0 +1,74 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Lock-free skiplist set (Fraser's design as presented by Herlihy & Shavit)
+// over the simulated ISA, for the paper's low-contention experiments
+// ("skiplists [15]"). Each level is a Harris-style list: next pointers carry
+// a mark bit; removal marks top-down and any traversal helps unlink.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "runtime/machine.hpp"
+#include "runtime/task.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+inline constexpr int kLfSkipMaxLevel = 12;
+
+struct LfSkipListOptions {
+  bool use_lease = false;  ///< Lease the bottom-level predecessor around the linking CAS.
+  Cycle lease_time = 0;
+};
+
+/// Node: word 0 = key, word 1 = top level, words 2.. = next[level] | mark.
+class LockFreeSkipList {
+ public:
+  explicit LockFreeSkipList(Machine& m, LfSkipListOptions opt = {});
+
+  Task<bool> insert(Ctx& ctx, std::uint64_t key);
+  Task<bool> remove(Ctx& ctx, std::uint64_t key);
+  Task<bool> contains(Ctx& ctx, std::uint64_t key);
+
+  std::vector<std::uint64_t> snapshot() const;
+
+  // --- spray-walk support (SprayList builds on these) ----------------------
+
+  Addr head_node() const noexcept { return head_; }
+  bool is_tail(Addr node) const noexcept { return node == tail_; }
+  static constexpr int max_level() noexcept { return kLfSkipMaxLevel; }
+
+  /// Follows up to `steps` forward pointers at `level` starting from
+  /// `node`, skipping marked nodes; stops at the tail.
+  Task<Addr> advance(Ctx& ctx, Addr node, int level, int steps);
+
+  /// Reads a node's key (modeled load).
+  Task<std::uint64_t> read_key(Ctx& ctx, Addr node);
+
+ private:
+  struct FindResult {
+    bool found = false;
+    std::array<Addr, kLfSkipMaxLevel> preds{};
+    std::array<Addr, kLfSkipMaxLevel> succs{};
+  };
+
+  Task<FindResult> find(Ctx& ctx, std::uint64_t key);
+
+  static constexpr std::uint64_t kMark = 1;
+  static Addr ptr(std::uint64_t w) { return w & ~kMark; }
+  static bool marked(std::uint64_t w) { return (w & kMark) != 0; }
+  static constexpr Addr kKeyOff = 0;
+  static constexpr Addr kTopOff = 8;
+  static constexpr Addr next_off(int lvl) { return 16 + static_cast<Addr>(lvl) * 8; }
+  static constexpr std::size_t kNodeBytes = (2 + kLfSkipMaxLevel) * 8;
+
+  int random_level(Ctx& ctx);
+
+  Machine& m_;
+  LfSkipListOptions opt_;
+  Addr head_;
+  Addr tail_;
+};
+
+}  // namespace lrsim

@@ -1,0 +1,59 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+
+#include "ds/spraylist.hpp"
+
+namespace lrsim {
+
+Task<void> SprayList::insert(Ctx& ctx, std::uint64_t priority) {
+  const std::uint64_t key =
+      (priority << kPrioShift) | (++seq_ & ((1ull << kPrioShift) - 1));
+  co_await list_.insert(ctx, key);
+  ctx.count_op();
+}
+
+Task<std::optional<std::uint64_t>> SprayList::delete_min(Ctx& ctx) {
+  // Spray walk: start below the top, descend with random forward jumps.
+  // Parameters follow the SprayList shape: walk length ~ O(spray_scale) per
+  // level, descend 1 level per round.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    Addr curr = list_.head_node();
+    const int start_level = std::min(opt_.spray_scale, LockFreeSkipList::max_level() - 1);
+    for (int level = start_level; level >= 0; --level) {
+      const int jump = static_cast<int>(ctx.rng().next_below(
+          static_cast<std::uint64_t>(opt_.spray_scale) + 1));
+      curr = co_await list_.advance(ctx, curr, level, jump);
+      if (list_.is_tail(curr)) break;
+    }
+    if (list_.is_tail(curr) || curr == list_.head_node()) {
+      // Sprayed past the end (or went nowhere): fall back to the leftmost.
+      curr = co_await list_.advance(ctx, list_.head_node(), 0, 1);
+      if (list_.is_tail(curr)) {
+        ctx.count_op();
+        co_return std::nullopt;  // empty
+      }
+    }
+    const std::uint64_t key = co_await list_.read_key(ctx, curr);
+    const bool removed = co_await list_.remove(ctx, key);
+    if (removed) {
+      ctx.count_op();
+      co_return key >> kPrioShift;
+    }
+    // Lost the race for this element: respray.
+  }
+  // Too many collisions: act as a cleaner and take the leftmost removable.
+  while (true) {
+    const Addr first = co_await list_.advance(ctx, list_.head_node(), 0, 1);
+    if (list_.is_tail(first)) {
+      ctx.count_op();
+      co_return std::nullopt;
+    }
+    const std::uint64_t key = co_await list_.read_key(ctx, first);
+    const bool removed = co_await list_.remove(ctx, key);
+    if (removed) {
+      ctx.count_op();
+      co_return key >> kPrioShift;
+    }
+  }
+}
+
+}  // namespace lrsim

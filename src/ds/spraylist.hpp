@@ -1,0 +1,52 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// SprayList [Alistarh, Kopinsky, Li, Shavit — PPoPP'15, the paper's
+// reference [4]]: a relaxed priority queue over a lock-free skiplist.
+// deleteMin performs a randomized descending "spray" walk from the head —
+// at each level it steps a random number of nodes — landing on one of the
+// O(p log^3 p) smallest elements with high probability, then removes that
+// element. Contention on the true minimum disappears because concurrent
+// deleters land on different near-minimal keys.
+//
+// The paper's intro cites SprayList as the software state of the art for
+// scalable priority queues; we include it as a baseline against the
+// lease-based PQ variants (bench/fig3_pq --spray).
+#pragma once
+
+#include <optional>
+
+#include "ds/skiplist_set.hpp"
+#include "runtime/machine.hpp"
+#include "runtime/task.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+struct SprayOptions {
+  /// Spray height/width scale; roughly log2 of the expected thread count.
+  int spray_scale = 5;
+};
+
+class SprayList {
+ public:
+  explicit SprayList(Machine& m, SprayOptions opt = {})
+      : list_(m, LfSkipListOptions{}), opt_(opt) {}
+
+  static constexpr int kPrioShift = 20;
+
+  /// Inserts an element with the given priority (lower pops first-ish).
+  Task<void> insert(Ctx& ctx, std::uint64_t priority);
+
+  /// Relaxed deleteMin: sprays to a near-minimal element and removes it.
+  /// Returns nullopt when the spray finds nothing removable (likely empty).
+  Task<std::optional<std::uint64_t>> delete_min(Ctx& ctx);
+
+  LockFreeSkipList& list() noexcept { return list_; }
+
+ private:
+  LockFreeSkipList list_;
+  SprayOptions opt_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace lrsim

@@ -1,0 +1,116 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+
+#include "ds/tl2.hpp"
+
+#include <algorithm>
+
+namespace lrsim {
+
+namespace {
+constexpr std::uint64_t kLockedBit = 1;
+constexpr std::uint64_t kInitialValue = 1000;
+}  // namespace
+
+Tl2Bench::Tl2Bench(Machine& m, Tl2Options opt) : m_(m), opt_(opt) {
+  if (opt_.lease_time == 0) opt_.lease_time = m.config().max_lease_time;
+  objects_.reserve(opt_.num_objects);
+  for (std::size_t i = 0; i < opt_.num_objects; ++i) {
+    TxObject o{m.heap().alloc_line(), m.heap().alloc_line()};
+    m.memory().write(o.lock, 0);
+    m.memory().write(o.value, kInitialValue);
+    objects_.push_back(o);
+  }
+}
+
+Task<bool> Tl2Bench::try_lock_obj(Ctx& ctx, std::size_t idx) {
+  const Addr lock = objects_[idx].lock;
+  const std::uint64_t word = co_await ctx.load(lock);
+  if (word & kLockedBit) {
+    ++ctx.stats().lock_failed_trylocks;
+    co_return false;
+  }
+  const bool ok = co_await ctx.cas(lock, word, word | kLockedBit);
+  if (ok) {
+    ++ctx.stats().lock_acquisitions;
+  } else {
+    ++ctx.stats().lock_failed_trylocks;
+  }
+  co_return ok;
+}
+
+Task<void> Tl2Bench::unlock_obj(Ctx& ctx, std::size_t idx) {
+  const Addr lock = objects_[idx].lock;
+  const std::uint64_t word = co_await ctx.load(lock);
+  // Release and bump the version (TL2 write-commit).
+  co_await ctx.store(lock, (word & ~kLockedBit) + 2);
+}
+
+Task<void> Tl2Bench::run_transaction(Ctx& ctx) {
+  while (true) {
+    std::size_t a = static_cast<std::size_t>(ctx.rng().next_below(objects_.size()));
+    std::size_t b = static_cast<std::size_t>(ctx.rng().next_below(objects_.size() - 1));
+    if (b >= a) ++b;
+    // Fixed global acquisition order (index order) keeps the base algorithm
+    // deadlock-free, mirroring the sorted order inside MultiLease.
+    const std::size_t lo = std::min(a, b);
+    const std::size_t hi = std::max(a, b);
+
+    switch (opt_.lease_mode) {
+      case TxLeaseMode::kNone:
+        break;
+      case TxLeaseMode::kFirst:
+        co_await ctx.lease(objects_[lo].lock, opt_.lease_time);
+        break;
+      case TxLeaseMode::kBoth: {
+        std::vector<Addr> group;
+        group.push_back(objects_[lo].lock);
+        group.push_back(objects_[hi].lock);
+        co_await ctx.multi_lease(std::move(group), opt_.lease_time);
+        break;
+      }
+    }
+
+    const bool got_lo = co_await try_lock_obj(ctx, lo);
+    if (got_lo) {
+      const bool got_hi = co_await try_lock_obj(ctx, hi);
+      if (got_hi) {
+        // Commit phase: transfer one unit lo -> hi (conserved total).
+        const std::uint64_t va = co_await ctx.load(objects_[lo].value);
+        const std::uint64_t vb = co_await ctx.load(objects_[hi].value);
+        if (opt_.compute_work > 0) co_await ctx.work(opt_.compute_work);
+        co_await ctx.store(objects_[lo].value, va - 1);
+        co_await ctx.store(objects_[hi].value, vb + 1);
+        co_await unlock_obj(ctx, hi);
+        co_await unlock_obj(ctx, lo);
+        co_await drop_leases(ctx, lo);
+        ++ctx.stats().txn_commits;
+        ctx.count_op();
+        co_return;
+      }
+      co_await unlock_obj(ctx, lo);  // roll back the lone lock (no writes yet)
+    }
+    co_await drop_leases(ctx, lo);
+    ++ctx.stats().txn_aborts;
+  }
+}
+
+Task<void> Tl2Bench::drop_leases(Ctx& ctx, std::size_t lo) {
+  switch (opt_.lease_mode) {
+    case TxLeaseMode::kNone:
+      break;
+    case TxLeaseMode::kFirst:
+      co_await ctx.release(objects_[lo].lock);
+      break;
+    case TxLeaseMode::kBoth:
+      co_await ctx.release_all();
+      break;
+  }
+}
+
+std::uint64_t Tl2Bench::total_value() const {
+  std::uint64_t sum = 0;
+  for (const TxObject& o : objects_) sum += m_.memory().read(o.value);
+  return sum;
+}
+
+}  // namespace lrsim

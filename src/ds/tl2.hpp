@@ -1,0 +1,69 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// TL2-style two-object transactions (the paper's Figure 4/5 MultiLease
+// benchmark): "transactions attempt to modify the values of two randomly
+// chosen transactional objects out of a fixed set of ten, by acquiring
+// locks on both. If an acquisition fails, the transaction aborts and is
+// retried."
+//
+// Each transactional object carries a versioned lock word (version << 1 |
+// locked) and a value word, as in Dice–Shalev–Shavit TL2. Lock acquisition
+// is try-lock in a fixed (index) order; a failed acquisition aborts.
+//
+// Lease modes reproduce the paper's three curves:
+//   kNone  — base TL2.
+//   kFirst — single lease on the first object's lock only ("leasing just
+//            the lock associated to the first object improves throughput
+//            only moderately").
+//   kBoth  — MultiLease on both lock words (up to 5x, Figure 4); with
+//            MachineConfig::software_multilease this becomes the software
+//            emulation of Figure 5 (left).
+#pragma once
+
+#include <vector>
+
+#include "runtime/machine.hpp"
+#include "runtime/task.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+enum class TxLeaseMode { kNone, kFirst, kBoth };
+
+struct Tl2Options {
+  std::size_t num_objects = 10;
+  TxLeaseMode lease_mode = TxLeaseMode::kNone;
+  Cycle lease_time = 0;
+  Cycle compute_work = 50;  ///< Local cycles spent "computing" inside the txn.
+};
+
+class Tl2Bench {
+ public:
+  Tl2Bench(Machine& m, Tl2Options opt = {});
+
+  /// Runs one transaction to commit (retrying aborts). Updates two random
+  /// objects; counts commits and aborts in stats.
+  Task<void> run_transaction(Ctx& ctx);
+
+  /// Invariant oracle: transactions transfer value between objects, so the
+  /// total is conserved.
+  std::uint64_t total_value() const;
+
+  std::size_t num_objects() const { return objects_.size(); }
+
+ private:
+  struct TxObject {
+    Addr lock;   ///< Versioned lock word, own line.
+    Addr value;  ///< Own line.
+  };
+
+  Task<bool> try_lock_obj(Ctx& ctx, std::size_t idx);
+  Task<void> unlock_obj(Ctx& ctx, std::size_t idx);
+  Task<void> drop_leases(Ctx& ctx, std::size_t lo);
+
+  Machine& m_;
+  Tl2Options opt_;
+  std::vector<TxObject> objects_;
+};
+
+}  // namespace lrsim

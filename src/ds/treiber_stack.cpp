@@ -1,0 +1,70 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+
+#include "ds/treiber_stack.hpp"
+
+namespace lrsim {
+
+namespace {
+constexpr Addr kValueOff = 0;
+constexpr Addr kNextOff = 8;
+}  // namespace
+
+TreiberStack::TreiberStack(Machine& m, TreiberOptions opt) : m_(m), head_(m.heap().alloc_line()), opt_(opt) {
+  if (opt_.lease_time == 0) opt_.lease_time = m.config().max_lease_time;
+  m.memory().write(head_, 0);
+}
+
+Task<void> TreiberStack::push(Ctx& ctx, std::uint64_t v) {
+  // Figure 1, StackPush. The new node is cold (private line): initializing
+  // it costs one uncached GetX, like a real allocation.
+  const Addr node = m_.heap().alloc_line(16);
+  co_await ctx.store(node + kValueOff, v);
+  Backoff backoff{opt_.backoff_min, opt_.backoff_max};
+  while (true) {
+    if (opt_.use_lease) co_await ctx.lease(head_, opt_.lease_time);
+    const Addr h = co_await ctx.load(head_);
+    co_await ctx.store(node + kNextOff, h);
+    const bool ok = co_await ctx.cas(head_, h, node);
+    if (opt_.use_lease) co_await ctx.release(head_);
+    if (ok) {
+      ctx.count_op();
+      co_return;
+    }
+    if (opt_.use_backoff) co_await backoff.pause(ctx);
+  }
+}
+
+Task<std::optional<std::uint64_t>> TreiberStack::pop(Ctx& ctx) {
+  Backoff backoff{opt_.backoff_min, opt_.backoff_max};
+  while (true) {
+    if (opt_.use_lease) co_await ctx.lease(head_, opt_.lease_time);
+    const Addr h = co_await ctx.load(head_);
+    if (h == 0) {
+      if (opt_.use_lease) co_await ctx.release(head_);
+      ctx.count_op();
+      co_return std::nullopt;
+    }
+    // Reading the node's fields touches a different line; the lease on the
+    // head line is still held, which is exactly the paper's point: the
+    // read-CAS window on the *head* is protected while we chase the pointer.
+    const Addr n = co_await ctx.load(h + kNextOff);
+    const std::uint64_t v = co_await ctx.load(h + kValueOff);
+    const bool ok = co_await ctx.cas(head_, h, n);
+    if (opt_.use_lease) co_await ctx.release(head_);
+    if (ok) {
+      ctx.count_op();
+      co_return v;
+    }
+    if (opt_.use_backoff) co_await backoff.pause(ctx);
+  }
+}
+
+std::vector<std::uint64_t> TreiberStack::snapshot() const {
+  std::vector<std::uint64_t> out;
+  for (Addr p = m_.memory().read(head_); p != 0; p = m_.memory().read(p + kNextOff)) {
+    out.push_back(m_.memory().read(p + kValueOff));
+  }
+  return out;
+}
+
+}  // namespace lrsim

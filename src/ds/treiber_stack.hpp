@@ -1,0 +1,59 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Treiber's lock-free stack [Treiber 1986] over the simulated ISA, with the
+// paper's lease placement (Figure 1): lease the head-pointer line before the
+// read, release after the CAS, so the read-CAS window cannot be interrupted
+// by competing ownership requests and the CAS validation "is always
+// successful, unless the lease on the corresponding line expires".
+//
+// An optional randomized-exponential-backoff variant provides the software
+// baseline of Section 7 ("Comparison with Backoffs").
+#pragma once
+
+#include <optional>
+
+#include "runtime/machine.hpp"
+#include "runtime/task.hpp"
+#include "sync/backoff.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+struct TreiberOptions {
+  bool use_lease = false;
+  Cycle lease_time = 0;     ///< 0 => MAX_LEASE_TIME.
+  bool use_backoff = false; ///< Randomized exponential backoff after CAS failure.
+  Cycle backoff_min = 32;
+  Cycle backoff_max = 8192;
+};
+
+/// Node layout (simulated memory, one cache line per node):
+///   word 0: value
+///   word 1: next (simulated address; 0 == null)
+///
+/// Nodes are never recycled: the classic Treiber stack is ABA-prone under
+/// address reuse, and the paper's benchmarks (like ours) sidestep memory
+/// reclamation entirely.
+class TreiberStack {
+ public:
+  TreiberStack(Machine& m, TreiberOptions opt = {});
+
+  /// Pushes `v`. Counts one op on completion.
+  Task<void> push(Ctx& ctx, std::uint64_t v);
+
+  /// Pops the top value, or nullopt if the stack is empty.
+  Task<std::optional<std::uint64_t>> pop(Ctx& ctx);
+
+  Addr head_addr() const noexcept { return head_; }
+
+  /// Functional (zero-cost) walk for test oracles; only meaningful while the
+  /// simulation is quiescent.
+  std::vector<std::uint64_t> snapshot() const;
+
+ private:
+  Machine& m_;
+  Addr head_;
+  TreiberOptions opt_;
+};
+
+}  // namespace lrsim

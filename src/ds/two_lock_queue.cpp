@@ -1,0 +1,59 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+
+#include "ds/two_lock_queue.hpp"
+
+namespace lrsim {
+
+TwoLockQueue::TwoLockQueue(Machine& m, TwoLockQueueOptions opt)
+    : m_(m),
+      head_lock_(m, LockOptions{.use_lease = opt.use_lease}),
+      tail_lock_(m, LockOptions{.use_lease = opt.use_lease}),
+      head_(m.heap().alloc_line()),
+      tail_(m.heap().alloc_line()) {
+  const Addr dummy = m.heap().alloc_line(16);
+  m.memory().write(dummy + kValueOff, 0);
+  m.memory().write(dummy + kNextOff, 0);
+  m.memory().write(head_, dummy);
+  m.memory().write(tail_, dummy);
+}
+
+Task<void> TwoLockQueue::enqueue(Ctx& ctx, std::uint64_t v) {
+  const Addr node = m_.heap().alloc_line(16);
+  co_await ctx.store(node + kValueOff, v);
+  co_await ctx.store(node + kNextOff, 0);
+
+  co_await tail_lock_.lock(ctx);
+  const Addr t = co_await ctx.load(tail_);
+  co_await ctx.store(t + kNextOff, node);
+  co_await ctx.store(tail_, node);
+  co_await tail_lock_.unlock(ctx);
+  ctx.count_op();
+}
+
+Task<std::optional<std::uint64_t>> TwoLockQueue::dequeue(Ctx& ctx) {
+  co_await head_lock_.lock(ctx);
+  const Addr dummy = co_await ctx.load(head_);
+  const Addr first = co_await ctx.load(dummy + kNextOff);
+  if (first == 0) {
+    co_await head_lock_.unlock(ctx);
+    ctx.count_op();
+    co_return std::nullopt;
+  }
+  const std::uint64_t v = co_await ctx.load(first + kValueOff);
+  // The first real node becomes the new dummy (its value is dead).
+  co_await ctx.store(head_, first);
+  co_await head_lock_.unlock(ctx);
+  ctx.count_op();
+  co_return v;
+}
+
+std::vector<std::uint64_t> TwoLockQueue::snapshot() const {
+  std::vector<std::uint64_t> out;
+  const Addr dummy = m_.memory().read(head_);
+  for (Addr p = m_.memory().read(dummy + kNextOff); p != 0; p = m_.memory().read(p + kNextOff)) {
+    out.push_back(m_.memory().read(p + kValueOff));
+  }
+  return out;
+}
+
+}  // namespace lrsim

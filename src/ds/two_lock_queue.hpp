@@ -1,0 +1,45 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// The two-lock (blocking) Michael–Scott queue [PODC'96] — the lock-based
+// queue of the paper's Figure 3 caption. A head lock serializes dequeues
+// and a tail lock serializes enqueues; the dummy node keeps them from ever
+// conflicting. With leases, each lock's line is leased for its critical
+// section (the Section 6 try-lock recipe), so the unlock store is an L1 hit
+// and waiters queue implicitly.
+#pragma once
+
+#include <optional>
+
+#include "runtime/machine.hpp"
+#include "runtime/task.hpp"
+#include "sync/locks.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+struct TwoLockQueueOptions {
+  bool use_lease = false;
+};
+
+/// Node layout (one line): word 0 = value, word 1 = next.
+class TwoLockQueue {
+ public:
+  TwoLockQueue(Machine& m, TwoLockQueueOptions opt = {});
+
+  Task<void> enqueue(Ctx& ctx, std::uint64_t v);
+  Task<std::optional<std::uint64_t>> dequeue(Ctx& ctx);
+
+  std::vector<std::uint64_t> snapshot() const;
+
+ private:
+  static constexpr Addr kValueOff = 0;
+  static constexpr Addr kNextOff = 8;
+
+  Machine& m_;
+  TTSLock head_lock_;
+  TTSLock tail_lock_;
+  Addr head_;  ///< Dummy-node pointer (own line).
+  Addr tail_;  ///< Last-node pointer (own line).
+};
+
+}  // namespace lrsim

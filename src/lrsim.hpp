@@ -1,0 +1,27 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Umbrella header for the lrsim core library: the simulated multicore
+// machine with directory-based MSI coherence and the Lease/Release
+// extension (PPoPP'16). Include this to get the full public API:
+//
+//   Machine / MachineConfig  — build and run a simulated machine
+//   Ctx                      — per-thread awaitable ISA (load/store/CAS/
+//                              FAA/xchg/work/lease/release/multi_lease)
+//   Task<T>                  — coroutine type for workload code
+//   SimHeap / SimMemory      — simulated address space
+//   Stats / EnergyModel      — counters and the energy model
+#pragma once
+
+#include "coherence/config.hpp"     // IWYU pragma: export
+#include "coherence/controller.hpp" // IWYU pragma: export
+#include "coherence/directory.hpp"  // IWYU pragma: export
+#include "coherence/l1_cache.hpp"   // IWYU pragma: export
+#include "core/lease_table.hpp"     // IWYU pragma: export
+#include "mem/heap.hpp"             // IWYU pragma: export
+#include "mem/memory.hpp"           // IWYU pragma: export
+#include "runtime/machine.hpp"      // IWYU pragma: export
+#include "runtime/task.hpp"         // IWYU pragma: export
+#include "sim/event_queue.hpp"      // IWYU pragma: export
+#include "sim/stats.hpp"            // IWYU pragma: export
+#include "util/rng.hpp"             // IWYU pragma: export
+#include "util/types.hpp"           // IWYU pragma: export

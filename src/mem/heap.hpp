@@ -1,0 +1,83 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// A simulated-address-space allocator for workload data structures.
+//
+// Data-structure nodes live in simulated memory so that every pointer chase
+// generates modeled coherence traffic. The allocator supports cache-line
+// alignment on demand: the paper (Section 7, "Observations and Limitations")
+// calls out false sharing between leased variables as a real hazard, so
+// contended variables (stack heads, queue sentinels, locks) are allocated
+// one-per-line by default, while bulk payloads can pack densely.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace lrsim {
+
+/// Bump allocator over the simulated address space with a per-size free
+/// list. There is no simulated-memory pressure to manage (SimMemory is
+/// sparse), so freeing simply recycles blocks to bound the address range
+/// touched by long runs.
+class SimHeap {
+ public:
+  /// `base` keeps simulated addresses away from 0 so that a 0 value can be
+  /// used as a null simulated pointer by workloads.
+  explicit SimHeap(Addr base = 0x10000) : next_(align_up(base, kLineSize)) {
+    assert(base > 0);
+  }
+
+  /// Allocates `bytes` (rounded up to 8) with the given alignment
+  /// (power of two, >= 8). Returns the simulated byte address.
+  Addr alloc(std::size_t bytes, std::size_t align = 8) {
+    assert(align >= 8 && (align & (align - 1)) == 0);
+    bytes = align_up(bytes, 8);
+    if (align == kLineSize) {
+      // Line-aligned blocks are the common contended-object case; recycle
+      // them from a dedicated free list keyed by line count.
+      const std::size_t lines = align_up(bytes, kLineSize) / kLineSize;
+      if (lines < line_free_.size() && !line_free_[lines].empty()) {
+        Addr a = line_free_[lines].back();
+        line_free_[lines].pop_back();
+        return a;
+      }
+      next_ = align_up(next_, kLineSize);
+      Addr a = next_;
+      next_ += lines * kLineSize;
+      return a;
+    }
+    next_ = align_up(next_, align);
+    Addr a = next_;
+    next_ += bytes;
+    return a;
+  }
+
+  /// Allocates one object alone on its own cache line(s): the right choice
+  /// for any word that will be leased or contended.
+  Addr alloc_line(std::size_t bytes = 8) { return alloc(align_up(bytes, kLineSize), kLineSize); }
+
+  /// Returns a line-aligned block to the free list. Only blocks obtained
+  /// from alloc_line / alloc(..., kLineSize) may be freed.
+  void free_line(Addr a, std::size_t bytes = 8) {
+    assert((a & (kLineSize - 1)) == 0);
+    const std::size_t lines = align_up(align_up(bytes, 8), kLineSize) / kLineSize;
+    if (lines >= line_free_.size()) line_free_.resize(lines + 1);
+    line_free_[lines].push_back(a);
+  }
+
+  /// Highest simulated address handed out so far (exclusive).
+  Addr high_water() const noexcept { return next_; }
+
+ private:
+  static constexpr std::size_t align_up(std::size_t x, std::size_t a) noexcept {
+    return (x + a - 1) & ~(a - 1);
+  }
+
+  Addr next_;
+  std::vector<std::vector<Addr>> line_free_;
+};
+
+}  // namespace lrsim

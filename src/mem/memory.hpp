@@ -1,0 +1,50 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Backing store for the simulated physical address space.
+//
+// Values live at 64-bit word granularity in sparse line-sized blocks.
+// Functional state is kept separate from the timing model (coherence/):
+// caches track *states*, not data copies — with a single global event order
+// and per-line transaction serialization, the directory's view of the
+// memory value is always well-defined, so keeping one canonical copy is
+// both simpler and sufficient.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/types.hpp"
+
+namespace lrsim {
+
+/// Sparse simulated physical memory.
+class SimMemory {
+ public:
+  /// Reads the 64-bit word at `a` (must be 8-byte aligned). Unwritten
+  /// memory reads as zero, like freshly mapped pages.
+  std::uint64_t read(Addr a) const {
+    assert(is_word_aligned(a));
+    auto it = lines_.find(line_of(a));
+    if (it == lines_.end()) return 0;
+    return it->second[static_cast<std::size_t>(word_in_line(a))];
+  }
+
+  /// Writes the 64-bit word at `a`.
+  void write(Addr a, std::uint64_t v) {
+    assert(is_word_aligned(a));
+    lines_[line_of(a)][static_cast<std::size_t>(word_in_line(a))] = v;
+  }
+
+  /// True if the line has ever been written (used by the DRAM first-touch
+  /// cost model in the directory).
+  bool line_exists(LineId l) const { return lines_.contains(l); }
+
+  std::size_t resident_lines() const { return lines_.size(); }
+
+ private:
+  std::unordered_map<LineId, std::array<std::uint64_t, kWordsPerLine>> lines_;
+};
+
+}  // namespace lrsim

@@ -1,0 +1,461 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Machine: the user-facing top of the lrsim core library.
+//
+// A Machine owns the event kernel, simulated memory + heap, the directory,
+// and one cache controller per core. Workloads are coroutines (Task<void>)
+// spawned one per core; they interact with the machine exclusively through
+// a Ctx handle whose methods return awaitables:
+//
+//   Task<void> worker(Ctx& ctx, Addr counter) {
+//     co_await ctx.lease(counter, 2000);
+//     std::uint64_t v = co_await ctx.load(counter);
+//     co_await ctx.store(counter, v + 1);
+//     co_await ctx.release(counter);
+//   }
+//
+//   Machine m{MachineConfig{.num_cores = 8}};
+//   Addr counter = m.heap().alloc_line();
+//   for (int c = 0; c < 8; ++c) m.spawn(c, [&](Ctx& ctx) { return worker(ctx, counter); });
+//   m.run();
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "coherence/config.hpp"
+#include "coherence/controller.hpp"
+#include "coherence/directory.hpp"
+#include "mem/heap.hpp"
+#include "mem/memory.hpp"
+#include "runtime/task.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/trace.hpp"
+#include "sim/stats.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+class Machine;
+
+/// Per-thread execution context: the simulated ISA as awaitables.
+class Ctx {
+ public:
+  CoreId core() const noexcept { return core_; }
+  Cycle now() const noexcept { return ev_.now(); }
+  Rng& rng() noexcept { return rng_; }
+  Stats& stats() noexcept { return cc_.stats(); }
+  const MachineConfig& config() const noexcept { return cfg_; }
+
+  /// Marks one completed application-level operation (throughput metric).
+  void count_op() noexcept { ++cc_.stats().ops_completed; }
+
+  // --- awaitable memory operations ----------------------------------------
+
+  /// 64-bit load.
+  auto load(Addr a) {
+    struct Aw {
+      Ctx* c;
+      Addr a;
+      std::uint64_t v = 0;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        c->begin_op();
+        c->cc_.cpu_read(a, [this, h](std::uint64_t val) {
+          v = val;
+          c->end_op();
+          h.resume();
+        });
+      }
+      std::uint64_t await_resume() const noexcept { return v; }
+    };
+    return Aw{this, a};
+  }
+
+  /// 64-bit store.
+  auto store(Addr a, std::uint64_t v) {
+    struct Aw {
+      Ctx* c;
+      Addr a;
+      std::uint64_t v;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        c->begin_op();
+        c->cc_.cpu_write(a, v, [this, h] {
+          c->end_op();
+          h.resume();
+        });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Aw{this, a, v};
+  }
+
+  /// Compare-and-swap; resumes with success flag.
+  auto cas(Addr a, std::uint64_t expect, std::uint64_t desired) {
+    struct Aw {
+      Ctx* c;
+      Addr a;
+      std::uint64_t e, d;
+      bool ok = false;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        c->begin_op();
+        c->cc_.cpu_cas(a, e, d, [this, h](bool success, std::uint64_t) {
+          ok = success;
+          c->end_op();
+          h.resume();
+        });
+      }
+      bool await_resume() const noexcept { return ok; }
+    };
+    return Aw{this, a, expect, desired};
+  }
+
+  /// Compare-and-swap; resumes with the *old* value (success == old == expect).
+  auto cas_val(Addr a, std::uint64_t expect, std::uint64_t desired) {
+    struct Aw {
+      Ctx* c;
+      Addr a;
+      std::uint64_t e, d;
+      std::uint64_t old = 0;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        c->begin_op();
+        c->cc_.cpu_cas(a, e, d, [this, h](bool, std::uint64_t o) {
+          old = o;
+          c->end_op();
+          h.resume();
+        });
+      }
+      std::uint64_t await_resume() const noexcept { return old; }
+    };
+    return Aw{this, a, expect, desired};
+  }
+
+  /// Fetch-and-add; resumes with the old value.
+  auto faa(Addr a, std::uint64_t add) {
+    struct Aw {
+      Ctx* c;
+      Addr a;
+      std::uint64_t add;
+      std::uint64_t old = 0;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        c->begin_op();
+        c->cc_.cpu_faa(a, add, [this, h](std::uint64_t o) {
+          old = o;
+          c->end_op();
+          h.resume();
+        });
+      }
+      std::uint64_t await_resume() const noexcept { return old; }
+    };
+    return Aw{this, a, add};
+  }
+
+  /// Atomic exchange; resumes with the old value (test&set building block).
+  auto xchg(Addr a, std::uint64_t v) {
+    struct Aw {
+      Ctx* c;
+      Addr a;
+      std::uint64_t v;
+      std::uint64_t old = 0;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        c->begin_op();
+        c->cc_.cpu_xchg(a, v, [this, h](std::uint64_t o) {
+          old = o;
+          c->end_op();
+          h.resume();
+        });
+      }
+      std::uint64_t await_resume() const noexcept { return old; }
+    };
+    return Aw{this, a, v};
+  }
+
+  /// Local computation: advances this core's time by `n` cycles.
+  auto work(Cycle n) {
+    struct Aw {
+      Ctx* c;
+      Cycle n;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        c->ev_.schedule_in(n, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Aw{this, n};
+  }
+
+  // --- Lease/Release (Sections 3-4) ----------------------------------------
+
+  /// Lease the line containing `a` for `duration` cycles (clamped to
+  /// MAX_LEASE_TIME). Resumes once the line is held exclusively and the
+  /// countdown is running. No-op on a leases-disabled machine.
+  auto lease(Addr a, Cycle duration) {
+    struct Aw {
+      Ctx* c;
+      Addr a;
+      Cycle d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        c->begin_op();
+        c->cc_.cpu_lease(a, d, [this, h] {
+          c->end_op();
+          h.resume();
+        });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Aw{this, a, duration};
+  }
+
+  /// Convenience: lease for the full MAX_LEASE_TIME.
+  auto lease_max(Addr a) { return lease(a, cfg_.max_lease_time); }
+
+  /// Release; resumes with true iff the release was voluntary.
+  auto release(Addr a) {
+    struct Aw {
+      Ctx* c;
+      Addr a;
+      bool voluntary = false;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        c->begin_op();
+        c->cc_.cpu_release(a, [this, h](bool vol) {
+          voluntary = vol;
+          c->end_op();
+          h.resume();
+        });
+      }
+      bool await_resume() const noexcept { return voluntary; }
+    };
+    return Aw{this, a};
+  }
+
+  /// MultiLease on a set of addresses (Algorithm 2).
+  auto multi_lease(std::vector<Addr> addrs, Cycle duration) {
+    struct Aw {
+      Ctx* c;
+      std::vector<Addr> addrs;
+      Cycle d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        c->begin_op();
+        c->cc_.cpu_multi_lease(std::move(addrs), d, [this, h] {
+          c->end_op();
+          h.resume();
+        });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Aw{this, std::move(addrs), duration};
+  }
+
+  /// ReleaseAll (Algorithm 2).
+  auto release_all() {
+    struct Aw {
+      Ctx* c;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        c->begin_op();
+        c->cc_.cpu_release_all([this, h] {
+          c->end_op();
+          h.resume();
+        });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Aw{this};
+  }
+
+  CacheController& controller() noexcept { return cc_; }
+
+ private:
+  friend class Machine;
+  Ctx(CoreId core, EventQueue& ev, CacheController& cc, const MachineConfig& cfg, std::uint64_t seed)
+      : core_(core), ev_(ev), cc_(cc), cfg_(cfg), rng_(seed) {}
+
+  // An in-order core has exactly one outstanding memory instruction; these
+  // asserts catch accidentally spawning two threads on one core.
+  void begin_op() {
+    assert(!op_in_flight_ && "two concurrent memory ops on one in-order core");
+    op_in_flight_ = true;
+  }
+  void end_op() { op_in_flight_ = false; }
+
+  CoreId core_;
+  EventQueue& ev_;
+  CacheController& cc_;
+  const MachineConfig& cfg_;
+  Rng rng_;
+  bool op_in_flight_ = false;
+};
+
+namespace detail {
+
+/// Detached root coroutine wrapping each spawned thread.
+struct Fiber {
+  struct promise_type {
+    Fiber get_return_object() {
+      return Fiber{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    // Suspend at the end so Machine can destroy finished and unfinished
+    // frames uniformly (destroying a running-to-completion frame would be
+    // use-after-free; destroying a finally-suspended one is the idiom).
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { std::terminate(); }  // run_root catches first
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+}  // namespace detail
+
+/// The simulated multicore machine.
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg = {}, std::uint64_t seed = 1)
+      : cfg_(std::move(cfg)), seed_(seed), core_stats_(static_cast<std::size_t>(cfg_.num_cores)) {
+    if (cfg_.num_cores <= 0) throw std::invalid_argument("num_cores must be positive");
+    dir_ = std::make_unique<Directory>(ev_, mem_, cfg_, dir_stats_);
+    controllers_.reserve(static_cast<std::size_t>(cfg_.num_cores));
+    std::vector<CacheController*> raw;
+    for (int c = 0; c < cfg_.num_cores; ++c) {
+      controllers_.push_back(
+          std::make_unique<CacheController>(c, ev_, mem_, cfg_, core_stats_[static_cast<std::size_t>(c)]));
+      controllers_.back()->attach_directory(dir_.get());
+      raw.push_back(controllers_.back().get());
+    }
+    dir_->attach_cores(std::move(raw));
+  }
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  ~Machine() {
+    // Destroy thread frames (finished ones sit at their final suspend
+    // point; unfinished ones are suspended mid-await) before the machine
+    // components they reference.
+    for (auto& t : threads_) {
+      if (t->root) t->root.destroy();
+    }
+  }
+
+  /// Spawns a simulated thread on `core`. Execution begins at the current
+  /// simulated cycle once run() pumps events. One thread per core.
+  ///
+  /// The functor is *stored inside the Machine* for the thread's lifetime:
+  /// a coroutine lambda's frame references its closure object rather than
+  /// copying it, so the closure must outlive the run (the classic lambda-
+  /// coroutine pitfall). Capturing stack variables by reference is fine as
+  /// long as they outlive Machine::run(), which is the normal pattern.
+  template <typename F>
+  void spawn(CoreId core, F&& fn) {
+    assert(core >= 0 && core < cfg_.num_cores);
+    auto t = std::make_unique<ThreadState>();
+    t->ctx.reset(new Ctx(core, ev_, *controllers_[static_cast<std::size_t>(core)], cfg_,
+                         seed_ ^ (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(core) + 1))));
+    t->fn = std::forward<F>(fn);
+    ThreadState* ts = t.get();
+    detail::Fiber f = run_root(ts->fn(*ts->ctx), ts);
+    ts->root = f.handle;
+    threads_.push_back(std::move(t));
+    ev_.schedule_in(0, [ts] { ts->root.resume(); });
+  }
+
+  /// Runs the simulation until every spawned thread finishes (or `limit`
+  /// cycles elapse — a watchdog for deadlock tests). Returns the final
+  /// simulated cycle. Rethrows the first workload exception, if any.
+  Cycle run(Cycle limit = UINT64_MAX) {
+    ev_.run_while([this] { return !all_done(); }, limit);
+    for (auto& t : threads_) {
+      if (t->error) std::rethrow_exception(t->error);
+    }
+    return ev_.now();
+  }
+
+  bool all_done() const {
+    for (const auto& t : threads_) {
+      if (!t->done) return false;
+    }
+    return true;
+  }
+
+  std::size_t threads_finished() const {
+    std::size_t n = 0;
+    for (const auto& t : threads_) n += t->done ? 1 : 0;
+    return n;
+  }
+
+  // --- components -----------------------------------------------------------
+  EventQueue& events() noexcept { return ev_; }
+  SimMemory& memory() noexcept { return mem_; }
+  SimHeap& heap() noexcept { return heap_; }
+  Directory& directory() noexcept { return *dir_; }
+  CacheController& controller(CoreId c) { return *controllers_[static_cast<std::size_t>(c)]; }
+  const MachineConfig& config() const noexcept { return cfg_; }
+
+  /// Stats for one core (requester-attributed).
+  const Stats& core_stats(CoreId c) const { return core_stats_[static_cast<std::size_t>(c)]; }
+
+  /// Turns on protocol tracing into a bounded ring (see sim/trace.hpp).
+  /// Optionally restricted to one cache line. Returns the tracer for
+  /// inspection/dumping.
+  Tracer& enable_tracing(std::size_t capacity = 4096,
+                         std::optional<LineId> line_filter = std::nullopt) {
+    tracer_ = std::make_unique<Tracer>(capacity, line_filter);
+    dir_->set_tracer(tracer_.get());
+    for (auto& c : controllers_) c->set_tracer(tracer_.get());
+    return *tracer_;
+  }
+  Tracer* tracer() noexcept { return tracer_.get(); }
+
+  /// Machine-wide aggregate, including directory-attributed counters.
+  Stats total_stats() const {
+    Stats s = dir_stats_;
+    for (const Stats& cs : core_stats_) s += cs;
+    return s;
+  }
+
+ private:
+  struct ThreadState {
+    std::unique_ptr<Ctx> ctx;
+    std::function<Task<void>(Ctx&)> fn;  ///< Keeps the closure object alive.
+    std::coroutine_handle<detail::Fiber::promise_type> root = nullptr;
+    bool done = false;
+    std::exception_ptr error;
+  };
+
+  static detail::Fiber run_root(Task<void> t, ThreadState* ts) {
+    try {
+      co_await std::move(t);
+    } catch (...) {
+      ts->error = std::current_exception();
+    }
+    ts->done = true;
+  }
+
+  MachineConfig cfg_;
+  std::uint64_t seed_;
+  EventQueue ev_;
+  SimMemory mem_;
+  SimHeap heap_;
+  Stats dir_stats_;  ///< Messages/events attributed at the directory.
+  std::vector<Stats> core_stats_;
+  std::unique_ptr<Directory> dir_;
+  std::vector<std::unique_ptr<CacheController>> controllers_;
+  std::vector<std::unique_ptr<ThreadState>> threads_;
+  std::unique_ptr<Tracer> tracer_;
+};
+
+}  // namespace lrsim

@@ -1,0 +1,181 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// A minimal lazy Task<T> coroutine type with symmetric transfer.
+//
+// Simulated threads are coroutines: data-structure operations are Task<T>
+// functions that co_await memory-operation awaitables (runtime/machine.hpp),
+// which suspend the thread until the modeled cache/coherence latency has
+// elapsed. Nested calls (e.g. a benchmark loop awaiting stack.push awaiting
+// ctx.cas) compose through the continuation chain below.
+//
+// *** GCC 12 WORKAROUND — READ BEFORE WRITING WORKLOAD CODE ***
+//
+// GCC 12.2 miscompiles `co_await` of a *prvalue Task* appearing directly in
+// an if/while/for **condition**: the enclosing coroutine's frame dispatch is
+// corrupted and the awaited task silently never runs. Empirically verified
+// in this repo (see tests/style_lint_test.cpp, which greps for the pattern):
+//
+//   if (co_await lock.try_lock(ctx)) ...          // BROKEN on GCC 12
+//   while (co_await set.remove(ctx, k)) ...       // BROKEN on GCC 12
+//
+//   const bool ok = co_await lock.try_lock(ctx);  // OK — always hoist
+//   if (ok) ...
+//
+// Safe everywhere: initializers, arithmetic subexpressions, ternaries,
+// `co_return co_await f()`, `co_await std::move(lvalue_task)` in conditions,
+// and leaf awaitables (Ctx::load/store/cas/... are trivially destructible
+// and unaffected, so `while (co_await ctx.load(a) != 0)` is fine).
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace lrsim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;  ///< Resumed when this task finishes.
+  std::exception_ptr exception;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      // Symmetric transfer into whoever awaited us; top-level fibers always
+      // set a continuation (runtime/machine.hpp), so this is never null in
+      // a running simulation, but tolerate detached use in tests.
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// A lazily started coroutine returning T. Move-only; owns its frame.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    T value{};
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    template <typename U>
+    void return_value(U&& v) {
+      value = std::forward<U>(v);
+    }
+  };
+
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  /// Awaiting a Task starts it and suspends the awaiter until completion.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;  // symmetric transfer: start the child
+      }
+      T await_resume() {
+        if (h.promise().exception) std::rethrow_exception(h.promise().exception);
+        return std::move(h.promise().value);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+  bool valid() const noexcept { return h_ != nullptr; }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> h_ = nullptr;
+
+  friend struct promise_type;
+  template <typename>
+  friend class Task;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() noexcept {}
+  };
+
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      void await_resume() {
+        if (h.promise().exception) std::rethrow_exception(h.promise().exception);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+  bool valid() const noexcept { return h_ != nullptr; }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_ = nullptr;
+
+  friend struct promise_type;
+};
+
+}  // namespace lrsim

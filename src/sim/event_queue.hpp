@@ -1,0 +1,134 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// The discrete-event kernel at the heart of lrsim.
+//
+// Everything in the simulated machine — network message arrival, cache/
+// directory service completion, lease expiry, core wake-up — is an event
+// scheduled at an absolute cycle. Events at the same cycle fire in
+// scheduling order (a monotone sequence number breaks ties), which makes
+// every run bit-deterministic.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace lrsim {
+
+/// Handle to a scheduled event; allows cancellation (used by lease timers,
+/// which are "cancelled" on voluntary release).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Idempotent.
+  void cancel() {
+    if (auto p = state_.lock()) *p = true;
+  }
+
+  /// True if this handle refers to an event that is still pending.
+  bool pending() const {
+    auto p = state_.lock();
+    return p != nullptr && !*p;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<bool> s) : state_(std::move(s)) {}
+  std::weak_ptr<bool> state_;  // *state == true  =>  cancelled
+};
+
+/// A binary-heap event queue with cancellation and deterministic tie-break.
+class EventQueue {
+ public:
+  /// Current simulated time. Only advances inside run_* calls.
+  Cycle now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run at absolute cycle `when` (>= now()).
+  EventHandle schedule_at(Cycle when, std::function<void()> fn) {
+    assert(when >= now_ && "cannot schedule an event in the past");
+    auto cancelled = std::make_shared<bool>(false);
+    heap_.push(Event{when, seq_++, std::move(fn), cancelled});
+    ++scheduled_;
+    return EventHandle{cancelled};
+  }
+
+  /// Schedules `fn` to run `delay` cycles from now.
+  EventHandle schedule_in(Cycle delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue drains or `limit` cycles elapse.
+  /// Returns the number of events fired.
+  std::uint64_t run(Cycle limit = UINT64_MAX) {
+    std::uint64_t fired = 0;
+    while (!heap_.empty()) {
+      // const_cast is safe: we pop immediately and never reorder a live heap
+      // node; std::priority_queue just lacks a non-const top().
+      Event ev = std::move(const_cast<Event&>(heap_.top()));
+      heap_.pop();
+      if (*ev.cancelled) continue;
+      if (ev.when > limit) {
+        // Too far in the future: put it back and stop. (Rare path — only
+        // bounded-horizon runs hit it.)
+        heap_.push(std::move(ev));
+        now_ = limit;
+        break;
+      }
+      assert(ev.when >= now_);
+      now_ = ev.when;
+      ++fired;
+      ev.fn();
+    }
+    return fired;
+  }
+
+  /// Runs while `pred()` holds and events remain. Used by Machine::run_until.
+  template <typename Pred>
+  std::uint64_t run_while(Pred&& pred, Cycle limit = UINT64_MAX) {
+    std::uint64_t fired = 0;
+    while (pred() && !heap_.empty()) {
+      Event ev = std::move(const_cast<Event&>(heap_.top()));
+      heap_.pop();
+      if (*ev.cancelled) continue;
+      if (ev.when > limit) {
+        heap_.push(std::move(ev));
+        now_ = limit;
+        break;
+      }
+      now_ = ev.when;
+      ++fired;
+      ev.fn();
+    }
+    return fired;
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::uint64_t total_scheduled() const noexcept { return scheduled_; }
+
+ private:
+  struct Event {
+    Cycle when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;  // FIFO among same-cycle events
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Cycle now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t scheduled_ = 0;
+};
+
+}  // namespace lrsim

@@ -1,0 +1,95 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Optional event tracing: a bounded ring of timestamped protocol events for
+// debugging workloads and understanding lease behaviour. Disabled by
+// default (zero cost beyond a null check); enable per machine with
+// Machine::enable_tracing(capacity[, line_filter]).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace lrsim {
+
+enum class TraceEvent : std::uint8_t {
+  kCpuLoad,      ///< info = byte address
+  kCpuStore,     ///< info = byte address
+  kCpuRmw,       ///< info = byte address (CAS/FAA/XCHG)
+  kLease,        ///< info = requested duration
+  kLeaseGrant,   ///< lease countdown armed
+  kRelease,      ///< info = 1 if an entry existed (voluntary)
+  kDirService,   ///< info = requester core; core field = home-ish (-1 flat)
+  kDirComplete,  ///< info = requester core
+  kProbe,        ///< probe arrived at `core`; info = 1 invalidate, 0 downgrade
+  kProbePark,    ///< probe parked behind a lease
+  kProbeNack,    ///< probe NACKed (nack_on_lease mode)
+};
+
+const char* trace_event_name(TraceEvent e);
+
+struct TraceRecord {
+  Cycle when = 0;
+  TraceEvent event = TraceEvent::kCpuLoad;
+  CoreId core = -1;
+  LineId line = 0;
+  std::uint64_t info = 0;
+};
+
+/// Bounded ring buffer of trace records.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 4096, std::optional<LineId> line_filter = std::nullopt)
+      : capacity_(capacity), filter_(line_filter) {}
+
+  void emit(TraceEvent ev, Cycle when, CoreId core, LineId line, std::uint64_t info = 0) {
+    if (filter_ && *filter_ != line) return;
+    if (ring_.size() == capacity_) {
+      ring_.pop_front();
+      ++dropped_;
+    }
+    ring_.push_back(TraceRecord{when, ev, core, line, info});
+  }
+
+  std::vector<TraceRecord> records() const { return {ring_.begin(), ring_.end()}; }
+  std::size_t size() const noexcept { return ring_.size(); }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  void clear() { ring_.clear(); }
+
+  void dump(std::ostream& os) const {
+    for (const TraceRecord& r : ring_) {
+      os << "[" << r.when << "] core " << r.core << " " << trace_event_name(r.event) << " line 0x"
+         << std::hex << r.line << " info 0x" << r.info << std::dec << "\n";
+    }
+    if (dropped_ > 0) os << "(" << dropped_ << " earlier records dropped)\n";
+  }
+
+ private:
+  std::size_t capacity_;
+  std::optional<LineId> filter_;
+  std::deque<TraceRecord> ring_;
+  std::uint64_t dropped_ = 0;
+};
+
+inline const char* trace_event_name(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kCpuLoad: return "load";
+    case TraceEvent::kCpuStore: return "store";
+    case TraceEvent::kCpuRmw: return "rmw";
+    case TraceEvent::kLease: return "lease";
+    case TraceEvent::kLeaseGrant: return "lease-grant";
+    case TraceEvent::kRelease: return "release";
+    case TraceEvent::kDirService: return "dir-service";
+    case TraceEvent::kDirComplete: return "dir-complete";
+    case TraceEvent::kProbe: return "probe";
+    case TraceEvent::kProbePark: return "probe-park";
+    case TraceEvent::kProbeNack: return "probe-nack";
+  }
+  return "?";
+}
+
+}  // namespace lrsim

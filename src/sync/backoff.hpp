@@ -1,0 +1,39 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Randomized exponential backoff for the paper's software-baseline
+// comparisons (Section 7, "Comparison with Backoffs"): backoff variants of
+// the stack/queue retry loops wait a randomized, exponentially growing
+// number of cycles after a failed CAS instead of retrying immediately.
+#pragma once
+
+#include "runtime/machine.hpp"
+#include "runtime/task.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+class Backoff {
+ public:
+  /// `min_wait`/`max_wait` bound the randomized wait in cycles.
+  explicit Backoff(Cycle min_wait = 32, Cycle max_wait = 8192)
+      : min_(min_wait), max_(max_wait), cur_(min_wait) {}
+
+  /// Waits a uniform random time in [cur/2, cur], then doubles cur (up to
+  /// the max). Call after a failed CAS / try_lock.
+  Task<void> pause(Ctx& ctx) {
+    const Cycle lo = cur_ / 2 + 1;
+    const Cycle wait = lo + ctx.rng().next_below(cur_ - lo + 1);
+    cur_ = std::min(cur_ * 2, max_);
+    co_await ctx.work(wait);
+  }
+
+  /// Call after a successful operation.
+  void reset() noexcept { cur_ = min_; }
+
+  Cycle current() const noexcept { return cur_; }
+
+ private:
+  Cycle min_, max_, cur_;
+};
+
+}  // namespace lrsim

@@ -1,0 +1,49 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Sense-reversing centralized barrier over the simulated ISA — the standard
+// primitive for level-synchronous graph kernels (the CRONO-style apps the
+// paper's Figure 5 draws from are built on these).
+#pragma once
+
+#include <unordered_map>
+
+#include "runtime/machine.hpp"
+#include "runtime/task.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+class SenseBarrier {
+ public:
+  /// A barrier for exactly `participants` threads.
+  SenseBarrier(Machine& m, int participants)
+      : participants_(participants), count_(m.heap().alloc_line()), sense_(m.heap().alloc_line()) {
+    m.memory().write(count_, 0);
+    m.memory().write(sense_, 0);
+  }
+
+  /// Blocks (in simulated time) until all participants arrive.
+  Task<void> wait(Ctx& ctx) {
+    // Thread-local sense lives in a host map (a real thread keeps it in a
+    // register / TLS).
+    std::uint64_t& my_sense = sense_of_[ctx.core()];
+    my_sense ^= 1;
+    const std::uint64_t arrived = co_await ctx.faa(count_, 1);
+    if (arrived + 1 == static_cast<std::uint64_t>(participants_)) {
+      // Last arrival: reset and release everyone.
+      co_await ctx.store(count_, 0);
+      co_await ctx.store(sense_, my_sense);
+    } else {
+      while (co_await ctx.load(sense_) != my_sense) {
+      }
+    }
+  }
+
+ private:
+  int participants_;
+  Addr count_;
+  Addr sense_;
+  std::unordered_map<CoreId, std::uint64_t> sense_of_;
+};
+
+}  // namespace lrsim

@@ -1,0 +1,77 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+
+#include "sync/cohort_lock.hpp"
+
+namespace lrsim {
+
+CohortTicketLock::CohortTicketLock(Machine& m, CohortOptions opt)
+    : m_(m), opt_(opt), global_next_(m.heap().alloc_line()), global_serving_(m.heap().alloc_line()) {
+  if (opt_.lease_time == 0) opt_.lease_time = m.config().max_lease_time;
+  m.memory().write(global_next_, 0);
+  m.memory().write(global_serving_, 0);
+  const int n_clusters =
+      std::max(1, (m.config().num_cores + opt_.cluster_size - 1) / opt_.cluster_size);
+  for (int i = 0; i < n_clusters; ++i) {
+    Cluster cl{m.heap().alloc_line(), m.heap().alloc_line(), m.heap().alloc_line(),
+               m.heap().alloc_line()};
+    m.memory().write(cl.next, 0);
+    m.memory().write(cl.serving, 0);
+    m.memory().write(cl.batch, 0);
+    m.memory().write(cl.has_global, 0);
+    clusters_.push_back(cl);
+  }
+}
+
+Task<void> CohortTicketLock::lock(Ctx& ctx) {
+  const Cluster& cl = clusters_[cluster_of(ctx.core())];
+  const std::uint64_t ticket = co_await ctx.faa(cl.next, 1);
+  held_ticket_[ctx.core()] = ticket;
+  // Local spin: the handoff store targets exactly this line.
+  while (true) {
+    const std::uint64_t serving = co_await ctx.load(cl.serving);
+    if (serving == ticket) break;
+    co_await ctx.work(32 * (ticket - serving));  // proportional backoff
+  }
+  // Local leader: take the global lock if our cluster doesn't hold it yet.
+  // (has_global is only ever touched while holding the local lock.)
+  const std::uint64_t have = co_await ctx.load(cl.has_global);
+  if (have == 0) {
+    const std::uint64_t g = co_await ctx.faa(global_next_, 1);
+    while (true) {
+      const std::uint64_t gs = co_await ctx.load(global_serving_);
+      if (gs == g) break;
+      co_await ctx.work(64 * (g - gs));
+    }
+    co_await ctx.store(cl.has_global, 1);
+  }
+  if (opt_.use_lease) {
+    // The critical-section lease (Section 6 recipe) on the handoff line:
+    // the unlock's serving store stays an L1 hit, and spinning cluster
+    // peers queue instead of stealing the line mid-section.
+    co_await ctx.lease(cl.serving, opt_.lease_time);
+  }
+  ++ctx.stats().lock_acquisitions;
+}
+
+Task<void> CohortTicketLock::unlock(Ctx& ctx) {
+  const Cluster& cl = clusters_[cluster_of(ctx.core())];
+  const std::uint64_t ticket = held_ticket_[ctx.core()];
+  const std::uint64_t next = co_await ctx.load(cl.next);
+  const std::uint64_t batch = co_await ctx.load(cl.batch);
+  const bool local_waiters = next > ticket + 1;
+  if (local_waiters && batch < static_cast<std::uint64_t>(opt_.max_batch)) {
+    // In-cluster handoff: keep the global lock, bump the batch counter.
+    co_await ctx.store(cl.batch, batch + 1);
+    co_await ctx.store(cl.serving, ticket + 1);
+  } else {
+    // Rotate the global lock to the next cluster.
+    co_await ctx.store(cl.batch, 0);
+    co_await ctx.store(cl.has_global, 0);
+    const std::uint64_t gs = co_await ctx.load(global_serving_);
+    co_await ctx.store(global_serving_, gs + 1);
+    co_await ctx.store(cl.serving, ticket + 1);
+  }
+  if (opt_.use_lease) co_await ctx.release(cl.serving);
+}
+
+}  // namespace lrsim

@@ -1,0 +1,177 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+
+#include "sync/locks.hpp"
+
+namespace lrsim {
+
+namespace {
+constexpr std::uint64_t kUnlocked = 0;
+constexpr std::uint64_t kLocked = 1;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TTSLock
+// ---------------------------------------------------------------------------
+
+TTSLock::TTSLock(Machine& m, LockOptions opt) : addr_(m.heap().alloc_line()), opt_(opt) {
+  if (opt_.lease_time == 0) opt_.lease_time = m.config().max_lease_time;
+  m.memory().write(addr_, kUnlocked);
+}
+
+Task<bool> TTSLock::try_lock(Ctx& ctx) {
+  if (opt_.use_lease) co_await ctx.lease(addr_, opt_.lease_time);
+  const std::uint64_t old = co_await ctx.xchg(addr_, kLocked);
+  if (old == kUnlocked) {
+    ++ctx.stats().lock_acquisitions;
+    co_return true;  // lease (if any) is kept for the critical section
+  }
+  ++ctx.stats().lock_failed_trylocks;
+  if (opt_.use_lease) {
+    // A failed try_lock must drop the lease at once: the line now carries a
+    // *locked* lock someone else must reset (Section 6).
+    co_await ctx.release(addr_);
+  }
+  co_return false;
+}
+
+Task<void> TTSLock::lock(Ctx& ctx) {
+  while (true) {
+    // Test phase: spin locally (the S copy makes re-reads L1 hits).
+    while (co_await ctx.load(addr_) != kUnlocked) {
+    }
+    const bool acquired = co_await try_lock(ctx);
+    if (acquired) co_return;
+  }
+}
+
+Task<void> TTSLock::unlock(Ctx& ctx) {
+  co_await ctx.store(addr_, kUnlocked);
+  if (opt_.use_lease) co_await ctx.release(addr_);
+}
+
+// ---------------------------------------------------------------------------
+// TicketLock
+// ---------------------------------------------------------------------------
+
+TicketLock::TicketLock(Machine& m, Cycle backoff_slope)
+    : next_(m.heap().alloc_line()), serving_(m.heap().alloc_line()), slope_(backoff_slope) {
+  m.memory().write(next_, 0);
+  m.memory().write(serving_, 0);
+}
+
+Task<void> TicketLock::lock(Ctx& ctx) {
+  const std::uint64_t ticket = co_await ctx.faa(next_, 1);
+  while (true) {
+    const std::uint64_t serving = co_await ctx.load(serving_);
+    if (serving == ticket) break;
+    if (slope_ > 0) {
+      // Proportional backoff: wait for roughly the number of critical
+      // sections queued ahead of us.
+      co_await ctx.work(slope_ * (ticket - serving));
+    }
+  }
+  held_[ctx.core()] = ticket;
+  ++ctx.stats().lock_acquisitions;
+}
+
+Task<void> TicketLock::unlock(Ctx& ctx) {
+  const std::uint64_t ticket = held_[ctx.core()];
+  co_await ctx.store(serving_, ticket + 1);
+}
+
+// ---------------------------------------------------------------------------
+// MCSLock
+// ---------------------------------------------------------------------------
+//
+// Node: word 0 = locked (1 while waiting), word 1 = next (successor node).
+
+MCSLock::MCSLock(Machine& m) : machine_(m), tail_(m.heap().alloc_line()) {
+  m.memory().write(tail_, 0);
+}
+
+Addr MCSLock::node_of(Ctx& ctx) {
+  auto it = nodes_.find(ctx.core());
+  if (it == nodes_.end()) {
+    it = nodes_.emplace(ctx.core(), machine_.heap().alloc_line(16)).first;
+  }
+  return it->second;
+}
+
+Task<void> MCSLock::lock(Ctx& ctx) {
+  const Addr my = node_of(ctx);
+  co_await ctx.store(my + 0, 1);  // I will wait
+  co_await ctx.store(my + 8, 0);  // no successor yet
+  const Addr pred = co_await ctx.xchg(tail_, my);
+  if (pred != 0) {
+    co_await ctx.store(pred + 8, my);  // link behind the predecessor
+    // Spin on our own flag: the releaser writes it directly.
+    while (co_await ctx.load(my + 0) != 0) {
+    }
+  }
+  ++ctx.stats().lock_acquisitions;
+}
+
+Task<void> MCSLock::unlock(Ctx& ctx) {
+  const Addr my = node_of(ctx);
+  const Addr next = co_await ctx.load(my + 8);
+  if (next == 0) {
+    // No known successor: try to swing the tail back to free.
+    const bool freed = co_await ctx.cas(tail_, my, 0);
+    if (freed) co_return;
+    // A successor is mid-enqueue: wait for it to link itself.
+    while (true) {
+      const Addr linked = co_await ctx.load(my + 8);
+      if (linked != 0) {
+        co_await ctx.store(linked + 0, 0);
+        co_return;
+      }
+    }
+  }
+  co_await ctx.store(next + 0, 0);  // hand off
+}
+
+// ---------------------------------------------------------------------------
+// CLHLock
+// ---------------------------------------------------------------------------
+//
+// Node layout: one word per node; 1 = holder/waiter still active ("locked"),
+// 0 = released. `tail_` holds the simulated address of the latest node.
+
+CLHLock::CLHLock(Machine& m) : machine_(m), tail_(m.heap().alloc_line()) {
+  // Sentinel node, initially released.
+  const Addr sentinel = m.heap().alloc_line();
+  m.memory().write(sentinel, 0);
+  m.memory().write(tail_, sentinel);
+}
+
+CLHLock::PerThread& CLHLock::slot(Ctx& ctx) {
+  auto it = per_thread_.find(ctx.core());
+  if (it == per_thread_.end()) {
+    PerThread pt;
+    pt.my_node = machine_.heap().alloc_line();
+    pt.my_pred = 0;
+    it = per_thread_.emplace(ctx.core(), pt).first;
+  }
+  return it->second;
+}
+
+Task<void> CLHLock::lock(Ctx& ctx) {
+  PerThread& pt = slot(ctx);
+  co_await ctx.store(pt.my_node, 1);  // mark: I am waiting/holding
+  const Addr pred = co_await ctx.xchg(tail_, pt.my_node);
+  pt.my_pred = pred;
+  // Spin on the predecessor's flag only: handoff is a single line transfer.
+  while (co_await ctx.load(pred) != 0) {
+  }
+  ++ctx.stats().lock_acquisitions;
+}
+
+Task<void> CLHLock::unlock(Ctx& ctx) {
+  PerThread& pt = slot(ctx);
+  co_await ctx.store(pt.my_node, 0);
+  // Classic CLH node recycling: adopt the predecessor's node for next time.
+  pt.my_node = pt.my_pred;
+  pt.my_pred = 0;
+}
+
+}  // namespace lrsim

@@ -1,0 +1,121 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Lock implementations over the simulated ISA.
+//
+//  * TTSLock    — test&test&set spin lock, with the Section 6 lease recipe
+//                 ("Leases for TryLocks"): lease the lock line before the
+//                 acquire attempt, keep it for the critical section, drop it
+//                 immediately on a failed attempt.
+//  * TicketLock — FIFO ticket lock with optional proportional backoff (the
+//                 paper's "optimized hierarchical ticket lock" stand-in for
+//                 Figure 3's lock comparison).
+//  * CLHLock    — CLH queue lock (Craig / Magnusson-Landin-Hagersten): each
+//                 waiter spins on its predecessor's node, so handoff costs a
+//                 constant number of coherence messages by construction.
+//
+// Every lock word lives alone on its own cache line (false-sharing hazard,
+// Section 7 "Observations and Limitations").
+#pragma once
+
+#include <unordered_map>
+
+#include "runtime/machine.hpp"
+#include "runtime/task.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+/// Options shared by the lease-aware locks.
+struct LockOptions {
+  bool use_lease = false;  ///< Lease the lock line around acquire..release.
+  Cycle lease_time = 0;    ///< 0 => MAX_LEASE_TIME.
+};
+
+/// Test&test&set spin lock.
+class TTSLock {
+ public:
+  TTSLock(Machine& m, LockOptions opt = {});
+
+  /// One acquisition attempt. With leases: lease the line first; on failure
+  /// drop the lease immediately ("holding it may delay other threads").
+  Task<bool> try_lock(Ctx& ctx);
+
+  /// Spins (test, then test&set) until acquired.
+  Task<void> lock(Ctx& ctx);
+
+  /// Releases the lock; with leases, also voluntarily releases the line
+  /// (the lock holder retained ownership for the whole critical section).
+  Task<void> unlock(Ctx& ctx);
+
+  Addr addr() const noexcept { return addr_; }
+  const LockOptions& options() const noexcept { return opt_; }
+
+ private:
+  Addr addr_;
+  LockOptions opt_;
+};
+
+/// FIFO ticket lock with optional proportional (linear) backoff while
+/// waiting, as in the paper's Figure 3 ticket-lock baseline.
+class TicketLock {
+ public:
+  /// `backoff_slope` cycles are waited per ticket of distance; 0 disables
+  /// proportional backoff.
+  TicketLock(Machine& m, Cycle backoff_slope = 0);
+
+  Task<void> lock(Ctx& ctx);
+  Task<void> unlock(Ctx& ctx);
+
+  Addr next_ticket_addr() const noexcept { return next_; }
+  Addr now_serving_addr() const noexcept { return serving_; }
+
+ private:
+  Addr next_;     ///< fetch&add ticket dispenser (own line).
+  Addr serving_;  ///< now-serving counter (own line).
+  Cycle slope_;
+  // The ticket each core is holding (host-side bookkeeping; a real thread
+  // would keep this in a register).
+  std::unordered_map<CoreId, std::uint64_t> held_;
+};
+
+/// MCS queue lock [Mellor-Crummey & Scott, the paper's reference [25]]:
+/// each waiter spins on a flag in its *own* node; the releaser writes the
+/// successor's flag directly, so handoff touches exactly one remote line.
+class MCSLock {
+ public:
+  explicit MCSLock(Machine& m);
+
+  Task<void> lock(Ctx& ctx);
+  Task<void> unlock(Ctx& ctx);
+
+ private:
+  /// Node layout (one line): word 0 = locked flag, word 1 = next pointer.
+  Addr node_of(Ctx& ctx);
+
+  Machine& machine_;
+  Addr tail_;  ///< 0 when free; else the last waiter's node (own line).
+  std::unordered_map<CoreId, Addr> nodes_;
+};
+
+/// CLH queue lock. Each thread owns a queue node (one line); lock() swaps
+/// the tail to its node and spins on the predecessor's flag.
+class CLHLock {
+ public:
+  explicit CLHLock(Machine& m);
+
+  Task<void> lock(Ctx& ctx);
+  Task<void> unlock(Ctx& ctx);
+
+ private:
+  struct PerThread {
+    Addr my_node;    ///< Node this thread will enqueue next.
+    Addr my_pred;    ///< Predecessor node (recycled on unlock).
+  };
+  PerThread& slot(Ctx& ctx);
+
+  Machine& machine_;
+  Addr tail_;  ///< Points to the most recent waiter's node (own line).
+  std::unordered_map<CoreId, PerThread> per_thread_;
+};
+
+}  // namespace lrsim

@@ -1,0 +1,152 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Minimal command-line flag parsing for bench/example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` /
+// `--no-name`. Unknown flags are an error so typos in experiment scripts
+// fail loudly instead of silently running the wrong configuration.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lrsim {
+
+/// Registry of typed command-line flags. Usage:
+///
+///   FlagSet flags("fig2_stack");
+///   int threads = 64;
+///   flags.add("threads", &threads, "max thread count in the sweep");
+///   flags.parse(argc, argv);
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program) : program_(std::move(program)) {}
+
+  void add(std::string name, bool* target, std::string help) {
+    entries_[name] = Entry{.help = std::move(help),
+                           .is_bool = true,
+                           .set = [target](std::string_view v) {
+                             if (v == "true" || v == "1" || v.empty()) {
+                               *target = true;
+                             } else if (v == "false" || v == "0") {
+                               *target = false;
+                             } else {
+                               throw std::invalid_argument("expected bool, got '" +
+                                                           std::string(v) + "'");
+                             }
+                           },
+                           .show = [target] { return std::string(*target ? "true" : "false"); }};
+  }
+
+  void add(std::string name, std::string* target, std::string help) {
+    entries_[name] = Entry{.help = std::move(help),
+                           .is_bool = false,
+                           .set = [target](std::string_view v) { *target = std::string(v); },
+                           .show = [target] { return *target; }};
+  }
+
+  template <typename Int>
+    requires std::is_integral_v<Int> && (!std::is_same_v<Int, bool>)
+  void add(std::string name, Int* target, std::string help) {
+    entries_[name] = Entry{.help = std::move(help),
+                           .is_bool = false,
+                           .set =
+                               [target, name](std::string_view v) {
+                                 std::int64_t out = 0;
+                                 std::size_t pos = 0;
+                                 out = std::stoll(std::string(v), &pos, 0);
+                                 if (pos != v.size())
+                                   throw std::invalid_argument("bad integer for --" + name);
+                                 *target = static_cast<Int>(out);
+                               },
+                           .show = [target] { return std::to_string(*target); }};
+  }
+
+  void add(std::string name, double* target, std::string help) {
+    entries_[name] = Entry{.help = std::move(help),
+                           .is_bool = false,
+                           .set = [target](std::string_view v) { *target = std::stod(std::string(v)); },
+                           .show = [target] {
+                             std::ostringstream os;
+                             os << *target;
+                             return os.str();
+                           }};
+  }
+
+  /// Parses argv. Exits (by throwing FlagHelp) on --help.
+  /// Throws std::invalid_argument on unknown flags or bad values.
+  void parse(int argc, char** argv) {
+    std::vector<std::string_view> args(argv + 1, argv + argc);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      std::string_view arg = args[i];
+      if (arg == "--help" || arg == "-h") throw FlagHelp{usage()};
+      if (!arg.starts_with("--"))
+        throw std::invalid_argument("unexpected positional argument: " + std::string(arg));
+      arg.remove_prefix(2);
+      std::string_view value;
+      bool has_value = false;
+      if (auto eq = arg.find('='); eq != std::string_view::npos) {
+        value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+        has_value = true;
+      }
+      std::string name(arg);
+      bool negated = false;
+      if (!entries_.contains(name) && name.starts_with("no-")) {
+        std::string stripped = name.substr(3);
+        if (auto it = entries_.find(stripped); it != entries_.end() && it->second.is_bool) {
+          name = stripped;
+          negated = true;
+        }
+      }
+      auto it = entries_.find(name);
+      if (it == entries_.end()) throw std::invalid_argument("unknown flag --" + name + "\n" + usage());
+      Entry& e = it->second;
+      if (negated) {
+        e.set("false");
+        continue;
+      }
+      if (!has_value && !e.is_bool) {
+        if (i + 1 >= args.size())
+          throw std::invalid_argument("flag --" + name + " requires a value");
+        value = args[++i];
+        has_value = true;
+      }
+      e.set(has_value ? value : std::string_view{});
+    }
+  }
+
+  /// Thrown when --help is requested; carries the usage text.
+  struct FlagHelp {
+    std::string text;
+  };
+
+  std::string usage() const {
+    std::ostringstream os;
+    os << "usage: " << program_ << " [flags]\n";
+    for (const auto& [name, e] : entries_) {
+      os << "  --" << name << " (default " << e.show() << ")\n      " << e.help << "\n";
+    }
+    return os.str();
+  }
+
+ private:
+  struct Entry {
+    std::string help;
+    bool is_bool = false;
+    std::function<void(std::string_view)> set;
+    std::function<std::string()> show;
+  };
+
+  std::string program_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace lrsim

@@ -1,0 +1,102 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Fixed-width console tables and CSV emission for the benchmark harness.
+// Every figure/table bench prints a human-readable table (paper-style series)
+// and optionally writes the same rows to a CSV file for plotting.
+#pragma once
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace lrsim {
+
+/// A printable cell: integer, floating point, or text.
+using Cell = std::variant<std::int64_t, std::uint64_t, double, std::string>;
+
+/// Accumulates rows and renders them as an aligned console table and/or CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  Table& add_row(std::vector<Cell> row) {
+    rows_.push_back(std::move(row));
+    return *this;
+  }
+
+  /// Renders with column alignment. Doubles use `precision` significant
+  /// digits of fixed notation (throughput numbers read better that way).
+  void print(std::ostream& os = std::cout, int precision = 3) const {
+    std::vector<std::vector<std::string>> text;
+    text.reserve(rows_.size());
+    for (const auto& row : rows_) {
+      std::vector<std::string> cells;
+      cells.reserve(row.size());
+      for (const auto& c : row) cells.push_back(render(c, precision));
+      text.push_back(std::move(cells));
+    }
+    std::vector<std::size_t> width(headers_.size(), 0);
+    for (std::size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+    for (const auto& row : text)
+      for (std::size_t i = 0; i < row.size() && i < width.size(); ++i)
+        width[i] = std::max(width[i], row[i].size());
+
+    auto rule = [&] {
+      for (std::size_t i = 0; i < headers_.size(); ++i)
+        os << std::string(width[i] + 2, '-') << (i + 1 < headers_.size() ? "+" : "");
+      os << '\n';
+    };
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+      os << ' ' << std::setw(static_cast<int>(width[i])) << headers_[i] << ' '
+         << (i + 1 < headers_.size() ? "|" : "");
+    os << '\n';
+    rule();
+    for (const auto& row : text) {
+      for (std::size_t i = 0; i < headers_.size(); ++i)
+        os << ' ' << std::setw(static_cast<int>(width[i])) << (i < row.size() ? row[i] : "") << ' '
+           << (i + 1 < headers_.size() ? "|" : "");
+      os << '\n';
+    }
+  }
+
+  /// Writes headers + rows as CSV. Returns false if the file could not be
+  /// opened (the caller decides whether that is fatal).
+  bool write_csv(const std::string& path, int precision = 6) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+      f << headers_[i] << (i + 1 < headers_.size() ? "," : "\n");
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size(); ++i)
+        f << render(row[i], precision) << (i + 1 < row.size() ? "," : "\n");
+    }
+    return true;
+  }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  static std::string render(const Cell& c, int precision) {
+    std::ostringstream os;
+    std::visit(
+        [&](const auto& v) {
+          using V = std::decay_t<decltype(v)>;
+          if constexpr (std::is_same_v<V, double>) {
+            os << std::fixed << std::setprecision(precision) << v;
+          } else {
+            os << v;
+          }
+        },
+        c);
+    return os.str();
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace lrsim

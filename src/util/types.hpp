@@ -1,0 +1,43 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Fundamental scalar types shared by every lrsim module.
+#pragma once
+
+#include <cstdint>
+
+namespace lrsim {
+
+/// Simulated time, in core cycles. The whole machine shares one clock domain
+/// (Table 1 of the paper: 1 GHz in-order cores), so a cycle is also 1 ns.
+using Cycle = std::uint64_t;
+
+/// A simulated *byte* address. All memory operations in lrsim act on
+/// naturally aligned 64-bit words, so the low three bits of any address
+/// passed to a memory op must be zero.
+using Addr = std::uint64_t;
+
+/// A cache-line index: `Addr >> kLineBits`.
+using LineId = std::uint64_t;
+
+/// Identifies a core / hardware thread (the paper pins one thread per core).
+using CoreId = int;
+
+inline constexpr int kLineBits = 6;                  ///< 64-byte lines (Table 1).
+inline constexpr int kLineSize = 1 << kLineBits;     ///< Bytes per cache line.
+inline constexpr int kWordsPerLine = kLineSize / 8;  ///< 64-bit words per line.
+
+/// The line containing byte address `a`.
+constexpr LineId line_of(Addr a) noexcept { return a >> kLineBits; }
+
+/// First byte address of line `l`.
+constexpr Addr line_base(LineId l) noexcept { return static_cast<Addr>(l) << kLineBits; }
+
+/// Offset (in 64-bit words) of `a` within its line.
+constexpr int word_in_line(Addr a) noexcept {
+  return static_cast<int>((a & (kLineSize - 1)) >> 3);
+}
+
+/// True iff `a` is a valid word address (8-byte aligned).
+constexpr bool is_word_aligned(Addr a) noexcept { return (a & 7u) == 0; }
+
+}  // namespace lrsim

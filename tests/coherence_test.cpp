@@ -1,0 +1,303 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Directory-based MSI protocol tests (no leases): latency model, state
+// transitions, message accounting, per-line FIFO service, evictions.
+//
+// Latency constants assume the Table 1 defaults: L1 hit 1, L2 tag 3,
+// L2 data 8, DRAM 100, network one-way 15.
+#include <gtest/gtest.h>
+
+#include "sim_test_util.hpp"
+
+namespace lrsim {
+namespace {
+
+using testing::small_config;
+
+TEST(Coherence, LoadHitCostsOneCycle) {
+  Machine m{small_config(1, false)};
+  Addr a = m.heap().alloc_line();
+  Cycle first = 0, second = 0;
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.load(a);  // cold miss
+    const Cycle t0 = ctx.now();
+    co_await ctx.load(a);  // hit
+    first = ctx.now() - t0;
+    co_await ctx.load(a);
+    second = ctx.now() - t0 - first;
+  });
+  m.run();
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(second, 1u);
+}
+
+TEST(Coherence, ColdMissPaysDramOnceThenL2) {
+  Machine m{small_config(1, false)};
+  Addr a = m.heap().alloc_line();
+  Addr b = m.heap().alloc_line();
+  m.memory().write(a, 1);  // functional init does not warm the L2
+  Cycle cold = 0, warm = 0;
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    const Cycle t0 = ctx.now();
+    co_await ctx.load(a);
+    cold = ctx.now() - t0;
+    // Evicting and re-requesting needs another core; instead measure a
+    // second *distinct* line to check the cold path is stable.
+    const Cycle t1 = ctx.now();
+    co_await ctx.load(b);
+    warm = ctx.now() - t1;
+  });
+  m.run();
+  // 1 (L1) + 15 (net) + 3 (tag) + 100 (DRAM) + 8 (L2 data) + 15 (net).
+  EXPECT_EQ(cold, 142u);
+  EXPECT_EQ(warm, 142u);  // also a first touch
+  EXPECT_EQ(m.total_stats().dram_accesses, 2u);
+}
+
+TEST(Coherence, SecondSharerMissSkipsDram) {
+  Machine m{small_config(2, false)};
+  Addr a = m.heap().alloc_line();
+  Cycle second_load = 0;
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> { co_await ctx.load(a); });
+  m.spawn(1, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.work(500);  // let core 0 touch the line first
+    const Cycle t0 = ctx.now();
+    co_await ctx.load(a);
+    second_load = ctx.now() - t0;
+  });
+  m.run();
+  // 1 + 15 + 3 + 8 + 15 = 42 (Shared at the directory, L2 hit).
+  EXPECT_EQ(second_load, 42u);
+  EXPECT_EQ(m.total_stats().dram_accesses, 1u);
+}
+
+TEST(Coherence, StoreToOtherCoresModifiedLineForwardsCacheToCache) {
+  Machine m{small_config(2, false)};
+  Addr a = m.heap().alloc_line();
+  Cycle xfer = 0;
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> { co_await ctx.store(a, 1); });
+  m.spawn(1, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.work(500);
+    const Cycle t0 = ctx.now();
+    co_await ctx.store(a, 2);
+    xfer = ctx.now() - t0;
+  });
+  m.run();
+  // 1 + 15 + 3 + 15 (probe) + 1 (action) + 15 (data) = 50.
+  EXPECT_EQ(xfer, 50u);
+  EXPECT_EQ(m.memory().read(a), 2u);
+  // Core 0's copy was invalidated.
+  EXPECT_EQ(m.controller(0).line_state(line_of(a)), LineState::I);
+  EXPECT_EQ(m.controller(1).line_state(line_of(a)), LineState::M);
+  EXPECT_EQ(m.directory().owner_of(line_of(a)), 1);
+}
+
+TEST(Coherence, LoadFromModifiedLineDowngradesOwner) {
+  Machine m{small_config(2, false)};
+  Addr a = m.heap().alloc_line();
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> { co_await ctx.store(a, 7); });
+  m.spawn(1, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.work(500);
+    const std::uint64_t v = co_await ctx.load(a);
+    EXPECT_EQ(v, 7u);
+  });
+  m.run();
+  EXPECT_EQ(m.controller(0).line_state(line_of(a)), LineState::S);
+  EXPECT_EQ(m.controller(1).line_state(line_of(a)), LineState::S);
+  EXPECT_EQ(m.directory().line_state(line_of(a)), Directory::LineSt::kShared);
+  EXPECT_TRUE(m.directory().has_sharer(line_of(a), 0));
+  EXPECT_TRUE(m.directory().has_sharer(line_of(a), 1));
+  // Downgrade writes the dirty line back.
+  EXPECT_EQ(m.total_stats().msgs_wb, 1u);
+  EXPECT_EQ(m.total_stats().msgs_downgrade, 1u);
+}
+
+TEST(Coherence, UpgradeInvalidatesAllSharers) {
+  constexpr int kCores = 4;
+  Machine m{small_config(kCores, false)};
+  Addr a = m.heap().alloc_line();
+  for (int c = 0; c < kCores; ++c) {
+    m.spawn(c, [&, c](Ctx& ctx) -> Task<void> {
+      co_await ctx.load(a);                      // everyone shares
+      co_await ctx.work(1000 + 1000 * ctx.core());  // staggered
+      if (c == 0) co_await ctx.store(a, 42);     // core 0 upgrades at t~1000
+    });
+  }
+  m.run();
+  EXPECT_EQ(m.memory().read(a), 42u);
+  for (int c = 1; c < kCores; ++c) {
+    EXPECT_EQ(m.controller(c).line_state(line_of(a)), LineState::I) << "core " << c;
+  }
+  EXPECT_EQ(m.controller(0).line_state(line_of(a)), LineState::M);
+  // Three sharers were invalidated (each: inv + ack).
+  EXPECT_EQ(m.total_stats().msgs_inv, 3u);
+  EXPECT_EQ(m.total_stats().msgs_ack, 3u + 1u);  // 3 inv acks + 1 upgrade grant
+}
+
+TEST(Coherence, MessageCountsForProducerConsumerPingPong) {
+  Machine m{small_config(2, false)};
+  Addr a = m.heap().alloc_line();
+  // Exactly one store each, perfectly serialized.
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> { co_await ctx.store(a, 1); });
+  m.spawn(1, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.work(1000);
+    co_await ctx.store(a, 2);
+  });
+  m.run();
+  Stats s = m.total_stats();
+  // Store 1 (Uncached): GetX + Data. Store 2 (Modified elsewhere):
+  // GetX + Inv + Data + Ack.
+  EXPECT_EQ(s.msgs_getx, 2u);
+  EXPECT_EQ(s.msgs_inv, 1u);
+  EXPECT_EQ(s.msgs_data, 2u);
+  EXPECT_EQ(s.msgs_ack, 1u);
+  EXPECT_EQ(s.msgs_gets, 0u);
+  EXPECT_EQ(s.total_messages(), 6u);
+}
+
+TEST(Coherence, PerLineFifoServiceOrder) {
+  // Four cores store to the same line, issued in staggered order; with
+  // per-line FIFO queues at the directory they must complete in issue order.
+  constexpr int kCores = 4;
+  Machine m{small_config(kCores, false)};
+  Addr a = m.heap().alloc_line();
+  std::vector<int> completion_order;
+  for (int c = 0; c < kCores; ++c) {
+    m.spawn(c, [&, c](Ctx& ctx) -> Task<void> {
+      co_await ctx.work(static_cast<Cycle>(1 + c));  // stagger issue by 1 cycle
+      co_await ctx.store(a, static_cast<std::uint64_t>(c));
+      completion_order.push_back(c);
+    });
+  }
+  m.run();
+  EXPECT_EQ(completion_order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(m.memory().read(a), 3u);
+}
+
+TEST(Coherence, CasSemantics) {
+  Machine m{small_config(1, false)};
+  Addr a = m.heap().alloc_line();
+  m.memory().write(a, 10);
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    const bool ok1 = co_await ctx.cas(a, 10, 20);
+    EXPECT_TRUE(ok1);
+    const bool ok2 = co_await ctx.cas(a, 10, 30);
+    EXPECT_FALSE(ok2);
+    const std::uint64_t old = co_await ctx.cas_val(a, 20, 40);
+    EXPECT_EQ(old, 20u);
+  });
+  m.run();
+  EXPECT_EQ(m.memory().read(a), 40u);
+  EXPECT_EQ(m.total_stats().cas_attempts, 3u);
+  EXPECT_EQ(m.total_stats().cas_failures, 1u);
+}
+
+TEST(Coherence, CasContentionLosesExactlyOnce) {
+  // Two cores CAS 0->v simultaneously: exactly one must win.
+  Machine m{small_config(2, false)};
+  Addr a = m.heap().alloc_line();
+  int wins = 0;
+  for (int c = 0; c < 2; ++c) {
+    m.spawn(c, [&, c](Ctx& ctx) -> Task<void> {
+      const bool ok = co_await ctx.cas(a, 0, static_cast<std::uint64_t>(c + 1));
+      if (ok) ++wins;
+    });
+  }
+  m.run();
+  EXPECT_EQ(wins, 1);
+  EXPECT_NE(m.memory().read(a), 0u);
+}
+
+TEST(Coherence, FaaAndXchgAreAtomic) {
+  constexpr int kCores = 8;
+  constexpr int kReps = 25;
+  Machine m{small_config(kCores, false)};
+  Addr a = m.heap().alloc_line();
+  testing::run_workers(m, kCores, [&](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < kReps; ++i) co_await ctx.faa(a, 1);
+  });
+  EXPECT_EQ(m.memory().read(a), static_cast<std::uint64_t>(kCores) * kReps);
+}
+
+TEST(Coherence, CapacityEvictionWritesBackModified) {
+  // 4-way sets: storing to 5 lines in the same set evicts the LRU M line.
+  MachineConfig cfg = small_config(1, false);
+  Machine m{cfg};
+  const int sets = cfg.l1_sets;
+  std::vector<Addr> lines;
+  for (int i = 0; i < 5; ++i) lines.push_back(line_base(static_cast<LineId>(1000 + i * sets)));
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    for (Addr a : lines) co_await ctx.store(a, 9);
+    // First line was evicted; touching it again re-misses.
+    co_await ctx.load(lines[0]);
+  });
+  m.run();
+  Stats s = m.total_stats();
+  EXPECT_GE(s.l1_evictions, 1u);
+  EXPECT_GE(s.msgs_wb, 1u);
+  EXPECT_EQ(s.l1_misses, 6u);  // 5 stores + 1 reload
+}
+
+TEST(Coherence, SilentSharedEvictionIsCorrectedLazily) {
+  MachineConfig cfg = small_config(2, false);
+  Machine m{cfg};
+  const int sets = cfg.l1_sets;
+  Addr a = line_base(2000);
+  std::vector<Addr> fillers;
+  for (int i = 1; i <= 4; ++i) fillers.push_back(line_base(static_cast<LineId>(2000 + i * sets)));
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.load(a);  // S copy
+    for (Addr f : fillers) co_await ctx.load(f);  // evict `a` silently
+    co_await ctx.work(2000);
+  });
+  m.spawn(1, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.work(1000);
+    co_await ctx.store(a, 5);  // inv probe to stale sharer must not wedge
+  });
+  m.run(10'000'000);
+  ASSERT_TRUE(m.all_done());
+  EXPECT_EQ(m.memory().read(a), 5u);
+}
+
+TEST(Coherence, ValuesArePropagatedThroughOwnershipChain) {
+  // A classic message-passing litmus: core 0 writes data then flag; core 1
+  // spins on flag then reads data. In-order cores + MSI must never expose
+  // the flag without the data.
+  Machine m{small_config(2, false)};
+  Addr data = m.heap().alloc_line();
+  Addr flag = m.heap().alloc_line();
+  std::uint64_t observed = 0;
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.store(data, 99);
+    co_await ctx.store(flag, 1);
+  });
+  m.spawn(1, [&](Ctx& ctx) -> Task<void> {
+    while (co_await ctx.load(flag) != 1) {
+    }
+    observed = co_await ctx.load(data);
+  });
+  m.run(10'000'000);
+  ASSERT_TRUE(m.all_done());
+  EXPECT_EQ(observed, 99u);
+}
+
+// Parameterized sweep: FAA counter conserves across core counts.
+class CoherenceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoherenceSweep, SharedCounterConservation) {
+  const int cores = GetParam();
+  Machine m{small_config(cores, false)};
+  Addr a = m.heap().alloc_line();
+  testing::run_workers(m, cores, [&](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < 20; ++i) {
+      const std::uint64_t v = co_await ctx.faa(a, 1);
+      (void)v;
+    }
+  });
+  EXPECT_EQ(m.memory().read(a), static_cast<std::uint64_t>(cores) * 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, CoherenceSweep, ::testing::Values(1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace lrsim

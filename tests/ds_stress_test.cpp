@@ -1,0 +1,213 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Long-horizon randomized stress for every concurrent structure: heavier
+// thread counts, mixed op streams, multiple seeds, full conservation
+// oracles at quiescence. These runs are bigger than the per-structure unit
+// suites and are the regression net for subtle interleaving bugs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "ds/harris_list.hpp"
+#include "ds/ms_queue.hpp"
+#include "ds/skiplist_pq.hpp"
+#include "ds/skiplist_set.hpp"
+#include "ds/treiber_stack.hpp"
+#include "ds/two_lock_queue.hpp"
+#include "sim_test_util.hpp"
+
+namespace lrsim {
+namespace {
+
+using testing::small_config;
+
+struct StressCase {
+  const char* name;
+  std::uint64_t seed;
+  bool leases;
+};
+
+class DsStress : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(DsStress, StackConservation) {
+  const auto& p = GetParam();
+  constexpr int kThreads = 16;
+  Machine m{small_config(kThreads, p.leases), p.seed};
+  TreiberStack s{m, {.use_lease = p.leases}};
+  long pushes = 0, pops = 0;
+  testing::run_workers(m, kThreads, [&](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < 60; ++i) {
+      if (ctx.rng().next_bool(0.55)) {
+        co_await s.push(ctx, 1 + ctx.rng().next_below(1000));
+        ++pushes;
+      } else {
+        std::optional<std::uint64_t> v = co_await s.pop(ctx);
+        if (v.has_value()) ++pops;
+      }
+    }
+  });
+  EXPECT_EQ(s.snapshot().size(), static_cast<std::size_t>(pushes - pops));
+}
+
+TEST_P(DsStress, QueueConservationAndUniqueness) {
+  const auto& p = GetParam();
+  constexpr int kThreads = 16;
+  Machine m{small_config(kThreads, p.leases), p.seed};
+  MsQueue q{m, {.lease_mode = p.leases ? QueueLeaseMode::kSingle : QueueLeaseMode::kNone}};
+  std::uint64_t counter = 0;  // unique payloads, host-side dispenser
+  long enqueues = 0;
+  std::multiset<std::uint64_t> dequeued;
+  testing::run_workers(m, kThreads, [&](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < 60; ++i) {
+      if (ctx.rng().next_bool(0.55)) {
+        co_await q.enqueue(ctx, ++counter);
+        ++enqueues;
+      } else {
+        std::optional<std::uint64_t> v = co_await q.dequeue(ctx);
+        if (v.has_value()) dequeued.insert(*v);
+      }
+    }
+  });
+  std::multiset<std::uint64_t> all(dequeued);
+  for (std::uint64_t v : q.snapshot()) all.insert(v);
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(enqueues));
+  std::set<std::uint64_t> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), all.size());
+}
+
+TEST_P(DsStress, TwoLockQueueConservation) {
+  const auto& p = GetParam();
+  constexpr int kThreads = 12;
+  Machine m{small_config(kThreads, p.leases), p.seed};
+  TwoLockQueue q{m, {.use_lease = p.leases}};
+  std::uint64_t counter = 0;
+  long enqueues = 0;
+  std::multiset<std::uint64_t> dequeued;
+  testing::run_workers(m, kThreads, [&](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < 50; ++i) {
+      if (ctx.rng().next_bool(0.5)) {
+        co_await q.enqueue(ctx, ++counter);
+        ++enqueues;
+      } else {
+        std::optional<std::uint64_t> v = co_await q.dequeue(ctx);
+        if (v.has_value()) dequeued.insert(*v);
+      }
+    }
+  });
+  std::multiset<std::uint64_t> all(dequeued);
+  for (std::uint64_t v : q.snapshot()) all.insert(v);
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(enqueues));
+}
+
+TEST_P(DsStress, LazySkipListSetSemantics) {
+  const auto& p = GetParam();
+  constexpr int kThreads = 12;
+  Machine m{small_config(kThreads, p.leases), p.seed};
+  LazySkipList s{m};
+  int net_inserts = 0;
+  testing::run_workers(m, kThreads, [&](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < 40; ++i) {
+      const std::uint64_t key = 1 + ctx.rng().next_below(64);
+      if (ctx.rng().next_bool(0.5)) {
+        const bool ok = co_await s.insert(ctx, key);
+        if (ok) ++net_inserts;
+      } else {
+        const bool ok = co_await s.remove(ctx, key);
+        if (ok) --net_inserts;
+      }
+    }
+  });
+  const auto snap = s.snapshot();
+  EXPECT_EQ(static_cast<int>(snap.size()), net_inserts);
+  EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end()));
+  std::set<std::uint64_t> unique(snap.begin(), snap.end());
+  EXPECT_EQ(unique.size(), snap.size());
+}
+
+TEST_P(DsStress, HarrisListSetSemantics) {
+  const auto& p = GetParam();
+  constexpr int kThreads = 12;
+  Machine m{small_config(kThreads, p.leases), p.seed};
+  HarrisList s{m, {.use_lease = p.leases}};
+  int net_inserts = 0;
+  testing::run_workers(m, kThreads, [&](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < 40; ++i) {
+      const std::uint64_t key = 1 + ctx.rng().next_below(48);
+      if (ctx.rng().next_bool(0.5)) {
+        const bool ok = co_await s.insert(ctx, key);
+        if (ok) ++net_inserts;
+      } else {
+        const bool ok = co_await s.remove(ctx, key);
+        if (ok) --net_inserts;
+      }
+    }
+  });
+  const auto snap = s.snapshot();
+  EXPECT_EQ(static_cast<int>(snap.size()), net_inserts);
+  EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end()));
+}
+
+TEST_P(DsStress, LockFreeSkipListMixedWithSearches) {
+  const auto& p = GetParam();
+  constexpr int kThreads = 12;
+  Machine m{small_config(kThreads, p.leases), p.seed};
+  LockFreeSkipList s{m, {.use_lease = p.leases}};
+  int net_inserts = 0;
+  testing::run_workers(m, kThreads, [&](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < 40; ++i) {
+      const std::uint64_t key = 1 + ctx.rng().next_below(64);
+      const std::uint64_t dice = ctx.rng().next_below(10);
+      if (dice < 3) {
+        const bool ok = co_await s.insert(ctx, key);
+        if (ok) ++net_inserts;
+      } else if (dice < 6) {
+        const bool ok = co_await s.remove(ctx, key);
+        if (ok) --net_inserts;
+      } else {
+        co_await s.contains(ctx, key);
+      }
+    }
+  });
+  const auto snap = s.snapshot();
+  EXPECT_EQ(static_cast<int>(snap.size()), net_inserts);
+  EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end()));
+}
+
+TEST_P(DsStress, LotanShavitDrainEndsSorted) {
+  const auto& p = GetParam();
+  constexpr int kThreads = 8;
+  Machine m{small_config(kThreads, p.leases), p.seed};
+  LotanShavitPq pq{m};
+  // Phase 1: concurrent inserts.
+  testing::run_workers(m, kThreads, [&](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < 25; ++i) co_await pq.insert(ctx, 1 + ctx.rng().next_below(500));
+  });
+  // Phase 2: one thread drains; values must come out sorted.
+  std::vector<std::uint64_t> drained;
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    while (true) {
+      std::optional<std::uint64_t> v = co_await pq.delete_min(ctx);
+      if (!v.has_value()) co_return;
+      drained.push_back(*v);
+    }
+  });
+  m.run(2'000'000'000);
+  ASSERT_TRUE(m.all_done());
+  EXPECT_EQ(drained.size(), static_cast<std::size_t>(kThreads) * 25);
+  EXPECT_TRUE(std::is_sorted(drained.begin(), drained.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DsStress,
+                         ::testing::Values(StressCase{"seed1_base", 101, false},
+                                           StressCase{"seed1_lease", 101, true},
+                                           StressCase{"seed2_base", 202, false},
+                                           StressCase{"seed2_lease", 202, true},
+                                           StressCase{"seed3_lease", 303, true}),
+                         [](const ::testing::TestParamInfo<StressCase>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace lrsim

@@ -1,0 +1,140 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Unit tests for the discrete-event kernel: ordering, determinism,
+// cancellation, bounded-horizon runs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace lrsim {
+namespace {
+
+TEST(EventQueue, StartsAtCycleZeroAndEmpty) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), 0u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.run(), 0u);
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameCycleEventsFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelativeToNow) {
+  EventQueue q;
+  Cycle seen = 0;
+  q.schedule_in(10, [&] {
+    q.schedule_in(5, [&] { seen = q.now(); });
+  });
+  q.run();
+  EXPECT_EQ(seen, 15u);
+}
+
+TEST(EventQueue, CancelledEventDoesNotFire) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h = q.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  q.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
+  EventQueue q;
+  int fires = 0;
+  EventHandle h = q.schedule_at(1, [&] { ++fires; });
+  q.run();
+  EXPECT_EQ(fires, 1);
+  h.cancel();  // after fire: no-op
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueue, CancelFromInsideEarlierEvent) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h = q.schedule_at(20, [&] { fired = true; });
+  q.schedule_at(10, [&] { h.cancel(); });
+  q.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, RunRespectsLimit) {
+  EventQueue q;
+  bool early = false, late = false;
+  q.schedule_at(10, [&] { early = true; });
+  q.schedule_at(100, [&] { late = true; });
+  q.run(/*limit=*/50);
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(q.now(), 50u);
+  // The late event survives and fires on the next unbounded run.
+  q.run();
+  EXPECT_TRUE(late);
+}
+
+TEST(EventQueue, RunWhileStopsWhenPredicateFalsifies) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    q.schedule_at(static_cast<Cycle>(i), [&] { ++count; });
+  }
+  q.run_while([&] { return count < 4; });
+  EXPECT_EQ(count, 4);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, EventsScheduledDuringRunAreProcessed) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 50) q.schedule_in(1, recurse);
+  };
+  q.schedule_at(0, recurse);
+  q.run();
+  EXPECT_EQ(depth, 50);
+  EXPECT_EQ(q.now(), 49u);
+}
+
+TEST(EventQueue, TotalScheduledCounts) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.schedule_at(1, [] {});
+  EXPECT_EQ(q.total_scheduled(), 7u);
+}
+
+TEST(EventQueue, DeterministicAcrossIdenticalRuns) {
+  auto trace = [] {
+    EventQueue q;
+    std::vector<Cycle> t;
+    for (int i = 0; i < 100; ++i) {
+      q.schedule_at(static_cast<Cycle>((i * 37) % 50), [&t, &q] { t.push_back(q.now()); });
+    }
+    q.run();
+    return t;
+  };
+  EXPECT_EQ(trace(), trace());
+}
+
+}  // namespace
+}  // namespace lrsim

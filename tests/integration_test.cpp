@@ -1,0 +1,227 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Cross-module integration: the paper's headline effects at test-friendly
+// scale. These assert *directions and rough magnitudes* (who wins), not
+// absolute numbers — the benches in bench/ print the full curves.
+#include <gtest/gtest.h>
+
+#include "apps/pagerank.hpp"
+#include "ds/counter.hpp"
+#include "ds/ms_queue.hpp"
+#include "ds/treiber_stack.hpp"
+#include "ds/two_lock_queue.hpp"
+#include "sim_test_util.hpp"
+#include "sync/locks.hpp"
+
+namespace lrsim {
+namespace {
+
+using testing::small_config;
+using testing::throughput;
+
+struct RunResult {
+  double ops_per_mcycle;
+  double msgs_per_op;
+  double misses_per_op;
+  double energy_per_op;
+};
+
+// The paper's stack workload (Figure 2): pre-populated structure, 100%
+// updates (random push/pop mix), a little local work between operations.
+// Naked push();pop(); pairs degenerate — the pop instantly undoes the push
+// out of the local cache before any remote request lands, hiding contention.
+RunResult run_stack(int threads, bool leases, int reps) {
+  Machine m{small_config(threads, leases)};
+  TreiberStack s{m, {.use_lease = leases}};
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    for (int i = 0; i < 128; ++i) co_await s.push(ctx, static_cast<std::uint64_t>(i + 1));
+  });
+  m.run();
+  const Cycle start = m.events().now();
+  testing::run_workers(m, threads, [&, reps](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < reps; ++i) {
+      if (ctx.rng().next_bool(0.5)) {
+        co_await s.push(ctx, 7);
+      } else {
+        co_await s.pop(ctx);
+      }
+      const Cycle think = ctx.rng().next_below(40);
+      if (think > 0) co_await ctx.work(think);
+    }
+  });
+  const Cycle end = m.events().now() - start;
+  Stats st = m.total_stats();
+  st.ops_completed -= 128;  // exclude the prefill
+  return {throughput(st, end), st.messages_per_op(), st.misses_per_op(), st.energy_per_op_nj()};
+}
+
+TEST(Integration, LeasesSpeedUpContendedStack) {
+  const RunResult base = run_stack(16, false, 30);
+  const RunResult leased = run_stack(16, true, 30);
+  EXPECT_GT(leased.ops_per_mcycle, base.ops_per_mcycle * 1.5)
+      << "leases should speed up the contended stack";
+  EXPECT_LT(leased.msgs_per_op, base.msgs_per_op);
+  EXPECT_LT(leased.energy_per_op, base.energy_per_op);
+}
+
+TEST(Integration, LeasesDoNotHurtUncontendedStack) {
+  const RunResult base = run_stack(1, false, 100);
+  const RunResult leased = run_stack(1, true, 100);
+  // Within 10% in the single-threaded case (paper: no discernible impact).
+  EXPECT_GT(leased.ops_per_mcycle, base.ops_per_mcycle * 0.9);
+  EXPECT_LT(leased.ops_per_mcycle, base.ops_per_mcycle * 1.1);
+}
+
+TEST(Integration, LeasedStackMissesPerOpStayNearConstant) {
+  // Section 7: "average cache misses per operation for the stack are
+  // constant around 2.1 from 4 to 64 threads" with leases, while the base
+  // implementation's grows with contention.
+  const RunResult leased4 = run_stack(4, true, 30);
+  const RunResult leased16 = run_stack(16, true, 30);
+  EXPECT_LT(leased16.misses_per_op, leased4.misses_per_op * 1.5);
+  const RunResult base4 = run_stack(4, false, 30);
+  const RunResult base16 = run_stack(16, false, 30);
+  EXPECT_GT(base16.misses_per_op, base4.misses_per_op * 1.5)
+      << "baseline misses/op should grow with contention";
+}
+
+TEST(Integration, LeasesSpeedUpContendedLockedCounter) {
+  constexpr int kThreads = 16;
+  constexpr int kReps = 25;
+  auto run = [&](CounterLockKind kind) {
+    Machine m{small_config(kThreads, true)};
+    LockedCounter c{m, kind};
+    const Cycle end = testing::run_workers(m, kThreads, [&](Ctx& ctx, int) -> Task<void> {
+      for (int i = 0; i < kReps; ++i) {
+        co_await c.increment(ctx);
+        const Cycle think = ctx.rng().next_below(40);
+        if (think > 0) co_await ctx.work(think);
+      }
+    });
+    EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kReps);
+    return throughput(m.total_stats(), end);
+  };
+  const double tts = run(CounterLockKind::kTTS);
+  const double leased = run(CounterLockKind::kTTSLease);
+  EXPECT_GT(leased, tts * 2.0) << "paper reports up to 20x for the counter";
+}
+
+TEST(Integration, LeasedQueueBeatsBaseUnderContention) {
+  constexpr int kThreads = 16;
+  constexpr int kReps = 25;
+  auto run = [&](QueueLeaseMode mode) {
+    Machine m{small_config(kThreads, true)};
+    MsQueue q{m, {.lease_mode = mode}};
+    const Cycle end = testing::run_workers(m, kThreads, [&](Ctx& ctx, int) -> Task<void> {
+      for (int i = 0; i < kReps; ++i) {
+        co_await q.enqueue(ctx, 1);
+        co_await q.dequeue(ctx);
+      }
+    });
+    return throughput(m.total_stats(), end);
+  };
+  const double base = run(QueueLeaseMode::kNone);
+  const double single = run(QueueLeaseMode::kSingle);
+  EXPECT_GT(single, base * 1.3);
+}
+
+TEST(Integration, BackoffHelpsButLessThanLeases) {
+  // Section 7: backoff gives up to ~3x over base but stays well below
+  // leases on the contended stack.
+  constexpr int kThreads = 16;
+  constexpr int kReps = 30;
+  auto run = [&](bool lease, bool backoff) {
+    Machine m{small_config(kThreads, lease)};
+    TreiberStack s{m, {.use_lease = lease, .use_backoff = backoff}};
+    m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < 128; ++i) co_await s.push(ctx, 5);
+    });
+    m.run();
+    const Cycle start = m.events().now();
+    testing::run_workers(m, kThreads, [&](Ctx& ctx, int) -> Task<void> {
+      for (int i = 0; i < kReps; ++i) {
+        if (ctx.rng().next_bool(0.5)) {
+          co_await s.push(ctx, 1);
+        } else {
+          co_await s.pop(ctx);
+        }
+        const Cycle think = ctx.rng().next_below(40);
+        if (think > 0) co_await ctx.work(think);
+      }
+    });
+    return throughput(m.total_stats(), m.events().now() - start);
+  };
+  const double base = run(false, false);
+  const double backoff = run(false, true);
+  const double lease = run(true, false);
+  EXPECT_GT(backoff, base) << "backoff should beat the naked baseline";
+  EXPECT_GT(lease, backoff) << "leases should beat tuned backoff";
+}
+
+TEST(Integration, LeasedTwoLockQueueBeatsBaseUnderContention) {
+  // Figure 3's lock-based queue: the Section 6 lock-lease recipe on both
+  // queue locks.
+  constexpr int kThreads = 16;
+  auto run = [&](bool lease) {
+    Machine m{small_config(kThreads, lease)};
+    TwoLockQueue q{m, {.use_lease = lease}};
+    m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < 64; ++i) co_await q.enqueue(ctx, 1);
+    });
+    m.run();
+    const Cycle start = m.events().now();
+    testing::run_workers(m, kThreads, [&](Ctx& ctx, int) -> Task<void> {
+      for (int i = 0; i < 25; ++i) {
+        if (ctx.rng().next_bool(0.5)) {
+          co_await q.enqueue(ctx, 7);
+        } else {
+          co_await q.dequeue(ctx);
+        }
+        const Cycle think = ctx.rng().next_below(40);
+        if (think > 0) co_await ctx.work(think);
+      }
+    });
+    return m.events().now() - start;
+  };
+  const Cycle leased = run(true);
+  const Cycle base = run(false);
+  EXPECT_LT(leased * 2, base) << "two-lock queue should gain >2x from leases at 16 threads";
+}
+
+TEST(Integration, LeasedPagerankScalesWhereBaseCollapses) {
+  // Figure 5 (right) at test scale: compare 8-thread runtimes.
+  auto run = [](bool lease) {
+    constexpr int kThreads = 8;
+    Machine m{small_config(kThreads, lease)};
+    Pagerank pr{m, {.num_vertices = 400, .use_lease = lease, .seed = 3}};
+    const std::size_t chunk = (pr.num_vertices() + kThreads - 1) / kThreads;
+    return testing::run_workers(m, kThreads, [&, chunk](Ctx& ctx, int t) -> Task<void> {
+      for (int iter = 0; iter < 2; ++iter) {
+        co_await pr.process_range(ctx, static_cast<std::size_t>(t) * chunk,
+                                  static_cast<std::size_t>(t + 1) * chunk);
+      }
+    });
+  };
+  const Cycle leased = run(true);
+  const Cycle base = run(false);
+  EXPECT_LT(leased + leased / 2, base) << "pagerank should gain >1.5x from the lease at 8 threads";
+}
+
+TEST(Integration, StatsConservationAcrossCores) {
+  // Aggregate sanity: total = sum(core) + directory block.
+  Machine m{small_config(4, true)};
+  TreiberStack s{m, {.use_lease = true}};
+  testing::run_workers(m, 4, [&](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      co_await s.push(ctx, 2);
+      co_await s.pop(ctx);
+    }
+  });
+  std::uint64_t core_ops = 0;
+  for (int c = 0; c < 4; ++c) core_ops += m.core_stats(c).ops_completed;
+  EXPECT_EQ(core_ops, m.total_stats().ops_completed);
+  EXPECT_EQ(core_ops, 4u * 20u);
+}
+
+}  // namespace
+}  // namespace lrsim

@@ -1,0 +1,112 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Unit tests for the set-associative L1 tag/state array.
+#include <gtest/gtest.h>
+
+#include "coherence/l1_cache.hpp"
+
+namespace lrsim {
+namespace {
+
+const std::function<bool(LineId)> kNonePinned = [](LineId) { return false; };
+
+TEST(L1Cache, StartsInvalid) {
+  L1Cache c{4, 2};
+  EXPECT_EQ(c.state(0), LineState::I);
+  EXPECT_EQ(c.occupancy(), 0u);
+}
+
+TEST(L1Cache, InstallAndLookup) {
+  L1Cache c{4, 2};
+  EXPECT_FALSE(c.install(5, LineState::S, kNonePinned).has_value());
+  EXPECT_EQ(c.state(5), LineState::S);
+  EXPECT_TRUE(c.present(5));
+}
+
+TEST(L1Cache, TagHitUpdatesState) {
+  L1Cache c{4, 2};
+  c.install(5, LineState::S, kNonePinned);
+  EXPECT_FALSE(c.install(5, LineState::M, kNonePinned).has_value());
+  EXPECT_EQ(c.state(5), LineState::M);
+  EXPECT_EQ(c.occupancy(), 1u);
+}
+
+TEST(L1Cache, EvictsLruWhenSetFull) {
+  L1Cache c{4, 2};
+  // Lines 0, 4, 8 all map to set 0 (4 sets).
+  c.install(0, LineState::S, kNonePinned);
+  c.install(4, LineState::S, kNonePinned);
+  c.touch(0);  // 4 is now LRU
+  auto victim = c.install(8, LineState::S, kNonePinned);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->line, 4u);
+  EXPECT_EQ(c.state(4), LineState::I);
+  EXPECT_EQ(c.state(0), LineState::S);
+  EXPECT_EQ(c.state(8), LineState::S);
+}
+
+TEST(L1Cache, VictimCarriesModifiedState) {
+  L1Cache c{4, 1};
+  c.install(0, LineState::M, kNonePinned);
+  auto victim = c.install(4, LineState::S, kNonePinned);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->state, LineState::M);
+}
+
+TEST(L1Cache, PinnedLinesAreNotEvicted) {
+  L1Cache c{4, 2};
+  c.install(0, LineState::M, kNonePinned);
+  c.install(4, LineState::S, kNonePinned);
+  c.touch(4);  // 0 would be LRU, but we pin it
+  auto pinned = [](LineId l) { return l == 0; };
+  auto victim = c.install(8, LineState::S, pinned);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->line, 4u);
+  EXPECT_EQ(c.state(0), LineState::M);
+}
+
+TEST(L1Cache, SetFullOfPinnedDetection) {
+  L1Cache c{4, 2};
+  c.install(0, LineState::M, kNonePinned);
+  c.install(4, LineState::M, kNonePinned);
+  auto all_pinned = [](LineId) { return true; };
+  EXPECT_TRUE(c.set_full_of_pinned(8, all_pinned));
+  EXPECT_FALSE(c.set_full_of_pinned(8, kNonePinned));
+  // A tag hit never needs room.
+  EXPECT_FALSE(c.set_full_of_pinned(0, all_pinned));
+  auto found = c.any_pinned_in_set(8, all_pinned);
+  ASSERT_TRUE(found.has_value());
+}
+
+TEST(L1Cache, InvalidateAndDowngrade) {
+  L1Cache c{4, 2};
+  c.install(3, LineState::M, kNonePinned);
+  c.downgrade(3);
+  EXPECT_EQ(c.state(3), LineState::S);
+  c.downgrade(3);  // idempotent on S
+  EXPECT_EQ(c.state(3), LineState::S);
+  c.invalidate(3);
+  EXPECT_EQ(c.state(3), LineState::I);
+  c.invalidate(99);  // absent line: no-op
+}
+
+TEST(L1Cache, DifferentSetsDoNotInterfere) {
+  L1Cache c{4, 1};
+  c.install(0, LineState::S, kNonePinned);
+  c.install(1, LineState::S, kNonePinned);
+  c.install(2, LineState::S, kNonePinned);
+  c.install(3, LineState::S, kNonePinned);
+  EXPECT_EQ(c.occupancy(), 4u);
+}
+
+TEST(L1Cache, Geometry32KB) {
+  // Table 1: 32 KB, 4-way, 64 B lines -> 128 sets.
+  L1Cache c{128, 4};
+  for (LineId l = 0; l < 512; ++l) c.install(l, LineState::S, kNonePinned);
+  EXPECT_EQ(c.occupancy(), 512u);  // exactly full, no evictions
+  auto v = c.install(512, LineState::S, kNonePinned);
+  EXPECT_TRUE(v.has_value());
+}
+
+}  // namespace
+}  // namespace lrsim

@@ -1,0 +1,209 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Standalone LeaseTable unit tests: the engine's bookkeeping exercised
+// directly against an EventQueue, without a machine. Complements the
+// machine-level suites in lease_test.cpp / multilease_test.cpp.
+#include <gtest/gtest.h>
+
+#include "core/lease_table.hpp"
+
+namespace lrsim {
+namespace {
+
+struct TableFixture : ::testing::Test {
+  TableFixture() : table(ev, stats, cfg) {
+    cfg.max_num_leases = 3;
+    cfg.max_lease_time = 1000;
+    cfg.leases_enabled = true;
+  }
+
+  EventQueue ev;
+  Stats stats;
+  MachineConfig cfg;
+  LeaseTable table;
+};
+
+TEST_F(TableFixture, AddGrantReleaseLifecycle) {
+  EXPECT_TRUE(table.add(5, 400));
+  EXPECT_TRUE(table.has(5));
+  EXPECT_FALSE(table.pins(5));  // not granted yet: not pinned
+  table.on_granted(5);
+  EXPECT_TRUE(table.pins(5));
+  EXPECT_TRUE(table.release(5));
+  EXPECT_FALSE(table.has(5));
+  EXPECT_EQ(stats.leases_taken, 1u);
+  EXPECT_EQ(stats.releases_voluntary, 1u);
+}
+
+TEST_F(TableFixture, NoExtension) {
+  EXPECT_TRUE(table.add(5, 400));
+  EXPECT_FALSE(table.add(5, 400));  // second add is a no-op
+  EXPECT_EQ(table.size(), 1);
+  EXPECT_EQ(stats.leases_taken, 1u);
+}
+
+TEST_F(TableFixture, TimerFiresInvoluntaryRelease) {
+  table.add(5, 400);
+  table.on_granted(5);
+  ev.run(399);
+  EXPECT_TRUE(table.has(5));
+  ev.run(400);
+  EXPECT_FALSE(table.has(5));
+  EXPECT_EQ(stats.releases_involuntary, 1u);
+  EXPECT_FALSE(table.release(5));  // nothing left to release
+}
+
+TEST_F(TableFixture, DurationClampedToMax) {
+  table.add(5, 99'999);
+  table.on_granted(5);
+  ev.run(1000);  // == MAX_LEASE_TIME
+  EXPECT_FALSE(table.has(5));
+}
+
+TEST_F(TableFixture, UngrantedEntryHasNoTimer) {
+  table.add(5, 100);
+  ev.run(5000);  // no grant, no countdown, entry persists
+  EXPECT_TRUE(table.has(5));
+}
+
+TEST_F(TableFixture, FifoEvictionAtCapacity) {
+  for (LineId l = 1; l <= 3; ++l) {
+    table.add(l, 500);
+    table.on_granted(l);
+  }
+  EXPECT_EQ(table.size(), 3);
+  table.add(4, 500);  // evicts line 1 (oldest)
+  EXPECT_FALSE(table.has(1));
+  EXPECT_TRUE(table.has(2));
+  EXPECT_TRUE(table.has(4));
+  EXPECT_EQ(stats.releases_evicted, 1u);
+}
+
+TEST_F(TableFixture, EvictionServicesParkedProbe) {
+  table.add(1, 500);
+  table.on_granted(1);
+  bool serviced = false;
+  EXPECT_TRUE(table.maybe_park_probe(1, false, [&] { serviced = true; }));
+  table.add(2, 500);
+  table.add(3, 500);
+  table.add(4, 500);  // FIFO-evicts line 1 -> its probe must run
+  EXPECT_TRUE(serviced);
+}
+
+TEST_F(TableFixture, ParkOnlyWhenGranted) {
+  table.add(7, 500);  // transition-to-lease: we do not own the line
+  bool serviced = false;
+  EXPECT_FALSE(table.maybe_park_probe(7, false, [&] { serviced = true; }));
+  table.on_granted(7);
+  EXPECT_TRUE(table.maybe_park_probe(7, false, [&] { serviced = true; }));
+  EXPECT_FALSE(serviced);
+  table.release(7);
+  EXPECT_TRUE(serviced);
+  EXPECT_EQ(stats.probes_queued, 1u);
+}
+
+TEST_F(TableFixture, ExpiryServicesParkedProbe) {
+  table.add(7, 200);
+  table.on_granted(7);
+  bool serviced = false;
+  table.maybe_park_probe(7, false, [&] { serviced = true; });
+  ev.run(150);
+  EXPECT_FALSE(serviced);
+  ev.run(250);
+  EXPECT_TRUE(serviced);
+  EXPECT_GE(stats.probe_queued_cycles, 190u);  // parked at t=0, expiry ~200
+}
+
+TEST_F(TableFixture, PriorityBreaksRegularButNotLeaseRequests) {
+  cfg.lease_priority_mode = true;
+  table.add(7, 500);
+  table.on_granted(7);
+  // Lease-tagged probe parks.
+  EXPECT_TRUE(table.maybe_park_probe(7, /*requestor_is_lease=*/true, [] {}));
+  table.release(7);
+
+  table.add(8, 500);
+  table.on_granted(8);
+  // Regular probe breaks the lease.
+  EXPECT_FALSE(table.maybe_park_probe(8, /*requestor_is_lease=*/false, [] {}));
+  EXPECT_FALSE(table.has(8));
+  EXPECT_EQ(stats.releases_broken, 1u);
+}
+
+TEST_F(TableFixture, GroupStartsJointlyAndReleasesJointly) {
+  table.add(1, 300, /*in_group=*/true);
+  table.add(2, 300, /*in_group=*/true);
+  table.on_granted(1);
+  EXPECT_FALSE(table.group_complete());
+  table.on_granted(2);
+  EXPECT_TRUE(table.group_complete());
+  table.start_group();
+  // Releasing one member releases the whole group.
+  EXPECT_TRUE(table.release(2));
+  EXPECT_EQ(table.size(), 0);
+  EXPECT_EQ(stats.releases_voluntary, 2u);
+}
+
+TEST_F(TableFixture, GroupExpiryIsJoint) {
+  table.add(1, 300, true);
+  table.add(2, 300, true);
+  table.on_granted(1);
+  table.on_granted(2);
+  table.start_group();
+  ev.run(299);
+  EXPECT_EQ(table.size(), 2);
+  ev.run(300);
+  EXPECT_EQ(table.size(), 0);
+  EXPECT_EQ(stats.releases_involuntary, 2u);
+}
+
+TEST_F(TableFixture, ReleaseAllIsTwoPhase) {
+  // All entries disappear before any parked probe runs (Algorithm 2's
+  // ReleaseAll order) — the probe callback must observe an empty table.
+  table.add(1, 500);
+  table.add(2, 500);
+  table.on_granted(1);
+  table.on_granted(2);
+  int size_seen_by_probe = -1;
+  table.maybe_park_probe(1, false, [&] { size_seen_by_probe = table.size(); });
+  table.release_all();
+  EXPECT_EQ(size_seen_by_probe, 0);
+}
+
+TEST_F(TableFixture, ForceReleaseDropsGroup) {
+  table.add(1, 300, true);
+  table.add(2, 300, true);
+  table.on_granted(1);
+  table.on_granted(2);
+  table.start_group();
+  table.force_release(1);
+  EXPECT_EQ(table.size(), 0);  // whole group goes
+  EXPECT_EQ(stats.releases_evicted, 2u);
+}
+
+TEST_F(TableFixture, BlocksProbeIsSideEffectFreeForLeaseRequests) {
+  cfg.nack_on_lease = true;
+  table.add(9, 500);
+  table.on_granted(9);
+  EXPECT_TRUE(table.blocks_probe(9, /*requestor_is_lease=*/true));
+  EXPECT_TRUE(table.has(9));  // unchanged: caller NACKs and retries
+}
+
+TEST_F(TableFixture, FutilityPredictorCountsAndResets) {
+  cfg.lease_predictor = true;
+  cfg.predictor_threshold = 2;
+  for (int i = 0; i < 2; ++i) {
+    table.add(3, 100);
+    table.on_granted(3);
+    ev.run(ev.now() + 100);  // expire involuntarily
+  }
+  EXPECT_TRUE(table.predicts_futile(3));
+  // A voluntary release rehabilitates the line.
+  table.add(3, 100);
+  table.on_granted(3);
+  table.release(3);
+  EXPECT_FALSE(table.predicts_futile(3));
+}
+
+}  // namespace
+}  // namespace lrsim

@@ -1,0 +1,215 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// MESI protocol tests (Section 8 "Other Protocols"): the clean-Exclusive
+// state, silent E->M upgrade, dirty-only writebacks, clean evictions, and
+// lease interaction with E lines.
+#include <gtest/gtest.h>
+
+#include "sim_test_util.hpp"
+
+namespace lrsim {
+namespace {
+
+MachineConfig mesi_config(int cores, bool leases) {
+  MachineConfig cfg = testing::small_config(cores, leases);
+  cfg.protocol = CoherenceProtocol::kMESI;
+  return cfg;
+}
+
+TEST(Mesi, SoleReaderGetsExclusive) {
+  Machine m{mesi_config(2, false)};
+  Addr a = m.heap().alloc_line();
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> { co_await ctx.load(a); });
+  m.run();
+  EXPECT_EQ(m.controller(0).line_state(line_of(a)), LineState::E);
+  EXPECT_EQ(m.directory().line_state(line_of(a)), Directory::LineSt::kExclusive);
+  EXPECT_EQ(m.directory().owner_of(line_of(a)), 0);
+}
+
+TEST(Mesi, MsiSoleReaderStaysShared) {
+  Machine m{testing::small_config(2, false)};  // MSI default
+  Addr a = m.heap().alloc_line();
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> { co_await ctx.load(a); });
+  m.run();
+  EXPECT_EQ(m.controller(0).line_state(line_of(a)), LineState::S);
+  EXPECT_EQ(m.directory().line_state(line_of(a)), Directory::LineSt::kShared);
+}
+
+TEST(Mesi, SilentUpgradeCostsNoMessages) {
+  Machine m{mesi_config(1, false)};
+  Addr a = m.heap().alloc_line();
+  Cycle write_cost = 0;
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.load(a);  // E grant
+    const Cycle t0 = ctx.now();
+    co_await ctx.store(a, 1);  // silent E -> M
+    write_cost = ctx.now() - t0;
+  });
+  m.run();
+  EXPECT_EQ(write_cost, 1u);  // pure L1 hit
+  EXPECT_EQ(m.controller(0).line_state(line_of(a)), LineState::M);
+  Stats s = m.total_stats();
+  // Only the initial GetS + data — the write generated zero traffic.
+  EXPECT_EQ(s.msgs_getx, 0u);
+  EXPECT_EQ(s.total_messages(), 2u);
+}
+
+TEST(Mesi, MsiReadThenWriteNeedsUpgrade) {
+  Machine m{testing::small_config(1, false)};
+  Addr a = m.heap().alloc_line();
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.load(a);
+    co_await ctx.store(a, 1);
+  });
+  m.run();
+  Stats s = m.total_stats();
+  EXPECT_EQ(s.msgs_getx, 1u);  // the upgrade MESI saves
+  EXPECT_GT(s.total_messages(), 2u);
+}
+
+TEST(Mesi, SecondReaderDowngradesCleanExclusiveWithoutWriteback) {
+  Machine m{mesi_config(2, false)};
+  Addr a = m.heap().alloc_line();
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> { co_await ctx.load(a); });
+  m.spawn(1, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.work(500);
+    const std::uint64_t v = co_await ctx.load(a);
+    EXPECT_EQ(v, 0u);
+  });
+  m.run();
+  EXPECT_EQ(m.controller(0).line_state(line_of(a)), LineState::S);
+  EXPECT_EQ(m.controller(1).line_state(line_of(a)), LineState::S);
+  // The owner never wrote: downgrade must not charge a writeback.
+  EXPECT_EQ(m.total_stats().msgs_wb, 0u);
+}
+
+TEST(Mesi, SecondReaderAfterSilentWriteDoesWriteBack) {
+  Machine m{mesi_config(2, false)};
+  Addr a = m.heap().alloc_line();
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.load(a);
+    co_await ctx.store(a, 9);  // silent upgrade: directory still thinks E
+  });
+  m.spawn(1, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.work(500);
+    const std::uint64_t v = co_await ctx.load(a);
+    EXPECT_EQ(v, 9u);  // dirty data forwarded correctly
+  });
+  m.run();
+  EXPECT_EQ(m.total_stats().msgs_wb, 1u);
+}
+
+TEST(Mesi, WriterInvalidatesExclusiveOwner) {
+  Machine m{mesi_config(2, false)};
+  Addr a = m.heap().alloc_line();
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> { co_await ctx.load(a); });
+  m.spawn(1, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.work(500);
+    co_await ctx.store(a, 3);
+  });
+  m.run();
+  EXPECT_EQ(m.controller(0).line_state(line_of(a)), LineState::I);
+  EXPECT_EQ(m.controller(1).line_state(line_of(a)), LineState::M);
+  EXPECT_EQ(m.memory().read(a), 3u);
+}
+
+TEST(Mesi, CleanExclusiveEvictionIsFreeAndForgotten) {
+  MachineConfig cfg = mesi_config(1, false);
+  Machine m{cfg};
+  const int sets = cfg.l1_sets;
+  Addr a = line_base(6000);
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.load(a);  // E
+    // Evict it with reads (all E grants, clean evictions).
+    for (int i = 1; i <= 5; ++i) co_await ctx.load(line_base(static_cast<LineId>(6000 + i * sets)));
+    EXPECT_EQ(ctx.controller().line_state(line_of(a)), LineState::I);
+  });
+  m.run();
+  // No writebacks anywhere, and the directory no longer lists an owner.
+  EXPECT_EQ(m.total_stats().msgs_wb, 0u);
+  EXPECT_EQ(m.directory().line_state(line_of(a)), Directory::LineSt::kUncached);
+  // Re-reading must not probe the departed owner (would wedge otherwise).
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    const std::uint64_t v = co_await ctx.load(a);
+    EXPECT_EQ(v, 0u);
+  });
+  m.run(10'000'000);
+  ASSERT_TRUE(m.all_done());
+}
+
+TEST(Mesi, LeaseOnExclusiveLineGrantsImmediately) {
+  Machine m{mesi_config(2, true)};
+  Addr a = m.heap().alloc_line();
+  Cycle lease_cost = 0;
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.load(a);  // E
+    const Cycle t0 = ctx.now();
+    co_await ctx.lease(a, 2000);
+    lease_cost = ctx.now() - t0;
+    EXPECT_TRUE(ctx.controller().lease_table().pins(line_of(a)));
+    co_await ctx.release(a);
+  });
+  m.run();
+  EXPECT_EQ(lease_cost, 1u);  // E qualifies as exclusive: no transaction
+  EXPECT_EQ(m.total_stats().msgs_getx, 0u);
+}
+
+TEST(Mesi, LeasedExclusiveLineParksProbes) {
+  Machine m{mesi_config(2, true)};
+  Addr a = m.heap().alloc_line();
+  Cycle store_done = 0, release_time = 0;
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.load(a);
+    co_await ctx.lease(a, 10'000);
+    co_await ctx.work(2000);
+    co_await ctx.release(a);
+    release_time = ctx.now();
+  });
+  m.spawn(1, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.work(300);
+    co_await ctx.store(a, 1);
+    store_done = ctx.now();
+  });
+  m.run();
+  EXPECT_GE(store_done, release_time);
+  EXPECT_EQ(m.total_stats().probes_queued, 1u);
+}
+
+TEST(Mesi, SharedCounterConservationUnderMesi) {
+  constexpr int kCores = 8;
+  Machine m{mesi_config(kCores, true)};
+  Addr a = m.heap().alloc_line();
+  testing::run_workers(m, kCores, [&](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < 25; ++i) {
+      co_await ctx.lease(a, 2000);
+      const std::uint64_t v = co_await ctx.load(a);
+      co_await ctx.store(a, v + 1);
+      co_await ctx.release(a);
+    }
+  });
+  EXPECT_EQ(m.memory().read(a), static_cast<std::uint64_t>(kCores) * 25);
+}
+
+TEST(Mesi, ReadMostlyWorkloadSendsFewerMessagesThanMsi) {
+  // The canonical MESI win: private read-then-write sequences.
+  auto run = [](CoherenceProtocol proto) {
+    MachineConfig cfg = testing::small_config(4, false);
+    cfg.protocol = proto;
+    Machine m{cfg};
+    SimHeap& heap = m.heap();
+    std::vector<Addr> priv;
+    for (int i = 0; i < 4 * 8; ++i) priv.push_back(heap.alloc_line());
+    testing::run_workers(m, 4, [&](Ctx& ctx, int t) -> Task<void> {
+      for (int i = 0; i < 8; ++i) {
+        const Addr a = priv[static_cast<std::size_t>(t * 8 + i)];
+        const std::uint64_t v = co_await ctx.load(a);
+        co_await ctx.store(a, v + 1);
+      }
+    });
+    return m.total_stats().total_messages();
+  };
+  EXPECT_LT(run(CoherenceProtocol::kMESI), run(CoherenceProtocol::kMSI));
+}
+
+}  // namespace
+}  // namespace lrsim

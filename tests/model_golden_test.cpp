@@ -1,0 +1,140 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Golden timing-model tests: pin the exact latencies documented in
+// docs/PROTOCOL.md §2 so accidental changes to the cost model are caught.
+// If you change the model on purpose, update PROTOCOL.md and these numbers
+// together.
+#include <gtest/gtest.h>
+
+#include "sim_test_util.hpp"
+
+namespace lrsim {
+namespace {
+
+using testing::small_config;
+
+struct LatencyProbe {
+  Cycle cold_load = 0;
+  Cycle warm_load_other_core = 0;
+  Cycle l1_hit = 0;
+  Cycle store_hit = 0;
+  Cycle m_transfer_store = 0;
+  Cycle upgrade_no_sharers = 0;
+  Cycle cas_hit = 0;
+};
+
+LatencyProbe measure() {
+  LatencyProbe p;
+  Machine m{small_config(2, false)};
+  Addr a = m.heap().alloc_line();
+  Addr b = m.heap().alloc_line();
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    Cycle t0 = ctx.now();
+    co_await ctx.load(a);
+    p.cold_load = ctx.now() - t0;
+
+    t0 = ctx.now();
+    co_await ctx.load(a);
+    p.l1_hit = ctx.now() - t0;
+
+    // S -> M upgrade (we are the only sharer).
+    t0 = ctx.now();
+    co_await ctx.store(a, 1);
+    p.upgrade_no_sharers = ctx.now() - t0;
+
+    t0 = ctx.now();
+    co_await ctx.store(a, 2);
+    p.store_hit = ctx.now() - t0;
+
+    t0 = ctx.now();
+    co_await ctx.cas(a, 2, 3);
+    p.cas_hit = ctx.now() - t0;
+
+    // Warm line `b` for core 1's measurements.
+    co_await ctx.store(b, 1);
+    co_await ctx.work(10'000);
+  });
+  m.spawn(1, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.work(2000);
+    Cycle t0 = ctx.now();
+    co_await ctx.store(b, 9);  // M at core 0 -> cache-to-cache
+    p.m_transfer_store = ctx.now() - t0;
+
+    // Let core 0's copy be gone; load `a` which is M at core 0... instead
+    // measure a warm L2 load: line `a` is M at core 0, so use a third
+    // line warmed by this core's own store then evicted? Simpler: measure
+    // a GetS on a line another core wrote and then downgraded:
+    t0 = ctx.now();
+    co_await ctx.load(a);  // M at core 0: downgrade + forward
+    p.warm_load_other_core = ctx.now() - t0;
+  });
+  m.run();
+  return p;
+}
+
+TEST(ModelGolden, DocumentedLatencies) {
+  const LatencyProbe p = measure();
+  EXPECT_EQ(p.cold_load, 142u);            // 1+15+3+100+8+15
+  EXPECT_EQ(p.l1_hit, 1u);                 // L1 hit
+  EXPECT_EQ(p.upgrade_no_sharers, 34u);    // 1+15+3+15 (ack grant)
+  EXPECT_EQ(p.store_hit, 1u);              // M hit
+  EXPECT_EQ(p.cas_hit, 1u);                // M hit
+  EXPECT_EQ(p.m_transfer_store, 50u);      // 1+15+3+15+1+15
+  EXPECT_EQ(p.warm_load_other_core, 50u);  // downgrade path, same legs
+}
+
+TEST(ModelGolden, LeaseInstructionCosts) {
+  Machine m{small_config(1, true)};
+  Addr a = m.heap().alloc_line();
+  Cycle lease_cold = 0, lease_hit = 0, release_cost = 0, noop_lease = 0;
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    Cycle t0 = ctx.now();
+    co_await ctx.lease(a, 5000);  // cold: full GetX round
+    lease_cold = ctx.now() - t0;
+
+    t0 = ctx.now();
+    co_await ctx.lease(a, 5000);  // already leased: 1-cycle no-op
+    noop_lease = ctx.now() - t0;
+
+    t0 = ctx.now();
+    co_await ctx.release(a);
+    release_cost = ctx.now() - t0;
+
+    t0 = ctx.now();
+    co_await ctx.lease(a, 5000);  // line still M: 1-cycle grant
+    lease_hit = ctx.now() - t0;
+    co_await ctx.release(a);
+  });
+  m.run();
+  EXPECT_EQ(lease_cold, 142u);  // same as a cold exclusive miss
+  EXPECT_EQ(noop_lease, 1u);
+  EXPECT_EQ(release_cost, 1u);
+  EXPECT_EQ(lease_hit, 1u);
+}
+
+TEST(ModelGolden, MeshLatencyFormula) {
+  MachineConfig cfg = small_config(16, false);
+  cfg.mesh_topology = true;
+  // 4x4 grid; pick a line homed at tile 0, requester at tile 15 (6 hops).
+  Machine m{cfg};
+  Addr a = 0;
+  for (Addr cand = 0x40000; cand < 0x80000; cand += kLineSize) {
+    if (line_of(cand) % 16 == 0) {
+      a = cand;
+      break;
+    }
+  }
+  ASSERT_NE(a, 0u);
+  Cycle cold = 0;
+  m.spawn(15, [&](Ctx& ctx) -> Task<void> {
+    const Cycle t0 = ctx.now();
+    co_await ctx.load(a);
+    cold = ctx.now() - t0;
+  });
+  m.run();
+  // 1 (L1) + 19 (6-hop request: 7 routers + 6 links) + 3 + 100 + 8 + 19.
+  EXPECT_EQ(cold, 150u);
+}
+
+}  // namespace
+}  // namespace lrsim

@@ -1,0 +1,188 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Michael–Scott queue: FIFO semantics, per-producer order preservation,
+// element conservation across all three lease modes, tail-helping.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "ds/ms_queue.hpp"
+#include "sim_test_util.hpp"
+
+namespace lrsim {
+namespace {
+
+using testing::small_config;
+
+TEST(MsQueue, SequentialFifoOrder) {
+  Machine m{small_config(1, false)};
+  MsQueue q{m};
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    std::optional<std::uint64_t> empty = co_await q.dequeue(ctx);
+    EXPECT_FALSE(empty.has_value());
+    for (std::uint64_t v = 1; v <= 6; ++v) co_await q.enqueue(ctx, v);
+    for (std::uint64_t v = 1; v <= 6; ++v) {
+      std::optional<std::uint64_t> got = co_await q.dequeue(ctx);
+      CO_ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, v);
+    }
+    std::optional<std::uint64_t> empty2 = co_await q.dequeue(ctx);
+    EXPECT_FALSE(empty2.has_value());
+  });
+  m.run();
+}
+
+TEST(MsQueue, SnapshotIsFrontToBack) {
+  Machine m{small_config(1, false)};
+  MsQueue q{m};
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    for (std::uint64_t v = 10; v <= 13; ++v) co_await q.enqueue(ctx, v);
+    co_await q.dequeue(ctx);
+  });
+  m.run();
+  EXPECT_EQ(q.snapshot(), (std::vector<std::uint64_t>{11, 12, 13}));
+}
+
+class MsQueueModes : public ::testing::TestWithParam<QueueLeaseMode> {};
+
+TEST_P(MsQueueModes, ConservationAndPerProducerFifo) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 40;
+  Machine m{small_config(kProducers + kConsumers, true)};
+  MsQueue q{m, {.lease_mode = GetParam()}};
+  std::vector<std::uint64_t> consumed;
+
+  for (int p = 0; p < kProducers; ++p) {
+    m.spawn(p, [&, p](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < kPerProducer; ++i) {
+        co_await q.enqueue(ctx, static_cast<std::uint64_t>((p + 1) * 1000 + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    m.spawn(kProducers + c, [&](Ctx& ctx) -> Task<void> {
+      int got = 0;
+      while (got < kPerProducer) {  // each consumer takes its share
+        std::optional<std::uint64_t> v = co_await q.dequeue(ctx);
+        if (v.has_value()) {
+          consumed.push_back(*v);
+          ++got;
+        } else {
+          co_await ctx.work(200);
+        }
+      }
+    });
+  }
+  m.run(500'000'000);
+  ASSERT_TRUE(m.all_done());
+
+  // Conservation: every value exactly once, queue empty.
+  EXPECT_EQ(consumed.size(), static_cast<std::size_t>(kProducers) * kPerProducer);
+  std::set<std::uint64_t> unique(consumed.begin(), consumed.end());
+  EXPECT_EQ(unique.size(), consumed.size());
+  EXPECT_TRUE(q.snapshot().empty());
+
+  // FIFO per producer: within one producer's values, consumption order
+  // respects enqueue order. (Global FIFO cannot be checked from consumption
+  // order alone with concurrent consumers.)
+  std::map<std::uint64_t, int> last_index;
+  for (std::size_t i = 0; i < consumed.size(); ++i) {
+    const std::uint64_t producer = consumed[i] / 1000;
+    const int idx = static_cast<int>(consumed[i] % 1000);
+    auto it = last_index.find(producer);
+    if (it != last_index.end()) {
+      EXPECT_GT(idx, it->second) << "producer " << producer;
+    }
+    last_index[producer] = idx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, MsQueueModes,
+                         ::testing::Values(QueueLeaseMode::kNone, QueueLeaseMode::kSingle,
+                                           QueueLeaseMode::kMulti, QueueLeaseMode::kNextPtr),
+                         [](const ::testing::TestParamInfo<QueueLeaseMode>& info) {
+                           switch (info.param) {
+                             case QueueLeaseMode::kNone: return "base";
+                             case QueueLeaseMode::kSingle: return "single_lease";
+                             case QueueLeaseMode::kMulti: return "multi_lease";
+                             case QueueLeaseMode::kNextPtr: return "nextptr_lease";
+                           }
+                           return "unknown";
+                         });
+
+TEST(MsQueue, GlobalFifoWithSingleConsumer) {
+  // One consumer sees a strict interleaving of producer streams; global
+  // order must be consistent with real (simulated) time of the enqueue CAS.
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 25;
+  Machine m{small_config(kProducers + 1, true)};
+  MsQueue q{m, {.lease_mode = QueueLeaseMode::kSingle}};
+  std::vector<std::uint64_t> consumed;
+  for (int p = 0; p < kProducers; ++p) {
+    m.spawn(p, [&, p](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < kPerProducer; ++i) {
+        co_await q.enqueue(ctx, static_cast<std::uint64_t>((p + 1) * 1000 + i));
+        co_await ctx.work(ctx.rng().next_below(300));
+      }
+    });
+  }
+  m.spawn(kProducers, [&](Ctx& ctx) -> Task<void> {
+    while (consumed.size() < kProducers * kPerProducer) {
+      std::optional<std::uint64_t> v = co_await q.dequeue(ctx);
+      if (v.has_value()) {
+        consumed.push_back(*v);
+      } else {
+        co_await ctx.work(100);
+      }
+    }
+  });
+  m.run(500'000'000);
+  ASSERT_TRUE(m.all_done());
+  std::map<std::uint64_t, int> last_index;
+  for (std::uint64_t v : consumed) {
+    const std::uint64_t producer = v / 1000;
+    const int idx = static_cast<int>(v % 1000);
+    auto it = last_index.find(producer);
+    if (it != last_index.end()) {
+      EXPECT_GT(idx, it->second);
+    }
+    last_index[producer] = idx;
+  }
+}
+
+TEST(MsQueue, LeaseReducesCasFailures) {
+  constexpr int kThreads = 16;
+  constexpr int kReps = 25;
+  auto failure_rate = [&](QueueLeaseMode mode) {
+    Machine m{small_config(kThreads, true)};
+    MsQueue q{m, {.lease_mode = mode}};
+    testing::run_workers(m, kThreads, [&](Ctx& ctx, int) -> Task<void> {
+      for (int i = 0; i < kReps; ++i) {
+        co_await q.enqueue(ctx, 1);
+        co_await q.dequeue(ctx);
+      }
+    });
+    const Stats s = m.total_stats();
+    return static_cast<double>(s.cas_failures) / static_cast<double>(s.cas_attempts);
+  };
+  EXPECT_LT(failure_rate(QueueLeaseMode::kSingle), failure_rate(QueueLeaseMode::kNone));
+}
+
+TEST(MsQueue, NoLeaseLeakAcrossOperations) {
+  Machine m{small_config(4, true)};
+  MsQueue q{m, {.lease_mode = QueueLeaseMode::kMulti}};
+  testing::run_workers(m, 4, [&](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < 15; ++i) {
+      co_await q.enqueue(ctx, static_cast<std::uint64_t>(i));
+      co_await q.dequeue(ctx);
+    }
+  });
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(m.controller(c).lease_table().size(), 0) << "core " << c;
+  }
+}
+
+}  // namespace
+}  // namespace lrsim

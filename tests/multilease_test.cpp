@@ -1,0 +1,280 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// MultiLease / MultiRelease semantics (Section 4 / Algorithm 2), the
+// deadlock-freedom property (Proposition 3), and the software emulation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim_test_util.hpp"
+
+namespace lrsim {
+namespace {
+
+using testing::small_config;
+
+template <typename... A>
+std::vector<Addr> group_of(A... addrs) {
+  std::vector<Addr> v;
+  (v.push_back(addrs), ...);
+  return v;
+}
+
+TEST(MultiLease, AcquiresAllLinesExclusively) {
+  Machine m{small_config(1, true)};
+  Addr a = m.heap().alloc_line();
+  Addr b = m.heap().alloc_line();
+  Addr c = m.heap().alloc_line();
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.multi_lease(group_of(c, a, b), 5000);
+    EXPECT_EQ(ctx.controller().line_state(line_of(a)), LineState::M);
+    EXPECT_EQ(ctx.controller().line_state(line_of(b)), LineState::M);
+    EXPECT_EQ(ctx.controller().line_state(line_of(c)), LineState::M);
+    EXPECT_EQ(ctx.controller().lease_table().size(), 3);
+    EXPECT_TRUE(ctx.controller().lease_table().has_group());
+    co_await ctx.release_all();
+    EXPECT_EQ(ctx.controller().lease_table().size(), 0);
+  });
+  m.run();
+  EXPECT_EQ(m.total_stats().leases_taken, 3u);
+}
+
+TEST(MultiLease, ReleasingOneMemberReleasesWholeGroup) {
+  Machine m{small_config(1, true)};
+  Addr a = m.heap().alloc_line();
+  Addr b = m.heap().alloc_line();
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.multi_lease(group_of(a, b), 5000);
+    EXPECT_EQ(ctx.controller().lease_table().size(), 2);
+    co_await ctx.release(b);  // MultiRelease semantics
+    EXPECT_EQ(ctx.controller().lease_table().size(), 0);
+  });
+  m.run();
+  EXPECT_EQ(m.total_stats().releases_voluntary, 2u);
+}
+
+TEST(MultiLease, ReplacesPreviouslyHeldLeases) {
+  Machine m{small_config(1, true)};
+  Addr a = m.heap().alloc_line();
+  Addr b = m.heap().alloc_line();
+  Addr c = m.heap().alloc_line();
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.lease(a, 5000);
+    co_await ctx.multi_lease(group_of(b, c), 5000);  // releases `a` first
+    EXPECT_FALSE(ctx.controller().lease_table().has(line_of(a)));
+    EXPECT_TRUE(ctx.controller().lease_table().has(line_of(b)));
+    EXPECT_TRUE(ctx.controller().lease_table().has(line_of(c)));
+    co_await ctx.release_all();
+  });
+  m.run();
+}
+
+TEST(MultiLease, OversizedGroupIsIgnored) {
+  MachineConfig cfg = small_config(1, true);
+  cfg.max_num_leases = 2;
+  Machine m{cfg};
+  std::vector<Addr> addrs;
+  for (int i = 0; i < 3; ++i) addrs.push_back(m.heap().alloc_line());
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.multi_lease(addrs, 5000);  // 3 > MAX_NUM_LEASES: ignored
+    EXPECT_EQ(ctx.controller().lease_table().size(), 0);
+  });
+  m.run();
+  EXPECT_EQ(m.total_stats().leases_taken, 0u);
+}
+
+TEST(MultiLease, DuplicateLinesCollapse) {
+  Machine m{small_config(1, true)};
+  Addr a = m.heap().alloc_line();
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    // Two words on the same line need only one lease.
+    co_await ctx.multi_lease(group_of(a, a + 8), 5000);
+    EXPECT_EQ(ctx.controller().lease_table().size(), 1);
+    co_await ctx.release_all();
+  });
+  m.run();
+}
+
+TEST(MultiLease, GroupExpiresJointly) {
+  MachineConfig cfg = small_config(2, true);
+  cfg.max_lease_time = 1500;
+  Machine m{cfg};
+  Addr a = m.heap().alloc_line();
+  Addr b = m.heap().alloc_line();
+  Cycle store_a_done = 0, store_b_done = 0;
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.multi_lease(group_of(a, b), 100'000);  // clamped to 1500
+    co_await ctx.work(50'000);                            // never releases
+  });
+  m.spawn(1, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.work(100);
+    co_await ctx.store(a, 1);
+    store_a_done = ctx.now();
+    co_await ctx.store(b, 1);
+    store_b_done = ctx.now();
+  });
+  m.run();
+  // Both stores complete shortly after the joint expiry, far before 50k.
+  EXPECT_LT(store_a_done, 2500u);
+  EXPECT_LT(store_b_done, 2600u);
+  EXPECT_EQ(m.total_stats().releases_involuntary, 2u);
+}
+
+TEST(MultiLease, ProbeDuringAcquisitionPhaseIsParked) {
+  // Core 0 multi-leases {A, B}; B is held by core 2's long lease, so core
+  // 0's acquisition stalls after getting A. Core 1's request for A during
+  // that window must be parked (Algorithm 2 delays incoming requests during
+  // the whole acquisition).
+  MachineConfig cfg = small_config(3, true);
+  cfg.max_lease_time = 3000;
+  Machine m{cfg};
+  Addr a = m.heap().alloc_line();
+  Addr b = m.heap().alloc_line();
+  Cycle core1_store_done = 0, core0_acquired = 0;
+  m.spawn(2, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.lease(b, 3000);
+    co_await ctx.work(10'000);  // involuntary release at ~3000
+  });
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.work(300);  // let core 2 grab B first
+    co_await ctx.multi_lease(group_of(a, b), 1000);
+    core0_acquired = ctx.now();
+    co_await ctx.release_all();
+  });
+  m.spawn(1, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.work(600);  // while core 0 waits for B, request A
+    co_await ctx.store(a, 1);
+    core1_store_done = ctx.now();
+  });
+  m.run();
+  // Core 0 could only finish acquiring after core 2's lease expired (~3000).
+  EXPECT_GT(core0_acquired, 3000u);
+  // Core 1's store on A waited for core 0's whole acquisition + release.
+  EXPECT_GE(core1_store_done, core0_acquired);
+  EXPECT_GE(m.total_stats().probes_queued, 2u);
+}
+
+TEST(MultiLease, InvertedOrderPairNeverDeadlocks) {
+  for (int trial = 0; trial < 3; ++trial) {
+    Machine m{small_config(2, true), /*seed=*/static_cast<std::uint64_t>(trial + 1)};
+    Addr a = m.heap().alloc_line();
+    Addr b = m.heap().alloc_line();
+    auto worker = [&](std::vector<Addr> addrs) {
+      return [&, addrs](Ctx& ctx) -> Task<void> {
+        for (int i = 0; i < 40; ++i) {
+          co_await ctx.multi_lease(addrs, 1500);
+          co_await ctx.store(a, 1);
+          co_await ctx.store(b, 1);
+          co_await ctx.release_all();
+        }
+      };
+    };
+    m.spawn(0, worker({a, b}));
+    m.spawn(1, worker({b, a}));
+    m.run(100'000'000);
+    ASSERT_TRUE(m.all_done()) << "deadlock in trial " << trial;
+  }
+}
+
+TEST(MultiLease, ThreeWayCycleNeverDeadlocks) {
+  // Classic dining-philosophers shape: each core jointly leases a rotated
+  // pair. Sorted acquisition must prevent the cycle.
+  Machine m{small_config(3, true)};
+  std::vector<Addr> locks;
+  for (int i = 0; i < 3; ++i) locks.push_back(m.heap().alloc_line());
+  for (int c = 0; c < 3; ++c) {
+    m.spawn(c, [&, c](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < 30; ++i) {
+        std::vector<Addr> pair = group_of(locks[static_cast<std::size_t>(c)],
+                                          locks[static_cast<std::size_t>((c + 1) % 3)]);
+        co_await ctx.multi_lease(pair, 1000);
+        co_await ctx.store(locks[static_cast<std::size_t>(c)], 1);
+        co_await ctx.release_all();
+      }
+    });
+  }
+  m.run(200'000'000);
+  ASSERT_TRUE(m.all_done()) << "three-way MultiLease deadlocked";
+}
+
+TEST(MultiLease, SoftwareEmulationStaggersExpiries) {
+  MachineConfig cfg = small_config(2, true);
+  cfg.software_multilease = true;
+  cfg.max_lease_time = 100'000;
+  cfg.sw_multilease_stagger = 500;
+  Machine m{cfg};
+  Addr a = m.heap().alloc_line();
+  Addr b = m.heap().alloc_line();
+  Cycle store_a = 0, store_b = 0;
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.multi_lease(group_of(a, b), 1000);
+    // Software mode: independent single leases, no group flag.
+    EXPECT_FALSE(ctx.controller().lease_table().has_group());
+    EXPECT_EQ(ctx.controller().lease_table().size(), 2);
+    co_await ctx.work(30'000);  // let both expire involuntarily
+  });
+  m.spawn(1, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.work(100);
+    co_await ctx.store(a, 1);  // a: outer lease, duration 1000 + 500
+    store_a = ctx.now();
+    co_await ctx.store(b, 1);  // b: inner lease, duration 1000
+    store_b = ctx.now();
+  });
+  m.run();
+  // a (acquired first, lower line id) had the longer stagger; both bounded.
+  EXPECT_LT(store_a, 4000u);
+  EXPECT_LT(store_b, 4000u);
+  EXPECT_EQ(m.total_stats().releases_involuntary, 2u);
+}
+
+TEST(MultiLease, SoftwareEmulationStillExcludesWriters) {
+  MachineConfig cfg = small_config(2, true);
+  cfg.software_multilease = true;
+  Machine m{cfg};
+  Addr a = m.heap().alloc_line();
+  Addr b = m.heap().alloc_line();
+  Cycle release_time = 0, store_done = 0;
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.multi_lease(group_of(a, b), 10'000);
+    co_await ctx.work(2000);
+    co_await ctx.release_all();
+    release_time = ctx.now();
+  });
+  m.spawn(1, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.work(200);
+    co_await ctx.store(b, 1);
+    store_done = ctx.now();
+  });
+  m.run();
+  EXPECT_GE(store_done, release_time);
+}
+
+TEST(MultiLease, MixedWithContendedTrafficConserved) {
+  // Joint updates of two counters under MultiLease; the pair must always
+  // move together (each op increments both), so totals match.
+  constexpr int kCores = 8;
+  constexpr int kReps = 15;
+  Machine m{small_config(kCores, true)};
+  Addr a = m.heap().alloc_line();
+  Addr b = m.heap().alloc_line();
+  testing::run_workers(m, kCores, [&](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < kReps; ++i) {
+      std::vector<Addr> grp{a, b};
+      co_await ctx.multi_lease(grp, 5000);
+      const std::uint64_t va = co_await ctx.load(a);
+      const std::uint64_t vb = co_await ctx.load(b);
+      co_await ctx.store(a, va + 1);
+      co_await ctx.store(b, vb + 1);
+      co_await ctx.release_all();
+    }
+  });
+  // Leases are advisory: the loop body is not a critical section unless the
+  // leases hold. With MAX_LEASE_TIME at the default 20k cycles and a short
+  // body, every group survives to its voluntary release, so the read-modify-
+  // write pairs are atomic and nothing is lost.
+  EXPECT_EQ(m.memory().read(a), static_cast<std::uint64_t>(kCores) * kReps);
+  EXPECT_EQ(m.memory().read(b), static_cast<std::uint64_t>(kCores) * kReps);
+}
+
+}  // namespace
+}  // namespace lrsim

@@ -1,0 +1,141 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// MultiQueues: sequential heap correctness, relaxed-PQ conservation, lease
+// integration per Algorithm 4.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ds/multiqueue.hpp"
+#include "sim_test_util.hpp"
+
+namespace lrsim {
+namespace {
+
+using testing::small_config;
+
+TEST(SimHeapPq, SequentialHeapOrder) {
+  Machine m{small_config(1, false)};
+  SimHeapPq h{m, 64};
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    std::optional<std::uint64_t> empty = co_await h.delete_min(ctx);
+    EXPECT_FALSE(empty.has_value());
+    for (std::uint64_t v : {9, 3, 7, 1, 8, 2, 6, 4, 5}) {
+      const bool ok = co_await h.insert(ctx, v);
+      EXPECT_TRUE(ok);
+    }
+    std::optional<std::uint64_t> top = co_await h.top(ctx);
+    CO_ASSERT_TRUE(top.has_value());
+    EXPECT_EQ(*top, 1u);
+    for (std::uint64_t want = 1; want <= 9; ++want) {
+      std::optional<std::uint64_t> v = co_await h.delete_min(ctx);
+      CO_ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, want);
+    }
+  });
+  m.run();
+}
+
+TEST(SimHeapPq, RejectsBeyondCapacity) {
+  Machine m{small_config(1, false)};
+  SimHeapPq h{m, 4};
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    for (int i = 0; i < 4; ++i) {
+      const bool ok = co_await h.insert(ctx, static_cast<std::uint64_t>(i));
+      EXPECT_TRUE(ok);
+    }
+    const bool overflow = co_await h.insert(ctx, 99);
+    EXPECT_FALSE(overflow);
+  });
+  m.run();
+  EXPECT_EQ(h.size(), 4u);
+}
+
+TEST(SimHeapPq, RandomizedAgainstMultiset) {
+  Machine m{small_config(1, false)};
+  SimHeapPq h{m, 256};
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    std::multiset<std::uint64_t> oracle;
+    for (int i = 0; i < 300; ++i) {
+      if (oracle.empty() || ctx.rng().next_bool(0.6)) {
+        const std::uint64_t v = ctx.rng().next_below(1000);
+        co_await h.insert(ctx, v);
+        oracle.insert(v);
+      } else {
+        std::optional<std::uint64_t> got = co_await h.delete_min(ctx);
+        CO_ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, *oracle.begin());
+        oracle.erase(oracle.begin());
+      }
+    }
+    EXPECT_EQ(h.size(), oracle.size());
+  });
+  m.run(1'000'000'000);
+  ASSERT_TRUE(m.all_done());
+}
+
+class MultiQueueLease : public ::testing::TestWithParam<bool> {};
+
+TEST_P(MultiQueueLease, ConservationUnderConcurrency) {
+  const bool lease = GetParam();
+  constexpr int kThreads = 8;
+  constexpr int kReps = 20;
+  Machine m{small_config(kThreads, lease)};
+  MultiQueue mq{m, {.num_queues = 4, .use_lease = lease}};
+  int inserted = 0, removed = 0;
+  testing::run_workers(m, kThreads, [&](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < kReps; ++i) {
+      co_await mq.insert(ctx, 1 + ctx.rng().next_below(1000));
+      ++inserted;
+      if (i % 2 == 1) {
+        std::optional<std::uint64_t> v = co_await mq.delete_min(ctx);
+        if (v.has_value()) ++removed;
+      }
+    }
+  });
+  EXPECT_EQ(mq.total_size(), static_cast<std::size_t>(inserted - removed));
+  // Locks must all be free and no leases may linger.
+  for (int c = 0; c < kThreads; ++c) {
+    EXPECT_EQ(m.controller(c).lease_table().size(), 0) << "core " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Leases, MultiQueueLease, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "leased" : "base";
+                         });
+
+TEST(MultiQueue, DeleteMinIsRankRelaxedButSane) {
+  // With 2 queues and sequential use, deleteMin returns one of the two
+  // queue minima — i.e. at worst the 2nd smallest overall.
+  Machine m{small_config(1, false)};
+  MultiQueue mq{m, {.num_queues = 2}};
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    for (std::uint64_t v = 1; v <= 20; ++v) co_await mq.insert(ctx, v);
+    std::uint64_t prev_rank_bound = 0;
+    for (int i = 0; i < 20; ++i) {
+      std::optional<std::uint64_t> v = co_await mq.delete_min(ctx);
+      CO_ASSERT_TRUE(v.has_value());
+      // Each pop is within 2 of the smallest remaining value (rank error
+      // bounded by the number of queues).
+      EXPECT_LE(*v, prev_rank_bound + 2 + static_cast<std::uint64_t>(i));
+      prev_rank_bound = std::max(prev_rank_bound, *v);
+    }
+    std::optional<std::uint64_t> empty = co_await mq.delete_min(ctx);
+    EXPECT_FALSE(empty.has_value());
+  });
+  m.run(1'000'000'000);
+  ASSERT_TRUE(m.all_done());
+}
+
+TEST(MultiQueue, EmptyDeleteMinTerminates) {
+  Machine m{small_config(2, true)};
+  MultiQueue mq{m, {.num_queues = 4, .use_lease = true}};
+  testing::run_workers(m, 2, [&](Ctx& ctx, int) -> Task<void> {
+    std::optional<std::uint64_t> v = co_await mq.delete_min(ctx);
+    EXPECT_FALSE(v.has_value());
+  });
+}
+
+}  // namespace
+}  // namespace lrsim

@@ -1,0 +1,223 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Randomized protocol fuzzing with an atomicity oracle.
+//
+// N cores fire random loads/stores/CAS/FAA/XCHG (optionally wrapped in
+// random leases and MultiLeases) at a small pool of contended lines. Every
+// operation records its observed value in completion order. Because the
+// simulator is single-threaded and each operation's completion callback
+// fires at the instant the operation takes effect, replaying the log in
+// callback order against a per-address register must reproduce every
+// observed value exactly — any coherence bug (lost invalidation, stale
+// read, non-atomic RMW, lease/probe race) shows up as a divergence.
+//
+// This is the test that would have caught the probe-vs-lease same-cycle
+// race documented in coherence/controller.cpp.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim_test_util.hpp"
+
+namespace lrsim {
+namespace {
+
+using testing::small_config;
+
+enum class OpKind { kLoad, kStore, kCas, kFaa, kXchg };
+
+struct LoggedOp {
+  OpKind kind;
+  Addr addr;
+  std::uint64_t arg1 = 0;     // store value / cas expect / faa add / xchg value
+  std::uint64_t arg2 = 0;     // cas desired
+  std::uint64_t observed = 0; // load value / cas old / faa old / xchg old
+  bool cas_ok = false;
+  int core = 0;
+};
+
+struct FuzzCase {
+  const char* name;
+  int cores;
+  int lines;
+  int ops_per_core;
+  bool leases;
+  bool use_single_leases;  // wrap some ops in lease/release
+  bool use_multileases;    // occasionally multi-lease pairs
+  bool priority;
+  bool sw_multilease;
+  Cycle max_lease_time;
+  bool mesi = false;
+  bool mesh = false;
+  bool nack = false;
+  bool moesi = false;
+  bool l2_finite = false;
+};
+
+class ProtocolFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(ProtocolFuzz, CompletionOrderReplayMatches) {
+  const FuzzCase& fc = GetParam();
+  MachineConfig cfg = small_config(fc.cores, fc.leases);
+  cfg.lease_priority_mode = fc.priority;
+  cfg.software_multilease = fc.sw_multilease;
+  cfg.max_lease_time = fc.max_lease_time;
+  if (fc.mesi) cfg.protocol = CoherenceProtocol::kMESI;
+  if (fc.moesi) cfg.protocol = CoherenceProtocol::kMOESI;
+  cfg.mesh_topology = fc.mesh;
+  cfg.nack_on_lease = fc.nack;
+  if (fc.l2_finite) {
+    cfg.l2_finite = true;
+    cfg.l2_sets = 2;
+    cfg.l2_ways = 2;  // 4-line L2: constant capacity churn
+  }
+  Machine m{cfg, /*seed=*/0xfeedbeef};
+
+  std::vector<Addr> pool;
+  for (int i = 0; i < fc.lines; ++i) pool.push_back(m.heap().alloc_line());
+  // Also pack two hot words on ONE line to exercise intra-line conflicts.
+  const Addr packed = m.heap().alloc_line(16);
+  pool.push_back(packed);
+  pool.push_back(packed + 8);
+
+  std::vector<LoggedOp> log;  // appended in completion (callback) order
+  log.reserve(static_cast<std::size_t>(fc.cores) * fc.ops_per_core);
+
+  testing::run_workers(m, fc.cores, [&](Ctx& ctx, int t) -> Task<void> {
+    for (int i = 0; i < fc.ops_per_core; ++i) {
+      const Addr a = pool[ctx.rng().next_below(pool.size())];
+      const std::uint64_t dice = ctx.rng().next_below(100);
+
+      bool leased_single = false;
+      bool leased_multi = false;
+      if (fc.use_multileases && dice >= 90) {
+        const Addr b = pool[ctx.rng().next_below(pool.size())];
+        std::vector<Addr> group;
+        group.push_back(a);
+        group.push_back(b);
+        co_await ctx.multi_lease(std::move(group), 500 + ctx.rng().next_below(2000));
+        leased_multi = true;
+      } else if (fc.use_single_leases && dice >= 60) {
+        co_await ctx.lease(a, 200 + ctx.rng().next_below(2000));
+        leased_single = true;
+      }
+
+      LoggedOp op;
+      op.addr = a;
+      op.core = t;
+      switch (ctx.rng().next_below(5)) {
+        case 0: {
+          op.kind = OpKind::kLoad;
+          op.observed = co_await ctx.load(a);
+          break;
+        }
+        case 1: {
+          op.kind = OpKind::kStore;
+          op.arg1 = ctx.rng().next_below(1000);
+          co_await ctx.store(a, op.arg1);
+          break;
+        }
+        case 2: {
+          op.kind = OpKind::kCas;
+          op.arg1 = ctx.rng().next_below(1000);  // expect (often wrong)
+          op.arg2 = ctx.rng().next_below(1000);
+          op.observed = co_await ctx.cas_val(a, op.arg1, op.arg2);
+          op.cas_ok = op.observed == op.arg1;
+          break;
+        }
+        case 3: {
+          op.kind = OpKind::kFaa;
+          op.arg1 = 1 + ctx.rng().next_below(7);
+          op.observed = co_await ctx.faa(a, op.arg1);
+          break;
+        }
+        default: {
+          op.kind = OpKind::kXchg;
+          op.arg1 = ctx.rng().next_below(1000);
+          op.observed = co_await ctx.xchg(a, op.arg1);
+          break;
+        }
+      }
+      log.push_back(op);
+
+      if (leased_multi) {
+        co_await ctx.release_all();
+      } else if (leased_single) {
+        co_await ctx.release(a);
+      }
+      if (ctx.rng().next_bool(0.3)) co_await ctx.work(ctx.rng().next_below(60));
+    }
+  });
+
+  // Replay: every op must have observed exactly the register state produced
+  // by the prefix of the completion-order log.
+  std::map<Addr, std::uint64_t> reg;
+  std::size_t idx = 0;
+  for (const LoggedOp& op : log) {
+    std::uint64_t& cur = reg[op.addr];  // zero-initialised like SimMemory
+    switch (op.kind) {
+      case OpKind::kLoad:
+        ASSERT_EQ(op.observed, cur) << "stale load at log index " << idx << " core " << op.core;
+        break;
+      case OpKind::kStore:
+        cur = op.arg1;
+        break;
+      case OpKind::kCas:
+        ASSERT_EQ(op.observed, cur) << "CAS saw wrong old value at index " << idx;
+        if (op.cas_ok) cur = op.arg2;
+        break;
+      case OpKind::kFaa:
+        ASSERT_EQ(op.observed, cur) << "FAA saw wrong old value at index " << idx;
+        cur += op.arg1;
+        break;
+      case OpKind::kXchg:
+        ASSERT_EQ(op.observed, cur) << "XCHG saw wrong old value at index " << idx;
+        cur = op.arg1;
+        break;
+    }
+    ++idx;
+  }
+  // Final memory must match the replayed registers.
+  for (const auto& [addr, value] : reg) {
+    EXPECT_EQ(m.memory().read(addr), value) << "final memory mismatch at " << std::hex << addr;
+  }
+  EXPECT_EQ(log.size(), static_cast<std::size_t>(fc.cores) * fc.ops_per_core);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ProtocolFuzz,
+    ::testing::Values(
+        FuzzCase{"msi_base_4c", 4, 3, 300, false, false, false, false, false, 20000},
+        FuzzCase{"msi_base_16c", 16, 2, 150, false, false, false, false, false, 20000},
+        FuzzCase{"leases_4c", 4, 3, 300, true, true, false, false, false, 20000},
+        FuzzCase{"leases_16c", 16, 2, 150, true, true, false, false, false, 20000},
+        FuzzCase{"leases_short_expiry", 8, 2, 200, true, true, false, false, false, 300},
+        FuzzCase{"multilease_8c", 8, 3, 200, true, true, true, false, false, 20000},
+        FuzzCase{"multilease_priority", 8, 3, 200, true, true, true, true, false, 20000},
+        FuzzCase{"sw_multilease", 8, 3, 200, true, true, true, false, true, 20000},
+        FuzzCase{"single_line_hammer", 12, 1, 200, true, true, true, false, false, 1000},
+        FuzzCase{"mesi_base_8c", 8, 3, 200, false, false, false, false, false, 20000, true},
+        FuzzCase{"mesi_leases_8c", 8, 3, 200, true, true, true, false, false, 20000, true},
+        FuzzCase{"mesi_short_expiry", 8, 2, 200, true, true, false, false, false, 300, true},
+        FuzzCase{"mesh_leases_9c", 9, 3, 200, true, true, true, false, false, 20000, false, true},
+        FuzzCase{"mesh_mesi_16c", 16, 2, 120, true, true, false, false, false, 2000, true, true},
+        FuzzCase{"nack_8c", 8, 2, 200, true, true, false, false, false, 1000, false, false, true},
+        FuzzCase{"nack_mesh_priority", 8, 2, 150, true, true, true, true, false, 1000, false, true,
+                 true},
+        FuzzCase{"moesi_base_8c", 8, 3, 200, false, false, false, false, false, 20000, false, false,
+                 false, true},
+        FuzzCase{"moesi_leases_12c", 12, 2, 150, true, true, true, false, false, 2000, false, false,
+                 false, true},
+        FuzzCase{"moesi_mesh_short", 9, 2, 150, true, true, false, false, false, 500, false, true,
+                 false, true},
+        FuzzCase{"tiny_l2_base", 6, 4, 200, false, false, false, false, false, 20000, false, false,
+                 false, false, true},
+        FuzzCase{"tiny_l2_leases", 6, 4, 200, true, true, true, false, false, 2000, false, false,
+                 false, false, true},
+        FuzzCase{"tiny_l2_moesi", 6, 4, 150, true, true, false, false, false, 1000, false, false,
+                 false, true, true}),
+    [](const ::testing::TestParamInfo<FuzzCase>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace lrsim

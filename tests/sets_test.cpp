@@ -1,0 +1,227 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// The low-contention search structures (hash table, Harris list, lock-free
+// skiplist, external BST) checked against a host-side reference set, both
+// sequentially and under concurrent disjoint/overlapping workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "ds/bst.hpp"
+#include "ds/harris_list.hpp"
+#include "ds/hashtable.hpp"
+#include "ds/skiplist_set.hpp"
+#include "sim_test_util.hpp"
+
+namespace lrsim {
+namespace {
+
+using testing::small_config;
+
+// Uniform driver: random insert/remove/contains mirrored against std::set,
+// executed by a single simulated thread (sequential oracle check).
+template <typename SetT>
+void oracle_check(Machine& m, SetT& s, int ops, std::uint64_t key_range) {
+  m.spawn(0, [&, ops, key_range](Ctx& ctx) -> Task<void> {
+    std::set<std::uint64_t> oracle;
+    for (int i = 0; i < ops; ++i) {
+      const std::uint64_t key = 1 + ctx.rng().next_below(key_range);
+      const std::uint64_t dice = ctx.rng().next_below(10);
+      if (dice < 4) {
+        const bool got = co_await s.insert(ctx, key);
+        EXPECT_EQ(got, oracle.insert(key).second) << "insert " << key << " at op " << i;
+      } else if (dice < 8) {
+        const bool got = co_await s.remove(ctx, key);
+        EXPECT_EQ(got, oracle.erase(key) > 0) << "remove " << key << " at op " << i;
+      } else {
+        const bool got = co_await s.contains(ctx, key);
+        EXPECT_EQ(got, oracle.contains(key)) << "contains " << key << " at op " << i;
+      }
+    }
+  });
+  m.run(1'000'000'000);
+  ASSERT_TRUE(m.all_done());
+}
+
+TEST(HarrisList, SequentialOracle) {
+  Machine m{small_config(1, false)};
+  HarrisList s{m};
+  oracle_check(m, s, 400, 50);
+  const auto snap = s.snapshot();
+  EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end()));
+}
+
+TEST(HarrisList, SequentialOracleLeased) {
+  Machine m{small_config(1, true)};
+  HarrisList s{m, {.use_lease = true}};
+  oracle_check(m, s, 400, 50);
+}
+
+TEST(LockFreeSkipList, SequentialOracle) {
+  Machine m{small_config(1, false)};
+  LockFreeSkipList s{m};
+  oracle_check(m, s, 400, 60);
+}
+
+TEST(LockFreeSkipList, SequentialOracleLeased) {
+  Machine m{small_config(1, true)};
+  LockFreeSkipList s{m, {.use_lease = true}};
+  oracle_check(m, s, 400, 60);
+}
+
+TEST(ExternalBst, SequentialOracle) {
+  Machine m{small_config(1, false)};
+  ExternalBst s{m};
+  oracle_check(m, s, 400, 60);
+}
+
+TEST(ExternalBst, SequentialOracleLeased) {
+  Machine m{small_config(1, true)};
+  ExternalBst s{m, {.use_lease = true}};
+  oracle_check(m, s, 400, 60);
+}
+
+TEST(LockedHashTable, SequentialOracleKeyValue) {
+  Machine m{small_config(1, false)};
+  LockedHashTable h{m, {.buckets = 64, .stripes = 8}};
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    std::map<std::uint64_t, std::uint64_t> oracle;
+    for (int i = 0; i < 400; ++i) {
+      const std::uint64_t key = 1 + ctx.rng().next_below(80);
+      const std::uint64_t dice = ctx.rng().next_below(10);
+      if (dice < 4) {
+        const std::uint64_t val = ctx.rng().next();
+        const bool fresh = co_await h.insert(ctx, key, val);
+        EXPECT_EQ(fresh, !oracle.contains(key));
+        oracle[key] = val;
+      } else if (dice < 7) {
+        const bool got = co_await h.remove(ctx, key);
+        EXPECT_EQ(got, oracle.erase(key) > 0);
+      } else {
+        std::optional<std::uint64_t> got = co_await h.get(ctx, key);
+        if (oracle.contains(key)) {
+          CO_ASSERT_TRUE(got.has_value());
+          EXPECT_EQ(*got, oracle[key]);
+        } else {
+          EXPECT_FALSE(got.has_value());
+        }
+      }
+    }
+    EXPECT_EQ(h.size(), oracle.size());
+  });
+  m.run(1'000'000'000);
+  ASSERT_TRUE(m.all_done());
+}
+
+// Concurrent disjoint-key workload: each thread owns a key slice, so the
+// final contents are exactly predictable for any linearizable set.
+template <typename SetT>
+void disjoint_check(Machine& m, SetT& s, int threads) {
+  constexpr int kPerThread = 20;
+  testing::run_workers(m, threads, [&](Ctx& ctx, int t) -> Task<void> {
+    const std::uint64_t base = static_cast<std::uint64_t>(t + 1) * 1000;
+    for (int i = 0; i < kPerThread; ++i) {
+      const bool ok = co_await s.insert(ctx, base + static_cast<std::uint64_t>(i));
+      EXPECT_TRUE(ok);
+    }
+    for (int i = 0; i < kPerThread; i += 2) {
+      const bool ok = co_await s.remove(ctx, base + static_cast<std::uint64_t>(i));
+      EXPECT_TRUE(ok);
+    }
+    for (int i = 0; i < kPerThread; ++i) {
+      const bool want = (i % 2) == 1;
+      const bool got = co_await s.contains(ctx, base + static_cast<std::uint64_t>(i));
+      EXPECT_EQ(got, want);
+    }
+  });
+}
+
+TEST(HarrisList, ConcurrentDisjointKeys) {
+  Machine m{small_config(6, false)};
+  HarrisList s{m};
+  disjoint_check(m, s, 6);
+}
+
+TEST(LockFreeSkipList, ConcurrentDisjointKeys) {
+  Machine m{small_config(6, false)};
+  LockFreeSkipList s{m};
+  disjoint_check(m, s, 6);
+}
+
+TEST(ExternalBst, ConcurrentDisjointKeys) {
+  Machine m{small_config(6, false)};
+  ExternalBst s{m};
+  disjoint_check(m, s, 6);
+}
+
+// Overlapping-key stress: threads race on the same small key space; check
+// conservation via insert/remove success accounting.
+template <typename SetT>
+void overlap_check(Machine& m, SetT& s, int threads, std::size_t expected_max_keys) {
+  int successful_inserts = 0, successful_removes = 0;
+  testing::run_workers(m, threads, [&](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < 40; ++i) {
+      const std::uint64_t key = 1 + ctx.rng().next_below(16);
+      if (ctx.rng().next_bool(0.5)) {
+        const bool ok = co_await s.insert(ctx, key);
+        if (ok) ++successful_inserts;
+      } else {
+        const bool ok = co_await s.remove(ctx, key);
+        if (ok) ++successful_removes;
+      }
+    }
+  });
+  const auto snap = s.snapshot();
+  EXPECT_LE(snap.size(), expected_max_keys);
+  EXPECT_EQ(static_cast<int>(snap.size()), successful_inserts - successful_removes);
+  std::set<std::uint64_t> unique(snap.begin(), snap.end());
+  EXPECT_EQ(unique.size(), snap.size()) << "duplicate keys in set";
+}
+
+TEST(HarrisList, ConcurrentOverlappingKeys) {
+  Machine m{small_config(8, false)};
+  HarrisList s{m};
+  overlap_check(m, s, 8, 16);
+}
+
+TEST(HarrisList, ConcurrentOverlappingKeysLeased) {
+  Machine m{small_config(8, true)};
+  HarrisList s{m, {.use_lease = true}};
+  overlap_check(m, s, 8, 16);
+}
+
+TEST(LockFreeSkipList, ConcurrentOverlappingKeys) {
+  Machine m{small_config(8, false)};
+  LockFreeSkipList s{m};
+  overlap_check(m, s, 8, 16);
+}
+
+TEST(ExternalBst, ConcurrentOverlappingKeys) {
+  Machine m{small_config(8, false)};
+  ExternalBst s{m};
+  overlap_check(m, s, 8, 16);
+}
+
+TEST(LockedHashTable, ConcurrentDisjointKeysLeasedAndNot) {
+  for (bool lease : {false, true}) {
+    Machine m{small_config(6, lease)};
+    LockedHashTable h{m, {.buckets = 64, .stripes = 8, .use_lease = lease}};
+    constexpr int kPerThread = 20;
+    testing::run_workers(m, 6, [&](Ctx& ctx, int t) -> Task<void> {
+      const std::uint64_t base = static_cast<std::uint64_t>(t + 1) * 1000;
+      for (int i = 0; i < kPerThread; ++i) {
+        co_await h.insert(ctx, base + static_cast<std::uint64_t>(i), base);
+      }
+      for (int i = 0; i < kPerThread; i += 2) {
+        const bool ok = co_await h.remove(ctx, base + static_cast<std::uint64_t>(i));
+        EXPECT_TRUE(ok);
+      }
+    });
+    EXPECT_EQ(h.size(), 6u * kPerThread / 2);
+  }
+}
+
+}  // namespace
+}  // namespace lrsim

@@ -1,0 +1,54 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Shared helpers for the lrsim test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "lrsim.hpp"
+
+/// ASSERT_* macros expand to a bare `return;`, which does not compile inside
+/// a coroutine. CO_ASSERT_TRUE is the coroutine-safe equivalent for
+/// Task<void> test bodies: record the failure and co_return.
+#define CO_ASSERT_TRUE(cond)                      \
+  do {                                            \
+    if (!(cond)) {                                \
+      ADD_FAILURE() << "CO_ASSERT_TRUE(" #cond ")"; \
+      co_return;                                  \
+    }                                             \
+  } while (0)
+
+namespace lrsim::testing {
+
+inline MachineConfig small_config(int cores, bool leases) {
+  MachineConfig cfg;
+  cfg.num_cores = cores;
+  cfg.leases_enabled = leases;
+  return cfg;
+}
+
+/// Spawns `threads` workers (worker(ctx, thread_index)) on cores 0..n-1 and
+/// runs to completion under a watchdog. Fails the test on deadlock.
+/// Returns the final cycle count.
+inline Cycle run_workers(Machine& m, int threads,
+                         std::function<Task<void>(Ctx&, int)> worker,
+                         Cycle watchdog = 500'000'000) {
+  for (int t = 0; t < threads; ++t) {
+    m.spawn(t, [worker, t](Ctx& ctx) { return worker(ctx, t); });
+  }
+  const Cycle end = m.run(watchdog);
+  EXPECT_TRUE(m.all_done()) << "simulation did not finish within the watchdog ("
+                            << m.threads_finished() << " threads done)";
+  return end;
+}
+
+/// Ops/megacycle for quick relative-throughput assertions.
+inline double throughput(const Stats& s, Cycle cycles) {
+  return cycles == 0 ? 0.0
+                     : static_cast<double>(s.ops_completed) * 1e6 / static_cast<double>(cycles);
+}
+
+}  // namespace lrsim::testing

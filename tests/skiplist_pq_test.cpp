@@ -1,0 +1,195 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// LazySkipList set semantics, Lotan–Shavit deleteMin, and the global-lock
+// sequential-skiplist PQ used by the lease variant.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ds/skiplist_pq.hpp"
+#include "sim_test_util.hpp"
+
+namespace lrsim {
+namespace {
+
+using testing::small_config;
+
+TEST(LazySkipList, SequentialSetSemantics) {
+  Machine m{small_config(1, false)};
+  LazySkipList s{m};
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    const bool i1 = co_await s.insert(ctx, 10);
+    EXPECT_TRUE(i1);
+    const bool i2 = co_await s.insert(ctx, 10);
+    EXPECT_FALSE(i2);  // duplicate
+    const bool c1 = co_await s.contains(ctx, 10);
+    EXPECT_TRUE(c1);
+    const bool c2 = co_await s.contains(ctx, 11);
+    EXPECT_FALSE(c2);
+    const bool r1 = co_await s.remove(ctx, 10);
+    EXPECT_TRUE(r1);
+    const bool r2 = co_await s.remove(ctx, 10);
+    EXPECT_FALSE(r2);
+    const bool c3 = co_await s.contains(ctx, 10);
+    EXPECT_FALSE(c3);
+  });
+  m.run();
+}
+
+TEST(LazySkipList, KeepsSortedOrder) {
+  Machine m{small_config(1, false)};
+  LazySkipList s{m};
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    for (std::uint64_t k : {50, 10, 30, 20, 40}) co_await s.insert(ctx, k);
+  });
+  m.run();
+  EXPECT_EQ(s.snapshot(), (std::vector<std::uint64_t>{10, 20, 30, 40, 50}));
+}
+
+TEST(LazySkipList, ConcurrentInsertsAllLand) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  Machine m{small_config(kThreads, false)};
+  LazySkipList s{m};
+  testing::run_workers(m, kThreads, [&](Ctx& ctx, int t) -> Task<void> {
+    for (int i = 0; i < kPerThread; ++i) {
+      const bool ok = co_await s.insert(ctx, static_cast<std::uint64_t>((t + 1) * 1000 + i));
+      EXPECT_TRUE(ok);
+    }
+  });
+  const auto snap = s.snapshot();
+  EXPECT_EQ(snap.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end()));
+}
+
+TEST(LazySkipList, ConcurrentInsertRemoveConserves) {
+  constexpr int kThreads = 6;
+  Machine m{small_config(kThreads, false)};
+  LazySkipList s{m};
+  // Pre-populate evens sequentially.
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    for (std::uint64_t k = 2; k <= 200; k += 2) co_await s.insert(ctx, k);
+  });
+  m.run();
+
+  int removed_count = 0, inserted_count = 0;
+  Machine* mp = &m;
+  testing::run_workers(m, kThreads, [&, mp](Ctx& ctx, int t) -> Task<void> {
+    (void)mp;
+    if (t % 2 == 0) {
+      // Removers take evens in disjoint ranges.
+      for (std::uint64_t k = static_cast<std::uint64_t>(2 + t * 30); k < static_cast<std::uint64_t>(2 + t * 30 + 30);
+           k += 2) {
+        const bool ok = co_await s.remove(ctx, k);
+        if (ok) ++removed_count;
+      }
+    } else {
+      // Inserters add odds.
+      for (int i = 0; i < 15; ++i) {
+        const bool ok = co_await s.insert(ctx, static_cast<std::uint64_t>(1 + t * 1000 + 2 * i));
+        if (ok) ++inserted_count;
+      }
+    }
+  });
+  const auto snap = s.snapshot();
+  EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end()));
+  EXPECT_EQ(snap.size(), 100u - static_cast<std::size_t>(removed_count) +
+                             static_cast<std::size_t>(inserted_count));
+}
+
+TEST(LotanShavitPq, SequentialMinOrder) {
+  Machine m{small_config(1, false)};
+  LotanShavitPq pq{m};
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    for (std::uint64_t p : {30, 10, 20, 10, 40}) co_await pq.insert(ctx, p);
+    std::vector<std::uint64_t> out;
+    for (int i = 0; i < 5; ++i) {
+      std::optional<std::uint64_t> v = co_await pq.delete_min(ctx);
+      CO_ASSERT_TRUE(v.has_value());
+      out.push_back(*v);
+    }
+    EXPECT_EQ(out, (std::vector<std::uint64_t>{10, 10, 20, 30, 40}));
+    std::optional<std::uint64_t> empty = co_await pq.delete_min(ctx);
+    EXPECT_FALSE(empty.has_value());
+  });
+  m.run();
+}
+
+// Both PQ implementations must conserve elements and respect weak ordering
+// under concurrency (each deleteMin returns a value that was inserted, each
+// inserted value is returned at most once).
+template <typename Pq>
+void pq_conservation(Machine& m, Pq& pq, int threads, int reps) {
+  std::multiset<std::uint64_t> inserted, removed;
+  testing::run_workers(m, threads, [&, reps](Ctx& ctx, int t) -> Task<void> {
+    for (int i = 0; i < reps; ++i) {
+      const std::uint64_t prio = 1 + ctx.rng().next_below(100);
+      co_await pq.insert(ctx, prio);
+      inserted.insert(prio);
+      if (i % 2 == 1) {
+        std::optional<std::uint64_t> v = co_await pq.delete_min(ctx);
+        if (v.has_value()) removed.insert(*v);
+      }
+    }
+    (void)t;
+  });
+  // removed ⊆ inserted (multiset inclusion).
+  for (std::uint64_t v : removed) {
+    auto it = inserted.find(v);
+    ASSERT_NE(it, inserted.end()) << "removed value never inserted: " << v;
+    inserted.erase(it);
+  }
+}
+
+TEST(LotanShavitPq, ConcurrentConservation) {
+  Machine m{small_config(8, false)};
+  LotanShavitPq pq{m};
+  pq_conservation(m, pq, 8, 20);
+}
+
+TEST(GlobalLockSkiplistPq, ConcurrentConservationLeased) {
+  Machine m{small_config(8, true)};
+  GlobalLockSkiplistPq pq{m, /*use_lease=*/true};
+  pq_conservation(m, pq, 8, 20);
+}
+
+TEST(GlobalLockSkiplistPq, ConcurrentConservationUnleased) {
+  Machine m{small_config(8, false)};
+  GlobalLockSkiplistPq pq{m, /*use_lease=*/false};
+  pq_conservation(m, pq, 8, 20);
+}
+
+TEST(GlobalLockSkiplistPq, SequentialMinOrder) {
+  Machine m{small_config(1, true)};
+  GlobalLockSkiplistPq pq{m, true};
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    for (std::uint64_t p : {5, 1, 3, 2, 4}) co_await pq.insert(ctx, p);
+    for (std::uint64_t want = 1; want <= 5; ++want) {
+      std::optional<std::uint64_t> v = co_await pq.delete_min(ctx);
+      CO_ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, want);
+    }
+  });
+  m.run();
+}
+
+TEST(LotanShavitPq, DeleteMinReturnsSmallestUnderLowConcurrency) {
+  // With two threads alternating strictly, deleteMin must return the global
+  // minimum of the stable set (weak ordering check: returned values from a
+  // quiescent prefix are the k smallest).
+  Machine m{small_config(1, false)};
+  LotanShavitPq pq{m};
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    for (std::uint64_t p = 100; p >= 1; --p) co_await pq.insert(ctx, p);
+    for (std::uint64_t want = 1; want <= 50; ++want) {
+      std::optional<std::uint64_t> v = co_await pq.delete_min(ctx);
+      CO_ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, want);
+    }
+  });
+  m.run();
+}
+
+}  // namespace
+}  // namespace lrsim

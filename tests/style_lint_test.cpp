@@ -1,0 +1,73 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Source lint guarding the GCC 12 coroutine miscompilation documented in
+// runtime/task.hpp: `co_await` of a prvalue Task directly inside an
+// if/while/for *condition* silently corrupts the enclosing coroutine frame.
+//
+// Leaf awaitables (Ctx::load/store/cas/...) are trivially destructible and
+// safe in conditions, so calls through `ctx.` are allowed; everything else
+// must be hoisted into a named variable first.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <vector>
+
+#ifndef LRSIM_SOURCE_DIR
+#define LRSIM_SOURCE_DIR "."
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> source_files() {
+  std::vector<fs::path> out;
+  for (const char* root : {"src", "examples", "bench", "tests"}) {
+    const fs::path dir = fs::path(LRSIM_SOURCE_DIR) / root;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext == ".cpp" || ext == ".hpp") out.push_back(entry.path());
+    }
+  }
+  return out;
+}
+
+TEST(StyleLint, NoTaskCoAwaitInConditions) {
+  // Flags `if (co_await X` / `while (co_await X` / `for (...; co_await X`
+  // unless X is a ctx.* leaf awaitable or an explicit std::move of an
+  // lvalue task (both verified safe in tests/coherence of task.hpp).
+  const std::regex bad(R"((if|while)\s*\(\s*!?\s*\(?\s*co_await\s+(?!ctx\.|c\.|std::move))");
+  std::vector<std::string> violations;
+  const auto files = source_files();
+  ASSERT_FALSE(files.empty()) << "lint found no sources — check LRSIM_SOURCE_DIR";
+  for (const auto& path : files) {
+    std::ifstream f(path);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(f, line)) {
+      ++lineno;
+      const auto first = line.find_first_not_of(" \t");
+      if (first != std::string::npos && line.compare(first, 2, "//") == 0) continue;
+      if (std::regex_search(line, bad)) {
+        std::ostringstream os;
+        os << path.string() << ":" << lineno << ": " << line;
+        violations.push_back(os.str());
+      }
+    }
+  }
+  EXPECT_TRUE(violations.empty())
+      << "co_await of a Task inside a condition is miscompiled by GCC 12; hoist "
+         "into a named variable (see runtime/task.hpp):\n"
+      << [&] {
+           std::ostringstream os;
+           for (const auto& v : violations) os << "  " << v << "\n";
+           return os.str();
+         }();
+}
+
+}  // namespace

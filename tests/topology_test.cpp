@@ -1,0 +1,136 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// 2D-mesh topology tests: geometry, latency model, home banking, and
+// end-to-end behaviour of a mesh machine (correctness must be latency-
+// independent; distance must show up in timing).
+#include <gtest/gtest.h>
+
+#include "coherence/topology.hpp"
+#include "sim_test_util.hpp"
+
+namespace lrsim {
+namespace {
+
+MachineConfig mesh_config(int cores, bool leases) {
+  MachineConfig cfg = testing::small_config(cores, leases);
+  cfg.mesh_topology = true;
+  cfg.mesh_hop_latency = 2;
+  cfg.mesh_router_latency = 1;
+  return cfg;
+}
+
+TEST(Topology, GridSideIsCeilSqrt) {
+  MachineConfig cfg;
+  for (auto [cores, side] : std::vector<std::pair<int, int>>{{1, 1}, {2, 2}, {4, 2}, {5, 3},
+                                                             {9, 3}, {16, 4}, {64, 8}}) {
+    cfg.num_cores = cores;
+    EXPECT_EQ(Topology{cfg}.side(), side) << cores << " cores";
+  }
+}
+
+TEST(Topology, ManhattanHops) {
+  MachineConfig cfg;
+  cfg.num_cores = 16;  // 4x4
+  Topology t{cfg};
+  EXPECT_EQ(t.hops(0, 0), 0);
+  EXPECT_EQ(t.hops(0, 1), 1);   // (0,0) -> (1,0)
+  EXPECT_EQ(t.hops(0, 4), 1);   // (0,0) -> (0,1)
+  EXPECT_EQ(t.hops(0, 5), 2);   // (0,0) -> (1,1)
+  EXPECT_EQ(t.hops(0, 15), 6);  // (0,0) -> (3,3)
+  EXPECT_EQ(t.hops(3, 12), 6);  // (3,0) -> (0,3)
+}
+
+TEST(Topology, FlatModeUsesConfiguredLatency) {
+  MachineConfig cfg;
+  cfg.num_cores = 16;
+  cfg.net_latency = 15;
+  cfg.mesh_topology = false;
+  Topology t{cfg};
+  EXPECT_EQ(t.latency(0, 15), 15u);
+  EXPECT_EQ(t.latency(0, 0), 15u);
+}
+
+TEST(Topology, MeshLatencyScalesWithDistance) {
+  MachineConfig cfg = mesh_config(16, false);
+  Topology t{cfg};
+  // router*(h+1) + hop*h with router=1, hop=2.
+  EXPECT_EQ(t.latency(0, 0), 1u);    // local: one router traversal
+  EXPECT_EQ(t.latency(0, 1), 4u);    // 1 hop: 2 routers + 1 link
+  EXPECT_EQ(t.latency(0, 15), 19u);  // 6 hops: 7 routers + 6 links
+}
+
+TEST(Topology, HomeBankingCoversAllTiles) {
+  MachineConfig cfg;
+  cfg.num_cores = 8;
+  Topology t{cfg};
+  std::vector<int> hits(8, 0);
+  for (LineId l = 0; l < 64; ++l) ++hits[static_cast<std::size_t>(t.home_of(l))];
+  for (int c = 0; c < 8; ++c) EXPECT_EQ(hits[static_cast<std::size_t>(c)], 8) << "tile " << c;
+}
+
+TEST(Topology, NearbyTransferIsFasterThanFarTransfer) {
+  // Core 0 owns a line in M; cores 1 (adjacent) and 15 (opposite corner)
+  // each pull it. The far pull must take longer.
+  auto transfer_time = [](CoreId reader) {
+    MachineConfig cfg = mesh_config(16, false);
+    Machine m{cfg};
+    // Pick an address homed at tile 0 so the request leg is constant.
+    Addr a = 0;
+    for (Addr cand = 0x20000; cand < 0x40000; cand += kLineSize) {
+      if (Topology{cfg}.home_of(line_of(cand)) == 0) {
+        a = cand;
+        break;
+      }
+    }
+    Cycle t_done = 0;
+    m.spawn(0, [&](Ctx& ctx) -> Task<void> { co_await ctx.store(a, 1); });
+    m.spawn(reader, [&, a](Ctx& ctx) -> Task<void> {
+      co_await ctx.work(500);
+      const Cycle t0 = ctx.now();
+      co_await ctx.load(a);
+      t_done = ctx.now() - t0;
+    });
+    m.run();
+    return t_done;
+  };
+  const Cycle near = transfer_time(1);
+  const Cycle far = transfer_time(15);
+  EXPECT_LT(near, far);
+}
+
+TEST(Topology, MeshMachineConservesCounter) {
+  constexpr int kCores = 9;  // non-square-power grid (3x3)
+  Machine m{mesh_config(kCores, true)};
+  Addr a = m.heap().alloc_line();
+  testing::run_workers(m, kCores, [&](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < 20; ++i) {
+      co_await ctx.lease(a, 2000);
+      const std::uint64_t v = co_await ctx.load(a);
+      co_await ctx.store(a, v + 1);
+      co_await ctx.release(a);
+    }
+  });
+  EXPECT_EQ(m.memory().read(a), static_cast<std::uint64_t>(kCores) * 20);
+}
+
+TEST(Topology, MeshLeasesStillBoundDelay) {
+  MachineConfig cfg = mesh_config(16, true);
+  cfg.max_lease_time = 1000;
+  Machine m{cfg};
+  Addr a = m.heap().alloc_line();
+  Cycle store_done = 0;
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.lease(a, 100'000);
+    co_await ctx.work(50'000);
+  });
+  m.spawn(15, [&](Ctx& ctx) -> Task<void> {
+    co_await ctx.work(100);
+    co_await ctx.store(a, 1);
+    store_done = ctx.now();
+  });
+  m.run();
+  EXPECT_LT(store_done, 2000u);  // bounded by MAX_LEASE_TIME + transit
+}
+
+}  // namespace
+}  // namespace lrsim

@@ -1,0 +1,156 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Treiber stack: sequential LIFO semantics, concurrent element conservation,
+// lease behaviour on the head line, backoff variant correctness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ds/treiber_stack.hpp"
+#include "sim_test_util.hpp"
+
+namespace lrsim {
+namespace {
+
+using testing::small_config;
+
+TEST(TreiberStack, SequentialLifoOrder) {
+  Machine m{small_config(1, false)};
+  TreiberStack s{m};
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    for (std::uint64_t v = 1; v <= 5; ++v) co_await s.push(ctx, v);
+    for (std::uint64_t v = 5; v >= 1; --v) {
+      std::optional<std::uint64_t> got = co_await s.pop(ctx);
+      CO_ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, v);
+    }
+    std::optional<std::uint64_t> empty = co_await s.pop(ctx);
+    EXPECT_FALSE(empty.has_value());
+  });
+  m.run();
+}
+
+TEST(TreiberStack, SnapshotMatchesPushes) {
+  Machine m{small_config(1, false)};
+  TreiberStack s{m};
+  m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+    for (std::uint64_t v = 1; v <= 4; ++v) co_await s.push(ctx, v);
+  });
+  m.run();
+  EXPECT_EQ(s.snapshot(), (std::vector<std::uint64_t>{4, 3, 2, 1}));
+}
+
+struct StackCase {
+  const char* name;
+  bool leases;
+  bool backoff;
+};
+
+class TreiberConcurrent : public ::testing::TestWithParam<StackCase> {};
+
+TEST_P(TreiberConcurrent, ElementsConservedUnderContention) {
+  const auto& p = GetParam();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 40;
+  Machine m{small_config(kThreads, p.leases)};
+  TreiberStack s{m, {.use_lease = p.leases, .use_backoff = p.backoff}};
+  std::vector<std::uint64_t> popped;
+
+  testing::run_workers(m, kThreads, [&](Ctx& ctx, int t) -> Task<void> {
+    // Each thread pushes a unique range, then pops half as many.
+    for (int i = 0; i < kPerThread; ++i) {
+      co_await s.push(ctx, static_cast<std::uint64_t>(t * 1000 + i + 1));
+    }
+    for (int i = 0; i < kPerThread / 2; ++i) {
+      std::optional<std::uint64_t> v = co_await s.pop(ctx);
+      CO_ASSERT_TRUE(v.has_value());  // at least our own pushes are there
+      popped.push_back(*v);
+    }
+  });
+
+  // Conservation: popped ∪ remaining == pushed, with no duplicates.
+  std::vector<std::uint64_t> remaining = s.snapshot();
+  std::multiset<std::uint64_t> seen(popped.begin(), popped.end());
+  seen.insert(remaining.begin(), remaining.end());
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  std::multiset<std::uint64_t> expected;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) expected.insert(static_cast<std::uint64_t>(t * 1000 + i + 1));
+  }
+  EXPECT_EQ(seen, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, TreiberConcurrent,
+                         ::testing::Values(StackCase{"base", false, false},
+                                           StackCase{"leased", true, false},
+                                           StackCase{"backoff", false, true}),
+                         [](const ::testing::TestParamInfo<StackCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(TreiberStack, LeasesMakeContendedCasFailuresRare) {
+  // The paper's Figure 1 point: with the head leased across read..CAS, the
+  // CAS "is always successful, unless the lease expires".
+  constexpr int kThreads = 16;
+  constexpr int kPerThread = 30;
+  // Prefill + mixed ops + think time: naked push/pop pairs degenerate into
+  // local-cache hits and hide the contention (see integration_test.cpp).
+  auto run = [&](bool leases) {
+    Machine m{small_config(kThreads, leases)};
+    TreiberStack s{m, {.use_lease = leases}};
+    m.spawn(0, [&](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < 128; ++i) co_await s.push(ctx, 5);
+    });
+    m.run();
+    testing::run_workers(m, kThreads, [&](Ctx& ctx, int) -> Task<void> {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (ctx.rng().next_bool(0.5)) {
+          co_await s.push(ctx, 1);
+        } else {
+          co_await s.pop(ctx);
+        }
+        const Cycle think = ctx.rng().next_below(40);
+        if (think > 0) co_await ctx.work(think);
+      }
+    });
+    const Stats st = m.total_stats();
+    return static_cast<double>(st.cas_failures) / static_cast<double>(st.cas_attempts);
+  };
+  const double base_failure_rate = run(false);
+  const double lease_failure_rate = run(true);
+  EXPECT_GT(base_failure_rate, 0.10) << "baseline should be contended";
+  EXPECT_LT(lease_failure_rate, 0.02);
+}
+
+TEST(TreiberStack, LeaseIsReleasedVoluntarilyOnCommonPath) {
+  Machine m{small_config(4, true)};
+  TreiberStack s{m, {.use_lease = true}};
+  testing::run_workers(m, 4, [&](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < 20; ++i) {
+      co_await s.push(ctx, 7);
+      co_await s.pop(ctx);
+    }
+  });
+  const Stats st = m.total_stats();
+  EXPECT_GT(st.releases_voluntary, 0u);
+  // Short read-CAS windows should essentially never expire.
+  EXPECT_EQ(st.releases_involuntary, 0u);
+}
+
+TEST(TreiberStack, PopOnEmptyIsCleanWithLeases) {
+  Machine m{small_config(2, true)};
+  TreiberStack s{m, {.use_lease = true}};
+  testing::run_workers(m, 2, [&](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      std::optional<std::uint64_t> v = co_await s.pop(ctx);
+      EXPECT_FALSE(v.has_value());
+    }
+  });
+  // Empty-pop path must not leak leases.
+  EXPECT_EQ(m.controller(0).lease_table().size(), 0);
+  EXPECT_EQ(m.controller(1).lease_table().size(), 0);
+}
+
+}  // namespace
+}  // namespace lrsim

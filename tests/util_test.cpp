@@ -1,0 +1,188 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Unit tests for util/: rng determinism and distribution sanity, flag
+// parsing, table rendering, address math.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+namespace {
+
+// --- types ------------------------------------------------------------------
+
+TEST(Types, LineMath) {
+  EXPECT_EQ(line_of(0), 0u);
+  EXPECT_EQ(line_of(63), 0u);
+  EXPECT_EQ(line_of(64), 1u);
+  EXPECT_EQ(line_base(3), 192u);
+  EXPECT_EQ(word_in_line(0), 0);
+  EXPECT_EQ(word_in_line(8), 1);
+  EXPECT_EQ(word_in_line(56), 7);
+  EXPECT_EQ(word_in_line(64), 0);
+  EXPECT_TRUE(is_word_aligned(16));
+  EXPECT_FALSE(is_word_aligned(12));
+}
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r{7};
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng r{99};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng r{5};
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = r.next_in(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r{11};
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // mean of U[0,1)
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng r{13};
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.next_bool(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+// --- flags -------------------------------------------------------------------
+
+TEST(Flags, ParsesAllSupportedForms) {
+  FlagSet flags{"t"};
+  int threads = 1;
+  bool lease = false;
+  double frac = 0.5;
+  std::string name = "x";
+  flags.add("threads", &threads, "");
+  flags.add("lease", &lease, "");
+  flags.add("frac", &frac, "");
+  flags.add("name", &name, "");
+  const char* argv[] = {"t", "--threads=8", "--lease", "--frac", "0.75", "--name=queue"};
+  flags.parse(6, const_cast<char**>(argv));
+  EXPECT_EQ(threads, 8);
+  EXPECT_TRUE(lease);
+  EXPECT_DOUBLE_EQ(frac, 0.75);
+  EXPECT_EQ(name, "queue");
+}
+
+TEST(Flags, NegatedBoolean) {
+  FlagSet flags{"t"};
+  bool lease = true;
+  flags.add("lease", &lease, "");
+  const char* argv[] = {"t", "--no-lease"};
+  flags.parse(2, const_cast<char**>(argv));
+  EXPECT_FALSE(lease);
+}
+
+TEST(Flags, UnknownFlagThrows) {
+  FlagSet flags{"t"};
+  const char* argv[] = {"t", "--bogus=1"};
+  EXPECT_THROW(flags.parse(2, const_cast<char**>(argv)), std::invalid_argument);
+}
+
+TEST(Flags, BadIntegerThrows) {
+  FlagSet flags{"t"};
+  int threads = 1;
+  flags.add("threads", &threads, "");
+  const char* argv[] = {"t", "--threads=abc"};
+  EXPECT_THROW(flags.parse(2, const_cast<char**>(argv)), std::exception);
+}
+
+TEST(Flags, HelpThrowsFlagHelpWithUsage) {
+  FlagSet flags{"prog"};
+  int threads = 4;
+  flags.add("threads", &threads, "thread count");
+  const char* argv[] = {"prog", "--help"};
+  try {
+    flags.parse(2, const_cast<char**>(argv));
+    FAIL() << "expected FlagHelp";
+  } catch (const FlagSet::FlagHelp& h) {
+    EXPECT_NE(h.text.find("threads"), std::string::npos);
+    EXPECT_NE(h.text.find("prog"), std::string::npos);
+  }
+}
+
+TEST(Flags, MissingValueThrows) {
+  FlagSet flags{"t"};
+  int threads = 1;
+  flags.add("threads", &threads, "");
+  const char* argv[] = {"t", "--threads"};
+  EXPECT_THROW(flags.parse(2, const_cast<char**>(argv)), std::invalid_argument);
+}
+
+// --- table -------------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  Table t{{"threads", "ops"}};
+  t.add_row({std::int64_t{2}, 3.14159});
+  t.add_row({std::int64_t{64}, 2.0});
+  std::ostringstream os;
+  t.print(os, 2);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("threads"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_NE(s.find("64"), std::string::npos);
+}
+
+TEST(Table, WritesCsv) {
+  Table t{{"a", "b"}};
+  t.add_row({std::uint64_t{1}, std::string{"x"}});
+  const std::string path = ::testing::TempDir() + "/lrsim_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,x");
+}
+
+TEST(Table, CsvToUnwritablePathFails) {
+  Table t{{"a"}};
+  EXPECT_FALSE(t.write_csv("/nonexistent_dir_zzz/out.csv"));
+}
+
+}  // namespace
+}  // namespace lrsim
