@@ -59,6 +59,7 @@ void CacheController::cpu_write(Addr a, std::uint64_t v, std::function<void()> d
   if (tracer_) tracer_->emit(TraceEvent::kCpuStore, ev_.now(), core_, line_of(a), a);
   with_exclusive(a, /*is_lease_req=*/false, [this, a, v, done = std::move(done)] {
     mem_.write(a, v);
+    if (inv_) inv_->on_store(core_, line_of(a));
     done();
   });
 }
@@ -72,7 +73,10 @@ void CacheController::cpu_cas(Addr a, std::uint64_t expect, std::uint64_t desire
     // the line through the directory, which serializes per line).
     const std::uint64_t old = mem_.read(a);
     const bool ok = old == expect;
-    if (ok) mem_.write(a, desired);
+    if (ok) {
+      mem_.write(a, desired);
+      if (inv_) inv_->on_store(core_, line_of(a));
+    }
     ++stats_.cas_attempts;
     if (!ok) ++stats_.cas_failures;
     done(ok, old);
@@ -83,6 +87,7 @@ void CacheController::cpu_faa(Addr a, std::uint64_t add, std::function<void(std:
   with_exclusive(a, /*is_lease_req=*/false, [this, a, add, done = std::move(done)] {
     const std::uint64_t old = mem_.read(a);
     mem_.write(a, old + add);
+    if (inv_) inv_->on_store(core_, line_of(a));
     done(old);
   });
 }
@@ -91,6 +96,7 @@ void CacheController::cpu_xchg(Addr a, std::uint64_t v, std::function<void(std::
   with_exclusive(a, /*is_lease_req=*/false, [this, a, v, done = std::move(done)] {
     const std::uint64_t old = mem_.read(a);
     mem_.write(a, v);
+    if (inv_) inv_->on_store(core_, line_of(a));
     done(old);
   });
 }
@@ -287,15 +293,20 @@ void CacheController::probe(LineId line, ProbeType type, bool requestor_is_lease
     // directory queue for a full MAX_LEASE_TIME. Only the response latency
     // is modeled by the delay below.
     const bool dirty = is_dirty(l1_.state(line));
-    if (type == ProbeType::kInvalidate) {
+    if (probe_fault_ && probe_fault_(core_, line)) {
+      // Injected lost-invalidation bug (see set_test_probe_fault): the local
+      // copy survives while the probe still acks.
+    } else if (type == ProbeType::kInvalidate) {
       l1_.invalidate(line);
     } else {
       l1_.downgrade(line, /*to_owned=*/type == ProbeType::kDowngradeToOwned);
     }
+    if (inv_) inv_->on_line_event(line);
     ev_.schedule_in(1, [on_serviced, dirty] { on_serviced(dirty); });
   };
   if (cfg_.leases_enabled && leases_.maybe_park_probe(line, requestor_is_lease, do_service)) {
     if (tracer_) tracer_->emit(TraceEvent::kProbePark, ev_.now(), core_, line);
+    if (inv_) inv_->on_line_event(line);
     return;  // parked; runs at (voluntary or involuntary) release
   }
   do_service();
@@ -305,6 +316,7 @@ void CacheController::back_invalidate(LineId line, std::function<void(bool)> on_
   leases_.force_release(line);  // never park an inclusion victim's probe
   const bool dirty = is_dirty(l1_.state(line));
   l1_.invalidate(line);
+  if (inv_) inv_->on_line_event(line);
   ev_.schedule_in(1, [on_serviced = std::move(on_serviced), dirty] { on_serviced(dirty); });
 }
 
@@ -334,6 +346,7 @@ void CacheController::install(LineId line, LineState st) {
     // Shared victims are dropped silently; the directory's sharer entry
     // goes stale and is corrected lazily by a future invalidation probe.
   }
+  if (inv_) inv_->on_line_event(line);
 }
 
 }  // namespace lrsim

@@ -59,6 +59,21 @@ class CacheController {
   /// Optional tracing (Machine::enable_tracing). Null = off.
   void set_tracer(Tracer* t) { tracer_ = t; }
 
+  /// Optional invariant checking (Machine::enable_invariants). Null = off.
+  void set_invariants(InvariantChecker* inv) {
+    inv_ = inv;
+    leases_.set_invariants(inv);
+  }
+
+  /// TEST-ONLY fault injection: when the predicate matches a (core, line)
+  /// probe, the coherence action (invalidate/downgrade) is silently lost —
+  /// the probe still acks, so the requester is granted a conflicting copy.
+  /// Models a lost-invalidation protocol bug for exercising the invariant
+  /// checker; never set in production code.
+  void set_test_probe_fault(std::function<bool(CoreId, LineId)> f) {
+    probe_fault_ = std::move(f);
+  }
+
   // --- CPU-side operations (one outstanding op per in-order core) ---------
   //
   // Each completion callback runs as an event at the cycle the instruction
@@ -157,6 +172,8 @@ class CacheController {
   Topology topo_;
   Directory* dir_ = nullptr;
   Tracer* tracer_ = nullptr;
+  InvariantChecker* inv_ = nullptr;
+  std::function<bool(CoreId, LineId)> probe_fault_;  ///< Test-only, see setter.
 };
 
 }  // namespace lrsim

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "coherence/controller.hpp"
+#include "sim/invariants.hpp"
 
 namespace lrsim {
 
@@ -15,6 +16,7 @@ void Directory::request(CoreId requester, LineId line, ReqType type, bool is_lea
   Entry& e = dir_[line];
   e.queue.push_back(Req{requester, type, is_lease_req, std::move(on_done)});
   peak_queue_depth_ = std::max(peak_queue_depth_, e.queue.size());
+  if (inv_) inv_->on_dir_enqueue(line, requester);
   if (!e.busy) begin_service(line);
 }
 
@@ -24,6 +26,7 @@ void Directory::begin_service(LineId line) {
   e.busy = true;
   Req req = std::move(e.queue.front());
   e.queue.pop_front();
+  if (inv_) inv_->on_dir_service(line, req.requester);
   ++stats_.l2_accesses;  // directory/L2 tag lookup
   ev_.schedule_in(cfg_.l2_tag_latency,
                   [this, line, req = std::move(req)]() mutable { service(line, std::move(req)); });
@@ -212,6 +215,16 @@ void Directory::service(LineId line, Req req) {
 
 void Directory::evict_l2_victim(LineId victim, std::function<void()> done) {
   ++stats_.l2_evictions;
+  if (inv_) {
+    // The victim's directory entry is cleared below while L1 copies are
+    // still being chased down; suspend cross-checks for it until done.
+    inv_->on_l2_evict_begin(victim);
+    done = [this, victim, done = std::move(done)] {
+      inv_->on_l2_evict_end(victim);
+      inv_->on_line_event(victim);
+      done();
+    };
+  }
   Entry& v = dir_[victim];
   std::vector<CoreId> holders;
   if (owner_holds_line(v) && v.owner >= 0) holders.push_back(v.owner);
@@ -297,6 +310,7 @@ void Directory::complete(LineId line, const Req& req, LineSt result, bool exclus
     // and preserves deterministic FIFO order.
     ev_.schedule_in(0, [this, line] { begin_service(line); });
   }
+  if (inv_) inv_->on_line_event(line);
 }
 
 bool Directory::owner_holds_line(const Entry& e) {
@@ -332,6 +346,7 @@ void Directory::eviction_notice(CoreId core, LineId line, EvictKind kind) {
       e.sharers.erase(std::remove(e.sharers.begin(), e.sharers.end(), core), e.sharers.end());
       break;
   }
+  if (inv_) inv_->on_line_event(line);
 }
 
 Directory::LineSt Directory::line_state(LineId line) const {
@@ -354,6 +369,11 @@ bool Directory::has_sharer(LineId line, CoreId c) const {
   if (it == dir_.end()) return false;
   const auto& s = it->second.sharers;
   return std::find(s.begin(), s.end(), c) != s.end();
+}
+
+bool Directory::line_busy(LineId line) const {
+  auto it = dir_.find(line);
+  return it != dir_.end() && (it->second.busy || !it->second.queue.empty());
 }
 
 }  // namespace lrsim

@@ -43,6 +43,7 @@
 namespace lrsim {
 
 class CacheController;
+class InvariantChecker;
 
 class Directory {
  public:
@@ -69,6 +70,9 @@ class Directory {
   /// Optional tracing (Machine::enable_tracing). Null = off.
   void set_tracer(Tracer* t) { tracer_ = t; }
 
+  /// Optional invariant checking (Machine::enable_invariants). Null = off.
+  void set_invariants(InvariantChecker* inv) { inv_ = inv; }
+
   /// A request arriving at the directory (the caller has already modeled
   /// the core->directory network latency and counted the request message).
   /// `on_done(exclusive)` fires at the cycle the data/ownership reaches the
@@ -94,6 +98,10 @@ class Directory {
   CoreId owner_of(LineId line) const;
   std::size_t queue_depth(LineId line) const;
   bool has_sharer(LineId line, CoreId c) const;
+
+  /// True while a transaction for `line` is in flight (the invariant checker
+  /// suspends directory/L1 cross-checks for busy lines).
+  bool line_busy(LineId line) const;
 
   /// Peak per-line queue occupancy observed so far (Section 5 discusses
   /// whether leases grow directory queues).
@@ -201,6 +209,7 @@ class Directory {
   Stats& stats_;
   Topology topo_;
   Tracer* tracer_ = nullptr;
+  InvariantChecker* inv_ = nullptr;
   std::vector<CacheController*> cores_;
   std::unordered_map<LineId, Entry> dir_;
   std::unique_ptr<L2Tags> l2_tags_;  ///< Null when the L2 is unbounded.

@@ -39,6 +39,7 @@
 
 #include "coherence/config.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/invariants.hpp"
 #include "sim/stats.hpp"
 #include "util/types.hpp"
 
@@ -80,6 +81,7 @@ class LeaseTable {
     e.in_group = in_group;
     entries_.push_back(std::move(e));
     ++stats_.leases_taken;
+    if (inv_ != nullptr) inv_->on_line_event(line);
     return true;
   }
 
@@ -91,6 +93,7 @@ class LeaseTable {
     if (e == nullptr || e->granted) return;
     e->granted = true;
     if (!e->in_group) start_timer(*e);
+    if (inv_ != nullptr) inv_->on_line_event(line);
   }
 
   /// True when every entry of the current group has been granted.
@@ -139,6 +142,9 @@ class LeaseTable {
     doomed.swap(entries_);
     for (Entry& e : doomed) retire(e, ReleaseKind::kVoluntary);
     for (Entry& e : doomed) service_parked(e);
+    if (inv_ != nullptr) {
+      for (Entry& e : doomed) inv_->on_line_event(e.line);
+    }
   }
 
   /// Called by the L1 controller when a coherence probe arrives for `line`.
@@ -224,6 +230,30 @@ class LeaseTable {
     return false;
   }
 
+  /// Read-only projection of one table entry, for the invariant checker.
+  struct LeaseView {
+    LineId line;
+    Cycle duration;
+    bool in_group;
+    bool granted;
+    bool started;
+    Cycle deadline;
+    bool probe_parked;
+    Cycle parked_at;
+  };
+
+  /// Visits every entry as a LeaseView (invariant checker / diagnostics).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const Entry& e : entries_) {
+      f(LeaseView{e.line, e.duration, e.in_group, e.granted, e.started, e.deadline,
+                  static_cast<bool>(e.parked_probe), e.parked_at});
+    }
+  }
+
+  /// Wires the opt-in invariant checker (null = off).
+  void set_invariants(InvariantChecker* inv) { inv_ = inv; }
+
  private:
   struct Entry {
     LineId line = 0;
@@ -231,6 +261,7 @@ class LeaseTable {
     bool in_group = false;
     bool granted = false;  ///< Exclusive ownership obtained ("transition to lease" done).
     bool started = false;  ///< Countdown running.
+    Cycle deadline = 0;    ///< now + duration at countdown start (started only).
     EventHandle timer;
     std::function<void()> parked_probe;
     Cycle parked_at = 0;
@@ -245,6 +276,7 @@ class LeaseTable {
 
   void start_timer(Entry& e) {
     e.started = true;
+    e.deadline = ev_.now() + e.duration;
     const LineId line = e.line;
     e.timer = ev_.schedule_in(e.duration, [this, line] { remove(line, ReleaseKind::kInvoluntary); });
   }
@@ -258,6 +290,7 @@ class LeaseTable {
       entries_.erase(it);
       retire(e, kind);
       service_parked(e);
+      if (inv_ != nullptr) inv_->on_line_event(line);
       return;
     }
   }
@@ -276,6 +309,9 @@ class LeaseTable {
     }
     for (Entry& e : doomed) retire(e, kind);
     for (Entry& e : doomed) service_parked(e);
+    if (inv_ != nullptr) {
+      for (Entry& e : doomed) inv_->on_line_event(e.line);
+    }
   }
 
   void retire(Entry& e, ReleaseKind kind) {
@@ -309,6 +345,7 @@ class LeaseTable {
   EventQueue& ev_;
   Stats& stats_;
   const MachineConfig& cfg_;
+  InvariantChecker* inv_ = nullptr;  ///< Opt-in checker (null = off).
   std::vector<Entry> entries_;  ///< Insertion order == FIFO age order.
   std::unordered_map<LineId, int> futility_;  ///< Consecutive involuntary releases per line.
 };

@@ -35,6 +35,7 @@
 #include "mem/memory.hpp"
 #include "runtime/task.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/invariants.hpp"
 #include "sim/trace.hpp"
 #include "sim/stats.hpp"
 #include "util/rng.hpp"
@@ -325,8 +326,7 @@ struct Fiber {
 class Machine {
  public:
   explicit Machine(MachineConfig cfg = {}, std::uint64_t seed = 1)
-      : cfg_(std::move(cfg)), seed_(seed), core_stats_(static_cast<std::size_t>(cfg_.num_cores)) {
-    if (cfg_.num_cores <= 0) throw std::invalid_argument("num_cores must be positive");
+      : cfg_(std::move(cfg)), seed_(seed), core_stats_(checked_core_count(cfg_.num_cores)) {
     dir_ = std::make_unique<Directory>(ev_, mem_, cfg_, dir_stats_);
     controllers_.reserve(static_cast<std::size_t>(cfg_.num_cores));
     std::vector<CacheController*> raw;
@@ -416,9 +416,32 @@ class Machine {
     tracer_ = std::make_unique<Tracer>(capacity, line_filter);
     dir_->set_tracer(tracer_.get());
     for (auto& c : controllers_) c->set_tracer(tracer_.get());
+    if (inv_) inv_->set_tracer(tracer_.get());
     return *tracer_;
   }
   Tracer* tracer() noexcept { return tracer_.get(); }
+
+  /// Arms the protocol invariant checker (see sim/invariants.hpp). Checks
+  /// run after every hooked state transition; a violation throws
+  /// InvariantViolation out of Machine::run. Enables tracing (if not already
+  /// on) so violations carry per-line history. Call before spawning work.
+  InvariantChecker& enable_invariants() {
+    if (!tracer_) enable_tracing(2048);
+    inv_ = std::make_unique<InvariantChecker>(ev_, mem_, cfg_);
+    inv_->set_tracer(tracer_.get());
+    std::vector<CacheController*> raw;
+    raw.reserve(controllers_.size());
+    for (auto& c : controllers_) raw.push_back(c.get());
+    inv_->attach(dir_.get(), std::move(raw));
+    dir_->set_invariants(inv_.get());
+    for (auto& c : controllers_) c->set_invariants(inv_.get());
+    return *inv_;
+  }
+  InvariantChecker* invariants() noexcept { return inv_.get(); }
+
+  /// Seeded random tie-breaking among same-cycle events (see
+  /// EventQueue::enable_perturbation). Call before spawning work.
+  void enable_perturbation(std::uint64_t seed) { ev_.enable_perturbation(seed); }
 
   /// Machine-wide aggregate, including directory-attributed counters.
   Stats total_stats() const {
@@ -428,6 +451,14 @@ class Machine {
   }
 
  private:
+  /// Validated here rather than in the constructor body: core_stats_ is
+  /// sized in the member-initializer list, so a negative count must be
+  /// rejected before the cast to std::size_t.
+  static std::size_t checked_core_count(int n) {
+    if (n <= 0) throw std::invalid_argument("num_cores must be positive");
+    return static_cast<std::size_t>(n);
+  }
+
   struct ThreadState {
     std::unique_ptr<Ctx> ctx;
     std::function<Task<void>(Ctx&)> fn;  ///< Keeps the closure object alive.
@@ -456,6 +487,7 @@ class Machine {
   std::vector<std::unique_ptr<CacheController>> controllers_;
   std::vector<std::unique_ptr<ThreadState>> threads_;
   std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<InvariantChecker> inv_;
 };
 
 }  // namespace lrsim

@@ -7,6 +7,13 @@
 // scheduled at an absolute cycle. Events at the same cycle fire in
 // scheduling order (a monotone sequence number breaks ties), which makes
 // every run bit-deterministic.
+//
+// Schedule-perturbation mode (enable_perturbation) replaces the same-cycle
+// FIFO tie-break with a seeded random priority: different seeds explore
+// different legal interleavings of simultaneous events while each seed
+// remains bit-deterministic. Time order is never violated, and the
+// directory's per-line request FIFO is unaffected (it is a queue data
+// structure, not an event ordering — see docs/PROTOCOL.md §7).
 #pragma once
 
 #include <cassert>
@@ -16,6 +23,7 @@
 #include <queue>
 #include <vector>
 
+#include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace lrsim {
@@ -49,11 +57,21 @@ class EventQueue {
   /// Current simulated time. Only advances inside run_* calls.
   Cycle now() const noexcept { return now_; }
 
+  /// Enables seeded random tie-breaking among same-cycle events. Runs stay
+  /// bit-deterministic for a fixed seed. Call before scheduling the events
+  /// to be perturbed; already-scheduled events keep FIFO priority (their
+  /// tie-break is 0, the highest same-cycle priority).
+  void enable_perturbation(std::uint64_t seed) {
+    perturb_ = true;
+    prng_.reseed(seed);
+  }
+  bool perturbed() const noexcept { return perturb_; }
+
   /// Schedules `fn` to run at absolute cycle `when` (>= now()).
   EventHandle schedule_at(Cycle when, std::function<void()> fn) {
     assert(when >= now_ && "cannot schedule an event in the past");
     auto cancelled = std::make_shared<bool>(false);
-    heap_.push(Event{when, seq_++, std::move(fn), cancelled});
+    heap_.push(Event{when, seq_++, perturb_ ? prng_.next() : 0, std::move(fn), cancelled});
     ++scheduled_;
     return EventHandle{cancelled};
   }
@@ -115,12 +133,14 @@ class EventQueue {
   struct Event {
     Cycle when;
     std::uint64_t seq;
+    std::uint64_t tiebreak;  ///< 0 normally; random in perturbation mode.
     std::function<void()> fn;
     std::shared_ptr<bool> cancelled;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
       if (a.when != b.when) return a.when > b.when;
+      if (a.tiebreak != b.tiebreak) return a.tiebreak > b.tiebreak;
       return a.seq > b.seq;  // FIFO among same-cycle events
     }
   };
@@ -129,6 +149,8 @@ class EventQueue {
   Cycle now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t scheduled_ = 0;
+  bool perturb_ = false;
+  Rng prng_;
 };
 
 }  // namespace lrsim

@@ -1,0 +1,265 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+
+#include "sim/invariants.hpp"
+
+#include <sstream>
+
+#include "coherence/controller.hpp"
+#include "coherence/directory.hpp"
+#include "mem/memory.hpp"
+#include "sim/event_queue.hpp"
+
+namespace lrsim {
+
+const char* invariant_kind_name(InvariantKind k) {
+  switch (k) {
+    case InvariantKind::kSwmr: return "SWMR";
+    case InvariantKind::kDataValue: return "data-value";
+    case InvariantKind::kLeaseBound: return "lease-bound";
+    case InvariantKind::kProbeDelay: return "probe-delay";
+    case InvariantKind::kDirFifo: return "directory-FIFO";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string compose_message(InvariantKind kind, LineId line, Cycle when, const std::string& detail,
+                            const std::vector<TraceRecord>& history) {
+  std::ostringstream os;
+  os << "invariant violation [" << invariant_kind_name(kind) << "] line 0x" << std::hex << line
+     << std::dec << " @ cycle " << when << ": " << detail;
+  if (!history.empty()) {
+    os << "\n  recent events for this line:";
+    for (const TraceRecord& r : history) {
+      os << "\n    [" << r.when << "] core " << r.core << " " << trace_event_name(r.event)
+         << " info 0x" << std::hex << r.info << std::dec;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+InvariantViolation::InvariantViolation(InvariantKind kind, LineId line, Cycle when,
+                                       const std::string& detail, std::vector<TraceRecord> history)
+    : std::runtime_error(compose_message(kind, line, when, detail, history)),
+      kind_(kind),
+      line_(line),
+      when_(when),
+      history_(std::move(history)) {}
+
+void InvariantChecker::fail(InvariantKind kind, LineId line, const std::string& detail) {
+  std::vector<TraceRecord> history;
+  if (tracer_ != nullptr) history = tracer_->last_for_line(line, 32);
+  throw InvariantViolation(kind, line, ev_.now(), detail, std::move(history));
+}
+
+void InvariantChecker::on_line_event(LineId line) {
+  ++checks_;
+  check_line(line);
+  check_lease_tables();
+}
+
+void InvariantChecker::on_store(CoreId core, LineId line) {
+  ++checks_;
+  // The writer itself may have been invalidated in the 1-cycle window
+  // between its exclusivity check and the write retiring (the transfer of
+  // ownership to the new requester takes at least the probe-ack/forward
+  // network latency, so the write still linearizes before the new owner's
+  // access). What must NEVER hold: another core already owns the line.
+  for (CacheController* cc : cores_) {
+    if (cc->core_id() == core) continue;
+    if (is_exclusive(cc->line_state(line))) {
+      std::ostringstream os;
+      os << "store retired on core " << core << " while core " << cc->core_id()
+         << " holds the line exclusively";
+      fail(InvariantKind::kSwmr, line, os.str());
+    }
+  }
+  auto& snap = stable_[line];
+  for (int w = 0; w < kWordsPerLine; ++w) {
+    snap[static_cast<std::size_t>(w)] = mem_.read(line_base(line) + static_cast<Addr>(w) * 8);
+  }
+}
+
+void InvariantChecker::on_dir_enqueue(LineId line, CoreId requester) {
+  fifo_[line].push_back(requester);
+}
+
+void InvariantChecker::on_dir_service(LineId line, CoreId requester) {
+  auto& q = fifo_[line];
+  if (q.empty() || q.front() != requester) {
+    std::ostringstream os;
+    os << "service order diverged from arrival order: serviced core " << requester << ", expected ";
+    if (q.empty()) {
+      os << "no pending request";
+    } else {
+      os << "core " << q.front();
+    }
+    fail(InvariantKind::kDirFifo, line, os.str());
+  }
+  q.pop_front();
+}
+
+void InvariantChecker::check_line(LineId line) {
+  // --- 1. SWMR across L1s (holds at every instant) --------------------------
+  CoreId excl = -1;   // holder of an M/E copy
+  CoreId owned = -1;  // holder of an O copy (MOESI provider)
+  int shared_cnt = 0;
+  for (CacheController* cc : cores_) {
+    switch (cc->line_state(line)) {
+      case LineState::M:
+      case LineState::E:
+        if (excl != -1) {
+          std::ostringstream os;
+          os << "two exclusive L1 copies (cores " << excl << " and " << cc->core_id() << ")";
+          fail(InvariantKind::kSwmr, line, os.str());
+        }
+        excl = cc->core_id();
+        break;
+      case LineState::O:
+        if (owned != -1) {
+          std::ostringstream os;
+          os << "two Owned L1 copies (cores " << owned << " and " << cc->core_id() << ")";
+          fail(InvariantKind::kSwmr, line, os.str());
+        }
+        owned = cc->core_id();
+        break;
+      case LineState::S:
+        ++shared_cnt;
+        break;
+      case LineState::I:
+        break;
+    }
+  }
+  if (excl != -1 && (owned != -1 || shared_cnt > 0)) {
+    std::ostringstream os;
+    os << "core " << excl << " holds an exclusive copy while " << shared_cnt << " S and "
+       << (owned != -1 ? 1 : 0) << " O copies exist";
+    fail(InvariantKind::kSwmr, line, os.str());
+  }
+
+  // --- 1b. directory cross-check (stable lines only: no transaction in
+  //     flight, no finite-L2 back-invalidation racing the entry) ------------
+  if (dir_ != nullptr && !dir_->line_busy(line) && !l2_evicting_.contains(line)) {
+    using LS = Directory::LineSt;
+    const LS st = dir_->line_state(line);
+    const CoreId dir_owner = dir_->owner_of(line);
+    switch (st) {
+      case LS::kModified:
+      case LS::kExclusive:
+        if (dir_owner < 0 || excl != dir_owner) {
+          std::ostringstream os;
+          os << "directory says M/E owned by core " << dir_owner << " but the L1 exclusive holder is "
+             << (excl == -1 ? std::string("<none>") : std::to_string(excl));
+          fail(InvariantKind::kSwmr, line, os.str());
+        }
+        break;
+      case LS::kOwned:
+        if (dir_owner < 0 || owned != dir_owner) {
+          std::ostringstream os;
+          os << "directory says Owned by core " << dir_owner << " but the L1 O holder is "
+             << (owned == -1 ? std::string("<none>") : std::to_string(owned));
+          fail(InvariantKind::kSwmr, line, os.str());
+        }
+        [[fallthrough]];
+      case LS::kShared:
+        if (excl != -1) {
+          std::ostringstream os;
+          os << "directory says " << (st == LS::kOwned ? "Owned" : "Shared") << " but core " << excl
+             << " holds an exclusive L1 copy";
+          fail(InvariantKind::kSwmr, line, os.str());
+        }
+        // Stale directory sharers are legal (silent S evictions); an
+        // *untracked* S copy is not — it would miss invalidations.
+        for (CacheController* cc : cores_) {
+          if (cc->line_state(line) == LineState::S && !dir_->has_sharer(line, cc->core_id()) &&
+              cc->core_id() != dir_owner) {
+            std::ostringstream os;
+            os << "core " << cc->core_id() << " holds an S copy the directory does not track";
+            fail(InvariantKind::kSwmr, line, os.str());
+          }
+        }
+        break;
+      case LS::kUncached:
+        if (excl != -1 || owned != -1 || shared_cnt > 0) {
+          std::ostringstream os;
+          os << "directory says Uncached but L1 copies exist (excl core " << excl << ", "
+             << shared_cnt << " S copies)";
+          fail(InvariantKind::kSwmr, line, os.str());
+        }
+        break;
+    }
+  }
+
+  // --- 2. data-value --------------------------------------------------------
+  std::array<std::uint64_t, kWordsPerLine> cur;
+  for (int w = 0; w < kWordsPerLine; ++w) {
+    cur[static_cast<std::size_t>(w)] = mem_.read(line_base(line) + static_cast<Addr>(w) * 8);
+  }
+  auto [it, fresh] = stable_.try_emplace(line, cur);
+  if (!fresh) {
+    if (excl != -1) {
+      it->second = cur;  // an exclusive owner may be mid-write sequence
+    } else if (it->second != cur) {
+      fail(InvariantKind::kDataValue, line,
+           "memory image changed while no core held the line exclusively");
+    }
+  }
+}
+
+void InvariantChecker::check_lease_tables() {
+  const Cycle now = ev_.now();
+  for (CacheController* cc : cores_) {
+    const LeaseTable& lt = cc->lease_table();
+    if (lt.size() > cfg_.max_num_leases) {
+      std::ostringstream os;
+      os << "core " << cc->core_id() << " lease table holds " << lt.size() << " entries (max "
+         << cfg_.max_num_leases << ")";
+      fail(InvariantKind::kLeaseBound, 0, os.str());
+    }
+    lt.for_each([&](const LeaseTable::LeaseView& e) {
+      if (e.duration > cfg_.max_lease_time) {
+        fail(InvariantKind::kLeaseBound, e.line, "lease countdown exceeds MAX_LEASE_TIME");
+      }
+      if (e.started && now > e.deadline) {
+        std::ostringstream os;
+        os << "lease on core " << cc->core_id() << " outlived its deadline (now " << now
+           << ", deadline " << e.deadline << ")";
+        fail(InvariantKind::kLeaseBound, e.line, os.str());
+      }
+      if (e.granted && !e.in_group && !e.started) {
+        fail(InvariantKind::kLeaseBound, e.line,
+             "granted single lease has no running countdown (it would never expire)");
+      }
+      if (e.granted && !is_exclusive(cc->line_state(e.line))) {
+        std::ostringstream os;
+        os << "granted lease on core " << cc->core_id()
+           << " does not pin its line in M/E (phantom lease)";
+        fail(InvariantKind::kLeaseBound, e.line, os.str());
+      }
+      if (e.probe_parked && now - e.parked_at > cfg_.max_lease_time + park_slack_) {
+        std::ostringstream os;
+        os << "probe parked on core " << cc->core_id() << " for " << (now - e.parked_at)
+           << " cycles (bound MAX_LEASE_TIME + slack = " << (cfg_.max_lease_time + park_slack_)
+           << ")";
+        fail(InvariantKind::kProbeDelay, e.line, os.str());
+      }
+    });
+  }
+}
+
+void InvariantChecker::check_all() {
+  ++checks_;
+  std::vector<LineId> lines;
+  lines.reserve(stable_.size());
+  for (const auto& [line, snap] : stable_) {
+    (void)snap;
+    lines.push_back(line);
+  }
+  for (LineId line : lines) check_line(line);
+  check_lease_tables();
+}
+
+}  // namespace lrsim

@@ -1,0 +1,173 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Opt-in protocol invariant checking (Machine::enable_invariants).
+//
+// The paper's safety claims are stated machine-wide; the end-to-end oracles
+// (atomicity-oracle fuzzing, golden-model replay) tell us *that* something
+// broke, this checker tells us *which invariant* and *when*. After every
+// state transition it verifies:
+//
+//   1. SWMR (single-writer / multiple-reader) — at most one M/E copy per
+//      line across all L1s, never coexisting with S/O copies, and at most
+//      one O provider; cross-checked against the directory's owner/sharer
+//      bookkeeping whenever the line has no transaction in flight. Leases
+//      park probes but must never suspend coherence itself.
+//   2. Data-value — a line's memory image may only change while some core
+//      holds it in M/E (equivalently: the value observed when uncached or
+//      shared equals the last exclusive holder's final write). Catches lost
+//      invalidations and phantom writers that the replay oracle would only
+//      surface many operations later.
+//   3. Lease bounds — per-core table size <= MAX_NUM_LEASES, every
+//      countdown <= MAX_LEASE_TIME and never past its deadline, a granted
+//      single lease always has a running countdown, a granted lease pins
+//      its line in M/E (no phantom leases), and no probe stays parked
+//      longer than MAX_LEASE_TIME plus a service slack (the paper's
+//      bounded-delay guarantee, Proposition 2).
+//   4. Directory FIFO — per-line service order equals arrival order
+//      (Assumption 1, on which Proposition 1 rests).
+//
+// Hook points mirror the Tracer pattern: Directory, CacheController and
+// LeaseTable each hold an optional pointer (null = zero cost beyond the
+// check) and report transitions. A violation throws InvariantViolation
+// carrying the last trace records for the offending line; Machine::run
+// propagates it to the caller.
+//
+// Caveat: while the checker is armed, workloads must not write SimMemory
+// directly mid-run (functional init before Machine::run is fine) — a
+// direct poke is indistinguishable from a hidden writer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "coherence/config.hpp"
+#include "sim/trace.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+class CacheController;
+class Directory;
+class EventQueue;
+class SimMemory;
+
+/// Which invariant family a violation belongs to.
+enum class InvariantKind : std::uint8_t {
+  kSwmr,        ///< Coherence: conflicting L1 copies or directory mismatch.
+  kDataValue,   ///< Memory image changed with no exclusive owner.
+  kLeaseBound,  ///< Lease table size / countdown / pinning violated.
+  kProbeDelay,  ///< A probe stayed parked beyond the bounded-delay guarantee.
+  kDirFifo,     ///< Per-line service order diverged from arrival order.
+};
+
+const char* invariant_kind_name(InvariantKind k);
+
+/// Structured invariant failure. what() includes the offending line, the
+/// simulated cycle, and the most recent trace records for that line.
+class InvariantViolation : public std::runtime_error {
+ public:
+  InvariantViolation(InvariantKind kind, LineId line, Cycle when, const std::string& detail,
+                     std::vector<TraceRecord> history);
+
+  InvariantKind kind() const noexcept { return kind_; }
+  LineId line() const noexcept { return line_; }
+  Cycle when() const noexcept { return when_; }
+  const std::vector<TraceRecord>& history() const noexcept { return history_; }
+
+ private:
+  InvariantKind kind_;
+  LineId line_;
+  Cycle when_;
+  std::vector<TraceRecord> history_;
+};
+
+/// Runtime protocol invariant checker. Wired by Machine::enable_invariants;
+/// see the file comment for the invariant families.
+class InvariantChecker {
+ public:
+  InvariantChecker(EventQueue& ev, SimMemory& mem, const MachineConfig& cfg)
+      : ev_(ev), mem_(mem), cfg_(cfg) {
+    // Default parked-probe bound: a probe parks only on a granted lease.
+    // Started countdowns bound it by MAX_LEASE_TIME directly; during
+    // MultiLease acquisition each remaining grant can itself wait behind
+    // queued requests that each park up to MAX_LEASE_TIME, so the slack
+    // scales with the group size and the core count (a loose but finite
+    // bound — a wedged probe exceeds any finite bound eventually).
+    park_slack_ = static_cast<Cycle>(cfg.max_num_leases) *
+                      static_cast<Cycle>(cfg.num_cores) * (cfg.max_lease_time + 1000) +
+                  10000;
+  }
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  /// Wired by Machine after construction.
+  void attach(Directory* dir, std::vector<CacheController*> cores) {
+    dir_ = dir;
+    cores_ = std::move(cores);
+  }
+  void set_tracer(Tracer* t) { tracer_ = t; }
+
+  /// Overrides the parked-probe slack (cycles beyond MAX_LEASE_TIME a probe
+  /// may legally stay parked). Tests tighten this to the workload's shape.
+  void set_park_slack(Cycle s) { park_slack_ = s; }
+
+  // --- hook points (called by the wired components) -------------------------
+
+  /// Any coherence / lease state transition touching `line` completed.
+  void on_line_event(LineId line);
+
+  /// A store retired on `core` for `line` (the value may legally change).
+  void on_store(CoreId core, LineId line);
+
+  /// A request from `requester` joined `line`'s directory queue.
+  void on_dir_enqueue(LineId line, CoreId requester);
+
+  /// The directory began servicing `requester`'s request for `line`.
+  void on_dir_service(LineId line, CoreId requester);
+
+  /// A finite-L2 back-invalidation of `line` is in flight; directory
+  /// cross-checks are suspended for the line until it completes (its dir
+  /// entry is cleared before the L1 copies are reachable).
+  void on_l2_evict_begin(LineId line) { l2_evicting_.insert(line); }
+  void on_l2_evict_end(LineId line) { l2_evicting_.erase(line); }
+
+  /// Re-checks every line seen so far plus all lease tables. Call at the
+  /// end of a run for a final sweep.
+  void check_all();
+
+  /// Number of hook-triggered check passes so far (tests assert > 0 so a
+  /// silently-unwired checker cannot pass).
+  std::uint64_t checks_run() const noexcept { return checks_; }
+
+ private:
+  void check_line(LineId line);
+  void check_lease_tables();
+  [[noreturn]] void fail(InvariantKind kind, LineId line, const std::string& detail);
+
+  EventQueue& ev_;
+  SimMemory& mem_;
+  const MachineConfig& cfg_;
+  Directory* dir_ = nullptr;
+  std::vector<CacheController*> cores_;
+  Tracer* tracer_ = nullptr;
+  Cycle park_slack_ = 0;
+
+  /// Last memory image known to be legally produced (per line). Refreshed
+  /// while an exclusive owner exists and on every retired store; compared
+  /// whenever no core may write.
+  std::unordered_map<LineId, std::array<std::uint64_t, kWordsPerLine>> stable_;
+  /// Arrival order of requests awaiting service, per line (invariant 4).
+  std::unordered_map<LineId, std::deque<CoreId>> fifo_;
+  /// Lines whose finite-L2 back-invalidation is still in flight.
+  std::unordered_set<LineId> l2_evicting_;
+  std::uint64_t checks_ = 0;
+};
+
+}  // namespace lrsim

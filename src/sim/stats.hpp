@@ -93,6 +93,8 @@ struct Stats {
                               : static_cast<double>(l1_misses) / static_cast<double>(ops_completed);
   }
 
+  friend bool operator==(const Stats&, const Stats&) = default;
+
   Stats& operator+=(const Stats& o) noexcept {
     msgs_gets += o.msgs_gets;
     msgs_getx += o.msgs_getx;
@@ -129,7 +131,8 @@ struct Stats {
   void print(std::ostream& os, const std::string& label) const {
     os << "[" << label << "] msgs=" << total_messages() << " (GetS " << msgs_gets << ", GetX "
        << msgs_getx << ", Inv " << msgs_inv << ", Dwn " << msgs_downgrade << ", Data " << msgs_data
-       << ", Ack " << msgs_ack << ", WB " << msgs_wb << ")  L1 hit/miss=" << l1_hits << "/"
+       << ", Ack " << msgs_ack << ", WB " << msgs_wb << ", Nack " << msgs_nack
+       << ")  L1 hit/miss=" << l1_hits << "/"
        << l1_misses << "  leases=" << leases_taken << " (vol " << releases_voluntary << ", invol "
        << releases_involuntary << ")  ops=" << ops_completed << "\n";
   }

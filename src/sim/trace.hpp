@@ -6,6 +6,7 @@
 // Machine::enable_tracing(capacity[, line_filter]).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -56,6 +57,18 @@ class Tracer {
   }
 
   std::vector<TraceRecord> records() const { return {ring_.begin(), ring_.end()}; }
+
+  /// The most recent (up to) `n` records touching `line`, oldest first.
+  /// Used by InvariantViolation to attach per-line history to a failure.
+  std::vector<TraceRecord> last_for_line(LineId line, std::size_t n) const {
+    std::vector<TraceRecord> out;
+    for (auto it = ring_.rbegin(); it != ring_.rend() && out.size() < n; ++it) {
+      if (it->line == line) out.push_back(*it);
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
   std::size_t size() const noexcept { return ring_.size(); }
   std::uint64_t dropped() const noexcept { return dropped_; }
   void clear() { ring_.clear(); }

@@ -4,6 +4,7 @@
 // cancellation, bounded-horizon runs.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -121,6 +122,54 @@ TEST(EventQueue, TotalScheduledCounts) {
   EventQueue q;
   for (int i = 0; i < 7; ++i) q.schedule_at(1, [] {});
   EXPECT_EQ(q.total_scheduled(), 7u);
+}
+
+// --- schedule-perturbation mode -------------------------------------------
+
+/// Schedules 16 same-cycle events (plus a couple at other cycles) and
+/// returns the firing order.
+std::vector<int> perturbed_order(std::optional<std::uint64_t> seed) {
+  EventQueue q;
+  if (seed) q.enable_perturbation(*seed);
+  std::vector<int> order;
+  q.schedule_at(1, [&] { order.push_back(-1); });
+  for (int i = 0; i < 16; ++i) {
+    q.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  q.schedule_at(9, [&] { order.push_back(-2); });
+  q.run();
+  return order;
+}
+
+TEST(EventQueue, PerturbationIsDeterministicPerSeed) {
+  EXPECT_EQ(perturbed_order(42u), perturbed_order(42u));
+  EXPECT_EQ(perturbed_order(7u), perturbed_order(7u));
+}
+
+TEST(EventQueue, PerturbationShufflesSameCycleEvents) {
+  const auto fifo = perturbed_order(std::nullopt);
+  const auto s1 = perturbed_order(42u);
+  const auto s2 = perturbed_order(7u);
+  EXPECT_NE(s1, fifo);  // 16! orderings: a fixed seed matching FIFO would be astonishing
+  EXPECT_NE(s1, s2);
+}
+
+TEST(EventQueue, PerturbationNeverViolatesTimeOrder) {
+  const auto order = perturbed_order(123u);
+  ASSERT_EQ(order.size(), 18u);
+  EXPECT_EQ(order.front(), -1);  // cycle 1 fires before the cycle-5 batch
+  EXPECT_EQ(order.back(), -2);   // cycle 9 fires after it
+}
+
+TEST(EventQueue, PerturbationKeepsCancellationWorking) {
+  EventQueue q;
+  q.enable_perturbation(1);
+  bool fired = false;
+  EventHandle h = q.schedule_at(10, [&] { fired = true; });
+  q.schedule_at(10, [] {});
+  h.cancel();
+  q.run();
+  EXPECT_FALSE(fired);
 }
 
 TEST(EventQueue, DeterministicAcrossIdenticalRuns) {

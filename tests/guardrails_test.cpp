@@ -1,0 +1,56 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// API-misuse guardrails: invalid configs are rejected with exceptions, and
+// the in-order-core contract (one outstanding memory op per Ctx) is
+// enforced by an assert in debug builds.
+#include <gtest/gtest.h>
+
+#include <coroutine>
+#include <stdexcept>
+
+#include "sim_test_util.hpp"
+
+namespace lrsim {
+namespace {
+
+using testing::small_config;
+
+TEST(Guardrails, MachineRejectsZeroCores) {
+  MachineConfig cfg = small_config(0, /*leases=*/false);
+  EXPECT_THROW(Machine(cfg, /*seed=*/1), std::invalid_argument);
+}
+
+TEST(Guardrails, MachineRejectsNegativeCores) {
+  MachineConfig cfg = small_config(-3, /*leases=*/false);
+  EXPECT_THROW(Machine(cfg, /*seed=*/1), std::invalid_argument);
+}
+
+// Issuing a second memory op while one is in flight on the same core
+// violates the in-order-core model and must die on the Ctx::begin_op
+// assert. Asserts compile out under NDEBUG (RelWithDebInfo), so the test
+// only runs in Debug builds.
+TEST(GuardrailsDeathTest, ConcurrentOpsOnOneCoreDie) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "asserts disabled (NDEBUG)";
+#else
+  EXPECT_DEATH(
+      {
+        // Paren-init: a brace-level comma would split the EXPECT_DEATH
+        // macro arguments.
+        Machine m(small_config(1, false), /*seed=*/1);
+        const Addr a = m.heap().alloc_line();
+        m.spawn(0, [a](Ctx& ctx) -> Task<void> {
+          // Start a load but never co_await it: the op is in flight and no
+          // completion can resume this frame.
+          auto dangling = ctx.load(a);
+          dangling.await_suspend(std::noop_coroutine());
+          (void)co_await ctx.load(a);  // second op on the same core: boom
+        });
+        m.run(1'000'000);
+      },
+      "two concurrent memory ops");
+#endif
+}
+
+}  // namespace
+}  // namespace lrsim

@@ -15,7 +15,9 @@
 // race documented in coherence/controller.cpp.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "sim_test_util.hpp"
@@ -57,8 +59,11 @@ struct FuzzCase {
 
 class ProtocolFuzz : public ::testing::TestWithParam<FuzzCase> {};
 
-TEST_P(ProtocolFuzz, CompletionOrderReplayMatches) {
-  const FuzzCase& fc = GetParam();
+/// Runs one fuzz case and replays the completion-order log. Optionally arms
+/// the invariant checker and/or schedule perturbation, and divides the op
+/// count (the checker x 8-seed sweep trades depth for breadth).
+void run_fuzz(const FuzzCase& fc, bool with_invariants,
+              std::optional<std::uint64_t> perturb_seed, int ops_divisor) {
   MachineConfig cfg = small_config(fc.cores, fc.leases);
   cfg.lease_priority_mode = fc.priority;
   cfg.software_multilease = fc.sw_multilease;
@@ -73,6 +78,8 @@ TEST_P(ProtocolFuzz, CompletionOrderReplayMatches) {
     cfg.l2_ways = 2;  // 4-line L2: constant capacity churn
   }
   Machine m{cfg, /*seed=*/0xfeedbeef};
+  if (perturb_seed) m.enable_perturbation(*perturb_seed);
+  if (with_invariants) m.enable_invariants();
 
   std::vector<Addr> pool;
   for (int i = 0; i < fc.lines; ++i) pool.push_back(m.heap().alloc_line());
@@ -81,74 +88,90 @@ TEST_P(ProtocolFuzz, CompletionOrderReplayMatches) {
   pool.push_back(packed);
   pool.push_back(packed + 8);
 
+  const int ops_per_core = std::max(1, fc.ops_per_core / ops_divisor);
   std::vector<LoggedOp> log;  // appended in completion (callback) order
-  log.reserve(static_cast<std::size_t>(fc.cores) * fc.ops_per_core);
+  log.reserve(static_cast<std::size_t>(fc.cores) * static_cast<std::size_t>(ops_per_core));
 
-  testing::run_workers(m, fc.cores, [&](Ctx& ctx, int t) -> Task<void> {
-    for (int i = 0; i < fc.ops_per_core; ++i) {
-      const Addr a = pool[ctx.rng().next_below(pool.size())];
-      const std::uint64_t dice = ctx.rng().next_below(100);
+  try {
+    testing::run_workers(m, fc.cores, [&](Ctx& ctx, int t) -> Task<void> {
+      for (int i = 0; i < ops_per_core; ++i) {
+        const Addr a = pool[ctx.rng().next_below(pool.size())];
+        const std::uint64_t dice = ctx.rng().next_below(100);
 
-      bool leased_single = false;
-      bool leased_multi = false;
-      if (fc.use_multileases && dice >= 90) {
-        const Addr b = pool[ctx.rng().next_below(pool.size())];
-        std::vector<Addr> group;
-        group.push_back(a);
-        group.push_back(b);
-        co_await ctx.multi_lease(std::move(group), 500 + ctx.rng().next_below(2000));
-        leased_multi = true;
-      } else if (fc.use_single_leases && dice >= 60) {
-        co_await ctx.lease(a, 200 + ctx.rng().next_below(2000));
-        leased_single = true;
+        bool leased_single = false;
+        bool leased_multi = false;
+        if (fc.use_multileases && dice >= 90) {
+          const Addr b = pool[ctx.rng().next_below(pool.size())];
+          std::vector<Addr> group;
+          group.push_back(a);
+          group.push_back(b);
+          co_await ctx.multi_lease(std::move(group), 500 + ctx.rng().next_below(2000));
+          leased_multi = true;
+        } else if (fc.use_single_leases && dice >= 60) {
+          co_await ctx.lease(a, 200 + ctx.rng().next_below(2000));
+          leased_single = true;
+        }
+
+        LoggedOp op;
+        op.addr = a;
+        op.core = t;
+        switch (ctx.rng().next_below(5)) {
+          case 0: {
+            op.kind = OpKind::kLoad;
+            op.observed = co_await ctx.load(a);
+            break;
+          }
+          case 1: {
+            op.kind = OpKind::kStore;
+            op.arg1 = ctx.rng().next_below(1000);
+            co_await ctx.store(a, op.arg1);
+            break;
+          }
+          case 2: {
+            op.kind = OpKind::kCas;
+            op.arg1 = ctx.rng().next_below(1000);  // expect (often wrong)
+            op.arg2 = ctx.rng().next_below(1000);
+            op.observed = co_await ctx.cas_val(a, op.arg1, op.arg2);
+            op.cas_ok = op.observed == op.arg1;
+            break;
+          }
+          case 3: {
+            op.kind = OpKind::kFaa;
+            op.arg1 = 1 + ctx.rng().next_below(7);
+            op.observed = co_await ctx.faa(a, op.arg1);
+            break;
+          }
+          default: {
+            op.kind = OpKind::kXchg;
+            op.arg1 = ctx.rng().next_below(1000);
+            op.observed = co_await ctx.xchg(a, op.arg1);
+            break;
+          }
+        }
+        log.push_back(op);
+
+        if (leased_multi) {
+          co_await ctx.release_all();
+        } else if (leased_single) {
+          co_await ctx.release(a);
+        }
+        if (ctx.rng().next_bool(0.3)) co_await ctx.work(ctx.rng().next_below(60));
       }
+    });
+  } catch (const InvariantViolation& e) {
+    FAIL() << "invariant checker fired on a clean protocol: " << e.what();
+  }
 
-      LoggedOp op;
-      op.addr = a;
-      op.core = t;
-      switch (ctx.rng().next_below(5)) {
-        case 0: {
-          op.kind = OpKind::kLoad;
-          op.observed = co_await ctx.load(a);
-          break;
-        }
-        case 1: {
-          op.kind = OpKind::kStore;
-          op.arg1 = ctx.rng().next_below(1000);
-          co_await ctx.store(a, op.arg1);
-          break;
-        }
-        case 2: {
-          op.kind = OpKind::kCas;
-          op.arg1 = ctx.rng().next_below(1000);  // expect (often wrong)
-          op.arg2 = ctx.rng().next_below(1000);
-          op.observed = co_await ctx.cas_val(a, op.arg1, op.arg2);
-          op.cas_ok = op.observed == op.arg1;
-          break;
-        }
-        case 3: {
-          op.kind = OpKind::kFaa;
-          op.arg1 = 1 + ctx.rng().next_below(7);
-          op.observed = co_await ctx.faa(a, op.arg1);
-          break;
-        }
-        default: {
-          op.kind = OpKind::kXchg;
-          op.arg1 = ctx.rng().next_below(1000);
-          op.observed = co_await ctx.xchg(a, op.arg1);
-          break;
-        }
-      }
-      log.push_back(op);
-
-      if (leased_multi) {
-        co_await ctx.release_all();
-      } else if (leased_single) {
-        co_await ctx.release(a);
-      }
-      if (ctx.rng().next_bool(0.3)) co_await ctx.work(ctx.rng().next_below(60));
+  if (with_invariants) {
+    InvariantChecker* inv = m.invariants();
+    try {
+      inv->check_all();
+    } catch (const InvariantViolation& e) {
+      FAIL() << "final invariant sweep failed: " << e.what();
     }
-  });
+    // A silently-unwired checker must not pass as green.
+    EXPECT_GT(inv->checks_run(), 0u);
+  }
 
   // Replay: every op must have observed exactly the register state produced
   // by the prefix of the completion-order log.
@@ -182,7 +205,26 @@ TEST_P(ProtocolFuzz, CompletionOrderReplayMatches) {
   for (const auto& [addr, value] : reg) {
     EXPECT_EQ(m.memory().read(addr), value) << "final memory mismatch at " << std::hex << addr;
   }
-  EXPECT_EQ(log.size(), static_cast<std::size_t>(fc.cores) * fc.ops_per_core);
+  EXPECT_EQ(log.size(), static_cast<std::size_t>(fc.cores) * static_cast<std::size_t>(ops_per_core));
+}
+
+TEST_P(ProtocolFuzz, CompletionOrderReplayMatches) {
+  run_fuzz(GetParam(), /*with_invariants=*/false, std::nullopt, /*ops_divisor=*/1);
+}
+
+// Every fuzz case again, with the invariant checker armed, across 8
+// perturbation seeds (plus the unperturbed FIFO schedule). Ops are divided
+// down so the sweep stays fast; the full-depth run above keeps the original
+// coverage.
+TEST_P(ProtocolFuzz, InvariantCheckerAcrossPerturbationSeeds) {
+  const FuzzCase& fc = GetParam();
+  run_fuzz(fc, /*with_invariants=*/true, std::nullopt, /*ops_divisor=*/4);
+  if (::testing::Test::HasFatalFailure()) return;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("perturbation seed " + std::to_string(seed));
+    run_fuzz(fc, /*with_invariants=*/true, seed, /*ops_divisor=*/4);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,218 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Failure shrinking for protocol fuzz cases.
+//
+// A fuzz failure at op #9000 of a 4-core interleaving is unactionable; the
+// same failure reproduced by 6 ops on 2 cores is a unit test. This header
+// gives the fuzz harness a deterministic *script* representation of a
+// workload (ScriptOp), an executor that reports failure instead of
+// asserting (run_script), a ddmin-style bisector that drops chunks of the
+// script while the failure persists (shrink_script), and a formatter that
+// prints the minimal script as a paste-able regression test (format_repro).
+//
+// Determinism is what makes this sound: a Machine run is a pure function of
+// (config, machine seed, perturbation seed, script), so a script that fails
+// once fails every time, and the bisector needs no retries.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lrsim.hpp"
+
+namespace lrsim::testing {
+
+/// One scripted operation. `addr` indexes the line pool (not a byte
+/// address) so scripts stay valid across heap layouts.
+struct ScriptOp {
+  int core = 0;
+  int kind = 0;  ///< 0 load, 1 store, 2 cas, 3 faa, 4 xchg.
+  int addr = 0;  ///< Index into the pool of allocated lines.
+  std::uint64_t arg1 = 0;  ///< store value / cas expect / faa add / xchg value.
+  std::uint64_t arg2 = 0;  ///< cas desired.
+  Cycle lease = 0;  ///< > 0: wrap the op in lease(duration) ... release.
+};
+
+/// Everything besides the ops that determines a run.
+struct ScriptEnv {
+  MachineConfig cfg;
+  std::uint64_t machine_seed = 1;
+  std::optional<std::uint64_t> perturb_seed;
+  int pool_lines = 2;
+  /// Pool index whose probes are silently lost on every core (the test-only
+  /// SWMR bug, CacheController::set_test_probe_fault); -1 = no fault.
+  int fault_line = -1;
+  Cycle watchdog = 50'000'000;
+};
+
+struct ScriptResult {
+  bool ok = true;
+  std::string why;  ///< Failure description (invariant, oracle, watchdog).
+};
+
+namespace detail {
+
+struct ScriptCompletion {
+  int kind;
+  int addr;
+  std::uint64_t arg1, arg2, observed;
+  bool cas_ok;
+};
+
+inline Task<void> script_worker(Ctx& ctx, std::vector<ScriptOp> my_ops,
+                                std::shared_ptr<std::vector<Addr>> pool,
+                                std::shared_ptr<std::vector<ScriptCompletion>> log) {
+  for (const ScriptOp& op : my_ops) {
+    const Addr a = (*pool)[static_cast<std::size_t>(op.addr)];
+    if (op.lease > 0) co_await ctx.lease(a, op.lease);
+    ScriptCompletion c{op.kind, op.addr, op.arg1, op.arg2, 0, false};
+    switch (op.kind) {
+      case 0: c.observed = co_await ctx.load(a); break;
+      case 1: co_await ctx.store(a, op.arg1); break;
+      case 2:
+        c.observed = co_await ctx.cas_val(a, op.arg1, op.arg2);
+        c.cas_ok = c.observed == op.arg1;
+        break;
+      case 3: c.observed = co_await ctx.faa(a, op.arg1); break;
+      default: c.observed = co_await ctx.xchg(a, op.arg1); break;
+    }
+    log->push_back(c);
+    if (op.lease > 0) co_await ctx.release(a);
+  }
+}
+
+}  // namespace detail
+
+/// Executes a script under the invariant checker and the completion-order
+/// replay oracle. Never asserts: failures come back as ScriptResult so the
+/// bisector can probe candidate scripts.
+inline ScriptResult run_script(const ScriptEnv& env, const std::vector<ScriptOp>& ops) {
+  Machine m{env.cfg, env.machine_seed};
+  if (env.perturb_seed) m.enable_perturbation(*env.perturb_seed);
+  m.enable_invariants();
+
+  auto pool = std::make_shared<std::vector<Addr>>();
+  for (int i = 0; i < env.pool_lines; ++i) pool->push_back(m.heap().alloc_line());
+  if (env.fault_line >= 0 && env.fault_line < env.pool_lines) {
+    const LineId bad = line_of((*pool)[static_cast<std::size_t>(env.fault_line)]);
+    for (int c = 0; c < env.cfg.num_cores; ++c) {
+      m.controller(c).set_test_probe_fault([bad](CoreId, LineId l) { return l == bad; });
+    }
+  }
+
+  auto log = std::make_shared<std::vector<detail::ScriptCompletion>>();
+  std::vector<std::vector<ScriptOp>> by_core(static_cast<std::size_t>(env.cfg.num_cores));
+  for (const ScriptOp& op : ops) {
+    by_core[static_cast<std::size_t>(op.core) % by_core.size()].push_back(op);
+  }
+  for (int c = 0; c < env.cfg.num_cores; ++c) {
+    auto& mine = by_core[static_cast<std::size_t>(c)];
+    if (mine.empty()) continue;
+    m.spawn(c, [mine, pool, log](Ctx& ctx) {
+      return detail::script_worker(ctx, mine, pool, log);
+    });
+  }
+
+  try {
+    m.run(env.watchdog);
+    if (!m.all_done()) return {false, "watchdog expired (deadlock or livelock)"};
+    m.invariants()->check_all();
+  } catch (const InvariantViolation& e) {
+    return {false, e.what()};
+  }
+
+  // Completion-order replay oracle (same idea as protocol_fuzz_test.cpp).
+  std::map<int, std::uint64_t> reg;
+  std::size_t idx = 0;
+  for (const detail::ScriptCompletion& c : *log) {
+    std::uint64_t& cur = reg[c.addr];
+    const auto mismatch = [&](const char* what) {
+      std::ostringstream os;
+      os << "oracle: " << what << " at completion index " << idx << " (observed " << c.observed
+         << ", replay " << cur << ")";
+      return ScriptResult{false, os.str()};
+    };
+    switch (c.kind) {
+      case 0:
+        if (c.observed != cur) return mismatch("stale load");
+        break;
+      case 1: cur = c.arg1; break;
+      case 2:
+        if (c.observed != cur) return mismatch("CAS wrong old value");
+        if (c.cas_ok) cur = c.arg2;
+        break;
+      case 3:
+        if (c.observed != cur) return mismatch("FAA wrong old value");
+        cur += c.arg1;
+        break;
+      default:
+        if (c.observed != cur) return mismatch("XCHG wrong old value");
+        cur = c.arg1;
+        break;
+    }
+    ++idx;
+  }
+  return {true, ""};
+}
+
+/// Delta-debugging (ddmin-style) bisection: repeatedly removes chunks —
+/// halving the chunk size down to single ops — keeping any candidate for
+/// which `still_fails` holds, until no single op can be dropped. The result
+/// is 1-minimal: removing any one remaining op makes the failure vanish.
+inline std::vector<ScriptOp> shrink_script(
+    std::vector<ScriptOp> ops, const std::function<bool(const std::vector<ScriptOp>&)>& still_fails) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    std::size_t chunk = ops.size() / 2;
+    if (chunk == 0) chunk = 1;
+    for (;; chunk /= 2) {
+      std::size_t start = 0;
+      while (start < ops.size() && ops.size() > 1) {
+        std::vector<ScriptOp> cand;
+        cand.reserve(ops.size());
+        cand.insert(cand.end(), ops.begin(), ops.begin() + static_cast<std::ptrdiff_t>(start));
+        const std::size_t stop = std::min(ops.size(), start + chunk);
+        cand.insert(cand.end(), ops.begin() + static_cast<std::ptrdiff_t>(stop), ops.end());
+        if (!cand.empty() && still_fails(cand)) {
+          ops = std::move(cand);
+          progress = true;  // retry the same start: the next chunk slid in
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+  return ops;
+}
+
+/// Renders a minimal script as a paste-able deterministic regression test
+/// body (assumes `using namespace lrsim::testing` and gtest in scope).
+inline std::string format_repro(const ScriptEnv& env, const std::vector<ScriptOp>& ops) {
+  std::ostringstream os;
+  os << "// Minimal reproducer generated by shrink_script() — paste into a TEST.\n";
+  os << "ScriptEnv env;\n";
+  os << "env.cfg.num_cores = " << env.cfg.num_cores << ";\n";
+  os << "env.cfg.leases_enabled = " << (env.cfg.leases_enabled ? "true" : "false") << ";\n";
+  os << "env.cfg.max_lease_time = " << env.cfg.max_lease_time << ";\n";
+  os << "env.machine_seed = " << env.machine_seed << "ull;\n";
+  if (env.perturb_seed) os << "env.perturb_seed = " << *env.perturb_seed << "ull;\n";
+  os << "env.pool_lines = " << env.pool_lines << ";\n";
+  if (env.fault_line >= 0) os << "env.fault_line = " << env.fault_line << ";\n";
+  os << "const std::vector<ScriptOp> ops = {\n";
+  for (const ScriptOp& op : ops) {
+    os << "    {" << op.core << ", " << op.kind << ", " << op.addr << ", " << op.arg1 << ", "
+       << op.arg2 << ", " << op.lease << "},\n";
+  }
+  os << "};\n";
+  os << "EXPECT_FALSE(run_script(env, ops).ok);\n";
+  return os.str();
+}
+
+}  // namespace lrsim::testing

@@ -1,0 +1,59 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Stats::print regression: the per-type message breakdown must cover every
+// counter in total_messages(). Guards against the bug where msgs_nack was
+// counted in the total but missing from the printed breakdown.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sim_test_util.hpp"
+
+namespace lrsim {
+namespace {
+
+using testing::small_config;
+
+/// Parses the number right after `label` in `s`. Labels include their
+/// leading ", " so "Ack " cannot match inside "Nack ".
+std::uint64_t value_after(const std::string& s, const std::string& label) {
+  const std::size_t at = s.find(label);
+  EXPECT_NE(at, std::string::npos) << "label '" << label << "' missing in: " << s;
+  if (at == std::string::npos) return 0;
+  return std::stoull(s.substr(at + label.size()));
+}
+
+TEST(StatsPrint, BreakdownSumsToTotalMessagesInNackMode) {
+  MachineConfig cfg = small_config(4, /*leases=*/true);
+  cfg.nack_on_lease = true;
+  cfg.max_lease_time = 2000;
+  Machine m{cfg, /*seed=*/21};
+  const Addr a = m.heap().alloc_line();
+  testing::run_workers(m, 4, [a](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < 30; ++i) {
+      co_await ctx.lease(a, 400);
+      (void)co_await ctx.faa(a, 1);
+      co_await ctx.work(50 + ctx.rng().next_below(100));
+      co_await ctx.release(a);
+    }
+  });
+
+  const Stats total = m.total_stats();
+  ASSERT_GT(total.msgs_nack, 0u) << "workload produced no NACKs; test would not cover the bug";
+
+  std::ostringstream os;
+  total.print(os, "nack-mode");
+  const std::string s = os.str();
+
+  const std::uint64_t sum = value_after(s, "(GetS ") + value_after(s, ", GetX ") +
+                            value_after(s, ", Inv ") + value_after(s, ", Dwn ") +
+                            value_after(s, ", Data ") + value_after(s, ", Ack ") +
+                            value_after(s, ", WB ") + value_after(s, ", Nack ");
+  EXPECT_EQ(sum, total.total_messages()) << s;
+  EXPECT_EQ(value_after(s, "msgs="), total.total_messages()) << s;
+  EXPECT_EQ(value_after(s, ", Nack "), total.msgs_nack) << s;
+}
+
+}  // namespace
+}  // namespace lrsim

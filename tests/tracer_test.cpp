@@ -1,0 +1,81 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Tracer unit tests: ring-buffer capacity/drop accounting, line filtering,
+// per-line history extraction, and the Machine integration.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim_test_util.hpp"
+
+namespace lrsim {
+namespace {
+
+using testing::small_config;
+
+TEST(Tracer, RingKeepsNewestAndCountsDrops) {
+  Tracer tr{/*capacity=*/4};
+  for (int i = 0; i < 10; ++i) {
+    tr.emit(TraceEvent::kCpuLoad, static_cast<Cycle>(i), 0, static_cast<LineId>(i));
+  }
+  EXPECT_EQ(tr.size(), 4u);
+  EXPECT_EQ(tr.dropped(), 6u);
+  const auto recs = tr.records();
+  ASSERT_EQ(recs.size(), 4u);
+  EXPECT_EQ(recs.front().line, 6u);  // oldest survivor
+  EXPECT_EQ(recs.back().line, 9u);   // newest
+}
+
+TEST(Tracer, LineFilterKeepsOnlyMatchesWithoutConsumingCapacity) {
+  Tracer tr{/*capacity=*/4, /*line_filter=*/LineId{5}};
+  // 5 matching emits interleaved with 6 non-matching ones.
+  for (int i = 0; i < 5; ++i) {
+    tr.emit(TraceEvent::kCpuStore, static_cast<Cycle>(2 * i), 0, 5, static_cast<std::uint64_t>(i));
+    tr.emit(TraceEvent::kCpuStore, static_cast<Cycle>(2 * i + 1), 1, 6);
+  }
+  tr.emit(TraceEvent::kProbe, 100, 1, 7);
+  EXPECT_EQ(tr.size(), 4u);
+  EXPECT_EQ(tr.dropped(), 1u);  // only the 5th matching emit displaced one
+  for (const TraceRecord& r : tr.records()) EXPECT_EQ(r.line, 5u);
+}
+
+TEST(Tracer, DumpMentionsDroppedRecords) {
+  Tracer tr{/*capacity=*/2};
+  for (int i = 0; i < 5; ++i) tr.emit(TraceEvent::kLease, static_cast<Cycle>(i), 0, 1);
+  std::ostringstream os;
+  tr.dump(os);
+  EXPECT_NE(os.str().find("3 earlier records dropped"), std::string::npos);
+}
+
+TEST(Tracer, LastForLineReturnsMostRecentOldestFirst) {
+  Tracer tr{/*capacity=*/64};
+  for (int i = 0; i < 6; ++i) {
+    tr.emit(TraceEvent::kCpuLoad, static_cast<Cycle>(10 * i), 0, 2, static_cast<std::uint64_t>(i));
+    tr.emit(TraceEvent::kCpuLoad, static_cast<Cycle>(10 * i + 5), 0, 3);
+  }
+  const auto h = tr.last_for_line(2, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0].info, 4u);  // second-newest line-2 record first (oldest-first order)
+  EXPECT_EQ(h[1].info, 5u);
+  EXPECT_TRUE(tr.last_for_line(999, 8).empty());
+  EXPECT_EQ(tr.last_for_line(3, 100).size(), 6u);  // n larger than matches
+}
+
+TEST(Tracer, MachineLineFilterRestrictsRecords) {
+  Machine m{small_config(2, /*leases=*/true), /*seed=*/3};
+  const Addr a = m.heap().alloc_line();
+  const Addr b = m.heap().alloc_line();
+  Tracer& tr = m.enable_tracing(256, line_of(a));
+  testing::run_workers(m, 2, [&](Ctx& ctx, int) -> Task<void> {
+    co_await ctx.lease(a, 500);
+    co_await ctx.faa(a, 1);
+    co_await ctx.release(a);
+    co_await ctx.store(b, 9);
+  });
+  EXPECT_GT(tr.size(), 0u);
+  for (const TraceRecord& r : tr.records()) EXPECT_EQ(r.line, line_of(a));
+}
+
+}  // namespace
+}  // namespace lrsim
