@@ -9,10 +9,17 @@
 // The same rows are written as CSV under --csv_dir for plotting.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
 #include <filesystem>
 #include <functional>
 #include <iostream>
+#include <mutex>
+#include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "lrsim.hpp"
@@ -30,6 +37,7 @@ struct BenchOptions {
   int max_num_leases = 4;
   std::uint64_t seed = 1;
   Cycle think_max = 40;  ///< Random local work between ops (0..think_max).
+  int jobs = 0;  ///< --jobs: host threads running samples; 0 = one per host CPU.
 };
 
 /// Parses the common flags; `extra` lets a bench add its own. Returns false
@@ -46,6 +54,7 @@ inline bool parse_flags(int argc, char** argv, const std::string& name, BenchOpt
   flags.add("max_num_leases", &opt.max_num_leases, "MAX_NUM_LEASES per core");
   flags.add("seed", &opt.seed, "workload RNG seed");
   flags.add("think", &opt.think_max, "max random local work between ops (cycles)");
+  flags.add("jobs", &opt.jobs, "host threads running samples in parallel (0 = one per host CPU)");
   if (extra) extra(flags);
   try {
     flags.parse(argc, argv);
@@ -117,22 +126,12 @@ inline Sample run_one(const Variant& v, int threads, const BenchOptions& opt) {
   s.cycles = m.events().now() - start;
   s.stats = m.total_stats();
   s.dir_peak_queue = m.directory().peak_queue_depth();
-  // Subtract prefill-phase counters so the series reflect steady state.
-  Stats adj = s.stats;
-  adj.ops_completed -= prefill.ops_completed;
-  adj.l1_hits -= prefill.l1_hits;
-  adj.l1_misses -= prefill.l1_misses;
-  adj.l2_accesses -= prefill.l2_accesses;
-  adj.dram_accesses -= prefill.dram_accesses;
-  adj.msgs_gets -= prefill.msgs_gets;
-  adj.msgs_getx -= prefill.msgs_getx;
-  adj.msgs_inv -= prefill.msgs_inv;
-  adj.msgs_downgrade -= prefill.msgs_downgrade;
-  adj.msgs_data -= prefill.msgs_data;
-  adj.msgs_ack -= prefill.msgs_ack;
-  adj.msgs_wb -= prefill.msgs_wb;
-  s.stats = adj;
-  s.ops = adj.ops_completed;
+  // Subtract the whole prefill-phase snapshot so the series reflect steady
+  // state. (An earlier field-by-field subtraction silently skipped counters
+  // added after it was written — msgs_nack, lease/CAS/lock/txn counters —
+  // so prefill noise leaked into those columns.)
+  s.stats -= prefill;
+  s.ops = s.stats.ops_completed;
   return s;
 }
 
@@ -149,9 +148,51 @@ inline std::vector<Sample> run_experiment(const std::string& title, const std::s
   std::cout << "workload: " << opt.ops_per_thread << " ops/thread, think 0.."
             << opt.think_max << " cycles, seed " << opt.seed << "\n\n";
 
-  std::vector<Sample> samples;
-  for (int t : opt.threads) {
-    for (const Variant& v : variants) samples.push_back(run_one(v, t, opt));
+  // Each sample is an independent, fully deterministic single-threaded
+  // simulation, so the sweep parallelizes across host threads. Results land
+  // in fixed slots of the (thread-count major) grid, which is exactly the
+  // serial iteration order — tables and CSVs below are byte-identical for
+  // any --jobs value. Watchdog warnings go to stderr and may interleave.
+  const std::size_t total = opt.threads.size() * variants.size();
+  std::vector<Sample> samples(total);
+  std::vector<std::size_t> order(total);
+  std::iota(order.begin(), order.end(), 0);
+  // Launch the largest simulations first: a 64-thread sample dominates the
+  // critical path, so starting it last would serialize the tail.
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return opt.threads[a / variants.size()] > opt.threads[b / variants.size()];
+  });
+  int jobs = opt.jobs > 0 ? opt.jobs : static_cast<int>(std::thread::hardware_concurrency());
+  jobs = std::max(1, std::min(jobs, static_cast<int>(total)));
+  if (jobs == 1) {
+    for (std::size_t i = 0; i < total; ++i) {
+      samples[i] = run_one(variants[i % variants.size()],
+                           opt.threads[i / variants.size()], opt);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int w = 0; w < jobs; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+          if (k >= total) return;
+          const std::size_t i = order[k];
+          try {
+            samples[i] = run_one(variants[i % variants.size()],
+                                 opt.threads[i / variants.size()], opt);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+      });
+    }
+    for (std::thread& th : pool) th.join();
+    if (first_error) std::rethrow_exception(first_error);
   }
 
   auto series_table = [&](const std::string& metric, auto getter) {

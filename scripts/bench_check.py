@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Perf gate: compare a google-benchmark JSON run against the committed baseline.
+
+Usage:
+    scripts/bench_check.py CANDIDATE.json [--baseline BENCH_simcore.json]
+                           [--tolerance 0.25] [--update]
+
+The committed baseline (BENCH_simcore.json at the repo root) records the
+engine microbenchmarks (bench/sim_microbench.cpp) on the reference CI class
+of machine. The gate compares throughput (items_per_second; falls back to
+1/real_time) per benchmark name and fails when any benchmark drifts outside
+the +/- tolerance band:
+
+  * slower than baseline * (1 - tolerance)  -> a perf regression; fix it.
+  * faster than baseline * (1 + tolerance)  -> the baseline is stale; rerun
+    with --update and commit the refreshed BENCH_simcore.json so the gate
+    keeps teeth (docs/ENGINE.md, "Perf-gate workflow").
+
+--update overwrites the baseline with the candidate and exits 0.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir,
+                                "BENCH_simcore.json")
+
+
+def load_throughputs(path):
+    """Returns {benchmark name: items/sec} for every aggregate-free entry."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"]
+        if "items_per_second" in b:
+            out[name] = float(b["items_per_second"])
+        elif float(b.get("real_time", 0)) > 0:
+            # Fall back to inverse wall time; units cancel in the ratio.
+            out[name] = 1.0 / float(b["real_time"])
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("candidate", help="benchmark JSON produced by --benchmark_out")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional drift in either direction (default 0.25)")
+    ap.add_argument("--update", action="store_true",
+                    help="replace the baseline with the candidate and exit 0")
+    args = ap.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.candidate, args.baseline)
+        print(f"baseline updated: {os.path.relpath(args.baseline)}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"error: baseline {args.baseline} not found; create one with --update",
+              file=sys.stderr)
+        return 2
+
+    base = load_throughputs(args.baseline)
+    cand = load_throughputs(args.candidate)
+    if not base or not cand:
+        print("error: no comparable benchmark entries found", file=sys.stderr)
+        return 2
+
+    failures = []
+    print(f"{'benchmark':<44} {'baseline':>12} {'candidate':>12} {'ratio':>7}")
+    for name in sorted(base):
+        if name not in cand:
+            failures.append(f"{name}: missing from candidate run")
+            continue
+        ratio = cand[name] / base[name]
+        verdict = "ok"
+        if ratio < 1.0 - args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(f"{name}: {ratio:.2f}x of baseline "
+                            f"(below {1.0 - args.tolerance:.2f}x)")
+        elif ratio > 1.0 + args.tolerance:
+            verdict = "STALE-BASELINE"
+            failures.append(f"{name}: {ratio:.2f}x of baseline "
+                            f"(above {1.0 + args.tolerance:.2f}x; rerun with --update)")
+        print(f"{name:<44} {base[name]:>12.3e} {cand[name]:>12.3e} {ratio:>6.2f}x  {verdict}")
+    for name in sorted(set(cand) - set(base)):
+        print(f"{name:<44} {'-':>12} {cand[name]:>12.3e}       new (not gated)")
+
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

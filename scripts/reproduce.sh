@@ -4,11 +4,14 @@
 #   scripts/reproduce.sh [build-dir] [out-dir]
 #
 # Runs each bench binary with --full (5x operations) and writes per-bench
-# logs plus the CSV series into the output directory.
+# logs plus the CSV series into the output directory. Sweep samples run on a
+# host thread pool (JOBS=n to override; defaults to every host CPU) — the
+# tables and CSVs are byte-identical to a serial run (docs/ENGINE.md).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-reproduction}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 1)}"
 
 if [[ ! -d "$BUILD_DIR/bench" ]]; then
   echo "error: $BUILD_DIR/bench not found — build first:" >&2
@@ -25,13 +28,21 @@ for bench in "$BUILD_DIR"/bench/*; do
   case "$name" in
     sim_microbench)
       echo "-- $name (engine microbench)"
-      "$bench" --benchmark_min_time=0.1s > "$OUT_DIR/$name.txt" 2>&1 || true
+      "$bench" --benchmark_min_time=0.1 \
+               --benchmark_out="$OUT_DIR/BENCH_simcore.json" \
+               --benchmark_out_format=json > "$OUT_DIR/$name.txt" 2>&1 || true
       ;;
     *)
-      echo "-- $name --full"
-      "$bench" --full --csv_dir "$OUT_DIR/csv" > "$OUT_DIR/$name.txt" 2>&1
+      echo "-- $name --full --jobs $JOBS"
+      "$bench" --full --jobs "$JOBS" --csv_dir "$OUT_DIR/csv" > "$OUT_DIR/$name.txt" 2>&1
       ;;
   esac
 done
+
+# Compare the engine microbench against the committed baseline (informational
+# here; the CI perf-smoke job enforces it).
+if [[ -f "$OUT_DIR/BENCH_simcore.json" ]] && command -v python3 >/dev/null; then
+  python3 "$(dirname "$0")/bench_check.py" "$OUT_DIR/BENCH_simcore.json" || true
+fi
 
 echo "== done. Logs in $OUT_DIR/, CSV series in $OUT_DIR/csv/ =="

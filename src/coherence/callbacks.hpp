@@ -1,0 +1,53 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Fixed-capacity callback tiers for the coherence layer.
+//
+// Coherence continuations nest in a bounded, known chain: a CPU completion
+// (from a Ctx awaitable) is captured by a controller continuation, which is
+// captured by a directory completion, which is captured by a scheduled
+// event. Each tier's InplaceFn capacity covers the largest capture of the
+// tier below plus that tier's own state; InplaceFn's static_assert turns
+// any capture growth into a compile error instead of a silent heap
+// allocation (docs/ENGINE.md).
+//
+// Tier sizes are amply padded — they cost slab/stack bytes, not time.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/inplace_fn.hpp"
+
+namespace lrsim {
+
+/// Tier A — CPU-instruction completions handed to CacheController::cpu_*.
+/// Ctx awaitables capture {awaitable*, coroutine_handle}; the MultiLease
+/// chain captures a boxed continuation plus its cursor.
+inline constexpr std::size_t kCpuCbBytes = 64;
+using DoneFn = InplaceFn<void(), kCpuCbBytes>;
+using ReadDoneFn = InplaceFn<void(std::uint64_t), kCpuCbBytes>;   ///< load/FAA/XCHG
+using CasDoneFn = InplaceFn<void(bool, std::uint64_t), kCpuCbBytes>;
+using BoolDoneFn = InplaceFn<void(bool), kCpuCbBytes>;            ///< release(voluntary)
+
+/// Tier B — controller-internal continuations (with_exclusive's `then`):
+/// carry a Tier-A completion plus the operand words.
+inline constexpr std::size_t kOwnCbBytes = 128;
+using ThenFn = InplaceFn<void(), kOwnCbBytes>;
+
+/// Tier C — directory request completions (Directory::request's on_done)
+/// and coherence-probe service callbacks: carry a Tier-B continuation plus
+/// line/route state.
+inline constexpr std::size_t kDirCbBytes = 176;
+using GrantFn = InplaceFn<void(bool), kDirCbBytes>;      ///< on_done(exclusive)
+using ProbeDoneFn = InplaceFn<void(bool), kDirCbBytes>;  ///< on_serviced(dirty)
+
+/// Tier P — a probe service action parked in the LeaseTable: carries a
+/// Tier-C ProbeDoneFn plus the coherence action state.
+inline constexpr std::size_t kParkedCbBytes = 240;
+using ParkedFn = InplaceFn<void(), kParkedCbBytes>;
+
+/// Tier E — L2-eviction completions: carry a full Directory::Req (itself
+/// holding a Tier-C GrantFn) plus refill state.
+inline constexpr std::size_t kEvictCbBytes = 256;
+using EvictFn = InplaceFn<void(), kEvictCbBytes>;
+
+}  // namespace lrsim

@@ -4,12 +4,13 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "coherence/directory.hpp"
 
 namespace lrsim {
 
-void CacheController::cpu_read(Addr a, std::function<void(std::uint64_t)> done) {
+void CacheController::cpu_read(Addr a, ReadDoneFn done) {
   assert(is_word_aligned(a));
   const LineId l = line_of(a);
   if (tracer_) tracer_->emit(TraceEvent::kCpuLoad, ev_.now(), core_, l, a);
@@ -21,9 +22,10 @@ void CacheController::cpu_read(Addr a, std::function<void(std::uint64_t)> done) 
   }
   ++stats_.l1_misses;
   ++stats_.msgs_gets;
-  ev_.schedule_in(cfg_.l1_latency + topo_.core_to_home(core_, l), [this, a, l, done = std::move(done)] {
+  ev_.schedule_in(cfg_.l1_latency + topo_.core_to_home(core_, l),
+                  [this, a, l, done = std::move(done)]() mutable {
     dir_->request(core_, l, Directory::ReqType::kGetS, /*is_lease_req=*/false,
-                  [this, a, l, done](bool exclusive) {
+                  [this, a, l, done = std::move(done)](bool exclusive) {
                     // MESI sole-reader grant installs clean-Exclusive.
                     install(l, exclusive ? LineState::E : LineState::S);
                     done(mem_.read(a));
@@ -31,7 +33,7 @@ void CacheController::cpu_read(Addr a, std::function<void(std::uint64_t)> done) 
   });
 }
 
-void CacheController::with_exclusive(Addr a, bool is_lease_req, std::function<void()> then) {
+void CacheController::with_exclusive(Addr a, bool is_lease_req, ThenFn then) {
   assert(is_word_aligned(a));
   const LineId l = line_of(a);
   if (is_exclusive(l1_.state(l))) {
@@ -47,15 +49,16 @@ void CacheController::with_exclusive(Addr a, bool is_lease_req, std::function<vo
   ++stats_.l1_misses;
   ++stats_.msgs_getx;
   ev_.schedule_in(cfg_.l1_latency + topo_.core_to_home(core_, l),
-                  [this, l, is_lease_req, then = std::move(then)] {
-    dir_->request(core_, l, Directory::ReqType::kGetX, is_lease_req, [this, l, then](bool) {
+                  [this, l, is_lease_req, then = std::move(then)]() mutable {
+    dir_->request(core_, l, Directory::ReqType::kGetX, is_lease_req,
+                  [this, l, then = std::move(then)](bool) {
       install(l, LineState::M);
       then();
     });
   });
 }
 
-void CacheController::cpu_write(Addr a, std::uint64_t v, std::function<void()> done) {
+void CacheController::cpu_write(Addr a, std::uint64_t v, DoneFn done) {
   if (tracer_) tracer_->emit(TraceEvent::kCpuStore, ev_.now(), core_, line_of(a), a);
   with_exclusive(a, /*is_lease_req=*/false, [this, a, v, done = std::move(done)] {
     mem_.write(a, v);
@@ -64,8 +67,7 @@ void CacheController::cpu_write(Addr a, std::uint64_t v, std::function<void()> d
   });
 }
 
-void CacheController::cpu_cas(Addr a, std::uint64_t expect, std::uint64_t desired,
-                              std::function<void(bool, std::uint64_t)> done) {
+void CacheController::cpu_cas(Addr a, std::uint64_t expect, std::uint64_t desired, CasDoneFn done) {
   if (tracer_) tracer_->emit(TraceEvent::kCpuRmw, ev_.now(), core_, line_of(a), a);
   with_exclusive(a, /*is_lease_req=*/false, [this, a, expect, desired, done = std::move(done)] {
     // The core holds the line in M: the read-compare-write below is atomic
@@ -83,7 +85,7 @@ void CacheController::cpu_cas(Addr a, std::uint64_t expect, std::uint64_t desire
   });
 }
 
-void CacheController::cpu_faa(Addr a, std::uint64_t add, std::function<void(std::uint64_t)> done) {
+void CacheController::cpu_faa(Addr a, std::uint64_t add, ReadDoneFn done) {
   with_exclusive(a, /*is_lease_req=*/false, [this, a, add, done = std::move(done)] {
     const std::uint64_t old = mem_.read(a);
     mem_.write(a, old + add);
@@ -92,7 +94,7 @@ void CacheController::cpu_faa(Addr a, std::uint64_t add, std::function<void(std:
   });
 }
 
-void CacheController::cpu_xchg(Addr a, std::uint64_t v, std::function<void(std::uint64_t)> done) {
+void CacheController::cpu_xchg(Addr a, std::uint64_t v, ReadDoneFn done) {
   with_exclusive(a, /*is_lease_req=*/false, [this, a, v, done = std::move(done)] {
     const std::uint64_t old = mem_.read(a);
     mem_.write(a, v);
@@ -101,7 +103,7 @@ void CacheController::cpu_xchg(Addr a, std::uint64_t v, std::function<void(std::
   });
 }
 
-void CacheController::cpu_lease(Addr a, Cycle duration, std::function<void()> done) {
+void CacheController::cpu_lease(Addr a, Cycle duration, DoneFn done) {
   if (!cfg_.leases_enabled) {
     // Baseline machine: the lease instruction does not exist; model it as
     // free so base runs pay no phantom cost.
@@ -134,8 +136,10 @@ void CacheController::cpu_lease(Addr a, Cycle duration, std::function<void()> do
   }
   ++stats_.l1_misses;
   ++stats_.msgs_getx;
-  ev_.schedule_in(cfg_.l1_latency + topo_.core_to_home(core_, l), [this, l, done = std::move(done)] {
-    dir_->request(core_, l, Directory::ReqType::kGetX, /*is_lease_req=*/true, [this, l, done](bool) {
+  ev_.schedule_in(cfg_.l1_latency + topo_.core_to_home(core_, l),
+                  [this, l, done = std::move(done)]() mutable {
+    dir_->request(core_, l, Directory::ReqType::kGetX, /*is_lease_req=*/true,
+                  [this, l, done = std::move(done)](bool) {
       install(l, LineState::M);
       // The entry may have been FIFO-evicted while the request was in
       // flight (possible only inside a MultiLease chain); on_granted
@@ -147,7 +151,7 @@ void CacheController::cpu_lease(Addr a, Cycle duration, std::function<void()> do
   });
 }
 
-void CacheController::cpu_release(Addr a, std::function<void(bool)> done) {
+void CacheController::cpu_release(Addr a, BoolDoneFn done) {
   if (!cfg_.leases_enabled) {
     ev_.schedule_in(0, [done = std::move(done)] { done(false); });
     return;
@@ -161,7 +165,7 @@ void CacheController::cpu_release(Addr a, std::function<void(bool)> done) {
   });
 }
 
-void CacheController::cpu_release_all(std::function<void()> done) {
+void CacheController::cpu_release_all(DoneFn done) {
   if (!cfg_.leases_enabled) {
     ev_.schedule_in(0, std::move(done));
     return;
@@ -172,8 +176,7 @@ void CacheController::cpu_release_all(std::function<void()> done) {
   });
 }
 
-void CacheController::cpu_multi_lease(std::vector<Addr> addrs, Cycle duration,
-                                      std::function<void()> done) {
+void CacheController::cpu_multi_lease(std::vector<Addr> addrs, Cycle duration, DoneFn done) {
   if (!cfg_.leases_enabled) {
     ev_.schedule_in(0, std::move(done));
     return;
@@ -187,40 +190,45 @@ void CacheController::cpu_multi_lease(std::vector<Addr> addrs, Cycle duration,
   std::sort(lines->begin(), lines->end());
   lines->erase(std::unique(lines->begin(), lines->end()), lines->end());
 
+  // Box the completion: the acquisition chain re-captures it at every step
+  // (see multi_lease_step). MultiLease already allocates for the line list,
+  // so this does not regress the allocation-free hot path.
+  auto boxed = std::make_shared<DoneFn>(std::move(done));
+
   if (cfg_.software_multilease) {
     // Software emulation (Section 4): staggered independent single leases;
     // joint holding is *probable*, not guaranteed.
-    ev_.schedule_in(cfg_.l1_latency, [this, lines, duration, done = std::move(done)] {
+    ev_.schedule_in(cfg_.l1_latency, [this, lines, duration, boxed] {
       leases_.release_all();
-      sw_multi_lease_step(lines, 0, duration, done);
+      sw_multi_lease_step(lines, 0, duration, boxed);
     });
     return;
   }
 
-  ev_.schedule_in(cfg_.l1_latency, [this, lines, duration, done = std::move(done)] {
+  ev_.schedule_in(cfg_.l1_latency, [this, lines, duration, boxed] {
     // Algorithm 2: release all currently held leases first; a group that
     // would exceed MAX_NUM_LEASES is ignored.
     leases_.release_all();
     if (static_cast<int>(lines->size()) + leases_.size() > cfg_.max_num_leases) {
-      done();
+      (*boxed)();
       return;
     }
-    multi_lease_step(lines, 0, duration, done);
+    multi_lease_step(lines, 0, duration, boxed);
   });
 }
 
 void CacheController::multi_lease_step(std::shared_ptr<std::vector<LineId>> lines, std::size_t i,
-                                       Cycle duration, std::function<void()> done) {
+                                       Cycle duration, std::shared_ptr<DoneFn> done) {
   if (i == lines->size()) {
     // Whole group granted: allocate and start all counters jointly
     // (Section 5, "MultiLeases require the counters ... to be correlated").
     leases_.start_group();
-    done();
+    (*done)();
     return;
   }
   const LineId l = (*lines)[i];
   leases_.add(l, duration, /*in_group=*/true);
-  auto next = [this, lines, i, duration, done = std::move(done)] {
+  auto next = [this, lines, i, duration, done] {
     multi_lease_step(lines, i + 1, duration, done);
   };
   if (is_exclusive(l1_.state(l))) {
@@ -242,9 +250,9 @@ void CacheController::multi_lease_step(std::shared_ptr<std::vector<LineId>> line
 }
 
 void CacheController::sw_multi_lease_step(std::shared_ptr<std::vector<LineId>> lines, std::size_t i,
-                                          Cycle duration, std::function<void()> done) {
+                                          Cycle duration, std::shared_ptr<DoneFn> done) {
   if (i == lines->size()) {
-    done();
+    (*done)();
     return;
   }
   // The j-th lease in acquisition order runs for (time + jX) counted from
@@ -254,8 +262,7 @@ void CacheController::sw_multi_lease_step(std::shared_ptr<std::vector<LineId>> l
       static_cast<Cycle>(lines->size() - 1 - i) * cfg_.effective_sw_stagger();
   // Software emulation pays real instructions per address (group-id
   // bookkeeping, timeout arithmetic) that the hardware instruction does not.
-  ev_.schedule_in(cfg_.sw_multilease_overhead, [this, lines, i, duration, extra,
-                                                done = std::move(done)] {
+  ev_.schedule_in(cfg_.sw_multilease_overhead, [this, lines, i, duration, extra, done] {
     cpu_lease(line_base((*lines)[i]), duration + extra,
               [this, lines, i, duration, done] {
                 sw_multi_lease_step(lines, i + 1, duration, done);
@@ -264,7 +271,7 @@ void CacheController::sw_multi_lease_step(std::shared_ptr<std::vector<LineId>> l
 }
 
 void CacheController::probe(LineId line, ProbeType type, bool requestor_is_lease,
-                            std::function<void(bool)> on_serviced) {
+                            ProbeDoneFn on_serviced) {
   if (tracer_) {
     tracer_->emit(TraceEvent::kProbe, ev_.now(), core_, line,
                   type == ProbeType::kInvalidate ? 1 : 0);
@@ -278,13 +285,14 @@ void CacheController::probe(LineId line, ProbeType type, bool requestor_is_lease
       if (tracer_) tracer_->emit(TraceEvent::kProbeNack, ev_.now(), core_, line);
       stats_.msgs_nack += 2;  // NACK to the directory + the retry probe
       ev_.schedule_in(cfg_.nack_retry_delay,
-                      [this, line, type, requestor_is_lease, on_serviced = std::move(on_serviced)] {
-                        probe(line, type, requestor_is_lease, on_serviced);
+                      [this, line, type, requestor_is_lease,
+                       on_serviced = std::move(on_serviced)]() mutable {
+                        probe(line, type, requestor_is_lease, std::move(on_serviced));
                       });
       return;
     }
   }
-  auto do_service = [this, line, type, on_serviced = std::move(on_serviced)] {
+  ParkedFn do_service = [this, line, type, on_serviced = std::move(on_serviced)]() mutable {
     // Apply the coherence action *atomically with the service decision*.
     // If it were deferred (even by one cycle), a Lease instruction executing
     // in the window would see a stale M state, grant via the hit path, and
@@ -302,9 +310,10 @@ void CacheController::probe(LineId line, ProbeType type, bool requestor_is_lease
       l1_.downgrade(line, /*to_owned=*/type == ProbeType::kDowngradeToOwned);
     }
     if (inv_) inv_->on_line_event(line);
-    ev_.schedule_in(1, [on_serviced, dirty] { on_serviced(dirty); });
+    ev_.schedule_in(1, [on_serviced = std::move(on_serviced), dirty] { on_serviced(dirty); });
   };
-  if (cfg_.leases_enabled && leases_.maybe_park_probe(line, requestor_is_lease, do_service)) {
+  if (cfg_.leases_enabled &&
+      leases_.maybe_park_probe(line, requestor_is_lease, std::move(do_service))) {
     if (tracer_) tracer_->emit(TraceEvent::kProbePark, ev_.now(), core_, line);
     if (inv_) inv_->on_line_event(line);
     return;  // parked; runs at (voluntary or involuntary) release
@@ -312,7 +321,7 @@ void CacheController::probe(LineId line, ProbeType type, bool requestor_is_lease
   do_service();
 }
 
-void CacheController::back_invalidate(LineId line, std::function<void(bool)> on_serviced) {
+void CacheController::back_invalidate(LineId line, ProbeDoneFn on_serviced) {
   leases_.force_release(line);  // never park an inclusion victim's probe
   const bool dirty = is_dirty(l1_.state(line));
   l1_.invalidate(line);

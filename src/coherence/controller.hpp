@@ -17,6 +17,9 @@
 #include <functional>
 #include <vector>
 
+#include <memory>
+
+#include "coherence/callbacks.hpp"
 #include "coherence/config.hpp"
 #include "coherence/l1_cache.hpp"
 #include "coherence/topology.hpp"
@@ -77,29 +80,30 @@ class CacheController {
   // --- CPU-side operations (one outstanding op per in-order core) ---------
   //
   // Each completion callback runs as an event at the cycle the instruction
-  // retires; read the time from the event queue if needed.
+  // retires; read the time from the event queue if needed. Completions are
+  // fixed-capacity inline callables (coherence/callbacks.hpp), so the hot
+  // path never heap-allocates.
 
-  void cpu_read(Addr a, std::function<void(std::uint64_t)> done);
-  void cpu_write(Addr a, std::uint64_t v, std::function<void()> done);
+  void cpu_read(Addr a, ReadDoneFn done);
+  void cpu_write(Addr a, std::uint64_t v, DoneFn done);
 
   /// Compare-and-swap; completes with (success, old_value).
-  void cpu_cas(Addr a, std::uint64_t expect, std::uint64_t desired,
-               std::function<void(bool, std::uint64_t)> done);
+  void cpu_cas(Addr a, std::uint64_t expect, std::uint64_t desired, CasDoneFn done);
 
   /// Fetch-and-add; completes with the old value.
-  void cpu_faa(Addr a, std::uint64_t add, std::function<void(std::uint64_t)> done);
+  void cpu_faa(Addr a, std::uint64_t add, ReadDoneFn done);
 
   /// Atomic exchange; completes with the old value.
-  void cpu_xchg(Addr a, std::uint64_t v, std::function<void(std::uint64_t)> done);
+  void cpu_xchg(Addr a, std::uint64_t v, ReadDoneFn done);
 
   /// Lease instruction (Section 3). Blocks (in-order core) until the line is
   /// owned exclusively and the countdown has started. No-op when leases are
   /// disabled or the line is already leased.
-  void cpu_lease(Addr a, Cycle duration, std::function<void()> done);
+  void cpu_lease(Addr a, Cycle duration, DoneFn done);
 
   /// Release instruction. Completes with true iff the release was voluntary
   /// (the lease was still active) — the Section 5 cheap-snapshot signal.
-  void cpu_release(Addr a, std::function<void(bool)> done);
+  void cpu_release(Addr a, BoolDoneFn done);
 
   /// MultiLease (Section 4, Algorithm 2): releases all current leases, then
   /// jointly leases `addrs`. Acquisition happens in globally sorted line
@@ -107,10 +111,10 @@ class CacheController {
   /// exceed MAX_NUM_LEASES is ignored. In software-multilease mode this
   /// instead issues staggered single leases (Section 4, "Software
   /// Implementation").
-  void cpu_multi_lease(std::vector<Addr> addrs, Cycle duration, std::function<void()> done);
+  void cpu_multi_lease(std::vector<Addr> addrs, Cycle duration, DoneFn done);
 
   /// ReleaseAll (Algorithm 2).
-  void cpu_release_all(std::function<void()> done);
+  void cpu_release_all(DoneFn done);
 
   // --- directory-side interface -------------------------------------------
 
@@ -120,14 +124,13 @@ class CacheController {
   /// invalidated/downgraded; `dirty` reports whether the local copy was in
   /// M (so the directory charges a writeback only when real — an E owner
   /// may still be clean). The directory then forwards data to the requester.
-  void probe(LineId line, ProbeType type, bool requestor_is_lease,
-             std::function<void(bool dirty)> on_serviced);
+  void probe(LineId line, ProbeType type, bool requestor_is_lease, ProbeDoneFn on_serviced);
 
   /// Inclusion back-invalidation (finite L2 evicting `line`). Unlike a
   /// regular probe this never parks: any lease on the line is force-
   /// released first (capacity management overrides leases; early release is
   /// always safe). `on_serviced(dirty)` fires after the 1-cycle action.
-  void back_invalidate(LineId line, std::function<void(bool dirty)> on_serviced);
+  void back_invalidate(LineId line, ProbeDoneFn on_serviced);
 
   // --- introspection (tests / harness) -------------------------------------
   LineState line_state(LineId l) const { return l1_.state(l); }
@@ -148,19 +151,21 @@ class CacheController {
 
   /// Common exclusive-ownership path for write-type ops: obtains M state for
   /// `line`, then runs `then` (at the cycle M is held).
-  void with_exclusive(Addr a, bool is_lease_req, std::function<void()> then);
+  void with_exclusive(Addr a, bool is_lease_req, ThenFn then);
 
   std::function<bool(LineId)> pinned_fn() {
     return [this](LineId l) { return leases_.pins(l); };
   }
 
   /// Continues a MultiLease acquisition chain at index `i` of the sorted
-  /// line list.
+  /// line list. The CPU-level completion rides in a shared box: the chain
+  /// re-captures it at every step, and a same-tier InplaceFn cannot nest
+  /// inside itself (MultiLease is rare, so the one allocation is cheap).
   void multi_lease_step(std::shared_ptr<std::vector<LineId>> lines, std::size_t i, Cycle duration,
-                        std::function<void()> done);
+                        std::shared_ptr<DoneFn> done);
 
   void sw_multi_lease_step(std::shared_ptr<std::vector<LineId>> lines, std::size_t i, Cycle duration,
-                           std::function<void()> done);
+                           std::shared_ptr<DoneFn> done);
 
   CoreId core_;
   EventQueue& ev_;

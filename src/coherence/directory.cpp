@@ -12,7 +12,7 @@
 namespace lrsim {
 
 void Directory::request(CoreId requester, LineId line, ReqType type, bool is_lease_req,
-                        std::function<void(bool)> on_done) {
+                        GrantFn on_done) {
   Entry& e = dir_[line];
   e.queue.push_back(Req{requester, type, is_lease_req, std::move(on_done)});
   peak_queue_depth_ = std::max(peak_queue_depth_, e.queue.size());
@@ -213,18 +213,22 @@ void Directory::service(LineId line, Req req) {
   finish();
 }
 
-void Directory::evict_l2_victim(LineId victim, std::function<void()> done) {
+void Directory::evict_l2_victim(LineId victim, EvictFn done) {
   ++stats_.l2_evictions;
-  if (inv_) {
-    // The victim's directory entry is cleared below while L1 copies are
-    // still being chased down; suspend cross-checks for it until done.
-    inv_->on_l2_evict_begin(victim);
-    done = [this, victim, done = std::move(done)] {
+  // The victim's directory entry is cleared below while L1 copies are still
+  // being chased down; suspend cross-checks for it until done. The boxed
+  // continuation is shared across every back-invalidation leg, which keeps
+  // the per-leg closures small (L2 evictions are off the hot path, so the
+  // one allocation is fine).
+  if (inv_) inv_->on_l2_evict_begin(victim);
+  auto done_shared = std::make_shared<EvictFn>(std::move(done));
+  auto finish = [this, victim, done_shared] {
+    if (inv_) {
       inv_->on_l2_evict_end(victim);
       inv_->on_line_event(victim);
-      done();
-    };
-  }
+    }
+    (*done_shared)();
+  };
   Entry& v = dir_[victim];
   std::vector<CoreId> holders;
   if (owner_holds_line(v) && v.owner >= 0) holders.push_back(v.owner);
@@ -236,20 +240,19 @@ void Directory::evict_l2_victim(LineId victim, std::function<void()> done) {
   v.sharers.clear();
   v.touched = false;  // next access pays DRAM again
   if (holders.empty()) {
-    done();
+    finish();
     return;
   }
   auto remaining = std::make_shared<int>(static_cast<int>(holders.size()));
-  auto done_shared = std::make_shared<std::function<void()>>(std::move(done));
   for (CoreId c : holders) {
     ++stats_.msgs_inv;
-    ev_.schedule_in(topo_.home_to_core(victim, c), [this, victim, c, remaining, done_shared] {
+    ev_.schedule_in(topo_.home_to_core(victim, c), [this, victim, c, remaining, finish] {
       cores_[static_cast<std::size_t>(c)]->back_invalidate(
-          victim, [this, victim, c, remaining, done_shared](bool dirty) {
+          victim, [this, victim, c, remaining, finish](bool dirty) {
             ++stats_.msgs_ack;
             if (dirty) ++stats_.msgs_wb;
-            ev_.schedule_in(topo_.core_to_home(c, victim), [remaining, done_shared] {
-              if (--*remaining == 0) (*done_shared)();
+            ev_.schedule_in(topo_.core_to_home(c, victim), [remaining, finish] {
+              if (--*remaining == 0) finish();
             });
           });
     });

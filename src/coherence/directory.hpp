@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "coherence/callbacks.hpp"
 #include "coherence/config.hpp"
 #include "coherence/topology.hpp"
 #include "mem/memory.hpp"
@@ -83,7 +84,7 @@ class Directory {
   /// it is carried in the probe so the owning core can apply the Section 5
   /// prioritization policy.
   void request(CoreId requester, LineId line, ReqType type, bool is_lease_req,
-               std::function<void(bool exclusive)> on_done);
+               GrantFn on_done);
 
   /// Synchronous bookkeeping for an L1 eviction. Dirty lines send a
   /// writeback message; clean-exclusive victims just clear the owner;
@@ -116,7 +117,7 @@ class Directory {
     CoreId requester;
     ReqType type;
     bool is_lease_req;
-    std::function<void(bool)> on_done;
+    GrantFn on_done;  ///< Move-only: Reqs move through the per-line queue.
   };
 
   struct Entry {
@@ -193,7 +194,7 @@ class Directory {
   /// Back-invalidates every L1 copy of an evicted L2 victim, then runs
   /// `done` (inclusion maintenance; leases on the victim are force-released
   /// by the controllers).
-  void evict_l2_victim(LineId victim, std::function<void()> done);
+  void evict_l2_victim(LineId victim, EvictFn done);
 
   static bool owner_holds_line(const Entry& e);
   void begin_service(LineId line);

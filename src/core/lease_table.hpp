@@ -32,11 +32,12 @@
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "coherence/callbacks.hpp"
 #include "coherence/config.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/invariants.hpp"
@@ -148,11 +149,13 @@ class LeaseTable {
   }
 
   /// Called by the L1 controller when a coherence probe arrives for `line`.
-  /// If the line is leased (or mid-group-acquisition), parks `service` and
-  /// returns true; the probe runs at release/expiry. Returns false if the
-  /// probe should be serviced immediately — including the priority-mode
-  /// case where a regular request breaks the lease.
-  bool maybe_park_probe(LineId line, bool requestor_is_lease, std::function<void()> service) {
+  /// If the line is leased (or mid-group-acquisition), moves `service` into
+  /// the entry and returns true; the probe runs at release/expiry. Returns
+  /// false — `service` is consumed ONLY on true, so on false the caller's
+  /// fixed-capacity ParkedFn is still intact and can be run immediately
+  /// (the common no-park path stays allocation-free). This covers the
+  /// priority-mode case where a regular request breaks the lease.
+  bool maybe_park_probe(LineId line, bool requestor_is_lease, ParkedFn&& service) {
     Entry* e = find(line);
     if (e == nullptr || !e->granted) return false;
     if (cfg_.lease_priority_mode && !requestor_is_lease) {
@@ -263,7 +266,7 @@ class LeaseTable {
     bool started = false;  ///< Countdown running.
     Cycle deadline = 0;    ///< now + duration at countdown start (started only).
     EventHandle timer;
-    std::function<void()> parked_probe;
+    ParkedFn parked_probe;
     Cycle parked_at = 0;
   };
 
@@ -337,8 +340,7 @@ class LeaseTable {
   void service_parked(Entry& e) {
     if (!e.parked_probe) return;
     stats_.probe_queued_cycles += ev_.now() - e.parked_at;
-    auto probe = std::move(e.parked_probe);
-    e.parked_probe = nullptr;
+    ParkedFn probe = std::move(e.parked_probe);  // move empties the entry
     probe();
   }
 

@@ -8,52 +8,114 @@
 // scheduling order (a monotone sequence number breaks ties), which makes
 // every run bit-deterministic.
 //
+// The kernel is allocation-free on the hot path (docs/ENGINE.md):
+//
+//  * callbacks are stored inline in a fixed-capacity InplaceFn instead of a
+//    heap-allocating std::function;
+//  * event records live in a pooled chunked slab addressed by {index,
+//    generation} handles — cancellation bumps the generation (no shared_ptr,
+//    no atomic refcounts) and EventHandle stays trivially copyable. Chunks
+//    have stable addresses (growth never moves a live callback) and retire
+//    to a per-host-thread cache on queue destruction, so back-to-back
+//    simulations (one Machine per bench sample) reuse warm pages instead of
+//    bouncing them off the kernel through malloc trim;
+//  * a calendar ring of kCalendarSlots one-cycle buckets serves the common
+//    case (fixed L1/L2/network latencies, a few cycles out) in O(1); only
+//    far-future events (lease timers, DRAM) take the O(log n) binary heap.
+//
+// Firing order is exactly (when, tiebreak, seq) regardless of which
+// structure held the event, so the rewrite is bit-identical to the old
+// single-heap kernel (locked in by model_golden_test and determinism_test).
+//
 // Schedule-perturbation mode (enable_perturbation) replaces the same-cycle
 // FIFO tie-break with a seeded random priority: different seeds explore
 // different legal interleavings of simultaneous events while each seed
 // remains bit-deterministic. Time order is never violated, and the
 // directory's per-line request FIFO is unaffected (it is a queue data
-// structure, not an event ordering — see docs/PROTOCOL.md §7).
+// structure, not an event ordering — see docs/PROTOCOL.md §7). Perturbed
+// events always take the heap path: a random tie-break defeats the
+// calendar's append-in-seq-order invariant, and perturbation runs are
+// testing runs where host speed is irrelevant.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/inplace_fn.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace lrsim {
 
+class EventQueue;
+
 /// Handle to a scheduled event; allows cancellation (used by lease timers,
-/// which are "cancelled" on voluntary release).
+/// which are "cancelled" on voluntary release). Trivially copyable: it is a
+/// {queue, slot index, generation} triple, valid while the EventQueue lives.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// Cancels the event if it has not fired yet. Idempotent.
-  void cancel() {
-    if (auto p = state_.lock()) *p = true;
-  }
+  inline void cancel();
 
   /// True if this handle refers to an event that is still pending.
-  bool pending() const {
-    auto p = state_.lock();
-    return p != nullptr && !*p;
-  }
+  inline bool pending() const;
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::weak_ptr<bool> s) : state_(std::move(s)) {}
-  std::weak_ptr<bool> state_;  // *state == true  =>  cancelled
+  EventHandle(EventQueue* q, std::uint32_t idx, std::uint64_t gen)
+      : q_(q), idx_(idx), gen_(gen) {}
+
+  EventQueue* q_ = nullptr;
+  std::uint32_t idx_ = 0;
+  std::uint64_t gen_ = 0;
 };
 
-/// A binary-heap event queue with cancellation and deterministic tie-break.
+/// A calendar-ring + binary-heap event queue with pooled event records,
+/// inline callbacks, O(1) cancellation, and deterministic tie-break.
 class EventQueue {
  public:
+  /// Inline capacity for event callbacks. Sized for the deepest coherence
+  /// continuation chain (a Directory::Req completion carrying a controller
+  /// continuation which carries a CPU completion — see
+  /// coherence/callbacks.hpp); InplaceFn rejects larger captures at compile
+  /// time.
+  static constexpr std::size_t kEventFnBytes = 256;
+  using EventFn = InplaceFn<void(), kEventFnBytes>;
+
+  /// Near-future horizon, in cycles. Events scheduled closer than this go to
+  /// the O(1) calendar ring; the rest (lease expiries at 2K-20K cycles,
+  /// DRAM-latency completions on some configs) take the binary heap.
+  /// Must be a power of two.
+  static constexpr Cycle kCalendarSlots = 256;
+
+  EventQueue() : cal_(static_cast<std::size_t>(kCalendarSlots)) {}
+
+  ~EventQueue() {
+    // Retire slab chunks to the per-thread cache (bounded) so the next
+    // EventQueue on this host thread starts with warm pages. Recs handed to
+    // the cache are scrubbed: callback destroyed, disarmed; their generation
+    // counters carry over, which is harmless (a slot only has to match the
+    // handles *this* queue issued for it).
+    auto& cache = chunk_cache();
+    for (auto& chunk : chunks_) {
+      if (cache.size() >= kChunkCacheMax) break;
+      for (std::size_t i = 0; i < kChunkRecs; ++i) {
+        chunk[i].fn = nullptr;
+        chunk[i].armed = false;
+        chunk[i].in_calendar = false;
+      }
+      cache.push_back(std::move(chunk));
+    }
+  }
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
   /// Current simulated time. Only advances inside run_* calls.
   Cycle now() const noexcept { return now_; }
 
@@ -67,90 +129,303 @@ class EventQueue {
   }
   bool perturbed() const noexcept { return perturb_; }
 
-  /// Schedules `fn` to run at absolute cycle `when` (>= now()).
-  EventHandle schedule_at(Cycle when, std::function<void()> fn) {
+  /// Schedules `fn` to run at absolute cycle `when` (>= now()). Accepts any
+  /// callable (including move-only) that fits kEventFnBytes; storage comes
+  /// from the pooled slab — no allocation once the pool is warm.
+  template <typename F>
+  EventHandle schedule_at(Cycle when, F&& fn) {
     assert(when >= now_ && "cannot schedule an event in the past");
-    auto cancelled = std::make_shared<bool>(false);
-    heap_.push(Event{when, seq_++, perturb_ ? prng_.next() : 0, std::move(fn), cancelled});
+    const std::uint32_t idx = alloc_slot();
+    Rec& r = rec(idx);
+    r.fn = std::forward<F>(fn);
+    r.armed = true;
+    const std::uint64_t tiebreak = perturb_ ? prng_.next() : 0;
+    const Node n{when, tiebreak, seq_++, r.gen, idx};
+    if (tiebreak == 0 && when - now_ < kCalendarSlots) {
+      r.in_calendar = true;
+      Bucket& b = cal_[static_cast<std::size_t>(when & (kCalendarSlots - 1))];
+      if (b.head == b.items.size()) {  // fully drained: recycle the storage
+        b.items.clear();
+        b.head = 0;
+      }
+      b.items.push_back(n);
+      ++cal_live_;
+      if (when < cal_scan_) cal_scan_ = when;
+    } else {
+      r.in_calendar = false;
+      heap_.push_back(n);
+      std::push_heap(heap_.begin(), heap_.end(), Later{});
+    }
     ++scheduled_;
-    return EventHandle{cancelled};
+    ++live_;
+    return EventHandle{this, idx, r.gen};
   }
 
   /// Schedules `fn` to run `delay` cycles from now.
-  EventHandle schedule_in(Cycle delay, std::function<void()> fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+  template <typename F>
+  EventHandle schedule_in(Cycle delay, F&& fn) {
+    return schedule_at(now_ + delay, std::forward<F>(fn));
   }
 
   /// Runs events until the queue drains or `limit` cycles elapse.
-  /// Returns the number of events fired.
+  /// Returns the number of events fired. A bounded-horizon run (finite
+  /// `limit`) always leaves now() == min(limit, next-pending-event time).
   std::uint64_t run(Cycle limit = UINT64_MAX) {
-    std::uint64_t fired = 0;
-    while (!heap_.empty()) {
-      // const_cast is safe: we pop immediately and never reorder a live heap
-      // node; std::priority_queue just lacks a non-const top().
-      Event ev = std::move(const_cast<Event&>(heap_.top()));
-      heap_.pop();
-      if (*ev.cancelled) continue;
-      if (ev.when > limit) {
-        // Too far in the future: put it back and stop. (Rare path — only
-        // bounded-horizon runs hit it.)
-        heap_.push(std::move(ev));
-        now_ = limit;
-        break;
-      }
-      assert(ev.when >= now_);
-      now_ = ev.when;
-      ++fired;
-      ev.fn();
-    }
-    return fired;
+    return run_impl([] { return true; }, limit);
   }
 
   /// Runs while `pred()` holds and events remain. Used by Machine::run_until.
+  /// The bounded-horizon now() guarantee of run() applies to the drain and
+  /// horizon stops; a pred() stop leaves now() at the last fired event.
   template <typename Pred>
   std::uint64_t run_while(Pred&& pred, Cycle limit = UINT64_MAX) {
-    std::uint64_t fired = 0;
-    while (pred() && !heap_.empty()) {
-      Event ev = std::move(const_cast<Event&>(heap_.top()));
-      heap_.pop();
-      if (*ev.cancelled) continue;
-      if (ev.when > limit) {
-        heap_.push(std::move(ev));
-        now_ = limit;
-        break;
-      }
-      now_ = ev.when;
-      ++fired;
-      ev.fn();
-    }
-    return fired;
+    return run_impl(pred, limit);
   }
 
-  bool empty() const noexcept { return heap_.empty(); }
+  /// True when no *live* (pending, non-cancelled) events remain.
+  bool empty() const noexcept { return live_ == 0; }
   std::uint64_t total_scheduled() const noexcept { return scheduled_; }
 
+  /// Slab occupancy (live + free pooled records) — introspection for tests.
+  std::size_t pool_size() const noexcept { return slab_size_; }
+
  private:
-  struct Event {
+  friend class EventHandle;
+
+  /// A pooled event record. `gen` is bumped every time the slot is disarmed
+  /// (fire or cancel), which atomically invalidates every outstanding
+  /// EventHandle and every queue node still pointing at the slot.
+  ///
+  /// Layout is deliberate: the liveness fields come first, the InplaceFn puts
+  /// its thunk pointers before its storage, and the record is padded to a
+  /// cache-line multiple — so the fire path's liveness check, invoke and
+  /// small-capture read all land in the record's first line even though the
+  /// firing order walks the slab in (random) schedule order.
+  struct alignas(64) Rec {
+    std::uint64_t gen = 0;
+    bool armed = false;
+    bool in_calendar = false;
+    EventFn fn;
+  };
+
+  /// A queue node: the ordering key plus the slab reference. Nodes are
+  /// plain values; a node is stale (skipped lazily) once its generation no
+  /// longer matches the slab record's.
+  struct Node {
     Cycle when;
-    std::uint64_t seq;
     std::uint64_t tiebreak;  ///< 0 normally; random in perturbation mode.
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint64_t seq;
+    std::uint64_t gen;
+    std::uint32_t idx;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
+    bool operator()(const Node& a, const Node& b) const noexcept {
       if (a.when != b.when) return a.when > b.when;
       if (a.tiebreak != b.tiebreak) return a.tiebreak > b.tiebreak;
       return a.seq > b.seq;  // FIFO among same-cycle events
     }
   };
+  struct Bucket {
+    std::vector<Node> items;  ///< Appended in seq order; `when` is monotone.
+    std::size_t head = 0;     ///< First unconsumed item.
+  };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  static bool earlier(const Node& a, const Node& b) noexcept {
+    return !Later{}(a, b);  // a fires no later than b (keys never tie exactly)
+  }
+
+  /// The slab is a list of fixed-size chunks: slot addresses are stable for
+  /// the queue's lifetime (growing never moves a live callback, and a
+  /// callback can schedule events while it runs without invalidating
+  /// itself), and whole chunks can retire to the per-thread cache.
+  static constexpr std::size_t kChunkShift = 8;
+  static constexpr std::size_t kChunkRecs = std::size_t{1} << kChunkShift;
+  static constexpr std::size_t kChunkCacheMax = 64;  // ~5 MB/thread ceiling
+
+  static std::vector<std::unique_ptr<Rec[]>>& chunk_cache() {
+    thread_local std::vector<std::unique_ptr<Rec[]>> cache;
+    return cache;
+  }
+
+  Rec& rec(std::uint32_t idx) {
+    return chunks_[idx >> kChunkShift][idx & (kChunkRecs - 1)];
+  }
+  const Rec& rec(std::uint32_t idx) const {
+    return chunks_[idx >> kChunkShift][idx & (kChunkRecs - 1)];
+  }
+
+  std::uint32_t alloc_slot() {
+    if (!free_.empty()) {
+      const std::uint32_t idx = free_.back();
+      free_.pop_back();
+      return idx;
+    }
+    if (slab_size_ == chunks_.size() * kChunkRecs) {
+      auto& cache = chunk_cache();
+      if (!cache.empty()) {
+        chunks_.push_back(std::move(cache.back()));
+        cache.pop_back();
+      } else {
+        chunks_.push_back(std::make_unique<Rec[]>(kChunkRecs));
+      }
+    }
+    return static_cast<std::uint32_t>(slab_size_++);
+  }
+
+  void disarm(Rec& r, std::uint32_t idx) {
+    r.armed = false;
+    ++r.gen;
+    free_.push_back(idx);
+  }
+
+  void cancel_slot(std::uint32_t idx, std::uint64_t gen) {
+    if (idx >= slab_size_) return;
+    Rec& r = rec(idx);
+    if (!r.armed || r.gen != gen) return;  // fired, cancelled, or slot reused
+    r.fn = nullptr;
+    if (r.in_calendar) --cal_live_;
+    disarm(r, idx);
+    --live_;
+    // The queue node (calendar or heap) goes stale and is dropped lazily.
+  }
+
+  bool slot_pending(std::uint32_t idx, std::uint64_t gen) const {
+    return idx < slab_size_ && rec(idx).armed && rec(idx).gen == gen;
+  }
+
+  bool node_live(const Node& n) const {
+    const Rec& r = rec(n.idx);
+    return r.armed && r.gen == n.gen;
+  }
+
+  /// Finds the earliest live calendar node, lazily dropping stale entries.
+  /// Live calendar nodes always lie in [now_, now_ + kCalendarSlots): they
+  /// were scheduled with when - insert_now < kCalendarSlots, time only moves
+  /// forward, and the global pop order never leaves a live node behind now_.
+  bool cal_peek(Node& out) {
+    if (cal_live_ == 0) return false;
+    if (cal_scan_ < now_) cal_scan_ = now_;
+    for (Cycle t = cal_scan_;; ++t) {
+      assert(t - now_ < kCalendarSlots && "live calendar node outside horizon");
+      Bucket& b = cal_[static_cast<std::size_t>(t & (kCalendarSlots - 1))];
+      while (b.head < b.items.size()) {
+        const Node& n = b.items[b.head];
+        if (n.when < t) {  // cancelled leftover from an earlier lap
+          ++b.head;
+          continue;
+        }
+        if (n.when > t) break;  // next lap's entries; nothing lives at t
+        if (!node_live(n)) {
+          ++b.head;
+          continue;
+        }
+        cal_scan_ = t;
+        out = n;
+        return true;
+      }
+      cal_scan_ = t + 1;
+    }
+  }
+
+  /// Heap peek with lazy removal of stale (cancelled) tops.
+  bool heap_peek(Node& out) {
+    while (!heap_.empty()) {
+      const Node& top = heap_.front();
+      if (node_live(top)) {
+        out = top;
+        return true;
+      }
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+    }
+    return false;
+  }
+
+  enum class Src : std::uint8_t { kNone, kCalendar, kHeap };
+
+  Src peek(Node& out) {
+    Node c, h;
+    const bool hc = cal_peek(c);
+    const bool hh = heap_peek(h);
+    if (!hc && !hh) return Src::kNone;
+    if (hc && (!hh || earlier(c, h))) {
+      out = c;
+      return Src::kCalendar;
+    }
+    out = h;
+    return Src::kHeap;
+  }
+
+  void pop(Src src, const Node& n) {
+    if (src == Src::kCalendar) {
+      Bucket& b = cal_[static_cast<std::size_t>(n.when & (kCalendarSlots - 1))];
+      assert(b.head < b.items.size() && b.items[b.head].idx == n.idx);
+      ++b.head;
+      --cal_live_;
+    } else {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+    }
+  }
+
+  template <typename Pred>
+  std::uint64_t run_impl(Pred&& pred, Cycle limit) {
+    std::uint64_t fired = 0;
+    while (pred()) {
+      Node n;
+      const Src src = peek(n);
+      if (src == Src::kNone) {
+        // Drained. A bounded-horizon run still owes the caller the full
+        // horizon: leave now() at the limit (UINT64_MAX means "unbounded",
+        // where now() stays at the last fired event).
+        if (limit != UINT64_MAX && now_ < limit) now_ = limit;
+        break;
+      }
+      if (n.when > limit) {
+        // Too far in the future: leave it queued and stop at the horizon.
+        if (now_ < limit) now_ = limit;
+        break;
+      }
+      pop(src, n);
+      Rec& r = rec(n.idx);
+      // Invalidate handles/nodes before invoking, but keep the slot off the
+      // free list until the callback returns: chunk addresses are stable, so
+      // the callback runs in place (no 272-byte move per fire) and any events
+      // it schedules cannot reuse — and overwrite — the slot under it.
+      r.armed = false;
+      ++r.gen;
+      --live_;
+      assert(n.when >= now_);
+      now_ = n.when;
+      ++fired;
+      r.fn();  // must not throw: the slot is reclaimed on the next two lines
+      r.fn = nullptr;
+      free_.push_back(n.idx);
+    }
+    return fired;
+  }
+
+  std::vector<std::unique_ptr<Rec[]>> chunks_;  ///< Pooled event records.
+  std::size_t slab_size_ = 0;        ///< Slots handed out so far (<= capacity).
+  std::vector<std::uint32_t> free_;  ///< Recyclable slab indices.
+  std::vector<Node> heap_;           ///< Far-future events (min-heap via Later).
+  std::vector<Bucket> cal_;          ///< Near-future calendar ring.
+  std::size_t cal_live_ = 0;         ///< Live (non-cancelled) calendar nodes.
+  Cycle cal_scan_ = 0;               ///< No live calendar node precedes this cycle.
   Cycle now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t scheduled_ = 0;
+  std::uint64_t live_ = 0;
   bool perturb_ = false;
   Rng prng_;
 };
+
+inline void EventHandle::cancel() {
+  if (q_ != nullptr) q_->cancel_slot(idx_, gen_);
+}
+
+inline bool EventHandle::pending() const {
+  return q_ != nullptr && q_->slot_pending(idx_, gen_);
+}
 
 }  // namespace lrsim

@@ -1,0 +1,136 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// InplaceFn: a fixed-capacity, non-allocating std::function replacement.
+//
+// The event kernel fires hundreds of millions of callbacks per figure-bench
+// run. A std::function whose captures exceed the small-buffer optimisation
+// heap-allocates on construction and again on every copy; profiling showed
+// those allocations dominating host time (see docs/ENGINE.md). InplaceFn
+// stores the callable inline in `Bytes` of aligned storage and refuses — at
+// compile time — any callable that does not fit, so capture growth in the
+// coherence layer is caught by the build instead of silently re-introducing
+// allocations.
+//
+// Differences from std::function, all deliberate:
+//  * move-only (copying a continuation is almost always a bug in event code);
+//  * accepts move-only callables (continuations own other continuations);
+//  * no target()/target_type(); empty-call is checked only by assert.
+//
+// Capacity tiers for the simulator's callback chains are defined in
+// coherence/callbacks.hpp.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace lrsim {
+
+template <typename Sig, std::size_t Bytes>
+class InplaceFn;  // primary template, never defined
+
+template <typename R, typename... Args, std::size_t Bytes>
+class InplaceFn<R(Args...), Bytes> {
+ public:
+  InplaceFn() noexcept = default;
+  InplaceFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  /// Wraps any callable invocable as R(Args...). Rejects, at compile time,
+  /// callables larger than `Bytes` — raise the owning tier's capacity in
+  /// coherence/callbacks.hpp if a legitimate capture outgrows it.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InplaceFn> &&
+                                        !std::is_same_v<D, std::nullptr_t>>>
+  InplaceFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    static_assert(std::is_invocable_r_v<R, D&, Args...>,
+                  "callable is not invocable with this InplaceFn signature");
+    static_assert(sizeof(D) <= Bytes,
+                  "callable too large for this InplaceFn tier; grow the tier "
+                  "in coherence/callbacks.hpp (see docs/ENGINE.md)");
+    static_assert(alignof(D) <= alignof(std::max_align_t),
+                  "over-aligned callables are not supported");
+    ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+    invoke_ = [](void* s, Args&&... args) -> R {
+      return (*std::launder(reinterpret_cast<D*>(s)))(std::forward<Args>(args)...);
+    };
+    manage_ = [](void* src, void* dst) {
+      D* from = std::launder(reinterpret_cast<D*>(src));
+      if (dst != nullptr) ::new (dst) D(std::move(*from));
+      from->~D();
+    };
+  }
+
+  InplaceFn(InplaceFn&& o) noexcept { move_from(o); }
+
+  InplaceFn& operator=(InplaceFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+
+  InplaceFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InplaceFn> &&
+                                        !std::is_same_v<D, std::nullptr_t>>>
+  InplaceFn& operator=(F&& f) {
+    reset();
+    ::new (static_cast<void*>(this)) InplaceFn(std::forward<F>(f));
+    return *this;
+  }
+
+  InplaceFn(const InplaceFn&) = delete;
+  InplaceFn& operator=(const InplaceFn&) = delete;
+
+  ~InplaceFn() { reset(); }
+
+  /// Invokes the stored callable. Like std::function, const-callable: the
+  /// wrapper is a handle, constness of the target is not propagated.
+  R operator()(Args... args) const {
+    assert(invoke_ != nullptr && "calling an empty InplaceFn");
+    return invoke_(const_cast<void*>(static_cast<const void*>(storage_)),
+                   std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  static constexpr std::size_t capacity() noexcept { return Bytes; }
+
+ private:
+  void move_from(InplaceFn& o) noexcept {
+    if (o.invoke_ == nullptr) return;
+    o.manage_(o.storage_, storage_);  // move-construct into us, destroy theirs
+    invoke_ = o.invoke_;
+    manage_ = o.manage_;
+    o.invoke_ = nullptr;
+    o.manage_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  using Invoke = R (*)(void*, Args&&...);
+  /// Moves the target from src into dst (when dst != null), then destroys src.
+  using Manage = void (*)(void* src, void* dst);
+
+  // Thunk pointers deliberately precede the storage: invoking a small-capture
+  // InplaceFn then touches a single cache line (pointers + leading capture
+  // bytes) instead of one line at offset 0 and another past `Bytes`.
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[Bytes];
+};
+
+}  // namespace lrsim

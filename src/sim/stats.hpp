@@ -128,6 +128,48 @@ struct Stats {
     return *this;
   }
 
+  /// Field-wise subtraction; the harness uses it to strip prefill-phase
+  /// counters from a run's totals. Counters are cumulative, so `o` must be
+  /// an earlier snapshot of the same accumulation (each field of `*this`
+  /// >= the field of `o`).
+  Stats& operator-=(const Stats& o) noexcept {
+    msgs_gets -= o.msgs_gets;
+    msgs_getx -= o.msgs_getx;
+    msgs_inv -= o.msgs_inv;
+    msgs_downgrade -= o.msgs_downgrade;
+    msgs_data -= o.msgs_data;
+    msgs_ack -= o.msgs_ack;
+    msgs_wb -= o.msgs_wb;
+    msgs_nack -= o.msgs_nack;
+    l1_hits -= o.l1_hits;
+    l1_misses -= o.l1_misses;
+    l1_evictions -= o.l1_evictions;
+    l2_accesses -= o.l2_accesses;
+    l2_evictions -= o.l2_evictions;
+    dram_accesses -= o.dram_accesses;
+    leases_taken -= o.leases_taken;
+    releases_voluntary -= o.releases_voluntary;
+    releases_involuntary -= o.releases_involuntary;
+    releases_evicted -= o.releases_evicted;
+    releases_broken -= o.releases_broken;
+    leases_suppressed -= o.leases_suppressed;
+    probes_queued -= o.probes_queued;
+    probe_queued_cycles -= o.probe_queued_cycles;
+    ops_completed -= o.ops_completed;
+    cas_attempts -= o.cas_attempts;
+    cas_failures -= o.cas_failures;
+    lock_acquisitions -= o.lock_acquisitions;
+    lock_failed_trylocks -= o.lock_failed_trylocks;
+    txn_commits -= o.txn_commits;
+    txn_aborts -= o.txn_aborts;
+    return *this;
+  }
+
+  friend Stats operator-(Stats a, const Stats& b) noexcept {
+    a -= b;
+    return a;
+  }
+
   void print(std::ostream& os, const std::string& label) const {
     os << "[" << label << "] msgs=" << total_messages() << " (GetS " << msgs_gets << ", GetX "
        << msgs_getx << ", Inv " << msgs_inv << ", Dwn " << msgs_downgrade << ", Data " << msgs_data

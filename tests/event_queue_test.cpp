@@ -4,6 +4,7 @@
 // cancellation, bounded-horizon runs.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -122,6 +123,175 @@ TEST(EventQueue, TotalScheduledCounts) {
   EventQueue q;
   for (int i = 0; i < 7; ++i) q.schedule_at(1, [] {});
   EXPECT_EQ(q.total_scheduled(), 7u);
+}
+
+// --- bounded-horizon now() guarantees --------------------------------------
+
+TEST(EventQueue, BoundedRunAdvancesToLimitWhenQueueDrainsEarly) {
+  EventQueue q;
+  bool fired = false;
+  q.schedule_at(10, [&] { fired = true; });
+  q.run(/*limit=*/50);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(q.now(), 50u);  // the horizon was simulated even though no event sat at it
+}
+
+TEST(EventQueue, BoundedRunAdvancesToLimitWhenOnlyEventBeyondLimitIsCancelled) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h = q.schedule_at(100, [&] { fired = true; });
+  h.cancel();
+  q.run(/*limit=*/50);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(q.now(), 50u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, BoundedRunOnEmptyQueueAdvancesToLimit) {
+  EventQueue q;
+  q.run(/*limit=*/25);
+  EXPECT_EQ(q.now(), 25u);
+}
+
+TEST(EventQueue, RunWhileWithLimitAdvancesToLimitOnDrain) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(10, [&] { ++count; });
+  q.run_while([] { return true; }, /*limit=*/50);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(q.now(), 50u);
+}
+
+TEST(EventQueue, RunWhilePredicateStopLeavesNowAtLastFiredEvent) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(10, [&] { ++count; });
+  q.schedule_at(20, [&] { ++count; });
+  q.schedule_at(30, [&] { ++count; });
+  q.run_while([&] { return count < 2; }, /*limit=*/1000);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(q.now(), 20u);  // stopped by the predicate, not the horizon
+  EXPECT_FALSE(q.empty());
+}
+
+// --- pooled slots and {index, generation} handles ---------------------------
+
+TEST(EventQueue, SlotReuseDoesNotResurrectStaleHandles) {
+  EventQueue q;
+  bool first = false, second = false;
+  EventHandle h1 = q.schedule_at(10, [&] { first = true; });
+  h1.cancel();  // frees the slot; h1's generation is now stale
+  EventHandle h2 = q.schedule_at(20, [&] { second = true; });
+  // The pool reuses the single freed slot, so h1 and h2 alias the same
+  // index with different generations.
+  EXPECT_FALSE(h1.pending());
+  EXPECT_TRUE(h2.pending());
+  h1.cancel();  // stale: must NOT cancel h2's event
+  EXPECT_TRUE(h2.pending());
+  q.run();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+}
+
+TEST(EventQueue, HandleGoesStaleAfterFireEvenIfSlotReused) {
+  EventQueue q;
+  int fires = 0;
+  EventHandle h = q.schedule_at(1, [&] { ++fires; });
+  q.run();
+  bool later = false;
+  EventHandle h2 = q.schedule_at(5, [&] { later = true; });  // reuses the slot
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // stale no-op
+  EXPECT_TRUE(h2.pending());
+  q.run();
+  EXPECT_TRUE(later);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(EventQueue, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+TEST(EventQueue, PoolStaysBoundedUnderChurn) {
+  EventQueue q;
+  int fires = 0;
+  for (int round = 0; round < 1000; ++round) {
+    q.schedule_in(1, [&] { ++fires; });
+    q.run();
+  }
+  EXPECT_EQ(fires, 1000);
+  // Every round reuses the one freed slot instead of growing the slab.
+  EXPECT_LE(q.pool_size(), 4u);
+}
+
+TEST(EventQueue, CancelSameCycleSiblingBeforeItFires) {
+  EventQueue q;
+  bool victim_fired = false;
+  // A fires first (same cycle, earlier schedule order) and cancels B.
+  EventHandle b;
+  q.schedule_at(5, [&] { b.cancel(); });
+  b = q.schedule_at(5, [&] { victim_fired = true; });
+  q.run();
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(q.now(), 5u);
+}
+
+// --- calendar ring / far-heap boundary --------------------------------------
+
+TEST(EventQueue, EventsStraddlingTheCalendarHorizonFireInOrder) {
+  // The near-future calendar covers [now, now+256); anything further sits in
+  // the far heap until time advances. Straddle the boundary both ways.
+  EventQueue q;
+  std::vector<Cycle> fired;
+  auto record = [&] { fired.push_back(q.now()); };
+  q.schedule_at(255, record);  // last calendar slot
+  q.schedule_at(256, record);  // first far-heap cycle
+  q.schedule_at(257, record);
+  q.schedule_at(1000, record);
+  q.schedule_at(0, record);
+  q.run();
+  EXPECT_EQ(fired, (std::vector<Cycle>{0, 255, 256, 257, 1000}));
+}
+
+TEST(EventQueue, SameCycleOrderIsScheduleOrderAcrossCalendarAndHeap) {
+  EventQueue q;
+  std::vector<int> order;
+  // First event lands in the far heap (300 - 0 >= 256)...
+  q.schedule_at(300, [&] { order.push_back(1); });
+  // ...then time advances so a later schedule for the same cycle goes to
+  // the calendar (300 - 100 < 256). The heap node was scheduled first, so
+  // it must still fire first.
+  q.schedule_at(100, [&] { q.schedule_at(300, [&] { order.push_back(2); }); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, CalendarRingWrapsManyTimes) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 2000) q.schedule_in(1, recurse);  // crosses the 256-slot ring 7+ times
+  };
+  q.schedule_at(0, recurse);
+  q.run();
+  EXPECT_EQ(depth, 2000);
+  EXPECT_EQ(q.now(), 1999u);
+}
+
+TEST(EventQueue, CancelledCalendarEventsAreSkipped) {
+  EventQueue q;
+  std::vector<int> order;
+  EventHandle h1 = q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(10, [&] { order.push_back(2); });
+  EventHandle h3 = q.schedule_at(11, [&] { order.push_back(3); });
+  h1.cancel();
+  h3.cancel();
+  q.schedule_at(12, [&] { order.push_back(4); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 4}));
+  EXPECT_EQ(q.now(), 12u);
 }
 
 // --- schedule-perturbation mode -------------------------------------------

@@ -1,0 +1,148 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// The bench harness runs sweep samples on a host thread pool (--jobs). Each
+// sample is an independent deterministic simulation, so the *only* effect of
+// parallelism may be wall-clock time: tables, CSV bytes, and every per-sample
+// statistic must be identical to a serial run. These tests pin that down.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+
+namespace lrsim::bench {
+namespace {
+
+Task<void> contend(Ctx& ctx, int t, int ops) {
+  const Addr counter = 0;                                   // shared, contended
+  const Addr local = 4096 + static_cast<Addr>(t) * 64;      // private line
+  for (int i = 0; i < ops; ++i) {
+    co_await ctx.faa(counter, 1);
+    co_await ctx.store(local, static_cast<std::uint64_t>(i));
+    co_await ctx.work(1 + ctx.rng().next_below(16));
+  }
+}
+
+std::vector<Variant> make_variants() {
+  Variant base;
+  base.name = "base";
+  base.make = [](Machine&, const BenchOptions& opt) {
+    const int ops = opt.ops_per_thread;
+    return [ops](Ctx& ctx, int t) { return contend(ctx, t, ops); };
+  };
+  Variant lease = base;
+  lease.name = "lease";
+  lease.configure = [](MachineConfig& cfg) { cfg.leases_enabled = true; };
+  return {base, lease};
+}
+
+struct RunResult {
+  std::string tables;  ///< Captured stdout minus the machine-local csv: line.
+  std::string csv;     ///< CSV file bytes.
+  std::vector<Sample> samples;
+};
+
+std::string strip_csv_path_line(const std::string& text) {
+  std::istringstream in{text};
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("csv: ", 0) == 0) continue;  // names the per-run temp dir
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+RunResult run_sweep(int jobs, const std::string& tag) {
+  BenchOptions opt;
+  opt.threads = {2, 4};
+  opt.ops_per_thread = 20;
+  opt.jobs = jobs;
+  opt.csv_dir = (std::filesystem::path(::testing::TempDir()) / ("harness_" + tag)).string();
+
+  std::ostringstream captured;
+  std::streambuf* old = std::cout.rdbuf(captured.rdbuf());
+  RunResult r;
+  try {
+    r.samples = run_experiment("harness parallel test", "sweep", make_variants(), opt);
+  } catch (...) {
+    std::cout.rdbuf(old);
+    throw;
+  }
+  std::cout.rdbuf(old);
+  r.tables = strip_csv_path_line(captured.str());
+
+  std::ifstream csv(opt.csv_dir + "/sweep.csv", std::ios::binary);
+  std::ostringstream bytes;
+  bytes << csv.rdbuf();
+  r.csv = bytes.str();
+  return r;
+}
+
+TEST(HarnessParallel, ParallelSweepIsByteIdenticalToSerial) {
+  const RunResult serial = run_sweep(/*jobs=*/1, "serial");
+  const RunResult parallel = run_sweep(/*jobs=*/4, "par4");
+
+  EXPECT_FALSE(serial.csv.empty());
+  EXPECT_EQ(serial.csv, parallel.csv);
+  EXPECT_EQ(serial.tables, parallel.tables);
+
+  ASSERT_EQ(serial.samples.size(), parallel.samples.size());
+  for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+    EXPECT_EQ(serial.samples[i].variant, parallel.samples[i].variant) << i;
+    EXPECT_EQ(serial.samples[i].threads, parallel.samples[i].threads) << i;
+    EXPECT_EQ(serial.samples[i].ops, parallel.samples[i].ops) << i;
+    EXPECT_EQ(serial.samples[i].cycles, parallel.samples[i].cycles) << i;
+    EXPECT_EQ(serial.samples[i].stats, parallel.samples[i].stats) << i;
+  }
+}
+
+TEST(HarnessParallel, SamplesComeBackInSweepOrder) {
+  const RunResult r = run_sweep(/*jobs=*/3, "order");
+  // Grid order: thread-count major, variant minor — the serial iteration
+  // order, regardless of which host worker finished first.
+  ASSERT_EQ(r.samples.size(), 4u);
+  EXPECT_EQ(r.samples[0].threads, 2);
+  EXPECT_EQ(r.samples[0].variant, "base");
+  EXPECT_EQ(r.samples[1].threads, 2);
+  EXPECT_EQ(r.samples[1].variant, "lease");
+  EXPECT_EQ(r.samples[2].threads, 4);
+  EXPECT_EQ(r.samples[2].variant, "base");
+  EXPECT_EQ(r.samples[3].threads, 4);
+  EXPECT_EQ(r.samples[3].variant, "lease");
+}
+
+TEST(HarnessParallel, SteadyStateSubtractionCoversAllCounters) {
+  // A variant whose prefill runs real operations: every prefill-phase
+  // counter (including the ones the old hand-written subtraction missed,
+  // e.g. CAS attempts) must be stripped from the reported steady state.
+  Variant v;
+  v.name = "prefill";
+  v.make = [](Machine& m, const BenchOptions& opt) {
+    m.spawn(0, [](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < 8; ++i) {
+        co_await ctx.cas(0, static_cast<std::uint64_t>(i), static_cast<std::uint64_t>(i) + 1);
+      }
+    });
+    m.run();
+    const int ops = opt.ops_per_thread;
+    return [ops](Ctx& ctx, int t) { return contend(ctx, t, ops); };
+  };
+  BenchOptions opt;
+  opt.threads = {2};
+  opt.ops_per_thread = 5;
+  opt.csv_dir.clear();
+  const Sample s = run_one(v, 2, opt);
+  // contend() performs one FAA per op per thread and nothing else CAS-like;
+  // an FAA is not a CAS, so steady-state CAS counters must be zero.
+  EXPECT_EQ(s.stats.cas_attempts, 0u);
+  EXPECT_EQ(s.stats.cas_failures, 0u);
+}
+
+}  // namespace
+}  // namespace lrsim::bench
