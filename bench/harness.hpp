@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <exception>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <mutex>
@@ -38,6 +39,20 @@ struct BenchOptions {
   std::uint64_t seed = 1;
   Cycle think_max = 40;  ///< Random local work between ops (0..think_max).
   int jobs = 0;  ///< --jobs: host threads running samples; 0 = one per host CPU.
+
+  // --- observability sinks (src/obs/): applied to ONE observed sample ------
+  // (by default the last variant at the largest thread count; override with
+  // --obs_variant / --obs_threads). Empty paths = off = zero overhead.
+  std::string trace_out;    ///< --trace_out: Perfetto trace-event JSON path.
+  std::string profile_out;  ///< --profile_out: per-line contention profile path.
+  std::string samples_out;  ///< --samples_out: time-series Stats CSV path.
+  Cycle sample_every = 0;   ///< --sample_every: sampler period in cycles (0 = off).
+  std::string obs_variant;  ///< --obs_variant: variant name to observe.
+  int obs_threads = 0;      ///< --obs_threads: thread count to observe.
+
+  bool observability_requested() const {
+    return !trace_out.empty() || !profile_out.empty() || !samples_out.empty();
+  }
 };
 
 /// Parses the common flags; `extra` lets a bench add its own. Returns false
@@ -55,6 +70,18 @@ inline bool parse_flags(int argc, char** argv, const std::string& name, BenchOpt
   flags.add("seed", &opt.seed, "workload RNG seed");
   flags.add("think", &opt.think_max, "max random local work between ops (cycles)");
   flags.add("jobs", &opt.jobs, "host threads running samples in parallel (0 = one per host CPU)");
+  flags.add("trace_out", &opt.trace_out,
+            "write a Perfetto trace-event JSON of the observed sample here (empty = off)");
+  flags.add("profile_out", &opt.profile_out,
+            "write the per-line contention profile of the observed sample here (empty = off)");
+  flags.add("samples_out", &opt.samples_out,
+            "write the time-series stats CSV of the observed sample here (empty = off)");
+  flags.add("sample_every", &opt.sample_every,
+            "stats sampler period in simulated cycles (0 = off)");
+  flags.add("obs_variant", &opt.obs_variant,
+            "variant to observe with --trace_out/--profile_out/--samples_out (default: last)");
+  flags.add("obs_threads", &opt.obs_threads,
+            "thread count to observe (default: largest in the sweep)");
   if (extra) extra(flags);
   try {
     flags.parse(argc, argv);
@@ -100,7 +127,21 @@ struct Variant {
   std::function<std::function<Task<void>(Ctx&, int)>(Machine&, const BenchOptions&)> make;
 };
 
-inline Sample run_one(const Variant& v, int threads, const BenchOptions& opt) {
+/// Opens `path` (creating parent directories) and streams `fn` into it.
+inline void write_sink(const std::string& path, const std::function<void(std::ostream&)>& fn) {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    std::cerr << "WARNING: cannot open " << path << " for writing\n";
+    return;
+  }
+  fn(os);
+}
+
+inline Sample run_one(const Variant& v, int threads, const BenchOptions& opt,
+                      bool observe = false) {
   MachineConfig cfg;
   cfg.num_cores = threads;
   cfg.max_lease_time = opt.max_lease_time;
@@ -109,6 +150,15 @@ inline Sample run_one(const Variant& v, int threads, const BenchOptions& opt) {
   Machine m{cfg, opt.seed};
 
   auto worker = v.make(m, opt);  // may prefill (and run) on the machine
+  if (observe) {
+    // Enabled after prefill so spans/samples cover steady state only. The
+    // tracer rides along when a trace is requested (its point records become
+    // instant events between the spans).
+    if (!opt.trace_out.empty()) m.enable_tracing(/*capacity=*/65536);
+    ObsOptions oo;
+    oo.sample_every = opt.sample_every;
+    m.enable_observability(oo);
+  }
   const Stats prefill = m.total_stats();
   const Cycle start = m.events().now();
 
@@ -132,6 +182,19 @@ inline Sample run_one(const Variant& v, int threads, const BenchOptions& opt) {
   // so prefill noise leaked into those columns.)
   s.stats -= prefill;
   s.ops = s.stats.ops_completed;
+
+  if (observe && m.observability() != nullptr) {
+    const Observability& obs = *m.observability();
+    if (!opt.trace_out.empty()) {
+      write_sink(opt.trace_out, [&](std::ostream& os) { obs.write_trace_json(os); });
+    }
+    if (!opt.profile_out.empty()) {
+      write_sink(opt.profile_out, [&](std::ostream& os) { obs.write_profile(os); });
+    }
+    if (!opt.samples_out.empty()) {
+      write_sink(opt.samples_out, [&](std::ostream& os) { obs.write_samples_csv(os); });
+    }
+  }
   return s;
 }
 
@@ -154,6 +217,19 @@ inline std::vector<Sample> run_experiment(const std::string& title, const std::s
   // serial iteration order — tables and CSVs below are byte-identical for
   // any --jobs value. Watchdog warnings go to stderr and may interleave.
   const std::size_t total = opt.threads.size() * variants.size();
+  // The observability sinks attach to exactly one sample (one extra
+  // simulated machine would double the cost of the largest run; one
+  // observed sample keeps the sweep's timing character intact). Default:
+  // the last-listed variant — conventionally the lease variant — at the
+  // largest thread count, where contention is most interesting.
+  const bool obs_on = opt.observability_requested();
+  const std::string obs_variant =
+      !opt.obs_variant.empty() ? opt.obs_variant : variants.back().name;
+  const int obs_threads = opt.obs_threads > 0 ? opt.obs_threads : opt.threads.back();
+  auto observes = [&](std::size_t i) {
+    return obs_on && variants[i % variants.size()].name == obs_variant &&
+           opt.threads[i / variants.size()] == obs_threads;
+  };
   std::vector<Sample> samples(total);
   std::vector<std::size_t> order(total);
   std::iota(order.begin(), order.end(), 0);
@@ -167,7 +243,7 @@ inline std::vector<Sample> run_experiment(const std::string& title, const std::s
   if (jobs == 1) {
     for (std::size_t i = 0; i < total; ++i) {
       samples[i] = run_one(variants[i % variants.size()],
-                           opt.threads[i / variants.size()], opt);
+                           opt.threads[i / variants.size()], opt, observes(i));
     }
   } else {
     std::atomic<std::size_t> next{0};
@@ -183,7 +259,7 @@ inline std::vector<Sample> run_experiment(const std::string& title, const std::s
           const std::size_t i = order[k];
           try {
             samples[i] = run_one(variants[i % variants.size()],
-                                 opt.threads[i / variants.size()], opt);
+                                 opt.threads[i / variants.size()], opt, observes(i));
           } catch (...) {
             std::lock_guard<std::mutex> lock(error_mu);
             if (!first_error) first_error = std::current_exception();
@@ -238,6 +314,15 @@ inline std::vector<Sample> run_experiment(const std::string& title, const std::s
     if (csv.write_csv(path)) {
       std::cout << "csv: " << path << "\n\n";
     }
+  }
+  if (obs_on) {
+    // Printed here (not in run_one, which may run on a pool thread) so
+    // stdout bytes stay deterministic for any --jobs value.
+    std::cout << "observed: " << obs_variant << " @" << obs_threads << " threads\n";
+    if (!opt.trace_out.empty()) std::cout << "trace: " << opt.trace_out << "\n";
+    if (!opt.profile_out.empty()) std::cout << "profile: " << opt.profile_out << "\n";
+    if (!opt.samples_out.empty()) std::cout << "samples: " << opt.samples_out << "\n";
+    std::cout << "\n";
   }
   return samples;
 }

@@ -32,12 +32,30 @@ for bench in "$BUILD_DIR"/bench/*; do
                --benchmark_out="$OUT_DIR/BENCH_simcore.json" \
                --benchmark_out_format=json > "$OUT_DIR/$name.txt" 2>&1 || true
       ;;
+    fig2_stack)
+      # The flagship contended-stack figure also exercises the observability
+      # sinks (docs/OBSERVABILITY.md): a Perfetto trace, a contention
+      # profile, and a stats time series for the observed (lease, max
+      # threads) sample. Costs nothing for the other samples.
+      echo "-- $name --full --jobs $JOBS (+ observability sinks)"
+      "$bench" --full --jobs "$JOBS" --csv_dir "$OUT_DIR/csv" \
+               --trace-out "$OUT_DIR/obs/fig2_stack.trace.json" \
+               --profile-out "$OUT_DIR/obs/fig2_stack.profile.txt" \
+               --samples-out "$OUT_DIR/obs/fig2_stack.samples.csv" \
+               --sample-every 5000 > "$OUT_DIR/$name.txt" 2>&1
+      ;;
     *)
       echo "-- $name --full --jobs $JOBS"
       "$bench" --full --jobs "$JOBS" --csv_dir "$OUT_DIR/csv" > "$OUT_DIR/$name.txt" 2>&1
       ;;
   esac
 done
+
+# Structural check of the exported trace (same validator CI runs). The file
+# loads in ui.perfetto.dev.
+if [[ -f "$OUT_DIR/obs/fig2_stack.trace.json" ]] && command -v python3 >/dev/null; then
+  python3 "$(dirname "$0")/trace_validate.py" "$OUT_DIR/obs/fig2_stack.trace.json"
+fi
 
 # Compare the engine microbench against the committed baseline (informational
 # here; the CI perf-smoke job enforces it).

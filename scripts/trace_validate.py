@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validate an lrsim Perfetto/Chrome trace-event JSON export.
+
+Checks the structural contract that ui.perfetto.dev (and the chrome://tracing
+legacy viewer) relies on, so CI catches a malformed exporter before a human
+loads a broken trace:
+
+  * the file is valid JSON with a "traceEvents" array;
+  * every event carries the required keys for its phase ("X" complete events
+    need ts/dur/pid/tid, "M" metadata needs args.name, "i" instants need ts);
+  * timestamps and durations are non-negative integers (the exporter writes
+    1 trace us == 1 simulated cycle, so fractional values indicate a bug);
+  * within each (pid, tid) track, complete events are sorted and
+    non-overlapping: next.ts >= prev.ts + prev.dur. The exporter guarantees
+    this by greedy lane assignment; overlap would render as garbage stacks;
+  * every (pid, tid) referenced by an event has process_name/thread_name
+    metadata.
+
+Usage: trace_validate.py TRACE.json [--min-events N]
+Exit code 0 = valid, 1 = validation failure, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+REQUIRED_BY_PHASE = {
+    "X": ("name", "ph", "ts", "dur", "pid", "tid"),
+    "i": ("name", "ph", "ts", "pid", "tid"),
+    "M": ("name", "ph", "pid", "args"),
+}
+
+
+def fail(msg):
+    print(f"trace_validate: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace")
+    ap.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="fail if fewer than this many span/instant events (default 1)",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, "rb") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"trace_validate: cannot read {args.trace}: {e}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        fail(f"not valid JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a 'traceEvents' array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("'traceEvents' is not an array")
+
+    named_procs = set()
+    named_threads = set()
+    spans_by_track = defaultdict(list)
+    n_payload = 0
+
+    for idx, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event #{idx} is not an object")
+        ph = ev.get("ph")
+        if ph not in REQUIRED_BY_PHASE:
+            fail(f"event #{idx}: unsupported phase {ph!r} (exporter emits X/i/M only)")
+        for key in REQUIRED_BY_PHASE[ph]:
+            if key not in ev:
+                fail(f"event #{idx} ({ph!r}): missing required key {key!r}")
+        if ph == "M":
+            if ev["name"] == "process_name":
+                named_procs.add(ev["pid"])
+            elif ev["name"] == "thread_name":
+                named_threads.add((ev["pid"], ev.get("tid")))
+            if not isinstance(ev["args"].get("name"), str):
+                fail(f"event #{idx}: metadata args.name must be a string")
+            continue
+        n_payload += 1
+        for key in ("ts", "dur") if ph == "X" else ("ts",):
+            v = ev[key]
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                fail(
+                    f"event #{idx}: {key}={v!r} must be a non-negative integer "
+                    "(1 trace us == 1 simulated cycle)"
+                )
+        if ph == "X":
+            spans_by_track[(ev["pid"], ev["tid"])].append((ev["ts"], ev["dur"], idx))
+
+    for (pid, tid), spans in sorted(spans_by_track.items()):
+        if pid not in named_procs:
+            fail(f"pid {pid} has span events but no process_name metadata")
+        if (pid, tid) not in named_threads:
+            fail(f"track (pid {pid}, tid {tid}) has span events but no thread_name metadata")
+        prev_end, prev_idx = -1, None
+        for ts, dur, idx in spans:
+            if ts < prev_end:
+                fail(
+                    f"track (pid {pid}, tid {tid}): event #{idx} starts at {ts} "
+                    f"before event #{prev_idx} ended at {prev_end} "
+                    "(tracks must be sorted and non-overlapping)"
+                )
+            prev_end, prev_idx = ts + dur, idx
+
+    if n_payload < args.min_events:
+        fail(f"only {n_payload} span/instant events (expected >= {args.min_events})")
+
+    dropped = 0
+    if isinstance(doc.get("otherData"), dict):
+        dropped = doc["otherData"].get("spans_dropped", 0)
+    print(
+        f"trace_validate: OK: {n_payload} events on {len(spans_by_track)} span tracks "
+        f"across {len(named_procs)} processes ({dropped} spans dropped at record time)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -88,6 +88,10 @@ struct MachineConfig {
   /// release is observed again.
   bool lease_predictor = false;
   int predictor_threshold = 3;
+  /// Max lines the predictor tracks at once (models a fixed SRAM table;
+  /// also bounds host memory on address-sweeping workloads). Oldest-tracked
+  /// line is evicted on overflow.
+  int predictor_map_capacity = 1024;
 
   EnergyModel energy;
 

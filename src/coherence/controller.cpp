@@ -306,6 +306,7 @@ void CacheController::probe(LineId line, ProbeType type, bool requestor_is_lease
       // copy survives while the probe still acks.
     } else if (type == ProbeType::kInvalidate) {
       l1_.invalidate(line);
+      if (obs_) obs_->on_invalidation(line);
     } else {
       l1_.downgrade(line, /*to_owned=*/type == ProbeType::kDowngradeToOwned);
     }
@@ -325,6 +326,7 @@ void CacheController::back_invalidate(LineId line, ProbeDoneFn on_serviced) {
   leases_.force_release(line);  // never park an inclusion victim's probe
   const bool dirty = is_dirty(l1_.state(line));
   l1_.invalidate(line);
+  if (obs_) obs_->on_invalidation(line);
   if (inv_) inv_->on_line_event(line);
   ev_.schedule_in(1, [on_serviced = std::move(on_serviced), dirty] { on_serviced(dirty); });
 }

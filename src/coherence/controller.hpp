@@ -68,6 +68,12 @@ class CacheController {
     leases_.set_invariants(inv);
   }
 
+  /// Optional observability (Machine::enable_observability). Null = off.
+  void set_observer(Observability* obs) {
+    obs_ = obs;
+    leases_.set_observer(obs, core_);
+  }
+
   /// TEST-ONLY fault injection: when the predicate matches a (core, line)
   /// probe, the coherence action (invalidate/downgrade) is silently lost —
   /// the probe still acks, so the requester is granted a conflicting copy.
@@ -178,6 +184,7 @@ class CacheController {
   Directory* dir_ = nullptr;
   Tracer* tracer_ = nullptr;
   InvariantChecker* inv_ = nullptr;
+  Observability* obs_ = nullptr;
   std::function<bool(CoreId, LineId)> probe_fault_;  ///< Test-only, see setter.
 };
 

@@ -24,6 +24,7 @@ void Directory::begin_service(LineId line) {
   Entry& e = dir_[line];
   if (e.busy || e.queue.empty()) return;
   e.busy = true;
+  e.service_start = ev_.now();
   Req req = std::move(e.queue.front());
   e.queue.pop_front();
   if (inv_) inv_->on_dir_service(line, req.requester);
@@ -305,6 +306,7 @@ void Directory::complete(LineId line, const Req& req, LineSt result, bool exclus
       break;
   }
   e.touched = true;
+  if (obs_) obs_->on_dir_service(line, req.requester, e.service_start, ev_.now());
   // The requester installs the line and retires its instruction now.
   req.on_done(exclusive_grant);
   e.busy = false;

@@ -36,6 +36,7 @@
 #include "coherence/config.hpp"
 #include "coherence/topology.hpp"
 #include "mem/memory.hpp"
+#include "obs/observability.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/trace.hpp"
 #include "sim/stats.hpp"
@@ -73,6 +74,9 @@ class Directory {
 
   /// Optional invariant checking (Machine::enable_invariants). Null = off.
   void set_invariants(InvariantChecker* inv) { inv_ = inv; }
+
+  /// Optional observability (Machine::enable_observability). Null = off.
+  void set_observer(Observability* obs) { obs_ = obs; }
 
   /// A request arriving at the directory (the caller has already modeled
   /// the core->directory network latency and counted the request message).
@@ -127,6 +131,7 @@ class Directory {
     std::deque<Req> queue;        ///< Per-line FIFO (Assumption 1).
     bool busy = false;            ///< A transaction for this line is in flight.
     bool touched = false;         ///< Line has been brought on-chip before.
+    Cycle service_start = 0;      ///< Cycle the in-flight transaction was dequeued (busy only).
   };
 
   /// Inclusive-L2 tag array for the optional finite-capacity model. Allows
@@ -211,6 +216,7 @@ class Directory {
   Topology topo_;
   Tracer* tracer_ = nullptr;
   InvariantChecker* inv_ = nullptr;
+  Observability* obs_ = nullptr;
   std::vector<CacheController*> cores_;
   std::unordered_map<LineId, Entry> dir_;
   std::unique_ptr<L2Tags> l2_tags_;  ///< Null when the L2 is unbounded.

@@ -30,8 +30,10 @@
 // costs O(1) per lease.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -39,22 +41,14 @@
 
 #include "coherence/callbacks.hpp"
 #include "coherence/config.hpp"
+#include "core/release_kind.hpp"
+#include "obs/observability.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/invariants.hpp"
 #include "sim/stats.hpp"
 #include "util/types.hpp"
 
 namespace lrsim {
-
-/// Why an entry left the lease table. Reported to stats and, for voluntary
-/// vs. involuntary, to the program (the Release return value enables the
-/// cheap-snapshot idiom of Section 5).
-enum class ReleaseKind : std::uint8_t {
-  kVoluntary,    ///< Release instruction before expiry.
-  kInvoluntary,  ///< Timer reached zero.
-  kEvicted,      ///< FIFO-evicted by a newer lease at MAX_NUM_LEASES.
-  kBroken,       ///< Broken by a priority ("regular") request.
-};
 
 class LeaseTable {
  public:
@@ -74,7 +68,15 @@ class LeaseTable {
   bool add(LineId line, Cycle duration, bool in_group = false) {
     if (find(line) != nullptr) return false;
     if (static_cast<int>(entries_.size()) >= cfg_.max_num_leases) {
-      remove(entries_.front().line, ReleaseKind::kEvicted);
+      // FIFO eviction of the oldest lease (Algorithm 1 line 7). A group
+      // member must take the whole group with it (MultiRelease semantics —
+      // evicting one line alone would leave a partial group that still
+      // reports group_complete()), exactly as force_release does.
+      if (entries_.front().in_group) {
+        release_all_group(ReleaseKind::kEvicted);
+      } else {
+        remove(entries_.front().line, ReleaseKind::kEvicted);
+      }
     }
     Entry e;
     e.line = line;
@@ -82,6 +84,7 @@ class LeaseTable {
     e.in_group = in_group;
     entries_.push_back(std::move(e));
     ++stats_.leases_taken;
+    if (obs_ != nullptr) obs_->on_lease_taken(line);
     if (inv_ != nullptr) inv_->on_line_event(line);
     return true;
   }
@@ -174,6 +177,7 @@ class LeaseTable {
     e->parked_probe = std::move(service);
     e->parked_at = ev_.now();
     ++stats_.probes_queued;
+    if (obs_ != nullptr) obs_->on_probe_parked(line);
     return true;
   }
 
@@ -203,6 +207,10 @@ class LeaseTable {
     auto it = futility_.find(line);
     return it != futility_.end() && it->second >= cfg_.predictor_threshold;
   }
+
+  /// Lines currently tracked by the futility predictor (bounded by
+  /// MachineConfig::predictor_map_capacity; tests pin the bound down).
+  std::size_t futility_tracked() const noexcept { return futility_.size(); }
 
   /// Forcibly releases a lease (controller uses this when an L1 set fills
   /// with pinned lines and a victim is needed).
@@ -257,6 +265,13 @@ class LeaseTable {
   /// Wires the opt-in invariant checker (null = off).
   void set_invariants(InvariantChecker* inv) { inv_ = inv; }
 
+  /// Wires the opt-in observability sink (null = off). `core` labels the
+  /// spans this table emits (the table itself is core-agnostic).
+  void set_observer(Observability* obs, CoreId core) {
+    obs_ = obs;
+    core_ = core;
+  }
+
  private:
   struct Entry {
     LineId line = 0;
@@ -264,6 +279,7 @@ class LeaseTable {
     bool in_group = false;
     bool granted = false;  ///< Exclusive ownership obtained ("transition to lease" done).
     bool started = false;  ///< Countdown running.
+    Cycle started_at = 0;  ///< Countdown start cycle (started only).
     Cycle deadline = 0;    ///< now + duration at countdown start (started only).
     EventHandle timer;
     ParkedFn parked_probe;
@@ -279,6 +295,7 @@ class LeaseTable {
 
   void start_timer(Entry& e) {
     e.started = true;
+    e.started_at = ev_.now();
     e.deadline = ev_.now() + e.duration;
     const LineId line = e.line;
     e.timer = ev_.schedule_in(e.duration, [this, line] { remove(line, ReleaseKind::kInvoluntary); });
@@ -322,11 +339,13 @@ class LeaseTable {
     switch (kind) {
       case ReleaseKind::kVoluntary:
         ++stats_.releases_voluntary;
-        if (cfg_.lease_predictor) futility_[e.line] = 0;  // rehabilitated
+        // Rehabilitated: dropping the entry (rather than zeroing it) keeps
+        // the predictor map holding only lines with a live failure streak.
+        if (cfg_.lease_predictor) futility_.erase(e.line);
         break;
       case ReleaseKind::kInvoluntary:
         ++stats_.releases_involuntary;
-        if (cfg_.lease_predictor) ++futility_[e.line];
+        if (cfg_.lease_predictor) note_futile(e.line);
         break;
       case ReleaseKind::kEvicted:
         ++stats_.releases_evicted;
@@ -335,11 +354,45 @@ class LeaseTable {
         ++stats_.releases_broken;
         break;
     }
+    if (obs_ != nullptr) {
+      obs_->on_lease_end(core_, e.line, e.started_at, ev_.now(), kind, e.started);
+    }
+  }
+
+  /// Bumps the line's involuntary-release streak, keeping the predictor map
+  /// within MachineConfig::predictor_map_capacity lines. Real hardware would
+  /// back the predictor with a fixed SRAM table; an unbounded host map both
+  /// misrepresents that and grows without limit on address-sweeping
+  /// workloads. Overflow evicts the oldest-tracked line (FIFO by first
+  /// insertion, tracked in futility_order_; entries already erased by
+  /// rehabilitation are skipped).
+  void note_futile(LineId line) {
+    auto [it, fresh] = futility_.try_emplace(line, 0);
+    ++it->second;
+    if (!fresh) return;
+    futility_order_.push_back(line);
+    const auto cap = static_cast<std::size_t>(std::max(cfg_.predictor_map_capacity, 1));
+    while (futility_.size() > cap) {
+      // Stale fronts (rehabilitated lines) are popped without effect.
+      const LineId victim = futility_order_.front();
+      futility_order_.pop_front();
+      if (victim != line) futility_.erase(victim);
+    }
+    // The order deque can accumulate stale entries for rehabilitated lines;
+    // compact once it clearly outgrows the live map.
+    if (futility_order_.size() > 2 * cap + 16) {
+      std::deque<LineId> live;
+      for (LineId l : futility_order_) {
+        if (futility_.count(l) != 0) live.push_back(l);
+      }
+      futility_order_.swap(live);
+    }
   }
 
   void service_parked(Entry& e) {
     if (!e.parked_probe) return;
     stats_.probe_queued_cycles += ev_.now() - e.parked_at;
+    if (obs_ != nullptr) obs_->on_probe_unparked(core_, e.line, e.parked_at, ev_.now());
     ParkedFn probe = std::move(e.parked_probe);  // move empties the entry
     probe();
   }
@@ -348,8 +401,11 @@ class LeaseTable {
   Stats& stats_;
   const MachineConfig& cfg_;
   InvariantChecker* inv_ = nullptr;  ///< Opt-in checker (null = off).
+  Observability* obs_ = nullptr;     ///< Opt-in observability sink (null = off).
+  CoreId core_ = -1;                 ///< Core label for emitted spans.
   std::vector<Entry> entries_;  ///< Insertion order == FIFO age order.
   std::unordered_map<LineId, int> futility_;  ///< Consecutive involuntary releases per line.
+  std::deque<LineId> futility_order_;  ///< First-insertion order; bounds futility_.
 };
 
 }  // namespace lrsim

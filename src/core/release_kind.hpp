@@ -1,0 +1,33 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// ReleaseKind lives in its own header (rather than core/lease_table.hpp,
+// its natural home) so the observability layer can name it without pulling
+// in the whole lease engine: obs/observability.hpp is included *by*
+// core/lease_table.hpp, which would otherwise be a cycle.
+#pragma once
+
+#include <cstdint>
+
+namespace lrsim {
+
+/// Why an entry left the lease table. Reported to stats and, for voluntary
+/// vs. involuntary, to the program (the Release return value enables the
+/// cheap-snapshot idiom of Section 5).
+enum class ReleaseKind : std::uint8_t {
+  kVoluntary,    ///< Release instruction before expiry.
+  kInvoluntary,  ///< Timer reached zero.
+  kEvicted,      ///< FIFO-evicted by a newer lease at MAX_NUM_LEASES.
+  kBroken,       ///< Broken by a priority ("regular") request.
+};
+
+inline const char* release_kind_name(ReleaseKind k) {
+  switch (k) {
+    case ReleaseKind::kVoluntary: return "voluntary";
+    case ReleaseKind::kInvoluntary: return "involuntary";
+    case ReleaseKind::kEvicted: return "evicted";
+    case ReleaseKind::kBroken: return "broken";
+  }
+  return "?";
+}
+
+}  // namespace lrsim

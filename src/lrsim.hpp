@@ -19,6 +19,7 @@
 #include "core/lease_table.hpp"     // IWYU pragma: export
 #include "mem/heap.hpp"             // IWYU pragma: export
 #include "mem/memory.hpp"           // IWYU pragma: export
+#include "obs/observability.hpp"    // IWYU pragma: export
 #include "runtime/machine.hpp"      // IWYU pragma: export
 #include "runtime/task.hpp"         // IWYU pragma: export
 #include "sim/event_queue.hpp"      // IWYU pragma: export

@@ -1,0 +1,69 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Log2-bucketed histogram sketch for the observability layer.
+//
+// Cycle-valued telemetry (lease hold times, probe-park latencies) spans five
+// orders of magnitude in one run, so linear buckets are useless and exact
+// reservoirs cost memory on the hot path. A power-of-two sketch keeps the
+// whole distribution in a fixed 65-counter array: recording is one
+// count-leading-zeros plus one increment, allocation-free by construction.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace lrsim {
+
+/// Fixed-size log2 histogram. Bucket 0 holds exact zeros; bucket k >= 1
+/// holds values in [2^(k-1), 2^k).
+class Log2Histogram {
+ public:
+  static constexpr int kBuckets = 65;  ///< bucket 64 covers [2^63, 2^64).
+
+  /// Bucket index for `v`: 0 for 0, otherwise std::bit_width(v).
+  static constexpr int bucket_of(std::uint64_t v) noexcept {
+    return v == 0 ? 0 : std::bit_width(v);
+  }
+
+  /// Inclusive lower bound of bucket `b` (bucket 0 = {0}, bucket 1 = {1}).
+  static constexpr std::uint64_t bucket_low(int b) noexcept {
+    return b == 0 ? 0 : (std::uint64_t{1} << (b - 1));
+  }
+
+  /// Exclusive upper bound of bucket `b` (1 for bucket 0).
+  static constexpr std::uint64_t bucket_high(int b) noexcept {
+    return b == 0 ? 1 : (b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b));
+  }
+
+  void add(std::uint64_t v) noexcept {
+    ++counts_[static_cast<std::size_t>(bucket_of(v))];
+    ++total_;
+    sum_ += v;
+  }
+
+  std::uint64_t count(int bucket) const noexcept {
+    return counts_[static_cast<std::size_t>(bucket)];
+  }
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  double mean() const noexcept {
+    return total_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(total_);
+  }
+
+  /// Index of the highest non-empty bucket, or -1 when empty. Lets writers
+  /// stop at the occupied prefix instead of printing 65 rows.
+  int max_bucket() const noexcept {
+    for (int b = kBuckets - 1; b >= 0; --b) {
+      if (counts_[static_cast<std::size_t>(b)] != 0) return b;
+    }
+    return -1;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+}  // namespace lrsim

@@ -1,0 +1,253 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Dump-time serialization for the observability layer. Nothing here runs
+// while the simulation records — see observability.hpp for the hot-path
+// discipline.
+
+#include "obs/observability.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lrsim {
+
+namespace {
+
+std::string hex_line(LineId line) {
+  char buf[2 + 16 + 1];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(line));
+  return buf;
+}
+
+/// One exported Perfetto track: a (pid, tid) pair holding non-overlapping
+/// complete ("X") events. Spans that overlap in time are spread across lanes
+/// of the same kind, because the trace-event format requires stack
+/// discipline within a thread track and concurrent leases/transactions are
+/// legal (MAX_NUM_LEASES > 1; the directory serializes per *line*, not
+/// globally).
+struct Lane {
+  int tid;
+  Cycle last_end = 0;
+  std::vector<const SpanRecord*> spans;
+};
+
+/// Greedy interval partitioning: spans sorted by (begin, end) go to the
+/// first lane whose previous span has ended. Deterministic, and minimal in
+/// lane count for interval graphs.
+std::vector<Lane> assign_lanes(std::vector<const SpanRecord*> spans, int& next_tid) {
+  std::sort(spans.begin(), spans.end(), [](const SpanRecord* a, const SpanRecord* b) {
+    if (a->begin != b->begin) return a->begin < b->begin;
+    if (a->end != b->end) return a->end < b->end;
+    return a->line < b->line;
+  });
+  std::vector<Lane> lanes;
+  for (const SpanRecord* s : spans) {
+    Lane* target = nullptr;
+    for (Lane& l : lanes) {
+      if (l.last_end <= s->begin) {
+        target = &l;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      lanes.push_back(Lane{next_tid++});
+      target = &lanes.back();
+    }
+    target->spans.push_back(s);
+    target->last_end = s->end;
+  }
+  return lanes;
+}
+
+class JsonEvents {
+ public:
+  explicit JsonEvents(std::ostream& os) : os_(os) {}
+
+  void begin() { os_ << "[\n"; }
+  void end() { os_ << (first_ ? "" : "\n") << "]"; }
+
+  std::ostream& next() {
+    if (!first_) os_ << ",\n";
+    first_ = false;
+    return os_;
+  }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+void emit_process_name(JsonEvents& ev, int pid, const std::string& name) {
+  ev.next() << R"({"name":"process_name","ph":"M","pid":)" << pid
+            << R"(,"tid":0,"args":{"name":")" << name << "\"}}";
+}
+
+void emit_thread_name(JsonEvents& ev, int pid, int tid, const std::string& name) {
+  ev.next() << R"({"name":"thread_name","ph":"M","pid":)" << pid << R"(,"tid":)" << tid
+            << R"(,"args":{"name":")" << name << "\"}}";
+}
+
+}  // namespace
+
+std::vector<std::pair<LineId, LineProfile>> Observability::top_lines(std::size_t n) const {
+  std::vector<std::pair<LineId, LineProfile>> all(profile_.begin(), profile_.end());
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second.park_cycles != b.second.park_cycles)
+      return a.second.park_cycles > b.second.park_cycles;
+    if (a.second.probes_parked != b.second.probes_parked)
+      return a.second.probes_parked > b.second.probes_parked;
+    if (a.second.invalidations != b.second.invalidations)
+      return a.second.invalidations > b.second.invalidations;
+    return a.first < b.first;
+  });
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
+void Observability::write_trace_json(std::ostream& os) const {
+  // Partition spans: directory service spans on pid 0, core spans on
+  // pid core+1, one lane family per SpanKind. std::map keeps every
+  // iteration order deterministic.
+  std::map<std::pair<int, SpanKind>, std::vector<const SpanRecord*>> groups;
+  for (const SpanRecord& s : spans_) {
+    const int pid = s.core < 0 ? 0 : s.core + 1;
+    groups[{pid, s.kind}].push_back(&s);
+  }
+
+  os << "{\n\"displayTimeUnit\": \"ns\",\n";
+  os << "\"otherData\": {\"generator\": \"lrsim\", \"time_unit\": \"1 trace us = 1 simulated cycle\","
+     << " \"spans\": " << spans_.size() << ", \"spans_dropped\": " << spans_dropped_ << "},\n";
+  os << "\"traceEvents\": ";
+
+  JsonEvents ev{os};
+  ev.begin();
+
+  // Metadata: name every process we are about to reference.
+  std::vector<int> pids;
+  for (const auto& [key, unused] : groups) {
+    if (pids.empty() || pids.back() != key.first) pids.push_back(key.first);
+  }
+  if (tracer_ != nullptr) {
+    for (const TraceRecord& r : tracer_->records()) {
+      const int pid = r.core < 0 ? 0 : r.core + 1;
+      if (!std::binary_search(pids.begin(), pids.end(), pid)) {
+        pids.insert(std::lower_bound(pids.begin(), pids.end(), pid), pid);
+      }
+    }
+  }
+  for (int pid : pids) {
+    emit_process_name(ev, pid, pid == 0 ? "directory" : "core " + std::to_string(pid - 1));
+  }
+
+  // Span tracks: lanes per (pid, kind), tids unique within each pid.
+  std::map<int, int> next_tid;
+  std::map<int, int> instant_tid;  ///< Lazily created "events" track per pid.
+  for (const auto& [key, spans] : groups) {
+    const auto [pid, kind] = key;
+    if (next_tid.find(pid) == next_tid.end()) next_tid[pid] = 1;
+    int lane_no = 0;
+    for (const Lane& lane : assign_lanes(spans, next_tid[pid])) {
+      emit_thread_name(ev, pid, lane.tid,
+                       std::string(span_kind_name(kind)) + "#" + std::to_string(lane_no++));
+      for (const SpanRecord* s : lane.spans) {
+        std::ostream& out = ev.next();
+        out << R"({"name":")" << span_kind_name(s->kind) << ' ' << hex_line(s->line)
+            << R"(","cat":")" << span_kind_name(s->kind) << R"(","ph":"X","ts":)" << s->begin
+            << R"(,"dur":)" << (s->end - s->begin) << R"(,"pid":)" << pid << R"(,"tid":)"
+            << lane.tid << R"(,"args":{"line":")" << hex_line(s->line) << '"';
+        if (s->kind == SpanKind::kLeaseHold) {
+          out << R"(,"end":")" << release_kind_name(static_cast<ReleaseKind>(s->info)) << '"';
+        } else if (s->kind == SpanKind::kDirService) {
+          out << R"(,"requester":)" << s->info;
+        }
+        out << "}}";
+      }
+    }
+  }
+
+  // Instant events from the (optional) instruction-level tracer.
+  if (tracer_ != nullptr) {
+    for (const TraceRecord& r : tracer_->records()) {
+      const int pid = r.core < 0 ? 0 : r.core + 1;
+      auto it = instant_tid.find(pid);
+      if (it == instant_tid.end()) {
+        auto& tid = next_tid[pid];
+        if (tid == 0) tid = 1;
+        it = instant_tid.emplace(pid, tid++).first;
+        emit_thread_name(ev, pid, it->second, "events");
+      }
+      ev.next() << R"({"name":")" << trace_event_name(r.event) << R"(","cat":"trace","ph":"i","s":"t","ts":)"
+                << r.when << R"(,"pid":)" << pid << R"(,"tid":)" << it->second
+                << R"(,"args":{"line":")" << hex_line(r.line) << R"(","info":)" << r.info << "}}";
+    }
+  }
+
+  ev.end();
+  os << "\n}\n";
+}
+
+void Observability::write_profile(std::ostream& os, std::size_t top_n) const {
+  os << "# lrsim contention profile\n";
+  os << "# lines tracked: " << profile_.size() << ", spans recorded: " << spans_.size()
+     << " (dropped " << spans_dropped_ << ")\n\n";
+
+  os << "== top " << top_n << " hottest lines (by park cycles) ==\n";
+  os << "line               leases     parked  park_cycles      inval     breaks   expiries\n";
+  for (const auto& [line, p] : top_lines(top_n)) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%-16s %8llu %10llu %12llu %10llu %10llu %10llu\n",
+                  hex_line(line).c_str(), static_cast<unsigned long long>(p.leases),
+                  static_cast<unsigned long long>(p.probes_parked),
+                  static_cast<unsigned long long>(p.park_cycles),
+                  static_cast<unsigned long long>(p.invalidations),
+                  static_cast<unsigned long long>(p.lease_breaks),
+                  static_cast<unsigned long long>(p.lease_expiries));
+    os << buf;
+  }
+
+  auto dump_hist = [&os](const char* title, const Log2Histogram& h) {
+    os << "\n== " << title << " ==\n";
+    os << "samples: " << h.total() << ", mean: " << h.mean() << " cycles\n";
+    const int hi = h.max_bucket();
+    for (int b = 0; b <= hi; ++b) {
+      if (h.count(b) == 0) continue;
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "[%10llu, %10llu) %10llu\n",
+                    static_cast<unsigned long long>(Log2Histogram::bucket_low(b)),
+                    static_cast<unsigned long long>(Log2Histogram::bucket_high(b)),
+                    static_cast<unsigned long long>(h.count(b)));
+      os << buf;
+    }
+  };
+  dump_hist("lease duration histogram (cycles, log2 buckets)", lease_hist_);
+  dump_hist("probe-park latency histogram (cycles, log2 buckets)", park_hist_);
+}
+
+void Observability::write_samples_csv(std::ostream& os) const {
+  os << "cycle,scope,msgs_total,msgs_gets,msgs_getx,msgs_inv,msgs_downgrade,msgs_data,"
+        "msgs_ack,msgs_wb,msgs_nack,l1_hits,l1_misses,l2_accesses,dram_accesses,"
+        "leases_taken,releases_voluntary,releases_involuntary,releases_evicted,"
+        "releases_broken,probes_queued,probe_queued_cycles,ops_completed\n";
+  for (const SampleRow& r : samples_) {
+    const Stats& d = r.delta;
+    os << r.cycle << ',';
+    if (r.scope < 0) {
+      os << "total";
+    } else {
+      os << "core" << r.scope;
+    }
+    os << ',' << d.total_messages() << ',' << d.msgs_gets << ',' << d.msgs_getx << ','
+       << d.msgs_inv << ',' << d.msgs_downgrade << ',' << d.msgs_data << ',' << d.msgs_ack << ','
+       << d.msgs_wb << ',' << d.msgs_nack << ',' << d.l1_hits << ',' << d.l1_misses << ','
+       << d.l2_accesses << ',' << d.dram_accesses << ',' << d.leases_taken << ','
+       << d.releases_voluntary << ',' << d.releases_involuntary << ',' << d.releases_evicted << ','
+       << d.releases_broken << ',' << d.probes_queued << ',' << d.probe_queued_cycles << ','
+       << d.ops_completed << '\n';
+  }
+}
+
+}  // namespace lrsim

@@ -1,0 +1,238 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// First-class observability for the simulated machine (the layer the paper's
+// Section 7 evaluation implicitly relies on): every claim about Lease/Release
+// is read off coherence-level telemetry — message counts, probe-queueing
+// delay, lease expiry rates — and this subsystem makes that telemetry a
+// product feature instead of printf archaeology.
+//
+// Three sinks, all opt-in via Machine::enable_observability and all free when
+// off (the same null-check discipline as the Tracer):
+//
+//  * span recording — lease hold spans, probe-park spans, and directory
+//    service spans land in a *preallocated* buffer (no per-event heap
+//    traffic; overflow is counted, not allocated) and export as Chrome/
+//    Perfetto trace-event JSON (write_trace_json) that loads directly in
+//    ui.perfetto.dev;
+//  * per-line contention profiles — a hottest-lines table (probes parked,
+//    park cycles, invalidations, lease breaks per line) plus log2 histogram
+//    sketches of lease durations and probe-park latencies;
+//  * a deterministic time-series sampler — Stats deltas (machine aggregate
+//    plus per-core breakdown) snapshotted every K *simulated* cycles into
+//    CSV rows whose bytes depend only on the simulation, never on host
+//    threading (--jobs) or wall clock.
+//
+// Serialization happens exclusively at dump time; recording is counter
+// bumps, histogram increments, and bounded push_backs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/release_kind.hpp"
+#include "obs/histogram.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+struct ObsOptions {
+  /// Preallocated span-buffer capacity; spans past it are dropped (and
+  /// counted), never reallocated mid-run.
+  std::size_t span_capacity = std::size_t{1} << 16;
+  /// Snapshot Stats deltas every this many simulated cycles (0 = off).
+  Cycle sample_every = 0;
+  /// Emit a per-core row alongside each machine-aggregate sample row.
+  bool per_core_samples = true;
+};
+
+/// What a recorded span covers.
+enum class SpanKind : std::uint8_t {
+  kLeaseHold,   ///< Countdown start -> release (any ReleaseKind).
+  kProbePark,   ///< Probe parked behind a lease -> serviced.
+  kDirService,  ///< Directory dequeues a request -> transaction complete.
+};
+
+inline const char* span_kind_name(SpanKind k) {
+  switch (k) {
+    case SpanKind::kLeaseHold: return "lease";
+    case SpanKind::kProbePark: return "park";
+    case SpanKind::kDirService: return "dir";
+  }
+  return "?";
+}
+
+struct SpanRecord {
+  SpanKind kind;
+  CoreId core;  ///< -1 for directory spans.
+  LineId line;
+  Cycle begin;
+  Cycle end;
+  std::uint64_t info;  ///< lease: ReleaseKind; dir: requester core.
+};
+
+/// Per-line contention counters (aggregated across cores).
+struct LineProfile {
+  std::uint64_t leases = 0;          ///< Lease-table entries opened on the line.
+  std::uint64_t probes_parked = 0;   ///< Probes parked behind a lease.
+  std::uint64_t park_cycles = 0;     ///< Total cycles probes spent parked.
+  std::uint64_t invalidations = 0;   ///< Invalidation probes delivered.
+  std::uint64_t lease_breaks = 0;    ///< Leases lost to priority breaks / eviction.
+  std::uint64_t lease_expiries = 0;  ///< Involuntary (timer) releases.
+};
+
+/// One time-series sample: the Stats delta accumulated over the last
+/// `sample_every` cycles for one scope.
+struct SampleRow {
+  Cycle cycle;
+  int scope;  ///< -1 = machine aggregate; otherwise the core id.
+  Stats delta;
+};
+
+class Observability {
+ public:
+  explicit Observability(ObsOptions opts = {}) : opts_(opts) {
+    spans_.reserve(opts_.span_capacity);
+    profile_.reserve(1024);
+  }
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  // --- recording hooks (hot path: null-checked by the caller) ---------------
+
+  void on_lease_taken(LineId line) { ++line_profile(line).leases; }
+
+  /// A lease left the table. `started` distinguishes countdown-running
+  /// entries (which produce a hold span) from ones evicted mid-acquisition.
+  void on_lease_end(CoreId core, LineId line, Cycle started_at, Cycle now, ReleaseKind kind,
+                    bool started) {
+    LineProfile& p = line_profile(line);
+    if (kind == ReleaseKind::kInvoluntary) ++p.lease_expiries;
+    if (kind == ReleaseKind::kBroken || kind == ReleaseKind::kEvicted) ++p.lease_breaks;
+    if (!started) return;
+    lease_hist_.add(now - started_at);
+    push_span(SpanKind::kLeaseHold, core, line, started_at, now,
+              static_cast<std::uint64_t>(kind));
+  }
+
+  void on_probe_parked(LineId line) { ++line_profile(line).probes_parked; }
+
+  void on_probe_unparked(CoreId core, LineId line, Cycle parked_at, Cycle now) {
+    line_profile(line).park_cycles += now - parked_at;
+    park_hist_.add(now - parked_at);
+    push_span(SpanKind::kProbePark, core, line, parked_at, now, 0);
+  }
+
+  void on_invalidation(LineId line) { ++line_profile(line).invalidations; }
+
+  void on_dir_service(LineId line, CoreId requester, Cycle begin, Cycle end) {
+    push_span(SpanKind::kDirService, /*core=*/-1, line, begin, end,
+              static_cast<std::uint64_t>(requester));
+  }
+
+  // --- sampler --------------------------------------------------------------
+
+  /// Starts the periodic Stats sampler on `ev`. `total` returns the current
+  /// machine-wide cumulative Stats; `per_core` (optional) points at the
+  /// per-core cumulative blocks. Rows record *deltas* between consecutive
+  /// ticks. Wired by Machine::enable_observability; call at most once.
+  void start_sampling(EventQueue& ev, std::function<Stats()> total,
+                      const std::vector<Stats>* per_core) {
+    if (opts_.sample_every == 0) return;
+    ev_ = &ev;
+    total_fn_ = std::move(total);
+    per_core_ = opts_.per_core_samples ? per_core : nullptr;
+    last_total_ = total_fn_();
+    if (per_core_ != nullptr) last_per_core_ = *per_core_;
+    ev_->schedule_in(opts_.sample_every, [this] { sample_tick(); });
+  }
+
+  // --- introspection --------------------------------------------------------
+
+  const std::vector<SpanRecord>& spans() const noexcept { return spans_; }
+  std::uint64_t spans_dropped() const noexcept { return spans_dropped_; }
+  const std::unordered_map<LineId, LineProfile>& line_profiles() const noexcept {
+    return profile_;
+  }
+  const Log2Histogram& lease_duration_histogram() const noexcept { return lease_hist_; }
+  const Log2Histogram& park_latency_histogram() const noexcept { return park_hist_; }
+  const std::vector<SampleRow>& samples() const noexcept { return samples_; }
+  const ObsOptions& options() const noexcept { return opts_; }
+
+  /// The `n` hottest lines, ordered by park cycles, then probes parked, then
+  /// invalidations, then line id — a total, deterministic order.
+  std::vector<std::pair<LineId, LineProfile>> top_lines(std::size_t n) const;
+
+  /// Optional: instruction-level Tracer whose point records are exported as
+  /// instant events alongside the spans (Machine wires this when tracing is
+  /// enabled; null = spans only).
+  void set_tracer(const Tracer* t) noexcept { tracer_ = t; }
+
+  // --- serialization (dump time only) ---------------------------------------
+
+  /// Chrome/Perfetto trace-event JSON: per-core lease/park tracks, directory
+  /// service tracks, and (if a tracer is attached) instant events. One
+  /// timeline microsecond == one simulated cycle (== 1 ns at the 1 GHz
+  /// clock), so timestamps stay exact integers.
+  void write_trace_json(std::ostream& os) const;
+
+  /// Human-readable contention profile: top-N hottest lines plus the lease
+  /// duration and probe-park latency histograms.
+  void write_profile(std::ostream& os, std::size_t top_n = 20) const;
+
+  /// Time-series CSV: one machine-aggregate row (scope "total") per tick,
+  /// plus per-core rows when enabled. Deterministic bytes for a given
+  /// simulation regardless of host parallelism.
+  void write_samples_csv(std::ostream& os) const;
+
+ private:
+  LineProfile& line_profile(LineId line) { return profile_[line]; }
+
+  void push_span(SpanKind kind, CoreId core, LineId line, Cycle begin, Cycle end,
+                 std::uint64_t info) {
+    if (spans_.size() == opts_.span_capacity) {
+      ++spans_dropped_;
+      return;
+    }
+    spans_.push_back(SpanRecord{kind, core, line, begin, end, info});
+  }
+
+  void sample_tick() {
+    const Cycle now = ev_->now();
+    const Stats total = total_fn_();
+    samples_.push_back(SampleRow{now, -1, total - last_total_});
+    last_total_ = total;
+    if (per_core_ != nullptr) {
+      for (std::size_t c = 0; c < per_core_->size(); ++c) {
+        samples_.push_back(SampleRow{now, static_cast<int>(c), (*per_core_)[c] - last_per_core_[c]});
+      }
+      last_per_core_ = *per_core_;
+    }
+    ev_->schedule_in(opts_.sample_every, [this] { sample_tick(); });
+  }
+
+  ObsOptions opts_;
+  std::vector<SpanRecord> spans_;  ///< Preallocated; never grows past capacity.
+  std::uint64_t spans_dropped_ = 0;
+  std::unordered_map<LineId, LineProfile> profile_;
+  Log2Histogram lease_hist_;
+  Log2Histogram park_hist_;
+  const Tracer* tracer_ = nullptr;
+
+  // Sampler state.
+  EventQueue* ev_ = nullptr;
+  std::function<Stats()> total_fn_;
+  const std::vector<Stats>* per_core_ = nullptr;
+  Stats last_total_;
+  std::vector<Stats> last_per_core_;
+  std::vector<SampleRow> samples_;
+};
+
+}  // namespace lrsim

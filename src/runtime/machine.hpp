@@ -33,6 +33,7 @@
 #include "coherence/directory.hpp"
 #include "mem/heap.hpp"
 #include "mem/memory.hpp"
+#include "obs/observability.hpp"
 #include "runtime/task.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/invariants.hpp"
@@ -417,9 +418,25 @@ class Machine {
     dir_->set_tracer(tracer_.get());
     for (auto& c : controllers_) c->set_tracer(tracer_.get());
     if (inv_) inv_->set_tracer(tracer_.get());
+    if (obs_) obs_->set_tracer(tracer_.get());
     return *tracer_;
   }
   Tracer* tracer() noexcept { return tracer_.get(); }
+
+  /// Arms the observability layer (see obs/observability.hpp): span
+  /// recording for trace export, per-line contention profiles, and (when
+  /// opts.sample_every > 0) the periodic Stats sampler. Call before
+  /// spawning work so lease/park/directory spans are complete. Off by
+  /// default; when off, every hook site is a single null check.
+  Observability& enable_observability(ObsOptions opts = {}) {
+    obs_ = std::make_unique<Observability>(opts);
+    dir_->set_observer(obs_.get());
+    for (auto& c : controllers_) c->set_observer(obs_.get());
+    if (tracer_) obs_->set_tracer(tracer_.get());
+    obs_->start_sampling(ev_, [this] { return total_stats(); }, &core_stats_);
+    return *obs_;
+  }
+  Observability* observability() noexcept { return obs_.get(); }
 
   /// Arms the protocol invariant checker (see sim/invariants.hpp). Checks
   /// run after every hooked state transition; a violation throws
@@ -488,6 +505,7 @@ class Machine {
   std::vector<std::unique_ptr<ThreadState>> threads_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<InvariantChecker> inv_;
+  std::unique_ptr<Observability> obs_;
 };
 
 }  // namespace lrsim

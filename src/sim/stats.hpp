@@ -73,7 +73,7 @@ struct Stats {
   double energy_nj(const EnergyModel& m = {}) const noexcept {
     return static_cast<double>(l1_hits + l1_misses) * m.l1_access_nj +
            static_cast<double>(l2_accesses) * m.l2_access_nj +
-           static_cast<double>(total_messages()) * (m.msg_nj + 0.0) +
+           static_cast<double>(total_messages()) * m.msg_nj +
            static_cast<double>(l1_misses) * m.dir_access_nj +
            static_cast<double>(dram_accesses) * m.dram_access_nj;
   }

@@ -49,6 +49,13 @@ class Tracer {
 
   void emit(TraceEvent ev, Cycle when, CoreId core, LineId line, std::uint64_t info = 0) {
     if (filter_ && *filter_ != line) return;
+    if (capacity_ == 0) {
+      // A zero-capacity ring keeps nothing; without this the == test below
+      // would pop_front() an empty deque (UB). The record still counts as
+      // dropped so callers can tell tracing was lossy.
+      ++dropped_;
+      return;
+    }
     if (ring_.size() == capacity_) {
       ring_.pop_front();
       ++dropped_;

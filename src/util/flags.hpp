@@ -7,6 +7,7 @@
 // fail loudly instead of silently running the wrong configuration.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -99,14 +100,13 @@ class FlagSet {
       }
       std::string name(arg);
       bool negated = false;
-      if (!entries_.contains(name) && name.starts_with("no-")) {
-        std::string stripped = name.substr(3);
-        if (auto it = entries_.find(stripped); it != entries_.end() && it->second.is_bool) {
-          name = stripped;
+      auto it = find_entry(name);
+      if (it == entries_.end() && (name.starts_with("no-") || name.starts_with("no_"))) {
+        if (auto sit = find_entry(name.substr(3)); sit != entries_.end() && sit->second.is_bool) {
+          it = sit;
           negated = true;
         }
       }
-      auto it = entries_.find(name);
       if (it == entries_.end()) throw std::invalid_argument("unknown flag --" + name + "\n" + usage());
       Entry& e = it->second;
       if (negated) {
@@ -144,6 +144,17 @@ class FlagSet {
     std::function<void(std::string_view)> set;
     std::function<std::string()> show;
   };
+
+  /// Registered names use underscores; dashed spellings are accepted as
+  /// aliases (--trace-out == --trace_out).
+  std::map<std::string, Entry>::iterator find_entry(std::string name) {
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      std::replace(name.begin(), name.end(), '-', '_');
+      it = entries_.find(name);
+    }
+    return it;
+  }
 
   std::string program_;
   std::map<std::string, Entry> entries_;

@@ -79,6 +79,62 @@ TEST_F(TableFixture, FifoEvictionAtCapacity) {
   EXPECT_EQ(stats.releases_evicted, 1u);
 }
 
+TEST_F(TableFixture, FifoEvictionOfGroupMemberTakesWholeGroup) {
+  // Regression: evicting the oldest entry via single-entry removal used to
+  // leave a partial MultiLease group behind (the survivor still reported
+  // group_complete()). A group member at the FIFO front must take the
+  // entire group with it, exactly like force_release.
+  table.add(1, 500, /*in_group=*/true);
+  table.add(2, 500, /*in_group=*/true);
+  table.on_granted(1);
+  table.on_granted(2);
+  table.start_group();
+  table.add(3, 500);
+  EXPECT_EQ(table.size(), 3);
+  table.add(4, 500);  // table full; front is group member 1
+  EXPECT_FALSE(table.has(1));
+  EXPECT_FALSE(table.has(2));  // whole group gone, not just the front
+  EXPECT_TRUE(table.has(3));
+  EXPECT_TRUE(table.has(4));
+  EXPECT_FALSE(table.has_group());
+  EXPECT_FALSE(table.group_complete());
+  EXPECT_EQ(stats.releases_evicted, 2u);
+}
+
+TEST_F(TableFixture, FutilityPredictorMapIsBounded) {
+  // Regression: the futility map used to grow one entry per distinct leased
+  // line forever. It now models a fixed-size table bounded by
+  // predictor_map_capacity, evicting the oldest-tracked line.
+  cfg.lease_predictor = true;
+  cfg.predictor_threshold = 1;
+  cfg.predictor_map_capacity = 4;
+  for (LineId l = 100; l < 140; ++l) {
+    table.add(l, 50);
+    table.on_granted(l);
+    ev.run(ev.now() + 50);  // expire involuntarily
+  }
+  EXPECT_LE(table.futility_tracked(), 4u);
+  EXPECT_TRUE(table.predicts_futile(139));   // newest streak survives
+  EXPECT_FALSE(table.predicts_futile(100));  // oldest fell out of the table
+}
+
+TEST_F(TableFixture, VoluntaryReleaseErasesPredictorEntry) {
+  // Rehabilitation removes the line from the predictor map instead of
+  // zeroing it in place — zeroing kept one map entry per line ever leased.
+  cfg.lease_predictor = true;
+  cfg.predictor_threshold = 1;
+  table.add(7, 50);
+  table.on_granted(7);
+  ev.run(ev.now() + 50);  // involuntary
+  EXPECT_TRUE(table.predicts_futile(7));
+  EXPECT_EQ(table.futility_tracked(), 1u);
+  table.add(7, 50);
+  table.on_granted(7);
+  table.release(7);
+  EXPECT_FALSE(table.predicts_futile(7));
+  EXPECT_EQ(table.futility_tracked(), 0u);
+}
+
 TEST_F(TableFixture, EvictionServicesParkedProbe) {
   table.add(1, 500);
   table.on_granted(1);

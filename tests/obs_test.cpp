@@ -1,0 +1,477 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Observability-layer tests: log2 histogram bucket math, per-line contention
+// profiles and top-N ordering, span recording discipline, the Perfetto
+// trace-event exporter (parsed with a minimal JSON reader and checked for
+// the format's track invariants), the deterministic stats sampler, and the
+// bench-harness sink files' byte-identity across host --jobs values.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "sim_test_util.hpp"
+
+namespace lrsim {
+namespace {
+
+using testing::run_workers;
+using testing::small_config;
+
+// --- minimal JSON reader (enough for the exporter's output) -----------------
+
+struct Json {
+  enum Kind { kNull, kBool, kNum, kStr, kArr, kObj } kind = kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  const Json& at(const std::string& key) const {
+    auto it = obj.find(key);
+    if (it == obj.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const { return obj.count(key) != 0; }
+  std::int64_t as_int() const { return static_cast<std::int64_t>(num); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    ws();
+    if (i_ != s_.size()) throw std::runtime_error("trailing bytes after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error(what + " at offset " + std::to_string(i_));
+  }
+  void ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\n' || s_[i_] == '\r'))
+      ++i_;
+  }
+  char peek() {
+    ws();
+    if (i_ >= s_.size()) fail("unexpected end of input");
+    return s_[i_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++i_;
+  }
+  bool maybe(char c) {
+    if (i_ < s_.size() && peek() == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': literal("true"); return make_bool(true);
+      case 'f': literal("false"); return make_bool(false);
+      case 'n': literal("null"); return Json{};
+      default: return number();
+    }
+  }
+  static Json make_bool(bool b) {
+    Json v;
+    v.kind = Json::kBool;
+    v.b = b;
+    return v;
+  }
+  void literal(std::string_view lit) {
+    if (s_.substr(i_, lit.size()) != lit) fail("bad literal");
+    i_ += lit.size();
+  }
+  Json object() {
+    expect('{');
+    Json v;
+    v.kind = Json::kObj;
+    if (maybe('}')) return v;
+    do {
+      Json key = string_value();
+      expect(':');
+      v.obj.emplace(std::move(key.str), value());
+    } while (maybe(','));
+    expect('}');
+    return v;
+  }
+  Json array() {
+    expect('[');
+    Json v;
+    v.kind = Json::kArr;
+    if (maybe(']')) return v;
+    do {
+      v.arr.push_back(value());
+    } while (maybe(','));
+    expect(']');
+    return v;
+  }
+  Json string_value() {
+    expect('"');
+    Json v;
+    v.kind = Json::kStr;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\') {
+        ++i_;
+        if (i_ >= s_.size()) fail("dangling escape");
+      }
+      v.str.push_back(s_[i_++]);
+    }
+    if (i_ >= s_.size()) fail("unterminated string");
+    ++i_;  // closing quote
+    return v;
+  }
+  Json number() {
+    const std::size_t start = i_;
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) || s_[i_] == '-' || s_[i_] == '+' ||
+            s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E'))
+      ++i_;
+    if (i_ == start) fail("expected a number");
+    return [&] {
+      Json v;
+      v.kind = Json::kNum;
+      v.num = std::stod(std::string(s_.substr(start, i_ - start)));
+      return v;
+    }();
+  }
+
+  std::string_view s_;
+  std::size_t i_ = 0;
+};
+
+// --- histogram ---------------------------------------------------------------
+
+TEST(Log2Histogram, BucketMathRoundTrips) {
+  EXPECT_EQ(Log2Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Log2Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Log2Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Log2Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Log2Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Log2Histogram::bucket_of(1023), 10);
+  EXPECT_EQ(Log2Histogram::bucket_of(1024), 11);
+  EXPECT_EQ(Log2Histogram::bucket_of(~std::uint64_t{0}), 64);
+  // Every bucket's inclusive low and (exclusive) high-1 map back into it.
+  for (int b = 0; b < Log2Histogram::kBuckets; ++b) {
+    EXPECT_EQ(Log2Histogram::bucket_of(Log2Histogram::bucket_low(b)), b) << b;
+    const std::uint64_t high = Log2Histogram::bucket_high(b);
+    EXPECT_EQ(Log2Histogram::bucket_of(b == 64 ? high : high - 1), b) << b;
+    EXPECT_LT(Log2Histogram::bucket_low(b), high) << b;
+  }
+}
+
+TEST(Log2Histogram, AddAndSummaries) {
+  Log2Histogram h;
+  EXPECT_EQ(h.max_bucket(), -1);
+  for (std::uint64_t v : {0ull, 1ull, 3ull, 3ull, 100ull}) h.add(v);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.sum(), 107u);
+  EXPECT_DOUBLE_EQ(h.mean(), 107.0 / 5.0);
+  EXPECT_EQ(h.count(0), 1u);  // {0}
+  EXPECT_EQ(h.count(1), 1u);  // {1}
+  EXPECT_EQ(h.count(2), 2u);  // [2,4)
+  EXPECT_EQ(h.count(7), 1u);  // [64,128) holds 100
+  EXPECT_EQ(h.max_bucket(), 7);
+}
+
+// --- recording hooks ---------------------------------------------------------
+
+TEST(Observability, TopLinesIsOrderedByParkCyclesThenTieBreaks) {
+  Observability obs;
+  // line 1: most park cycles. line 2: fewer. line 3 and 4: none parked,
+  // ordered by invalidations then line id.
+  obs.on_probe_parked(1);
+  obs.on_probe_unparked(0, 1, 0, 100);
+  obs.on_probe_parked(2);
+  obs.on_probe_unparked(0, 2, 10, 20);
+  obs.on_invalidation(4);
+  obs.on_invalidation(3);
+  obs.on_invalidation(3);
+  const auto top = obs.top_lines(10);
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0].first, 1u);
+  EXPECT_EQ(top[1].first, 2u);
+  EXPECT_EQ(top[2].first, 3u);  // 2 invalidations beat 1
+  EXPECT_EQ(top[3].first, 4u);
+  const auto top1 = obs.top_lines(1);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_EQ(top1[0].first, 1u);
+  EXPECT_EQ(top1[0].second.park_cycles, 100u);
+}
+
+TEST(Observability, SpanBufferDropsAtCapacityWithoutGrowing) {
+  ObsOptions oo;
+  oo.span_capacity = 2;
+  Observability obs{oo};
+  for (LineId l = 1; l <= 5; ++l) {
+    obs.on_lease_end(0, l, 10, 20, ReleaseKind::kVoluntary, /*started=*/true);
+  }
+  EXPECT_EQ(obs.spans().size(), 2u);
+  EXPECT_EQ(obs.spans_dropped(), 3u);
+  // The histogram and profile still see every lease (only spans are capped).
+  EXPECT_EQ(obs.lease_duration_histogram().total(), 5u);
+}
+
+TEST(Observability, LeaseEndClassifiesReleaseKinds) {
+  Observability obs;
+  obs.on_lease_taken(9);
+  obs.on_lease_end(0, 9, 0, 50, ReleaseKind::kInvoluntary, true);
+  obs.on_lease_end(0, 9, 60, 70, ReleaseKind::kBroken, true);
+  obs.on_lease_end(0, 9, 80, 90, ReleaseKind::kEvicted, true);
+  // Never-started entry (evicted mid-acquisition): counted, but no span and
+  // no duration sample.
+  obs.on_lease_end(0, 9, 0, 95, ReleaseKind::kEvicted, /*started=*/false);
+  const auto& p = obs.line_profiles().at(9);
+  EXPECT_EQ(p.leases, 1u);
+  EXPECT_EQ(p.lease_expiries, 1u);
+  EXPECT_EQ(p.lease_breaks, 3u);
+  EXPECT_EQ(obs.spans().size(), 3u);
+  EXPECT_EQ(obs.lease_duration_histogram().total(), 3u);
+  for (const SpanRecord& s : obs.spans()) EXPECT_LE(s.begin, s.end);
+}
+
+// --- machine integration -----------------------------------------------------
+
+Task<void> contend(Ctx& ctx, Addr a, int ops) {
+  for (int i = 0; i < ops; ++i) {
+    co_await ctx.lease(a, 400);
+    const std::uint64_t v = co_await ctx.load(a);
+    co_await ctx.store(a, v + 1);
+    co_await ctx.release(a);
+    ctx.count_op();
+    co_await ctx.work(1 + ctx.rng().next_below(8));
+  }
+}
+
+TEST(ObsMachine, RecordsLeaseParkAndDirectorySpans) {
+  Machine m{small_config(4, /*leases=*/true), /*seed=*/7};
+  const Addr a = m.heap().alloc_line();
+  Observability& obs = m.enable_observability();
+  run_workers(m, 4, [&](Ctx& ctx, int) { return contend(ctx, a, 10); });
+
+  bool saw_lease = false, saw_park = false, saw_dir = false;
+  for (const SpanRecord& s : obs.spans()) {
+    EXPECT_LE(s.begin, s.end);
+    switch (s.kind) {
+      case SpanKind::kLeaseHold: saw_lease = true; EXPECT_GE(s.core, 0); break;
+      case SpanKind::kProbePark: saw_park = true; EXPECT_GE(s.core, 0); break;
+      case SpanKind::kDirService: saw_dir = true; EXPECT_EQ(s.core, -1); break;
+    }
+  }
+  EXPECT_TRUE(saw_lease);
+  EXPECT_TRUE(saw_park);  // 4 cores fighting over one leased line must park
+  EXPECT_TRUE(saw_dir);
+  EXPECT_GT(obs.lease_duration_histogram().total(), 0u);
+  EXPECT_GT(obs.park_latency_histogram().total(), 0u);
+  // The contended line dominates the profile.
+  const auto top = obs.top_lines(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].first, line_of(a));
+}
+
+TEST(ObsMachine, TraceJsonParsesAndTracksAreSortedNonOverlapping) {
+  Machine m{small_config(4, /*leases=*/true), /*seed=*/7};
+  const Addr a = m.heap().alloc_line();
+  m.enable_tracing(1024);
+  Observability& obs = m.enable_observability();
+  run_workers(m, 4, [&](Ctx& ctx, int) { return contend(ctx, a, 10); });
+
+  std::ostringstream os;
+  obs.write_trace_json(os);
+  Json doc = JsonParser{os.str()}.parse();
+
+  ASSERT_EQ(doc.kind, Json::kObj);
+  EXPECT_EQ(doc.at("otherData").at("spans").as_int(),
+            static_cast<std::int64_t>(obs.spans().size()));
+  const Json& events = doc.at("traceEvents");
+  ASSERT_EQ(events.kind, Json::kArr);
+  ASSERT_FALSE(events.arr.empty());
+
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> track_end;
+  std::set<std::pair<std::int64_t, std::int64_t>> named_tracks;
+  std::size_t n_complete = 0, n_instant = 0;
+  for (const Json& ev : events.arr) {
+    const std::string& ph = ev.at("ph").str;
+    if (ph == "M") {
+      if (ev.at("name").str == "thread_name") {
+        named_tracks.emplace(ev.at("pid").as_int(), ev.at("tid").as_int());
+      }
+      continue;
+    }
+    const std::int64_t ts = ev.at("ts").as_int();
+    EXPECT_GE(ts, 0);
+    if (ph == "i") {
+      ++n_instant;
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    ++n_complete;
+    const std::int64_t dur = ev.at("dur").as_int();
+    EXPECT_GE(dur, 0);
+    const auto track = std::make_pair(ev.at("pid").as_int(), ev.at("tid").as_int());
+    auto [it, fresh] = track_end.emplace(track, 0);
+    // The format requires per-track stack discipline; the exporter's lane
+    // assignment must emit sorted, non-overlapping complete events.
+    EXPECT_GE(ts, it->second) << "overlap on pid " << track.first << " tid " << track.second;
+    it->second = ts + dur;
+  }
+  EXPECT_EQ(n_complete, obs.spans().size());
+  EXPECT_GT(n_instant, 0u);  // tracer records ride along as instants
+  for (const auto& [track, unused] : track_end) {
+    EXPECT_TRUE(named_tracks.count(track)) << "unnamed track pid " << track.first;
+  }
+}
+
+TEST(ObsMachine, ProfileReportNamesTheHottestLine) {
+  Machine m{small_config(4, /*leases=*/true), /*seed=*/7};
+  const Addr a = m.heap().alloc_line();
+  Observability& obs = m.enable_observability();
+  run_workers(m, 4, [&](Ctx& ctx, int) { return contend(ctx, a, 10); });
+
+  std::ostringstream os;
+  obs.write_profile(os, /*top_n=*/5);
+  const std::string text = os.str();
+  std::ostringstream hex;
+  hex << "0x" << std::hex << line_of(a);
+  EXPECT_NE(text.find(hex.str()), std::string::npos);
+  EXPECT_NE(text.find("lease duration histogram"), std::string::npos);
+  EXPECT_NE(text.find("probe-park latency histogram"), std::string::npos);
+}
+
+TEST(ObsMachine, SamplerTicksPeriodicallyAndDeltasAddUp) {
+  MachineConfig cfg = small_config(2, /*leases=*/true);
+  Machine m{cfg, /*seed=*/5};
+  const Addr a = m.heap().alloc_line();
+  ObsOptions oo;
+  oo.sample_every = 500;
+  Observability& obs = m.enable_observability(oo);
+  run_workers(m, 2, [&](Ctx& ctx, int) { return contend(ctx, a, 20); });
+
+  const auto& rows = obs.samples();
+  ASSERT_FALSE(rows.empty());
+  Stats total_from_rows;
+  Cycle prev_tick = 0;
+  for (const SampleRow& r : rows) {
+    EXPECT_EQ(r.cycle % 500, 0u);
+    if (r.scope == -1) {
+      EXPECT_GT(r.cycle, prev_tick);  // one aggregate row per tick, in order
+      prev_tick = r.cycle;
+      total_from_rows += r.delta;
+    } else {
+      EXPECT_LT(r.scope, cfg.num_cores);
+      EXPECT_EQ(r.cycle, prev_tick);  // per-core rows follow their tick
+    }
+  }
+  // Deltas accumulated over all ticks never exceed the final cumulative
+  // stats, and cover everything up to the last tick.
+  const Stats cumulative = m.total_stats();
+  EXPECT_LE(total_from_rows.ops_completed, cumulative.ops_completed);
+  EXPECT_LE(total_from_rows.leases_taken, cumulative.leases_taken);
+  EXPECT_GT(total_from_rows.msgs_gets + total_from_rows.msgs_getx, 0u);
+}
+
+// --- bench-harness sinks -----------------------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+bench::BenchOptions obs_sweep_options(const std::string& tag) {
+  bench::BenchOptions opt;
+  opt.threads = {2, 4};
+  opt.ops_per_thread = 20;
+  opt.csv_dir.clear();
+  const auto dir = std::filesystem::path(::testing::TempDir()) / ("obs_" + tag);
+  opt.trace_out = (dir / "trace.json").string();
+  opt.profile_out = (dir / "profile.txt").string();
+  opt.samples_out = (dir / "samples.csv").string();
+  opt.sample_every = 1000;
+  return opt;
+}
+
+std::vector<bench::Variant> obs_variants() {
+  bench::Variant base;
+  base.name = "base";
+  base.configure = [](MachineConfig& cfg) { cfg.leases_enabled = false; };
+  base.make = [](Machine& m, const bench::BenchOptions& opt) {
+    const Addr a = m.heap().alloc_line();
+    const int ops = opt.ops_per_thread;
+    return [a, ops](Ctx& ctx, int) { return contend(ctx, a, ops); };
+  };
+  bench::Variant lease = base;
+  lease.name = "lease";
+  lease.configure = [](MachineConfig& cfg) { cfg.leases_enabled = true; };
+  return {base, lease};
+}
+
+TEST(ObsHarness, SinkFilesAreByteIdenticalAcrossHostJobs) {
+  // The observed sample rides inside one deterministic simulation; host
+  // parallelism of the surrounding sweep must not change a single byte of
+  // any sink file.
+  auto run = [&](int jobs, const std::string& tag) {
+    bench::BenchOptions opt = obs_sweep_options(tag);
+    opt.jobs = jobs;
+    std::ostringstream captured;  // keep the tables off the test log
+    std::streambuf* old = std::cout.rdbuf(captured.rdbuf());
+    bench::run_experiment("obs sinks", "obs", obs_variants(), opt);
+    std::cout.rdbuf(old);
+    return opt;
+  };
+  const bench::BenchOptions serial = run(1, "serial");
+  const bench::BenchOptions parallel = run(4, "par4");
+
+  const std::string samples = slurp(serial.samples_out);
+  EXPECT_FALSE(samples.empty());
+  EXPECT_EQ(samples, slurp(parallel.samples_out));
+  EXPECT_NE(samples.find("cycle,scope,"), std::string::npos);
+  EXPECT_NE(samples.find(",total,"), std::string::npos);
+  EXPECT_NE(samples.find(",core0,"), std::string::npos);
+
+  const std::string trace = slurp(serial.trace_out);
+  EXPECT_FALSE(trace.empty());
+  EXPECT_EQ(trace, slurp(parallel.trace_out));
+  EXPECT_NO_THROW(JsonParser{trace}.parse());
+
+  const std::string profile = slurp(serial.profile_out);
+  EXPECT_FALSE(profile.empty());
+  EXPECT_EQ(profile, slurp(parallel.profile_out));
+}
+
+TEST(ObsHarness, ObservabilityOffLeavesNoSinkState) {
+  // Default options: no observability. run_one must not create an
+  // Observability (the hook sites stay single null checks).
+  bench::BenchOptions opt;
+  opt.threads = {2};
+  opt.ops_per_thread = 10;
+  opt.csv_dir.clear();
+  EXPECT_FALSE(opt.observability_requested());
+  const bench::Sample s = bench::run_one(obs_variants()[1], 2, opt);
+  EXPECT_GT(s.ops, 0u);
+}
+
+}  // namespace
+}  // namespace lrsim

@@ -27,6 +27,19 @@ TEST(Tracer, RingKeepsNewestAndCountsDrops) {
   EXPECT_EQ(recs.back().line, 9u);   // newest
 }
 
+TEST(Tracer, ZeroCapacityDropsEveryRecord) {
+  // Regression: a zero-capacity ring used to pop_front() an empty deque on
+  // the first emit (UB). It must instead keep nothing and count every
+  // record as dropped.
+  Tracer tr{/*capacity=*/0};
+  for (int i = 0; i < 3; ++i) {
+    tr.emit(TraceEvent::kCpuLoad, static_cast<Cycle>(i), 0, 1);
+  }
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_EQ(tr.dropped(), 3u);
+  EXPECT_TRUE(tr.records().empty());
+}
+
 TEST(Tracer, LineFilterKeepsOnlyMatchesWithoutConsumingCapacity) {
   Tracer tr{/*capacity=*/4, /*line_filter=*/LineId{5}};
   // 5 matching emits interleaved with 6 non-matching ones.
