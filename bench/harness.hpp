@@ -39,6 +39,10 @@ struct BenchOptions {
   std::uint64_t seed = 1;
   Cycle think_max = 40;  ///< Random local work between ops (0..think_max).
   int jobs = 0;  ///< --jobs: host threads running samples; 0 = one per host CPU.
+  /// --fast-path: "auto" keeps whatever the variant configures (the
+  /// MachineConfig default is on), "on"/"off" force it — for ablating the
+  /// inline L1-hit fast path (host-speed only; results are bit-identical).
+  std::string fast_path = "auto";
 
   // --- observability sinks (src/obs/): applied to ONE observed sample ------
   // (by default the last variant at the largest thread count; override with
@@ -70,6 +74,8 @@ inline bool parse_flags(int argc, char** argv, const std::string& name, BenchOpt
   flags.add("seed", &opt.seed, "workload RNG seed");
   flags.add("think", &opt.think_max, "max random local work between ops (cycles)");
   flags.add("jobs", &opt.jobs, "host threads running samples in parallel (0 = one per host CPU)");
+  flags.add("fast-path", &opt.fast_path,
+            "inline L1-hit fast path: on, off, or auto (= variant/config default)");
   flags.add("trace_out", &opt.trace_out,
             "write a Perfetto trace-event JSON of the observed sample here (empty = off)");
   flags.add("profile_out", &opt.profile_out,
@@ -87,6 +93,10 @@ inline bool parse_flags(int argc, char** argv, const std::string& name, BenchOpt
     flags.parse(argc, argv);
   } catch (const FlagSet::FlagHelp& h) {
     std::cout << h.text;
+    return false;
+  }
+  if (opt.fast_path != "auto" && opt.fast_path != "on" && opt.fast_path != "off") {
+    std::cerr << "error: --fast-path must be on, off, or auto (got \"" << opt.fast_path << "\")\n";
     return false;
   }
   opt.threads.clear();
@@ -147,6 +157,7 @@ inline Sample run_one(const Variant& v, int threads, const BenchOptions& opt,
   cfg.max_lease_time = opt.max_lease_time;
   cfg.max_num_leases = opt.max_num_leases;
   if (v.configure) v.configure(cfg);
+  if (opt.fast_path != "auto") cfg.fast_path = opt.fast_path == "on";
   Machine m{cfg, opt.seed};
 
   auto worker = v.make(m, opt);  // may prefill (and run) on the machine

@@ -29,10 +29,34 @@ DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.p
                                 "BENCH_simcore.json")
 
 
+def check_release_build(path, doc):
+    """Hard-fails (exit 2) when the run came from a debug build.
+
+    A debug baseline makes every future Release candidate look "faster"
+    (stale baseline), and a debug candidate fails as a phantom regression.
+    Either way the comparison is meaningless, so refuse it outright.
+
+    sim_microbench records its own optimization level under
+    context.sim_build_type (custom context key); that is authoritative.
+    library_build_type only describes how the google-benchmark *library*
+    was compiled (debug on some hosts even under -O2 simulator builds), so
+    it is consulted only for old recordings that predate the custom key.
+    """
+    ctx = doc.get("context", {})
+    build = str(ctx.get("sim_build_type", ctx.get("library_build_type", ""))).lower()
+    if build == "debug":
+        print(f"error: {os.path.relpath(path)} was produced by a DEBUG build; "
+              "perf numbers from debug builds are not comparable. Rebuild with "
+              "-DCMAKE_BUILD_TYPE=Release and rerun.",
+              file=sys.stderr)
+        sys.exit(2)
+
+
 def load_throughputs(path):
     """Returns {benchmark name: items/sec} for every aggregate-free entry."""
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
+    check_release_build(path, doc)
     out = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
@@ -58,6 +82,8 @@ def main():
     args = ap.parse_args()
 
     if args.update:
+        with open(args.candidate, "r", encoding="utf-8") as f:
+            check_release_build(args.candidate, json.load(f))
         shutil.copyfile(args.candidate, args.baseline)
         print(f"baseline updated: {os.path.relpath(args.baseline)}")
         return 0

@@ -33,8 +33,15 @@ enum class CoherenceProtocol : std::uint8_t {
 };
 
 struct MachineConfig {
-  int num_cores = 64;
+  int num_cores = 64;  ///< At most 64 (the directory's sharer bitmask width).
   CoherenceProtocol protocol = CoherenceProtocol::kMSI;
+
+  /// Host-speed toggle, not a model parameter: lets controllers complete an
+  /// L1 hit inline (no event-queue round trip) when EventQueue::try_advance
+  /// proves no event can fire inside the l1_latency window. Results are
+  /// bit-identical either way (tests/fastpath_determinism_test.cpp); off
+  /// exists for ablation (--fast-path=off) and debugging.
+  bool fast_path = true;
 
   // --- latencies (cycles) -------------------------------------------------
   Cycle l1_latency = 1;        ///< L1 hit (Table 1).

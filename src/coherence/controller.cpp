@@ -15,13 +15,24 @@ void CacheController::cpu_read(Addr a, ReadDoneFn done) {
   const LineId l = line_of(a);
   if (tracer_) tracer_->emit(TraceEvent::kCpuLoad, ev_.now(), core_, l, a);
   if (l1_.state(l) != LineState::I) {
-    ++stats_.l1_hits;
+    ++hot_.l1_hits;
     l1_.touch(l);
-    ev_.schedule_in(cfg_.l1_latency, [this, a, done = std::move(done)] { done(mem_.read(a)); });
+    // Inline fast path: when the current event is a pure completion (tail
+    // event) and no event can fire inside the l1_latency window, the
+    // scheduled completion below would be the very next thing to run —
+    // completing it here, after advancing now(), is bit-identical and skips
+    // the whole schedule/peek/pop round trip (docs/ENGINE.md).
+    if (cfg_.fast_path && ev_.try_advance(cfg_.l1_latency)) {
+      done(mem_.read(a));
+      return;
+    }
+    // The completion is the entire event (nothing runs after it), so it is
+    // a tail event: the next hit completed inside it may take the fast path.
+    ev_.schedule_tail_in(cfg_.l1_latency, [this, a, done = std::move(done)] { done(mem_.read(a)); });
     return;
   }
-  ++stats_.l1_misses;
-  ++stats_.msgs_gets;
+  ++hot_.l1_misses;
+  ++hot_.msgs_gets;
   ev_.schedule_in(cfg_.l1_latency + topo_.core_to_home(core_, l),
                   [this, a, l, done = std::move(done)]() mutable {
     dir_->request(core_, l, Directory::ReqType::kGetS, /*is_lease_req=*/false,
@@ -40,14 +51,20 @@ void CacheController::with_exclusive(Addr a, bool is_lease_req, ThenFn then) {
     // MESI: writing a clean-Exclusive line upgrades to M silently — no
     // coherence transaction, the whole point of the E state.
     if (l1_.state(l) == LineState::E) l1_.install(l, LineState::M, pinned_fn());
-    ++stats_.l1_hits;
+    ++hot_.l1_hits;
     l1_.touch(l);
-    ev_.schedule_in(cfg_.l1_latency, std::move(then));
+    // Same inline fast path as cpu_read: covers every write-type op
+    // (store/CAS/FAA/XCHG) that hits an exclusively-held line.
+    if (cfg_.fast_path && ev_.try_advance(cfg_.l1_latency)) {
+      then();
+      return;
+    }
+    ev_.schedule_tail_in(cfg_.l1_latency, std::move(then));
     return;
   }
   // Both cold misses and S->M upgrades count as coherence misses.
-  ++stats_.l1_misses;
-  ++stats_.msgs_getx;
+  ++hot_.l1_misses;
+  ++hot_.msgs_getx;
   ev_.schedule_in(cfg_.l1_latency + topo_.core_to_home(core_, l),
                   [this, l, is_lease_req, then = std::move(then)]() mutable {
     dir_->request(core_, l, Directory::ReqType::kGetX, is_lease_req,
@@ -79,8 +96,8 @@ void CacheController::cpu_cas(Addr a, std::uint64_t expect, std::uint64_t desire
       mem_.write(a, desired);
       if (inv_) inv_->on_store(core_, line_of(a));
     }
-    ++stats_.cas_attempts;
-    if (!ok) ++stats_.cas_failures;
+    ++hot_.cas_attempts;
+    if (!ok) ++hot_.cas_failures;
     done(ok, old);
   });
 }
@@ -107,13 +124,13 @@ void CacheController::cpu_lease(Addr a, Cycle duration, DoneFn done) {
   if (!cfg_.leases_enabled) {
     // Baseline machine: the lease instruction does not exist; model it as
     // free so base runs pay no phantom cost.
-    ev_.schedule_in(0, std::move(done));
+    ev_.schedule_tail_in(0, std::move(done));
     return;
   }
   const LineId l = line_of(a);
   if (leases_.has(l)) {
     // No extension of an existing lease (footnote 1).
-    ev_.schedule_in(cfg_.l1_latency, std::move(done));
+    ev_.schedule_tail_in(cfg_.l1_latency, std::move(done));
     return;
   }
   if (tracer_) tracer_->emit(TraceEvent::kLease, ev_.now(), core_, l, duration);
@@ -121,21 +138,21 @@ void CacheController::cpu_lease(Addr a, Cycle duration, DoneFn done) {
     // Section 5 "Speculative Execution": leases that keep expiring
     // involuntarily are ignored — early release never affects correctness.
     ++stats_.leases_suppressed;
-    ev_.schedule_in(cfg_.l1_latency, std::move(done));
+    ev_.schedule_tail_in(cfg_.l1_latency, std::move(done));
     return;
   }
   leases_.add(l, duration);
   if (is_exclusive(l1_.state(l))) {
     // A lease demands exclusive ownership; clean-E qualifies (MESI).
-    ++stats_.l1_hits;
+    ++hot_.l1_hits;
     l1_.touch(l);
     leases_.on_granted(l);
     if (tracer_) tracer_->emit(TraceEvent::kLeaseGrant, ev_.now(), core_, l);
-    ev_.schedule_in(cfg_.l1_latency, std::move(done));
+    ev_.schedule_tail_in(cfg_.l1_latency, std::move(done));
     return;
   }
-  ++stats_.l1_misses;
-  ++stats_.msgs_getx;
+  ++hot_.l1_misses;
+  ++hot_.msgs_getx;
   ev_.schedule_in(cfg_.l1_latency + topo_.core_to_home(core_, l),
                   [this, l, done = std::move(done)]() mutable {
     dir_->request(core_, l, Directory::ReqType::kGetX, /*is_lease_req=*/true,
@@ -153,12 +170,13 @@ void CacheController::cpu_lease(Addr a, Cycle duration, DoneFn done) {
 
 void CacheController::cpu_release(Addr a, BoolDoneFn done) {
   if (!cfg_.leases_enabled) {
-    ev_.schedule_in(0, [done = std::move(done)] { done(false); });
+    ev_.schedule_tail_in(0, [done = std::move(done)] { done(false); });
     return;
   }
   // Release has memory-fence semantics (Section 5); on this in-order,
-  // one-outstanding-op core the fence itself is free.
-  ev_.schedule_in(cfg_.l1_latency, [this, a, done = std::move(done)] {
+  // one-outstanding-op core the fence itself is free. The callback ends with
+  // the completion, so the event is tail-eligible.
+  ev_.schedule_tail_in(cfg_.l1_latency, [this, a, done = std::move(done)] {
     const bool voluntary = leases_.release(line_of(a));
     if (tracer_) tracer_->emit(TraceEvent::kRelease, ev_.now(), core_, line_of(a), voluntary ? 1 : 0);
     done(voluntary);
@@ -167,10 +185,10 @@ void CacheController::cpu_release(Addr a, BoolDoneFn done) {
 
 void CacheController::cpu_release_all(DoneFn done) {
   if (!cfg_.leases_enabled) {
-    ev_.schedule_in(0, std::move(done));
+    ev_.schedule_tail_in(0, std::move(done));
     return;
   }
-  ev_.schedule_in(cfg_.l1_latency, [this, done = std::move(done)] {
+  ev_.schedule_tail_in(cfg_.l1_latency, [this, done = std::move(done)] {
     leases_.release_all();
     done();
   });
@@ -178,7 +196,7 @@ void CacheController::cpu_release_all(DoneFn done) {
 
 void CacheController::cpu_multi_lease(std::vector<Addr> addrs, Cycle duration, DoneFn done) {
   if (!cfg_.leases_enabled) {
-    ev_.schedule_in(0, std::move(done));
+    ev_.schedule_tail_in(0, std::move(done));
     return;
   }
   // Sort by line id — the fixed global comparison criterion that makes the
@@ -232,14 +250,14 @@ void CacheController::multi_lease_step(std::shared_ptr<std::vector<LineId>> line
     multi_lease_step(lines, i + 1, duration, done);
   };
   if (is_exclusive(l1_.state(l))) {
-    ++stats_.l1_hits;
+    ++hot_.l1_hits;
     l1_.touch(l);
     leases_.on_granted(l);
     ev_.schedule_in(cfg_.l1_latency, std::move(next));
     return;
   }
-  ++stats_.l1_misses;
-  ++stats_.msgs_getx;
+  ++hot_.l1_misses;
+  ++hot_.msgs_getx;
   ev_.schedule_in(cfg_.l1_latency + topo_.core_to_home(core_, l), [this, l, next = std::move(next)] {
     dir_->request(core_, l, Directory::ReqType::kGetX, /*is_lease_req=*/true, [this, l, next](bool) {
       install(l, LineState::M);
@@ -332,7 +350,7 @@ void CacheController::back_invalidate(LineId line, ProbeDoneFn on_serviced) {
 }
 
 void CacheController::make_room(LineId line) {
-  auto pinned = pinned_fn();
+  const auto& pinned = pinned_fn();
   while (l1_.set_full_of_pinned(line, pinned)) {
     auto victim = l1_.any_pinned_in_set(line, pinned);
     if (!victim) break;
@@ -353,9 +371,12 @@ void CacheController::install(LineId line, LineState st) {
       // Clean-exclusive victim: no data to write back, but the directory
       // must forget the owner or future requests would probe a ghost.
       dir_->eviction_notice(core_, victim->line, Directory::EvictKind::kCleanExclusive);
+    } else {
+      // Shared victim: notify eagerly so the directory clears our sharer
+      // bit and never sends an invalidation probe to a core with no copy
+      // (the invariant checker asserts this at probe-send time).
+      dir_->eviction_notice(core_, victim->line, Directory::EvictKind::kShared);
     }
-    // Shared victims are dropped silently; the directory's sharer entry
-    // goes stale and is corrected lazily by a future invalidation probe.
   }
   if (inv_) inv_->on_line_event(line);
 }

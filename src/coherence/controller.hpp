@@ -143,10 +143,46 @@ class CacheController {
   const LeaseTable& lease_table() const { return leases_; }
   LeaseTable& lease_table() { return leases_; }
   const L1Cache& l1() const { return l1_; }
-  Stats& stats() { return stats_; }
+
+  /// The per-core Stats block, with this controller's batched hot counters
+  /// flushed first so the caller always sees up-to-date totals.
+  Stats& stats() {
+    flush_stats();
+    return stats_;
+  }
   CoreId core_id() const { return core_; }
 
+  /// Marks one completed application-level operation (Ctx::count_op).
+  void count_op() noexcept { ++hot_.ops_completed; }
+
+  /// Folds the batched hot-path counters into the shared Stats block.
+  /// Counters are pure sums, so flush timing is unobservable; Machine calls
+  /// this from total_stats()/core_stats() and the stats() accessor above.
+  void flush_stats() {
+    stats_.l1_hits += hot_.l1_hits;
+    stats_.l1_misses += hot_.l1_misses;
+    stats_.msgs_gets += hot_.msgs_gets;
+    stats_.msgs_getx += hot_.msgs_getx;
+    stats_.cas_attempts += hot_.cas_attempts;
+    stats_.cas_failures += hot_.cas_failures;
+    stats_.ops_completed += hot_.ops_completed;
+    hot_ = HotCounters{};
+  }
+
  private:
+  /// Counters the CPU-op hot path touches, batched on their own cache line
+  /// so an inline L1 hit writes here instead of the (shared, observer-read)
+  /// Stats block. Only ever added into stats_ by flush_stats().
+  struct alignas(64) HotCounters {
+    std::uint64_t l1_hits = 0;
+    std::uint64_t l1_misses = 0;
+    std::uint64_t msgs_gets = 0;
+    std::uint64_t msgs_getx = 0;
+    std::uint64_t cas_attempts = 0;
+    std::uint64_t cas_failures = 0;
+    std::uint64_t ops_completed = 0;
+  };
+
   /// Ensures the line can be installed: if the set is entirely pinned by
   /// leases, force-release one of them (Section 5 notes the lease table
   /// mirrors the load buffer; a set full of leases is the pathological case).
@@ -159,9 +195,10 @@ class CacheController {
   /// `line`, then runs `then` (at the cycle M is held).
   void with_exclusive(Addr a, bool is_lease_req, ThenFn then);
 
-  std::function<bool(LineId)> pinned_fn() {
-    return [this](LineId l) { return leases_.pins(l); };
-  }
+  /// The lease-pin predicate every L1 install consults. Built once: installs
+  /// run on the miss path of every memory op, and constructing a fresh
+  /// std::function per call showed up in contended-run profiles.
+  const std::function<bool(LineId)>& pinned_fn() const { return pinned_; }
 
   /// Continues a MultiLease acquisition chain at index `i` of the sorted
   /// line list. The CPU-level completion rides in a shared box: the chain
@@ -178,6 +215,7 @@ class CacheController {
   SimMemory& mem_;
   const MachineConfig& cfg_;
   Stats& stats_;
+  HotCounters hot_;
   L1Cache l1_;
   LeaseTable leases_;
   Topology topo_;
@@ -186,6 +224,7 @@ class CacheController {
   InvariantChecker* inv_ = nullptr;
   Observability* obs_ = nullptr;
   std::function<bool(CoreId, LineId)> probe_fault_;  ///< Test-only, see setter.
+  std::function<bool(LineId)> pinned_{[this](LineId l) { return leases_.pins(l); }};
 };
 
 }  // namespace lrsim

@@ -1,0 +1,160 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Flat open-addressing containers for the directory hot path.
+//
+// The directory used to key its per-line state off a std::unordered_map,
+// whose node allocations and pointer-chasing dominated the contended-line
+// profile (docs/ENGINE.md "Flat directory tables"). Two replacements live
+// here:
+//
+//  * FlatLineMap<V>: LineId -> V with linear probing over a power-of-two
+//    slot array. Directory entries are never erased (a dead line just decays
+//    to kUncached), so the table needs no tombstones and probe chains never
+//    rot. Values live in a chunked pool whose chunks never move — an
+//    `Entry&` stays valid across any number of later insertions, which the
+//    directory's in-flight transaction legs rely on.
+//
+//  * NodePool<T>: an index-linked free-list pool backing the per-line
+//    request FIFOs. Parking a request costs a pool slot reuse instead of a
+//    std::deque node allocation; links are 32-bit indices, not pointers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace lrsim {
+
+template <typename V>
+class FlatLineMap {
+ public:
+  FlatLineMap() { rehash(kInitialSlots); }
+
+  /// Returns the value for `line`, inserting a default-constructed one on
+  /// first touch. The returned reference is stable forever (chunked pool).
+  V& operator[](LineId line) {
+    std::size_t s = probe(line);
+    if (slots_[s].idx == kEmptySlot) {
+      if ((size_ + 1) * 10 >= slots_.size() * 7) {  // 70% load factor
+        rehash(slots_.size() * 2);
+        s = probe(line);
+      }
+      slots_[s].line = line;
+      slots_[s].idx = static_cast<std::uint32_t>(size_);
+      push_value();
+      ++size_;
+    }
+    return value(slots_[s].idx);
+  }
+
+  V* find(LineId line) {
+    const std::size_t s = probe(line);
+    return slots_[s].idx == kEmptySlot ? nullptr : &value(slots_[s].idx);
+  }
+  const V* find(LineId line) const {
+    const std::size_t s = probe(line);
+    return slots_[s].idx == kEmptySlot ? nullptr : &value(slots_[s].idx);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  struct Slot {
+    LineId line = 0;
+    std::uint32_t idx = kEmptySlot;  ///< Pool index; LineId 0 is a valid key.
+  };
+  static constexpr std::uint32_t kEmptySlot = UINT32_MAX;
+  static constexpr std::size_t kInitialSlots = 256;
+  static constexpr std::size_t kChunkShift = 6;  ///< 64 values per chunk.
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+
+  std::size_t probe(LineId line) const {
+    // Fibonacci hashing: multiply then keep the top bits.
+    std::size_t s = static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(line) * 0x9E3779B97F4A7C15ull) >> shift_);
+    const std::size_t mask = slots_.size() - 1;
+    while (slots_[s].idx != kEmptySlot && slots_[s].line != line) s = (s + 1) & mask;
+    return s;
+  }
+
+  void rehash(std::size_t new_slots) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_slots, Slot{});
+    shift_ = 64;
+    for (std::size_t n = new_slots; n > 1; n >>= 1) --shift_;
+    for (const Slot& o : old) {
+      if (o.idx == kEmptySlot) continue;
+      slots_[probe(o.line)] = o;
+    }
+  }
+
+  void push_value() {
+    if ((size_ & (kChunkSize - 1)) == 0) {
+      chunks_.push_back(std::make_unique<V[]>(kChunkSize));
+    }
+    // The slot inside the chunk is already default-constructed by the array.
+  }
+
+  V& value(std::uint32_t idx) {
+    return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  }
+  const V& value(std::uint32_t idx) const {
+    return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::unique_ptr<V[]>> chunks_;  ///< Stable value storage.
+  std::size_t size_ = 0;
+  unsigned shift_ = 64;  ///< 64 - log2(slots_.size()), for the hash.
+};
+
+/// Index-linked node pool with an intrusive free list. Callers thread nodes
+/// into their own FIFO lists via next()/set_next(); take() moves the value
+/// out and recycles the node. Indices (not pointers) stay valid across the
+/// backing vector's growth. T must be default-constructible and movable.
+template <typename T>
+class NodePool {
+ public:
+  static constexpr std::uint32_t kNil = UINT32_MAX;
+
+  /// Allocates a node holding `v`, with next = kNil. Returns its index.
+  std::uint32_t alloc(T&& v) {
+    std::uint32_t idx;
+    if (free_head_ != kNil) {
+      idx = free_head_;
+      free_head_ = nodes_[idx].next;
+      nodes_[idx].value = std::move(v);
+      nodes_[idx].next = kNil;
+    } else {
+      idx = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.push_back(Node{std::move(v), kNil});
+    }
+    return idx;
+  }
+
+  /// Moves the value out of node `idx` and returns the node to the free list.
+  T take(std::uint32_t idx) {
+    T v = std::move(nodes_[idx].value);
+    nodes_[idx].value = T{};  // drop captured state eagerly
+    nodes_[idx].next = free_head_;
+    free_head_ = idx;
+    return v;
+  }
+
+  std::uint32_t next(std::uint32_t idx) const { return nodes_[idx].next; }
+  void set_next(std::uint32_t idx, std::uint32_t n) { nodes_[idx].next = n; }
+
+ private:
+  struct Node {
+    T value;
+    std::uint32_t next = kNil;
+  };
+  std::vector<Node> nodes_;
+  std::uint32_t free_head_ = kNil;
+};
+
+}  // namespace lrsim

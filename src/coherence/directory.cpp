@@ -3,6 +3,7 @@
 #include "coherence/directory.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <memory>
 
@@ -11,34 +12,72 @@
 
 namespace lrsim {
 
+void Directory::push_req(Entry& e, Req&& r) {
+  const std::uint32_t n = req_pool_.alloc(std::move(r));
+  if (e.q_tail == NodePool<Req>::kNil) {
+    e.q_head = n;
+  } else {
+    req_pool_.set_next(e.q_tail, n);
+  }
+  e.q_tail = n;
+  ++e.q_len;
+}
+
+Directory::Req Directory::pop_req(Entry& e) {
+  const std::uint32_t n = e.q_head;
+  e.q_head = req_pool_.next(n);
+  if (e.q_head == NodePool<Req>::kNil) e.q_tail = NodePool<Req>::kNil;
+  --e.q_len;
+  return req_pool_.take(n);
+}
+
 void Directory::request(CoreId requester, LineId line, ReqType type, bool is_lease_req,
                         GrantFn on_done) {
-  Entry& e = dir_[line];
-  e.queue.push_back(Req{requester, type, is_lease_req, std::move(on_done)});
-  peak_queue_depth_ = std::max(peak_queue_depth_, e.queue.size());
+  Entry& e = table_[line];
+  push_req(e, Req{requester, type, is_lease_req, std::move(on_done)});
+  peak_queue_depth_ = std::max(peak_queue_depth_, static_cast<std::size_t>(e.q_len));
   if (inv_) inv_->on_dir_enqueue(line, requester);
   if (!e.busy) begin_service(line);
 }
 
 void Directory::begin_service(LineId line) {
-  Entry& e = dir_[line];
-  if (e.busy || e.queue.empty()) return;
+  Entry& e = table_[line];
+  if (e.busy || e.q_len == 0) return;
   e.busy = true;
   e.service_start = ev_.now();
-  Req req = std::move(e.queue.front());
-  e.queue.pop_front();
-  if (inv_) inv_->on_dir_service(line, req.requester);
+  e.active = pop_req(e);
+  if (inv_) inv_->on_dir_service(line, e.active.requester);
   ++stats_.l2_accesses;  // directory/L2 tag lookup
-  ev_.schedule_in(cfg_.l2_tag_latency,
-                  [this, line, req = std::move(req)]() mutable { service(line, std::move(req)); });
+  ev_.schedule_in(cfg_.l2_tag_latency, [this, line] { service(line); });
 }
 
-void Directory::service(LineId line, Req req) {
+void Directory::invalidate_sharer_leg(LineId line, CoreId c, bool is_lease_req) {
+  ++stats_.msgs_inv;
+  // Sharer bits are exact (eager eviction notices), so at send time the
+  // target must hold a copy — the checker rejects probes to ghosts here.
+  if (inv_) inv_->on_probe_send(line, c);
+  ev_.schedule_in(topo_.home_to_core(line, c), [this, line, c, is_lease_req] {
+    cores_[static_cast<std::size_t>(c)]->probe(
+        line, ProbeType::kInvalidate, is_lease_req, [this, line, c](bool) {
+          ++stats_.msgs_ack;
+          table_[line].sharers &= ~core_bit(c);  // the copy is gone now
+          ev_.schedule_tail_in(topo_.core_to_home(c, line), [this, line] { leg_done(line); });
+        });
+  });
+}
+
+void Directory::leg_done(LineId line) {
+  Entry& e = table_[line];
+  if (--e.legs_remaining == 0) complete(line);
+}
+
+void Directory::service(LineId line) {
+  Entry& e = table_[line];
   if (tracer_) {
     tracer_->emit(TraceEvent::kDirService, ev_.now(), -1, line,
-                  static_cast<std::uint64_t>(req.requester));
+                  static_cast<std::uint64_t>(e.active.requester));
   }
-  Entry& e = dir_[line];
+  const Req& req = e.active;
   const bool want_x = req.type == ReqType::kGetX;
   const bool moesi = cfg_.protocol == CoherenceProtocol::kMOESI;
   const bool owner_holds =
@@ -48,26 +87,15 @@ void Directory::service(LineId line, Req req) {
   // --- MOESI: the requester upgrades its own Owned copy (O -> M) -----------
   if (e.st == LineSt::kOwned && e.owner == req.requester && want_x) {
     // It already has the data; invalidate every sharer and grant ownership.
-    std::vector<CoreId> targets = e.sharers;
-    auto remaining = std::make_shared<int>(static_cast<int>(targets.size()) + 1);
-    auto req_shared = std::make_shared<Req>(std::move(req));
-    auto leg_done = [this, line, remaining, req_shared] {
-      if (--*remaining == 0) {
-        complete(line, *req_shared, LineSt::kModified, /*exclusive_grant=*/true);
-      }
-    };
-    for (CoreId c : targets) {
-      ++stats_.msgs_inv;
-      ev_.schedule_in(topo_.home_to_core(line, c), [this, line, c, req_shared, leg_done] {
-        cores_[static_cast<std::size_t>(c)]->probe(
-            line, ProbeType::kInvalidate, req_shared->is_lease_req, [this, line, c, leg_done](bool) {
-              ++stats_.msgs_ack;
-              ev_.schedule_in(topo_.core_to_home(c, line), leg_done);
-            });
-      });
+    const std::uint64_t targets = e.sharers;  // owner is never in the mask
+    e.legs_remaining = std::popcount(targets) + 1;
+    e.pending_result = LineSt::kModified;
+    e.pending_excl = true;
+    for (std::uint64_t m = targets; m != 0; m &= m - 1) {
+      invalidate_sharer_leg(line, static_cast<CoreId>(std::countr_zero(m)), req.is_lease_req);
     }
     ++stats_.msgs_ack;  // ownership grant, no data needed
-    ev_.schedule_in(topo_.home_to_core(line, req_shared->requester), leg_done);
+    ev_.schedule_tail_in(topo_.home_to_core(line, req.requester), [this, line] { leg_done(line); });
     return;
   }
 
@@ -78,104 +106,76 @@ void Directory::service(LineId line, Req req) {
     // otherwise the classic downgrade-with-writeback.
     const ProbeType pt = want_x ? ProbeType::kInvalidate
                                 : (moesi ? ProbeType::kDowngradeToOwned : ProbeType::kDowngrade);
-    const LineSt result = want_x ? LineSt::kModified : (moesi ? LineSt::kOwned : LineSt::kShared);
+    e.pending_result = want_x ? LineSt::kModified : (moesi ? LineSt::kOwned : LineSt::kShared);
+    e.pending_excl = want_x;
     if (want_x) {
       ++stats_.msgs_inv;
     } else {
       ++stats_.msgs_downgrade;
     }
     // A GetX on an O line must also invalidate the S sharers.
-    std::vector<CoreId> targets;
-    if (want_x && e.st == LineSt::kOwned) {
-      for (CoreId c : e.sharers)
-        if (c != req.requester) targets.push_back(c);
+    std::uint64_t targets = 0;
+    if (want_x && e.st == LineSt::kOwned) targets = e.sharers & ~core_bit(req.requester);
+    e.legs_remaining = std::popcount(targets) + 1;
+    for (std::uint64_t m = targets; m != 0; m &= m - 1) {
+      invalidate_sharer_leg(line, static_cast<CoreId>(std::countr_zero(m)), req.is_lease_req);
     }
-    auto remaining = std::make_shared<int>(static_cast<int>(targets.size()) + 1);
-    auto req_shared = std::make_shared<Req>(std::move(req));
-    auto leg_done = [this, line, remaining, req_shared, result, want_x] {
-      if (--*remaining == 0) complete(line, *req_shared, result, /*exclusive_grant=*/want_x);
-    };
-    for (CoreId c : targets) {
-      ++stats_.msgs_inv;
-      ev_.schedule_in(topo_.home_to_core(line, c), [this, line, c, req_shared, leg_done] {
-        cores_[static_cast<std::size_t>(c)]->probe(
-            line, ProbeType::kInvalidate, req_shared->is_lease_req, [this, line, c, leg_done](bool) {
-              ++stats_.msgs_ack;
-              ev_.schedule_in(topo_.core_to_home(c, line), leg_done);
-            });
-      });
-    }
-    ev_.schedule_in(topo_.home_to_core(line, owner),
-                    [this, line, owner, want_x, pt, req_shared, leg_done]() mutable {
+    const bool is_lease_req = req.is_lease_req;
+    if (inv_) inv_->on_probe_send(line, owner);
+    ev_.schedule_in(topo_.home_to_core(line, owner), [this, line, owner, want_x, pt, is_lease_req] {
       // The probe may be parked behind a lease at the owner; the callback
       // fires once the owner has actually relinquished the line (bounded by
       // MAX_LEASE_TIME — Proposition 2). `dirty` says whether the owner had
       // really modified it (an E owner may still be clean).
       cores_[static_cast<std::size_t>(owner)]->probe(
-          line, pt, req_shared->is_lease_req,
-          [this, line, owner, want_x, pt, req_shared, leg_done](bool dirty) mutable {
+          line, pt, is_lease_req, [this, line, owner, want_x, pt](bool dirty) {
             // Cache-to-cache forward to the requester plus an ack to the
             // directory; a classic downgrade of a dirty line also writes the
             // data back to L2 (a MOESI downgrade-to-O keeps it at the owner).
             ++stats_.msgs_data;
             ++stats_.msgs_ack;
             if (!want_x && dirty && pt == ProbeType::kDowngrade) ++stats_.msgs_wb;
-            const Cycle fwd = topo_.latency(owner, req_shared->requester);
-            ev_.schedule_in(fwd, leg_done);
+            const Cycle fwd = topo_.latency(owner, table_[line].active.requester);
+            ev_.schedule_tail_in(fwd, [this, line] { leg_done(line); });
           });
     });
     return;
   }
 
   // --- line is Shared (or owned by the requester itself, a benign race
-  //     after a silent eviction + re-request) ------------------------------
+  //     after an eviction + re-request) ------------------------------------
   if (e.st == LineSt::kShared && want_x) {
     // Invalidate every other sharer; data comes from L2 unless the
-    // requester already holds an S copy (upgrade). Sharer entries can be
-    // stale after silent S evictions; the probe finds the line absent and
-    // acks immediately, exactly like a real sparse directory.
-    std::vector<CoreId> targets;
-    for (CoreId c : e.sharers)
-      if (c != req.requester) targets.push_back(c);
-    const bool requester_has_s =
-        std::find(e.sharers.begin(), e.sharers.end(), req.requester) != e.sharers.end();
-
-    auto remaining = std::make_shared<int>(static_cast<int>(targets.size()) + 1);
-    auto req_shared = std::make_shared<Req>(std::move(req));
-    auto leg_done = [this, line, remaining, req_shared] {
-      if (--*remaining == 0) {
-        complete(line, *req_shared, LineSt::kModified, /*exclusive_grant=*/true);
-      }
-    };
-
-    for (CoreId c : targets) {
-      ++stats_.msgs_inv;
-      ev_.schedule_in(topo_.home_to_core(line, c), [this, line, c, req_shared, leg_done] {
-        cores_[static_cast<std::size_t>(c)]->probe(
-            line, ProbeType::kInvalidate, req_shared->is_lease_req, [this, line, c, leg_done](bool) {
-              ++stats_.msgs_ack;
-              ev_.schedule_in(topo_.core_to_home(c, line), leg_done);
-            });
-      });
+    // requester already holds an S copy (upgrade). The mask is exact —
+    // eager eviction notices clear a bit the moment the copy dies — so
+    // every probed core really holds the line at send time.
+    const std::uint64_t targets = e.sharers & ~core_bit(req.requester);
+    const bool requester_has_s = (e.sharers & core_bit(req.requester)) != 0;
+    e.legs_remaining = std::popcount(targets) + 1;
+    e.pending_result = LineSt::kModified;
+    e.pending_excl = true;
+    for (std::uint64_t m = targets; m != 0; m &= m - 1) {
+      invalidate_sharer_leg(line, static_cast<CoreId>(std::countr_zero(m)), req.is_lease_req);
     }
     // Grant leg: data (or just an ownership grant for an upgrade).
-    Cycle grant_lat = topo_.home_to_core(line, req_shared->requester);
+    Cycle grant_lat = topo_.home_to_core(line, req.requester);
     if (requester_has_s) {
       ++stats_.msgs_ack;  // upgrade grant, no data needed
     } else {
       ++stats_.msgs_data;
       grant_lat += cfg_.l2_data_latency;
     }
-    ev_.schedule_in(grant_lat, leg_done);
+    ev_.schedule_tail_in(grant_lat, [this, line] { leg_done(line); });
     return;
   }
 
   if (e.st == LineSt::kShared && !want_x) {
     ++stats_.msgs_data;
+    e.legs_remaining = 1;
+    e.pending_result = LineSt::kShared;
+    e.pending_excl = false;
     const Cycle grant = cfg_.l2_data_latency + topo_.home_to_core(line, req.requester);
-    ev_.schedule_in(grant, [this, line, req = std::move(req)]() mutable {
-      complete(line, req, LineSt::kShared, /*exclusive_grant=*/false);
-    });
+    ev_.schedule_tail_in(grant, [this, line] { leg_done(line); });
     return;
   }
 
@@ -192,18 +192,19 @@ void Directory::service(LineId line, Req req) {
   // MESI: a sole reader gets the clean-Exclusive state and can write later
   // without another transaction.
   const bool grant_e = !want_x && cfg_.protocol != CoherenceProtocol::kMSI;
-  const LineSt result = want_x ? LineSt::kModified : (grant_e ? LineSt::kExclusive : LineSt::kShared);
-  auto finish = [this, line, lat, result, want_x, grant_e, req = std::move(req)]() mutable {
-    ev_.schedule_in(lat, [this, line, result, want_x, grant_e, req = std::move(req)]() mutable {
-      complete(line, req, result, /*exclusive_grant=*/want_x || grant_e);
-    });
+  e.pending_result =
+      want_x ? LineSt::kModified : (grant_e ? LineSt::kExclusive : LineSt::kShared);
+  e.pending_excl = want_x || grant_e;
+  e.legs_remaining = 1;
+  auto finish = [this, line, lat] {
+    ev_.schedule_tail_in(lat, [this, line] { leg_done(line); });
   };
   if (l2_tags_ && refill) {
     // Finite inclusive L2: the refill may displace a victim, whose L1
     // copies must be back-invalidated first (inclusion).
     auto busy = [this](LineId l) {
-      auto it = dir_.find(l);
-      return it != dir_.end() && (it->second.busy || !it->second.queue.empty());
+      const Entry* p = table_.find(l);
+      return p != nullptr && (p->busy || p->q_len != 0);
     };
     std::optional<LineId> victim = l2_tags_->insert(line, busy);
     if (victim.has_value()) {
@@ -230,15 +231,16 @@ void Directory::evict_l2_victim(LineId victim, EvictFn done) {
     }
     (*done_shared)();
   };
-  Entry& v = dir_[victim];
+  Entry& v = table_[victim];
   std::vector<CoreId> holders;
   if (owner_holds_line(v) && v.owner >= 0) holders.push_back(v.owner);
-  for (CoreId c : v.sharers) {
+  for (std::uint64_t m = v.sharers; m != 0; m &= m - 1) {
+    const CoreId c = static_cast<CoreId>(std::countr_zero(m));
     if (std::find(holders.begin(), holders.end(), c) == holders.end()) holders.push_back(c);
   }
   v.st = LineSt::kUncached;
   v.owner = -1;
-  v.sharers.clear();
+  v.sharers = 0;
   v.touched = false;  // next access pays DRAM again
   if (holders.empty()) {
     finish();
@@ -262,42 +264,44 @@ void Directory::evict_l2_victim(LineId victim, EvictFn done) {
 
 bool Directory::l2_resident(LineId line) const {
   if (!l2_tags_) {
-    auto it = dir_.find(line);
-    return it != dir_.end() && it->second.touched;
+    const Entry* p = table_.find(line);
+    return p != nullptr && p->touched;
   }
   return l2_tags_->present(line);
 }
 
-void Directory::complete(LineId line, const Req& req, LineSt result, bool exclusive_grant) {
+void Directory::complete(LineId line) {
+  Entry& e = table_[line];
+  Req req = std::move(e.active);
+  const LineSt result = e.pending_result;
+  const bool exclusive_grant = e.pending_excl;
   if (tracer_) {
     tracer_->emit(TraceEvent::kDirComplete, ev_.now(), -1, line,
                   static_cast<std::uint64_t>(req.requester));
   }
-  Entry& e = dir_[line];
   switch (result) {
     case LineSt::kModified:
     case LineSt::kExclusive:
       e.st = result;
       e.owner = req.requester;
-      e.sharers.clear();
+      e.sharers = 0;
       break;
     case LineSt::kOwned:
       // MOESI read of a dirty line: the old owner keeps the data in O; the
       // requester joins as a sharer.
       e.st = LineSt::kOwned;
-      add_sharer(e, req.requester);
+      e.sharers |= core_bit(req.requester);
       break;
     case LineSt::kShared: {
-      std::vector<CoreId> sharers;
+      std::uint64_t sharers = 0;
       if (owner_holds_line(e) && e.owner >= 0) {
-        sharers = e.sharers;         // O sharers survive the flush
-        sharers.push_back(e.owner);  // old owner was downgraded to S
+        sharers = e.sharers | core_bit(e.owner);  // O sharers survive the
+                                                  // flush; old owner drops to S
       } else if (e.st == LineSt::kShared) {
         sharers = e.sharers;
       }
       e.st = LineSt::kShared;
-      e.sharers = std::move(sharers);
-      add_sharer(e, req.requester);
+      e.sharers = sharers | core_bit(req.requester);
       e.owner = -1;
       break;
     }
@@ -307,14 +311,22 @@ void Directory::complete(LineId line, const Req& req, LineSt result, bool exclus
   }
   e.touched = true;
   if (obs_) obs_->on_dir_service(line, req.requester, e.service_start, ev_.now());
-  // The requester installs the line and retires its instruction now.
-  req.on_done(exclusive_grant);
   e.busy = false;
-  if (!e.queue.empty()) {
+  if (e.q_len != 0) {
     // Defer to a fresh event: keeps per-transaction callback chains shallow
-    // and preserves deterministic FIFO order.
+    // and preserves deterministic FIFO order. Scheduled *before* on_done so
+    // the inline fast path sees it: a hit issued inside on_done then finds
+    // the window occupied and declines, exactly as it must while the queue
+    // still has waiters.
     ev_.schedule_in(0, [this, line] { begin_service(line); });
   }
+  // The requester installs the line and retires its instruction now. This is
+  // the transaction's final scheduling-relevant action — leg events are
+  // tail-marked (schedule_tail_in), so an L1 hit issued from the resumed
+  // requester may complete inline when the event window is clear.
+  req.on_done(exclusive_grant);
+  // State-only cross-check; schedules nothing and is insensitive to any
+  // inline now_ advance inside on_done.
   if (inv_) inv_->on_line_event(line);
 }
 
@@ -322,21 +334,17 @@ bool Directory::owner_holds_line(const Entry& e) {
   return e.st == LineSt::kModified || e.st == LineSt::kExclusive || e.st == LineSt::kOwned;
 }
 
-void Directory::add_sharer(Entry& e, CoreId c) {
-  if (std::find(e.sharers.begin(), e.sharers.end(), c) == e.sharers.end()) e.sharers.push_back(c);
-}
-
 void Directory::eviction_notice(CoreId core, LineId line, EvictKind kind) {
-  auto it = dir_.find(line);
-  if (it == dir_.end()) return;
-  Entry& e = it->second;
+  Entry* p = table_.find(line);
+  if (p == nullptr) return;
+  Entry& e = *p;
   switch (kind) {
     case EvictKind::kDirty:
       ++stats_.msgs_wb;
       if (e.st == LineSt::kOwned && e.owner == core) {
         // The O provider left; its sharers keep their S copies and the
         // data now lives in L2.
-        e.st = e.sharers.empty() ? LineSt::kUncached : LineSt::kShared;
+        e.st = e.sharers == 0 ? LineSt::kUncached : LineSt::kShared;
         e.owner = -1;
         break;
       }
@@ -348,37 +356,43 @@ void Directory::eviction_notice(CoreId core, LineId line, EvictKind kind) {
       }
       break;
     case EvictKind::kShared:
-      e.sharers.erase(std::remove(e.sharers.begin(), e.sharers.end(), core), e.sharers.end());
+      e.sharers &= ~core_bit(core);
+      if ((e.st == LineSt::kModified || e.st == LineSt::kExclusive) && e.owner == core) {
+        // The owner was downgraded to S by an in-flight transaction and
+        // evicted that S copy before the transaction completed. Forget it
+        // now so complete() doesn't re-add a ghost sharer (the mask must
+        // stay exact for the no-stale-probe invariant).
+        e.st = LineSt::kShared;
+        e.owner = -1;
+      }
       break;
   }
   if (inv_) inv_->on_line_event(line);
 }
 
 Directory::LineSt Directory::line_state(LineId line) const {
-  auto it = dir_.find(line);
-  return it == dir_.end() ? LineSt::kUncached : it->second.st;
+  const Entry* p = table_.find(line);
+  return p == nullptr ? LineSt::kUncached : p->st;
 }
 
 CoreId Directory::owner_of(LineId line) const {
-  auto it = dir_.find(line);
-  return it == dir_.end() ? -1 : it->second.owner;
+  const Entry* p = table_.find(line);
+  return p == nullptr ? -1 : p->owner;
 }
 
 std::size_t Directory::queue_depth(LineId line) const {
-  auto it = dir_.find(line);
-  return it == dir_.end() ? 0 : it->second.queue.size();
+  const Entry* p = table_.find(line);
+  return p == nullptr ? 0 : p->q_len;
 }
 
 bool Directory::has_sharer(LineId line, CoreId c) const {
-  auto it = dir_.find(line);
-  if (it == dir_.end()) return false;
-  const auto& s = it->second.sharers;
-  return std::find(s.begin(), s.end(), c) != s.end();
+  const Entry* p = table_.find(line);
+  return p != nullptr && (p->sharers & core_bit(c)) != 0;
 }
 
 bool Directory::line_busy(LineId line) const {
-  auto it = dir_.find(line);
-  return it != dir_.end() && (it->second.busy || !it->second.queue.empty());
+  const Entry* p = table_.find(line);
+  return p != nullptr && (p->busy || p->q_len != 0);
 }
 
 }  // namespace lrsim

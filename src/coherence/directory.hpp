@@ -24,15 +24,15 @@
 // transfers through the directory.
 #pragma once
 
+#include <bit>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "coherence/callbacks.hpp"
+#include "coherence/dir_table.hpp"
 #include "coherence/config.hpp"
 #include "coherence/topology.hpp"
 #include "mem/memory.hpp"
@@ -53,7 +53,7 @@ class Directory {
 
   /// How a local L1 eviction leaves the line.
   enum class EvictKind : std::uint8_t {
-    kShared,          ///< S victim (callers may skip notifying — lazy sharer lists).
+    kShared,          ///< S victim: clears the core's sharer bit (eager tracking).
     kCleanExclusive,  ///< E victim: owner gone, nothing to write back.
     kDirty,           ///< M victim: writeback message.
   };
@@ -92,9 +92,9 @@ class Directory {
 
   /// Synchronous bookkeeping for an L1 eviction. Dirty lines send a
   /// writeback message; clean-exclusive victims just clear the owner;
-  /// Shared victims are dropped silently by the controller (the stale
-  /// sharer entry is lazily corrected when an invalidation finds the line
-  /// absent, as in real sparse directories).
+  /// Shared victims clear their sharer bit eagerly, so the sharer bitmask
+  /// is always exact and no invalidation probe is ever sent to a core
+  /// without a copy (asserted by InvariantChecker::on_probe_send).
   void eviction_notice(CoreId core, LineId line, EvictKind kind);
 
   // --- introspection (tests) ------------------------------------------------
@@ -118,21 +118,43 @@ class Directory {
 
  private:
   struct Req {
-    CoreId requester;
-    ReqType type;
-    bool is_lease_req;
+    CoreId requester = -1;
+    ReqType type = ReqType::kGetS;
+    bool is_lease_req = false;
     GrantFn on_done;  ///< Move-only: Reqs move through the per-line queue.
   };
 
+  /// Per-line directory state. Lives in FlatLineMap's chunked pool, so an
+  /// Entry& is stable forever — in-flight transaction legs re-find entries
+  /// by LineId anyway, but introspection may cache references safely.
+  ///
+  /// The in-flight transaction's state is stored inline (active/
+  /// legs_remaining/pending_*) instead of in per-transaction heap boxes:
+  /// a line services one transaction at a time (Assumption 1), so one slot
+  /// per entry suffices and every transaction leg captures only
+  /// {this, line, small scalars}.
   struct Entry {
     LineSt st = LineSt::kUncached;
-    CoreId owner = -1;            ///< Valid when st is kModified/kExclusive.
-    std::vector<CoreId> sharers;  ///< Valid when st == kShared (may contain stale cores).
-    std::deque<Req> queue;        ///< Per-line FIFO (Assumption 1).
-    bool busy = false;            ///< A transaction for this line is in flight.
-    bool touched = false;         ///< Line has been brought on-chip before.
-    Cycle service_start = 0;      ///< Cycle the in-flight transaction was dequeued (busy only).
+    CoreId owner = -1;          ///< Valid when st is kModified/kExclusive/kOwned.
+    std::uint64_t sharers = 0;  ///< Bit c set <=> core c holds an S copy (exact;
+                                ///< owner is never in the mask). Width caps
+                                ///< num_cores at 64 (Machine guardrail).
+    std::uint32_t q_head = NodePool<Req>::kNil;  ///< Per-line FIFO (Assumption 1),
+    std::uint32_t q_tail = NodePool<Req>::kNil;  ///< threaded through req_pool_.
+    std::uint32_t q_len = 0;
+    bool busy = false;        ///< A transaction for this line is in flight.
+    bool touched = false;     ///< Line has been brought on-chip before.
+    Cycle service_start = 0;  ///< Cycle the in-flight transaction was dequeued (busy only).
+    // --- in-flight transaction (valid while busy) ---------------------------
+    Req active;                ///< The request being serviced.
+    int legs_remaining = 0;    ///< Outstanding probe/grant legs.
+    LineSt pending_result = LineSt::kUncached;  ///< State granted on completion.
+    bool pending_excl = false;                  ///< exclusive_grant for on_done.
   };
+
+  static constexpr std::uint64_t core_bit(CoreId c) {
+    return std::uint64_t{1} << static_cast<unsigned>(c);
+  }
 
   /// Inclusive-L2 tag array for the optional finite-capacity model. Allows
   /// transient overflow when every victim candidate has a transaction in
@@ -203,11 +225,18 @@ class Directory {
 
   static bool owner_holds_line(const Entry& e);
   void begin_service(LineId line);
-  void service(LineId line, Req req);
-  /// Finishes a transaction, setting the line to `result` for the
-  /// requester. `exclusive_grant` is forwarded to the requester's on_done.
-  void complete(LineId line, const Req& req, LineSt result, bool exclusive_grant);
-  void add_sharer(Entry& e, CoreId c);
+  /// Services the entry's `active` request (runs after the tag lookup).
+  void service(LineId line);
+  /// Finishes the in-flight transaction: installs `pending_result` for the
+  /// active requester and forwards `pending_excl` to its on_done.
+  void complete(LineId line);
+  /// One transaction leg landed; completes when the last one does.
+  void leg_done(LineId line);
+  /// Sends one invalidation probe to sharer `c` (a leg of the in-flight
+  /// transaction). Clears c's sharer bit when the ack arrives.
+  void invalidate_sharer_leg(LineId line, CoreId c, bool is_lease_req);
+  void push_req(Entry& e, Req&& r);
+  Req pop_req(Entry& e);
 
   EventQueue& ev_;
   SimMemory& mem_;
@@ -218,7 +247,8 @@ class Directory {
   InvariantChecker* inv_ = nullptr;
   Observability* obs_ = nullptr;
   std::vector<CacheController*> cores_;
-  std::unordered_map<LineId, Entry> dir_;
+  FlatLineMap<Entry> table_;   ///< Flat open-addressing line table (no erase).
+  NodePool<Req> req_pool_;     ///< Backing pool for the per-line FIFOs.
   std::unique_ptr<L2Tags> l2_tags_;  ///< Null when the L2 is unbounded.
   std::size_t peak_queue_depth_ = 0;
 };

@@ -8,13 +8,18 @@
 // and per-line transaction serialization, the directory's view of the
 // memory value is always well-defined, so keeping one canonical copy is
 // both simpler and sufficient.
+//
+// The line blocks live in a FlatLineMap (coherence/dir_table.hpp): every
+// simulated load/store lands here, and the open-addressing probe + chunked
+// block storage is markedly cheaper than the node-based unordered_map it
+// replaced (docs/ENGINE.md "Flat directory tables" — same rationale).
 #pragma once
 
 #include <array>
 #include <cassert>
 #include <cstdint>
-#include <unordered_map>
 
+#include "coherence/dir_table.hpp"
 #include "util/types.hpp"
 
 namespace lrsim {
@@ -26,9 +31,9 @@ class SimMemory {
   /// memory reads as zero, like freshly mapped pages.
   std::uint64_t read(Addr a) const {
     assert(is_word_aligned(a));
-    auto it = lines_.find(line_of(a));
-    if (it == lines_.end()) return 0;
-    return it->second[static_cast<std::size_t>(word_in_line(a))];
+    const Block* b = lines_.find(line_of(a));
+    if (b == nullptr) return 0;
+    return (*b)[static_cast<std::size_t>(word_in_line(a))];
   }
 
   /// Writes the 64-bit word at `a`.
@@ -39,12 +44,13 @@ class SimMemory {
 
   /// True if the line has ever been written (used by the DRAM first-touch
   /// cost model in the directory).
-  bool line_exists(LineId l) const { return lines_.contains(l); }
+  bool line_exists(LineId l) const { return lines_.find(l) != nullptr; }
 
   std::size_t resident_lines() const { return lines_.size(); }
 
  private:
-  std::unordered_map<LineId, std::array<std::uint64_t, kWordsPerLine>> lines_;
+  using Block = std::array<std::uint64_t, kWordsPerLine>;
+  FlatLineMap<Block> lines_;
 };
 
 }  // namespace lrsim

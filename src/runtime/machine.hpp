@@ -56,7 +56,7 @@ class Ctx {
   const MachineConfig& config() const noexcept { return cfg_; }
 
   /// Marks one completed application-level operation (throughput metric).
-  void count_op() noexcept { ++cc_.stats().ops_completed; }
+  void count_op() noexcept { cc_.count_op(); }
 
   // --- awaitable memory operations ----------------------------------------
 
@@ -188,9 +188,13 @@ class Ctx {
     struct Aw {
       Ctx* c;
       Cycle n;
-      bool await_ready() const noexcept { return false; }
+      // A work delay is pure simulated time: when the inline window is clear
+      // the kernel advances now() directly and the coroutine never suspends —
+      // bit-identical to the scheduled resume below, minus the round trip.
+      bool await_ready() const noexcept { return c->cfg_.fast_path && c->ev_.try_advance(n); }
       void await_suspend(std::coroutine_handle<> h) {
-        c->ev_.schedule_in(n, [h] { h.resume(); });
+        // Tail event: resuming the coroutine is the callback's only action.
+        c->ev_.schedule_tail_in(n, [h] { h.resume(); });
       }
       void await_resume() const noexcept {}
     };
@@ -371,7 +375,7 @@ class Machine {
     detail::Fiber f = run_root(ts->fn(*ts->ctx), ts);
     ts->root = f.handle;
     threads_.push_back(std::move(t));
-    ev_.schedule_in(0, [ts] { ts->root.resume(); });
+    ev_.schedule_tail_in(0, [ts] { ts->root.resume(); });  // resume is the whole event
   }
 
   /// Runs the simulation until every spawned thread finishes (or `limit`
@@ -406,8 +410,12 @@ class Machine {
   CacheController& controller(CoreId c) { return *controllers_[static_cast<std::size_t>(c)]; }
   const MachineConfig& config() const noexcept { return cfg_; }
 
-  /// Stats for one core (requester-attributed).
-  const Stats& core_stats(CoreId c) const { return core_stats_[static_cast<std::size_t>(c)]; }
+  /// Stats for one core (requester-attributed). Flushes that controller's
+  /// batched hot counters first so the caller sees up-to-date totals.
+  const Stats& core_stats(CoreId c) const {
+    controllers_[static_cast<std::size_t>(c)]->flush_stats();
+    return core_stats_[static_cast<std::size_t>(c)];
+  }
 
   /// Turns on protocol tracing into a bounded ring (see sim/trace.hpp).
   /// Optionally restricted to one cache line. Returns the tracer for
@@ -462,6 +470,7 @@ class Machine {
 
   /// Machine-wide aggregate, including directory-attributed counters.
   Stats total_stats() const {
+    for (const auto& c : controllers_) c->flush_stats();
     Stats s = dir_stats_;
     for (const Stats& cs : core_stats_) s += cs;
     return s;
@@ -473,6 +482,7 @@ class Machine {
   /// rejected before the cast to std::size_t.
   static std::size_t checked_core_count(int n) {
     if (n <= 0) throw std::invalid_argument("num_cores must be positive");
+    if (n > 64) throw std::invalid_argument("num_cores must be <= 64 (directory sharer bitmask width)");
     return static_cast<std::size_t>(n);
   }
 

@@ -108,6 +108,7 @@ class EventQueue {
         chunk[i].fn = nullptr;
         chunk[i].armed = false;
         chunk[i].in_calendar = false;
+        chunk[i].tail = false;
       }
       cache.push_back(std::move(chunk));
     }
@@ -134,37 +135,27 @@ class EventQueue {
   /// from the pooled slab — no allocation once the pool is warm.
   template <typename F>
   EventHandle schedule_at(Cycle when, F&& fn) {
-    assert(when >= now_ && "cannot schedule an event in the past");
-    const std::uint32_t idx = alloc_slot();
-    Rec& r = rec(idx);
-    r.fn = std::forward<F>(fn);
-    r.armed = true;
-    const std::uint64_t tiebreak = perturb_ ? prng_.next() : 0;
-    const Node n{when, tiebreak, seq_++, r.gen, idx};
-    if (tiebreak == 0 && when - now_ < kCalendarSlots) {
-      r.in_calendar = true;
-      Bucket& b = cal_[static_cast<std::size_t>(when & (kCalendarSlots - 1))];
-      if (b.head == b.items.size()) {  // fully drained: recycle the storage
-        b.items.clear();
-        b.head = 0;
-      }
-      b.items.push_back(n);
-      ++cal_live_;
-      if (when < cal_scan_) cal_scan_ = when;
-    } else {
-      r.in_calendar = false;
-      heap_.push_back(n);
-      std::push_heap(heap_.begin(), heap_.end(), Later{});
-    }
-    ++scheduled_;
-    ++live_;
-    return EventHandle{this, idx, r.gen};
+    return schedule_impl(when, std::forward<F>(fn), /*tail=*/false);
   }
 
   /// Schedules `fn` to run `delay` cycles from now.
   template <typename F>
   EventHandle schedule_in(Cycle delay, F&& fn) {
     return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
+
+  /// Schedules a *tail* event: the caller guarantees `fn` is nothing but an
+  /// operation completion — when it returns, the event is over (no epilogue
+  /// code runs after it in the same event). Only inside tail events may
+  /// try_advance move time: an inline completion is invisible exactly when
+  /// nothing above it on the event's call stack can still schedule work at
+  /// the pre-advance cycle. L1-hit completions, directory transaction legs
+  /// (complete() re-arms the line's queue *before* invoking the grant, so
+  /// the window test sees it), lease/release completions, and coroutine
+  /// work/spawn resumes qualify; intermediate protocol steps do not.
+  template <typename F>
+  EventHandle schedule_tail_in(Cycle delay, F&& fn) {
+    return schedule_impl(now_ + delay, std::forward<F>(fn), /*tail=*/true);
   }
 
   /// Runs events until the queue drains or `limit` cycles elapse.
@@ -186,6 +177,42 @@ class EventQueue {
   bool empty() const noexcept { return live_ == 0; }
   std::uint64_t total_scheduled() const noexcept { return scheduled_; }
 
+  /// Absolute cycle of the earliest live event, or UINT64_MAX when none is
+  /// pending. Lazily drops stale (cancelled) nodes exactly like the run
+  /// loop's peek, so calling it never changes which event fires next.
+  Cycle next_fire_time() {
+    Node n;
+    return peek(n) == Src::kNone ? UINT64_MAX : n.when;
+  }
+
+  /// Consecutive try_advance successes allowed between two real event
+  /// fires. The L1-hit fast path completes an operation inside the caller's
+  /// stack frame, and the completion usually issues the next operation
+  /// (coroutine resume) — an unbounded streak would recurse as deep as the
+  /// workload's hit run. Falling back to the slow path is behavior-
+  /// identical, so the bound only caps host stack depth.
+  static constexpr std::uint32_t kMaxInlineStreak = 128;
+
+  /// The controllers' inline L1-hit fast path (docs/ENGINE.md): move now()
+  /// forward by `delta` *without* an event-queue round trip, iff doing so is
+  /// provably invisible — the current event is a *tail* event (see
+  /// schedule_tail_in: nothing above the caller can still schedule work at
+  /// the pre-advance cycle), no live event fires at or before now() + delta,
+  /// the run's horizon is not overrun, perturbation mode is off (the slow
+  /// path would consume a PRNG draw), and the inline streak is below its
+  /// stack-depth bound. Returns false (caller must take the normal
+  /// schedule_in path) otherwise. Outside a run_* call it always declines.
+  bool try_advance(Cycle delta) {
+    if (!tail_window_ || perturb_) return false;
+    if (inline_streak_ >= kMaxInlineStreak) return false;
+    const Cycle target = now_ + delta;
+    if (target > run_limit_) return false;
+    if (!window_clear(target)) return false;
+    now_ = target;
+    ++inline_streak_;
+    return true;
+  }
+
   /// Slab occupancy (live + free pooled records) — introspection for tests.
   std::size_t pool_size() const noexcept { return slab_size_; }
 
@@ -205,8 +232,39 @@ class EventQueue {
     std::uint64_t gen = 0;
     bool armed = false;
     bool in_calendar = false;
+    bool tail = false;  ///< schedule_tail_in event: opens the fast-path window.
     EventFn fn;
   };
+
+  template <typename F>
+  EventHandle schedule_impl(Cycle when, F&& fn, bool tail) {
+    assert(when >= now_ && "cannot schedule an event in the past");
+    const std::uint32_t idx = alloc_slot();
+    Rec& r = rec(idx);
+    r.fn = std::forward<F>(fn);
+    r.armed = true;
+    r.tail = tail;
+    const std::uint64_t tiebreak = perturb_ ? prng_.next() : 0;
+    const Node n{when, tiebreak, seq_++, r.gen, idx};
+    if (tiebreak == 0 && when - now_ < kCalendarSlots) {
+      r.in_calendar = true;
+      Bucket& b = cal_[static_cast<std::size_t>(when & (kCalendarSlots - 1))];
+      if (b.head == b.items.size()) {  // fully drained: recycle the storage
+        b.items.clear();
+        b.head = 0;
+      }
+      b.items.push_back(n);
+      ++cal_live_;
+      if (when < cal_scan_) cal_scan_ = when;
+    } else {
+      r.in_calendar = false;
+      heap_.push_back(n);
+      std::push_heap(heap_.begin(), heap_.end(), Later{});
+    }
+    ++scheduled_;
+    ++live_;
+    return EventHandle{this, idx, r.gen};
+  }
 
   /// A queue node: the ordering key plus the slab reference. Nodes are
   /// plain values; a node is stale (skipped lazily) once its generation no
@@ -298,6 +356,30 @@ class EventQueue {
     return r.armed && r.gen == n.gen;
   }
 
+  /// Conservative O(delta) test that no event can fire in [now_, target]
+  /// (an event scheduled at now_ by code below the current tail event must
+  /// still fire before an advanced completion). Unlike next_fire_time() it
+  /// never touches the record slab — the hot failure case (a contended spin
+  /// loop polling a line while other cores' events are a cycle away) must
+  /// not pay a cache miss per poll — so any *queued* node in the window
+  /// declines, even one already cancelled; declining more often is always
+  /// behavior-identical. Calendar buckets inside the window hold only this
+  /// lap's entries (two in-window cycles can't alias a bucket when the
+  /// window is narrower than the ring), so a head entry with when < t is a
+  /// cancelled leftover from an earlier lap and is dropped exactly as
+  /// cal_peek would.
+  bool window_clear(Cycle target) {
+    if (target - now_ >= kCalendarSlots) return false;  // window wraps the ring
+    if (!heap_.empty() && heap_.front().when <= target) return false;
+    if (cal_live_ == 0) return true;
+    for (Cycle t = cal_scan_ > now_ ? cal_scan_ : now_; t <= target; ++t) {
+      Bucket& b = cal_[static_cast<std::size_t>(t & (kCalendarSlots - 1))];
+      while (b.head < b.items.size() && b.items[b.head].when < t) ++b.head;
+      if (b.head < b.items.size() && b.items[b.head].when == t) return false;
+    }
+    return true;
+  }
+
   /// Finds the earliest live calendar node, lazily dropping stale entries.
   /// Live calendar nodes always lie in [now_, now_ + kCalendarSlots): they
   /// were scheduled with when - insert_now < kCalendarSlots, time only moves
@@ -370,6 +452,15 @@ class EventQueue {
 
   template <typename Pred>
   std::uint64_t run_impl(Pred&& pred, Cycle limit) {
+    // Arm the inline fast path (try_advance) with this run's horizon; saved
+    // and restored so a nested run — not used today, but legal — keeps its
+    // caller's window intact.
+    const bool outer_running = running_;
+    const bool outer_tail = tail_window_;
+    const Cycle outer_limit = run_limit_;
+    running_ = true;
+    tail_window_ = false;
+    run_limit_ = limit;
     std::uint64_t fired = 0;
     while (pred()) {
       Node n;
@@ -377,7 +468,8 @@ class EventQueue {
       if (src == Src::kNone) {
         // Drained. A bounded-horizon run still owes the caller the full
         // horizon: leave now() at the limit (UINT64_MAX means "unbounded",
-        // where now() stays at the last fired event).
+        // where now() stays at the last fired event — which try_advance may
+        // have already carried to the final inline completion's cycle).
         if (limit != UINT64_MAX && now_ < limit) now_ = limit;
         break;
       }
@@ -387,7 +479,9 @@ class EventQueue {
         break;
       }
       pop(src, n);
+      inline_streak_ = 0;  // a real fire resets the fast path's depth bound
       Rec& r = rec(n.idx);
+      tail_window_ = r.tail;  // fast path armed only inside tail events
       // Invalidate handles/nodes before invoking, but keep the slot off the
       // free list until the callback returns: chunk addresses are stable, so
       // the callback runs in place (no 272-byte move per fire) and any events
@@ -399,9 +493,13 @@ class EventQueue {
       now_ = n.when;
       ++fired;
       r.fn();  // must not throw: the slot is reclaimed on the next two lines
+      tail_window_ = false;
       r.fn = nullptr;
       free_.push_back(n.idx);
     }
+    running_ = outer_running;
+    tail_window_ = outer_tail;
+    run_limit_ = outer_limit;
     return fired;
   }
 
@@ -417,6 +515,10 @@ class EventQueue {
   std::uint64_t scheduled_ = 0;
   std::uint64_t live_ = 0;
   bool perturb_ = false;
+  bool running_ = false;      ///< Inside run_impl.
+  bool tail_window_ = false;  ///< Inside a tail event's callback (fast path armed).
+  Cycle run_limit_ = 0;       ///< Current run's horizon (valid while running_).
+  std::uint32_t inline_streak_ = 0;  ///< try_advance successes since the last fire.
   Rng prng_;
 };
 

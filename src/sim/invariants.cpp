@@ -102,6 +102,16 @@ void InvariantChecker::on_dir_service(LineId line, CoreId requester) {
   q.pop_front();
 }
 
+void InvariantChecker::on_probe_send(LineId line, CoreId target) {
+  ++checks_;
+  if (cores_[static_cast<std::size_t>(target)]->line_state(line) == LineState::I) {
+    std::ostringstream os;
+    os << "probe targets core " << target
+       << " which holds no copy of the line (stale directory sharer)";
+    fail(InvariantKind::kSwmr, line, os.str());
+  }
+}
+
 void InvariantChecker::check_line(LineId line) {
   // --- 1. SWMR across L1s (holds at every instant) --------------------------
   CoreId excl = -1;   // holder of an M/E copy
@@ -171,13 +181,20 @@ void InvariantChecker::check_line(LineId line) {
              << " holds an exclusive L1 copy";
           fail(InvariantKind::kSwmr, line, os.str());
         }
-        // Stale directory sharers are legal (silent S evictions); an
-        // *untracked* S copy is not — it would miss invalidations.
+        // Sharer tracking is exact both ways: an *untracked* S copy would
+        // miss invalidations, and a *tracked* core without an S copy is a
+        // stale sharer (eager eviction notices must have cleared the bit).
         for (CacheController* cc : cores_) {
           if (cc->line_state(line) == LineState::S && !dir_->has_sharer(line, cc->core_id()) &&
               cc->core_id() != dir_owner) {
             std::ostringstream os;
             os << "core " << cc->core_id() << " holds an S copy the directory does not track";
+            fail(InvariantKind::kSwmr, line, os.str());
+          }
+          if (dir_->has_sharer(line, cc->core_id()) && cc->line_state(line) != LineState::S) {
+            std::ostringstream os;
+            os << "directory tracks core " << cc->core_id()
+               << " as a sharer but its L1 holds no S copy (stale sharer bit)";
             fail(InvariantKind::kSwmr, line, os.str());
           }
         }

@@ -132,6 +132,13 @@ class InvariantChecker {
   /// The directory began servicing `requester`'s request for `line`.
   void on_dir_service(LineId line, CoreId requester);
 
+  /// The directory decided to send a coherence probe for `line` to `target`.
+  /// Sharer bitmasks are exact (eager eviction notices), so at the send
+  /// decision the target must hold a copy — a probe to a core without one
+  /// means the directory tracked a stale sharer. Checked at send time, not
+  /// arrival: the target may legally evict while the probe is in flight.
+  void on_probe_send(LineId line, CoreId target);
+
   /// A finite-L2 back-invalidation of `line` is in flight; directory
   /// cross-checks are suspended for the line until it completes (its dir
   /// entry is cleared before the L1 copies are reachable).

@@ -238,25 +238,34 @@ TEST(Coherence, CapacityEvictionWritesBackModified) {
   EXPECT_EQ(s.l1_misses, 6u);  // 5 stores + 1 reload
 }
 
-TEST(Coherence, SilentSharedEvictionIsCorrectedLazily) {
+TEST(Coherence, SharedEvictionEagerlyClearsSharerBit) {
+  // An S-state capacity eviction notifies the directory immediately
+  // (EvictKind::kShared), so the sharer bitmask stays exact: the evicting
+  // core's bit is clear before any later writer is serviced, and no
+  // invalidation probe is ever aimed at a core without a copy (the
+  // invariant checker asserts exactly that at probe-send time).
   MachineConfig cfg = small_config(2, false);
   Machine m{cfg};
+  m.enable_invariants();
   const int sets = cfg.l1_sets;
   Addr a = line_base(2000);
   std::vector<Addr> fillers;
   for (int i = 1; i <= 4; ++i) fillers.push_back(line_base(static_cast<LineId>(2000 + i * sets)));
   m.spawn(0, [&](Ctx& ctx) -> Task<void> {
-    co_await ctx.load(a);  // S copy
-    for (Addr f : fillers) co_await ctx.load(f);  // evict `a` silently
+    co_await ctx.load(a);  // S copy, tracked
+    EXPECT_TRUE(m.directory().has_sharer(line_of(a), 0));
+    for (Addr f : fillers) co_await ctx.load(f);  // capacity-evict `a`
+    EXPECT_FALSE(m.directory().has_sharer(line_of(a), 0));
     co_await ctx.work(2000);
   });
   m.spawn(1, [&](Ctx& ctx) -> Task<void> {
     co_await ctx.work(1000);
-    co_await ctx.store(a, 5);  // inv probe to stale sharer must not wedge
+    co_await ctx.store(a, 5);  // serviced with an exact (empty) sharer mask
   });
   m.run(10'000'000);
   ASSERT_TRUE(m.all_done());
   EXPECT_EQ(m.memory().read(a), 5u);
+  EXPECT_GT(m.invariants()->checks_run(), 0u);
 }
 
 TEST(Coherence, ValuesArePropagatedThroughOwnershipChain) {

@@ -25,6 +25,15 @@ TEST(Guardrails, MachineRejectsNegativeCores) {
   EXPECT_THROW(Machine(cfg, /*seed=*/1), std::invalid_argument);
 }
 
+// The directory tracks sharers in a 64-bit core bitmask, so the machine is
+// hard-capped at 64 cores (the paper's largest configuration).
+TEST(Guardrails, MachineRejectsMoreThan64Cores) {
+  MachineConfig cfg = small_config(65, /*leases=*/false);
+  EXPECT_THROW(Machine(cfg, /*seed=*/1), std::invalid_argument);
+  cfg = small_config(64, /*leases=*/false);
+  EXPECT_NO_THROW(Machine(cfg, /*seed=*/1));
+}
+
 // Issuing a second memory op while one is in flight on the same core
 // violates the in-order-core model and must die on the Ctx::begin_op
 // assert. Asserts compile out under NDEBUG (RelWithDebInfo), so the test
