@@ -29,8 +29,18 @@
 
 namespace lrsim::bench {
 
+/// The paper's thread sweep: powers of two up to `max_threads` (Figure 3
+/// runs 2..64). Single source of truth for both the BenchOptions default
+/// and the --max_threads rebuild in parse_flags — the two used to encode
+/// the same sequence independently and could drift.
+inline std::vector<int> thread_sweep(int max_threads = 64) {
+  std::vector<int> sweep;
+  for (int t = 2; t <= max_threads; t *= 2) sweep.push_back(t);
+  return sweep;
+}
+
 struct BenchOptions {
-  std::vector<int> threads{2, 4, 8, 16, 32, 64};
+  std::vector<int> threads = thread_sweep();
   int ops_per_thread = 100;
   bool full = false;  ///< --full: 5x the operations for smoother curves.
   std::string csv_dir = "bench_out";
@@ -39,6 +49,10 @@ struct BenchOptions {
   std::uint64_t seed = 1;
   Cycle think_max = 40;  ///< Random local work between ops (0..think_max).
   int jobs = 0;  ///< --jobs: host threads running samples; 0 = one per host CPU.
+  /// --sim-threads: worker threads *inside* each simulation (0/1 = serial
+  /// kernel, n >= 2 = parallel kernel when eligible; results are
+  /// bit-identical either way — docs/ENGINE.md "Parallel kernel").
+  int sim_threads = 0;
   /// --fast-path: "auto" keeps whatever the variant configures (the
   /// MachineConfig default is on), "on"/"off" force it — for ablating the
   /// inline L1-hit fast path (host-speed only; results are bit-identical).
@@ -74,6 +88,8 @@ inline bool parse_flags(int argc, char** argv, const std::string& name, BenchOpt
   flags.add("seed", &opt.seed, "workload RNG seed");
   flags.add("think", &opt.think_max, "max random local work between ops (cycles)");
   flags.add("jobs", &opt.jobs, "host threads running samples in parallel (0 = one per host CPU)");
+  flags.add("sim-threads", &opt.sim_threads,
+            "worker threads inside each simulation (0 = serial kernel; bit-identical)");
   flags.add("fast-path", &opt.fast_path,
             "inline L1-hit fast path: on, off, or auto (= variant/config default)");
   flags.add("trace_out", &opt.trace_out,
@@ -99,8 +115,23 @@ inline bool parse_flags(int argc, char** argv, const std::string& name, BenchOpt
     std::cerr << "error: --fast-path must be on, off, or auto (got \"" << opt.fast_path << "\")\n";
     return false;
   }
-  opt.threads.clear();
-  for (int t = 2; t <= max_threads; t *= 2) opt.threads.push_back(t);
+  if (opt.sim_threads < 0) {
+    std::cerr << "error: --sim-threads must be >= 0 (got " << opt.sim_threads << ")\n";
+    return false;
+  }
+  // The two parallelism axes multiply: --jobs host threads each driving a
+  // simulation with --sim-threads workers. Refuse to oversubscribe the host
+  // silently — the sweep would thrash instead of speeding up.
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int effective_jobs = opt.jobs > 0 ? opt.jobs : hw;
+  if (opt.sim_threads >= 2 && effective_jobs > 1 &&
+      effective_jobs * opt.sim_threads > hw && hw > 0) {
+    std::cerr << "error: --jobs " << effective_jobs << " x --sim-threads " << opt.sim_threads
+              << " = " << effective_jobs * opt.sim_threads << " host threads exceeds the "
+              << hw << " available; pass --jobs 1 (or a smaller --sim-threads)\n";
+    return false;
+  }
+  opt.threads = thread_sweep(max_threads);
   if (opt.full) opt.ops_per_thread *= 5;
   return true;
 }
@@ -159,6 +190,9 @@ inline Sample run_one(const Variant& v, int threads, const BenchOptions& opt,
   if (v.configure) v.configure(cfg);
   if (opt.fast_path != "auto") cfg.fast_path = opt.fast_path == "on";
   Machine m{cfg, opt.seed};
+  // Bit-identical to serial, so tables/CSVs stay byte-identical for any
+  // --sim-threads value (like --jobs and --fast-path before it).
+  m.set_sim_threads(opt.sim_threads);
 
   auto worker = v.make(m, opt);  // may prefill (and run) on the machine
   if (observe) {

@@ -113,6 +113,39 @@ void BM_Fig3CounterSimThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_Fig3CounterSimThroughput);
 
+// The same workload at 64 cores, swept over the in-run parallel kernel
+// (sim/par_kernel.hpp): sim_threads:0 is the serial kernel, n >= 2 shards
+// the per-cycle batches across n host worker threads. Results are
+// bit-identical across the sweep (tests/parallel_determinism_test.cpp);
+// only wall time may differ. scripts/bench_check.py keys baselines on the
+// sim_threads token so serial and parallel entries gate separately.
+void BM_Fig3CounterSimThroughputMT(benchmark::State& state) {
+  const int threads = 64;
+  const int sim_threads = static_cast<int>(state.range(0));
+  std::uint64_t sim_cycles = 0;
+  for (auto _ : state) {
+    MachineConfig cfg;
+    cfg.num_cores = threads;
+    cfg.leases_enabled = true;
+    Machine m{cfg};
+    m.set_sim_threads(sim_threads);
+    LockedCounter c{m, CounterLockKind::kTTSLease};
+    for (int t = 0; t < threads; ++t) {
+      m.spawn(t, [&](Ctx& ctx) -> Task<void> {
+        for (int i = 0; i < 100; ++i) co_await c.increment(ctx);
+      });
+    }
+    sim_cycles += m.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim_cycles));
+  state.SetLabel("simulated cycles (contended fig3 counter, 64 cores)");
+}
+BENCHMARK(BM_Fig3CounterSimThroughputMT)
+    ->ArgName("sim_threads")
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(4);
+
 }  // namespace
 }  // namespace lrsim
 

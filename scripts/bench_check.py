@@ -17,11 +17,20 @@ the +/- tolerance band:
     keeps teeth (docs/ENGINE.md, "Perf-gate workflow").
 
 --update overwrites the baseline with the candidate and exits 0.
+
+Serial vs parallel kernels (--sim-threads) are separate series: an entry's
+sim_threads comes from the benchmark-name token ("/sim_threads:N") or, for
+whole-file recordings, from context.sim_threads. Serial baselines never gate
+parallel candidates and vice versa — wall-clock characteristics differ even
+though simulated results are bit-identical. A JSON whose context declares
+one sim_threads value while a benchmark name declares another is mixing the
+two in one series; that comparison is meaningless and hard-fails (exit 2).
 """
 
 import argparse
 import json
 import os
+import re
 import shutil
 import sys
 
@@ -52,21 +61,51 @@ def check_release_build(path, doc):
         sys.exit(2)
 
 
+SIM_THREADS_TOKEN = re.compile(r"(?:^|/)sim_threads:(\d+)")
+
+
+def sim_threads_of(name, ctx):
+    """Effective sim_threads of one entry: name token, else file context, else 0."""
+    m = SIM_THREADS_TOKEN.search(name)
+    if m:
+        return int(m.group(1))
+    try:
+        return int(ctx.get("sim_threads", 0))
+    except (TypeError, ValueError):
+        return 0
+
+
 def load_throughputs(path):
-    """Returns {benchmark name: items/sec} for every aggregate-free entry."""
+    """Returns {benchmark name: (items/sec, sim_threads)} per aggregate-free entry.
+
+    Hard-fails (exit 2) when the file mixes serial and parallel recordings in
+    one series: context.sim_threads declaring one kernel while a benchmark
+    name's sim_threads token declares another.
+    """
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     check_release_build(path, doc)
+    ctx = doc.get("context", {})
+    ctx_st = ctx.get("sim_threads")
     out = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
         name = b["name"]
+        st = sim_threads_of(name, ctx)
+        m = SIM_THREADS_TOKEN.search(name)
+        if ctx_st is not None and m and int(m.group(1)) != int(ctx_st):
+            print(f"error: {os.path.relpath(path)} mixes sim_threads series: context "
+                  f"declares sim_threads={ctx_st} but entry {name!r} declares "
+                  f"sim_threads:{m.group(1)}. Record serial and parallel runs in "
+                  "separate JSONs (or drop the context key).",
+                  file=sys.stderr)
+            sys.exit(2)
         if "items_per_second" in b:
-            out[name] = float(b["items_per_second"])
+            out[name] = (float(b["items_per_second"]), st)
         elif float(b.get("real_time", 0)) > 0:
             # Fall back to inverse wall time; units cancel in the ratio.
-            out[name] = 1.0 / float(b["real_time"])
+            out[name] = (1.0 / float(b["real_time"]), st)
     return out
 
 
@@ -100,12 +139,22 @@ def main():
         return 2
 
     failures = []
-    print(f"{'benchmark':<44} {'baseline':>12} {'candidate':>12} {'ratio':>7}")
+    print(f"{'benchmark':<52} {'baseline':>12} {'candidate':>12} {'ratio':>7}")
     for name in sorted(base):
+        base_tp, base_st = base[name]
         if name not in cand:
             failures.append(f"{name}: missing from candidate run")
             continue
-        ratio = cand[name] / base[name]
+        cand_tp, cand_st = cand[name]
+        if base_st != cand_st:
+            # Like-with-like only: a serial baseline must never gate a
+            # parallel candidate (or vice versa) — same name or not.
+            print(f"error: {name}: baseline is a sim_threads={base_st} series but "
+                  f"candidate is sim_threads={cand_st}; serial and parallel runs "
+                  "are separate series and cannot gate each other.",
+                  file=sys.stderr)
+            sys.exit(2)
+        ratio = cand_tp / base_tp
         verdict = "ok"
         if ratio < 1.0 - args.tolerance:
             verdict = "REGRESSION"
@@ -115,9 +164,9 @@ def main():
             verdict = "STALE-BASELINE"
             failures.append(f"{name}: {ratio:.2f}x of baseline "
                             f"(above {1.0 + args.tolerance:.2f}x; rerun with --update)")
-        print(f"{name:<44} {base[name]:>12.3e} {cand[name]:>12.3e} {ratio:>6.2f}x  {verdict}")
+        print(f"{name:<52} {base_tp:>12.3e} {cand_tp:>12.3e} {ratio:>6.2f}x  {verdict}")
     for name in sorted(set(cand) - set(base)):
-        print(f"{name:<44} {'-':>12} {cand[name]:>12.3e}       new (not gated)")
+        print(f"{name:<52} {'-':>12} {cand[name][0]:>12.3e}       new (not gated)")
 
     if failures:
         print("\nperf gate FAILED:", file=sys.stderr)

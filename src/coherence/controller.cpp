@@ -28,7 +28,10 @@ void CacheController::cpu_read(Addr a, ReadDoneFn done) {
     }
     // The completion is the entire event (nothing runs after it), so it is
     // a tail event: the next hit completed inside it may take the fast path.
-    ev_.schedule_tail_in(cfg_.l1_latency, [this, a, done = std::move(done)] { done(mem_.read(a)); });
+    // Core-domain: an L1-hit completion touches only this core's state (the
+    // SWMR-protected data word included).
+    ev_.schedule_tail_in_on(domain(), cfg_.l1_latency,
+                            [this, a, done = std::move(done)] { done(mem_.read(a)); });
     return;
   }
   ++hot_.l1_misses;
@@ -59,7 +62,7 @@ void CacheController::with_exclusive(Addr a, bool is_lease_req, ThenFn then) {
       then();
       return;
     }
-    ev_.schedule_tail_in(cfg_.l1_latency, std::move(then));
+    ev_.schedule_tail_in_on(domain(), cfg_.l1_latency, std::move(then));
     return;
   }
   // Both cold misses and S->M upgrades count as coherence misses.
@@ -124,13 +127,13 @@ void CacheController::cpu_lease(Addr a, Cycle duration, DoneFn done) {
   if (!cfg_.leases_enabled) {
     // Baseline machine: the lease instruction does not exist; model it as
     // free so base runs pay no phantom cost.
-    ev_.schedule_tail_in(0, std::move(done));
+    ev_.schedule_tail_in_on(domain(), 0, std::move(done));
     return;
   }
   const LineId l = line_of(a);
   if (leases_.has(l)) {
     // No extension of an existing lease (footnote 1).
-    ev_.schedule_tail_in(cfg_.l1_latency, std::move(done));
+    ev_.schedule_tail_in_on(domain(), cfg_.l1_latency, std::move(done));
     return;
   }
   if (tracer_) tracer_->emit(TraceEvent::kLease, ev_.now(), core_, l, duration);
@@ -138,7 +141,7 @@ void CacheController::cpu_lease(Addr a, Cycle duration, DoneFn done) {
     // Section 5 "Speculative Execution": leases that keep expiring
     // involuntarily are ignored — early release never affects correctness.
     ++stats_.leases_suppressed;
-    ev_.schedule_tail_in(cfg_.l1_latency, std::move(done));
+    ev_.schedule_tail_in_on(domain(), cfg_.l1_latency, std::move(done));
     return;
   }
   leases_.add(l, duration);
@@ -148,7 +151,7 @@ void CacheController::cpu_lease(Addr a, Cycle duration, DoneFn done) {
     l1_.touch(l);
     leases_.on_granted(l);
     if (tracer_) tracer_->emit(TraceEvent::kLeaseGrant, ev_.now(), core_, l);
-    ev_.schedule_tail_in(cfg_.l1_latency, std::move(done));
+    ev_.schedule_tail_in_on(domain(), cfg_.l1_latency, std::move(done));
     return;
   }
   ++hot_.l1_misses;
@@ -170,13 +173,15 @@ void CacheController::cpu_lease(Addr a, Cycle duration, DoneFn done) {
 
 void CacheController::cpu_release(Addr a, BoolDoneFn done) {
   if (!cfg_.leases_enabled) {
-    ev_.schedule_tail_in(0, [done = std::move(done)] { done(false); });
+    ev_.schedule_tail_in_on(domain(), 0, [done = std::move(done)] { done(false); });
     return;
   }
   // Release has memory-fence semantics (Section 5); on this in-order,
   // one-outstanding-op core the fence itself is free. The callback ends with
-  // the completion, so the event is tail-eligible.
-  ev_.schedule_tail_in(cfg_.l1_latency, [this, a, done = std::move(done)] {
+  // the completion, so the event is tail-eligible. Core-domain: releasing
+  // touches this core's lease table and L1 only (a serviced parked probe's
+  // directory-side continuation is a separate, global-tagged event).
+  ev_.schedule_tail_in_on(domain(), cfg_.l1_latency, [this, a, done = std::move(done)] {
     const bool voluntary = leases_.release(line_of(a));
     if (tracer_) tracer_->emit(TraceEvent::kRelease, ev_.now(), core_, line_of(a), voluntary ? 1 : 0);
     done(voluntary);
@@ -185,10 +190,10 @@ void CacheController::cpu_release(Addr a, BoolDoneFn done) {
 
 void CacheController::cpu_release_all(DoneFn done) {
   if (!cfg_.leases_enabled) {
-    ev_.schedule_tail_in(0, std::move(done));
+    ev_.schedule_tail_in_on(domain(), 0, std::move(done));
     return;
   }
-  ev_.schedule_tail_in(cfg_.l1_latency, [this, done = std::move(done)] {
+  ev_.schedule_tail_in_on(domain(), cfg_.l1_latency, [this, done = std::move(done)] {
     leases_.release_all();
     done();
   });
@@ -196,7 +201,7 @@ void CacheController::cpu_release_all(DoneFn done) {
 
 void CacheController::cpu_multi_lease(std::vector<Addr> addrs, Cycle duration, DoneFn done) {
   if (!cfg_.leases_enabled) {
-    ev_.schedule_tail_in(0, std::move(done));
+    ev_.schedule_tail_in_on(domain(), 0, std::move(done));
     return;
   }
   // Sort by line id — the fixed global comparison criterion that makes the
@@ -215,15 +220,17 @@ void CacheController::cpu_multi_lease(std::vector<Addr> addrs, Cycle duration, D
 
   if (cfg_.software_multilease) {
     // Software emulation (Section 4): staggered independent single leases;
-    // joint holding is *probable*, not guaranteed.
-    ev_.schedule_in(cfg_.l1_latency, [this, lines, duration, boxed] {
+    // joint holding is *probable*, not guaranteed. Core-domain: the step
+    // chain touches this core's lease table/L1 and schedules any directory
+    // legs as separate global-tagged events.
+    ev_.schedule_in_on(domain(), cfg_.l1_latency, [this, lines, duration, boxed] {
       leases_.release_all();
       sw_multi_lease_step(lines, 0, duration, boxed);
     });
     return;
   }
 
-  ev_.schedule_in(cfg_.l1_latency, [this, lines, duration, boxed] {
+  ev_.schedule_in_on(domain(), cfg_.l1_latency, [this, lines, duration, boxed] {
     // Algorithm 2: release all currently held leases first; a group that
     // would exceed MAX_NUM_LEASES is ignored.
     leases_.release_all();
@@ -253,7 +260,7 @@ void CacheController::multi_lease_step(std::shared_ptr<std::vector<LineId>> line
     ++hot_.l1_hits;
     l1_.touch(l);
     leases_.on_granted(l);
-    ev_.schedule_in(cfg_.l1_latency, std::move(next));
+    ev_.schedule_in_on(domain(), cfg_.l1_latency, std::move(next));
     return;
   }
   ++hot_.l1_misses;
@@ -280,7 +287,8 @@ void CacheController::sw_multi_lease_step(std::shared_ptr<std::vector<LineId>> l
       static_cast<Cycle>(lines->size() - 1 - i) * cfg_.effective_sw_stagger();
   // Software emulation pays real instructions per address (group-id
   // bookkeeping, timeout arithmetic) that the hardware instruction does not.
-  ev_.schedule_in(cfg_.sw_multilease_overhead, [this, lines, i, duration, extra, done] {
+  ev_.schedule_in_on(domain(), cfg_.sw_multilease_overhead,
+                     [this, lines, i, duration, extra, done] {
     cpu_lease(line_base((*lines)[i]), duration + extra,
               [this, lines, i, duration, done] {
                 sw_multi_lease_step(lines, i + 1, duration, done);
@@ -302,11 +310,13 @@ void CacheController::probe(LineId line, ProbeType type, bool requestor_is_lease
     if (leases_.blocks_probe(line, requestor_is_lease)) {
       if (tracer_) tracer_->emit(TraceEvent::kProbeNack, ev_.now(), core_, line);
       stats_.msgs_nack += 2;  // NACK to the directory + the retry probe
-      ev_.schedule_in(cfg_.nack_retry_delay,
-                      [this, line, type, requestor_is_lease,
-                       on_serviced = std::move(on_serviced)]() mutable {
-                        probe(line, type, requestor_is_lease, std::move(on_serviced));
-                      });
+      // Core-domain: the retried probe runs against this core's L1/lease
+      // table; its directory continuation is a separate global event.
+      ev_.schedule_in_on(domain(), cfg_.nack_retry_delay,
+                         [this, line, type, requestor_is_lease,
+                          on_serviced = std::move(on_serviced)]() mutable {
+                           probe(line, type, requestor_is_lease, std::move(on_serviced));
+                         });
       return;
     }
   }
@@ -361,6 +371,12 @@ void CacheController::make_room(LineId line) {
 }
 
 void CacheController::install(LineId line, LineState st) {
+  // Materialize the backing cell now, in this (serial/global) grant context:
+  // a first-touch store later — possibly inside a parallel worker phase —
+  // then writes an existing cell in place instead of growing the map. The
+  // DRAM first-touch accounting is unchanged (an unwritten cell does not
+  // count as resident; see SimMemory::ensure).
+  mem_.ensure(line);
   make_room(line);
   auto victim = l1_.install(line, st, pinned_fn());
   if (victim) {

@@ -50,7 +50,7 @@ class CacheController {
         cfg_(cfg),
         stats_(stats),
         l1_(cfg.l1_sets, cfg.l1_ways),
-        leases_(ev, stats, cfg),
+        leases_(ev, stats, cfg, core),
         topo_(cfg) {}
 
   CacheController(const CacheController&) = delete;
@@ -199,6 +199,13 @@ class CacheController {
   /// run on the miss path of every memory op, and constructing a fresh
   /// std::function per call showed up in contended-run profiles.
   const std::function<bool(LineId)>& pinned_fn() const { return pinned_; }
+
+  /// This core's shard tag for the parallel kernel (see EventQueue::Domain).
+  /// Applied only to events confined to this controller's private state —
+  /// anything that can reach the directory stays kGlobalDomain.
+  EventQueue::Domain domain() const noexcept {
+    return static_cast<EventQueue::Domain>(core_);
+  }
 
   /// Continues a MultiLease acquisition chain at index `i` of the sorted
   /// line list. The CPU-level completion rides in a shared box: the chain

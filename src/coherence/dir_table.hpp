@@ -62,6 +62,16 @@ class FlatLineMap {
 
   std::size_t size() const noexcept { return size_; }
 
+  /// Visits every stored value in insertion order. The map has no erase, so
+  /// the first `size_` pool slots are exactly the live values. Introspection
+  /// only (SimMemory::resident_lines) — not a hot path.
+  template <typename F>
+  void for_each_value(F&& f) const {
+    for (std::size_t i = 0; i < size_; ++i) {
+      f(value(static_cast<std::uint32_t>(i)));
+    }
+  }
+
  private:
   struct Slot {
     LineId line = 0;

@@ -52,8 +52,12 @@ namespace lrsim {
 
 class LeaseTable {
  public:
-  LeaseTable(EventQueue& ev, Stats& stats, const MachineConfig& cfg)
-      : ev_(ev), stats_(stats), cfg_(cfg) {}
+  /// `core` identifies the owning core (or -1 for standalone unit-test
+  /// tables): it labels observability spans and domain-tags the expiry
+  /// timers for the parallel kernel — a timer callback touches only this
+  /// table and its core's L1.
+  LeaseTable(EventQueue& ev, Stats& stats, const MachineConfig& cfg, CoreId core = -1)
+      : ev_(ev), stats_(stats), cfg_(cfg), core_(core) {}
 
   LeaseTable(const LeaseTable&) = delete;
   LeaseTable& operator=(const LeaseTable&) = delete;
@@ -298,7 +302,13 @@ class LeaseTable {
     e.started_at = ev_.now();
     e.deadline = ev_.now() + e.duration;
     const LineId line = e.line;
-    e.timer = ev_.schedule_in(e.duration, [this, line] { remove(line, ReleaseKind::kInvoluntary); });
+    // Core-domain when owned by a controller: expiry mutates this table and
+    // the core's L1 only (a serviced parked probe schedules its directory
+    // continuation as a separate, global-tagged event).
+    const EventQueue::Domain d =
+        core_ >= 0 ? static_cast<EventQueue::Domain>(core_) : EventQueue::kGlobalDomain;
+    e.timer = ev_.schedule_in_on(d, e.duration,
+                                 [this, line] { remove(line, ReleaseKind::kInvoluntary); });
   }
 
   /// Removes the entry for `line`, accounts the release, and services any

@@ -23,6 +23,7 @@
 #include "runtime/machine.hpp"      // IWYU pragma: export
 #include "runtime/task.hpp"         // IWYU pragma: export
 #include "sim/event_queue.hpp"      // IWYU pragma: export
+#include "sim/par_kernel.hpp"       // IWYU pragma: export
 #include "sim/stats.hpp"            // IWYU pragma: export
 #include "util/rng.hpp"             // IWYU pragma: export
 #include "util/types.hpp"           // IWYU pragma: export

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/par_guard.hpp"
 #include "util/types.hpp"
 
 namespace lrsim {
@@ -33,6 +34,11 @@ class SimHeap {
   /// Allocates `bytes` (rounded up to 8) with the given alignment
   /// (power of two, >= 8). Returns the simulated byte address.
   Addr alloc(std::size_t bytes, std::size_t align = 8) {
+    // Not parallel-phase safe: the bump pointer and free lists are shared
+    // across cores, and host-thread allocation order would leak into
+    // simulated addresses (sim/par_guard.hpp). Workloads that allocate per
+    // operation (Treiber push, MS-queue enqueue) must run serially.
+    if (par::in_worker_phase()) par::unsafe_in_worker("SimHeap::alloc");
     assert(align >= 8 && (align & (align - 1)) == 0);
     bytes = align_up(bytes, 8);
     if (align == kLineSize) {
@@ -62,6 +68,7 @@ class SimHeap {
   /// Returns a line-aligned block to the free list. Only blocks obtained
   /// from alloc_line / alloc(..., kLineSize) may be freed.
   void free_line(Addr a, std::size_t bytes = 8) {
+    if (par::in_worker_phase()) par::unsafe_in_worker("SimHeap::free_line");
     assert((a & (kLineSize - 1)) == 0);
     const std::size_t lines = align_up(align_up(bytes, 8), kLineSize) / kLineSize;
     if (lines >= line_free_.size()) line_free_.resize(lines + 1);

@@ -13,6 +13,13 @@
 // simulated load/store lands here, and the open-addressing probe + chunked
 // block storage is markedly cheaper than the node-based unordered_map it
 // replaced (docs/ENGINE.md "Flat directory tables" — same rationale).
+//
+// Parallel-kernel contract: during a worker phase (sim/par_guard.hpp) only
+// in-place reads and writes of *existing* cells are allowed — they are
+// SWMR-protected by the coherence protocol itself (an M-state owner holds
+// the only cached copy). Map *growth* is confined to serial contexts: the
+// controller materializes a cell at install time (ensure), and a first-touch
+// insert from a worker aborts loudly rather than racing the rehash.
 #pragma once
 
 #include <array>
@@ -20,6 +27,7 @@
 #include <cstdint>
 
 #include "coherence/dir_table.hpp"
+#include "sim/par_guard.hpp"
 #include "util/types.hpp"
 
 namespace lrsim {
@@ -31,26 +39,53 @@ class SimMemory {
   /// memory reads as zero, like freshly mapped pages.
   std::uint64_t read(Addr a) const {
     assert(is_word_aligned(a));
-    const Block* b = lines_.find(line_of(a));
-    if (b == nullptr) return 0;
-    return (*b)[static_cast<std::size_t>(word_in_line(a))];
+    const Cell* c = lines_.find(line_of(a));
+    if (c == nullptr) return 0;
+    return c->words[static_cast<std::size_t>(word_in_line(a))];
   }
 
   /// Writes the 64-bit word at `a`.
   void write(Addr a, std::uint64_t v) {
     assert(is_word_aligned(a));
-    lines_[line_of(a)][static_cast<std::size_t>(word_in_line(a))] = v;
+    const LineId l = line_of(a);
+    Cell* c = lines_.find(l);
+    if (c == nullptr) {
+      if (par::in_worker_phase()) par::unsafe_in_worker("SimMemory first-touch insert");
+      c = &lines_[l];
+    }
+    c->written = true;
+    c->words[static_cast<std::size_t>(word_in_line(a))] = v;
+  }
+
+  /// Materializes the backing cell for `l` without marking it written.
+  /// Called from serial contexts (L1 install) so that later stores — which
+  /// may run inside a parallel worker phase — mutate in place. Unobservable
+  /// to the cost model: an unwritten cell reads as zero and does not count
+  /// as resident.
+  void ensure(LineId l) {
+    assert(!par::in_worker_phase());
+    lines_[l];
   }
 
   /// True if the line has ever been written (used by the DRAM first-touch
   /// cost model in the directory).
-  bool line_exists(LineId l) const { return lines_.find(l) != nullptr; }
+  bool line_exists(LineId l) const {
+    const Cell* c = lines_.find(l);
+    return c != nullptr && c->written;
+  }
 
-  std::size_t resident_lines() const { return lines_.size(); }
+  std::size_t resident_lines() const {
+    std::size_t n = 0;
+    lines_.for_each_value([&n](const Cell& c) { n += c.written ? 1 : 0; });
+    return n;
+  }
 
  private:
-  using Block = std::array<std::uint64_t, kWordsPerLine>;
-  FlatLineMap<Block> lines_;
+  struct Cell {
+    std::array<std::uint64_t, kWordsPerLine> words{};
+    bool written = false;  ///< Distinguishes ensure()'d cells from real stores.
+  };
+  FlatLineMap<Cell> lines_;
 };
 
 }  // namespace lrsim

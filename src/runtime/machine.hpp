@@ -20,6 +20,7 @@
 //   m.run();
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
@@ -36,6 +37,7 @@
 #include "obs/observability.hpp"
 #include "runtime/task.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/par_kernel.hpp"
 #include "sim/invariants.hpp"
 #include "sim/trace.hpp"
 #include "sim/stats.hpp"
@@ -194,7 +196,9 @@ class Ctx {
       bool await_ready() const noexcept { return c->cfg_.fast_path && c->ev_.try_advance(n); }
       void await_suspend(std::coroutine_handle<> h) {
         // Tail event: resuming the coroutine is the callback's only action.
-        c->ev_.schedule_tail_in(n, [h] { h.resume(); });
+        // Core-tagged: the resume runs this core's workload code only.
+        c->ev_.schedule_tail_in_on(static_cast<EventQueue::Domain>(c->core_), n,
+                                   [h] { h.resume(); });
       }
       void await_resume() const noexcept {}
     };
@@ -375,14 +379,57 @@ class Machine {
     detail::Fiber f = run_root(ts->fn(*ts->ctx), ts);
     ts->root = f.handle;
     threads_.push_back(std::move(t));
-    ev_.schedule_tail_in(0, [ts] { ts->root.resume(); });  // resume is the whole event
+    // Resume is the whole event, and it runs only this core's workload code.
+    ev_.schedule_tail_in_on(static_cast<EventQueue::Domain>(core), 0,
+                            [ts] { ts->root.resume(); });
+  }
+
+  /// Selects the kernel for subsequent run() calls: 0 or 1 means serial,
+  /// n >= 2 requests the parallel kernel with n worker threads (see
+  /// sim/par_kernel.hpp). The request is honored only when the run is
+  /// par-eligible (par_eligible()); otherwise run() silently falls back to
+  /// the serial kernel — either way the results are bit-identical.
+  void set_sim_threads(int n) {
+    if (n < 0) throw std::invalid_argument("sim_threads must be >= 0");
+    sim_threads_ = n;
+  }
+  int sim_threads() const noexcept { return sim_threads_; }
+
+  /// True when run() would use the parallel kernel. Perturbation would make
+  /// firing order depend on a PRNG the workers cannot share; tracing,
+  /// observability and the invariant checker append to machine-global logs
+  /// from event callbacks; and fewer than two cores per shard leaves no
+  /// batch with two non-empty shards worth a barrier round trip.
+  bool par_eligible() const noexcept {
+    return sim_threads_ >= 2 && !ev_.perturbed() && tracer_ == nullptr &&
+           obs_ == nullptr && inv_ == nullptr && cfg_.num_cores >= 2 * sim_threads_;
+  }
+
+  /// Parallel-kernel counters from past run() calls, or nullptr when the
+  /// parallel kernel was never engaged. Introspection for tests/benches.
+  const ParKernelStats* par_stats() const noexcept {
+    return par_ ? &par_->stats() : nullptr;
   }
 
   /// Runs the simulation until every spawned thread finishes (or `limit`
   /// cycles elapse — a watchdog for deadlock tests). Returns the final
   /// simulated cycle. Rethrows the first workload exception, if any.
   Cycle run(Cycle limit = UINT64_MAX) {
-    ev_.run_while([this] { return !all_done(); }, limit);
+    if (par_eligible()) {
+      if (!par_) {
+        // One batch event schedules at most a handful of children; the
+        // worst case is a release/expiry servicing every parked probe a
+        // full lease table can hold, plus the op-completion chain. Wide
+        // margin — the reserve is recycled slab slots, not allocations.
+        const std::size_t reserve =
+            2 * static_cast<std::size_t>(std::max(1, cfg_.max_num_leases)) + 32;
+        par_ = std::make_unique<ParKernel>(ev_, sim_threads_, reserve);
+      }
+      par_->run_while([this] { return !all_done(); }, limit,
+                      [this] { return threads_.size() - threads_finished(); });
+    } else {
+      ev_.run_while([this] { return !all_done(); }, limit);
+    }
     for (auto& t : threads_) {
       if (t->error) std::rethrow_exception(t->error);
     }
@@ -516,6 +563,10 @@ class Machine {
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<InvariantChecker> inv_;
   std::unique_ptr<Observability> obs_;
+  int sim_threads_ = 0;  ///< 0/1 = serial; >= 2 requests the parallel kernel.
+  // Declared last on purpose: the worker threads reference ev_ and must be
+  // joined (ParKernel dtor) before any other member is destroyed.
+  std::unique_ptr<ParKernel> par_;
 };
 
 }  // namespace lrsim

@@ -36,12 +36,23 @@
 // events always take the heap path: a random tie-break defeats the
 // calendar's append-in-seq-order invariant, and perturbation runs are
 // testing runs where host speed is irrelevant.
+//
+// Parallel kernel hooks (src/sim/par_kernel.hpp): events may carry a *domain*
+// tag naming the core whose private state the callback touches (kGlobalDomain
+// for anything that can reach shared directory/L2 state). ParKernel drains a
+// whole same-cycle batch, runs core-tagged batches on worker threads, and
+// redirects the workers' schedule/cancel calls into per-worker lanes that are
+// committed at a barrier in exactly the order the serial kernel would have
+// produced — so the (when, tiebreak, seq) firing order stays bit-identical.
 #pragma once
 
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "sim/inplace_fn.hpp"
@@ -51,6 +62,7 @@
 namespace lrsim {
 
 class EventQueue;
+class ParKernel;
 
 /// Handle to a scheduled event; allows cancellation (used by lease timers,
 /// which are "cancelled" on voluntary release). Trivially copyable: it is a
@@ -93,6 +105,14 @@ class EventQueue {
   /// Must be a power of two.
   static constexpr Cycle kCalendarSlots = 256;
 
+  /// Shard tag for the parallel kernel: the id of the core whose *private*
+  /// state (L1, lease table, per-core Stats, coroutine frames, M-state
+  /// memory words) the callback is confined to, or kGlobalDomain when the
+  /// callback can touch shared state (directory, L2 queues, other cores).
+  /// Purely advisory metadata in serial runs — it never affects firing order.
+  using Domain = std::uint32_t;
+  static constexpr Domain kGlobalDomain = UINT32_MAX;
+
   EventQueue() : cal_(static_cast<std::size_t>(kCalendarSlots)) {}
 
   ~EventQueue() {
@@ -109,6 +129,7 @@ class EventQueue {
         chunk[i].armed = false;
         chunk[i].in_calendar = false;
         chunk[i].tail = false;
+        chunk[i].pending_commit = false;
       }
       cache.push_back(std::move(chunk));
     }
@@ -135,13 +156,21 @@ class EventQueue {
   /// from the pooled slab — no allocation once the pool is warm.
   template <typename F>
   EventHandle schedule_at(Cycle when, F&& fn) {
-    return schedule_impl(when, std::forward<F>(fn), /*tail=*/false);
+    return schedule_impl(when, std::forward<F>(fn), /*tail=*/false, kGlobalDomain);
   }
 
   /// Schedules `fn` to run `delay` cycles from now.
   template <typename F>
   EventHandle schedule_in(Cycle delay, F&& fn) {
     return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
+
+  /// schedule_in with a core-domain tag (see Domain). The caller asserts the
+  /// callback touches only core `d`'s private state, making it eligible for
+  /// concurrent execution inside a parallel same-cycle batch.
+  template <typename F>
+  EventHandle schedule_in_on(Domain d, Cycle delay, F&& fn) {
+    return schedule_impl(now_ + delay, std::forward<F>(fn), /*tail=*/false, d);
   }
 
   /// Schedules a *tail* event: the caller guarantees `fn` is nothing but an
@@ -155,7 +184,13 @@ class EventQueue {
   /// work/spawn resumes qualify; intermediate protocol steps do not.
   template <typename F>
   EventHandle schedule_tail_in(Cycle delay, F&& fn) {
-    return schedule_impl(now_ + delay, std::forward<F>(fn), /*tail=*/true);
+    return schedule_impl(now_ + delay, std::forward<F>(fn), /*tail=*/true, kGlobalDomain);
+  }
+
+  /// schedule_tail_in with a core-domain tag (see schedule_in_on).
+  template <typename F>
+  EventHandle schedule_tail_in_on(Domain d, Cycle delay, F&& fn) {
+    return schedule_impl(now_ + delay, std::forward<F>(fn), /*tail=*/true, d);
   }
 
   /// Runs events until the queue drains or `limit` cycles elapse.
@@ -218,6 +253,7 @@ class EventQueue {
 
  private:
   friend class EventHandle;
+  friend class ParKernel;
 
   /// A pooled event record. `gen` is bumped every time the slot is disarmed
   /// (fire or cancel), which atomically invalidates every outstanding
@@ -233,19 +269,26 @@ class EventQueue {
     bool armed = false;
     bool in_calendar = false;
     bool tail = false;  ///< schedule_tail_in event: opens the fast-path window.
+    bool pending_commit = false;  ///< Scheduled inside a worker phase, not yet
+                                  ///< merged into the queue (see par_commit).
     EventFn fn;
   };
 
   template <typename F>
-  EventHandle schedule_impl(Cycle when, F&& fn, bool tail) {
+  EventHandle schedule_impl(Cycle when, F&& fn, bool tail, Domain domain) {
     assert(when >= now_ && "cannot schedule an event in the past");
+    if (par_phase_) {
+      if (ParLane* lane = par_lane_tls()) {
+        return par_schedule(*lane, when, std::forward<F>(fn), tail, domain);
+      }
+    }
     const std::uint32_t idx = alloc_slot();
     Rec& r = rec(idx);
     r.fn = std::forward<F>(fn);
     r.armed = true;
     r.tail = tail;
     const std::uint64_t tiebreak = perturb_ ? prng_.next() : 0;
-    const Node n{when, tiebreak, seq_++, r.gen, idx};
+    const Node n{when, tiebreak, seq_++, r.gen, idx, domain};
     if (tiebreak == 0 && when - now_ < kCalendarSlots) {
       r.in_calendar = true;
       Bucket& b = cal_[static_cast<std::size_t>(when & (kCalendarSlots - 1))];
@@ -275,6 +318,7 @@ class EventQueue {
     std::uint64_t seq;
     std::uint64_t gen;
     std::uint32_t idx;
+    Domain domain;  ///< Shard tag (kGlobalDomain or a core id); never ordered on.
   };
   struct Later {
     bool operator()(const Node& a, const Node& b) const noexcept {
@@ -337,6 +381,12 @@ class EventQueue {
   }
 
   void cancel_slot(std::uint32_t idx, std::uint64_t gen) {
+    if (par_phase_) {
+      if (ParLane* lane = par_lane_tls()) {
+        par_cancel(*lane, idx, gen);
+        return;
+      }
+    }
     if (idx >= slab_size_) return;
     Rec& r = rec(idx);
     if (!r.armed || r.gen != gen) return;  // fired, cancelled, or slot reused
@@ -503,6 +553,236 @@ class EventQueue {
     return fired;
   }
 
+  // ----- Parallel-kernel plumbing (used only by ParKernel, a friend) -----
+  //
+  // Protocol: the coordinator drains every event at the minimum pending
+  // cycle (drain_next_cycle), advances now_ to that cycle, and — when the
+  // whole batch is core-domain-tagged — executes it on worker threads.
+  // During that *worker phase* (par_phase_ true, toggled only while workers
+  // are barrier-quiescent) a worker's schedule/cancel calls are redirected
+  // into its ParLane instead of touching heap_/calendar/seq_. At the closing
+  // barrier, par_commit replays the lanes in the exact order the serial
+  // kernel would have produced: children sorted by (parent's drain index,
+  // per-parent call order), each consuming one seq_ — including children
+  // cancelled within the same phase, because the serial kernel also burns a
+  // seq on schedule-then-cancel. Same-cycle children therefore fire after
+  // the whole batch (their seq is higher), which is precisely serial FIFO.
+
+  /// An event scheduled from a worker: everything needed to build its Node
+  /// at commit time. `parent` is the scheduling event's index in the drained
+  /// batch — the first component of the serial scheduling order.
+  struct ParChild {
+    Cycle when;
+    Domain domain;
+    std::uint32_t idx;
+    std::uint64_t gen;
+    std::uint32_t parent;
+  };
+  /// A cancellation of an already-committed slot, deferred so that the
+  /// shared counters (live_, cal_live_) and free_ are only touched by the
+  /// coordinator. `was_in_calendar` is latched at cancel time because the
+  /// batch drain clears in_calendar on popped records.
+  struct ParCancel {
+    std::uint32_t idx;
+    bool was_in_calendar;
+  };
+  /// Per-worker redirect target. Owned by ParKernel, one per worker thread.
+  struct ParLane {
+    std::vector<ParChild> children;
+    std::vector<ParCancel> cancels;
+    std::vector<std::uint32_t> done_slots;  ///< Batch slots this worker fired.
+    std::uint64_t fired = 0;
+    std::uint32_t parent = 0;  ///< Drain index of the event being executed.
+  };
+
+  static ParLane*& par_lane_tls() {
+    thread_local ParLane* lane = nullptr;
+    return lane;
+  }
+
+  /// Worker-side schedule: takes a pre-stocked slot off free_ (the only
+  /// shared touch, under par_mu_), fills the record in place, and logs a
+  /// ParChild. seq/queue insertion happen at commit. Slot *indices* may be
+  /// handed out in a host-racy order — harmless, idx/gen never affect firing
+  /// order. Exhausting the reserve would mean racing on slab growth, so it
+  /// is a hard failure (par_reserve sizes the stock with a wide margin).
+  template <typename F>
+  EventHandle par_schedule(ParLane& lane, Cycle when, F&& fn, bool tail, Domain domain) {
+    assert(!perturb_ && "parallel batches never run under perturbation");
+    std::uint32_t idx;
+    {
+      std::lock_guard<std::mutex> lock(par_mu_);
+      if (free_.empty()) {
+        std::fprintf(stderr, "lrsim: parallel-phase event-slot reserve exhausted\n");
+        std::abort();
+      }
+      idx = free_.back();
+      free_.pop_back();
+    }
+    Rec& r = rec(idx);
+    r.fn = std::forward<F>(fn);
+    r.armed = true;
+    r.tail = tail;
+    r.in_calendar = false;
+    r.pending_commit = true;
+    lane.children.push_back(ParChild{when, domain, idx, r.gen, lane.parent});
+    return EventHandle{this, idx, r.gen};
+  }
+
+  /// Worker-side cancel. A slot the same phase scheduled (pending_commit) is
+  /// only tombstoned — the commit loop frees it when it sees the generation
+  /// mismatch, keeping exactly one owner for every free_ push. Cancels of
+  /// committed slots are logged and applied by the coordinator.
+  void par_cancel(ParLane& lane, std::uint32_t idx, std::uint64_t gen) {
+    if (idx >= slab_size_) return;
+    Rec& r = rec(idx);
+    if (!r.armed || r.gen != gen) return;
+    r.fn = nullptr;
+    r.armed = false;
+    ++r.gen;
+    if (!r.pending_commit) lane.cancels.push_back(ParCancel{idx, r.in_calendar});
+  }
+
+  /// Pops every event at the earliest pending cycle, in serial firing order,
+  /// leaving their records armed (execution is deferred to the caller).
+  /// in_calendar is cleared on each popped record so a later deferred cancel
+  /// logs the right counter adjustment. Returns false when the queue is
+  /// drained; never advances now_.
+  bool drain_next_cycle(std::vector<Node>& out) {
+    out.clear();
+    Node n;
+    Src src = peek(n);
+    if (src == Src::kNone) return false;
+    const Cycle t = n.when;
+    do {
+      pop(src, n);
+      rec(n.idx).in_calendar = false;
+      out.push_back(n);
+      src = peek(n);
+    } while (src != Src::kNone && n.when == t);
+    return true;
+  }
+
+  /// Coordinator-side execution of one drained node; mirrors run_impl's fire
+  /// sequence except that the fast-path window stays closed (ParKernel runs
+  /// are uniformly fast-path-off, which PR 4's fuzzing proved behavior-
+  /// identical). Returns false for a node cancelled since the drain.
+  bool fire_drained(const Node& n) {
+    Rec& r = rec(n.idx);
+    if (!r.armed || r.gen != n.gen) return false;
+    r.armed = false;
+    ++r.gen;
+    --live_;
+    r.fn();
+    r.fn = nullptr;
+    free_.push_back(n.idx);
+    return true;
+  }
+
+  /// Returns an unexecuted drained node to the queue (heap side; its record
+  /// was pulled off the calendar by the drain). The original seq rides along,
+  /// so the (when, tiebreak, seq) order is untouched — used when a pred()
+  /// stop lands mid-batch.
+  void requeue_drained(const Node& n) {
+    heap_.push_back(n);
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  /// Pre-stocks free_ with at least `slots` recyclable indices so workers
+  /// never grow the slab (chunk growth moves shared vectors). Grows the slab
+  /// directly — alloc_slot would just recycle free_ back at itself.
+  void par_reserve(std::size_t slots) {
+    while (free_.size() < slots) {
+      if (slab_size_ == chunks_.size() * kChunkRecs) {
+        auto& cache = chunk_cache();
+        if (!cache.empty()) {
+          chunks_.push_back(std::move(cache.back()));
+          cache.pop_back();
+        } else {
+          chunks_.push_back(std::make_unique<Rec[]>(kChunkRecs));
+        }
+      }
+      free_.push_back(static_cast<std::uint32_t>(slab_size_++));
+    }
+  }
+
+  /// Worker-side execution of one drained node. Counter updates are deferred
+  /// (lane.fired / done_slots) so workers never write shared queue state.
+  void par_fire(ParLane& lane, const Node& n, std::uint32_t parent) {
+    lane.parent = parent;
+    Rec& r = rec(n.idx);
+    if (!r.armed || r.gen != n.gen) return;  // cancelled earlier in the batch
+    r.armed = false;
+    ++r.gen;
+    r.fn();
+    r.fn = nullptr;
+    lane.done_slots.push_back(n.idx);
+    ++lane.fired;
+  }
+
+  /// Coordinator-side merge after a worker phase: replays every lane-logged
+  /// schedule in serial order (stable-sorted by parent drain index; a
+  /// parent's children all live in one lane, already in call order), then
+  /// applies deferred cancels and reclaims fired slots. Returns the number
+  /// of events the workers fired.
+  std::uint64_t par_commit(std::vector<ParLane>& lanes) {
+    commit_order_.clear();
+    for (ParLane& lane : lanes) {
+      for (ParChild& c : lane.children) commit_order_.push_back(&c);
+    }
+    std::stable_sort(commit_order_.begin(), commit_order_.end(),
+                     [](const ParChild* a, const ParChild* b) { return a->parent < b->parent; });
+    for (const ParChild* c : commit_order_) {
+      ++scheduled_;
+      const std::uint64_t seq = seq_++;  // burned even for cancelled children
+      Rec& r = rec(c->idx);
+      r.pending_commit = false;
+      if (!r.armed || r.gen != c->gen) {  // cancelled within the phase
+        free_.push_back(c->idx);
+        continue;
+      }
+      const Node n{c->when, 0, seq, c->gen, c->idx, c->domain};
+      if (c->when - now_ < kCalendarSlots) {
+        r.in_calendar = true;
+        Bucket& b = cal_[static_cast<std::size_t>(c->when & (kCalendarSlots - 1))];
+        if (b.head == b.items.size()) {
+          b.items.clear();
+          b.head = 0;
+        }
+        b.items.push_back(n);
+        ++cal_live_;
+        if (c->when < cal_scan_) cal_scan_ = c->when;
+      } else {
+        heap_.push_back(n);
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
+      }
+      ++live_;
+    }
+    std::uint64_t fired = 0;
+    for (ParLane& lane : lanes) {
+      for (const ParCancel& pc : lane.cancels) {
+        if (pc.was_in_calendar) --cal_live_;
+        --live_;
+        free_.push_back(pc.idx);
+      }
+      for (std::uint32_t idx : lane.done_slots) free_.push_back(idx);
+      live_ -= lane.fired;
+      fired += lane.fired;
+      lane.children.clear();
+      lane.cancels.clear();
+      lane.done_slots.clear();
+      lane.fired = 0;
+    }
+    return fired;
+  }
+
+  void set_now(Cycle t) {
+    assert(t >= now_);
+    now_ = t;
+  }
+  void par_phase_begin() { par_phase_ = true; }
+  void par_phase_end() { par_phase_ = false; }
+
   std::vector<std::unique_ptr<Rec[]>> chunks_;  ///< Pooled event records.
   std::size_t slab_size_ = 0;        ///< Slots handed out so far (<= capacity).
   std::vector<std::uint32_t> free_;  ///< Recyclable slab indices.
@@ -520,6 +800,13 @@ class EventQueue {
   Cycle run_limit_ = 0;       ///< Current run's horizon (valid while running_).
   std::uint32_t inline_streak_ = 0;  ///< try_advance successes since the last fire.
   Rng prng_;
+
+  // Parallel-kernel state. par_phase_ is written only by the coordinator
+  // while every worker is parked at a barrier (the barrier orders the write);
+  // par_mu_ guards nothing but the free_ pops in par_schedule.
+  bool par_phase_ = false;
+  std::mutex par_mu_;
+  std::vector<ParChild*> commit_order_;  ///< Scratch for par_commit's sort.
 };
 
 inline void EventHandle::cancel() {

@@ -1,0 +1,42 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Thread-local marker for the parallel kernel's worker phase.
+//
+// While ParKernel executes a same-cycle batch on worker threads, simulated
+// state is partitioned by construction (each event is tagged with the core
+// domain whose private state it touches; SWMR makes the M-state owner's
+// memory writes exclusive). Host-side *shared* facilities that are not part
+// of that partition — the SimHeap bump allocator, SimMemory's first-touch
+// insertion — must not be reached from a worker, or runs stop being
+// bit-identical to serial (allocation order would depend on host thread
+// scheduling). They check this flag and fail loudly instead of diverging
+// silently; docs/ENGINE.md ("Parallel kernel") lists what is eligible.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lrsim::par {
+
+inline thread_local bool t_in_worker_phase = false;
+
+/// True on a ParKernel worker thread while it is executing a batch.
+inline bool in_worker_phase() noexcept { return t_in_worker_phase; }
+
+/// Set by ParKernel worker threads at startup; never call from user code.
+inline void set_worker_thread(bool v) noexcept { t_in_worker_phase = v; }
+
+/// Hard stop for operations that would break serial-equivalence if run
+/// concurrently. Abort (not throw): the caller may be deep inside a
+/// coroutine resumed on a worker thread, where unwinding would tear the
+/// simulation state anyway.
+[[noreturn]] inline void unsafe_in_worker(const char* what) {
+  std::fprintf(stderr,
+               "lrsim: %s inside a parallel worker phase; this workload "
+               "performs per-operation allocation and must run with "
+               "--sim-threads 0 (docs/ENGINE.md, \"Parallel kernel\")\n",
+               what);
+  std::abort();
+}
+
+}  // namespace lrsim::par

@@ -1,0 +1,132 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+
+#include "sim/par_kernel.hpp"
+
+#include <cstddef>
+
+#include "sim/par_guard.hpp"
+
+namespace lrsim {
+
+ParKernel::ParKernel(EventQueue& ev, int workers, std::size_t reserve_per_event)
+    : ev_(ev),
+      nworkers_(workers),
+      reserve_per_event_(reserve_per_event),
+      lanes_(static_cast<std::size_t>(workers)),
+      shards_(static_cast<std::size_t>(workers)),
+      start_(workers + 1),
+      done_(workers + 1) {
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ParKernel::~ParKernel() {
+  stop_.store(true, std::memory_order_relaxed);
+  start_.arrive_and_wait();  // release the workers into the stop check
+  for (std::thread& t : threads_) t.join();
+}
+
+void ParKernel::worker_main(int w) {
+  // The lane pointer routes this thread's schedule/cancel calls during a
+  // worker phase; the par_guard flag trips SimHeap/first-touch aborts. Both
+  // are thread-local and stay set for the thread's lifetime — outside a
+  // phase the thread only waits on start_, executing nothing.
+  EventQueue::par_lane_tls() = &lanes_[static_cast<std::size_t>(w)];
+  par::set_worker_thread(true);
+  for (;;) {
+    start_.arrive_and_wait();
+    if (stop_.load(std::memory_order_relaxed)) return;
+    EventQueue::ParLane& lane = lanes_[static_cast<std::size_t>(w)];
+    for (const WorkItem& it : shards_[static_cast<std::size_t>(w)]) {
+      ev_.par_fire(lane, it.node, it.parent);
+    }
+    done_.arrive_and_wait();
+  }
+}
+
+std::uint64_t ParKernel::run_while(const std::function<bool()>& pred, Cycle limit,
+                                   const std::function<std::size_t()>& unfinished) {
+  std::uint64_t fired = 0;
+  for (;;) {
+    if (!pred()) break;
+    EventQueue::Node head;
+    const EventQueue::Src src = ev_.peek(head);
+    if (src == EventQueue::Src::kNone) {
+      // Drained: a bounded-horizon run still owes the caller the horizon
+      // (same contract as EventQueue::run_impl).
+      if (limit != UINT64_MAX && ev_.now() < limit) ev_.set_now(limit);
+      break;
+    }
+    if (head.when > limit) {
+      if (ev_.now() < limit) ev_.set_now(limit);
+      break;
+    }
+    ev_.drain_next_cycle(batch_);
+    ev_.set_now(head.when);
+    ++stats_.windows;
+
+    // A batch may run on the workers only when (a) every event is
+    // core-tagged — a single kGlobalDomain event can touch directory state
+    // shared with anyone; (b) the predicate cannot flip mid-batch — one
+    // event completes at most one simulated thread, so strictly more
+    // unfinished threads than batch events keeps pred() invariant; and
+    // (c) at least two shards are non-empty, otherwise parallelism is pure
+    // barrier overhead.
+    bool parallel = batch_.size() >= 2 && unfinished() > batch_.size();
+    if (parallel) {
+      for (const EventQueue::Node& n : batch_) {
+        if (n.domain == EventQueue::kGlobalDomain) {
+          parallel = false;
+          break;
+        }
+      }
+    }
+    if (parallel) {
+      std::size_t nonempty = 0;
+      for (auto& s : shards_) s.clear();
+      for (std::size_t i = 0; i < batch_.size(); ++i) {
+        auto& shard =
+            shards_[batch_[i].domain % static_cast<std::uint32_t>(nworkers_)];
+        if (shard.empty()) ++nonempty;
+        shard.push_back(WorkItem{batch_[i], static_cast<std::uint32_t>(i)});
+      }
+      parallel = nonempty >= 2;
+    }
+
+    if (parallel) {
+      ev_.par_reserve(batch_.size() * reserve_per_event_);
+      ev_.par_phase_begin();
+      start_.arrive_and_wait();
+      done_.arrive_and_wait();
+      ev_.par_phase_end();
+      const std::uint64_t batch_fired = ev_.par_commit(lanes_);
+      fired += batch_fired;
+      ++stats_.parallel_windows;
+      stats_.parallel_events += batch_fired;
+    } else {
+      bool stopped = false;
+      for (std::size_t i = 0; i < batch_.size(); ++i) {
+        // Serial run_impl checks pred() before every fire; replicate that,
+        // and if it flips, hand the unexecuted tail back to the queue with
+        // its original ordering keys.
+        if (i > 0 && !pred()) {
+          for (std::size_t j = i; j < batch_.size(); ++j) {
+            ev_.requeue_drained(batch_[j]);
+          }
+          stopped = true;
+          break;
+        }
+        if (ev_.fire_drained(batch_[i])) {
+          ++fired;
+          ++stats_.serial_events;
+        }
+      }
+      if (stopped) break;
+    }
+  }
+  return fired;
+}
+
+}  // namespace lrsim

@@ -1,0 +1,108 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// ParKernel: a conservatively-synchronized parallel driver for EventQueue,
+// bit-identical to the serial kernel by construction.
+//
+// The synchronization unit is the *same-cycle batch*: the coordinator drains
+// every event pending at the minimum cycle t (drain_next_cycle pops them in
+// serial firing order), advances now() to t, and then picks one of two
+// execution modes:
+//
+//  * Parallel — only when every event in the batch carries a core-domain
+//    tag (schedule_*_on), at least two shards are non-empty, and more
+//    simulated threads remain unfinished than the batch could possibly
+//    complete (so the run predicate cannot flip mid-batch). Events are
+//    sharded by core id, executed on persistent worker threads, and their
+//    schedule/cancel calls land in per-worker lanes that the coordinator
+//    commits at the closing barrier in exactly serial order (see the
+//    ParLane protocol in event_queue.hpp).
+//  * Serial — everything else: the coordinator fires the drained batch in
+//    order, checking the predicate before each event and re-queueing the
+//    remainder (original seq preserved) if it flips.
+//
+// Why batches instead of the net-latency lookahead windows classic PDES
+// uses: this codebase's directory deliberately mutates cross-domain state
+// synchronously inside single events (Directory::complete re-arms the line
+// queue and invokes the requester's install in one event; probe arrivals
+// clear sharer bits at the core-side event), so the only sound lookahead
+// between an arbitrary event pair is zero cycles. Same-cycle core-tagged
+// events, however, are provably independent: domain tags partition private
+// state, and SWMR makes the M-state owner's data writes exclusive. The
+// network latency still does the heavy lifting — it is what piles many
+// cores' independent completions onto the same cycle in contended runs.
+//
+// Safety rails: perturbation, tracing, observability and the invariant
+// checker force serial mode (Machine::par_eligible); SimHeap/SimMemory
+// first-touch abort if reached from a worker (par_guard.hpp); the fast-path
+// window stays closed during ParKernel runs, which PR 4 proved
+// behavior-identical. docs/ENGINE.md, "Parallel kernel", has the full story.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/types.hpp"
+
+namespace lrsim {
+
+/// Introspection counters for tests and tuning. `windows` counts drained
+/// same-cycle batches; a window is either dispatched to workers
+/// (parallel_windows / parallel_events) or fired by the coordinator
+/// (serial_events, counted per event because a window can be cut short by a
+/// predicate stop).
+struct ParKernelStats {
+  std::uint64_t windows = 0;
+  std::uint64_t parallel_windows = 0;
+  std::uint64_t parallel_events = 0;
+  std::uint64_t serial_events = 0;
+};
+
+class ParKernel {
+ public:
+  /// Spawns `workers` persistent threads against `ev`. `reserve_per_event`
+  /// bounds how many events one batch event may schedule (lease-table
+  /// servicing fan-out); the coordinator pre-stocks the slab's free list
+  /// with batch_size * reserve_per_event slots before each worker phase.
+  ParKernel(EventQueue& ev, int workers, std::size_t reserve_per_event);
+  ~ParKernel();
+
+  ParKernel(const ParKernel&) = delete;
+  ParKernel& operator=(const ParKernel&) = delete;
+
+  /// Drop-in replacement for EventQueue::run_while with the same pred/limit
+  /// semantics (including the bounded-horizon now() guarantee). `unfinished`
+  /// reports how many simulated threads have not completed — the batch-size
+  /// guard that keeps the predicate stable across a parallel window.
+  std::uint64_t run_while(const std::function<bool()>& pred, Cycle limit,
+                          const std::function<std::size_t()>& unfinished);
+
+  const ParKernelStats& stats() const noexcept { return stats_; }
+  int workers() const noexcept { return nworkers_; }
+
+ private:
+  struct WorkItem {
+    EventQueue::Node node;
+    std::uint32_t parent;  ///< Index in the drained batch (serial order).
+  };
+
+  void worker_main(int w);
+
+  EventQueue& ev_;
+  const int nworkers_;
+  const std::size_t reserve_per_event_;
+  ParKernelStats stats_;
+  std::vector<EventQueue::ParLane> lanes_;     ///< One per worker.
+  std::vector<std::vector<WorkItem>> shards_;  ///< Per-worker batch slices.
+  std::vector<EventQueue::Node> batch_;        ///< Drain scratch.
+  std::barrier<> start_;
+  std::barrier<> done_;
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace lrsim

@@ -8,9 +8,11 @@
 // those counters with per-event costs (EnergyModel).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <type_traits>
 
 namespace lrsim {
 
@@ -179,5 +181,18 @@ struct Stats {
        << releases_involuntary << ")  ops=" << ops_completed << "\n";
   }
 };
+
+/// Merge-safety guard. Stats is deliberately a flat block of uint64
+/// counters, and every merge path — operator+= (per-core/per-shard
+/// aggregation), operator-= (prefill stripping), operator== (determinism
+/// tests) and print — must enumerate all of them. Growing the struct
+/// without updating this count (and the member lists above) fails here at
+/// compile time instead of silently dropping the new counter from merges.
+inline constexpr std::size_t kStatsCounterCount = 29;
+static_assert(sizeof(Stats) == kStatsCounterCount * sizeof(std::uint64_t),
+              "Stats gained or lost a counter: update kStatsCounterCount AND "
+              "operator+=, operator-=, and print so merges stay lossless");
+static_assert(std::is_trivially_copyable_v<Stats>,
+              "Stats must stay a flat counter block (snapshot/merge by value)");
 
 }  // namespace lrsim

@@ -294,6 +294,91 @@ TEST(EventQueue, CancelledCalendarEventsAreSkipped) {
   EXPECT_EQ(q.now(), 12u);
 }
 
+// --- parallel-kernel prerequisites ------------------------------------------
+// The sharded kernel (sim/par_kernel.hpp) leans on three edge behaviors that
+// were previously untested in isolation: generation counters surviving chunk
+// recycling, calendar buckets shared across ring laps, and the inline fast
+// path declining exactly at its window edges.
+
+TEST(EventQueue, GenerationsCarryOverAcrossRecycledChunks) {
+  // Queue destruction retires slab chunks — with their bumped generation
+  // counters — to a per-host-thread cache, and the next queue on this
+  // thread starts from those warm slots. Handles issued against recycled
+  // slots must invalidate exactly as against pristine ones.
+  {
+    EventQueue warm;
+    for (int i = 0; i < 300; ++i) warm.schedule_at(1, [] {});  // spans >1 chunk
+    warm.run();
+  }
+  EventQueue q;  // reuses the cached chunks; slot generations start nonzero
+  bool first = false, second = false;
+  EventHandle h1 = q.schedule_at(10, [&] { first = true; });
+  h1.cancel();  // frees the recycled slot again
+  EventHandle h2 = q.schedule_at(20, [&] { second = true; });
+  EXPECT_FALSE(h1.pending());
+  EXPECT_TRUE(h2.pending());
+  h1.cancel();  // stale handle on a twice-recycled slot: must not hit h2
+  EXPECT_TRUE(h2.pending());
+  q.run();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+}
+
+TEST(EventQueue, CalendarBucketReusedAcrossLapsDropsStaleEntries) {
+  // Cycles t and t + kCalendarSlots hash to the same ring bucket. Leave a
+  // cancelled lap-0 node parked in the bucket, then schedule a live lap-1
+  // event into it once time has advanced far enough for the later cycle to
+  // enter the horizon: the stale entry must be skipped, not fired or
+  // mistaken for the lap-1 event.
+  EventQueue q;
+  std::vector<Cycle> fired;
+  auto record = [&] { fired.push_back(q.now()); };
+  EventHandle stale = q.schedule_at(5, record);  // bucket 5, lap 0
+  stale.cancel();                                // dead node stays parked
+  q.schedule_at(10, [&] {
+    // now = 10: cycle 261 is inside the horizon and lands in bucket 5.
+    q.schedule_at(5 + EventQueue::kCalendarSlots, record);
+  });
+  q.run();
+  EXPECT_EQ(fired, (std::vector<Cycle>{5 + EventQueue::kCalendarSlots}));
+  EXPECT_EQ(q.now(), 5 + EventQueue::kCalendarSlots);
+}
+
+TEST(EventQueue, TryAdvanceDeclinesAcrossTheWindowEdges) {
+  // try_advance is armed only inside a tail event. Probe its three edges
+  // from one callback: a delta that wraps the calendar ring, a delta that
+  // would hop over a pending event, and a clear delta that must succeed.
+  EventQueue q;
+  bool far_declined = false, occupied_declined = false, clear_ok = false;
+  Cycle after = 0;
+  q.schedule_at(20, [] {});  // the in-window blocker
+  q.schedule_tail_in(10, [&] {
+    far_declined = !q.try_advance(EventQueue::kCalendarSlots);  // wraps the ring
+    occupied_declined = !q.try_advance(15);  // event pending at 20 <= 25
+    clear_ok = q.try_advance(5);             // [11, 15] holds no event
+    after = q.now();
+  });
+  q.run();
+  EXPECT_TRUE(far_declined);
+  EXPECT_TRUE(occupied_declined);
+  EXPECT_TRUE(clear_ok);
+  EXPECT_EQ(after, 15u);
+  EXPECT_EQ(q.now(), 20u);  // the blocker still fired at its own cycle
+}
+
+TEST(EventQueue, TryAdvanceDeclinesBeyondTheRunHorizon) {
+  EventQueue q;
+  bool beyond_declined = false, at_limit_ok = false;
+  q.schedule_tail_in(10, [&] {
+    beyond_declined = !q.try_advance(41);  // 51 > the run's 50-cycle horizon
+    at_limit_ok = q.try_advance(40);       // exactly at the horizon is legal
+  });
+  q.run(/*limit=*/50);
+  EXPECT_TRUE(beyond_declined);
+  EXPECT_TRUE(at_limit_ok);
+  EXPECT_EQ(q.now(), 50u);
+}
+
 // --- schedule-perturbation mode -------------------------------------------
 
 /// Schedules 16 same-cycle events (plus a couple at other cycles) and
