@@ -8,45 +8,27 @@
 // base implementation degrades steeply as threads grow (CAS retries and
 // coherence traffic per op explode), while the leased stack stays flat —
 // several-fold higher at 64 threads.
+//
+// The variants come from the workload registry (src/workload/): this bench
+// is `ds = treiber_stack, mix = 50/50` under the base and lease policies.
+// The same run is reproducible from a config file via workload_sweep
+// (docs/WORKLOADS.md); tests/workload_equiv_test.cpp pins the output to
+// the pre-registry loops.
 #include "bench/harness.hpp"
-#include "ds/treiber_stack.hpp"
 
 namespace lrsim::bench {
 namespace {
 
-constexpr int kPrefill = 256;
-
-Variant stack_variant(std::string name, bool leases, bool backoff) {
-  Variant v;
-  v.name = std::move(name);
-  v.configure = [leases](MachineConfig& cfg) { cfg.leases_enabled = leases; };
-  v.make = [leases, backoff](Machine& m, const BenchOptions& opt) {
-    auto stack = std::make_shared<TreiberStack>(
-        m, TreiberOptions{.use_lease = leases, .use_backoff = backoff});
-    m.spawn(0, [stack](Ctx& ctx) -> Task<void> {
-      for (int i = 0; i < kPrefill; ++i) co_await stack->push(ctx, static_cast<std::uint64_t>(i + 1));
-    });
-    m.run();
-    return [stack, &opt](Ctx& ctx, int) -> Task<void> {
-      for (int i = 0; i < opt.ops_per_thread; ++i) {
-        if (ctx.rng().next_bool(0.5)) {
-          co_await stack->push(ctx, 7);
-        } else {
-          co_await stack->pop(ctx);
-        }
-        co_await think(ctx, opt);
-      }
-    };
-  };
-  return v;
-}
-
 int main_impl(int argc, char** argv) {
-  BenchOptions opt;
-  if (!parse_flags(argc, argv, "fig2_stack", opt)) return 0;
-  run_experiment("Figure 2: Treiber stack, 100% updates, base vs Lease/Release", "fig2_stack",
-                 {stack_variant("base", false, false), stack_variant("lease", true, false)}, opt);
-  return 0;
+  return run_bench_main(argc, argv, "fig2_stack",
+                        "Figure 2: Treiber stack, 100% updates, base vs Lease/Release",
+                        [](const BenchOptions&) {
+                          workload::WorkloadSpec spec;
+                          spec.ds = "treiber_stack";
+                          spec.mix = 0.5;
+                          return std::vector<Variant>{workload_variant(spec, "base"),
+                                                      workload_variant(spec, "lease")};
+                        });
 }
 
 }  // namespace

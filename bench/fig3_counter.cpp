@@ -7,81 +7,44 @@
 // Expected shape: plain TTS degrades hard with threads; TTS+lease stays
 // flat and on top (the paper reports up to 20x over base at 64 threads and
 // ~10x lower energy); queue locks (ticket/CLH) sit between.
+//
+// The variants come from the workload registry (src/workload/): this bench
+// is `ds = counter` swept over every counter lock policy. The same run is
+// reproducible from a config file via workload_sweep (docs/WORKLOADS.md);
+// tests/workload_equiv_test.cpp pins the output to the pre-registry loops.
 #include "bench/harness.hpp"
-#include "ds/counter.hpp"
-#include "sync/cohort_lock.hpp"
 
 namespace lrsim::bench {
 namespace {
 
-Variant counter_variant(std::string name, CounterLockKind kind, Cycle cs_work) {
-  Variant v;
-  v.name = std::move(name);
-  v.configure = [](MachineConfig& cfg) { cfg.leases_enabled = true; };
-  v.make = [kind, cs_work](Machine& m, const BenchOptions& opt) {
-    auto counter = std::make_shared<LockedCounter>(m, kind, cs_work);
-    return [counter, &opt](Ctx& ctx, int) -> Task<void> {
-      for (int i = 0; i < opt.ops_per_thread; ++i) {
-        co_await counter->increment(ctx);
-        co_await think(ctx, opt);
-      }
-    };
-  };
-  return v;
-}
-
-Variant cohort_variant(std::string name, bool lease, Cycle cs_work) {
-  Variant v;
-  v.name = std::move(name);
-  v.configure = [lease](MachineConfig& cfg) { cfg.leases_enabled = lease; };
-  v.make = [lease, cs_work](Machine& m, const BenchOptions& opt) {
-    auto lock = std::make_shared<CohortTicketLock>(
-        m, CohortOptions{.cluster_size = 8, .use_lease = lease});
-    auto counter = std::make_shared<Addr>(m.heap().alloc_line());
-    return [lock, counter, cs_work, &opt](Ctx& ctx, int) -> Task<void> {
-      for (int i = 0; i < opt.ops_per_thread; ++i) {
-        co_await lock->lock(ctx);
-        const std::uint64_t v2 = co_await ctx.load(*counter);
-        if (cs_work > 0) co_await ctx.work(cs_work);
-        co_await ctx.store(*counter, v2 + 1);
-        co_await lock->unlock(ctx);
-        ctx.count_op();
-        co_await think(ctx, opt);
-      }
-    };
-  };
-  return v;
-}
-
 int main_impl(int argc, char** argv) {
-  BenchOptions opt;
   std::int64_t cs_work = 0;
   bool priority = false;
-  if (!parse_flags(argc, argv, "fig3_counter", opt, [&](FlagSet& f) {
+  return run_bench_main(
+      argc, argv, "fig3_counter", "Figure 3 (counter): lock-based counter, lock variants",
+      [&](const BenchOptions&) {
+        workload::WorkloadSpec spec;
+        spec.ds = "counter";
+        spec.cs_work = static_cast<Cycle>(cs_work);
+        std::vector<Variant> vs;
+        for (const std::string& policy : workload::policies_for(spec.ds)) {
+          vs.push_back(workload_variant(spec, policy));
+        }
+        if (priority) {
+          for (Variant& v : vs) {
+            auto base_cfg = v.configure;
+            v.configure = [base_cfg](MachineConfig& cfg) {
+              base_cfg(cfg);
+              cfg.lease_priority_mode = true;
+            };
+          }
+        }
+        return vs;
+      },
+      [&](FlagSet& f) {
         f.add("cs_work", &cs_work, "extra cycles of work inside the critical section");
         f.add("priority", &priority, "enable Section 5 lease prioritization");
-      })) {
-    return 0;
-  }
-  auto vs = std::vector<Variant>{
-      counter_variant("tts", CounterLockKind::kTTS, static_cast<Cycle>(cs_work)),
-      counter_variant("tts+lease", CounterLockKind::kTTSLease, static_cast<Cycle>(cs_work)),
-      counter_variant("ticket", CounterLockKind::kTicket, static_cast<Cycle>(cs_work)),
-      counter_variant("clh", CounterLockKind::kCLH, static_cast<Cycle>(cs_work)),
-      counter_variant("mcs", CounterLockKind::kMCS, static_cast<Cycle>(cs_work)),
-      cohort_variant("cohort-ticket", false, static_cast<Cycle>(cs_work)),
-      cohort_variant("cohort+lease", true, static_cast<Cycle>(cs_work))};
-  if (priority) {
-    for (auto& v : vs) {
-      auto base_cfg = v.configure;
-      v.configure = [base_cfg](MachineConfig& cfg) {
-        base_cfg(cfg);
-        cfg.lease_priority_mode = true;
-      };
-    }
-  }
-  run_experiment("Figure 3 (counter): lock-based counter, lock variants", "fig3_counter", vs, opt);
-  return 0;
+      });
 }
 
 }  // namespace

@@ -9,107 +9,35 @@
 // Expected shape: throughput decreases with concurrency for the skiplist
 // PQ (misses/op grow with the structure), but the lease-based variant
 // stays superior, per the paper.
+//
+// The variants come from the workload registry (src/workload/): this bench
+// is `ds = skiplist_pq, mix = 50/50, keys = 2^16 uniform` over the four pq
+// policies. The same run is reproducible from a config file via
+// workload_sweep (docs/WORKLOADS.md); tests/workload_equiv_test.cpp pins
+// the output to the pre-registry loops.
 #include "bench/harness.hpp"
-#include "ds/skiplist_pq.hpp"
-#include "ds/spraylist.hpp"
 
 namespace lrsim::bench {
 namespace {
 
-constexpr int kPrefill = 256;
-
-Task<void> prefill_lotan(Ctx& ctx, std::shared_ptr<LotanShavitPq> pq) {
-  for (int i = 0; i < kPrefill; ++i) {
-    co_await pq->insert(ctx, 1 + ctx.rng().next_below(1 << 16));
-  }
-}
-
-Task<void> prefill_global(Ctx& ctx, std::shared_ptr<GlobalLockSkiplistPq> pq) {
-  for (int i = 0; i < kPrefill; ++i) {
-    co_await pq->insert(ctx, 1 + ctx.rng().next_below(1 << 16));
-  }
-}
-
-Variant lotan_variant() {
-  Variant v;
-  v.name = "lotan-shavit (fine-grained)";
-  v.configure = [](MachineConfig& cfg) { cfg.leases_enabled = false; };
-  v.make = [](Machine& m, const BenchOptions& opt) {
-    auto pq = std::make_shared<LotanShavitPq>(m);
-    m.spawn(0, [pq](Ctx& ctx) { return prefill_lotan(ctx, pq); });
-    m.run();
-    return [pq, &opt](Ctx& ctx, int) -> Task<void> {
-      for (int i = 0; i < opt.ops_per_thread; ++i) {
-        if (ctx.rng().next_bool(0.5)) {
-          co_await pq->insert(ctx, 1 + ctx.rng().next_below(1 << 16));
-        } else {
-          co_await pq->delete_min(ctx);
-        }
-        co_await think(ctx, opt);
-      }
-    };
-  };
-  return v;
-}
-
-Variant spray_variant() {
-  Variant v;
-  v.name = "spraylist (relaxed)";
-  v.configure = [](MachineConfig& cfg) { cfg.leases_enabled = false; };
-  v.make = [](Machine& m, const BenchOptions& opt) {
-    auto pq = std::make_shared<SprayList>(m);
-    m.spawn(0, [pq](Ctx& ctx) -> Task<void> {
-      for (int i = 0; i < kPrefill; ++i) {
-        co_await pq->insert(ctx, 1 + ctx.rng().next_below(1 << 16));
-      }
-    });
-    m.run();
-    return [pq, &opt](Ctx& ctx, int) -> Task<void> {
-      for (int i = 0; i < opt.ops_per_thread; ++i) {
-        if (ctx.rng().next_bool(0.5)) {
-          co_await pq->insert(ctx, 1 + ctx.rng().next_below(1 << 16));
-        } else {
-          co_await pq->delete_min(ctx);
-        }
-        co_await think(ctx, opt);
-      }
-    };
-  };
-  return v;
-}
-
-Variant global_lock_variant(std::string name, bool lease) {
-  Variant v;
-  v.name = std::move(name);
-  v.configure = [lease](MachineConfig& cfg) { cfg.leases_enabled = lease; };
-  v.make = [lease](Machine& m, const BenchOptions& opt) {
-    auto pq = std::make_shared<GlobalLockSkiplistPq>(m, lease);
-    m.spawn(0, [pq](Ctx& ctx) { return prefill_global(ctx, pq); });
-    m.run();
-    return [pq, &opt](Ctx& ctx, int) -> Task<void> {
-      for (int i = 0; i < opt.ops_per_thread; ++i) {
-        if (ctx.rng().next_bool(0.5)) {
-          co_await pq->insert(ctx, 1 + ctx.rng().next_below(1 << 16));
-        } else {
-          co_await pq->delete_min(ctx);
-        }
-        co_await think(ctx, opt);
-      }
-    };
-  };
-  return v;
-}
-
 int main_impl(int argc, char** argv) {
   BenchOptions opt;
   opt.ops_per_thread = 50;  // skiplist walks are long; keep runs friendly
-  if (!parse_flags(argc, argv, "fig3_pq", opt)) return 0;
-  run_experiment("Figure 3 (priority queue): Lotan-Shavit vs global-lock+lease skiplist PQ",
-                 "fig3_pq",
-                 {lotan_variant(), global_lock_variant("global-lock", false),
-                  global_lock_variant("global-lock+lease", true), spray_variant()},
-                 opt);
-  return 0;
+  return run_bench_main(
+      argc, argv, "fig3_pq",
+      "Figure 3 (priority queue): Lotan-Shavit vs global-lock+lease skiplist PQ",
+      [](const BenchOptions&) {
+        workload::WorkloadSpec spec;
+        spec.ds = "skiplist_pq";
+        spec.mix = 0.5;
+        spec.key_range = 1 << 16;
+        return std::vector<Variant>{
+            workload_variant(spec, "lotan", "lotan-shavit (fine-grained)"),
+            workload_variant(spec, "global-lock"),
+            workload_variant(spec, "global-lock+lease"),
+            workload_variant(spec, "spray", "spraylist (relaxed)")};
+      },
+      /*extra=*/{}, opt);
 }
 
 }  // namespace

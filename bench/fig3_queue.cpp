@@ -8,78 +8,29 @@
 // best; multi-lease helps over base but trails the single lease (the
 // paper's "multiple leases are not necessary for linear structures"
 // finding); backoff lands between base and the leases.
+//
+// The variants come from the workload registry (src/workload/): this bench
+// is `ds = ms_queue, mix = 50/50` swept over every queue policy. The same
+// run is reproducible from a config file via workload_sweep
+// (docs/WORKLOADS.md).
 #include "bench/harness.hpp"
-#include "ds/ms_queue.hpp"
-#include "ds/two_lock_queue.hpp"
 
 namespace lrsim::bench {
 namespace {
 
-constexpr int kPrefill = 256;
-
-Variant queue_variant(std::string name, QueueLeaseMode mode, bool backoff) {
-  Variant v;
-  v.name = std::move(name);
-  const bool leases = mode != QueueLeaseMode::kNone;
-  v.configure = [leases](MachineConfig& cfg) { cfg.leases_enabled = leases; };
-  v.make = [mode, backoff](Machine& m, const BenchOptions& opt) {
-    auto q = std::make_shared<MsQueue>(m, MsQueueOptions{.lease_mode = mode, .use_backoff = backoff});
-    m.spawn(0, [q](Ctx& ctx) -> Task<void> {
-      for (int i = 0; i < kPrefill; ++i) co_await q->enqueue(ctx, static_cast<std::uint64_t>(i + 1));
-    });
-    m.run();
-    return [q, &opt](Ctx& ctx, int) -> Task<void> {
-      for (int i = 0; i < opt.ops_per_thread; ++i) {
-        if (ctx.rng().next_bool(0.5)) {
-          co_await q->enqueue(ctx, 7);
-        } else {
-          co_await q->dequeue(ctx);
-        }
-        co_await think(ctx, opt);
-      }
-    };
-  };
-  return v;
-}
-
-Variant twolock_variant(std::string name, bool lease) {
-  Variant v;
-  v.name = std::move(name);
-  v.configure = [lease](MachineConfig& cfg) { cfg.leases_enabled = lease; };
-  v.make = [lease](Machine& m, const BenchOptions& opt) {
-    auto q = std::make_shared<TwoLockQueue>(m, TwoLockQueueOptions{.use_lease = lease});
-    m.spawn(0, [q](Ctx& ctx) -> Task<void> {
-      for (int i = 0; i < kPrefill; ++i) co_await q->enqueue(ctx, static_cast<std::uint64_t>(i + 1));
-    });
-    m.run();
-    return [q, &opt](Ctx& ctx, int) -> Task<void> {
-      for (int i = 0; i < opt.ops_per_thread; ++i) {
-        if (ctx.rng().next_bool(0.5)) {
-          co_await q->enqueue(ctx, 7);
-        } else {
-          co_await q->dequeue(ctx);
-        }
-        co_await think(ctx, opt);
-      }
-    };
-  };
-  return v;
-}
-
 int main_impl(int argc, char** argv) {
-  BenchOptions opt;
-  if (!parse_flags(argc, argv, "fig3_queue", opt)) return 0;
-  run_experiment("Figure 3 (queue): Michael-Scott queue, lease modes",
-                 "fig3_queue",
-                 {queue_variant("base", QueueLeaseMode::kNone, false),
-                  queue_variant("lease", QueueLeaseMode::kSingle, false),
-                  queue_variant("multi-lease", QueueLeaseMode::kMulti, false),
-                  queue_variant("lease-nextptr", QueueLeaseMode::kNextPtr, false),
-                  queue_variant("backoff", QueueLeaseMode::kNone, true),
-                  twolock_variant("two-lock", false),
-                  twolock_variant("two-lock+lease", true)},
-                 opt);
-  return 0;
+  return run_bench_main(argc, argv, "fig3_queue",
+                        "Figure 3 (queue): Michael-Scott queue, lease modes",
+                        [](const BenchOptions&) {
+                          workload::WorkloadSpec spec;
+                          spec.ds = "ms_queue";
+                          spec.mix = 0.5;
+                          std::vector<Variant> vs;
+                          for (const std::string& policy : workload::policies_for(spec.ds)) {
+                            vs.push_back(workload_variant(spec, policy));
+                          }
+                          return vs;
+                        });
 }
 
 }  // namespace

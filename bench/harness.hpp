@@ -26,6 +26,7 @@
 #include "lrsim.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
+#include "workload/registry.hpp"
 
 namespace lrsim::bench {
 
@@ -243,6 +244,47 @@ inline Sample run_one(const Variant& v, int threads, const BenchOptions& opt,
   return s;
 }
 
+/// Runs `run(i)` for every i in [0, total) on `jobs` host threads, visiting
+/// indices in `order` (longest-first scheduling lives with the caller).
+/// Each index is an independent deterministic simulation, so the only
+/// effect of `jobs` is wall-clock time. The first exception (if any) is
+/// rethrown after the pool drains. Shared by run_experiment and the
+/// workload sweep driver (bench/sweep.hpp).
+inline void run_indexed(std::size_t total, int jobs, const std::vector<std::size_t>& order,
+                        const std::function<void(std::size_t)>& run) {
+  jobs = std::max(1, std::min(jobs, static_cast<int>(total)));
+  if (jobs == 1) {
+    for (std::size_t k = 0; k < total; ++k) run(order[k]);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+        if (k >= total) return;
+        try {
+          run(order[k]);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Resolves --jobs (0 = one per host CPU).
+inline int effective_jobs(int jobs) {
+  return jobs > 0 ? jobs : std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
 /// Runs all variants across the thread sweep and prints the paper-style
 /// tables (throughput + energy + traffic). Returns all samples.
 inline std::vector<Sample> run_experiment(const std::string& title, const std::string& csv_name,
@@ -283,38 +325,10 @@ inline std::vector<Sample> run_experiment(const std::string& title, const std::s
   std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     return opt.threads[a / variants.size()] > opt.threads[b / variants.size()];
   });
-  int jobs = opt.jobs > 0 ? opt.jobs : static_cast<int>(std::thread::hardware_concurrency());
-  jobs = std::max(1, std::min(jobs, static_cast<int>(total)));
-  if (jobs == 1) {
-    for (std::size_t i = 0; i < total; ++i) {
-      samples[i] = run_one(variants[i % variants.size()],
-                           opt.threads[i / variants.size()], opt, observes(i));
-    }
-  } else {
-    std::atomic<std::size_t> next{0};
-    std::exception_ptr first_error;
-    std::mutex error_mu;
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(jobs));
-    for (int w = 0; w < jobs; ++w) {
-      pool.emplace_back([&] {
-        for (;;) {
-          const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
-          if (k >= total) return;
-          const std::size_t i = order[k];
-          try {
-            samples[i] = run_one(variants[i % variants.size()],
-                                 opt.threads[i / variants.size()], opt, observes(i));
-          } catch (...) {
-            std::lock_guard<std::mutex> lock(error_mu);
-            if (!first_error) first_error = std::current_exception();
-          }
-        }
-      });
-    }
-    for (std::thread& th : pool) th.join();
-    if (first_error) std::rethrow_exception(first_error);
-  }
+  run_indexed(total, effective_jobs(opt.jobs), order, [&](std::size_t i) {
+    samples[i] = run_one(variants[i % variants.size()],
+                         opt.threads[i / variants.size()], opt, observes(i));
+  });
 
   auto series_table = [&](const std::string& metric, auto getter) {
     std::vector<std::string> headers{"threads"};
@@ -378,6 +392,38 @@ inline Task<void> think(Ctx& ctx, const BenchOptions& opt) {
     const Cycle w = ctx.rng().next_below(opt.think_max);
     if (w > 0) co_await ctx.work(w);
   }
+}
+
+/// Adapts a workload-registry (spec, policy) pair into a bench Variant.
+/// Ops / think / seed track the bench flags at run time (--ops, --full,
+/// --think, --seed), like every hand-written variant; everything else —
+/// distribution, arrival process, clients, prefill — comes from the spec.
+/// `display_name` defaults to the policy id.
+inline Variant workload_variant(const workload::WorkloadSpec& spec, const std::string& policy,
+                                std::string display_name = "") {
+  Variant v;
+  v.name = display_name.empty() ? policy : std::move(display_name);
+  v.configure = workload::make_workload(spec, policy).configure;
+  v.make = [spec, policy](Machine& m, const BenchOptions& opt) {
+    workload::WorkloadSpec s = spec;
+    s.ops = opt.ops_per_thread;
+    s.think = opt.think_max;
+    s.seed = opt.seed;
+    return workload::make_workload(s, policy).build(m);
+  };
+  return v;
+}
+
+/// The shared `main` of the fig/table benches: parse flags (with optional
+/// bench-specific extras), build the variants, run the experiment. `opt`
+/// carries bench-specific defaults (e.g. fig3_pq's smaller op count).
+/// Returns the process exit code.
+inline int run_bench_main(int argc, char** argv, const std::string& name, const std::string& title,
+                          const std::function<std::vector<Variant>(const BenchOptions&)>& variants,
+                          const std::function<void(FlagSet&)>& extra = {}, BenchOptions opt = {}) {
+  if (!parse_flags(argc, argv, name, opt, extra)) return 0;
+  run_experiment(title, name, variants(opt), opt);
+  return 0;
 }
 
 }  // namespace lrsim::bench

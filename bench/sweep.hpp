@@ -1,0 +1,205 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// The workload sweep driver: expands one config file into a
+// policies x threads x keys x mixes run matrix, executes every point on the
+// shared parallel harness (bench/harness.hpp run_indexed — samples land in
+// fixed slots, so the CSV is byte-identical for any --jobs value), and
+// emits a schema-stable CSV consumable by scripts/bench_check.py --sweep.
+//
+// Lives in a header so tests (tests/sweep_csv_golden_test.cpp) can run tiny
+// sweeps in-process; bench/workload_sweep.cpp is the thin CLI wrapper.
+//
+// Config format (docs/WORKLOADS.md):
+//
+//   [workload]
+//   ds = treiber_stack
+//   policies = base, lease     # default: every policy registered for ds
+//   mix = 50/50                # [sweep] mixes overrides
+//   ...                        # dist/arrival/ops/think/seed/... (spec.hpp)
+//
+//   [sweep]
+//   threads = 2, 4, 8
+//   keys = 1024, 65536         # keyed structures only
+//   mixes = 50/50, 90/10
+//   max_lease_time = 20000
+//   max_num_leases = 4
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+
+namespace lrsim::bench {
+
+/// CSV context column: which build flavor produced the numbers. Debug and
+/// release runs simulate identically (same ops/cycles) but wall-clock and
+/// any perf comparison of host time are meaningless across flavors, so the
+/// column lets bench_check.py refuse to treat a debug sweep as a baseline.
+inline const char* sim_build_type() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// One parsed sweep: the base workload plus the axes that vary.
+struct SweepConfig {
+  workload::WorkloadSpec base;
+  std::vector<std::string> policies;      ///< Axis 1 (default: all for ds).
+  std::vector<int> threads{8};            ///< Axis 2 (simulated cores).
+  std::vector<std::uint64_t> keys;        ///< Axis 3 (default: {base.key_range}).
+  std::vector<double> mixes;              ///< Axis 4 (default: {base.mix}).
+  Cycle max_lease_time = 20000;           ///< Paper default (Table 1).
+  int max_num_leases = 4;
+};
+
+/// One point of the expanded matrix: a concrete (policy, threads, spec).
+struct SweepPoint {
+  std::string policy;
+  int threads = 0;
+  workload::WorkloadSpec spec;  ///< base with key_range/mix overridden.
+};
+
+/// A executed point: the point plus its measured sample.
+struct SweepRow {
+  SweepPoint point;
+  Sample sample;
+};
+
+inline SweepConfig parse_sweep_config(const workload::ConfigFile& cfg) {
+  SweepConfig sc;
+  sc.base = workload::parse_workload_spec(cfg);
+  sc.policies = cfg.has("workload", "policies") ? cfg.get_list("workload", "policies")
+                                                : workload::policies_for(sc.base.ds);
+  if (sc.policies.empty())
+    throw std::invalid_argument(cfg.origin() + ": [workload] policies is empty");
+  // Resolve each policy eagerly so a typo fails at parse time, not mid-sweep.
+  for (const std::string& p : sc.policies) (void)workload::make_workload(sc.base, p);
+
+  static const std::vector<std::string> kKnown = {"threads", "keys", "mixes", "max_lease_time",
+                                                  "max_num_leases"};
+  for (const std::string& k : cfg.keys("sweep")) {
+    bool known = false;
+    for (const std::string& ok : kKnown) known = known || (k == ok);
+    if (!known) throw std::invalid_argument(cfg.origin() + ": unknown [sweep] key `" + k + "`");
+  }
+  auto int_list = [&](const char* key, std::int64_t min) {
+    std::vector<std::int64_t> out;
+    for (const std::string& s : cfg.get_list("sweep", key)) {
+      std::size_t pos = 0;
+      std::int64_t v = 0;
+      try {
+        v = std::stoll(s, &pos, 0);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      if (pos != s.size() || v < min)
+        throw std::invalid_argument(cfg.origin() + ": bad [sweep] " + key + " entry `" + s + "`");
+      out.push_back(v);
+    }
+    return out;
+  };
+  if (cfg.has("sweep", "threads")) {
+    sc.threads.clear();
+    for (std::int64_t t : int_list("threads", 1)) sc.threads.push_back(static_cast<int>(t));
+  }
+  for (std::int64_t k : int_list("keys", 1)) sc.keys.push_back(static_cast<std::uint64_t>(k));
+  for (const std::string& s : cfg.get_list("sweep", "mixes"))
+    sc.mixes.push_back(workload::parse_mix(s));
+  if (sc.keys.empty()) sc.keys.push_back(sc.base.key_range);
+  if (sc.mixes.empty()) sc.mixes.push_back(sc.base.mix);
+  sc.max_lease_time =
+      static_cast<Cycle>(cfg.get_int("sweep", "max_lease_time", static_cast<std::int64_t>(sc.max_lease_time)));
+  sc.max_num_leases = static_cast<int>(cfg.get_int("sweep", "max_num_leases", sc.max_num_leases));
+  return sc;
+}
+
+/// Expands the matrix in a fixed order (policy-major, then threads, keys,
+/// mixes) — the CSV row order, independent of how the runs are scheduled.
+inline std::vector<SweepPoint> expand_sweep(const SweepConfig& sc) {
+  std::vector<SweepPoint> points;
+  points.reserve(sc.policies.size() * sc.threads.size() * sc.keys.size() * sc.mixes.size());
+  for (const std::string& policy : sc.policies) {
+    for (int t : sc.threads) {
+      for (std::uint64_t k : sc.keys) {
+        for (double mix : sc.mixes) {
+          SweepPoint p{policy, t, sc.base};
+          p.spec.key_range = k;
+          p.spec.mix = mix;
+          points.push_back(std::move(p));
+        }
+      }
+    }
+  }
+  return points;
+}
+
+/// Runs every point of the matrix. Row order == expand_sweep order for any
+/// `jobs`; scheduling launches the largest simulations first (same policy
+/// as run_experiment).
+inline std::vector<SweepRow> run_sweep(const SweepConfig& sc, int jobs = 1, int sim_threads = 0) {
+  const std::vector<SweepPoint> points = expand_sweep(sc);
+  std::vector<SweepRow> rows(points.size());
+  std::vector<std::size_t> order(points.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return points[a].threads > points[b].threads;
+  });
+  run_indexed(points.size(), effective_jobs(jobs), order, [&](std::size_t i) {
+    const SweepPoint& p = points[i];
+    BenchOptions bo;
+    bo.threads = {p.threads};
+    bo.ops_per_thread = p.spec.ops;
+    bo.think_max = p.spec.think;
+    bo.seed = p.spec.seed;
+    bo.max_lease_time = sc.max_lease_time;
+    bo.max_num_leases = sc.max_num_leases;
+    bo.sim_threads = sim_threads;
+    bo.csv_dir.clear();
+    rows[i] = SweepRow{p, run_one(workload_variant(p.spec, p.policy), p.threads, bo)};
+  });
+  return rows;
+}
+
+/// The schema-stable sweep CSV header. Golden-pinned by
+/// tests/sweep_csv_golden_test.cpp: *append* columns, never rename or
+/// reorder, so plotting scripts and bench_check.py baselines stay valid.
+inline const std::vector<std::string>& sweep_csv_header() {
+  static const std::vector<std::string> kHeader = {
+      "ds",          "policy",      "threads",       "clients",          "key_range",
+      "dist",        "dist_param",  "mix",           "arrival",          "arrival_param",
+      "seed",        "ops",         "cycles",        "mops_per_sec",     "nj_per_op",
+      "msgs_per_op", "misses_per_op", "cas_failure_rate", "leases",
+      "releases_voluntary", "releases_involuntary", "sim_build_type"};
+  return kHeader;
+}
+
+inline Table sweep_csv_table(const std::vector<SweepRow>& rows) {
+  Table csv{sweep_csv_header()};
+  for (const SweepRow& r : rows) {
+    const workload::WorkloadSpec& s = r.point.spec;
+    const Sample& m = r.sample;
+    const double failrate =
+        m.stats.cas_attempts == 0
+            ? 0.0
+            : static_cast<double>(m.stats.cas_failures) / static_cast<double>(m.stats.cas_attempts);
+    csv.add_row({s.ds, r.point.policy, static_cast<std::int64_t>(r.point.threads),
+                 static_cast<std::int64_t>(s.clients == 0 ? r.point.threads : s.clients),
+                 s.key_range, std::string(dist_name(s.dist.kind)),
+                 workload::dist_param_string(s.dist), workload::mix_string(s.mix),
+                 std::string(arrival_name(s.arrival.kind)),
+                 s.arrival.open_loop() ? std::to_string(s.arrival.period) : std::string("-"),
+                 s.seed, m.ops, m.cycles, m.mops_per_sec(), m.energy_per_op(), m.msgs_per_op(),
+                 m.misses_per_op(), failrate, m.stats.leases_taken, m.stats.releases_voluntary,
+                 m.stats.releases_involuntary, std::string(sim_build_type())});
+  }
+  return csv;
+}
+
+}  // namespace lrsim::bench

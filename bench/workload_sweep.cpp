@@ -1,0 +1,79 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// workload_sweep: expand a workload config file into a run matrix and emit
+// the schema-stable sweep CSV (bench/sweep.hpp; format in docs/WORKLOADS.md).
+//
+//   workload_sweep --config configs/ci_sweep.toml --csv out.csv --jobs 4
+//   workload_sweep --config configs/fig2_stack.toml          # CSV on stdout
+//   workload_sweep --config ... --list                       # matrix only
+#include <iostream>
+
+#include "bench/sweep.hpp"
+
+namespace lrsim::bench {
+namespace {
+
+int main_impl(int argc, char** argv) {
+  FlagSet flags{"workload_sweep"};
+  std::string config;
+  std::string csv;
+  int jobs = 1;
+  int sim_threads = 0;
+  bool list = false;
+  flags.add("config", &config, "workload config file driving the sweep (required)");
+  flags.add("csv", &csv, "output CSV path (empty = stdout)");
+  flags.add("jobs", &jobs, "host threads running matrix points in parallel (0 = one per host CPU)");
+  flags.add("sim-threads", &sim_threads,
+            "worker threads inside each simulation (0 = serial kernel; bit-identical)");
+  flags.add("list", &list, "print the expanded run matrix without running it");
+  try {
+    flags.parse(argc, argv);
+  } catch (const FlagSet::FlagHelp& h) {
+    std::cout << h.text;
+    return 0;
+  }
+  if (config.empty()) {
+    std::cerr << "error: --config is required\n" << flags.usage();
+    return 1;
+  }
+
+  const auto cfg = workload::ConfigFile::parse_file(config);
+  const SweepConfig sc = parse_sweep_config(cfg);
+  const std::vector<SweepPoint> points = expand_sweep(sc);
+  if (list) {
+    Table tbl{{"policy", "threads", "key_range", "mix", "dist", "arrival"}};
+    for (const SweepPoint& p : points) {
+      tbl.add_row({p.policy, static_cast<std::int64_t>(p.threads), p.spec.key_range,
+                   workload::mix_string(p.spec.mix), std::string(dist_name(p.spec.dist.kind)),
+                   std::string(arrival_name(p.spec.arrival.kind))});
+    }
+    std::cout << points.size() << " runs:\n";
+    tbl.print(std::cout);
+    return 0;
+  }
+
+  const std::vector<SweepRow> rows = run_sweep(sc, jobs, sim_threads);
+  const Table out = sweep_csv_table(rows);
+  if (csv.empty()) {
+    out.write_csv(std::cout);
+  } else {
+    if (!out.write_csv(csv)) {
+      std::cerr << "error: cannot write " << csv << "\n";
+      return 1;
+    }
+    std::cout << "csv: " << csv << " (" << rows.size() << " runs)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lrsim::bench
+
+int main(int argc, char** argv) {
+  try {
+    return lrsim::bench::main_impl(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -18,6 +18,17 @@ the +/- tolerance band:
 
 --update overwrites the baseline with the candidate and exits 0.
 
+Sweep mode:
+    scripts/bench_check.py --sweep CANDIDATE.csv [--baseline BASELINE.csv]
+                           [--tolerance 0.25]
+
+Validates a workload-sweep CSV (bench/workload_sweep, schema in
+bench/sweep.hpp / docs/WORKLOADS.md): the header must match the pinned
+schema exactly and every row must parse. With --baseline, also compares
+mops_per_sec per run key (all workload axes) against a baseline sweep CSV
+under the same tolerance band; comparisons refuse debug-build CSVs
+(sim_build_type column) with exit 2, like the JSON perf gate.
+
 Serial vs parallel kernels (--sim-threads) are separate series: an entry's
 sim_threads comes from the benchmark-name token ("/sim_threads:N") or, for
 whole-file recordings, from context.sim_threads. Serial baselines never gate
@@ -109,16 +120,144 @@ def load_throughputs(path):
     return out
 
 
+# The pinned sweep CSV schema (bench/sweep.hpp sweep_csv_header). Columns
+# may be *appended* there; renames/reorders break every consumer and fail
+# here and in tests/sweep_csv_golden_test.cpp.
+SWEEP_HEADER = [
+    "ds", "policy", "threads", "clients", "key_range", "dist", "dist_param",
+    "mix", "arrival", "arrival_param", "seed", "ops", "cycles",
+    "mops_per_sec", "nj_per_op", "msgs_per_op", "misses_per_op",
+    "cas_failure_rate", "leases", "releases_voluntary",
+    "releases_involuntary", "sim_build_type",
+]
+
+# The run identity: every workload/machine axis, no measurements (ops is
+# per-client workload size, an axis; cycles is a result). Two sweep CSVs are
+# comparable per matching key.
+SWEEP_KEY = ["ds", "policy", "threads", "clients", "key_range", "dist",
+             "dist_param", "mix", "arrival", "arrival_param", "seed", "ops"]
+
+SWEEP_INT_COLS = ["threads", "clients", "key_range", "seed", "ops", "cycles",
+                  "leases", "releases_voluntary", "releases_involuntary"]
+SWEEP_FLOAT_COLS = ["mops_per_sec", "nj_per_op", "msgs_per_op",
+                    "misses_per_op", "cas_failure_rate"]
+
+
+def load_sweep(path):
+    """Parses + validates one sweep CSV; returns {run key tuple: row dict}.
+
+    Exits 2 on schema or row-level violations — a malformed CSV must never
+    read as "sweep passed".
+    """
+    import csv as csv_mod
+
+    def fail(msg):
+        print(f"error: {os.path.relpath(path)}: {msg}", file=sys.stderr)
+        sys.exit(2)
+
+    with open(path, "r", encoding="utf-8", newline="") as f:
+        reader = csv_mod.reader(f)
+        rows = list(reader)
+    if not rows:
+        fail("empty file")
+    if rows[0] != SWEEP_HEADER:
+        fail(f"header mismatch\n  want: {','.join(SWEEP_HEADER)}\n"
+             f"   got: {','.join(rows[0])}")
+    out = {}
+    for lineno, row in enumerate(rows[1:], start=2):
+        if len(row) != len(SWEEP_HEADER):
+            fail(f"line {lineno}: {len(row)} fields, want {len(SWEEP_HEADER)}")
+        r = dict(zip(SWEEP_HEADER, row))
+        for col in SWEEP_INT_COLS:
+            if not r[col].lstrip("-").isdigit():
+                fail(f"line {lineno}: {col} = {r[col]!r} is not an integer")
+        for col in SWEEP_FLOAT_COLS:
+            try:
+                float(r[col])
+            except ValueError:
+                fail(f"line {lineno}: {col} = {r[col]!r} is not a number")
+        if int(r["threads"]) < 1:
+            fail(f"line {lineno}: threads = {r['threads']} < 1")
+        if r["sim_build_type"] not in ("release", "debug"):
+            fail(f"line {lineno}: sim_build_type = {r['sim_build_type']!r} "
+                 "(want release or debug)")
+        key = tuple(r[c] for c in SWEEP_KEY)
+        if key in out:
+            fail(f"line {lineno}: duplicate run key {key}")
+        out[key] = r
+    if not out:
+        fail("no data rows")
+    return out
+
+
+def sweep_is_debug(rows):
+    return any(r["sim_build_type"] == "debug" for r in rows.values())
+
+
+def run_sweep_gate(args):
+    cand = load_sweep(args.candidate)
+    print(f"{os.path.relpath(args.candidate)}: schema ok, {len(cand)} runs")
+    if args.baseline is None:
+        return 0
+
+    # Perf comparison only below this line: debug numbers are not comparable
+    # (same refusal as the JSON gate's check_release_build).
+    for path, rows in ((args.candidate, cand), (args.baseline, load_sweep(args.baseline))):
+        if sweep_is_debug(rows):
+            print(f"error: {os.path.relpath(path)} contains DEBUG-build rows; "
+                  "perf numbers from debug builds are not comparable. Rebuild "
+                  "with -DCMAKE_BUILD_TYPE=Release and rerun.", file=sys.stderr)
+            sys.exit(2)
+    base = load_sweep(args.baseline)
+
+    failures = []
+    print(f"{'run':<60} {'baseline':>10} {'candidate':>10} {'ratio':>7}")
+    for key in sorted(base):
+        label = "/".join(key)
+        if key not in cand:
+            failures.append(f"{label}: missing from candidate sweep")
+            continue
+        base_tp = float(base[key]["mops_per_sec"])
+        cand_tp = float(cand[key]["mops_per_sec"])
+        if base_tp <= 0:
+            continue
+        ratio = cand_tp / base_tp
+        verdict = "ok"
+        if ratio < 1.0 - args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(f"{label}: {ratio:.2f}x of baseline")
+        elif ratio > 1.0 + args.tolerance:
+            verdict = "STALE-BASELINE"
+            failures.append(f"{label}: {ratio:.2f}x of baseline (rerun baseline)")
+        print(f"{label:<60} {base_tp:>10.3f} {cand_tp:>10.3f} {ratio:>6.2f}x  {verdict}")
+    if failures:
+        print("\nsweep gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nsweep gate passed.")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
-    ap.add_argument("candidate", help="benchmark JSON produced by --benchmark_out")
-    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
+    ap.add_argument("candidate", help="benchmark JSON produced by --benchmark_out "
+                    "(or a sweep CSV with --sweep)")
+    ap.add_argument("--baseline", default=None)
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed fractional drift in either direction (default 0.25)")
     ap.add_argument("--update", action="store_true",
                     help="replace the baseline with the candidate and exit 0")
+    ap.add_argument("--sweep", action="store_true",
+                    help="candidate is a workload-sweep CSV: validate its schema "
+                    "(and compare throughput if --baseline is a sweep CSV too)")
     args = ap.parse_args()
+
+    if args.sweep:
+        return run_sweep_gate(args)
+    if args.baseline is None:
+        args.baseline = DEFAULT_BASELINE
 
     if args.update:
         with open(args.candidate, "r", encoding="utf-8") as f:

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Run workload sweeps from config files and collect validated CSVs.
+
+Usage:
+    scripts/run_sweeps.py [--bin build/bench/workload_sweep] [--out sweep_out]
+                          [--jobs N] [--sim-threads N] [--merged all.csv]
+                          configs/ci_sweep.toml [more configs ...]
+
+For each config this runs the workload_sweep binary (bench/workload_sweep.cpp),
+writes <out>/<config-stem>.csv, and validates the result against the pinned
+sweep schema (the same check as `bench_check.py --sweep`; schema in
+bench/sweep.hpp and docs/WORKLOADS.md). With --merged the per-config CSVs
+are concatenated under one header into <out>/<merged>, for plotting a whole
+campaign from one file.
+
+Exit status: 0 if every sweep ran and validated, 1 on the first failure.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_check import SWEEP_HEADER, load_sweep  # noqa: E402
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("configs", nargs="+", help="workload config files (configs/*.toml)")
+    ap.add_argument("--bin", default=os.path.join("build", "bench", "workload_sweep"),
+                    help="workload_sweep binary (default: build/bench/workload_sweep)")
+    ap.add_argument("--out", default="sweep_out", help="output directory for the CSVs")
+    ap.add_argument("--jobs", type=int, default=1,
+                    help="host threads per sweep (0 = one per host CPU)")
+    ap.add_argument("--sim-threads", type=int, default=0,
+                    help="worker threads inside each simulation (bit-identical)")
+    ap.add_argument("--merged", default=None,
+                    help="also concatenate every CSV into <out>/MERGED (one header)")
+    args = ap.parse_args()
+
+    if not os.path.exists(args.bin):
+        print(f"error: {args.bin} not found; build the cpp tree first "
+              "(cmake --build build --target workload_sweep)", file=sys.stderr)
+        return 1
+    os.makedirs(args.out, exist_ok=True)
+
+    merged_rows = []
+    total_runs = 0
+    for config in args.configs:
+        stem = os.path.splitext(os.path.basename(config))[0]
+        csv_path = os.path.join(args.out, stem + ".csv")
+        cmd = [args.bin, "--config", config, "--csv", csv_path,
+               "--jobs", str(args.jobs), "--sim-threads", str(args.sim_threads)]
+        print(f"[{stem}] {' '.join(cmd)}")
+        proc = subprocess.run(cmd)
+        if proc.returncode != 0:
+            print(f"error: sweep for {config} exited {proc.returncode}", file=sys.stderr)
+            return 1
+        rows = load_sweep(csv_path)  # exits 2 on schema violations
+        total_runs += len(rows)
+        print(f"[{stem}] ok: {len(rows)} runs -> {csv_path}")
+        if args.merged:
+            with open(csv_path, "r", encoding="utf-8") as f:
+                merged_rows.extend(f.readlines()[1:])
+
+    if args.merged:
+        merged_path = os.path.join(args.out, args.merged)
+        with open(merged_path, "w", encoding="utf-8") as f:
+            f.write(",".join(SWEEP_HEADER) + "\n")
+            f.writelines(merged_rows)
+        load_sweep(merged_path)  # cross-config duplicate run keys fail here
+        print(f"merged: {total_runs} runs -> {merged_path}")
+    print(f"all sweeps passed ({total_runs} runs).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

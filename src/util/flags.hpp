@@ -31,54 +31,62 @@ class FlagSet {
   explicit FlagSet(std::string program) : program_(std::move(program)) {}
 
   void add(std::string name, bool* target, std::string help) {
-    entries_[name] = Entry{.help = std::move(help),
-                           .is_bool = true,
-                           .set = [target](std::string_view v) {
-                             if (v == "true" || v == "1" || v.empty()) {
-                               *target = true;
-                             } else if (v == "false" || v == "0") {
-                               *target = false;
-                             } else {
-                               throw std::invalid_argument("expected bool, got '" +
-                                                           std::string(v) + "'");
-                             }
-                           },
-                           .show = [target] { return std::string(*target ? "true" : "false"); }};
+    insert(std::move(name),
+           Entry{.display = {},
+                 .help = std::move(help),
+                 .is_bool = true,
+                 .set = [target](std::string_view v) {
+                   if (v == "true" || v == "1" || v.empty()) {
+                     *target = true;
+                   } else if (v == "false" || v == "0") {
+                     *target = false;
+                   } else {
+                     throw std::invalid_argument("expected bool, got '" +
+                                                 std::string(v) + "'");
+                   }
+                 },
+                 .show = [target] { return std::string(*target ? "true" : "false"); }});
   }
 
   void add(std::string name, std::string* target, std::string help) {
-    entries_[name] = Entry{.help = std::move(help),
-                           .is_bool = false,
-                           .set = [target](std::string_view v) { *target = std::string(v); },
-                           .show = [target] { return *target; }};
+    insert(std::move(name),
+           Entry{.display = {},
+                 .help = std::move(help),
+                 .is_bool = false,
+                 .set = [target](std::string_view v) { *target = std::string(v); },
+                 .show = [target] { return *target; }});
   }
 
   template <typename Int>
     requires std::is_integral_v<Int> && (!std::is_same_v<Int, bool>)
   void add(std::string name, Int* target, std::string help) {
-    entries_[name] = Entry{.help = std::move(help),
-                           .is_bool = false,
-                           .set =
-                               [target, name](std::string_view v) {
-                                 std::int64_t out = 0;
-                                 std::size_t pos = 0;
-                                 out = std::stoll(std::string(v), &pos, 0);
-                                 if (pos != v.size())
-                                   throw std::invalid_argument("bad integer for --" + name);
-                                 *target = static_cast<Int>(out);
-                               },
-                           .show = [target] { return std::to_string(*target); }};
+    Entry e{.display = {},
+            .help = std::move(help),
+            .is_bool = false,
+            .set =
+                [target, name](std::string_view v) {
+                  std::int64_t out = 0;
+                  std::size_t pos = 0;
+                  out = std::stoll(std::string(v), &pos, 0);
+                  if (pos != v.size())
+                    throw std::invalid_argument("bad integer for --" + name);
+                  *target = static_cast<Int>(out);
+                },
+            .show = [target] { return std::to_string(*target); }};
+    insert(std::move(name), std::move(e));
   }
 
   void add(std::string name, double* target, std::string help) {
-    entries_[name] = Entry{.help = std::move(help),
-                           .is_bool = false,
-                           .set = [target](std::string_view v) { *target = std::stod(std::string(v)); },
-                           .show = [target] {
-                             std::ostringstream os;
-                             os << *target;
-                             return os.str();
-                           }};
+    insert(std::move(name),
+           Entry{.display = {},
+                 .help = std::move(help),
+                 .is_bool = false,
+                 .set = [target](std::string_view v) { *target = std::stod(std::string(v)); },
+                 .show = [target] {
+                   std::ostringstream os;
+                   os << *target;
+                   return os.str();
+                 }});
   }
 
   /// Parses argv. Exits (by throwing FlagHelp) on --help.
@@ -100,9 +108,10 @@ class FlagSet {
       }
       std::string name(arg);
       bool negated = false;
-      auto it = find_entry(name);
+      auto it = entries_.find(canonical(name));
       if (it == entries_.end() && (name.starts_with("no-") || name.starts_with("no_"))) {
-        if (auto sit = find_entry(name.substr(3)); sit != entries_.end() && sit->second.is_bool) {
+        auto sit = entries_.find(canonical(name.substr(3)));
+        if (sit != entries_.end() && sit->second.is_bool) {
           it = sit;
           negated = true;
         }
@@ -132,28 +141,32 @@ class FlagSet {
     std::ostringstream os;
     os << "usage: " << program_ << " [flags]\n";
     for (const auto& [name, e] : entries_) {
-      os << "  --" << name << " (default " << e.show() << ")\n      " << e.help << "\n";
+      os << "  --" << e.display << " (default " << e.show() << ")\n      " << e.help << "\n";
     }
     return os.str();
   }
 
  private:
   struct Entry {
+    std::string display;  ///< Spelling shown in --help (as registered).
     std::string help;
     bool is_bool = false;
     std::function<void(std::string_view)> set;
     std::function<std::string()> show;
   };
 
-  /// Registered names use underscores; dashed spellings are accepted as
-  /// aliases (--trace-out == --trace_out).
-  std::map<std::string, Entry>::iterator find_entry(std::string name) {
-    auto it = entries_.find(name);
-    if (it == entries_.end()) {
-      std::replace(name.begin(), name.end(), '-', '_');
-      it = entries_.find(name);
-    }
-    return it;
+  /// Dash and underscore spellings are full aliases in *both* directions
+  /// (--sim-threads == --sim_threads, --csv_dir == --csv-dir), regardless
+  /// of which spelling a flag was registered under: entries are keyed by
+  /// the underscore canonical form and lookups canonicalize the query.
+  static std::string canonical(std::string name) {
+    std::replace(name.begin(), name.end(), '-', '_');
+    return name;
+  }
+
+  void insert(std::string name, Entry e) {
+    e.display = name;
+    entries_[canonical(std::move(name))] = std::move(e);
   }
 
   std::string program_;

@@ -63,17 +63,23 @@ class Table {
     }
   }
 
+  /// Streams headers + rows as CSV (used by the sweep driver, which writes
+  /// to stdout or a file, and by tests capturing into a string).
+  void write_csv(std::ostream& os, int precision = 6) const {
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+      os << headers_[i] << (i + 1 < headers_.size() ? "," : "\n");
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size(); ++i)
+        os << render(row[i], precision) << (i + 1 < row.size() ? "," : "\n");
+    }
+  }
+
   /// Writes headers + rows as CSV. Returns false if the file could not be
   /// opened (the caller decides whether that is fatal).
   bool write_csv(const std::string& path, int precision = 6) const {
     std::ofstream f(path);
     if (!f) return false;
-    for (std::size_t i = 0; i < headers_.size(); ++i)
-      f << headers_[i] << (i + 1 < headers_.size() ? "," : "\n");
-    for (const auto& row : rows_) {
-      for (std::size_t i = 0; i < row.size(); ++i)
-        f << render(row[i], precision) << (i + 1 < row.size() ? "," : "\n");
-    }
+    write_csv(f, precision);
     return true;
   }
 

@@ -1,0 +1,73 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Arrival processes for the trace-driven workload frontend
+// (docs/WORKLOADS.md).
+//
+//  * closed  — the classic bench loop: a client issues its next op as soon
+//              as the previous one completes, after 0..think cycles of
+//              local work. Reproduces the legacy fig-bench loops exactly
+//              (same PRNG draw sequence).
+//  * fixed   — open loop, deterministic inter-arrival: every client's ops
+//              arrive exactly `period` cycles apart, independent of service
+//              time (a lagging client accumulates backlog and drains it in
+//              arrival order).
+//  * poisson — open loop, exponential inter-arrival with mean `period`
+//              cycles (rate 1/period), sampled by inverse CDF from the
+//              client's own PRNG stream — reproducible for any --jobs /
+//              --sim-threads value.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace lrsim::workload {
+
+enum class ArrivalKind { kClosed, kFixed, kPoisson };
+
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kClosed;
+  Cycle period = 0;  ///< Open loop: (mean) inter-arrival gap in cycles.
+
+  bool open_loop() const noexcept { return kind != ArrivalKind::kClosed; }
+
+  void validate() const {
+    if (open_loop() && period == 0)
+      throw std::invalid_argument("open-loop arrival requires period > 0");
+  }
+};
+
+inline const char* arrival_name(ArrivalKind k) noexcept {
+  switch (k) {
+    case ArrivalKind::kClosed: return "closed";
+    case ArrivalKind::kFixed: return "fixed";
+    case ArrivalKind::kPoisson: return "poisson";
+  }
+  return "?";
+}
+
+/// Draws the next inter-arrival gap for one client. Closed-loop workloads
+/// never call this (think time is drawn by the driver to match the legacy
+/// loops); asserting via exception keeps misuse loud.
+inline Cycle next_gap(const ArrivalSpec& spec, Rng& rng) {
+  switch (spec.kind) {
+    case ArrivalKind::kClosed:
+      throw std::logic_error("closed-loop arrival has no inter-arrival gap");
+    case ArrivalKind::kFixed:
+      return spec.period;
+    case ArrivalKind::kPoisson: {
+      // Inverse CDF: gap = -mean * ln(1 - u), u uniform in [0, 1).
+      const double u = rng.next_double();
+      const double x = -static_cast<double>(spec.period) * std::log(1.0 - u);
+      // Round to the cycle grid; the +0.5 keeps the empirical mean on
+      // target (floor alone would bias it half a cycle low).
+      return static_cast<Cycle>(x + 0.5);
+    }
+  }
+  return 0;
+}
+
+}  // namespace lrsim::workload

@@ -1,0 +1,180 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Minimal INI/TOML-subset parser for workload configs (docs/WORKLOADS.md).
+//
+// Grammar (one declarative file drives a whole sweep):
+//
+//   # comment
+//   [section]
+//   key = value          # scalar
+//   list = a, b, c       # comma-separated list
+//
+// Values are bare tokens or double-quoted strings; numbers are parsed on
+// demand by the typed getters. Unknown keys are *caller*-checked: sections
+// expose their key set so spec parsing can fail loudly on typos, the same
+// contract FlagSet gives the command line.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lrsim::workload {
+
+class ConfigFile {
+ public:
+  /// Parses `text`; `origin` names the source in error messages.
+  static ConfigFile parse_string(const std::string& text, const std::string& origin = "<string>") {
+    ConfigFile cfg;
+    cfg.origin_ = origin;
+    std::istringstream in{text};
+    std::string line;
+    std::string section;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      const std::string stripped = strip(strip_comment(line));
+      if (stripped.empty()) continue;
+      if (stripped.front() == '[') {
+        if (stripped.back() != ']')
+          throw std::invalid_argument(where(origin, lineno) + "unterminated section header");
+        section = strip(stripped.substr(1, stripped.size() - 2));
+        if (section.empty())
+          throw std::invalid_argument(where(origin, lineno) + "empty section name");
+        cfg.sections_[section];  // record even if empty
+        continue;
+      }
+      const auto eq = stripped.find('=');
+      if (eq == std::string::npos)
+        throw std::invalid_argument(where(origin, lineno) + "expected `key = value`: " + stripped);
+      const std::string key = strip(stripped.substr(0, eq));
+      const std::string value = unquote(strip(stripped.substr(eq + 1)));
+      if (key.empty())
+        throw std::invalid_argument(where(origin, lineno) + "empty key");
+      auto& sec = cfg.sections_[section];
+      if (sec.count(key))
+        throw std::invalid_argument(where(origin, lineno) + "duplicate key `" + key + "`");
+      sec[key] = value;
+    }
+    return cfg;
+  }
+
+  static ConfigFile parse_file(const std::string& path) {
+    std::ifstream f(path);
+    if (!f) throw std::invalid_argument("cannot open config file: " + path);
+    std::ostringstream text;
+    text << f.rdbuf();
+    return parse_string(text.str(), path);
+  }
+
+  bool has_section(const std::string& section) const { return sections_.count(section) != 0; }
+
+  bool has(const std::string& section, const std::string& key) const {
+    auto it = sections_.find(section);
+    return it != sections_.end() && it->second.count(key) != 0;
+  }
+
+  /// Keys of one section, in sorted order — for unknown-key validation.
+  std::vector<std::string> keys(const std::string& section) const {
+    std::vector<std::string> out;
+    auto it = sections_.find(section);
+    if (it == sections_.end()) return out;
+    for (const auto& [k, v] : it->second) out.push_back(k);
+    return out;
+  }
+
+  std::string get(const std::string& section, const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = sections_.find(section);
+    if (it == sections_.end()) return fallback;
+    auto kv = it->second.find(key);
+    return kv == it->second.end() ? fallback : kv->second;
+  }
+
+  std::int64_t get_int(const std::string& section, const std::string& key,
+                       std::int64_t fallback) const {
+    if (!has(section, key)) return fallback;
+    const std::string v = get(section, key);
+    std::size_t pos = 0;
+    std::int64_t out = 0;
+    try {
+      out = std::stoll(v, &pos, 0);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != v.size()) throw bad_value(section, key, v, "an integer");
+    return out;
+  }
+
+  double get_double(const std::string& section, const std::string& key, double fallback) const {
+    if (!has(section, key)) return fallback;
+    const std::string v = get(section, key);
+    std::size_t pos = 0;
+    double out = 0;
+    try {
+      out = std::stod(v, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != v.size()) throw bad_value(section, key, v, "a number");
+    return out;
+  }
+
+  /// Comma-separated list; empty/missing key => empty vector.
+  std::vector<std::string> get_list(const std::string& section, const std::string& key) const {
+    std::vector<std::string> out;
+    const std::string v = get(section, key);
+    std::string item;
+    std::istringstream in{v};
+    while (std::getline(in, item, ',')) {
+      const std::string s = strip(item);
+      if (!s.empty()) out.push_back(s);
+    }
+    return out;
+  }
+
+  const std::string& origin() const noexcept { return origin_; }
+
+ private:
+  static std::string where(const std::string& origin, int lineno) {
+    return origin + ":" + std::to_string(lineno) + ": ";
+  }
+
+  std::invalid_argument bad_value(const std::string& section, const std::string& key,
+                                  const std::string& v, const char* expected) const {
+    return std::invalid_argument(origin_ + ": [" + section + "] " + key + " = `" + v +
+                                 "` is not " + expected);
+  }
+
+  /// Drops a `#` comment unless it sits inside double quotes.
+  static std::string strip_comment(const std::string& line) {
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '"') quoted = !quoted;
+      if (line[i] == '#' && !quoted) return line.substr(0, i);
+    }
+    return line;
+  }
+
+  static std::string strip(const std::string& s) {
+    const auto b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos) return "";
+    const auto e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+  }
+
+  static std::string unquote(const std::string& s) {
+    if (s.size() >= 2 && s.front() == '"' && s.back() == '"')
+      return s.substr(1, s.size() - 2);
+    return s;
+  }
+
+  std::string origin_;
+  std::map<std::string, std::map<std::string, std::string>> sections_;
+};
+
+}  // namespace lrsim::workload

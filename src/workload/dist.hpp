@@ -1,0 +1,200 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Key-access distributions for the trace-driven workload frontend
+// (docs/WORKLOADS.md). A KeySampler maps uniform PRNG draws to keys in
+// [0, range) under one of:
+//
+//  * uniform    — every key equally likely.
+//  * zipf(θ)    — pmf(k) ∝ 1/(k+1)^θ, sampled by *exact* inverse-CDF lookup
+//                 over the precomputed partial sums (no YCSB-style
+//                 approximation, so the chi-square goodness-of-fit tests in
+//                 tests/workload_dist_test.cpp can check against the
+//                 analytic pmf directly). O(range) table, O(log range)
+//                 per sample; ranges above kMaxTableRange are refused.
+//  * hotspot    — with probability hot_prob pick uniformly among the first
+//                 ceil(hot_frac * range) keys, else uniformly among the rest.
+//
+// Any base distribution can be wrapped in a *shifting-phase* schedule:
+// every shift_every simulated cycles the whole key space rotates by
+// shift_by keys (key := (base + phase * shift_by) % range), modeling a
+// moving hot set. Phase boundaries are a pure function of simulated time,
+// so they fire at identical cycles across --jobs and --sim-threads; the
+// per-core phase log makes that checkable (tests/workload_determinism_test).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace lrsim::workload {
+
+enum class DistKind { kUniform, kZipf, kHotspot };
+
+struct DistSpec {
+  DistKind kind = DistKind::kUniform;
+  double theta = 0.99;     ///< Zipf exponent (> 0).
+  double hot_frac = 0.1;   ///< Hotspot: fraction of keys that are hot.
+  double hot_prob = 0.9;   ///< Hotspot: probability of hitting the hot set.
+  Cycle shift_every = 0;   ///< Shifting phase period in cycles (0 = static).
+  std::uint64_t shift_by = 0;  ///< Keys rotated per phase.
+
+  bool shifting() const noexcept { return shift_every > 0 && shift_by > 0; }
+};
+
+/// Renders the spec for CSV/table axes ("uniform", "zipf", "hotspot").
+inline const char* dist_name(DistKind k) noexcept {
+  switch (k) {
+    case DistKind::kUniform: return "uniform";
+    case DistKind::kZipf: return "zipf";
+    case DistKind::kHotspot: return "hotspot";
+  }
+  return "?";
+}
+
+/// Parameter column for the sweep CSV: theta for zipf, "frac:prob" for
+/// hotspot, "-" for uniform (shift params do not change the stationary pmf
+/// and are not part of the axis identity).
+inline std::string dist_param_string(const DistSpec& spec) {
+  std::ostringstream os;
+  switch (spec.kind) {
+    case DistKind::kUniform:
+      return "-";
+    case DistKind::kZipf:
+      os << spec.theta;
+      return os.str();
+    case DistKind::kHotspot:
+      os << spec.hot_frac << ":" << spec.hot_prob;
+      return os.str();
+  }
+  return "?";
+}
+
+/// Per-core shifting-phase transition log: phase_log[core] holds the
+/// simulated cycle of every observed phase *change* on that core. Written
+/// only by that core's events, so it is parallel-kernel safe (shard = core).
+struct PhaseLog {
+  std::vector<std::vector<Cycle>> per_core;
+  explicit PhaseLog(int num_cores = 0) : per_core(static_cast<std::size_t>(num_cores)) {}
+};
+
+/// Samples keys in [0, range). One instance per simulated machine; the Zipf
+/// CDF table is built once in the constructor and shared by every client.
+class KeySampler {
+ public:
+  /// Zipf CDF tables are O(range) doubles; refuse ranges that would
+  /// silently eat gigabytes. 2^24 keys = 128 MiB, a deliberate ceiling.
+  static constexpr std::uint64_t kMaxTableRange = 1ull << 24;
+
+  KeySampler(DistSpec spec, std::uint64_t range, int num_cores = 1, PhaseLog* phase_log = nullptr)
+      : spec_(spec), range_(range), last_phase_(static_cast<std::size_t>(num_cores), 0),
+        phase_log_(phase_log) {
+    if (range_ == 0) throw std::invalid_argument("key range must be nonzero");
+    switch (spec_.kind) {
+      case DistKind::kUniform:
+        break;
+      case DistKind::kZipf: {
+        if (!(spec_.theta > 0)) throw std::invalid_argument("zipf theta must be > 0");
+        if (range_ > kMaxTableRange)
+          throw std::invalid_argument("zipf key range exceeds the exact-CDF table ceiling (2^24)");
+        cdf_.resize(range_);
+        double sum = 0;
+        for (std::uint64_t k = 0; k < range_; ++k) {
+          sum += std::pow(static_cast<double>(k + 1), -spec_.theta);
+          cdf_[k] = sum;
+        }
+        zeta_ = sum;
+        break;
+      }
+      case DistKind::kHotspot: {
+        if (!(spec_.hot_frac > 0) || spec_.hot_frac > 1)
+          throw std::invalid_argument("hotspot hot_frac must be in (0, 1]");
+        if (spec_.hot_prob < 0 || spec_.hot_prob > 1)
+          throw std::invalid_argument("hotspot hot_prob must be in [0, 1]");
+        hot_keys_ = static_cast<std::uint64_t>(
+            std::ceil(spec_.hot_frac * static_cast<double>(range_)));
+        if (hot_keys_ == 0) hot_keys_ = 1;
+        if (hot_keys_ > range_) hot_keys_ = range_;
+        break;
+      }
+    }
+  }
+
+  std::uint64_t range() const noexcept { return range_; }
+  const DistSpec& spec() const noexcept { return spec_; }
+
+  /// Draws one key. `now`/`core` feed the shifting-phase schedule; static
+  /// distributions ignore them. Consumes exactly one PRNG draw for uniform
+  /// and zipf; hotspot consumes two (set pick, then index).
+  std::uint64_t sample(Rng& rng, Cycle now = 0, CoreId core = 0) {
+    std::uint64_t key = sample_base(rng);
+    if (spec_.shifting()) {
+      const std::uint64_t phase = now / spec_.shift_every;
+      auto& last = last_phase_[static_cast<std::size_t>(core)];
+      if (phase != last) {
+        last = phase;
+        if (phase_log_ != nullptr)
+          phase_log_->per_core[static_cast<std::size_t>(core)].push_back(now);
+      }
+      key = (key + phase * spec_.shift_by) % range_;
+    }
+    return key;
+  }
+
+  /// Stationary analytic pmf (ignores the shift, which only relabels keys).
+  double pmf(std::uint64_t key) const {
+    if (key >= range_) return 0.0;
+    switch (spec_.kind) {
+      case DistKind::kUniform:
+        return 1.0 / static_cast<double>(range_);
+      case DistKind::kZipf:
+        return std::pow(static_cast<double>(key + 1), -spec_.theta) / zeta_;
+      case DistKind::kHotspot: {
+        const double in_hot = spec_.hot_prob / static_cast<double>(hot_keys_);
+        if (key < hot_keys_) return hot_keys_ == range_ ? 1.0 / static_cast<double>(range_) : in_hot;
+        return (1.0 - spec_.hot_prob) / static_cast<double>(range_ - hot_keys_);
+      }
+    }
+    return 0.0;
+  }
+
+ private:
+  std::uint64_t sample_base(Rng& rng) {
+    switch (spec_.kind) {
+      case DistKind::kUniform:
+        return rng.next_below(range_);
+      case DistKind::kZipf: {
+        const double u = rng.next_double() * zeta_;
+        // First index whose partial sum exceeds u (exact inversion).
+        std::uint64_t lo = 0, hi = range_ - 1;
+        while (lo < hi) {
+          const std::uint64_t mid = lo + (hi - lo) / 2;
+          if (cdf_[mid] > u) hi = mid; else lo = mid + 1;
+        }
+        return lo;
+      }
+      case DistKind::kHotspot: {
+        if (hot_keys_ == range_) return rng.next_below(range_);
+        if (rng.next_double() < spec_.hot_prob) return rng.next_below(hot_keys_);
+        return hot_keys_ + rng.next_below(range_ - hot_keys_);
+      }
+    }
+    return 0;
+  }
+
+  DistSpec spec_;
+  std::uint64_t range_;
+  std::vector<double> cdf_;     ///< Zipf partial sums (exact inversion).
+  double zeta_ = 0;             ///< Zipf normalizer (= cdf_.back()).
+  std::uint64_t hot_keys_ = 0;  ///< Hotspot: size of the hot prefix.
+  std::vector<std::uint64_t> last_phase_;  ///< Per-core last observed phase.
+  PhaseLog* phase_log_;
+};
+
+}  // namespace lrsim::workload

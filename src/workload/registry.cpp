@@ -1,0 +1,357 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Workload registry implementation: per-structure builders, the closed-loop
+// driver (PRNG-compatible with the legacy fig bench loops), and the
+// open-loop driver multiplexing N simulated clients onto the cores.
+
+#include "workload/registry.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "ds/counter.hpp"
+#include "ds/ms_queue.hpp"
+#include "ds/skiplist_pq.hpp"
+#include "ds/spraylist.hpp"
+#include "ds/treiber_stack.hpp"
+#include "ds/two_lock_queue.hpp"
+#include "sync/cohort_lock.hpp"
+
+namespace lrsim::workload {
+namespace {
+
+/// Payload value pushed/enqueued by the keyless structures; matches the
+/// legacy bench loops so replays stay byte-identical.
+constexpr std::uint64_t kPayload = 7;
+
+/// Default prefill of the container structures (the legacy benches' 256).
+constexpr int kDefaultPrefill = 256;
+
+/// One op of the two-op mix. The Rng is the *issuing client's* stream: the
+/// per-core ctx rng in closed-loop mode, the client's own stream when
+/// multiplexed — key draws always come from it.
+using OpFn = std::function<Task<void>(Ctx&, Rng&)>;
+
+/// Everything the per-core driver needs; owned by shared_ptr so the worker
+/// coroutine frames can outlive build()'s scope.
+struct Shared {
+  OpFn op_a;
+  OpFn op_b;  ///< Null for single-op structures (no mix draw happens).
+  double mix = 1.0;
+  int ops = 0;
+  Cycle think = 0;
+  ArrivalSpec arrival;
+  int clients = 0;  ///< Resolved (>= 1) client count.
+  int threads = 0;  ///< num_cores of the machine being driven.
+  std::uint64_t seed = 1;
+  std::shared_ptr<KeySampler> sampler;  ///< Keyed structures only.
+};
+
+/// Distinct from the machine's per-core seeding constant so a client stream
+/// never collides with a core stream.
+std::uint64_t client_seed(std::uint64_t seed, int client) {
+  return seed ^ (0xa24baed4963ee407ull * (static_cast<std::uint64_t>(client) + 1));
+}
+
+/// Executes one op drawn from the mix. Exactly one next_double() when both
+/// ops are in play (== the legacy next_bool), zero draws otherwise.
+Task<void> exec_op(Ctx& ctx, Rng& rng, const Shared& sh) {
+  if (!sh.op_b || sh.mix >= 1.0) {
+    co_await sh.op_a(ctx, rng);
+  } else if (sh.mix <= 0.0) {
+    co_await sh.op_b(ctx, rng);
+  } else if (rng.next_double() < sh.mix) {
+    co_await sh.op_a(ctx, rng);
+  } else {
+    co_await sh.op_b(ctx, rng);
+  }
+}
+
+/// Closed loop: op, then 0..think cycles of local work, both drawn from the
+/// core's ctx rng — the legacy fig loop, draw for draw.
+Task<void> run_closed(Ctx& ctx, std::shared_ptr<const Shared> sh) {
+  for (int i = 0; i < sh->ops; ++i) {
+    co_await exec_op(ctx, ctx.rng(), *sh);
+    if (sh->think > 0) {
+      const Cycle w = ctx.rng().next_below(sh->think);
+      if (w > 0) co_await ctx.work(w);
+    }
+  }
+}
+
+/// Open loop: the core serves its clients (id ≡ core mod threads) in
+/// arrival order. Arrivals are scheduled on each client's own timeline —
+/// a client that falls behind accumulates backlog and drains it in order,
+/// which is what "open loop" means. Think time does not apply (service
+/// time is the op itself).
+Task<void> run_open(Ctx& ctx, std::shared_ptr<const Shared> sh, int tid) {
+  struct Client {
+    Rng rng;
+    Cycle next_arrival;
+    int remaining;
+  };
+  std::vector<Client> cs;
+  for (int c = tid; c < sh->clients; c += sh->threads) {
+    Client cl{Rng{client_seed(sh->seed, c)}, 0, sh->ops};
+    cl.next_arrival = next_gap(sh->arrival, cl.rng);
+    if (cl.remaining > 0) cs.push_back(cl);
+  }
+  for (;;) {
+    std::size_t best = cs.size();
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      if (cs[i].remaining == 0) continue;
+      if (best == cs.size() || cs[i].next_arrival < cs[best].next_arrival) best = i;
+    }
+    if (best == cs.size()) co_return;  // every client done
+    Client& cl = cs[best];
+    const Cycle now = ctx.now();
+    if (cl.next_arrival > now) co_await ctx.work(cl.next_arrival - now);
+    co_await exec_op(ctx, cl.rng, *sh);
+    --cl.remaining;
+    cl.next_arrival += next_gap(sh->arrival, cl.rng);
+  }
+}
+
+/// Resolves spec-level client/loop constraints against a concrete machine
+/// and wraps the built ops into the per-core worker.
+std::function<Task<void>(Ctx&, int)> finish_build(const WorkloadSpec& spec, Machine& m,
+                                                  std::shared_ptr<Shared> sh) {
+  const int threads = m.config().num_cores;
+  sh->mix = spec.mix;
+  sh->ops = spec.ops;
+  sh->think = spec.think;
+  sh->arrival = spec.arrival;
+  sh->threads = threads;
+  sh->seed = spec.seed;
+  sh->clients = spec.clients == 0 ? threads : spec.clients;
+  if (!spec.arrival.open_loop() && sh->clients != threads) {
+    throw std::invalid_argument(
+        "closed-loop workloads run one client per core; set clients = 0 (or use an "
+        "open-loop arrival to multiplex)");
+  }
+  return [sh](Ctx& ctx, int t) -> Task<void> {
+    if (sh->arrival.open_loop()) return run_open(ctx, sh, t);
+    return run_closed(ctx, sh);
+  };
+}
+
+/// Builds the per-machine key sampler (keyed structures), wiring the
+/// optional phase log to the machine's core count.
+std::shared_ptr<KeySampler> make_sampler(const WorkloadSpec& spec, Machine& m,
+                                         PhaseLog* phase_log) {
+  if (phase_log != nullptr)
+    phase_log->per_core.assign(static_cast<std::size_t>(m.config().num_cores), {});
+  return std::make_shared<KeySampler>(spec.dist, spec.key_range, m.config().num_cores, phase_log);
+}
+
+int resolved_prefill(const WorkloadSpec& spec) {
+  return spec.prefill < 0 ? kDefaultPrefill : spec.prefill;
+}
+
+// --- counter ----------------------------------------------------------------
+
+const std::vector<std::string> kCounterPolicies = {
+    "tts", "tts+lease", "ticket", "clh", "mcs", "cohort-ticket", "cohort+lease"};
+
+WorkloadRun make_counter(const WorkloadSpec& spec, const std::string& policy) {
+  WorkloadRun run;
+  if (policy == "cohort-ticket" || policy == "cohort+lease") {
+    const bool lease = policy == "cohort+lease";
+    run.configure = [lease](MachineConfig& cfg) { cfg.leases_enabled = lease; };
+    run.build = [spec, lease](Machine& m) {
+      auto lock = std::make_shared<CohortTicketLock>(
+          m, CohortOptions{.cluster_size = 8, .use_lease = lease});
+      auto counter = std::make_shared<Addr>(m.heap().alloc_line());
+      auto sh = std::make_shared<Shared>();
+      const Cycle cs_work = spec.cs_work;
+      sh->op_a = [lock, counter, cs_work](Ctx& ctx, Rng&) -> Task<void> {
+        co_await lock->lock(ctx);
+        const std::uint64_t v = co_await ctx.load(*counter);
+        if (cs_work > 0) co_await ctx.work(cs_work);
+        co_await ctx.store(*counter, v + 1);
+        co_await lock->unlock(ctx);
+        ctx.count_op();
+      };
+      return finish_build(spec, m, sh);
+    };
+    return run;
+  }
+  CounterLockKind kind;
+  if (policy == "tts") kind = CounterLockKind::kTTS;
+  else if (policy == "tts+lease") kind = CounterLockKind::kTTSLease;
+  else if (policy == "ticket") kind = CounterLockKind::kTicket;
+  else if (policy == "clh") kind = CounterLockKind::kCLH;
+  else if (policy == "mcs") kind = CounterLockKind::kMCS;
+  else throw std::invalid_argument("unknown counter policy `" + policy + "`");
+  // The legacy fig3_counter enables leases for every LockedCounter variant
+  // (only the tts+lease lock actually takes any); preserved for replay parity.
+  run.configure = [](MachineConfig& cfg) { cfg.leases_enabled = true; };
+  run.build = [spec, kind](Machine& m) {
+    auto counter = std::make_shared<LockedCounter>(m, kind, spec.cs_work);
+    auto sh = std::make_shared<Shared>();
+    sh->op_a = [counter](Ctx& ctx, Rng&) -> Task<void> { co_await counter->increment(ctx); };
+    return finish_build(spec, m, sh);
+  };
+  return run;
+}
+
+// --- treiber_stack ----------------------------------------------------------
+
+const std::vector<std::string> kStackPolicies = {"base", "lease", "backoff"};
+
+WorkloadRun make_stack(const WorkloadSpec& spec, const std::string& policy) {
+  TreiberOptions opt;
+  if (policy == "lease") opt.use_lease = true;
+  else if (policy == "backoff") opt.use_backoff = true;
+  else if (policy != "base") throw std::invalid_argument("unknown treiber_stack policy `" + policy + "`");
+  WorkloadRun run;
+  const bool leases = opt.use_lease;
+  run.configure = [leases](MachineConfig& cfg) { cfg.leases_enabled = leases; };
+  run.build = [spec, opt](Machine& m) {
+    auto stack = std::make_shared<TreiberStack>(m, opt);
+    const int prefill = resolved_prefill(spec);
+    m.spawn(0, [stack, prefill](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < prefill; ++i)
+        co_await stack->push(ctx, static_cast<std::uint64_t>(i + 1));
+    });
+    m.run();
+    auto sh = std::make_shared<Shared>();
+    sh->op_a = [stack](Ctx& ctx, Rng&) -> Task<void> { co_await stack->push(ctx, kPayload); };
+    sh->op_b = [stack](Ctx& ctx, Rng&) -> Task<void> { co_await stack->pop(ctx); };
+    return finish_build(spec, m, sh);
+  };
+  return run;
+}
+
+// --- ms_queue ---------------------------------------------------------------
+
+const std::vector<std::string> kQueuePolicies = {
+    "base", "lease", "multi-lease", "lease-nextptr", "backoff", "two-lock", "two-lock+lease"};
+
+WorkloadRun make_queue(const WorkloadSpec& spec, const std::string& policy) {
+  WorkloadRun run;
+  if (policy == "two-lock" || policy == "two-lock+lease") {
+    const bool lease = policy == "two-lock+lease";
+    run.configure = [lease](MachineConfig& cfg) { cfg.leases_enabled = lease; };
+    run.build = [spec, lease](Machine& m) {
+      auto q = std::make_shared<TwoLockQueue>(m, TwoLockQueueOptions{.use_lease = lease});
+      const int prefill = resolved_prefill(spec);
+      m.spawn(0, [q, prefill](Ctx& ctx) -> Task<void> {
+        for (int i = 0; i < prefill; ++i)
+          co_await q->enqueue(ctx, static_cast<std::uint64_t>(i + 1));
+      });
+      m.run();
+      auto sh = std::make_shared<Shared>();
+      sh->op_a = [q](Ctx& ctx, Rng&) -> Task<void> { co_await q->enqueue(ctx, kPayload); };
+      sh->op_b = [q](Ctx& ctx, Rng&) -> Task<void> { co_await q->dequeue(ctx); };
+      return finish_build(spec, m, sh);
+    };
+    return run;
+  }
+  MsQueueOptions opt;
+  if (policy == "base") opt.lease_mode = QueueLeaseMode::kNone;
+  else if (policy == "lease") opt.lease_mode = QueueLeaseMode::kSingle;
+  else if (policy == "multi-lease") opt.lease_mode = QueueLeaseMode::kMulti;
+  else if (policy == "lease-nextptr") opt.lease_mode = QueueLeaseMode::kNextPtr;
+  else if (policy == "backoff") opt.use_backoff = true;
+  else throw std::invalid_argument("unknown ms_queue policy `" + policy + "`");
+  const bool leases = opt.lease_mode != QueueLeaseMode::kNone;
+  run.configure = [leases](MachineConfig& cfg) { cfg.leases_enabled = leases; };
+  run.build = [spec, opt](Machine& m) {
+    auto q = std::make_shared<MsQueue>(m, opt);
+    const int prefill = resolved_prefill(spec);
+    m.spawn(0, [q, prefill](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < prefill; ++i)
+        co_await q->enqueue(ctx, static_cast<std::uint64_t>(i + 1));
+    });
+    m.run();
+    auto sh = std::make_shared<Shared>();
+    sh->op_a = [q](Ctx& ctx, Rng&) -> Task<void> { co_await q->enqueue(ctx, kPayload); };
+    sh->op_b = [q](Ctx& ctx, Rng&) -> Task<void> { co_await q->dequeue(ctx); };
+    return finish_build(spec, m, sh);
+  };
+  return run;
+}
+
+// --- skiplist_pq ------------------------------------------------------------
+
+const std::vector<std::string> kPqPolicies = {"lotan", "global-lock", "global-lock+lease", "spray"};
+
+/// Priorities are 1 + key so key 0 never collides with the skiplist head
+/// sentinel — exactly the legacy benches' `1 + next_below(1 << 16)` when the
+/// spec says uniform over 2^16 keys.
+template <typename Pq>
+std::function<std::function<Task<void>(Ctx&, int)>(Machine&)> pq_build(
+    const WorkloadSpec& spec, PhaseLog* phase_log,
+    std::function<std::shared_ptr<Pq>(Machine&)> make_pq) {
+  return [spec, phase_log, make_pq](Machine& m) {
+    auto pq = make_pq(m);
+    auto sampler = make_sampler(spec, m, phase_log);
+    const int prefill = resolved_prefill(spec);
+    m.spawn(0, [pq, sampler, prefill](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < prefill; ++i)
+        co_await pq->insert(ctx, 1 + sampler->sample(ctx.rng(), ctx.now(), ctx.core()));
+    });
+    m.run();
+    auto sh = std::make_shared<Shared>();
+    sh->sampler = sampler;
+    sh->op_a = [pq, sampler](Ctx& ctx, Rng& rng) -> Task<void> {
+      co_await pq->insert(ctx, 1 + sampler->sample(rng, ctx.now(), ctx.core()));
+    };
+    sh->op_b = [pq](Ctx& ctx, Rng&) -> Task<void> { co_await pq->delete_min(ctx); };
+    return finish_build(spec, m, sh);
+  };
+}
+
+WorkloadRun make_pq(const WorkloadSpec& spec, const std::string& policy, PhaseLog* phase_log) {
+  WorkloadRun run;
+  if (policy == "lotan") {
+    run.configure = [](MachineConfig& cfg) { cfg.leases_enabled = false; };
+    run.build = pq_build<LotanShavitPq>(spec, phase_log, [](Machine& m) {
+      return std::make_shared<LotanShavitPq>(m);
+    });
+  } else if (policy == "global-lock" || policy == "global-lock+lease") {
+    const bool lease = policy == "global-lock+lease";
+    run.configure = [lease](MachineConfig& cfg) { cfg.leases_enabled = lease; };
+    run.build = pq_build<GlobalLockSkiplistPq>(spec, phase_log, [lease](Machine& m) {
+      return std::make_shared<GlobalLockSkiplistPq>(m, lease);
+    });
+  } else if (policy == "spray") {
+    run.configure = [](MachineConfig& cfg) { cfg.leases_enabled = false; };
+    run.build = pq_build<SprayList>(spec, phase_log, [](Machine& m) {
+      return std::make_shared<SprayList>(m);
+    });
+  } else {
+    throw std::invalid_argument("unknown skiplist_pq policy `" + policy + "`");
+  }
+  return run;
+}
+
+const std::vector<std::string> kStructures = {"counter", "treiber_stack", "ms_queue",
+                                              "skiplist_pq"};
+
+}  // namespace
+
+WorkloadRun make_workload(const WorkloadSpec& spec, const std::string& policy,
+                          PhaseLog* phase_log) {
+  spec.validate();
+  if (spec.ds == "counter") return make_counter(spec, policy);
+  if (spec.ds == "treiber_stack") return make_stack(spec, policy);
+  if (spec.ds == "ms_queue") return make_queue(spec, policy);
+  if (spec.ds == "skiplist_pq") return make_pq(spec, policy, phase_log);
+  std::string known;
+  for (const auto& s : kStructures) known += (known.empty() ? "" : ", ") + s;
+  throw std::invalid_argument("unknown workload ds `" + spec.ds + "` (registered: " + known + ")");
+}
+
+const std::vector<std::string>& registered_structures() { return kStructures; }
+
+const std::vector<std::string>& policies_for(const std::string& ds) {
+  if (ds == "counter") return kCounterPolicies;
+  if (ds == "treiber_stack") return kStackPolicies;
+  if (ds == "ms_queue") return kQueuePolicies;
+  if (ds == "skiplist_pq") return kPqPolicies;
+  throw std::invalid_argument("unknown workload ds `" + ds + "`");
+}
+
+}  // namespace lrsim::workload

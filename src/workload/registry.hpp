@@ -1,0 +1,72 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Registry of data structures runnable under the declarative workload
+// frontend (docs/WORKLOADS.md). Each registered structure exposes a set of
+// *policies* — CAS/lock baselines vs their lease-accelerated variants — and
+// a two-op mix whose PRNG draw sequence exactly matches the legacy fig
+// bench loops, so a workload spec can reproduce fig2_stack / fig3_counter /
+// fig3_queue / fig3_pq byte-for-byte (tests/workload_equiv_test.cpp).
+//
+//   WorkloadSpec spec;             // or parse_workload_spec(config)
+//   spec.ds = "treiber_stack";
+//   WorkloadRun run = make_workload(spec, "lease");
+//   MachineConfig cfg; cfg.num_cores = 8; run.configure(cfg);
+//   Machine m{cfg, seed};
+//   auto worker = run.build(m);    // prefills on m
+//   for (int t = 0; t < 8; ++t) m.spawn(t, [&, t](Ctx& c) { return worker(c, t); });
+//   m.run();
+//
+// Structures / policies / op mixes (op A / op B):
+//
+//   counter      inc / —              tts, tts+lease, ticket, clh, mcs,
+//                                     cohort-ticket, cohort+lease
+//   treiber_stack push / pop          base, lease, backoff
+//   ms_queue     enq / deq            base, lease, multi-lease,
+//                                     lease-nextptr, backoff,
+//                                     two-lock, two-lock+lease
+//   skiplist_pq  insert / delete_min  lotan, global-lock,
+//                                     global-lock+lease, spray
+//
+// Key distributions apply to the keyed structure (skiplist_pq priorities);
+// counter/stack/queue are keyless and draw no keys — preserving the legacy
+// draw sequences is what makes byte-identical replay possible.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/machine.hpp"
+#include "runtime/task.hpp"
+#include "workload/dist.hpp"
+#include "workload/spec.hpp"
+
+namespace lrsim::workload {
+
+/// One (spec, policy) instantiation, ready to run on a Machine.
+struct WorkloadRun {
+  /// Machine knobs this policy needs (e.g. leases_enabled). Apply before
+  /// constructing the Machine.
+  std::function<void(MachineConfig&)> configure;
+
+  /// Builds the data structure on `m` (running any prefill to completion)
+  /// and returns the per-core worker. The worker for core t drives the
+  /// clients assigned to t (client id ≡ t mod num_cores).
+  std::function<std::function<Task<void>(Ctx&, int)>(Machine&)> build;
+};
+
+/// Instantiates `spec` under `policy`. Throws std::invalid_argument for an
+/// unknown structure/policy or a spec the structure cannot run (e.g. a
+/// closed loop with clients != cores). `phase_log`, when non-null, is
+/// resized to the machine's core count at build time and records
+/// shifting-phase transitions (tests/workload_determinism_test.cpp).
+WorkloadRun make_workload(const WorkloadSpec& spec, const std::string& policy,
+                          PhaseLog* phase_log = nullptr);
+
+/// Registered structure names, in registry order.
+const std::vector<std::string>& registered_structures();
+
+/// Policy names for one structure (throws for unknown structures).
+const std::vector<std::string>& policies_for(const std::string& ds);
+
+}  // namespace lrsim::workload

@@ -1,0 +1,134 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// WorkloadSpec: the declarative description one workload run executes —
+// which registered data structure, which op mix, key distribution, arrival
+// process, and how many simulated clients. Parsed from the [workload]
+// section of a config file (docs/WORKLOADS.md) or assembled in code by the
+// refactored fig benches; either path produces the identical run.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "workload/arrival.hpp"
+#include "workload/config.hpp"
+#include "workload/dist.hpp"
+
+namespace lrsim::workload {
+
+struct WorkloadSpec {
+  std::string ds = "counter";  ///< Registered structure (registry.hpp).
+
+  /// Fraction of "op A" in the two-op mix. Per structure, op A / op B are:
+  /// counter: inc / —, treiber_stack: push / pop, ms_queue: enq / deq,
+  /// skiplist_pq: insert / delete_min. Single-op structures ignore it (and
+  /// the driver draws nothing, preserving the legacy PRNG sequences).
+  double mix = 0.5;
+
+  std::uint64_t key_range = 1 << 16;  ///< Keys in [0, key_range).
+  DistSpec dist;                      ///< Key-access distribution.
+  ArrivalSpec arrival;                ///< Closed loop by default.
+
+  /// Simulated clients multiplexed onto the cores (round-robin by client
+  /// id). 0 = one client per core. Closed-loop runs require exactly one
+  /// client per core (the client *is* the thread); open-loop runs may
+  /// multiplex arbitrarily many.
+  int clients = 0;
+
+  int ops = 100;         ///< Operations per client.
+  Cycle think = 40;      ///< Closed loop: max random local work between ops.
+  int prefill = -1;      ///< Elements inserted before timing; -1 = ds default.
+  Cycle cs_work = 0;     ///< counter: extra cycles inside the critical section.
+  std::uint64_t seed = 1;  ///< Per-client PRNG streams (open loop).
+
+  void validate() const {
+    if (!(mix >= 0.0 && mix <= 1.0)) throw std::invalid_argument("mix must be in [0, 1]");
+    if (clients < 0) throw std::invalid_argument("clients must be >= 0");
+    if (ops < 0) throw std::invalid_argument("ops must be >= 0");
+    arrival.validate();
+  }
+};
+
+/// Parses "a/b" (percent split, e.g. "90/10"), a bare fraction ("0.9"), or
+/// a bare percentage ("90") into the op-A fraction.
+inline double parse_mix(const std::string& text) {
+  const auto slash = text.find('/');
+  try {
+    if (slash != std::string::npos) {
+      const double a = std::stod(text.substr(0, slash));
+      const double b = std::stod(text.substr(slash + 1));
+      if (a < 0 || b < 0 || a + b <= 0) throw std::invalid_argument(text);
+      return a / (a + b);
+    }
+    const double v = std::stod(text);
+    if (v < 0) throw std::invalid_argument(text);
+    return v > 1.0 ? v / 100.0 : v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad mix `" + text + "` (want `90/10`, a fraction, or a percent)");
+  }
+}
+
+/// Renders the mix for CSV axes, inverse of parse_mix ("90/10" style).
+inline std::string mix_string(double frac) {
+  std::ostringstream os;
+  const double a = frac * 100.0;
+  os << static_cast<std::int64_t>(a + 0.5) << "/" << static_cast<std::int64_t>(100.5 - a);
+  return os.str();
+}
+
+inline DistKind parse_dist_kind(const std::string& name) {
+  if (name == "uniform") return DistKind::kUniform;
+  if (name == "zipf") return DistKind::kZipf;
+  if (name == "hotspot") return DistKind::kHotspot;
+  throw std::invalid_argument("unknown dist `" + name + "` (uniform, zipf, hotspot)");
+}
+
+inline ArrivalKind parse_arrival_kind(const std::string& name) {
+  if (name == "closed") return ArrivalKind::kClosed;
+  if (name == "fixed") return ArrivalKind::kFixed;
+  if (name == "poisson") return ArrivalKind::kPoisson;
+  throw std::invalid_argument("unknown arrival `" + name + "` (closed, fixed, poisson)");
+}
+
+/// Parses the [workload] section. Unknown keys fail loudly (typo guard,
+/// same contract as FlagSet); `policies` is read by the sweep layer and
+/// allowed here.
+inline WorkloadSpec parse_workload_spec(const ConfigFile& cfg, const std::string& section = "workload") {
+  static const std::vector<std::string> kKnown = {
+      "ds",     "policies", "mix",        "keys",      "dist",    "theta",
+      "hot_frac", "hot_prob", "shift_every", "shift_by", "arrival", "period",
+      "clients", "ops",     "think",      "prefill",   "cs_work", "seed"};
+  for (const std::string& k : cfg.keys(section)) {
+    bool known = false;
+    for (const std::string& ok : kKnown) known = known || (k == ok);
+    if (!known)
+      throw std::invalid_argument(cfg.origin() + ": unknown [" + section + "] key `" + k + "`");
+  }
+
+  WorkloadSpec spec;
+  spec.ds = cfg.get(section, "ds", spec.ds);
+  if (cfg.has(section, "mix")) spec.mix = parse_mix(cfg.get(section, "mix"));
+  spec.key_range = static_cast<std::uint64_t>(
+      cfg.get_int(section, "keys", static_cast<std::int64_t>(spec.key_range)));
+  spec.dist.kind = parse_dist_kind(cfg.get(section, "dist", "uniform"));
+  spec.dist.theta = cfg.get_double(section, "theta", spec.dist.theta);
+  spec.dist.hot_frac = cfg.get_double(section, "hot_frac", spec.dist.hot_frac);
+  spec.dist.hot_prob = cfg.get_double(section, "hot_prob", spec.dist.hot_prob);
+  spec.dist.shift_every = static_cast<Cycle>(cfg.get_int(section, "shift_every", 0));
+  spec.dist.shift_by = static_cast<std::uint64_t>(cfg.get_int(section, "shift_by", 0));
+  spec.arrival.kind = parse_arrival_kind(cfg.get(section, "arrival", "closed"));
+  spec.arrival.period = static_cast<Cycle>(cfg.get_int(section, "period", 0));
+  spec.clients = static_cast<int>(cfg.get_int(section, "clients", spec.clients));
+  spec.ops = static_cast<int>(cfg.get_int(section, "ops", spec.ops));
+  spec.think = static_cast<Cycle>(cfg.get_int(section, "think", static_cast<std::int64_t>(spec.think)));
+  spec.prefill = static_cast<int>(cfg.get_int(section, "prefill", spec.prefill));
+  spec.cs_work = static_cast<Cycle>(cfg.get_int(section, "cs_work", 0));
+  spec.seed = static_cast<std::uint64_t>(cfg.get_int(section, "seed", static_cast<std::int64_t>(spec.seed)));
+  spec.validate();
+  return spec;
+}
+
+}  // namespace lrsim::workload

@@ -1,0 +1,147 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Golden-file pin of the workload-sweep CSV schema (bench/sweep.hpp).
+// The header is consumed by scripts/bench_check.py --sweep, the CI
+// workload-sweep job, and any committed plotting baselines: columns may be
+// *appended*, but renaming or reordering breaks every consumer — changing
+// tests/golden/sweep_csv_header.golden is the deliberate act that
+// acknowledges that. Also validates a real in-process sweep row by row,
+// including the sim_build_type context column.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/sweep.hpp"
+
+#ifndef LRSIM_SOURCE_DIR
+#define LRSIM_SOURCE_DIR "."
+#endif
+
+namespace lrsim::bench {
+namespace {
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  EXPECT_TRUE(f) << "cannot open " << p;
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream in{line};
+  while (std::getline(in, field, ',')) out.push_back(field);
+  return out;
+}
+
+std::string joined_header() {
+  std::string h;
+  for (const std::string& c : sweep_csv_header()) h += (h.empty() ? "" : ",") + c;
+  return h;
+}
+
+TEST(SweepCsvGolden, HeaderMatchesGoldenFile) {
+  const std::string golden =
+      read_file(std::filesystem::path(LRSIM_SOURCE_DIR) / "tests/golden/sweep_csv_header.golden");
+  EXPECT_EQ(golden, joined_header() + "\n")
+      << "sweep CSV schema changed; if the change is append-only and every "
+         "consumer (scripts/bench_check.py SWEEP_HEADER, docs/WORKLOADS.md) "
+         "is updated, refresh tests/golden/sweep_csv_header.golden";
+}
+
+TEST(SweepCsvGolden, PythonGateAgreesOnTheSchema) {
+  // bench_check.py --sweep validates against its own SWEEP_HEADER copy;
+  // keep the two spellings of the schema from drifting apart.
+  const std::string py =
+      read_file(std::filesystem::path(LRSIM_SOURCE_DIR) / "scripts/bench_check.py");
+  for (const std::string& col : sweep_csv_header()) {
+    EXPECT_NE(py.find("\"" + col + "\""), std::string::npos)
+        << "column `" << col << "` missing from bench_check.py SWEEP_HEADER";
+  }
+}
+
+TEST(SweepCsvGolden, CiSweepConfigExpandsToTheFullMatrix) {
+  const auto cfg = workload::ConfigFile::parse_file(
+      (std::filesystem::path(LRSIM_SOURCE_DIR) / "configs/ci_sweep.toml").string());
+  const SweepConfig sc = parse_sweep_config(cfg);
+  const std::vector<SweepPoint> points = expand_sweep(sc);
+  // 2 policies x 2 thread counts x 2 mixes — the documented CI matrix.
+  EXPECT_GE(points.size(), 8u);
+  EXPECT_EQ(points.size(), sc.policies.size() * sc.threads.size() * sc.keys.size() * sc.mixes.size());
+}
+
+TEST(SweepCsvGolden, InProcessSweepEmitsSchemaStableRows) {
+  const auto cfg = workload::ConfigFile::parse_string(R"(
+[workload]
+ds = treiber_stack
+policies = base, lease
+ops = 10
+[sweep]
+threads = 2, 4
+)",
+                                                      "<test>");
+  const SweepConfig sc = parse_sweep_config(cfg);
+  const std::vector<SweepRow> rows = run_sweep(sc);
+  ASSERT_EQ(rows.size(), 4u);
+
+  std::ostringstream os;
+  sweep_csv_table(rows).write_csv(os);
+  std::istringstream in{os.str()};
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, joined_header());
+
+  const std::size_t ncols = sweep_csv_header().size();
+  std::size_t data_rows = 0;
+  while (std::getline(in, line)) {
+    const std::vector<std::string> f = split_csv_line(line);
+    ASSERT_EQ(f.size(), ncols) << line;
+    EXPECT_EQ(f[0], "treiber_stack");
+    EXPECT_TRUE(f[1] == "base" || f[1] == "lease") << f[1];
+    EXPECT_GT(std::stoi(f[2]), 0);                   // threads
+    EXPECT_EQ(f[2], f[3]);                           // closed loop: clients == threads
+    EXPECT_EQ(f[8], "closed");
+    EXPECT_EQ(f[9], "-");                            // no arrival param
+    EXPECT_GT(std::stoull(f[11]), 0u);               // ops completed
+    EXPECT_GT(std::stod(f[13]), 0.0);                // mops_per_sec
+#ifdef NDEBUG
+    EXPECT_EQ(f.back(), "release");
+#else
+    EXPECT_EQ(f.back(), "debug");
+#endif
+    ++data_rows;
+  }
+  EXPECT_EQ(data_rows, 4u);
+}
+
+TEST(SweepCsvGolden, SweepParserRejectsTypos) {
+  const auto bad_key = workload::ConfigFile::parse_string(R"(
+[workload]
+ds = counter
+[sweep]
+thredas = 2
+)");
+  EXPECT_THROW(parse_sweep_config(bad_key), std::invalid_argument);
+  const auto bad_policy = workload::ConfigFile::parse_string(R"(
+[workload]
+ds = counter
+policies = tts, no-such-lock
+)");
+  EXPECT_THROW(parse_sweep_config(bad_policy), std::invalid_argument);
+  const auto bad_thread = workload::ConfigFile::parse_string(R"(
+[workload]
+ds = counter
+[sweep]
+threads = 2, zero
+)");
+  EXPECT_THROW(parse_sweep_config(bad_thread), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lrsim::bench

@@ -1,0 +1,221 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Statistical verification of the workload generators (src/workload/):
+// chi-square goodness-of-fit of the uniform / zipf / hotspot key samplers
+// against their analytic pmfs at fixed seeds, mean/CV checks of the
+// exponential (poisson-arrival) gap sampler, and the parameter-validation
+// guard rails. Every test is seeded, so they are deterministic — "flaky at
+// p = 0.999" cannot happen twice with the same bits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/arrival.hpp"
+#include "workload/dist.hpp"
+
+namespace lrsim::workload {
+namespace {
+
+/// Wilson–Hilferty approximation of the chi-square quantile: accurate to a
+/// few percent for df >= 3, which is far finer than the pass/fail margin of
+/// a goodness-of-fit gate at p = 0.999 (z = 3.090232).
+double chi2_crit(double df, double z = 3.090232) {
+  const double a = 2.0 / (9.0 * df);
+  const double t = 1.0 - a + z * std::sqrt(a);
+  return df * t * t * t;
+}
+
+/// Draws n keys and returns the chi-square statistic of the observed counts
+/// against `pmf_of` (defaults to the sampler's own analytic pmf). Asserts
+/// the classic validity rule (every expected cell count >= 5).
+double chi2_stat(KeySampler& s, Rng& rng, int n, const KeySampler* pmf_of = nullptr) {
+  if (pmf_of == nullptr) pmf_of = &s;
+  std::vector<std::uint64_t> counts(s.range(), 0);
+  for (int i = 0; i < n; ++i) ++counts[s.sample(rng)];
+  double stat = 0;
+  for (std::uint64_t k = 0; k < s.range(); ++k) {
+    const double expect = pmf_of->pmf(k) * n;
+    EXPECT_GE(expect, 5.0) << "cell " << k << " too thin for a chi-square test";
+    const double d = static_cast<double>(counts[k]) - expect;
+    stat += d * d / expect;
+  }
+  return stat;
+}
+
+void expect_pmf_sums_to_one(const KeySampler& s) {
+  double sum = 0;
+  for (std::uint64_t k = 0; k < s.range(); ++k) sum += s.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+constexpr std::uint64_t kRange = 64;
+constexpr int kDraws = 100000;
+
+TEST(WorkloadDist, UniformPassesChiSquare) {
+  KeySampler s{DistSpec{}, kRange};
+  expect_pmf_sums_to_one(s);
+  Rng rng{42};
+  EXPECT_LT(chi2_stat(s, rng, kDraws), chi2_crit(kRange - 1));
+}
+
+TEST(WorkloadDist, ZipfPassesChiSquare) {
+  for (const double theta : {0.5, 0.99, 1.5}) {
+    DistSpec spec;
+    spec.kind = DistKind::kZipf;
+    spec.theta = theta;
+    KeySampler s{spec, kRange};
+    expect_pmf_sums_to_one(s);
+    Rng rng{42};
+    EXPECT_LT(chi2_stat(s, rng, kDraws), chi2_crit(kRange - 1)) << "theta=" << theta;
+  }
+}
+
+TEST(WorkloadDist, HotspotPassesChiSquare) {
+  DistSpec spec;
+  spec.kind = DistKind::kHotspot;
+  spec.hot_frac = 0.1;
+  spec.hot_prob = 0.9;
+  KeySampler s{spec, kRange};
+  expect_pmf_sums_to_one(s);
+  Rng rng{42};
+  EXPECT_LT(chi2_stat(s, rng, kDraws), chi2_crit(kRange - 1));
+}
+
+TEST(WorkloadDist, ChiSquareGateHasTeeth) {
+  // Negative control: zipf(0.99) samples scored against the *uniform* pmf
+  // must blow far past the critical value — otherwise the gate above would
+  // also pass a broken sampler.
+  DistSpec spec;
+  spec.kind = DistKind::kZipf;
+  spec.theta = 0.99;
+  KeySampler zipf{spec, kRange};
+  KeySampler uniform{DistSpec{}, kRange};
+  Rng rng{42};
+  EXPECT_GT(chi2_stat(zipf, rng, kDraws, &uniform), 10.0 * chi2_crit(kRange - 1));
+}
+
+TEST(WorkloadDist, ZipfFavorsSmallKeys) {
+  DistSpec spec;
+  spec.kind = DistKind::kZipf;
+  spec.theta = 0.99;
+  KeySampler s{spec, kRange};
+  EXPECT_GT(s.pmf(0), s.pmf(1));
+  EXPECT_GT(s.pmf(1), s.pmf(kRange - 1));
+  Rng rng{7};
+  int zeros = 0;
+  for (int i = 0; i < kDraws; ++i) zeros += s.sample(rng) == 0;
+  // pmf(0) ~= 0.21 at theta 0.99 over 64 keys; check the empirical rate.
+  EXPECT_NEAR(static_cast<double>(zeros) / kDraws, s.pmf(0), 0.01);
+}
+
+TEST(WorkloadDist, HotspotHitsHotSetAtTheConfiguredRate) {
+  DistSpec spec;
+  spec.kind = DistKind::kHotspot;
+  spec.hot_frac = 0.1;  // 64 keys -> 7 hot
+  spec.hot_prob = 0.9;
+  KeySampler s{spec, kRange};
+  Rng rng{11};
+  int hot = 0;
+  for (int i = 0; i < kDraws; ++i) hot += s.sample(rng) < 7;
+  EXPECT_NEAR(static_cast<double>(hot) / kDraws, 0.9, 0.01);
+}
+
+TEST(WorkloadDist, ShiftingPhaseRelabelsKeysDeterministically) {
+  DistSpec base;
+  DistSpec shifted = base;
+  shifted.shift_every = 100;
+  shifted.shift_by = 3;
+  PhaseLog log{1};
+  KeySampler plain{base, 10};
+  KeySampler moving{shifted, 10, /*num_cores=*/1, &log};
+  Rng a{5}, b{5};
+  // Phase 2 (now = 250): every key is the plain draw rotated by 2 * 3.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(moving.sample(a, /*now=*/250, /*core=*/0), (plain.sample(b) + 6) % 10);
+  }
+  // The phase *change* (0 -> 2) was observed once, at the first sample.
+  ASSERT_EQ(log.per_core.size(), 1u);
+  ASSERT_EQ(log.per_core[0].size(), 1u);
+  EXPECT_EQ(log.per_core[0][0], 250u);
+}
+
+TEST(WorkloadDist, SameSeedSameKeySequence) {
+  DistSpec spec;
+  spec.kind = DistKind::kZipf;
+  spec.theta = 0.99;
+  KeySampler s1{spec, kRange}, s2{spec, kRange};
+  Rng a{123}, b{123};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(s1.sample(a), s2.sample(b));
+}
+
+TEST(WorkloadDist, ParameterValidation) {
+  EXPECT_THROW(KeySampler(DistSpec{}, 0), std::invalid_argument);
+  DistSpec zipf;
+  zipf.kind = DistKind::kZipf;
+  zipf.theta = 0.0;
+  EXPECT_THROW(KeySampler(zipf, kRange), std::invalid_argument);
+  zipf.theta = 0.99;
+  EXPECT_THROW(KeySampler(zipf, KeySampler::kMaxTableRange + 1), std::invalid_argument);
+  DistSpec hot;
+  hot.kind = DistKind::kHotspot;
+  hot.hot_frac = 0.0;
+  EXPECT_THROW(KeySampler(hot, kRange), std::invalid_argument);
+  hot.hot_frac = 0.1;
+  hot.hot_prob = 1.5;
+  EXPECT_THROW(KeySampler(hot, kRange), std::invalid_argument);
+}
+
+// --- arrival processes ------------------------------------------------------
+
+TEST(WorkloadArrival, FixedGapIsThePeriod) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kFixed;
+  spec.period = 37;
+  Rng rng{1};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(next_gap(spec, rng), 37u);
+}
+
+TEST(WorkloadArrival, ExponentialGapMeanAndCvMatch) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kPoisson;
+  spec.period = 100;
+  Rng rng{99};
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = static_cast<double>(next_gap(spec, rng));
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  const double cv = std::sqrt(var) / mean;
+  // Exponential with mean 100: standard error of the mean is ~0.22 cycles
+  // over 200k draws, so a +/-2 cycle window is ~9 sigma yet still tight
+  // enough to catch an off-by-half-period or a wrong-rate bug.
+  EXPECT_NEAR(mean, 100.0, 2.0);
+  EXPECT_NEAR(cv, 1.0, 0.02);  // the exponential's CV is exactly 1
+}
+
+TEST(WorkloadArrival, ExponentialGapIsSeedDeterministic) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kPoisson;
+  spec.period = 50;
+  Rng a{7}, b{7};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(next_gap(spec, a), next_gap(spec, b));
+}
+
+TEST(WorkloadArrival, ClosedLoopHasNoGap) {
+  ArrivalSpec closed;
+  Rng rng{1};
+  EXPECT_THROW(next_gap(closed, rng), std::logic_error);
+  ArrivalSpec open;
+  open.kind = ArrivalKind::kFixed;
+  open.period = 0;
+  EXPECT_THROW(open.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lrsim::workload

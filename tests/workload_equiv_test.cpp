@@ -1,0 +1,263 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Equivalence regression: the fig benches now build their variants through
+// the workload registry (src/workload/), and this test pins that refactor
+// byte-for-byte. The reference implementations below are verbatim copies of
+// the *pre-registry* bench loops (fig2_stack / fig3_counter / fig3_pq as
+// hand-written workers); the candidate side parses a workload config string
+// — the same format configs/*.toml use — and runs workload_variant()s. Both
+// sides go through run_experiment with captured stdout; every table byte,
+// including cycle counts, must match. A PRNG draw added or dropped anywhere
+// in the workload layer shows up here as a diff.
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "ds/counter.hpp"
+#include "ds/skiplist_pq.hpp"
+#include "ds/spraylist.hpp"
+#include "ds/treiber_stack.hpp"
+#include "sync/cohort_lock.hpp"
+
+namespace lrsim::bench {
+namespace {
+
+constexpr int kPrefill = 256;
+
+std::string run_captured(const std::string& title, const std::vector<Variant>& variants,
+                         const BenchOptions& opt) {
+  std::ostringstream captured;
+  std::streambuf* old = std::cout.rdbuf(captured.rdbuf());
+  try {
+    run_experiment(title, "equiv", variants, opt);
+  } catch (...) {
+    std::cout.rdbuf(old);
+    throw;
+  }
+  std::cout.rdbuf(old);
+  return captured.str();
+}
+
+BenchOptions small_opt(int ops) {
+  BenchOptions opt;
+  opt.threads = {2, 4};
+  opt.ops_per_thread = ops;
+  opt.csv_dir.clear();
+  return opt;
+}
+
+std::vector<Variant> config_variants(const std::string& config_text,
+                                     const std::vector<std::pair<std::string, std::string>>& policies) {
+  const auto cfg = workload::ConfigFile::parse_string(config_text, "<test>");
+  const workload::WorkloadSpec spec = workload::parse_workload_spec(cfg);
+  std::vector<Variant> vs;
+  for (const auto& [policy, display] : policies) {
+    vs.push_back(workload_variant(spec, policy, display));
+  }
+  return vs;
+}
+
+// --- legacy fig2_stack (pre-registry), copied verbatim ----------------------
+
+Variant legacy_stack_variant(std::string name, bool leases, bool backoff) {
+  Variant v;
+  v.name = std::move(name);
+  v.configure = [leases](MachineConfig& cfg) { cfg.leases_enabled = leases; };
+  v.make = [leases, backoff](Machine& m, const BenchOptions& opt) {
+    auto stack = std::make_shared<TreiberStack>(
+        m, TreiberOptions{.use_lease = leases, .use_backoff = backoff});
+    m.spawn(0, [stack](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < kPrefill; ++i) co_await stack->push(ctx, static_cast<std::uint64_t>(i + 1));
+    });
+    m.run();
+    return [stack, &opt](Ctx& ctx, int) -> Task<void> {
+      for (int i = 0; i < opt.ops_per_thread; ++i) {
+        if (ctx.rng().next_bool(0.5)) {
+          co_await stack->push(ctx, 7);
+        } else {
+          co_await stack->pop(ctx);
+        }
+        co_await think(ctx, opt);
+      }
+    };
+  };
+  return v;
+}
+
+TEST(WorkloadEquiv, Fig2StackConfigReproducesLegacyBytes) {
+  const BenchOptions opt = small_opt(20);
+  const std::string title = "fig2 equivalence";
+  const std::string legacy = run_captured(
+      title, {legacy_stack_variant("base", false, false), legacy_stack_variant("lease", true, false)},
+      opt);
+  const std::string via_config = run_captured(title,
+                                              config_variants(R"(
+[workload]
+ds = treiber_stack
+mix = 50/50
+)",
+                                                              {{"base", ""}, {"lease", ""}}),
+                                              opt);
+  EXPECT_EQ(legacy, via_config);
+}
+
+// --- legacy fig3_counter (pre-registry), copied verbatim --------------------
+
+Variant legacy_counter_variant(std::string name, CounterLockKind kind, Cycle cs_work) {
+  Variant v;
+  v.name = std::move(name);
+  v.configure = [](MachineConfig& cfg) { cfg.leases_enabled = true; };
+  v.make = [kind, cs_work](Machine& m, const BenchOptions& opt) {
+    auto counter = std::make_shared<LockedCounter>(m, kind, cs_work);
+    return [counter, &opt](Ctx& ctx, int) -> Task<void> {
+      for (int i = 0; i < opt.ops_per_thread; ++i) {
+        co_await counter->increment(ctx);
+        co_await think(ctx, opt);
+      }
+    };
+  };
+  return v;
+}
+
+Variant legacy_cohort_variant(std::string name, bool lease, Cycle cs_work) {
+  Variant v;
+  v.name = std::move(name);
+  v.configure = [lease](MachineConfig& cfg) { cfg.leases_enabled = lease; };
+  v.make = [lease, cs_work](Machine& m, const BenchOptions& opt) {
+    auto lock = std::make_shared<CohortTicketLock>(
+        m, CohortOptions{.cluster_size = 8, .use_lease = lease});
+    auto counter = std::make_shared<Addr>(m.heap().alloc_line());
+    return [lock, counter, cs_work, &opt](Ctx& ctx, int) -> Task<void> {
+      for (int i = 0; i < opt.ops_per_thread; ++i) {
+        co_await lock->lock(ctx);
+        const std::uint64_t v2 = co_await ctx.load(*counter);
+        if (cs_work > 0) co_await ctx.work(cs_work);
+        co_await ctx.store(*counter, v2 + 1);
+        co_await lock->unlock(ctx);
+        ctx.count_op();
+        co_await think(ctx, opt);
+      }
+    };
+  };
+  return v;
+}
+
+TEST(WorkloadEquiv, Fig3CounterConfigReproducesLegacyBytes) {
+  const BenchOptions opt = small_opt(10);
+  const std::string title = "fig3 counter equivalence";
+  const std::string legacy =
+      run_captured(title,
+                   {legacy_counter_variant("tts", CounterLockKind::kTTS, 5),
+                    legacy_counter_variant("tts+lease", CounterLockKind::kTTSLease, 5),
+                    legacy_counter_variant("ticket", CounterLockKind::kTicket, 5),
+                    legacy_counter_variant("clh", CounterLockKind::kCLH, 5),
+                    legacy_counter_variant("mcs", CounterLockKind::kMCS, 5),
+                    legacy_cohort_variant("cohort-ticket", false, 5),
+                    legacy_cohort_variant("cohort+lease", true, 5)},
+                   opt);
+  const std::string via_config = run_captured(title,
+                                              config_variants(R"(
+[workload]
+ds = counter
+cs_work = 5
+)",
+                                                              {{"tts", ""},
+                                                               {"tts+lease", ""},
+                                                               {"ticket", ""},
+                                                               {"clh", ""},
+                                                               {"mcs", ""},
+                                                               {"cohort-ticket", ""},
+                                                               {"cohort+lease", ""}}),
+                                              opt);
+  EXPECT_EQ(legacy, via_config);
+}
+
+// --- legacy fig3_pq (pre-registry), copied verbatim -------------------------
+
+template <typename Pq>
+Variant legacy_pq_variant(std::string name, bool leases_enabled,
+                          std::function<std::shared_ptr<Pq>(Machine&)> make_pq) {
+  Variant v;
+  v.name = std::move(name);
+  v.configure = [leases_enabled](MachineConfig& cfg) { cfg.leases_enabled = leases_enabled; };
+  v.make = [make_pq](Machine& m, const BenchOptions& opt) {
+    auto pq = make_pq(m);
+    m.spawn(0, [pq](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < kPrefill; ++i) {
+        co_await pq->insert(ctx, 1 + ctx.rng().next_below(1 << 16));
+      }
+    });
+    m.run();
+    return [pq, &opt](Ctx& ctx, int) -> Task<void> {
+      for (int i = 0; i < opt.ops_per_thread; ++i) {
+        if (ctx.rng().next_bool(0.5)) {
+          co_await pq->insert(ctx, 1 + ctx.rng().next_below(1 << 16));
+        } else {
+          co_await pq->delete_min(ctx);
+        }
+        co_await think(ctx, opt);
+      }
+    };
+  };
+  return v;
+}
+
+TEST(WorkloadEquiv, Fig3PqConfigReproducesLegacyBytes) {
+  const BenchOptions opt = small_opt(10);
+  const std::string title = "fig3 pq equivalence";
+  const std::string legacy = run_captured(
+      title,
+      {legacy_pq_variant<LotanShavitPq>(
+           "lotan-shavit (fine-grained)", false,
+           [](Machine& m) { return std::make_shared<LotanShavitPq>(m); }),
+       legacy_pq_variant<GlobalLockSkiplistPq>(
+           "global-lock", false,
+           [](Machine& m) { return std::make_shared<GlobalLockSkiplistPq>(m, false); }),
+       legacy_pq_variant<GlobalLockSkiplistPq>(
+           "global-lock+lease", true,
+           [](Machine& m) { return std::make_shared<GlobalLockSkiplistPq>(m, true); }),
+       legacy_pq_variant<SprayList>(
+           "spraylist (relaxed)", false,
+           [](Machine& m) { return std::make_shared<SprayList>(m); })},
+      opt);
+  const std::string via_config =
+      run_captured(title,
+                   config_variants(R"(
+[workload]
+ds = skiplist_pq
+mix = 50/50
+keys = 65536
+dist = uniform
+)",
+                                   {{"lotan", "lotan-shavit (fine-grained)"},
+                                    {"global-lock", ""},
+                                    {"global-lock+lease", ""},
+                                    {"spray", "spraylist (relaxed)"}}),
+                   opt);
+  EXPECT_EQ(legacy, via_config);
+}
+
+// --- flag aliasing (satellite: dash <-> underscore both directions) ---------
+
+TEST(WorkloadEquiv, FlagSpellingsAliasBothWays) {
+  FlagSet flags{"test"};
+  int sim_threads = 0;   // registered with a dash in parse_flags
+  int key_range = 0;     // registered with an underscore
+  flags.add("sim-threads", &sim_threads, "x");
+  flags.add("key_range", &key_range, "y");
+  const char* argv1[] = {"test", "--sim_threads=3", "--key-range=9"};
+  flags.parse(3, const_cast<char**>(argv1));
+  EXPECT_EQ(sim_threads, 3);
+  EXPECT_EQ(key_range, 9);
+  const char* argv2[] = {"test", "--sim-threads=4", "--key_range=1"};
+  flags.parse(3, const_cast<char**>(argv2));
+  EXPECT_EQ(sim_threads, 4);
+  EXPECT_EQ(key_range, 1);
+}
+
+}  // namespace
+}  // namespace lrsim::bench
