@@ -115,10 +115,12 @@ BENCHMARK(BM_Fig3CounterSimThroughput);
 
 // The same workload at 64 cores, swept over the in-run parallel kernel
 // (sim/par_kernel.hpp): sim_threads:0 is the serial kernel, n >= 2 shards
-// the per-cycle batches across n host worker threads. Results are
+// multi-cycle lookahead windows across n host worker threads. Results are
 // bit-identical across the sweep (tests/parallel_determinism_test.cpp);
 // only wall time may differ. scripts/bench_check.py keys baselines on the
-// sim_threads token so serial and parallel entries gate separately.
+// sim_threads token so serial and parallel entries gate separately, and
+// --assert-mt-speedup gates sim_threads:4 >= sim_threads:0 on multi-core
+// runners (docs/ENGINE.md "Honest numbers").
 void BM_Fig3CounterSimThroughputMT(benchmark::State& state) {
   const int threads = 64;
   const int sim_threads = static_cast<int>(state.range(0));

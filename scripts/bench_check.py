@@ -18,6 +18,15 @@ the +/- tolerance band:
 
 --update overwrites the baseline with the candidate and exits 0.
 
+MT speedup mode:
+    scripts/bench_check.py --assert-mt-speedup CANDIDATE.json
+                           [--mt-min-ratio 0.95]
+
+Asserts the parallel kernel pays for itself: within one JSON,
+BM_Fig3CounterSimThroughputMT/sim_threads:4 must reach at least
+--mt-min-ratio of the sim_threads:0 entry's throughput. Skipped (exit 0)
+on hosts with fewer than 4 CPUs, where sim_threads=4 cannot win.
+
 Sweep mode:
     scripts/bench_check.py --sweep CANDIDATE.csv [--baseline BASELINE.csv]
                            [--tolerance 0.25]
@@ -59,17 +68,37 @@ def check_release_build(path, doc):
     sim_microbench records its own optimization level under
     context.sim_build_type (custom context key); that is authoritative.
     library_build_type only describes how the google-benchmark *library*
-    was compiled (debug on some hosts even under -O2 simulator builds), so
-    it is consulted only for old recordings that predate the custom key.
+    was compiled (debug on some hosts even under -O2 simulator builds).
+    When the custom key is absent (a recording predating it), the library
+    build type is the only evidence available and anything but "release"
+    hard-fails exactly like a debug sim build — a debug-library recording
+    of unknown simulator optimization level is not a usable baseline.
+    When both keys are present and disagree (release simulator, debug
+    library), the comparison is sound but the harness overhead differs, so
+    a notice is printed instead.
     """
     ctx = doc.get("context", {})
-    build = str(ctx.get("sim_build_type", ctx.get("library_build_type", ""))).lower()
+    sim = str(ctx.get("sim_build_type", "")).lower()
+    lib = str(ctx.get("library_build_type", "")).lower()
+    build = sim if sim else lib
     if build == "debug":
         print(f"error: {os.path.relpath(path)} was produced by a DEBUG build; "
               "perf numbers from debug builds are not comparable. Rebuild with "
               "-DCMAKE_BUILD_TYPE=Release and rerun.",
               file=sys.stderr)
         sys.exit(2)
+    if not sim and lib and lib != "release":
+        print(f"error: {os.path.relpath(path)} has library_build_type = {lib!r} and no "
+              "sim_build_type key; without the simulator's own optimization record a "
+              "non-release library build is not comparable. Re-record with a current "
+              "Release simulator build (sim_microbench writes sim_build_type).",
+              file=sys.stderr)
+        sys.exit(2)
+    if sim == "release" and lib == "debug":
+        print(f"notice: {os.path.relpath(path)}: simulator built Release but the "
+              "google-benchmark library is a debug build; timing loops carry extra "
+              "harness overhead on this host (numbers remain self-consistent).",
+              file=sys.stderr)
 
 
 SIM_THREADS_TOKEN = re.compile(r"(?:^|/)sim_threads:(\d+)")
@@ -239,6 +268,48 @@ def run_sweep_gate(args):
     return 0
 
 
+def run_mt_speedup_gate(args):
+    """--assert-mt-speedup: the parallel kernel must not lose to serial.
+
+    Compares BM_Fig3CounterSimThroughputMT/sim_threads:4 against the
+    sim_threads:0 entry of the *same* JSON — one binary, one host, same
+    workload, so the like-with-like series rule does not apply: this is the
+    one comparison where crossing the series is the point. Skips (exit 0,
+    with a notice) on hosts with fewer than 4 CPUs, where the parallel
+    kernel cannot win and the assertion would only measure barrier overhead.
+    """
+    ncpu = os.cpu_count() or 1
+    if ncpu < 4:
+        print(f"notice: --assert-mt-speedup skipped: host has {ncpu} CPU(s); "
+              "the sim_threads=4 kernel needs >= 4 cores to beat serial.")
+        return 0
+    with open(args.candidate, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    check_release_build(args.candidate, doc)
+    tp = {}
+    for b in doc.get("benchmarks", []):
+        name = b.get("name", "")
+        if name.startswith("BM_Fig3CounterSimThroughputMT/sim_threads:"):
+            if "items_per_second" in b:
+                tp[name.rsplit(":", 1)[1]] = float(b["items_per_second"])
+    if "0" not in tp or "4" not in tp:
+        print("error: --assert-mt-speedup needs BM_Fig3CounterSimThroughputMT "
+              "entries at sim_threads:0 and sim_threads:4 in the candidate JSON.",
+              file=sys.stderr)
+        return 2
+    ratio = tp["4"] / tp["0"] if tp["0"] > 0 else float("inf")
+    print(f"MT speedup: sim_threads:4 = {tp['4']:.3e}, sim_threads:0 = "
+          f"{tp['0']:.3e} items/s -> {ratio:.2f}x (floor {args.mt_min_ratio:.2f}x, "
+          f"{ncpu} host CPUs)")
+    if ratio < args.mt_min_ratio:
+        print(f"error: parallel kernel at sim_threads=4 is {ratio:.2f}x serial "
+              f"(floor {args.mt_min_ratio:.2f}x) on a {ncpu}-CPU host — the "
+              "lookahead windows are not paying for their barriers.",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -252,10 +323,20 @@ def main():
     ap.add_argument("--sweep", action="store_true",
                     help="candidate is a workload-sweep CSV: validate its schema "
                     "(and compare throughput if --baseline is a sweep CSV too)")
+    ap.add_argument("--assert-mt-speedup", action="store_true",
+                    help="assert BM_Fig3CounterSimThroughputMT at sim_threads:4 "
+                    "is not slower than sim_threads:0 within the candidate JSON "
+                    "(skipped on hosts with < 4 CPUs)")
+    ap.add_argument("--mt-min-ratio", type=float, default=0.95,
+                    help="minimum sim_threads:4 / sim_threads:0 throughput ratio "
+                    "for --assert-mt-speedup (default 0.95: 'not slower', with "
+                    "noise headroom for shared CI runners)")
     args = ap.parse_args()
 
     if args.sweep:
         return run_sweep_gate(args)
+    if args.assert_mt_speedup:
+        return run_mt_speedup_gate(args)
     if args.baseline is None:
         args.baseline = DEFAULT_BASELINE
 

@@ -297,7 +297,7 @@ void CacheController::sw_multi_lease_step(std::shared_ptr<std::vector<LineId>> l
 }
 
 void CacheController::probe(LineId line, ProbeType type, bool requestor_is_lease,
-                            ProbeDoneFn on_serviced) {
+                            Cycle ack_transit, ProbeDoneFn on_serviced) {
   if (tracer_) {
     tracer_->emit(TraceEvent::kProbe, ev_.now(), core_, line,
                   type == ProbeType::kInvalidate ? 1 : 0);
@@ -313,14 +313,16 @@ void CacheController::probe(LineId line, ProbeType type, bool requestor_is_lease
       // Core-domain: the retried probe runs against this core's L1/lease
       // table; its directory continuation is a separate global event.
       ev_.schedule_in_on(domain(), cfg_.nack_retry_delay,
-                         [this, line, type, requestor_is_lease,
+                         [this, line, type, requestor_is_lease, ack_transit,
                           on_serviced = std::move(on_serviced)]() mutable {
-                           probe(line, type, requestor_is_lease, std::move(on_serviced));
+                           probe(line, type, requestor_is_lease, ack_transit,
+                                 std::move(on_serviced));
                          });
       return;
     }
   }
-  ParkedFn do_service = [this, line, type, on_serviced = std::move(on_serviced)]() mutable {
+  ParkedFn do_service = [this, line, type, ack_transit,
+                         on_serviced = std::move(on_serviced)]() mutable {
     // Apply the coherence action *atomically with the service decision*.
     // If it were deferred (even by one cycle), a Lease instruction executing
     // in the window would see a stale M state, grant via the hit path, and
@@ -339,7 +341,12 @@ void CacheController::probe(LineId line, ProbeType type, bool requestor_is_lease
       l1_.downgrade(line, /*to_owned=*/type == ProbeType::kDowngradeToOwned);
     }
     if (inv_) inv_->on_line_event(line);
-    ev_.schedule_in(1, [on_serviced = std::move(on_serviced), dirty] { on_serviced(dirty); });
+    // One merged event covers the 1-cycle action plus the ack's return
+    // transit: the directory continuation (a tail leg ending in leg_done)
+    // runs at the same absolute cycle as the former two-event chain, but
+    // no intermediate event now lands inside the core↔directory gap.
+    ev_.schedule_tail_in(1 + ack_transit,
+                         [on_serviced = std::move(on_serviced), dirty] { on_serviced(dirty); });
   };
   if (cfg_.leases_enabled &&
       leases_.maybe_park_probe(line, requestor_is_lease, std::move(do_service))) {
@@ -350,13 +357,14 @@ void CacheController::probe(LineId line, ProbeType type, bool requestor_is_lease
   do_service();
 }
 
-void CacheController::back_invalidate(LineId line, ProbeDoneFn on_serviced) {
+void CacheController::back_invalidate(LineId line, Cycle ack_transit, ProbeDoneFn on_serviced) {
   leases_.force_release(line);  // never park an inclusion victim's probe
   const bool dirty = is_dirty(l1_.state(line));
   l1_.invalidate(line);
   if (obs_) obs_->on_invalidation(line);
   if (inv_) inv_->on_line_event(line);
-  ev_.schedule_in(1, [on_serviced = std::move(on_serviced), dirty] { on_serviced(dirty); });
+  ev_.schedule_in(1 + ack_transit,
+                  [on_serviced = std::move(on_serviced), dirty] { on_serviced(dirty); });
 }
 
 void CacheController::make_room(LineId line) {

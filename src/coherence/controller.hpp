@@ -126,17 +126,22 @@ class CacheController {
 
   /// A coherence probe arrives (already past the network latency). The
   /// controller services it after a 1-cycle action — or parks it behind a
-  /// lease. `on_serviced(dirty)` is invoked once the line has actually been
-  /// invalidated/downgraded; `dirty` reports whether the local copy was in
-  /// M (so the directory charges a writeback only when real — an E owner
-  /// may still be clean). The directory then forwards data to the requester.
-  void probe(LineId line, ProbeType type, bool requestor_is_lease, ProbeDoneFn on_serviced);
+  /// lease. `on_serviced(dirty)` is invoked `1 + ack_transit` cycles after
+  /// the action, modeling the response's return trip in the same event as
+  /// its receipt (the directory passes its home←core latency, keeping the
+  /// core↔directory domain boundary at least the network latency wide — the
+  /// parallel kernel's lookahead window rests on this). `dirty` reports
+  /// whether the local copy was in M (so the directory charges a writeback
+  /// only when real — an E owner may still be clean).
+  void probe(LineId line, ProbeType type, bool requestor_is_lease, Cycle ack_transit,
+             ProbeDoneFn on_serviced);
 
   /// Inclusion back-invalidation (finite L2 evicting `line`). Unlike a
   /// regular probe this never parks: any lease on the line is force-
   /// released first (capacity management overrides leases; early release is
-  /// always safe). `on_serviced(dirty)` fires after the 1-cycle action.
-  void back_invalidate(LineId line, ProbeDoneFn on_serviced);
+  /// always safe). `on_serviced(dirty)` fires `1 + ack_transit` cycles
+  /// after the action, like probe().
+  void back_invalidate(LineId line, Cycle ack_transit, ProbeDoneFn on_serviced);
 
   // --- introspection (tests / harness) -------------------------------------
   LineState line_state(LineId l) const { return l1_.state(l); }

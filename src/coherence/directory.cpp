@@ -56,12 +56,19 @@ void Directory::invalidate_sharer_leg(LineId line, CoreId c, bool is_lease_req) 
   // Sharer bits are exact (eager eviction notices), so at send time the
   // target must hold a copy — the checker rejects probes to ghosts here.
   if (inv_) inv_->on_probe_send(line, c);
-  ev_.schedule_in(topo_.home_to_core(line, c), [this, line, c, is_lease_req] {
+  // The ack's return transit rides inside the probe's completion event
+  // (controller.hpp): the callback below runs at delivery + 1 + transit,
+  // the same absolute cycle the former separate tail leg fired. Clearing
+  // the sharer bit there (instead of at the core) is invisible: the line
+  // stays busy until complete(), which rewrites the mask for every
+  // exclusive result, and the invariant cross-check skips busy lines.
+  const Cycle ack_transit = topo_.core_to_home(c, line);
+  ev_.schedule_in(topo_.home_to_core(line, c), [this, line, c, is_lease_req, ack_transit] {
     cores_[static_cast<std::size_t>(c)]->probe(
-        line, ProbeType::kInvalidate, is_lease_req, [this, line, c](bool) {
+        line, ProbeType::kInvalidate, is_lease_req, ack_transit, [this, line, c](bool) {
           ++stats_.msgs_ack;
           table_[line].sharers &= ~core_bit(c);  // the copy is gone now
-          ev_.schedule_tail_in(topo_.core_to_home(c, line), [this, line] { leg_done(line); });
+          leg_done(line);
         });
   });
 }
@@ -122,21 +129,27 @@ void Directory::service(LineId line) {
     }
     const bool is_lease_req = req.is_lease_req;
     if (inv_) inv_->on_probe_send(line, owner);
-    ev_.schedule_in(topo_.home_to_core(line, owner), [this, line, owner, want_x, pt, is_lease_req] {
+    // Cache-to-cache transfer: the leg completes when the forwarded data
+    // reaches the requester, so the return transit is owner→requester.
+    // Computed at send time — the requester is pinned for the whole busy
+    // transaction (parked probes included), so the latency is stable.
+    const Cycle fwd = topo_.latency(owner, req.requester);
+    ev_.schedule_in(topo_.home_to_core(line, owner),
+                    [this, line, owner, want_x, pt, is_lease_req, fwd] {
       // The probe may be parked behind a lease at the owner; the callback
       // fires once the owner has actually relinquished the line (bounded by
-      // MAX_LEASE_TIME — Proposition 2). `dirty` says whether the owner had
-      // really modified it (an E owner may still be clean).
+      // MAX_LEASE_TIME — Proposition 2), plus the forward transit. `dirty`
+      // says whether the owner had really modified it (an E owner may
+      // still be clean).
       cores_[static_cast<std::size_t>(owner)]->probe(
-          line, pt, is_lease_req, [this, line, owner, want_x, pt](bool dirty) {
+          line, pt, is_lease_req, fwd, [this, line, want_x, pt](bool dirty) {
             // Cache-to-cache forward to the requester plus an ack to the
             // directory; a classic downgrade of a dirty line also writes the
             // data back to L2 (a MOESI downgrade-to-O keeps it at the owner).
             ++stats_.msgs_data;
             ++stats_.msgs_ack;
             if (!want_x && dirty && pt == ProbeType::kDowngrade) ++stats_.msgs_wb;
-            const Cycle fwd = topo_.latency(owner, table_[line].active.requester);
-            ev_.schedule_tail_in(fwd, [this, line] { leg_done(line); });
+            leg_done(line);
           });
     });
     return;
@@ -249,14 +262,16 @@ void Directory::evict_l2_victim(LineId victim, EvictFn done) {
   auto remaining = std::make_shared<int>(static_cast<int>(holders.size()));
   for (CoreId c : holders) {
     ++stats_.msgs_inv;
-    ev_.schedule_in(topo_.home_to_core(victim, c), [this, victim, c, remaining, finish] {
+    // As with probes, the ack's return transit is folded into the
+    // back-invalidation's completion event (same absolute arrival cycle).
+    const Cycle ack_transit = topo_.core_to_home(c, victim);
+    ev_.schedule_in(topo_.home_to_core(victim, c),
+                    [this, victim, c, remaining, finish, ack_transit] {
       cores_[static_cast<std::size_t>(c)]->back_invalidate(
-          victim, [this, victim, c, remaining, finish](bool dirty) {
+          victim, ack_transit, [this, remaining, finish](bool dirty) {
             ++stats_.msgs_ack;
             if (dirty) ++stats_.msgs_wb;
-            ev_.schedule_in(topo_.core_to_home(c, victim), [remaining, finish] {
-              if (--*remaining == 0) finish();
-            });
+            if (--*remaining == 0) finish();
           });
     });
   }

@@ -14,8 +14,8 @@ ExternalBst::ExternalBst(Machine& m, BstOptions opt) : m_(m), opt_(opt) {
   root_ = alloc_internal(kInf2, l1, l2);
 }
 
-Addr ExternalBst::alloc_leaf(std::uint64_t key) {
-  const Addr n = m_.heap().alloc_line(48);
+Addr ExternalBst::alloc_leaf(std::uint64_t key, Ctx* ctx) {
+  const Addr n = ctx != nullptr ? ctx->alloc_line(48) : m_.heap().alloc_line(48);
   m_.memory().write(n + kKeyOff, key);
   m_.memory().write(n + kIsLeafOff, 1);
   m_.memory().write(n + kLeftOff, 0);
@@ -25,8 +25,8 @@ Addr ExternalBst::alloc_leaf(std::uint64_t key) {
   return n;
 }
 
-Addr ExternalBst::alloc_internal(std::uint64_t key, Addr left, Addr right) {
-  const Addr n = m_.heap().alloc_line(48);
+Addr ExternalBst::alloc_internal(std::uint64_t key, Addr left, Addr right, Ctx* ctx) {
+  const Addr n = ctx != nullptr ? ctx->alloc_line(48) : m_.heap().alloc_line(48);
   m_.memory().write(n + kKeyOff, key);
   m_.memory().write(n + kIsLeafOff, 0);
   m_.memory().write(n + kLeftOff, left);
@@ -87,11 +87,11 @@ Task<bool> ExternalBst::insert(Ctx& ctx, std::uint64_t key) {
       co_await node_unlock(ctx, r.parent);
       continue;
     }
-    const Addr new_leaf = alloc_leaf(key);
+    const Addr new_leaf = alloc_leaf(key, &ctx);
     const std::uint64_t max_key = std::max(key, leaf_key);
     const Addr new_internal =
-        key < leaf_key ? alloc_internal(max_key, new_leaf, r.leaf)
-                       : alloc_internal(max_key, r.leaf, new_leaf);
+        key < leaf_key ? alloc_internal(max_key, new_leaf, r.leaf, &ctx)
+                       : alloc_internal(max_key, r.leaf, new_leaf, &ctx);
     // Touch the new nodes through the ISA so their lines are owned (and the
     // allocation cost is modeled) before publication.
     co_await ctx.store(new_internal + kKeyOff, max_key);

@@ -50,8 +50,11 @@ class ExternalBst {
   Task<void> node_lock(Ctx& ctx, Addr node);
   Task<void> node_unlock(Ctx& ctx, Addr node);
 
-  Addr alloc_leaf(std::uint64_t key);
-  Addr alloc_internal(std::uint64_t key, Addr left, Addr right);
+  // `ctx` routes per-operation allocations to the calling core's heap
+  // arena (parallel-kernel eligible); the constructor's sentinel nodes pass
+  // nullptr and use the global region.
+  Addr alloc_leaf(std::uint64_t key, Ctx* ctx = nullptr);
+  Addr alloc_internal(std::uint64_t key, Addr left, Addr right, Ctx* ctx = nullptr);
 
   void snapshot_rec(Addr node, std::vector<std::uint64_t>& out) const;
 

@@ -72,7 +72,7 @@ Task<std::optional<std::uint64_t>> EliminationStack::eliminate_pop(Ctx& ctx) {
 }
 
 Task<void> EliminationStack::push(Ctx& ctx, std::uint64_t v) {
-  const Addr node = m_.heap().alloc_line(16);
+  const Addr node = ctx.alloc_line(16);
   co_await ctx.store(node + kValueOff, v);
   while (true) {
     const bool ok = co_await try_push_cas(ctx, node);

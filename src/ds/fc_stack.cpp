@@ -60,7 +60,7 @@ Task<void> FcStack::combine(Ctx& ctx) {
     const std::uint64_t st = co_await ctx.load(rec + kReqOff);
     if (st == kPendingPush) {
       const std::uint64_t v = co_await ctx.load(rec + kValOff);
-      const Addr node = m_.heap().alloc_line(16);
+      const Addr node = ctx.alloc_line(16);
       co_await ctx.store(node + kNodeValue, v);
       const Addr h = co_await ctx.load(head_);
       co_await ctx.store(node + kNodeNext, h);

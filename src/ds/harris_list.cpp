@@ -48,7 +48,7 @@ Task<HarrisList::Window> HarrisList::search(Ctx& ctx, std::uint64_t key) {
 }
 
 Task<bool> HarrisList::insert(Ctx& ctx, std::uint64_t key) {
-  const Addr node = m_.heap().alloc_line(16);
+  const Addr node = ctx.alloc_line(16);
   co_await ctx.store(node + kKeyOff, key);
   while (true) {
     // The paper's recipe for linear structures leases the *predecessor*,

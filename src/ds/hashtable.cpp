@@ -43,7 +43,7 @@ Task<bool> LockedHashTable::insert(Ctx& ctx, std::uint64_t key, std::uint64_t va
     curr = co_await ctx.load(prev);
   }
   if (inserted) {
-    const Addr node = m_.heap().alloc_line(24);
+    const Addr node = ctx.alloc_line(24);
     co_await ctx.store(node + kKeyOff, key);
     co_await ctx.store(node + kValOff, value);
     co_await ctx.store(node + kNextOff, 0);

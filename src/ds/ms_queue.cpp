@@ -21,7 +21,7 @@ MsQueue::MsQueue(Machine& m, MsQueueOptions opt)
 }
 
 Task<void> MsQueue::enqueue(Ctx& ctx, std::uint64_t v) {
-  const Addr w = m_.heap().alloc_line(16);
+  const Addr w = ctx.alloc_line(16);
   co_await ctx.store(w + kValueOff, v);
   co_await ctx.store(w + kNextOff, 0);
   Backoff backoff{opt_.backoff_min, opt_.backoff_max};

@@ -25,8 +25,8 @@ LazySkipList::LazySkipList(Machine& m) : m_(m) {
   m_.memory().write(tail_ + kFullyLinked, 1);
 }
 
-Addr LazySkipList::alloc_node(std::uint64_t key, int top_level) {
-  const Addr n = m_.heap().alloc_line(kNodeBytes);
+Addr LazySkipList::alloc_node(std::uint64_t key, int top_level, Ctx* ctx) {
+  const Addr n = ctx != nullptr ? ctx->alloc_line(kNodeBytes) : m_.heap().alloc_line(kNodeBytes);
   m_.memory().write(n + kKey, key);
   m_.memory().write(n + kMarked, 0);
   m_.memory().write(n + kFullyLinked, 0);
@@ -120,7 +120,7 @@ Task<bool> LazySkipList::insert(Ctx& ctx, std::uint64_t key) {
       continue;
     }
 
-    const Addr node = alloc_node(key, top_level);
+    const Addr node = alloc_node(key, top_level, &ctx);
     for (int lvl = 0; lvl <= top_level; ++lvl) {
       co_await ctx.store(node + next_off(lvl), r.succs[static_cast<std::size_t>(lvl)]);
     }
@@ -309,7 +309,7 @@ Task<void> GlobalLockSkiplistPq::seq_insert(Ctx& ctx, std::uint64_t key) {
     preds[static_cast<std::size_t>(lvl)] = pred;
   }
   const int top = random_level(ctx);
-  const Addr node = m_.heap().alloc_line(kNodeBytes);
+  const Addr node = ctx.alloc_line(kNodeBytes);
   co_await ctx.store(node + kKey, key);
   co_await ctx.store(node + kTopLevel, static_cast<std::uint64_t>(top));
   for (int lvl = 0; lvl <= top; ++lvl) {

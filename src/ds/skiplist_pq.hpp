@@ -83,7 +83,9 @@ class LazySkipList {
   Task<void> unlink(Ctx& ctx, Addr victim, std::uint64_t key);
 
   int random_level(Ctx& ctx);
-  Addr alloc_node(std::uint64_t key, int top_level);
+  // `ctx` routes the allocation to the calling core's heap arena
+  // (parallel-kernel eligible); the constructor's sentinels pass nullptr.
+  Addr alloc_node(std::uint64_t key, int top_level, Ctx* ctx = nullptr);
 
   Task<void> node_lock(Ctx& ctx, Addr node);
   Task<void> node_unlock(Ctx& ctx, Addr node);

@@ -68,7 +68,7 @@ Task<LockFreeSkipList::FindResult> LockFreeSkipList::find(Ctx& ctx, std::uint64_
 
 Task<bool> LockFreeSkipList::insert(Ctx& ctx, std::uint64_t key) {
   const int top = random_level(ctx);
-  const Addr node = m_.heap().alloc_line(kNodeBytes);
+  const Addr node = ctx.alloc_line(kNodeBytes);
   co_await ctx.store(node + kKeyOff, key);
   co_await ctx.store(node + kTopOff, static_cast<std::uint64_t>(top));
 

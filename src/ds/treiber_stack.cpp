@@ -17,7 +17,7 @@ TreiberStack::TreiberStack(Machine& m, TreiberOptions opt) : m_(m), head_(m.heap
 Task<void> TreiberStack::push(Ctx& ctx, std::uint64_t v) {
   // Figure 1, StackPush. The new node is cold (private line): initializing
   // it costs one uncached GetX, like a real allocation.
-  const Addr node = m_.heap().alloc_line(16);
+  const Addr node = ctx.alloc_line(16);
   co_await ctx.store(node + kValueOff, v);
   Backoff backoff{opt_.backoff_min, opt_.backoff_max};
   while (true) {

@@ -18,7 +18,7 @@ TwoLockQueue::TwoLockQueue(Machine& m, TwoLockQueueOptions opt)
 }
 
 Task<void> TwoLockQueue::enqueue(Ctx& ctx, std::uint64_t v) {
-  const Addr node = m_.heap().alloc_line(16);
+  const Addr node = ctx.alloc_line(16);
   co_await ctx.store(node + kValueOff, v);
   co_await ctx.store(node + kNextOff, 0);
 

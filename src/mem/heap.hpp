@@ -8,10 +8,26 @@
 // calls out false sharing between leased variables as a real hazard, so
 // contended variables (stack heads, queue sentinels, locks) are allocated
 // one-per-line by default, while bulk payloads can pack densely.
+//
+// Two allocation domains:
+//
+//  * The *global* region [base, kArenaBase) serves construction-time
+//    allocations (sentinels, bucket arrays, lock words) made outside any
+//    per-core context. It is a single shared bump pointer and therefore
+//    illegal inside a parallel worker phase.
+//  * *Per-core arenas* at kArenaBase + core * kArenaStride serve
+//    per-operation allocations (Treiber push, MS-queue enqueue) via
+//    alloc_on/alloc_line_on. Each arena has its own bump pointer and free
+//    lists, touched only by events of its owning core, so addresses are a
+//    pure function of that core's operation sequence — identical whether
+//    the run is serial or parallel. This is what makes per-op-allocating
+//    workloads eligible for `--sim-threads` (docs/ENGINE.md).
 #pragma once
 
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "sim/par_guard.hpp"
@@ -19,72 +35,171 @@
 
 namespace lrsim {
 
-/// Bump allocator over the simulated address space with a per-size free
-/// list. There is no simulated-memory pressure to manage (SimMemory is
+/// First simulated address owned by per-core arenas. The global bump region
+/// lives below; hitting this boundary from the global side is a hard error.
+inline constexpr Addr kArenaBase = Addr{1} << 32;
+
+/// Byte span of each core's arena (64 MiB: 64 cores fill [2^32, 2^33)).
+inline constexpr Addr kArenaStride = Addr{1} << 26;
+
+/// Bump allocator over the simulated address space with per-size free
+/// lists. There is no simulated-memory pressure to manage (SimMemory is
 /// sparse), so freeing simply recycles blocks to bound the address range
 /// touched by long runs.
 class SimHeap {
  public:
   /// `base` keeps simulated addresses away from 0 so that a 0 value can be
   /// used as a null simulated pointer by workloads.
-  explicit SimHeap(Addr base = 0x10000) : next_(align_up(base, kLineSize)) {
-    assert(base > 0);
+  explicit SimHeap(Addr base = 0x10000) : global_{align_up(base, kLineSize), kArenaBase} {
+    assert(base > 0 && base < kArenaBase);
   }
 
-  /// Allocates `bytes` (rounded up to 8) with the given alignment
-  /// (power of two, >= 8). Returns the simulated byte address.
-  Addr alloc(std::size_t bytes, std::size_t align = 8) {
-    // Not parallel-phase safe: the bump pointer and free lists are shared
-    // across cores, and host-thread allocation order would leak into
-    // simulated addresses (sim/par_guard.hpp). Workloads that allocate per
-    // operation (Treiber push, MS-queue enqueue) must run serially.
-    if (par::in_worker_phase()) par::unsafe_in_worker("SimHeap::alloc");
-    assert(align >= 8 && (align & (align - 1)) == 0);
-    bytes = align_up(bytes, 8);
-    if (align == kLineSize) {
-      // Line-aligned blocks are the common contended-object case; recycle
-      // them from a dedicated free list keyed by line count.
-      const std::size_t lines = align_up(bytes, kLineSize) / kLineSize;
-      if (lines < line_free_.size() && !line_free_[lines].empty()) {
-        Addr a = line_free_[lines].back();
-        line_free_[lines].pop_back();
-        return a;
-      }
-      next_ = align_up(next_, kLineSize);
-      Addr a = next_;
-      next_ += lines * kLineSize;
-      return a;
+  /// Carves one arena per simulated core. Called by Machine's constructor;
+  /// idempotent per machine (re-configuring resets nothing that was used).
+  void configure_arenas(int num_cores) {
+    assert(num_cores >= 1);
+    arenas_.clear();
+    arenas_.reserve(static_cast<std::size_t>(num_cores));
+    for (int c = 0; c < num_cores; ++c) {
+      const Addr lo = kArenaBase + static_cast<Addr>(c) * kArenaStride;
+      arenas_.push_back(Region{lo, lo + kArenaStride});
     }
-    next_ = align_up(next_, align);
-    Addr a = next_;
-    next_ += bytes;
-    return a;
   }
 
-  /// Allocates one object alone on its own cache line(s): the right choice
-  /// for any word that will be leased or contended.
+  /// Allocates `bytes` (rounded up to 8) from the global region with the
+  /// given alignment (power of two, >= 8). Returns the simulated address.
+  /// Construction-time only: the global bump pointer is shared across
+  /// cores, so worker-phase use would leak host scheduling into simulated
+  /// addresses (sim/par_guard.hpp). Per-operation call sites use alloc_on.
+  Addr alloc(std::size_t bytes, std::size_t align = 8) {
+    if (par::in_worker_phase()) par::unsafe_in_worker("SimHeap::alloc (global region)");
+    return global_.alloc(bytes, align, /*check_limit=*/!arenas_.empty());
+  }
+
+  /// Allocates one object alone on its own cache line(s) from the global
+  /// region: the right choice for any word that will be leased or contended.
   Addr alloc_line(std::size_t bytes = 8) { return alloc(align_up(bytes, kLineSize), kLineSize); }
 
-  /// Returns a line-aligned block to the free list. Only blocks obtained
-  /// from alloc_line / alloc(..., kLineSize) may be freed.
+  /// Returns a global-region line-aligned block to its free list. Only
+  /// blocks obtained from alloc_line / alloc(..., kLineSize) may be freed.
   void free_line(Addr a, std::size_t bytes = 8) {
-    if (par::in_worker_phase()) par::unsafe_in_worker("SimHeap::free_line");
-    assert((a & (kLineSize - 1)) == 0);
-    const std::size_t lines = align_up(align_up(bytes, 8), kLineSize) / kLineSize;
-    if (lines >= line_free_.size()) line_free_.resize(lines + 1);
-    line_free_[lines].push_back(a);
+    if (par::in_worker_phase()) par::unsafe_in_worker("SimHeap::free_line (global region)");
+    global_.free_line(a, bytes);
   }
 
-  /// Highest simulated address handed out so far (exclusive).
-  Addr high_water() const noexcept { return next_; }
+  /// Per-operation allocation from `core`'s arena. Legal inside a parallel
+  /// worker phase when the executing worker owns `core`'s events — the
+  /// arena is part of that core's partition, and its bump order is the
+  /// core's own operation order regardless of host scheduling.
+  Addr alloc_on(CoreId core, std::size_t bytes, std::size_t align = 8) {
+    return arena_for(core, "SimHeap::alloc_on").alloc(bytes, align, /*check_limit=*/true);
+  }
+
+  /// Line-isolated per-operation allocation from `core`'s arena.
+  Addr alloc_line_on(CoreId core, std::size_t bytes = 8) {
+    return alloc_on(core, align_up(bytes, kLineSize), kLineSize);
+  }
+
+  /// Returns a line-aligned block to `core`'s arena free list. The address
+  /// must have come from alloc_line_on(core, ...) — cross-arena frees would
+  /// make recycling order depend on inter-core interleaving.
+  void free_line_on(CoreId core, Addr a, std::size_t bytes = 8) {
+    Region& r = arena_for(core, "SimHeap::free_line_on");
+    assert(a >= r.lo_watermark && a < r.limit && "freed block is not from this core's arena");
+    r.free_line(a, bytes);
+  }
+
+  /// Owning core of an arena address, or -1 for global-region addresses.
+  CoreId arena_of(Addr a) const noexcept {
+    if (a < kArenaBase || arenas_.empty()) return -1;
+    const Addr idx = (a - kArenaBase) / kArenaStride;
+    return idx < arenas_.size() ? static_cast<CoreId>(idx) : -1;
+  }
+
+  /// Highest global-region simulated address handed out so far (exclusive).
+  Addr high_water() const noexcept { return global_.next; }
+
+  /// Highest address handed out from `core`'s arena so far (exclusive).
+  Addr arena_high_water(CoreId core) const {
+    assert(core >= 0 && static_cast<std::size_t>(core) < arenas_.size());
+    return arenas_[static_cast<std::size_t>(core)].next;
+  }
 
  private:
   static constexpr std::size_t align_up(std::size_t x, std::size_t a) noexcept {
     return (x + a - 1) & ~(a - 1);
   }
 
-  Addr next_;
-  std::vector<std::vector<Addr>> line_free_;
+  /// One bump region (the global region or a single core arena).
+  struct Region {
+    Region(Addr lo, Addr lim) : next(lo), lo_watermark(lo), limit(lim) {}
+
+    Addr alloc(std::size_t bytes, std::size_t align, bool check_limit) {
+      assert(align >= 8 && (align & (align - 1)) == 0);
+      bytes = align_up(bytes, 8);
+      if (align == kLineSize) {
+        // Line-aligned blocks are the common contended-object case;
+        // recycle them from a dedicated free list keyed by line count.
+        const std::size_t lines = align_up(bytes, kLineSize) / kLineSize;
+        if (lines < line_free.size() && !line_free[lines].empty()) {
+          Addr a = line_free[lines].back();
+          line_free[lines].pop_back();
+          return a;
+        }
+        next = align_up(next, kLineSize);
+        Addr a = next;
+        next += lines * kLineSize;
+        check(check_limit);
+        return a;
+      }
+      next = align_up(next, align);
+      Addr a = next;
+      next += bytes;
+      check(check_limit);
+      return a;
+    }
+
+    void free_line(Addr a, std::size_t bytes) {
+      assert((a & (kLineSize - 1)) == 0);
+      const std::size_t lines = align_up(align_up(bytes, 8), kLineSize) / kLineSize;
+      if (lines >= line_free.size()) line_free.resize(lines + 1);
+      line_free[lines].push_back(a);
+    }
+
+    void check(bool check_limit) const {
+      if (check_limit && next > limit) {
+        std::fprintf(stderr,
+                     "lrsim: SimHeap region [0x%llx, 0x%llx) exhausted "
+                     "(bump reached 0x%llx)\n",
+                     static_cast<unsigned long long>(lo_watermark),
+                     static_cast<unsigned long long>(limit),
+                     static_cast<unsigned long long>(next));
+        std::abort();
+      }
+    }
+
+    Addr next;
+    Addr lo_watermark;  ///< Region start, for free_line_on range checks.
+    Addr limit;         ///< Exclusive upper bound (kArenaBase for global).
+    std::vector<std::vector<Addr>> line_free;
+  };
+
+  Region& arena_for(CoreId core, const char* what) {
+    assert(core >= 0 && "per-core allocation requires a core context");
+    if (arenas_.empty() || static_cast<std::size_t>(core) >= arenas_.size()) {
+      std::fprintf(stderr, "lrsim: %s core %d has no configured arena\n", what,
+                   static_cast<int>(core));
+      std::abort();
+    }
+    // Inside a worker phase the only legal arena is the executing core's
+    // own: anything else would interleave two cores' bump pointers in
+    // host-scheduling order.
+    if (par::in_worker_phase() && par::current_core() != core) par::unsafe_in_worker(what);
+    return arenas_[static_cast<std::size_t>(core)];
+  }
+
+  Region global_;
+  std::vector<Region> arenas_;
 };
 
 }  // namespace lrsim

@@ -9,24 +9,39 @@
 // memory value is always well-defined, so keeping one canonical copy is
 // both simpler and sufficient.
 //
-// The line blocks live in a FlatLineMap (coherence/dir_table.hpp): every
-// simulated load/store lands here, and the open-addressing probe + chunked
-// block storage is markedly cheaper than the node-based unordered_map it
-// replaced (docs/ENGINE.md "Flat directory tables" — same rationale).
+// Two storage domains, mirroring SimHeap (mem/heap.hpp):
 //
-// Parallel-kernel contract: during a worker phase (sim/par_guard.hpp) only
-// in-place reads and writes of *existing* cells are allowed — they are
-// SWMR-protected by the coherence protocol itself (an M-state owner holds
-// the only cached copy). Map *growth* is confined to serial contexts: the
-// controller materializes a cell at install time (ensure), and a first-touch
-// insert from a worker aborts loudly rather than racing the rehash.
+//  * The *global* region lives in a FlatLineMap (coherence/dir_table.hpp):
+//    open-addressing probe + chunked block storage, markedly cheaper than
+//    the node-based unordered_map it replaced (docs/ENGINE.md "Flat
+//    directory tables"). Map *growth* (rehash) is confined to serial
+//    contexts; a first-touch insert from a worker aborts loudly.
+//  * *Per-core arena* lines (addresses >= kArenaBase) live in fixed-depth
+//    per-arena chunk tables: a preallocated directory of atomic chunk
+//    pointers, each chunk a dense slab of cells indexed by line offset.
+//    First-touch there only installs a chunk pointer — nothing else moves —
+//    and each arena has a single first-touch writer (its owning core, or a
+//    serial context), so arena first-touch is legal inside a parallel
+//    worker phase. This is what lets per-op-allocating workloads (Treiber
+//    push, MS-queue enqueue, BST node init) run under --sim-threads.
+//
+// Parallel-kernel contract (sim/par_guard.hpp): during a worker phase,
+// in-place reads and writes of existing cells are SWMR-protected by the
+// coherence protocol itself (an M-state owner holds the only cached copy).
+// Arena chunk installation is release-published by the single writer and
+// acquire-consumed by readers; concurrent readers of *other* cells in the
+// same chunk never observe a moving table.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "coherence/dir_table.hpp"
+#include "mem/heap.hpp"
 #include "sim/par_guard.hpp"
 #include "util/types.hpp"
 
@@ -35,11 +50,19 @@ namespace lrsim {
 /// Sparse simulated physical memory.
 class SimMemory {
  public:
+  /// Mirrors SimHeap::configure_arenas: routes lines in each core's arena
+  /// address range to that arena's chunk table. Called by Machine's
+  /// constructor, before any simulated accesses.
+  void configure_arenas(int num_cores) {
+    assert(num_cores >= 1);
+    arenas_ = std::vector<ArenaStore>(static_cast<std::size_t>(num_cores));
+  }
+
   /// Reads the 64-bit word at `a` (must be 8-byte aligned). Unwritten
   /// memory reads as zero, like freshly mapped pages.
   std::uint64_t read(Addr a) const {
     assert(is_word_aligned(a));
-    const Cell* c = lines_.find(line_of(a));
+    const Cell* c = find_cell(line_of(a));
     if (c == nullptr) return 0;
     return c->words[static_cast<std::size_t>(word_in_line(a))];
   }
@@ -47,12 +70,7 @@ class SimMemory {
   /// Writes the 64-bit word at `a`.
   void write(Addr a, std::uint64_t v) {
     assert(is_word_aligned(a));
-    const LineId l = line_of(a);
-    Cell* c = lines_.find(l);
-    if (c == nullptr) {
-      if (par::in_worker_phase()) par::unsafe_in_worker("SimMemory first-touch insert");
-      c = &lines_[l];
-    }
+    Cell* c = touch_cell(line_of(a), "SimMemory first-touch insert");
     c->written = true;
     c->words[static_cast<std::size_t>(word_in_line(a))] = v;
   }
@@ -64,19 +82,26 @@ class SimMemory {
   /// as resident.
   void ensure(LineId l) {
     assert(!par::in_worker_phase());
-    lines_[l];
+    touch_cell(l, "SimMemory::ensure");
   }
 
   /// True if the line has ever been written (used by the DRAM first-touch
   /// cost model in the directory).
   bool line_exists(LineId l) const {
-    const Cell* c = lines_.find(l);
+    const Cell* c = find_cell(l);
     return c != nullptr && c->written;
   }
 
   std::size_t resident_lines() const {
     std::size_t n = 0;
     lines_.for_each_value([&n](const Cell& c) { n += c.written ? 1 : 0; });
+    for (const ArenaStore& ar : arenas_) {
+      for (const auto& chunk : ar.chunks) {
+        const Chunk* ch = chunk.load(std::memory_order_acquire);
+        if (ch == nullptr) continue;
+        for (const Cell& c : *ch) n += c.written ? 1 : 0;
+      }
+    }
     return n;
   }
 
@@ -85,7 +110,83 @@ class SimMemory {
     std::array<std::uint64_t, kWordsPerLine> words{};
     bool written = false;  ///< Distinguishes ensure()'d cells from real stores.
   };
-  FlatLineMap<Cell> lines_;
+
+  /// Chunk geometry: each arena spans kArenaStride bytes = 2^20 lines,
+  /// split into fixed-size chunks so the chunk directory itself never
+  /// grows (preallocated, no rehash to race with).
+  static constexpr int kChunkLineShift = 10;  ///< 1024 lines per chunk.
+  static constexpr std::size_t kChunkLines = std::size_t{1} << kChunkLineShift;
+  static constexpr std::size_t kChunksPerArena =
+      static_cast<std::size_t>(kArenaStride / kLineSize) / kChunkLines;
+  using Chunk = std::array<Cell, kChunkLines>;
+
+  struct ArenaStore {
+    std::array<std::atomic<Chunk*>, kChunksPerArena> chunks{};
+    ArenaStore() = default;
+    ArenaStore(ArenaStore&& o) noexcept {
+      for (std::size_t i = 0; i < kChunksPerArena; ++i) {
+        chunks[i].store(o.chunks[i].exchange(nullptr, std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      }
+    }
+    ArenaStore(const ArenaStore&) = delete;
+    ~ArenaStore() {
+      for (auto& c : chunks) delete c.load(std::memory_order_relaxed);
+    }
+  };
+
+  /// Arena index for a line, or -1 when it belongs to the global region.
+  int arena_index(LineId l) const noexcept {
+    const Addr a = line_base(l);
+    if (a < kArenaBase || arenas_.empty()) return -1;
+    const Addr idx = (a - kArenaBase) / kArenaStride;
+    return idx < arenas_.size() ? static_cast<int>(idx) : -1;
+  }
+
+  const Cell* find_cell(LineId l) const {
+    const int ar = arena_index(l);
+    if (ar < 0) return lines_.find(l);
+    const std::size_t off = arena_line_offset(l, ar);
+    const Chunk* ch =
+        arenas_[static_cast<std::size_t>(ar)].chunks[off >> kChunkLineShift].load(
+            std::memory_order_acquire);
+    if (ch == nullptr) return nullptr;
+    return &(*ch)[off & (kChunkLines - 1)];
+  }
+
+  Cell* touch_cell(LineId l, const char* what) {
+    const int ar = arena_index(l);
+    if (ar < 0) {
+      Cell* c = lines_.find(l);
+      if (c == nullptr) {
+        // Global-region growth rehashes a shared table: serial contexts only.
+        if (par::in_worker_phase()) par::unsafe_in_worker(what);
+        c = &lines_[l];
+      }
+      return c;
+    }
+    const std::size_t off = arena_line_offset(l, ar);
+    std::atomic<Chunk*>& slot =
+        arenas_[static_cast<std::size_t>(ar)].chunks[off >> kChunkLineShift];
+    Chunk* ch = slot.load(std::memory_order_acquire);
+    if (ch == nullptr) {
+      // Single-writer first touch: inside a worker phase only the arena's
+      // owning core may install chunks (its allocations are the only way a
+      // fresh line in its arena is reached); serial contexts may always.
+      if (par::in_worker_phase() && par::current_core() != ar) par::unsafe_in_worker(what);
+      ch = new Chunk();
+      slot.store(ch, std::memory_order_release);
+    }
+    return &(*ch)[off & (kChunkLines - 1)];
+  }
+
+  std::size_t arena_line_offset(LineId l, int ar) const noexcept {
+    const Addr lo = kArenaBase + static_cast<Addr>(ar) * kArenaStride;
+    return static_cast<std::size_t>((line_base(l) - lo) / kLineSize);
+  }
+
+  FlatLineMap<Cell> lines_;        ///< Global-region cells.
+  std::vector<ArenaStore> arenas_;  ///< Per-core arena chunk tables.
 };
 
 }  // namespace lrsim

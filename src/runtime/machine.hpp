@@ -60,6 +60,24 @@ class Ctx {
   /// Marks one completed application-level operation (throughput metric).
   void count_op() noexcept { cc_.count_op(); }
 
+  // --- per-core simulated heap ---------------------------------------------
+
+  /// Allocates from this core's heap arena (see mem/heap.hpp). Addresses
+  /// are a pure function of this core's allocation sequence, so per-op
+  /// allocation through Ctx is legal inside a parallel worker phase —
+  /// unlike Machine::heap().alloc(), which is construction-time only.
+  Addr alloc(std::size_t bytes, std::size_t align = 8) {
+    return heap_.alloc_on(core_, bytes, align);
+  }
+
+  /// Line-isolated allocation from this core's arena: the right choice for
+  /// any word that will be leased or contended (stack/queue nodes).
+  Addr alloc_line(std::size_t bytes = 8) { return heap_.alloc_line_on(core_, bytes); }
+
+  /// Recycles a line-aligned block previously obtained from this core's
+  /// alloc_line (cross-core frees are rejected — see SimHeap::free_line_on).
+  void free_line(Addr a, std::size_t bytes = 8) { heap_.free_line_on(core_, a, bytes); }
+
   // --- awaitable memory operations ----------------------------------------
 
   /// 64-bit load.
@@ -291,8 +309,9 @@ class Ctx {
 
  private:
   friend class Machine;
-  Ctx(CoreId core, EventQueue& ev, CacheController& cc, const MachineConfig& cfg, std::uint64_t seed)
-      : core_(core), ev_(ev), cc_(cc), cfg_(cfg), rng_(seed) {}
+  Ctx(CoreId core, EventQueue& ev, CacheController& cc, SimHeap& heap, const MachineConfig& cfg,
+      std::uint64_t seed)
+      : core_(core), ev_(ev), cc_(cc), heap_(heap), cfg_(cfg), rng_(seed) {}
 
   // An in-order core has exactly one outstanding memory instruction; these
   // asserts catch accidentally spawning two threads on one core.
@@ -305,6 +324,7 @@ class Ctx {
   CoreId core_;
   EventQueue& ev_;
   CacheController& cc_;
+  SimHeap& heap_;
   const MachineConfig& cfg_;
   Rng rng_;
   bool op_in_flight_ = false;
@@ -336,6 +356,8 @@ class Machine {
  public:
   explicit Machine(MachineConfig cfg = {}, std::uint64_t seed = 1)
       : cfg_(std::move(cfg)), seed_(seed), core_stats_(checked_core_count(cfg_.num_cores)) {
+    heap_.configure_arenas(cfg_.num_cores);
+    mem_.configure_arenas(cfg_.num_cores);
     dir_ = std::make_unique<Directory>(ev_, mem_, cfg_, dir_stats_);
     controllers_.reserve(static_cast<std::size_t>(cfg_.num_cores));
     std::vector<CacheController*> raw;
@@ -372,7 +394,7 @@ class Machine {
   void spawn(CoreId core, F&& fn) {
     assert(core >= 0 && core < cfg_.num_cores);
     auto t = std::make_unique<ThreadState>();
-    t->ctx.reset(new Ctx(core, ev_, *controllers_[static_cast<std::size_t>(core)], cfg_,
+    t->ctx.reset(new Ctx(core, ev_, *controllers_[static_cast<std::size_t>(core)], heap_, cfg_,
                          seed_ ^ (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(core) + 1))));
     t->fn = std::forward<F>(fn);
     ThreadState* ts = t.get();
@@ -398,11 +420,27 @@ class Machine {
   /// True when run() would use the parallel kernel. Perturbation would make
   /// firing order depend on a PRNG the workers cannot share; tracing,
   /// observability and the invariant checker append to machine-global logs
-  /// from event callbacks; and fewer than two cores per shard leaves no
-  /// batch with two non-empty shards worth a barrier round trip.
+  /// from event callbacks; fewer than two cores per shard leaves no
+  /// batch with two non-empty shards worth a barrier round trip; and a
+  /// zero-cycle lookahead width (all modeled latencies zero) leaves no
+  /// window in which core events are provably independent.
   bool par_eligible() const noexcept {
     return sim_threads_ >= 2 && !ev_.perturbed() && tracer_ == nullptr &&
-           obs_ == nullptr && inv_ == nullptr && cfg_.num_cores >= 2 * sim_threads_;
+           obs_ == nullptr && inv_ == nullptr && cfg_.num_cores >= 2 * sim_threads_ &&
+           par_window() >= 1;
+  }
+
+  /// Lookahead window width W (cycles): the minimum modeled delay from a
+  /// core event to any event that can touch shared directory/L2 state.
+  /// Every core→directory request leg costs at least l1_latency plus the
+  /// core↔home transit, and every probe/back-invalidate response at least
+  /// 1 + transit — so W = min(l1_latency, 1) + min_transit cycles of
+  /// core-tagged events are closed under per-core execution
+  /// (sim/par_kernel.hpp).
+  Cycle par_window() const noexcept {
+    const Cycle min_transit =
+        cfg_.mesh_topology ? cfg_.mesh_router_latency : cfg_.net_latency;
+    return std::min<Cycle>(cfg_.l1_latency, 1) + min_transit;
   }
 
   /// Parallel-kernel counters from past run() calls, or nullptr when the
@@ -423,10 +461,20 @@ class Machine {
         // margin — the reserve is recycled slab slots, not allocations.
         const std::size_t reserve =
             2 * static_cast<std::size_t>(std::max(1, cfg_.max_num_leases)) + 32;
-        par_ = std::make_unique<ParKernel>(ev_, sim_threads_, reserve);
+        par_ = std::make_unique<ParKernel>(ev_, sim_threads_, reserve, cfg_.num_cores,
+                                           par_window());
+      }
+      // Per-core spawn counts bound how many threads one window can finish
+      // (the predicate-stability guard). Recomputed per run: spawns between
+      // runs are legal.
+      std::vector<std::size_t> threads_per_core(
+          static_cast<std::size_t>(cfg_.num_cores), 0);
+      for (const auto& t : threads_) {
+        ++threads_per_core[static_cast<std::size_t>(t->ctx->core())];
       }
       par_->run_while([this] { return !all_done(); }, limit,
-                      [this] { return threads_.size() - threads_finished(); });
+                      [this] { return threads_.size() - threads_finished(); },
+                      threads_per_core);
     } else {
       ev_.run_while([this] { return !all_done(); }, limit);
     }

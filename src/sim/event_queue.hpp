@@ -40,10 +40,13 @@
 // Parallel kernel hooks (src/sim/par_kernel.hpp): events may carry a *domain*
 // tag naming the core whose private state the callback touches (kGlobalDomain
 // for anything that can reach shared directory/L2 state). ParKernel drains a
-// whole same-cycle batch, runs core-tagged batches on worker threads, and
-// redirects the workers' schedule/cancel calls into per-worker lanes that are
-// committed at a barrier in exactly the order the serial kernel would have
-// produced — so the (when, tiebreak, seq) firing order stays bit-identical.
+// multi-cycle *window* of core-tagged events (width bounded by the modeled
+// network latency — no core event can reach shared state sooner), runs each
+// core's slice on a worker thread with a per-worker virtual clock, executes
+// same-domain children inside the window locally, and replays the workers'
+// schedule logs at the closing barrier in exactly the order the serial
+// kernel would have produced — so the (when, tiebreak, seq) firing order
+// stays bit-identical.
 #pragma once
 
 #include <algorithm>
@@ -56,6 +59,7 @@
 #include <vector>
 
 #include "sim/inplace_fn.hpp"
+#include "sim/par_guard.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -138,8 +142,18 @@ class EventQueue {
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  /// Current simulated time. Only advances inside run_* calls.
-  Cycle now() const noexcept { return now_; }
+  /// Current simulated time. Only advances inside run_* calls. Inside a
+  /// parallel worker phase each worker sees its own virtual clock — the
+  /// `when` of the event it is executing — so relative scheduling and
+  /// timestamp reads behave exactly as they would at that event's serial
+  /// firing point, even though wall-clock execution is out of order across
+  /// cores within a lookahead window.
+  Cycle now() const noexcept {
+    if (par_phase_) {
+      if (const ParLane* lane = par_lane_tls()) return lane->local_now;
+    }
+    return now_;
+  }
 
   /// Enables seeded random tie-breaking among same-cycle events. Runs stay
   /// bit-deterministic for a fixed seed. Call before scheduling the events
@@ -159,10 +173,11 @@ class EventQueue {
     return schedule_impl(when, std::forward<F>(fn), /*tail=*/false, kGlobalDomain);
   }
 
-  /// Schedules `fn` to run `delay` cycles from now.
+  /// Schedules `fn` to run `delay` cycles from now. Relative to the *virtual*
+  /// now() so worker-phase callers schedule from their event's cycle.
   template <typename F>
   EventHandle schedule_in(Cycle delay, F&& fn) {
-    return schedule_at(now_ + delay, std::forward<F>(fn));
+    return schedule_at(now() + delay, std::forward<F>(fn));
   }
 
   /// schedule_in with a core-domain tag (see Domain). The caller asserts the
@@ -170,7 +185,7 @@ class EventQueue {
   /// concurrent execution inside a parallel same-cycle batch.
   template <typename F>
   EventHandle schedule_in_on(Domain d, Cycle delay, F&& fn) {
-    return schedule_impl(now_ + delay, std::forward<F>(fn), /*tail=*/false, d);
+    return schedule_impl(now() + delay, std::forward<F>(fn), /*tail=*/false, d);
   }
 
   /// Schedules a *tail* event: the caller guarantees `fn` is nothing but an
@@ -184,13 +199,13 @@ class EventQueue {
   /// work/spawn resumes qualify; intermediate protocol steps do not.
   template <typename F>
   EventHandle schedule_tail_in(Cycle delay, F&& fn) {
-    return schedule_impl(now_ + delay, std::forward<F>(fn), /*tail=*/true, kGlobalDomain);
+    return schedule_impl(now() + delay, std::forward<F>(fn), /*tail=*/true, kGlobalDomain);
   }
 
   /// schedule_tail_in with a core-domain tag (see schedule_in_on).
   template <typename F>
   EventHandle schedule_tail_in_on(Domain d, Cycle delay, F&& fn) {
-    return schedule_impl(now_ + delay, std::forward<F>(fn), /*tail=*/true, d);
+    return schedule_impl(now() + delay, std::forward<F>(fn), /*tail=*/true, d);
   }
 
   /// Runs events until the queue drains or `limit` cycles elapse.
@@ -276,7 +291,7 @@ class EventQueue {
 
   template <typename F>
   EventHandle schedule_impl(Cycle when, F&& fn, bool tail, Domain domain) {
-    assert(when >= now_ && "cannot schedule an event in the past");
+    assert(when >= now() && "cannot schedule an event in the past");
     if (par_phase_) {
       if (ParLane* lane = par_lane_tls()) {
         return par_schedule(*lane, when, std::forward<F>(fn), tail, domain);
@@ -555,28 +570,40 @@ class EventQueue {
 
   // ----- Parallel-kernel plumbing (used only by ParKernel, a friend) -----
   //
-  // Protocol: the coordinator drains every event at the minimum pending
-  // cycle (drain_next_cycle), advances now_ to that cycle, and — when the
-  // whole batch is core-domain-tagged — executes it on worker threads.
-  // During that *worker phase* (par_phase_ true, toggled only while workers
-  // are barrier-quiescent) a worker's schedule/cancel calls are redirected
-  // into its ParLane instead of touching heap_/calendar/seq_. At the closing
-  // barrier, par_commit replays the lanes in the exact order the serial
-  // kernel would have produced: children sorted by (parent's drain index,
-  // per-parent call order), each consuming one seq_ — including children
-  // cancelled within the same phase, because the serial kernel also burns a
-  // seq on schedule-then-cancel. Same-cycle children therefore fire after
-  // the whole batch (their seq is higher), which is precisely serial FIFO.
+  // Protocol (multi-cycle lookahead windows): the coordinator drains every
+  // event in a window of W consecutive cycles (W bounded by the modeled
+  // core→directory latency, so no drained core event's effect can reach
+  // another core inside the window), advances now_ to the window's first
+  // cycle, and — when the whole batch is core-domain-tagged — executes it
+  // on worker threads, one shard of cores per worker. During that *worker
+  // phase* (par_phase_ true, toggled only while workers are barrier-
+  // quiescent) a worker's schedule/cancel calls are redirected into its
+  // ParLane instead of touching heap_/calendar/seq_. A child landing
+  // *inside* the window must be same-domain (the latency bound makes a
+  // cross-domain in-window child a modeling bug — hard abort) and is
+  // executed by the same worker at its correct local time, interleaved with
+  // the worker's drained slice in exactly the serial projection order
+  // (when, then drained-seq before child-schedule-order). Each executed
+  // event appends an ExecRec bracketing the children it scheduled.
+  //
+  // At the closing barrier, par_commit_window replays the whole window from
+  // the logs: a min-heap on (when, seq) seeded with the drained nodes pops
+  // events in serial firing order; popping an executed event assigns its
+  // children their seq_ values in call order — the exact order the serial
+  // kernel would have produced — and either inserts them (still pending),
+  // recursively continues the replay through them (executed in-window), or
+  // reclaims them (cancelled in-window; the serial kernel also burns a seq
+  // on schedule-then-cancel).
 
   /// An event scheduled from a worker: everything needed to build its Node
-  /// at commit time. `parent` is the scheduling event's index in the drained
-  /// batch — the first component of the serial scheduling order.
+  /// at commit time. `exec` is -1 unless the child itself fired inside the
+  /// window, in which case it is the owning worker's ExecRec index.
   struct ParChild {
     Cycle when;
     Domain domain;
     std::uint32_t idx;
     std::uint64_t gen;
-    std::uint32_t parent;
+    std::int32_t exec;
   };
   /// A cancellation of an already-committed slot, deferred so that the
   /// shared counters (live_, cal_live_) and free_ are only touched by the
@@ -586,13 +613,50 @@ class EventQueue {
     std::uint32_t idx;
     bool was_in_calendar;
   };
+  /// One executed event in a worker's log: which slot ran and the contiguous
+  /// run of lane.children it scheduled. Appended for every drained node the
+  /// worker processed (even one cancelled before firing — the replay cursor
+  /// must stay aligned with the coordinator's drained-node stream) and for
+  /// every in-window child that actually fired.
+  struct ExecRec {
+    Cycle when;
+    std::uint32_t idx;
+    std::uint32_t first_child;
+    std::uint32_t num_children;
+  };
+  /// A worker's local run queue entry: a drained node from its shard or an
+  /// in-window child it scheduled. Ordered by (when, cls, key): at one cycle
+  /// every drained event precedes every in-window child (drained seqs were
+  /// assigned before the window opened), and among children the
+  /// lane.children index encodes (parent execution order, call order)
+  /// lexicographically because a worker executes its events one at a time.
+  struct LocalEntry {
+    Cycle when;
+    std::uint64_t key;  ///< cls 0: global seq; cls 1: index into lane.children.
+    std::uint32_t idx;
+    std::uint64_t gen;
+    Domain domain;
+    std::uint8_t cls;  ///< 0 = drained node, 1 = in-window child.
+  };
+  struct LocalLater {
+    bool operator()(const LocalEntry& a, const LocalEntry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      if (a.cls != b.cls) return a.cls > b.cls;
+      return a.key > b.key;
+    }
+  };
   /// Per-worker redirect target. Owned by ParKernel, one per worker thread.
   struct ParLane {
     std::vector<ParChild> children;
     std::vector<ParCancel> cancels;
-    std::vector<std::uint32_t> done_slots;  ///< Batch slots this worker fired.
-    std::uint64_t fired = 0;
-    std::uint32_t parent = 0;  ///< Drain index of the event being executed.
+    std::vector<std::uint32_t> done_slots;  ///< Slots this worker fired.
+    std::vector<ExecRec> execs;             ///< Execution log, in local order.
+    std::vector<LocalEntry> inwin;  ///< In-window children heap (LocalLater).
+    std::uint64_t drained_fired = 0;
+    std::uint64_t child_fired = 0;
+    Cycle local_now = 0;       ///< Virtual clock: `when` of the current event.
+    Cycle max_fired_when = 0;  ///< Latest cycle this worker actually fired at.
+    Domain cur_domain = kGlobalDomain;  ///< Domain of the current event.
   };
 
   static ParLane*& par_lane_tls() {
@@ -606,14 +670,25 @@ class EventQueue {
   /// handed out in a host-racy order — harmless, idx/gen never affect firing
   /// order. Exhausting the reserve would mean racing on slab growth, so it
   /// is a hard failure (par_reserve sizes the stock with a wide margin).
+  ///
+  /// A child landing inside the current lookahead window must stay in the
+  /// scheduling event's domain: the window width is the minimum modeled
+  /// core→directory delay, so a shorter cross-domain hop means the latency
+  /// model was violated — abort loudly rather than silently diverge from
+  /// serial order. Same-domain in-window children join the worker's local
+  /// run queue and execute at their correct virtual time.
   template <typename F>
   EventHandle par_schedule(ParLane& lane, Cycle when, F&& fn, bool tail, Domain domain) {
     assert(!perturb_ && "parallel batches never run under perturbation");
+    assert(when >= lane.local_now && "cannot schedule an event in the past");
     std::uint32_t idx;
     {
       std::lock_guard<std::mutex> lock(par_mu_);
       if (free_.empty()) {
-        std::fprintf(stderr, "lrsim: parallel-phase event-slot reserve exhausted\n");
+        std::fprintf(stderr,
+                     "lrsim: parallel-phase event-slot reserve exhausted (workload \"%s\", "
+                     "core %d)\n",
+                     par::workload_name(), static_cast<int>(par::current_core()));
         std::abort();
       }
       idx = free_.back();
@@ -625,7 +700,24 @@ class EventQueue {
     r.tail = tail;
     r.in_calendar = false;
     r.pending_commit = true;
-    lane.children.push_back(ParChild{when, domain, idx, r.gen, lane.parent});
+    const std::uint32_t child_i = static_cast<std::uint32_t>(lane.children.size());
+    lane.children.push_back(ParChild{when, domain, idx, r.gen, /*exec=*/-1});
+    if (when <= par_window_end_) {
+      if (domain != lane.cur_domain) {
+        std::fprintf(stderr,
+                     "lrsim: cross-domain event scheduled inside a lookahead window "
+                     "(workload \"%s\", core %d -> domain %u at cycle %llu, window ends "
+                     "%llu); the modeled latency from a core to shared state must be at "
+                     "least the window width (docs/ENGINE.md, \"Lookahead windows\")\n",
+                     par::workload_name(), static_cast<int>(par::current_core()),
+                     static_cast<unsigned>(domain),
+                     static_cast<unsigned long long>(when),
+                     static_cast<unsigned long long>(par_window_end_));
+        std::abort();
+      }
+      lane.inwin.push_back(LocalEntry{when, child_i, idx, r.gen, domain, /*cls=*/1});
+      std::push_heap(lane.inwin.begin(), lane.inwin.end(), LocalLater{});
+    }
     return EventHandle{this, idx, r.gen};
   }
 
@@ -644,12 +736,11 @@ class EventQueue {
   }
 
   /// Pops every event at the earliest pending cycle, in serial firing order,
-  /// leaving their records armed (execution is deferred to the caller).
-  /// in_calendar is cleared on each popped record so a later deferred cancel
-  /// logs the right counter adjustment. Returns false when the queue is
-  /// drained; never advances now_.
-  bool drain_next_cycle(std::vector<Node>& out) {
-    out.clear();
+  /// appending to `out` and leaving the records armed (execution is deferred
+  /// to the caller). in_calendar is cleared on each popped record so a later
+  /// deferred cancel logs the right counter adjustment. Returns false when
+  /// the queue is drained; never advances now_.
+  bool drain_next_cycle_append(std::vector<Node>& out) {
     Node n;
     Src src = peek(n);
     if (src == Src::kNone) return false;
@@ -661,6 +752,18 @@ class EventQueue {
       src = peek(n);
     } while (src != Src::kNone && n.when == t);
     return true;
+  }
+
+  bool drain_next_cycle(std::vector<Node>& out) {
+    out.clear();
+    return drain_next_cycle_append(out);
+  }
+
+  /// Absolute cycle of the earliest live event (for window extension), or
+  /// UINT64_MAX when drained.
+  Cycle peek_next_when() {
+    Node n;
+    return peek(n) == Src::kNone ? UINT64_MAX : n.when;
   }
 
   /// Coordinator-side execution of one drained node; mirrors run_impl's fire
@@ -706,57 +809,128 @@ class EventQueue {
     }
   }
 
-  /// Worker-side execution of one drained node. Counter updates are deferred
-  /// (lane.fired / done_slots) so workers never write shared queue state.
-  void par_fire(ParLane& lane, const Node& n, std::uint32_t parent) {
-    lane.parent = parent;
-    Rec& r = rec(n.idx);
-    if (!r.armed || r.gen != n.gen) return;  // cancelled earlier in the batch
-    r.armed = false;
-    ++r.gen;
-    r.fn();
-    r.fn = nullptr;
-    lane.done_slots.push_back(n.idx);
-    ++lane.fired;
+  /// Worker-side execution of one local run-queue entry (a drained node from
+  /// the worker's shard or an in-window child). Counter updates are deferred
+  /// (lane counters / done_slots) so workers never write shared queue state.
+  ///
+  /// Every drained entry appends an ExecRec — even one cancelled before it
+  /// fired — because the commit replay seeds a heap item for every drained
+  /// node and consumes the worker's ExecRecs through a cursor. A cancelled
+  /// in-window child gets no ExecRec (the replay recognizes it by its
+  /// still-negative `exec`).
+  void par_fire_entry(ParLane& lane, const LocalEntry& e) {
+    Rec& r = rec(e.idx);
+    const bool alive = r.armed && r.gen == e.gen;
+    if (e.cls != 0 && !alive) return;  // in-window child cancelled before firing
+    const std::uint32_t my_exec = static_cast<std::uint32_t>(lane.execs.size());
+    lane.execs.push_back(
+        ExecRec{e.when, e.idx, static_cast<std::uint32_t>(lane.children.size()), 0});
+    if (e.cls != 0) {
+      lane.children[static_cast<std::size_t>(e.key)].exec = static_cast<std::int32_t>(my_exec);
+    }
+    if (alive) {
+      lane.local_now = e.when;
+      lane.cur_domain = e.domain;
+      par::set_current_core(static_cast<CoreId>(e.domain));
+      r.armed = false;
+      ++r.gen;
+      r.fn();
+      r.fn = nullptr;
+      lane.done_slots.push_back(e.idx);
+      if (e.cls == 0) {
+        ++lane.drained_fired;
+      } else {
+        ++lane.child_fired;
+      }
+      if (e.when > lane.max_fired_when) lane.max_fired_when = e.when;
+    }
+    lane.execs[my_exec].num_children =
+        static_cast<std::uint32_t>(lane.children.size()) - lane.execs[my_exec].first_child;
   }
 
-  /// Coordinator-side merge after a worker phase: replays every lane-logged
-  /// schedule in serial order (stable-sorted by parent drain index; a
-  /// parent's children all live in one lane, already in call order), then
-  /// applies deferred cancels and reclaims fired slots. Returns the number
-  /// of events the workers fired.
-  std::uint64_t par_commit(std::vector<ParLane>& lanes) {
-    commit_order_.clear();
-    for (ParLane& lane : lanes) {
-      for (ParChild& c : lane.children) commit_order_.push_back(&c);
+  /// A replay heap item: an event known (from the logs) to have executed in
+  /// the window, keyed by its serial firing order. `worker` names the lane
+  /// whose ExecRec cursor describes it.
+  struct RItem {
+    Cycle when;
+    std::uint64_t seq;
+    std::uint32_t worker;
+    std::uint32_t idx;
+  };
+  struct RLater {
+    bool operator()(const RItem& a, const RItem& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
     }
-    std::stable_sort(commit_order_.begin(), commit_order_.end(),
-                     [](const ParChild* a, const ParChild* b) { return a->parent < b->parent; });
-    for (const ParChild* c : commit_order_) {
-      ++scheduled_;
-      const std::uint64_t seq = seq_++;  // burned even for cancelled children
-      Rec& r = rec(c->idx);
-      r.pending_commit = false;
-      if (!r.armed || r.gen != c->gen) {  // cancelled within the phase
-        free_.push_back(c->idx);
-        continue;
-      }
-      const Node n{c->when, 0, seq, c->gen, c->idx, c->domain};
-      if (c->when - now_ < kCalendarSlots) {
-        r.in_calendar = true;
-        Bucket& b = cal_[static_cast<std::size_t>(c->when & (kCalendarSlots - 1))];
-        if (b.head == b.items.size()) {
-          b.items.clear();
-          b.head = 0;
+  };
+
+  /// Coordinator-side merge after a worker phase: replays the window from
+  /// the per-worker execution logs in exact serial firing order. The heap is
+  /// seeded with every drained node (original seqs); popping an item
+  /// consumes the owning worker's next ExecRec and walks its children in
+  /// call order, assigning each the seq_ the serial kernel would have —
+  /// because the replay pops in (when, seq) order, which IS the serial fire
+  /// order, and the serial kernel assigns child seqs at the parent's fire
+  /// point. A still-pending child is inserted into the queue; a child that
+  /// fired in-window becomes a new replay item (continuing the recursion); a
+  /// child cancelled in-window is reclaimed, its seq burned exactly as the
+  /// serial kernel burns a seq on schedule-then-cancel.
+  ///
+  /// Caller must set_now() to the window's final time *before* committing so
+  /// calendar placement of pending children uses the post-window clock.
+  /// `batch_worker[i]` names the worker that executed batch[i]. Returns the
+  /// number of events fired in the window.
+  std::uint64_t par_commit_window(std::vector<ParLane>& lanes, const std::vector<Node>& batch,
+                                  const std::vector<std::uint32_t>& batch_worker) {
+    replay_.clear();
+    replay_.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      replay_.push_back(RItem{batch[i].when, batch[i].seq, batch_worker[i], batch[i].idx});
+    }
+    std::make_heap(replay_.begin(), replay_.end(), RLater{});
+    replay_cur_.assign(lanes.size(), 0);
+    while (!replay_.empty()) {
+      std::pop_heap(replay_.begin(), replay_.end(), RLater{});
+      const RItem it = replay_.back();
+      replay_.pop_back();
+      ParLane& lane = lanes[it.worker];
+      assert(replay_cur_[it.worker] < lane.execs.size());
+      const ExecRec& ex = lane.execs[replay_cur_[it.worker]++];
+      assert(ex.idx == it.idx && ex.when == it.when && "replay out of step with worker log");
+      (void)ex;
+      for (std::uint32_t k = ex.first_child; k < ex.first_child + ex.num_children; ++k) {
+        const ParChild& c = lane.children[k];
+        ++scheduled_;
+        const std::uint64_t seq = seq_++;  // burned even for cancelled children
+        Rec& r = rec(c.idx);
+        r.pending_commit = false;
+        if (r.armed && r.gen == c.gen) {
+          // Still pending after the window: insert with its serial seq.
+          const Node n{c.when, 0, seq, c.gen, c.idx, c.domain};
+          if (c.when - now_ < kCalendarSlots) {
+            r.in_calendar = true;
+            Bucket& b = cal_[static_cast<std::size_t>(c.when & (kCalendarSlots - 1))];
+            if (b.head == b.items.size()) {
+              b.items.clear();
+              b.head = 0;
+            }
+            b.items.push_back(n);
+            ++cal_live_;
+            if (c.when < cal_scan_) cal_scan_ = c.when;
+          } else {
+            heap_.push_back(n);
+            std::push_heap(heap_.begin(), heap_.end(), Later{});
+          }
+          ++live_;
+        } else if (c.exec >= 0) {
+          // Fired inside the window: continue the replay through it.
+          replay_.push_back(RItem{c.when, seq, it.worker, c.idx});
+          std::push_heap(replay_.begin(), replay_.end(), RLater{});
+        } else {
+          // Cancelled inside the window before it could fire.
+          free_.push_back(c.idx);
         }
-        b.items.push_back(n);
-        ++cal_live_;
-        if (c->when < cal_scan_) cal_scan_ = c->when;
-      } else {
-        heap_.push_back(n);
-        std::push_heap(heap_.begin(), heap_.end(), Later{});
       }
-      ++live_;
     }
     std::uint64_t fired = 0;
     for (ParLane& lane : lanes) {
@@ -766,12 +940,18 @@ class EventQueue {
         free_.push_back(pc.idx);
       }
       for (std::uint32_t idx : lane.done_slots) free_.push_back(idx);
-      live_ -= lane.fired;
-      fired += lane.fired;
+      live_ -= lane.drained_fired;  // fired children never entered live_
+      fired += lane.drained_fired + lane.child_fired;
       lane.children.clear();
       lane.cancels.clear();
       lane.done_slots.clear();
-      lane.fired = 0;
+      lane.execs.clear();
+      lane.inwin.clear();
+      lane.drained_fired = 0;
+      lane.child_fired = 0;
+      lane.local_now = 0;
+      lane.max_fired_when = 0;
+      lane.cur_domain = kGlobalDomain;
     }
     return fired;
   }
@@ -782,6 +962,10 @@ class EventQueue {
   }
   void par_phase_begin() { par_phase_ = true; }
   void par_phase_end() { par_phase_ = false; }
+
+  /// Last cycle of the current lookahead window (inclusive). Written by the
+  /// coordinator while workers are barrier-parked; read by par_schedule.
+  void set_par_window_end(Cycle t) { par_window_end_ = t; }
 
   std::vector<std::unique_ptr<Rec[]>> chunks_;  ///< Pooled event records.
   std::size_t slab_size_ = 0;        ///< Slots handed out so far (<= capacity).
@@ -801,12 +985,15 @@ class EventQueue {
   std::uint32_t inline_streak_ = 0;  ///< try_advance successes since the last fire.
   Rng prng_;
 
-  // Parallel-kernel state. par_phase_ is written only by the coordinator
-  // while every worker is parked at a barrier (the barrier orders the write);
-  // par_mu_ guards nothing but the free_ pops in par_schedule.
+  // Parallel-kernel state. par_phase_ and par_window_end_ are written only
+  // by the coordinator while every worker is parked at a barrier (the
+  // barrier orders the writes); par_mu_ guards nothing but the free_ pops in
+  // par_schedule.
   bool par_phase_ = false;
+  Cycle par_window_end_ = 0;
   std::mutex par_mu_;
-  std::vector<ParChild*> commit_order_;  ///< Scratch for par_commit's sort.
+  std::vector<RItem> replay_;             ///< Scratch replay heap (commit).
+  std::vector<std::size_t> replay_cur_;   ///< Per-worker ExecRec cursors.
 };
 
 inline void EventHandle::cancel() {

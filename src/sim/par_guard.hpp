@@ -1,24 +1,41 @@
 // Copyright (c) 2026 lrsim authors. MIT license.
 //
-// Thread-local marker for the parallel kernel's worker phase.
+// Thread-local markers for the parallel kernel's worker phase.
 //
-// While ParKernel executes a same-cycle batch on worker threads, simulated
+// While ParKernel executes a batch window on worker threads, simulated
 // state is partitioned by construction (each event is tagged with the core
 // domain whose private state it touches; SWMR makes the M-state owner's
 // memory writes exclusive). Host-side *shared* facilities that are not part
-// of that partition — the SimHeap bump allocator, SimMemory's first-touch
-// insertion — must not be reached from a worker, or runs stop being
-// bit-identical to serial (allocation order would depend on host thread
-// scheduling). They check this flag and fail loudly instead of diverging
-// silently; docs/ENGINE.md ("Parallel kernel") lists what is eligible.
+// of that partition must not be reached from a worker, or runs stop being
+// bit-identical to serial. Since PR 7, SimHeap allocation and SimMemory
+// first-touch route through deterministic per-core arenas and ARE legal in
+// a worker phase when performed on behalf of the executing core; the guard
+// below remains as the loud backstop for anything still outside the
+// partition (global-heap allocation, cross-core arena access).
+// docs/ENGINE.md ("Parallel kernel") lists what is eligible.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/types.hpp"
+
 namespace lrsim::par {
 
 inline thread_local bool t_in_worker_phase = false;
+
+/// Core whose event the current worker thread is executing, or -1 outside a
+/// worker phase. Set by ParKernel before each fire; used by SimHeap to check
+/// that arena allocations stay within the executing core's partition.
+inline thread_local CoreId t_current_core = -1;
+
+/// Name of the workload currently driving the machine ("<struct>/<policy>"
+/// from the registry, or whatever the harness sets). Purely diagnostic:
+/// quoted by unsafe_in_worker so eligibility regressions name themselves.
+inline const char*& workload_name() noexcept {
+  static const char* name = "(unnamed workload)";
+  return name;
+}
 
 /// True on a ParKernel worker thread while it is executing a batch.
 inline bool in_worker_phase() noexcept { return t_in_worker_phase; }
@@ -26,16 +43,31 @@ inline bool in_worker_phase() noexcept { return t_in_worker_phase; }
 /// Set by ParKernel worker threads at startup; never call from user code.
 inline void set_worker_thread(bool v) noexcept { t_in_worker_phase = v; }
 
+/// Set by ParKernel before firing each event; -1 when not in a worker phase.
+inline void set_current_core(CoreId c) noexcept { t_current_core = c; }
+
+/// Core owning the event the calling worker thread is executing (-1 if none).
+inline CoreId current_core() noexcept { return t_current_core; }
+
+/// Records which workload is running, for abort diagnostics. The pointer
+/// must stay valid for the duration of the run (string literals or
+/// registry-owned storage).
+inline void set_workload_name(const char* name) noexcept {
+  workload_name() = name != nullptr ? name : "(unnamed workload)";
+}
+
 /// Hard stop for operations that would break serial-equivalence if run
 /// concurrently. Abort (not throw): the caller may be deep inside a
 /// coroutine resumed on a worker thread, where unwinding would tear the
-/// simulation state anyway.
+/// simulation state anyway. Names the workload and executing core so the
+/// report is actionable without a debugger.
 [[noreturn]] inline void unsafe_in_worker(const char* what) {
   std::fprintf(stderr,
-               "lrsim: %s inside a parallel worker phase; this workload "
-               "performs per-operation allocation and must run with "
-               "--sim-threads 0 (docs/ENGINE.md, \"Parallel kernel\")\n",
-               what);
+               "lrsim: %s inside a parallel worker phase (workload \"%s\", "
+               "core %d); this operation is outside the per-core partition "
+               "and must run with --sim-threads 0 (docs/ENGINE.md, "
+               "\"Parallel kernel\")\n",
+               what, workload_name(), static_cast<int>(t_current_core));
   std::abort();
 }
 

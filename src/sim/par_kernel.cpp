@@ -2,20 +2,32 @@
 
 #include "sim/par_kernel.hpp"
 
+#include <algorithm>
 #include <cstddef>
+#include <numeric>
 
 #include "sim/par_guard.hpp"
 
 namespace lrsim {
 
-ParKernel::ParKernel(EventQueue& ev, int workers, std::size_t reserve_per_event)
+ParKernel::ParKernel(EventQueue& ev, int workers, std::size_t reserve_per_event, int num_cores,
+                     Cycle window)
     : ev_(ev),
       nworkers_(workers),
       reserve_per_event_(reserve_per_event),
+      num_cores_(num_cores),
+      window_(window),
       lanes_(static_cast<std::size_t>(workers)),
       shards_(static_cast<std::size_t>(workers)),
+      shard_map_(static_cast<std::size_t>(num_cores)),
+      occupancy_(static_cast<std::size_t>(num_cores), 0),
+      seen_(static_cast<std::size_t>(num_cores), 0),
       start_(workers + 1),
       done_(workers + 1) {
+  for (int c = 0; c < num_cores; ++c) {
+    shard_map_[static_cast<std::size_t>(c)] =
+        static_cast<std::uint32_t>(c % workers);
+  }
   threads_.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
     threads_.emplace_back([this, w] { worker_main(w); });
@@ -30,24 +42,73 @@ ParKernel::~ParKernel() {
 
 void ParKernel::worker_main(int w) {
   // The lane pointer routes this thread's schedule/cancel calls during a
-  // worker phase; the par_guard flag trips SimHeap/first-touch aborts. Both
-  // are thread-local and stay set for the thread's lifetime — outside a
-  // phase the thread only waits on start_, executing nothing.
+  // worker phase; the par_guard flag trips heap/first-touch ownership
+  // aborts. Both are thread-local and stay set for the thread's lifetime —
+  // outside a phase the thread only waits on start_, executing nothing.
   EventQueue::par_lane_tls() = &lanes_[static_cast<std::size_t>(w)];
   par::set_worker_thread(true);
   for (;;) {
     start_.arrive_and_wait();
     if (stop_.load(std::memory_order_relaxed)) return;
     EventQueue::ParLane& lane = lanes_[static_cast<std::size_t>(w)];
-    for (const WorkItem& it : shards_[static_cast<std::size_t>(w)]) {
-      ev_.par_fire(lane, it.node, it.parent);
+    const std::vector<EventQueue::LocalEntry>& shard = shards_[static_cast<std::size_t>(w)];
+    // Merge the pre-sorted shard slice (drained nodes, ascending (when, seq))
+    // with the in-window children heap that fills as events execute. At one
+    // cycle every drained node precedes every child (see LocalEntry).
+    std::size_t si = 0;
+    std::vector<EventQueue::LocalEntry>& q = lane.inwin;
+    while (si < shard.size() || !q.empty()) {
+      bool take_shard;
+      if (q.empty()) {
+        take_shard = true;
+      } else if (si == shard.size()) {
+        take_shard = false;
+      } else {
+        take_shard = shard[si].when <= q.front().when;
+      }
+      if (take_shard) {
+        ev_.par_fire_entry(lane, shard[si++]);
+      } else {
+        std::pop_heap(q.begin(), q.end(), EventQueue::LocalLater{});
+        const EventQueue::LocalEntry e = q.back();
+        q.pop_back();
+        ev_.par_fire_entry(lane, e);
+      }
     }
+    par::set_current_core(-1);
     done_.arrive_and_wait();
   }
 }
 
+void ParKernel::maybe_rebalance() {
+  if (++windows_since_rebalance_ < kRebalanceInterval) return;
+  windows_since_rebalance_ = 0;
+  // LPT greedy: heaviest cores first, each onto the least-loaded worker
+  // (lowest index on ties). Deterministic given the occupancy counts, which
+  // depend only on simulated-event traffic — but the map never influences
+  // simulated results anyway, only which host thread runs which core.
+  order_.resize(static_cast<std::size_t>(num_cores_));
+  std::iota(order_.begin(), order_.end(), 0u);
+  std::stable_sort(order_.begin(), order_.end(), [this](std::uint32_t a, std::uint32_t b) {
+    if (occupancy_[a] != occupancy_[b]) return occupancy_[a] > occupancy_[b];
+    return a < b;
+  });
+  load_.assign(static_cast<std::size_t>(nworkers_), 0);
+  for (const std::uint32_t core : order_) {
+    std::size_t best = 0;
+    for (std::size_t w = 1; w < load_.size(); ++w) {
+      if (load_[w] < load_[best]) best = w;
+    }
+    shard_map_[core] = static_cast<std::uint32_t>(best);
+    load_[best] += occupancy_[core];
+  }
+  std::fill(occupancy_.begin(), occupancy_.end(), 0);
+  ++stats_.rebalances;
+}
+
 std::uint64_t ParKernel::run_while(const std::function<bool()>& pred, Cycle limit,
-                                   const std::function<std::size_t()>& unfinished) {
+                                   const std::function<std::size_t()>& unfinished,
+                                   const std::vector<std::size_t>& threads_per_core) {
   std::uint64_t fired = 0;
   for (;;) {
     if (!pred()) break;
@@ -63,56 +124,125 @@ std::uint64_t ParKernel::run_while(const std::function<bool()>& pred, Cycle limi
       if (ev_.now() < limit) ev_.set_now(limit);
       break;
     }
+    const Cycle t0 = head.when;
     ev_.drain_next_cycle(batch_);
-    ev_.set_now(head.when);
+    ev_.set_now(t0);
     ++stats_.windows;
 
-    // A batch may run on the workers only when (a) every event is
-    // core-tagged — a single kGlobalDomain event can touch directory state
-    // shared with anyone; (b) the predicate cannot flip mid-batch — one
-    // event completes at most one simulated thread, so strictly more
-    // unfinished threads than batch events keeps pred() invariant; and
-    // (c) at least two shards are non-empty, otherwise parallelism is pure
-    // barrier overhead.
-    bool parallel = batch_.size() >= 2 && unfinished() > batch_.size();
-    if (parallel) {
-      for (const EventQueue::Node& n : batch_) {
-        if (n.domain == EventQueue::kGlobalDomain) {
-          parallel = false;
+    bool all_core = true;
+    for (const EventQueue::Node& n : batch_) {
+      if (n.domain == EventQueue::kGlobalDomain) {
+        all_core = false;
+        break;
+      }
+    }
+    const std::size_t first_cycle_n = batch_.size();
+
+    // Extend the window up to W cycles: every additional cycle of core-only
+    // events joins the batch. A cycle holding a global event is requeued
+    // whole (original seqs preserved) and closes the window early — the
+    // in-window children of the kept cycles must serial-order after it, so
+    // the effective window end moves back to just before it.
+    Cycle window_end = t0;
+    if (all_core && window_ > 1) {
+      window_end = t0 + window_ - 1;
+      if (window_end > limit) window_end = limit;
+      for (;;) {
+        const Cycle next = ev_.peek_next_when();
+        if (next > window_end) break;
+        ev_.drain_next_cycle(extra_);
+        bool cycle_core = true;
+        for (const EventQueue::Node& n : extra_) {
+          if (n.domain == EventQueue::kGlobalDomain) {
+            cycle_core = false;
+            break;
+          }
+        }
+        if (!cycle_core) {
+          for (const EventQueue::Node& n : extra_) ev_.requeue_drained(n);
+          window_end = next - 1;
           break;
         }
+        batch_.insert(batch_.end(), extra_.begin(), extra_.end());
       }
+    }
+
+    // A window may run on the workers only when (a) every event is
+    // core-tagged — a single kGlobalDomain event can touch directory state
+    // shared with anyone; (b) the predicate cannot flip mid-window — a
+    // window completes at most the simulated threads of the cores it
+    // touches, so strictly more unfinished threads than that keeps pred()
+    // invariant; and (c) at least two shards are non-empty, otherwise
+    // parallelism is pure barrier overhead.
+    bool parallel = all_core && batch_.size() >= 2;
+    std::size_t involved = 0;
+    if (parallel) {
+      std::size_t max_completions = 0;
+      touched_.clear();
+      for (const EventQueue::Node& n : batch_) {
+        if (seen_[n.domain] == 0) {
+          seen_[n.domain] = 1;
+          touched_.push_back(n.domain);
+          max_completions += threads_per_core[n.domain];
+        }
+      }
+      involved = touched_.size();
+      for (const std::uint32_t d : touched_) seen_[d] = 0;
+      parallel = unfinished() > max_completions;
     }
     if (parallel) {
       std::size_t nonempty = 0;
       for (auto& s : shards_) s.clear();
-      for (std::size_t i = 0; i < batch_.size(); ++i) {
-        auto& shard =
-            shards_[batch_[i].domain % static_cast<std::uint32_t>(nworkers_)];
-        if (shard.empty()) ++nonempty;
-        shard.push_back(WorkItem{batch_[i], static_cast<std::uint32_t>(i)});
+      batch_worker_.clear();
+      for (const EventQueue::Node& n : batch_) {
+        const std::uint32_t w = shard_map_[n.domain];
+        if (shards_[w].empty()) ++nonempty;
+        shards_[w].push_back(
+            EventQueue::LocalEntry{n.when, n.seq, n.idx, n.gen, n.domain, /*cls=*/0});
+        batch_worker_.push_back(w);
+        ++occupancy_[n.domain];
       }
       parallel = nonempty >= 2;
     }
 
     if (parallel) {
-      ev_.par_reserve(batch_.size() * reserve_per_event_);
+      // Each executed event may schedule up to reserve_per_event_ children,
+      // and each involved core can chain up to one in-window child per
+      // window cycle — reserve for both so workers never grow the slab.
+      ev_.par_reserve((batch_.size() + involved * (static_cast<std::size_t>(window_) + 1)) *
+                      reserve_per_event_);
+      ev_.set_par_window_end(window_end);
       ev_.par_phase_begin();
       start_.arrive_and_wait();
       done_.arrive_and_wait();
       ev_.par_phase_end();
-      const std::uint64_t batch_fired = ev_.par_commit(lanes_);
-      fired += batch_fired;
+      // Serial execution would leave now() at the last fired event; restore
+      // that before the replay so committed children land on the right side
+      // of the calendar horizon.
+      Cycle max_when = ev_.now();
+      for (const EventQueue::ParLane& lane : lanes_) {
+        if (lane.max_fired_when > max_when) max_when = lane.max_fired_when;
+      }
+      ev_.set_now(max_when);
+      const std::uint64_t window_fired = ev_.par_commit_window(lanes_, batch_, batch_worker_);
+      fired += window_fired;
       ++stats_.parallel_windows;
-      stats_.parallel_events += batch_fired;
+      stats_.parallel_events += window_fired;
+      maybe_rebalance();
     } else {
+      // Serial fallback fires only the first drained cycle — events of later
+      // window cycles go back to the queue, because events fired at t0 may
+      // schedule children that serial-order before them.
+      for (std::size_t j = first_cycle_n; j < batch_.size(); ++j) {
+        ev_.requeue_drained(batch_[j]);
+      }
       bool stopped = false;
-      for (std::size_t i = 0; i < batch_.size(); ++i) {
+      for (std::size_t i = 0; i < first_cycle_n; ++i) {
         // Serial run_impl checks pred() before every fire; replicate that,
         // and if it flips, hand the unexecuted tail back to the queue with
         // its original ordering keys.
         if (i > 0 && !pred()) {
-          for (std::size_t j = i; j < batch_.size(); ++j) {
+          for (std::size_t j = i; j < first_cycle_n; ++j) {
             ev_.requeue_drained(batch_[j]);
           }
           stopped = true;

@@ -3,39 +3,50 @@
 // ParKernel: a conservatively-synchronized parallel driver for EventQueue,
 // bit-identical to the serial kernel by construction.
 //
-// The synchronization unit is the *same-cycle batch*: the coordinator drains
-// every event pending at the minimum cycle t (drain_next_cycle pops them in
-// serial firing order), advances now() to t, and then picks one of two
-// execution modes:
+// The synchronization unit is the *lookahead window*: W consecutive cycles,
+// where W = min(l1_latency, 1) + min_network_transit is the minimum modeled
+// delay from a core event to any event that can touch shared directory/L2
+// state. Every core→directory request leg costs at least l1_latency plus
+// the core↔home transit, and every probe/back-invalidate response costs at
+// least 1 + transit (the directory folds the return trip into the
+// continuation's delay) — so no event drained at cycle t can schedule a
+// *global* event before t + W, and the first W cycles of core-tagged events
+// are closed under per-core execution.
 //
-//  * Parallel — only when every event in the batch carries a core-domain
-//    tag (schedule_*_on), at least two shards are non-empty, and more
-//    simulated threads remain unfinished than the batch could possibly
-//    complete (so the run predicate cannot flip mid-batch). Events are
-//    sharded by core id, executed on persistent worker threads, and their
-//    schedule/cancel calls land in per-worker lanes that the coordinator
-//    commits at the closing barrier in exactly serial order (see the
+// The coordinator drains all events in [t0, t0 + W - 1] (stopping early at
+// the run horizon or at a cycle holding a global-domain event, which is
+// requeued whole), advances now() to t0, and picks an execution mode:
+//
+//  * Parallel — only when every drained event carries a core-domain tag
+//    (schedule_*_on), at least two shards are non-empty, and more simulated
+//    threads remain unfinished than the involved cores could possibly
+//    complete (so the run predicate cannot flip mid-window). Each worker
+//    owns a set of cores (the adaptive shard map), executes its slice in
+//    serial-projection order under a per-worker virtual clock, runs
+//    same-domain children that land inside the window at their correct
+//    local time, and logs everything; the coordinator replays the logs at
+//    the closing barrier into exactly the serial schedule order (see the
 //    ParLane protocol in event_queue.hpp).
-//  * Serial — everything else: the coordinator fires the drained batch in
-//    order, checking the predicate before each event and re-queueing the
-//    remainder (original seq preserved) if it flips.
+//  * Serial — everything else: the coordinator fires the first drained
+//    cycle in order (requeueing any extension cycles), checking the
+//    predicate before each event and re-queueing the remainder (original
+//    seq preserved) if it flips.
 //
-// Why batches instead of the net-latency lookahead windows classic PDES
-// uses: this codebase's directory deliberately mutates cross-domain state
-// synchronously inside single events (Directory::complete re-arms the line
-// queue and invokes the requester's install in one event; probe arrivals
-// clear sharer bits at the core-side event), so the only sound lookahead
-// between an arbitrary event pair is zero cycles. Same-cycle core-tagged
-// events, however, are provably independent: domain tags partition private
-// state, and SWMR makes the M-state owner's data writes exclusive. The
-// network latency still does the heavy lifting — it is what piles many
-// cores' independent completions onto the same cycle in contended runs.
+// Shard assignment adapts to the workload: per-core occupancy is counted
+// across parallel windows and every kRebalanceInterval windows the core→
+// worker map is rebuilt greedily (heaviest cores first onto the least
+// loaded worker). The map only changes between windows and the commit
+// replay is ordered by (when, seq) — never by shard — so rebalancing is
+// invisible to simulated results.
 //
 // Safety rails: perturbation, tracing, observability and the invariant
-// checker force serial mode (Machine::par_eligible); SimHeap/SimMemory
-// first-touch abort if reached from a worker (par_guard.hpp); the fast-path
-// window stays closed during ParKernel runs, which PR 4 proved
-// behavior-identical. docs/ENGINE.md, "Parallel kernel", has the full story.
+// checker force serial mode (Machine::par_eligible); SimHeap's global
+// region and cross-core arena touches abort if reached from a worker
+// (par_guard.hpp); a cross-domain event scheduled *inside* the window
+// aborts in par_schedule (it would mean the latency model was violated);
+// the fast-path window stays closed during ParKernel runs, which PR 4
+// proved behavior-identical. docs/ENGINE.md, "Parallel kernel", has the
+// full story.
 #pragma once
 
 #include <atomic>
@@ -51,24 +62,32 @@
 namespace lrsim {
 
 /// Introspection counters for tests and tuning. `windows` counts drained
-/// same-cycle batches; a window is either dispatched to workers
-/// (parallel_windows / parallel_events) or fired by the coordinator
-/// (serial_events, counted per event because a window can be cut short by a
-/// predicate stop).
+/// batches; a window is either dispatched to workers (parallel_windows /
+/// parallel_events, the latter including in-window children) or fired by
+/// the coordinator (serial_events, counted per event because a window can
+/// be cut short by a predicate stop). `rebalances` counts shard-map
+/// rebuilds.
 struct ParKernelStats {
   std::uint64_t windows = 0;
   std::uint64_t parallel_windows = 0;
   std::uint64_t parallel_events = 0;
   std::uint64_t serial_events = 0;
+  std::uint64_t rebalances = 0;
 };
 
 class ParKernel {
  public:
+  /// Parallel windows between adaptive shard-map rebuilds.
+  static constexpr std::uint64_t kRebalanceInterval = 32;
+
   /// Spawns `workers` persistent threads against `ev`. `reserve_per_event`
-  /// bounds how many events one batch event may schedule (lease-table
+  /// bounds how many events one executed event may schedule (lease-table
   /// servicing fan-out); the coordinator pre-stocks the slab's free list
-  /// with batch_size * reserve_per_event slots before each worker phase.
-  ParKernel(EventQueue& ev, int workers, std::size_t reserve_per_event);
+  /// before each worker phase. `num_cores` sizes the shard map; `window` is
+  /// the lookahead width W in cycles (>= 1; Machine derives it from the
+  /// modeled latencies).
+  ParKernel(EventQueue& ev, int workers, std::size_t reserve_per_event, int num_cores,
+            Cycle window);
   ~ParKernel();
 
   ParKernel(const ParKernel&) = delete;
@@ -76,29 +95,43 @@ class ParKernel {
 
   /// Drop-in replacement for EventQueue::run_while with the same pred/limit
   /// semantics (including the bounded-horizon now() guarantee). `unfinished`
-  /// reports how many simulated threads have not completed — the batch-size
-  /// guard that keeps the predicate stable across a parallel window.
+  /// reports how many simulated threads have not completed, and
+  /// `threads_per_core[c]` how many were spawned on core c — together the
+  /// guard that keeps the predicate stable across a parallel window (a
+  /// window can complete at most the threads of the cores it touches).
   std::uint64_t run_while(const std::function<bool()>& pred, Cycle limit,
-                          const std::function<std::size_t()>& unfinished);
+                          const std::function<std::size_t()>& unfinished,
+                          const std::vector<std::size_t>& threads_per_core);
 
   const ParKernelStats& stats() const noexcept { return stats_; }
   int workers() const noexcept { return nworkers_; }
+  Cycle window() const noexcept { return window_; }
+
+  /// Current core→worker shard map (tests / introspection).
+  const std::vector<std::uint32_t>& shard_map() const noexcept { return shard_map_; }
 
  private:
-  struct WorkItem {
-    EventQueue::Node node;
-    std::uint32_t parent;  ///< Index in the drained batch (serial order).
-  };
-
   void worker_main(int w);
+  void maybe_rebalance();
 
   EventQueue& ev_;
   const int nworkers_;
   const std::size_t reserve_per_event_;
+  const int num_cores_;
+  const Cycle window_;
   ParKernelStats stats_;
-  std::vector<EventQueue::ParLane> lanes_;     ///< One per worker.
-  std::vector<std::vector<WorkItem>> shards_;  ///< Per-worker batch slices.
-  std::vector<EventQueue::Node> batch_;        ///< Drain scratch.
+  std::vector<EventQueue::ParLane> lanes_;  ///< One per worker.
+  std::vector<std::vector<EventQueue::LocalEntry>> shards_;  ///< Per-worker slices.
+  std::vector<EventQueue::Node> batch_;       ///< Window drain scratch.
+  std::vector<EventQueue::Node> extra_;       ///< Extension-cycle drain scratch.
+  std::vector<std::uint32_t> batch_worker_;   ///< Worker of batch_[i].
+  std::vector<std::uint32_t> shard_map_;      ///< core -> worker.
+  std::vector<std::uint64_t> occupancy_;      ///< Per-core drained-event counts.
+  std::vector<std::uint8_t> seen_;            ///< Guard scratch (per core).
+  std::vector<std::uint32_t> touched_;        ///< Cores seen in this window.
+  std::vector<std::uint64_t> load_;           ///< Rebalance scratch (per worker).
+  std::vector<std::uint32_t> order_;          ///< Rebalance scratch (core order).
+  std::uint64_t windows_since_rebalance_ = 0;
   std::barrier<> start_;
   std::barrier<> done_;
   std::atomic<bool> stop_{false};

@@ -9,12 +9,17 @@
 #include <memory>
 #include <stdexcept>
 
+#include "ds/bst.hpp"
 #include "ds/counter.hpp"
+#include "ds/harris_list.hpp"
+#include "ds/hashtable.hpp"
 #include "ds/ms_queue.hpp"
 #include "ds/skiplist_pq.hpp"
+#include "ds/skiplist_set.hpp"
 #include "ds/spraylist.hpp"
 #include "ds/treiber_stack.hpp"
 #include "ds/two_lock_queue.hpp"
+#include "sim/par_guard.hpp"
 #include "sync/cohort_lock.hpp"
 
 namespace lrsim::workload {
@@ -327,18 +332,138 @@ WorkloadRun make_pq(const WorkloadSpec& spec, const std::string& policy, PhaseLo
   return run;
 }
 
-const std::vector<std::string> kStructures = {"counter", "treiber_stack", "ms_queue",
-                                              "skiplist_pq"};
+// --- keyed sets (hashtable / harris_list / skiplist_set / bst) --------------
+//
+// One op mix for all set structures: op A is an *update* — one extra
+// next_bool(0.5) draw picks insert vs remove — and op B is a lookup, so
+// `mix` is the update fraction (the paper's low-contention runs are
+// mix = 0.2: 20% updates / 80% searches). Keys are 1 + sampler draw: key 0
+// is the head-sentinel key in the list-shaped structures.
+
+Task<void> set_insert(LockedHashTable& s, Ctx& ctx, std::uint64_t key) {
+  co_await s.insert(ctx, key, kPayload);
+}
+template <typename Set>
+Task<void> set_insert(Set& s, Ctx& ctx, std::uint64_t key) {
+  co_await s.insert(ctx, key);
+}
+Task<void> set_lookup(LockedHashTable& s, Ctx& ctx, std::uint64_t key) {
+  co_await s.get(ctx, key);
+}
+template <typename Set>
+Task<void> set_lookup(Set& s, Ctx& ctx, std::uint64_t key) {
+  co_await s.contains(ctx, key);
+}
+
+template <typename Set>
+std::function<std::function<Task<void>(Ctx&, int)>(Machine&)> set_build(
+    const WorkloadSpec& spec, PhaseLog* phase_log,
+    std::function<std::shared_ptr<Set>(Machine&)> make_set) {
+  return [spec, phase_log, make_set](Machine& m) {
+    auto set = make_set(m);
+    auto sampler = make_sampler(spec, m, phase_log);
+    const int prefill = resolved_prefill(spec);
+    m.spawn(0, [set, sampler, prefill](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < prefill; ++i)
+        co_await set_insert(*set, ctx, 1 + sampler->sample(ctx.rng(), ctx.now(), ctx.core()));
+    });
+    m.run();
+    auto sh = std::make_shared<Shared>();
+    sh->sampler = sampler;
+    sh->op_a = [set, sampler](Ctx& ctx, Rng& rng) -> Task<void> {
+      const std::uint64_t key = 1 + sampler->sample(rng, ctx.now(), ctx.core());
+      if (rng.next_bool(0.5)) {
+        co_await set_insert(*set, ctx, key);
+      } else {
+        co_await set->remove(ctx, key);
+      }
+    };
+    sh->op_b = [set, sampler](Ctx& ctx, Rng& rng) -> Task<void> {
+      co_await set_lookup(*set, ctx, 1 + sampler->sample(rng, ctx.now(), ctx.core()));
+    };
+    return finish_build(spec, m, sh);
+  };
+}
+
+const std::vector<std::string> kSetPolicies = {"base", "lease"};
+
+bool set_policy_lease(const std::string& ds, const std::string& policy) {
+  if (policy == "lease") return true;
+  if (policy != "base") throw std::invalid_argument("unknown " + ds + " policy `" + policy + "`");
+  return false;
+}
+
+WorkloadRun make_hashtable(const WorkloadSpec& spec, const std::string& policy,
+                           PhaseLog* phase_log) {
+  const bool lease = set_policy_lease("hashtable", policy);
+  WorkloadRun run;
+  run.configure = [lease](MachineConfig& cfg) { cfg.leases_enabled = lease; };
+  run.build = set_build<LockedHashTable>(spec, phase_log, [lease](Machine& m) {
+    return std::make_shared<LockedHashTable>(m, HashTableOptions{.use_lease = lease});
+  });
+  return run;
+}
+
+WorkloadRun make_harris(const WorkloadSpec& spec, const std::string& policy,
+                        PhaseLog* phase_log) {
+  const bool lease = set_policy_lease("harris_list", policy);
+  WorkloadRun run;
+  run.configure = [lease](MachineConfig& cfg) { cfg.leases_enabled = lease; };
+  run.build = set_build<HarrisList>(spec, phase_log, [lease](Machine& m) {
+    return std::make_shared<HarrisList>(m, HarrisOptions{.use_lease = lease});
+  });
+  return run;
+}
+
+WorkloadRun make_skiplist_set(const WorkloadSpec& spec, const std::string& policy,
+                              PhaseLog* phase_log) {
+  const bool lease = set_policy_lease("skiplist_set", policy);
+  WorkloadRun run;
+  run.configure = [lease](MachineConfig& cfg) { cfg.leases_enabled = lease; };
+  run.build = set_build<LockFreeSkipList>(spec, phase_log, [lease](Machine& m) {
+    return std::make_shared<LockFreeSkipList>(m, LfSkipListOptions{.use_lease = lease});
+  });
+  return run;
+}
+
+WorkloadRun make_bst(const WorkloadSpec& spec, const std::string& policy, PhaseLog* phase_log) {
+  const bool lease = set_policy_lease("bst", policy);
+  WorkloadRun run;
+  run.configure = [lease](MachineConfig& cfg) { cfg.leases_enabled = lease; };
+  run.build = set_build<ExternalBst>(spec, phase_log, [lease](Machine& m) {
+    return std::make_shared<ExternalBst>(m, BstOptions{.use_lease = lease});
+  });
+  return run;
+}
+
+const std::vector<std::string> kStructures = {"counter",     "treiber_stack", "ms_queue",
+                                              "skiplist_pq", "hashtable",     "harris_list",
+                                              "skiplist_set", "bst"};
+
+/// Latches the workload's name for parallel-kernel abort diagnostics
+/// (par_guard.hpp): a worker-phase violation names the workload it happened
+/// under. Static storage — the diagnostic may fire long after make_workload
+/// returns.
+void latch_workload_name(const WorkloadSpec& spec, const std::string& policy) {
+  static std::string name;
+  name = spec.ds + "/" + policy;
+  par::set_workload_name(name.c_str());
+}
 
 }  // namespace
 
 WorkloadRun make_workload(const WorkloadSpec& spec, const std::string& policy,
                           PhaseLog* phase_log) {
   spec.validate();
+  latch_workload_name(spec, policy);
   if (spec.ds == "counter") return make_counter(spec, policy);
   if (spec.ds == "treiber_stack") return make_stack(spec, policy);
   if (spec.ds == "ms_queue") return make_queue(spec, policy);
   if (spec.ds == "skiplist_pq") return make_pq(spec, policy, phase_log);
+  if (spec.ds == "hashtable") return make_hashtable(spec, policy, phase_log);
+  if (spec.ds == "harris_list") return make_harris(spec, policy, phase_log);
+  if (spec.ds == "skiplist_set") return make_skiplist_set(spec, policy, phase_log);
+  if (spec.ds == "bst") return make_bst(spec, policy, phase_log);
   std::string known;
   for (const auto& s : kStructures) known += (known.empty() ? "" : ", ") + s;
   throw std::invalid_argument("unknown workload ds `" + spec.ds + "` (registered: " + known + ")");
@@ -351,6 +476,8 @@ const std::vector<std::string>& policies_for(const std::string& ds) {
   if (ds == "treiber_stack") return kStackPolicies;
   if (ds == "ms_queue") return kQueuePolicies;
   if (ds == "skiplist_pq") return kPqPolicies;
+  if (ds == "hashtable" || ds == "harris_list" || ds == "skiplist_set" || ds == "bst")
+    return kSetPolicies;
   throw std::invalid_argument("unknown workload ds `" + ds + "`");
 }
 

@@ -26,10 +26,19 @@
 //                                     two-lock, two-lock+lease
 //   skiplist_pq  insert / delete_min  lotan, global-lock,
 //                                     global-lock+lease, spray
+//   hashtable    update / lookup      base, lease
+//   harris_list  update / lookup      base, lease
+//   skiplist_set update / lookup      base, lease
+//   bst          update / lookup      base, lease
 //
-// Key distributions apply to the keyed structure (skiplist_pq priorities);
-// counter/stack/queue are keyless and draw no keys — preserving the legacy
-// draw sequences is what makes byte-identical replay possible.
+// The keyed *set* structures share one mix shape: op A is an update (an
+// extra next_bool(0.5) draw picks insert vs remove) and op B a lookup, so
+// `mix` is the update fraction — the paper's low-contention experiments
+// are mix = 0.2 (20% updates / 80% searches).
+//
+// Key distributions apply to the keyed structures (skiplist_pq priorities,
+// set keys); counter/stack/queue are keyless and draw no keys — preserving
+// the legacy draw sequences is what makes byte-identical replay possible.
 #pragma once
 
 #include <functional>

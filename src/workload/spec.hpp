@@ -24,8 +24,10 @@ struct WorkloadSpec {
 
   /// Fraction of "op A" in the two-op mix. Per structure, op A / op B are:
   /// counter: inc / —, treiber_stack: push / pop, ms_queue: enq / deq,
-  /// skiplist_pq: insert / delete_min. Single-op structures ignore it (and
-  /// the driver draws nothing, preserving the legacy PRNG sequences).
+  /// skiplist_pq: insert / delete_min; the keyed sets (hashtable,
+  /// harris_list, skiplist_set, bst): update / lookup, so mix is the
+  /// update fraction. Single-op structures ignore it (and the driver draws
+  /// nothing, preserving the legacy PRNG sequences).
   double mix = 0.5;
 
   std::uint64_t key_range = 1 << 16;  ///< Keys in [0, key_range).

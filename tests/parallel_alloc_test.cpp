@@ -1,0 +1,194 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Parallel-kernel coverage for *allocating* workloads: deterministic
+// per-core heap arenas (mem/heap.hpp) make SimHeap::alloc and SimMemory
+// first-touch legal inside worker phases, so the linked structures
+// (treiber_stack, ms_queue) are parallel-eligible. These tests pin
+//
+//  * the bit-identity claim for allocating workloads: --sim-threads {2,4}
+//    vs serial across seeds and mesh on/off, with the kernel actually
+//    engaging (parallel_events > 0); and
+//  * the arena address map itself: arena placement is a pure function of
+//    (core, allocation order), so the serial and parallel kernels assign
+//    identical simulated addresses by construction — the golden values
+//    below only move if the layout constants change.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ds/ms_queue.hpp"
+#include "ds/treiber_stack.hpp"
+#include "mem/heap.hpp"
+#include "sim_test_util.hpp"
+
+namespace lrsim {
+namespace {
+
+using testing::small_config;
+
+struct RunOutcome {
+  Cycle cycles = 0;
+  Stats total;
+  std::vector<Stats> per_core;
+  std::uint64_t parallel_events = 0;  ///< 0 under the serial kernel.
+};
+
+void expect_identical(const RunOutcome& serial, const RunOutcome& parallel) {
+  EXPECT_EQ(serial.cycles, parallel.cycles);
+  EXPECT_EQ(serial.total, parallel.total);
+  ASSERT_EQ(serial.per_core.size(), parallel.per_core.size());
+  for (std::size_t c = 0; c < serial.per_core.size(); ++c) {
+    EXPECT_EQ(serial.per_core[c], parallel.per_core[c]) << "core " << c << " stats diverged";
+  }
+}
+
+RunOutcome finish(Machine& m, int cores, Cycle cycles) {
+  RunOutcome out;
+  out.cycles = cycles;
+  out.total = m.total_stats();
+  for (CoreId c = 0; c < cores; ++c) out.per_core.push_back(m.core_stats(c));
+  if (const ParKernelStats* ps = m.par_stats()) out.parallel_events = ps->parallel_events;
+  return out;
+}
+
+/// Fig. 2 stack shape: every op allocates a node line from the calling
+/// core's arena mid-worker-phase (push) or recycles one (pop). A private
+/// burst between ops keeps core-local hit traffic flowing so parallel
+/// windows actually form around the contended stack ops.
+RunOutcome run_stack(int sim_threads, int cores, bool mesh, std::uint64_t seed) {
+  MachineConfig cfg = small_config(cores, /*leases=*/true);
+  cfg.max_lease_time = 3000;
+  cfg.mesh_topology = mesh;
+  Machine m{cfg, seed};
+  m.set_sim_threads(sim_threads);
+  auto stack = std::make_shared<TreiberStack>(m, TreiberOptions{.use_lease = true});
+  std::vector<Addr> priv;
+  for (int t = 0; t < cores; ++t) priv.push_back(m.heap().alloc_line());
+  m.spawn(0, [stack](Ctx& ctx) -> Task<void> {
+    for (int i = 0; i < 32; ++i) co_await stack->push(ctx, static_cast<std::uint64_t>(i + 1));
+  });
+  m.run();
+  const Cycle cycles = testing::run_workers(m, cores, [&](Ctx& ctx, int t) -> Task<void> {
+    for (int i = 0; i < 25; ++i) {
+      for (int k = 0; k < 4; ++k) {
+        (void)co_await ctx.load(priv[static_cast<std::size_t>(t)]);
+        co_await ctx.store(priv[static_cast<std::size_t>(t)], static_cast<std::uint64_t>(i + k));
+      }
+      if (ctx.rng().next_bool(0.5)) {
+        co_await stack->push(ctx, static_cast<std::uint64_t>(i + 1));
+      } else {
+        co_await stack->pop(ctx);
+      }
+      if (ctx.rng().next_bool(0.3)) co_await ctx.work(ctx.rng().next_below(30));
+    }
+  });
+  return finish(m, cores, cycles);
+}
+
+/// Fig. 3 queue shape: enqueue allocates per-op from the caller's arena;
+/// the lease policy adds lease timers and parked-probe servicing. Same
+/// private burst as the stack run, for the same window-forming reason.
+RunOutcome run_queue(int sim_threads, int cores, bool mesh, std::uint64_t seed) {
+  MachineConfig cfg = small_config(cores, /*leases=*/true);
+  cfg.max_lease_time = 3000;
+  cfg.mesh_topology = mesh;
+  Machine m{cfg, seed};
+  m.set_sim_threads(sim_threads);
+  auto q = std::make_shared<MsQueue>(m, MsQueueOptions{.lease_mode = QueueLeaseMode::kSingle});
+  std::vector<Addr> priv;
+  for (int t = 0; t < cores; ++t) priv.push_back(m.heap().alloc_line());
+  m.spawn(0, [q](Ctx& ctx) -> Task<void> {
+    for (int i = 0; i < 32; ++i) co_await q->enqueue(ctx, static_cast<std::uint64_t>(i + 1));
+  });
+  m.run();
+  const Cycle cycles = testing::run_workers(m, cores, [&](Ctx& ctx, int t) -> Task<void> {
+    for (int i = 0; i < 25; ++i) {
+      for (int k = 0; k < 4; ++k) {
+        (void)co_await ctx.load(priv[static_cast<std::size_t>(t)]);
+        co_await ctx.store(priv[static_cast<std::size_t>(t)], static_cast<std::uint64_t>(i + k));
+      }
+      if (ctx.rng().next_bool(0.5)) {
+        co_await q->enqueue(ctx, static_cast<std::uint64_t>(i + 1));
+      } else {
+        co_await q->dequeue(ctx);
+      }
+      if (ctx.rng().next_bool(0.3)) co_await ctx.work(ctx.rng().next_below(30));
+    }
+  });
+  return finish(m, cores, cycles);
+}
+
+TEST(ParallelAllocStack, FuzzSerialVsParallelAcrossSeedsAndMesh) {
+  for (std::uint64_t seed : {1ull, 42ull, 31337ull}) {
+    for (bool mesh : {false, true}) {
+      const RunOutcome serial = run_stack(0, 8, mesh, seed);
+      EXPECT_EQ(serial.parallel_events, 0u);
+      for (int st : {2, 4}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "seed=" << seed << " mesh=" << mesh << " sim_threads=" << st);
+        const RunOutcome par = run_stack(st, 8, mesh, seed);
+        expect_identical(serial, par);
+        EXPECT_GT(par.parallel_events, 0u) << "allocating workload fell back to serial";
+      }
+    }
+  }
+}
+
+TEST(ParallelAllocQueue, FuzzSerialVsParallelAcrossSeedsAndMesh) {
+  for (std::uint64_t seed : {7ull, 99ull, 4242ull}) {
+    for (bool mesh : {false, true}) {
+      const RunOutcome serial = run_queue(0, 8, mesh, seed);
+      EXPECT_EQ(serial.parallel_events, 0u);
+      for (int st : {2, 4}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "seed=" << seed << " mesh=" << mesh << " sim_threads=" << st);
+        const RunOutcome par = run_queue(st, 8, mesh, seed);
+        expect_identical(serial, par);
+        EXPECT_GT(par.parallel_events, 0u) << "allocating workload fell back to serial";
+      }
+    }
+  }
+}
+
+TEST(HeapArenas, AddressAssignmentGolden) {
+  MachineConfig cfg = small_config(4, /*leases=*/false);
+  Machine m{cfg, 1};
+  // The global region keeps its pre-arena layout below kArenaBase.
+  const Addr g = m.heap().alloc_line();
+  EXPECT_LT(g, kArenaBase);
+  EXPECT_EQ(m.heap().arena_of(g), -1);
+  // Arena a(c) starts at kArenaBase + c * kArenaStride and bumps linearly —
+  // a pure function of (core, allocation order), independent of the kernel.
+  EXPECT_EQ(m.heap().alloc_line_on(0, 8), kArenaBase);
+  EXPECT_EQ(m.heap().alloc_line_on(0, 8), kArenaBase + kLineSize);
+  EXPECT_EQ(m.heap().alloc_line_on(2, 48), kArenaBase + 2 * kArenaStride);
+  EXPECT_EQ(m.heap().alloc_line_on(3, 8), kArenaBase + 3 * kArenaStride);
+  EXPECT_EQ(m.heap().arena_of(kArenaBase + kLineSize), 0);
+  EXPECT_EQ(m.heap().arena_of(kArenaBase + 2 * kArenaStride), 2);
+  // Freed arena lines recycle within their arena, most-recent first.
+  m.heap().free_line_on(0, kArenaBase, 8);
+  EXPECT_EQ(m.heap().alloc_line_on(0, 8), kArenaBase);
+}
+
+TEST(HeapArenas, CtxAllocRoutesToCallingCoreArena) {
+  MachineConfig cfg = small_config(4, /*leases=*/false);
+  Machine m{cfg, 1};
+  std::vector<Addr> got(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    m.spawn(t, [&got, t](Ctx& ctx) -> Task<void> {
+      got[static_cast<std::size_t>(t)] = ctx.alloc_line(8);
+      co_return;
+    });
+  }
+  m.run();
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(got[static_cast<std::size_t>(c)],
+              kArenaBase + static_cast<Addr>(c) * kArenaStride)
+        << "core " << c;
+  }
+}
+
+}  // namespace
+}  // namespace lrsim

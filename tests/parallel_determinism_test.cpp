@@ -29,8 +29,8 @@ struct RunOutcome {
 
 /// Fig. 3 contended-counter shape: every thread hammers one shared word
 /// with FAA / lease+RMW / CAS while keeping a private line hot, so batches
-/// mix L1-hit tails, lease timers, release paths and NACK retries. No
-/// per-operation heap allocation (SimHeap is serial-only; see mem/heap.hpp).
+/// mix L1-hit tails, lease timers, release paths and NACK retries.
+/// Allocating workloads are covered by parallel_alloc_test.cpp.
 RunOutcome run_once(int sim_threads, int cores, bool mesh, std::uint64_t machine_seed) {
   MachineConfig cfg = small_config(cores, /*leases=*/true);
   cfg.max_lease_time = 3000;

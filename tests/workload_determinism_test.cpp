@@ -165,6 +165,29 @@ TEST(WorkloadDeterminism, OpenLoopSeedChangesTheRun) {
   EXPECT_NE(a.cycles, b.cycles);  // different arrivals => different schedule
 }
 
+TEST(WorkloadDeterminism, KeyedSetsRunBothPoliciesDeterministically) {
+  // The keyed sets share one mix shape: op A updates (an extra
+  // next_bool(0.5) picks insert vs remove), op B looks up; mix = 0.2 is the
+  // paper's search-dominated low-contention point.
+  for (const char* ds : {"hashtable", "harris_list", "skiplist_set", "bst"}) {
+    workload::WorkloadSpec spec;
+    spec.ds = ds;
+    spec.ops = 10;
+    spec.key_range = 256;
+    spec.prefill = 32;
+    spec.mix = 0.2;
+    for (const std::string& policy : workload::policies_for(ds)) {
+      SCOPED_TRACE(::testing::Message() << ds << " / " << policy);
+      const ManualRun a = run_manual(spec, policy, 4, 0);
+      const ManualRun b = run_manual(spec, policy, 4, 0);
+      EXPECT_EQ(a.cycles, b.cycles);
+      EXPECT_EQ(a.stats, b.stats);
+      // 4 cores x 10 ops, each exactly one insert/remove/lookup.
+      EXPECT_EQ(a.stats.ops_completed, 40u);
+    }
+  }
+}
+
 TEST(WorkloadDeterminism, ClosedLoopRejectsClientMultiplexing) {
   workload::WorkloadSpec spec;
   spec.ds = "counter";
