@@ -31,9 +31,12 @@
 namespace lrsim::bench {
 
 /// The paper's thread sweep: powers of two up to `max_threads` (Figure 3
-/// runs 2..64). Single source of truth for both the BenchOptions default
-/// and the --max_threads rebuild in parse_flags — the two used to encode
-/// the same sequence independently and could drift.
+/// runs 2..64; the default stays 64 so legacy outputs don't change).
+/// Single source of truth for both the BenchOptions default and the
+/// --max_threads rebuild in parse_flags — the two used to encode the same
+/// sequence independently and could drift. Values above 64 (to kMaxCores =
+/// 256) run the hybrid sharer-set directory: `--max_threads 256` adds the
+/// 128- and 256-core points.
 inline std::vector<int> thread_sweep(int max_threads = 64) {
   std::vector<int> sweep;
   for (int t = 2; t <= max_threads; t *= 2) sweep.push_back(t);

@@ -24,8 +24,10 @@ MT speedup mode:
 
 Asserts the parallel kernel pays for itself: within one JSON,
 BM_Fig3CounterSimThroughputMT/sim_threads:4 must reach at least
---mt-min-ratio of the sim_threads:0 entry's throughput. Skipped (exit 0)
-on hosts with fewer than 4 CPUs, where sim_threads=4 cannot win.
+--mt-min-ratio of the sim_threads:0 entry's throughput. On hosts with
+fewer than 4 CPUs (where sim_threads=4 cannot win) it prints an explicit
+"SKIPPED (host has N cpus)" line and exits 3 — distinct from pass (0)
+and failure (1/2) so CI can surface a mis-provisioned runner.
 
 Sweep mode:
     scripts/bench_check.py --sweep CANDIDATE.csv [--baseline BASELINE.csv]
@@ -274,15 +276,18 @@ def run_mt_speedup_gate(args):
     Compares BM_Fig3CounterSimThroughputMT/sim_threads:4 against the
     sim_threads:0 entry of the *same* JSON — one binary, one host, same
     workload, so the like-with-like series rule does not apply: this is the
-    one comparison where crossing the series is the point. Skips (exit 0,
-    with a notice) on hosts with fewer than 4 CPUs, where the parallel
-    kernel cannot win and the assertion would only measure barrier overhead.
+    one comparison where crossing the series is the point. On hosts with
+    fewer than 4 CPUs (where the parallel kernel cannot win and the
+    assertion would only measure barrier overhead) it SKIPs with exit
+    status 3 — distinct from pass (0) and failure (1/2) so CI can surface
+    a mis-provisioned runner instead of green-washing the gate.
     """
     ncpu = os.cpu_count() or 1
     if ncpu < 4:
-        print(f"notice: --assert-mt-speedup skipped: host has {ncpu} CPU(s); "
-              "the sim_threads=4 kernel needs >= 4 cores to beat serial.")
-        return 0
+        print(f"SKIPPED (host has {ncpu} cpus): --assert-mt-speedup needs a "
+              ">= 4-CPU runner for the sim_threads=4 kernel to beat serial; "
+              "exiting 3 so CI surfaces the skip instead of a silent pass.")
+        return 3
     with open(args.candidate, "r", encoding="utf-8") as f:
         doc = json.load(f)
     check_release_build(args.candidate, doc)
@@ -326,7 +331,7 @@ def main():
     ap.add_argument("--assert-mt-speedup", action="store_true",
                     help="assert BM_Fig3CounterSimThroughputMT at sim_threads:4 "
                     "is not slower than sim_threads:0 within the candidate JSON "
-                    "(skipped on hosts with < 4 CPUs)")
+                    "(SKIPPED with exit 3 on hosts with < 4 CPUs)")
     ap.add_argument("--mt-min-ratio", type=float, default=0.95,
                     help="minimum sim_threads:4 / sim_threads:0 throughput ratio "
                     "for --assert-mt-speedup (default 0.95: 'not slower', with "

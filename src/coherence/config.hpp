@@ -13,6 +13,7 @@
 // exercises 1K cycles).
 #pragma once
 
+#include "coherence/sharer_set.hpp"
 #include "sim/stats.hpp"
 #include "util/types.hpp"
 
@@ -33,8 +34,24 @@ enum class CoherenceProtocol : std::uint8_t {
 };
 
 struct MachineConfig {
-  int num_cores = 64;  ///< At most 64 (the directory's sharer bitmask width).
+  /// At most kMaxCores (256). Up to 64 cores the directory tracks sharers
+  /// in an exact inline bitmask (the historic representation, byte-identical
+  /// results); above 64 it switches to the hybrid limited-pointer /
+  /// coarse-vector / spill-table scheme in coherence/sharer_set.hpp.
+  int num_cores = 64;
   CoherenceProtocol protocol = CoherenceProtocol::kMSI;
+
+  /// Cores per coarse-vector group for >64-core machines (sharer_set.hpp).
+  /// 0 = auto: the smallest group size whose region vector fits 64 bits
+  /// (1 for <=64 cores, 2 for 65-128, 3 for 129-192, 4 for 193-256).
+  /// Ignored (exact mask) when num_cores <= 64. The Directory rejects a
+  /// granularity needing more than 64 groups.
+  int sharer_granularity = 0;
+  /// Exact spill-table capacity (lines) for >64-core machines: hot,
+  /// widely-shared lines overflow into full-width exact bitmaps here
+  /// instead of the inexact coarse vector (models a small SRAM). 0
+  /// disables the spill table (every pointer overflow goes coarse).
+  int sharer_spill_lines = 64;
 
   /// Host-speed toggle, not a model parameter: lets controllers complete an
   /// L1 hit inline (no event-queue round trip) when EventQueue::try_advance

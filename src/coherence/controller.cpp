@@ -396,9 +396,12 @@ void CacheController::install(LineId line, LineState st) {
       // must forget the owner or future requests would probe a ghost.
       dir_->eviction_notice(core_, victim->line, Directory::EvictKind::kCleanExclusive);
     } else {
-      // Shared victim: notify eagerly so the directory clears our sharer
-      // bit and never sends an invalidation probe to a core with no copy
-      // (the invariant checker asserts this at probe-send time).
+      // Shared victim: notify eagerly so the directory removes us from the
+      // sharer set and never sends an exact invalidation probe to a core
+      // with no copy (the invariant checker asserts this at probe-send
+      // time). Under a coarse sharer representation (>64 cores) the removal
+      // is a deliberate no-op — the set stays a superset and we may still
+      // receive a harmless coarse probe (docs/PROTOCOL.md §3a).
       dir_->eviction_notice(core_, victim->line, Directory::EvictKind::kShared);
     }
   }

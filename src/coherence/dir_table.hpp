@@ -12,7 +12,11 @@
 //    to kUncached), so the table needs no tombstones and probe chains never
 //    rot. Values live in a chunked pool whose chunks never move — an
 //    `Entry&` stays valid across any number of later insertions, which the
-//    directory's in-flight transaction legs rely on.
+//    directory's in-flight transaction legs rely on. V must be cheap to
+//    default-construct (whole chunks are built eagerly) and may hold
+//    indices into side pools but never raw pointers into itself: the
+//    directory Entry's SharerSet, for instance, carries a spill-slot index
+//    whose backing pool lives in the Directory, not the map.
 //
 //  * NodePool<T>: an index-linked free-list pool backing the per-line
 //    request FIFOs. Parking a request costs a pool slot reuse instead of a

@@ -51,23 +51,34 @@ void Directory::begin_service(LineId line) {
   ev_.schedule_in(cfg_.l2_tag_latency, [this, line] { service(line); });
 }
 
-void Directory::invalidate_sharer_leg(LineId line, CoreId c, bool is_lease_req) {
+bool Directory::gather_targets(const Entry& e, CoreId exclude) {
+  scratch_.clear();
+  e.sharers.collect(store_, exclude, scratch_);
+  return e.sharers.exact();
+}
+
+void Directory::invalidate_sharer_leg(LineId line, CoreId c, bool is_lease_req,
+                                      bool exact_expansion) {
   ++stats_.msgs_inv;
-  // Sharer bits are exact (eager eviction notices), so at send time the
-  // target must hold a copy — the checker rejects probes to ghosts here.
-  if (inv_) inv_->on_probe_send(line, c);
+  // An exact set (eager eviction notices) guarantees the target holds a
+  // copy at send time — the checker rejects probes to ghosts. A coarse
+  // cover only bounds membership from above: the extra fan-out is a
+  // modeled cost (billed as real inv/ack traffic, tallied separately) and
+  // the checker instead verifies coverage of every true sharer.
+  if (!exact_expansion) ++stats_.probes_coarse;
+  if (inv_) inv_->on_probe_send(line, c, exact_expansion);
   // The ack's return transit rides inside the probe's completion event
   // (controller.hpp): the callback below runs at delivery + 1 + transit,
-  // the same absolute cycle the former separate tail leg fired. Clearing
-  // the sharer bit there (instead of at the core) is invisible: the line
-  // stays busy until complete(), which rewrites the mask for every
+  // the same absolute cycle the former separate tail leg fired. Dropping
+  // the sharer there (instead of at the core) is invisible: the line
+  // stays busy until complete(), which rewrites the set for every
   // exclusive result, and the invariant cross-check skips busy lines.
   const Cycle ack_transit = topo_.core_to_home(c, line);
   ev_.schedule_in(topo_.home_to_core(line, c), [this, line, c, is_lease_req, ack_transit] {
     cores_[static_cast<std::size_t>(c)]->probe(
         line, ProbeType::kInvalidate, is_lease_req, ack_transit, [this, line, c](bool) {
           ++stats_.msgs_ack;
-          table_[line].sharers &= ~core_bit(c);  // the copy is gone now
+          table_[line].sharers.remove(store_, c);  // the copy is gone now
           leg_done(line);
         });
   });
@@ -94,13 +105,13 @@ void Directory::service(LineId line) {
   // --- MOESI: the requester upgrades its own Owned copy (O -> M) -----------
   if (e.st == LineSt::kOwned && e.owner == req.requester && want_x) {
     // It already has the data; invalidate every sharer and grant ownership.
-    const std::uint64_t targets = e.sharers;  // owner is never in the mask
-    e.legs_remaining = std::popcount(targets) + 1;
+    // Excluding the requester is a no-op for exact sets (the owner is never
+    // a member) but necessary under a coarse cover, which may include it.
+    const bool exact = gather_targets(e, req.requester);
+    e.legs_remaining = static_cast<int>(scratch_.size()) + 1;
     e.pending_result = LineSt::kModified;
     e.pending_excl = true;
-    for (std::uint64_t m = targets; m != 0; m &= m - 1) {
-      invalidate_sharer_leg(line, static_cast<CoreId>(std::countr_zero(m)), req.is_lease_req);
-    }
+    for (CoreId c : scratch_) invalidate_sharer_leg(line, c, req.is_lease_req, exact);
     ++stats_.msgs_ack;  // ownership grant, no data needed
     ev_.schedule_tail_in(topo_.home_to_core(line, req.requester), [this, line] { leg_done(line); });
     return;
@@ -121,14 +132,18 @@ void Directory::service(LineId line) {
       ++stats_.msgs_downgrade;
     }
     // A GetX on an O line must also invalidate the S sharers.
-    std::uint64_t targets = 0;
-    if (want_x && e.st == LineSt::kOwned) targets = e.sharers & ~core_bit(req.requester);
-    e.legs_remaining = std::popcount(targets) + 1;
-    for (std::uint64_t m = targets; m != 0; m &= m - 1) {
-      invalidate_sharer_leg(line, static_cast<CoreId>(std::countr_zero(m)), req.is_lease_req);
+    scratch_.clear();
+    bool exact = true;
+    if (want_x && e.st == LineSt::kOwned) {
+      exact = gather_targets(e, req.requester);
+      // A coarse cover may also include the owner; it gets the owner probe
+      // below, not a sharer invalidation (no-op erase for exact sets).
+      scratch_.erase(std::remove(scratch_.begin(), scratch_.end(), owner), scratch_.end());
     }
+    e.legs_remaining = static_cast<int>(scratch_.size()) + 1;
+    for (CoreId c : scratch_) invalidate_sharer_leg(line, c, req.is_lease_req, exact);
     const bool is_lease_req = req.is_lease_req;
-    if (inv_) inv_->on_probe_send(line, owner);
+    if (inv_) inv_->on_probe_send(line, owner, /*exact_expansion=*/true);
     // Cache-to-cache transfer: the leg completes when the forwarded data
     // reaches the requester, so the return transit is owner→requester.
     // Computed at send time — the requester is pinned for the whole busy
@@ -159,17 +174,19 @@ void Directory::service(LineId line) {
   //     after an eviction + re-request) ------------------------------------
   if (e.st == LineSt::kShared && want_x) {
     // Invalidate every other sharer; data comes from L2 unless the
-    // requester already holds an S copy (upgrade). The mask is exact —
-    // eager eviction notices clear a bit the moment the copy dies — so
-    // every probed core really holds the line at send time.
-    const std::uint64_t targets = e.sharers & ~core_bit(req.requester);
-    const bool requester_has_s = (e.sharers & core_bit(req.requester)) != 0;
-    e.legs_remaining = std::popcount(targets) + 1;
+    // requester provably holds an S copy (upgrade). While the set is exact
+    // — eager eviction notices drop a sharer the moment the copy dies —
+    // every probed core really holds the line at send time. Under a coarse
+    // cover the fan-out reaches whole groups (tallied in probes_coarse)
+    // and the upgrade optimisation is suppressed: contains_exact never
+    // fires on a guess, so a data response is sent — both are the modeled
+    // cost of the inexact representation.
+    const bool exact = gather_targets(e, req.requester);
+    const bool requester_has_s = e.sharers.contains_exact(store_, req.requester);
+    e.legs_remaining = static_cast<int>(scratch_.size()) + 1;
     e.pending_result = LineSt::kModified;
     e.pending_excl = true;
-    for (std::uint64_t m = targets; m != 0; m &= m - 1) {
-      invalidate_sharer_leg(line, static_cast<CoreId>(std::countr_zero(m)), req.is_lease_req);
-    }
+    for (CoreId c : scratch_) invalidate_sharer_leg(line, c, req.is_lease_req, exact);
     // Grant leg: data (or just an ownership grant for an upgrade).
     Cycle grant_lat = topo_.home_to_core(line, req.requester);
     if (requester_has_s) {
@@ -247,13 +264,17 @@ void Directory::evict_l2_victim(LineId victim, EvictFn done) {
   Entry& v = table_[victim];
   std::vector<CoreId> holders;
   if (owner_holds_line(v) && v.owner >= 0) holders.push_back(v.owner);
-  for (std::uint64_t m = v.sharers; m != 0; m &= m - 1) {
-    const CoreId c = static_cast<CoreId>(std::countr_zero(m));
-    if (std::find(holders.begin(), holders.end(), c) == holders.end()) holders.push_back(c);
+  const bool exact = gather_targets(v, /*exclude=*/-1);
+  for (CoreId c : scratch_) {
+    if (std::find(holders.begin(), holders.end(), c) != holders.end()) continue;
+    holders.push_back(c);
+    // Back-invalidations fanned out from a coarse cover are extra modeled
+    // traffic, same as transaction probes.
+    if (!exact) ++stats_.probes_coarse;
   }
   v.st = LineSt::kUncached;
   v.owner = -1;
-  v.sharers = 0;
+  v.sharers.clear(store_);
   v.touched = false;  // next access pays DRAM again
   if (holders.empty()) {
     finish();
@@ -299,24 +320,25 @@ void Directory::complete(LineId line) {
     case LineSt::kExclusive:
       e.st = result;
       e.owner = req.requester;
-      e.sharers = 0;
+      // Wholesale rewrite: releases any spill slot and restores exactness
+      // after a coarse episode (the sole owner is tracked precisely again).
+      e.sharers.clear(store_);
       break;
     case LineSt::kOwned:
       // MOESI read of a dirty line: the old owner keeps the data in O; the
       // requester joins as a sharer.
       e.st = LineSt::kOwned;
-      e.sharers |= core_bit(req.requester);
+      e.sharers.add(store_, req.requester);
       break;
     case LineSt::kShared: {
-      std::uint64_t sharers = 0;
       if (owner_holds_line(e) && e.owner >= 0) {
-        sharers = e.sharers | core_bit(e.owner);  // O sharers survive the
-                                                  // flush; old owner drops to S
-      } else if (e.st == LineSt::kShared) {
-        sharers = e.sharers;
+        e.sharers.add(store_, e.owner);  // O sharers survive the flush;
+                                         // old owner drops to S
+      } else if (e.st != LineSt::kShared) {
+        e.sharers.clear(store_);
       }
       e.st = LineSt::kShared;
-      e.sharers = sharers | core_bit(req.requester);
+      e.sharers.add(store_, req.requester);
       e.owner = -1;
       break;
     }
@@ -359,7 +381,7 @@ void Directory::eviction_notice(CoreId core, LineId line, EvictKind kind) {
       if (e.st == LineSt::kOwned && e.owner == core) {
         // The O provider left; its sharers keep their S copies and the
         // data now lives in L2.
-        e.st = e.sharers == 0 ? LineSt::kUncached : LineSt::kShared;
+        e.st = e.sharers.empty(store_) ? LineSt::kUncached : LineSt::kShared;
         e.owner = -1;
         break;
       }
@@ -371,11 +393,16 @@ void Directory::eviction_notice(CoreId core, LineId line, EvictKind kind) {
       }
       break;
     case EvictKind::kShared:
-      e.sharers &= ~core_bit(core);
+      // Exact sets drop the sharer eagerly (keeps the no-stale-probe
+      // invariant sharp). Under a coarse cover this is a deliberate no-op
+      // inside SharerSet::remove: the group bit may cover other live
+      // sharers, so clearing it would break the membership-superset rule
+      // (tests/sharer_set_test.cpp has the regression for the naive clear).
+      e.sharers.remove(store_, core);
       if ((e.st == LineSt::kModified || e.st == LineSt::kExclusive) && e.owner == core) {
         // The owner was downgraded to S by an in-flight transaction and
         // evicted that S copy before the transaction completed. Forget it
-        // now so complete() doesn't re-add a ghost sharer (the mask must
+        // now so complete() doesn't re-add a ghost sharer (the set must
         // stay exact for the no-stale-probe invariant).
         e.st = LineSt::kShared;
         e.owner = -1;
@@ -402,7 +429,12 @@ std::size_t Directory::queue_depth(LineId line) const {
 
 bool Directory::has_sharer(LineId line, CoreId c) const {
   const Entry* p = table_.find(line);
-  return p != nullptr && (p->sharers & core_bit(c)) != 0;
+  return p != nullptr && p->sharers.covers(store_, c);
+}
+
+bool Directory::sharers_exact(LineId line) const {
+  const Entry* p = table_.find(line);
+  return p == nullptr || p->sharers.exact();
 }
 
 bool Directory::line_busy(LineId line) const {

@@ -34,6 +34,7 @@
 #include "coherence/callbacks.hpp"
 #include "coherence/dir_table.hpp"
 #include "coherence/config.hpp"
+#include "coherence/sharer_set.hpp"
 #include "coherence/topology.hpp"
 #include "mem/memory.hpp"
 #include "obs/observability.hpp"
@@ -58,8 +59,12 @@ class Directory {
     kDirty,           ///< M victim: writeback message.
   };
 
+  /// Throws std::invalid_argument when num_cores is outside [1, kMaxCores]
+  /// or the sharer-set geometry is invalid — direct construction used to
+  /// silently shift core bits out of the 64-bit mask above 64 cores.
   Directory(EventQueue& ev, SimMemory& mem, const MachineConfig& cfg, Stats& stats)
       : ev_(ev), mem_(mem), cfg_(cfg), stats_(stats), topo_(cfg) {
+    store_.configure(cfg.num_cores, cfg.sharer_granularity, cfg.sharer_spill_lines);
     if (cfg.l2_finite) l2_tags_ = std::make_unique<L2Tags>(cfg.l2_sets, cfg.l2_ways);
   }
 
@@ -92,9 +97,12 @@ class Directory {
 
   /// Synchronous bookkeeping for an L1 eviction. Dirty lines send a
   /// writeback message; clean-exclusive victims just clear the owner;
-  /// Shared victims clear their sharer bit eagerly, so the sharer bitmask
-  /// is always exact and no invalidation probe is ever sent to a core
-  /// without a copy (asserted by InvariantChecker::on_probe_send).
+  /// Shared victims drop out of the sharer set eagerly, so while the set is
+  /// exact no invalidation probe is ever sent to a core without a copy
+  /// (asserted by InvariantChecker::on_probe_send). In coarse mode the drop
+  /// is a deliberate no-op — a group bit may cover live sharers, so
+  /// membership stays a *superset* and the checker enforces the weaker
+  /// coverage rule instead (SharerSet::remove).
   void eviction_notice(CoreId core, LineId line, EvictKind kind);
 
   // --- introspection (tests) ------------------------------------------------
@@ -102,7 +110,12 @@ class Directory {
   LineSt line_state(LineId line) const;
   CoreId owner_of(LineId line) const;
   std::size_t queue_depth(LineId line) const;
+  /// Superset membership: may report cores of a covered coarse group that
+  /// hold no copy (exact for <= 64 cores and for inline/spill sets).
   bool has_sharer(LineId line, CoreId c) const;
+  /// True when the line's sharer set answers membership exactly (always for
+  /// <= 64 cores; false only while a wide line sits in the coarse vector).
+  bool sharers_exact(LineId line) const;
 
   /// True while a transaction for `line` is in flight (the invariant checker
   /// suspends directory/L1 cross-checks for busy lines).
@@ -135,10 +148,11 @@ class Directory {
   /// {this, line, small scalars}.
   struct Entry {
     LineSt st = LineSt::kUncached;
-    CoreId owner = -1;          ///< Valid when st is kModified/kExclusive/kOwned.
-    std::uint64_t sharers = 0;  ///< Bit c set <=> core c holds an S copy (exact;
-                                ///< owner is never in the mask). Width caps
-                                ///< num_cores at 64 (Machine guardrail).
+    CoreId owner = -1;   ///< Valid when st is kModified/kExclusive/kOwned.
+    SharerSet sharers;   ///< Cores holding S copies (owner never a member).
+                         ///< Exact inline mask for <= 64 cores; hybrid
+                         ///< pointer/coarse/spill above (sharer_set.hpp) —
+                         ///< coarse membership is a superset of the truth.
     std::uint32_t q_head = NodePool<Req>::kNil;  ///< Per-line FIFO (Assumption 1),
     std::uint32_t q_tail = NodePool<Req>::kNil;  ///< threaded through req_pool_.
     std::uint32_t q_len = 0;
@@ -151,10 +165,6 @@ class Directory {
     LineSt pending_result = LineSt::kUncached;  ///< State granted on completion.
     bool pending_excl = false;                  ///< exclusive_grant for on_done.
   };
-
-  static constexpr std::uint64_t core_bit(CoreId c) {
-    return std::uint64_t{1} << static_cast<unsigned>(c);
-  }
 
   /// Inclusive-L2 tag array for the optional finite-capacity model. Allows
   /// transient overflow when every victim candidate has a transaction in
@@ -233,8 +243,14 @@ class Directory {
   /// One transaction leg landed; completes when the last one does.
   void leg_done(LineId line);
   /// Sends one invalidation probe to sharer `c` (a leg of the in-flight
-  /// transaction). Clears c's sharer bit when the ack arrives.
-  void invalidate_sharer_leg(LineId line, CoreId c, bool is_lease_req);
+  /// transaction). Drops c from the sharer set when the ack arrives.
+  /// `exact_expansion` = the target came from an exact set; probes fanned
+  /// out from a coarse cover are additionally tallied in probes_coarse and
+  /// checked under the superset (not exact-membership) invariant.
+  void invalidate_sharer_leg(LineId line, CoreId c, bool is_lease_req, bool exact_expansion);
+  /// Expands the line's sharer set into scratch_, excluding `exclude`
+  /// (the requester — a coarse cover may include it). Returns exactness.
+  bool gather_targets(const Entry& e, CoreId exclude);
   void push_req(Entry& e, Req&& r);
   Req pop_req(Entry& e);
 
@@ -247,6 +263,8 @@ class Directory {
   InvariantChecker* inv_ = nullptr;
   Observability* obs_ = nullptr;
   std::vector<CacheController*> cores_;
+  SharerStore store_;          ///< Sharer-set geometry + exact spill pool.
+  std::vector<CoreId> scratch_;  ///< Reusable probe-target expansion buffer.
   FlatLineMap<Entry> table_;   ///< Flat open-addressing line table (no erase).
   NodePool<Req> req_pool_;     ///< Backing pool for the per-line FIFOs.
   std::unique_ptr<L2Tags> l2_tags_;  ///< Null when the L2 is unbounded.

@@ -1,0 +1,365 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Hybrid exact/coarse sharer tracking for the directory (docs/PROTOCOL.md
+// §2a, docs/ENGINE.md "Hybrid sharer sets").
+//
+// The directory used to track sharers in a single std::uint64_t bitmask,
+// capping the machine at 64 cores. SharerSet keeps that representation —
+// bit-for-bit, same iteration order, same cost — whenever the machine has
+// at most 64 cores, and switches to a classic sparse-directory hybrid
+// above that (limited pointers + coarse vector, as in Gupta et al.'s
+// Dir_i-B / coarse-vector schemes):
+//
+//  * kMask   — exact 64-bit inline bitmask. The only representation used
+//              when num_cores <= 64; behaviour is identical to the old raw
+//              mask (zero perf or output change for every legacy config).
+//  * kPtrs   — exact limited-pointer set: up to kInlinePtrs core IDs packed
+//              into the same inline word, sorted ascending. The common case
+//              for >64-core machines (most lines have few sharers).
+//  * kSpill  — exact full-width bitmap held in a bounded side pool (the
+//              SharerStore "spill table", modeling a small SRAM of exact
+//              sharer vectors for hot, widely-shared lines). A line is
+//              promoted on inline-pointer overflow while a slot is free and
+//              demoted (slot released) when its sharer set empties.
+//  * kCoarse — *inexact* region vector: bit g covers the core-ID range
+//              [g*granularity, (g+1)*granularity). Entered on pointer
+//              overflow when no spill slot is free. Membership is a
+//              SUPERSET of the true sharers: probes fan out to every core
+//              of a covered group, and removing a single core is a no-op
+//              (the group bit may cover other live sharers — see
+//              Directory::eviction_notice). Exactness returns only when the
+//              set is rewritten wholesale (an exclusive grant clears it).
+//
+// Coarse-mode extra probes are a *modeled* cost: the directory sends real
+// invalidation probes to every covered core, so they appear in msgs_inv /
+// msgs_ack and in the energy model exactly like back-invalidations, and are
+// additionally tallied in Stats::probes_coarse.
+//
+// Every operation is deterministic and iteration is always in ascending
+// core-ID order (matching the old `for (m; m; m &= m-1)` mask walk), so
+// simulated results stay byte-identical between the serial and parallel
+// kernels at every core count.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace lrsim {
+
+/// Hard machine-wide core-count ceiling. Shared by MachineConfig docs,
+/// Machine's constructor guardrail and the Directory's own validation —
+/// the three used to disagree (config comment said 64, Machine threw,
+/// a directly-constructed Directory silently shifted out of range).
+inline constexpr int kMaxCores = 256;
+
+/// Geometry + spill pool backing every SharerSet of one Directory. Owns
+/// nothing per line; SharerSet values carry their inline word and (for
+/// spilled lines) a slot index into this pool.
+class SharerStore {
+ public:
+  static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+  static constexpr int kGroupBits = 64;  ///< Coarse vector width (one word).
+
+  SharerStore() { configure(64, 0, 0); }
+
+  /// Validates and applies the geometry. Throws std::invalid_argument on a
+  /// core count outside [1, kMaxCores] or a granularity whose region vector
+  /// would not fit the coarse word. Granularity 0 = auto: 1 for <= 64 cores
+  /// (pure exact mask), else the smallest group size with <= 64 groups.
+  void configure(int num_cores, int granularity, int spill_lines) {
+    if (num_cores < 1 || num_cores > kMaxCores) {
+      throw std::invalid_argument("num_cores must be in [1, " + std::to_string(kMaxCores) +
+                                  "] (directory sharer-set limit, kMaxCores)");
+    }
+    if (granularity < 0) throw std::invalid_argument("sharer_granularity must be >= 0");
+    if (spill_lines < 0) throw std::invalid_argument("sharer_spill_lines must be >= 0");
+    if (granularity == 0) granularity = (num_cores + kGroupBits - 1) / kGroupBits;
+    if ((num_cores + granularity - 1) / granularity > kGroupBits) {
+      throw std::invalid_argument(
+          "sharer_granularity " + std::to_string(granularity) + " needs more than " +
+          std::to_string(kGroupBits) + " coarse groups for " + std::to_string(num_cores) +
+          " cores (raise the granularity)");
+    }
+    num_cores_ = num_cores;
+    gran_ = granularity;
+    words_ = static_cast<std::size_t>((num_cores + 63) / 64);
+    pool_.assign(static_cast<std::size_t>(spill_lines) * words_, 0);
+    free_.clear();
+    // LIFO free list, lowest slot on top: promotion order is deterministic.
+    for (int s = spill_lines; s-- > 0;) free_.push_back(static_cast<std::uint32_t>(s));
+  }
+
+  int num_cores() const noexcept { return num_cores_; }
+  int granularity() const noexcept { return gran_; }
+  /// True when the machine exceeds the inline mask (hybrid representations
+  /// engage); false = every set stays an exact 64-bit mask.
+  bool wide() const noexcept { return num_cores_ > 64; }
+  std::size_t words_per_set() const noexcept { return words_; }
+  std::size_t spill_slots_free() const noexcept { return free_.size(); }
+  std::size_t spill_capacity() const noexcept {
+    return words_ == 0 ? 0 : pool_.size() / words_;
+  }
+
+  std::uint32_t acquire_slot() {
+    if (free_.empty()) return kNoSlot;
+    const std::uint32_t s = free_.back();
+    free_.pop_back();
+    std::uint64_t* w = slot_words(s);
+    for (std::size_t i = 0; i < words_; ++i) w[i] = 0;
+    return s;
+  }
+  void release_slot(std::uint32_t s) { free_.push_back(s); }
+
+  std::uint64_t* slot_words(std::uint32_t s) noexcept { return &pool_[s * words_]; }
+  const std::uint64_t* slot_words(std::uint32_t s) const noexcept { return &pool_[s * words_]; }
+
+ private:
+  int num_cores_ = 64;
+  int gran_ = 1;
+  std::size_t words_ = 1;
+  std::vector<std::uint64_t> pool_;
+  std::vector<std::uint32_t> free_;
+};
+
+/// Per-line sharer set. Plain 16-byte value living inside the directory's
+/// Entry; all operations take the owning SharerStore. Default-constructed
+/// = empty (FlatLineMap default-constructs entries).
+class SharerSet {
+ public:
+  enum class Rep : std::uint8_t {
+    kMask,    ///< Exact inline 64-bit bitmask (always, when <= 64 cores).
+    kPtrs,    ///< Exact inline limited pointers (wide machines, few sharers).
+    kSpill,   ///< Exact full bitmap in the store's spill pool.
+    kCoarse,  ///< Inexact coarse region vector (superset of true sharers).
+  };
+  /// Inline limited-pointer capacity (16-bit IDs packed into the inline
+  /// word). The 5th distinct sharer overflows to kSpill or kCoarse.
+  static constexpr int kInlinePtrs = 4;
+
+  Rep rep() const noexcept { return rep_; }
+  /// Exact representations answer membership precisely; kCoarse only
+  /// bounds it from above.
+  bool exact() const noexcept { return rep_ != Rep::kCoarse; }
+
+  bool empty(const SharerStore& st) const noexcept {
+    switch (rep_) {
+      case Rep::kMask:
+      case Rep::kCoarse:
+        return bits_ == 0;
+      case Rep::kPtrs:
+        return n_ == 0;
+      case Rep::kSpill: {
+        const std::uint64_t* w = st.slot_words(static_cast<std::uint32_t>(bits_));
+        for (std::size_t i = 0; i < st.words_per_set(); ++i) {
+          if (w[i] != 0) return false;
+        }
+        return true;
+      }
+    }
+    return true;
+  }
+
+  /// Superset membership: true when `c` may hold an S copy. Exact for
+  /// kMask/kPtrs/kSpill; for kCoarse, true for every core of a covered
+  /// group.
+  bool covers(const SharerStore& st, CoreId c) const noexcept {
+    switch (rep_) {
+      case Rep::kMask:
+        return (bits_ & bit(c)) != 0;
+      case Rep::kPtrs:
+        for (int i = 0; i < n_; ++i) {
+          if (ptr(i) == c) return true;
+        }
+        return false;
+      case Rep::kSpill: {
+        const std::uint64_t* w = st.slot_words(static_cast<std::uint32_t>(bits_));
+        return (w[static_cast<std::size_t>(c) >> 6] & bit(c & 63)) != 0;
+      }
+      case Rep::kCoarse:
+        return (bits_ & bit(group(st, c))) != 0;
+    }
+    return false;
+  }
+
+  /// Exact membership, or false when the representation cannot prove it
+  /// (kCoarse). The directory uses this for the "requester already holds an
+  /// S copy" upgrade optimisation, which must never fire on a guess.
+  bool contains_exact(const SharerStore& st, CoreId c) const noexcept {
+    return exact() && covers(st, c);
+  }
+
+  /// Adds `c` (idempotent). May promote the representation: kPtrs overflow
+  /// goes to kSpill while the store has a free slot, else to kCoarse.
+  void add(SharerStore& st, CoreId c) {
+    if (!st.wide()) {  // <= 64 cores: the legacy exact-mask fast path
+      bits_ |= bit(c);
+      return;
+    }
+    switch (rep_) {
+      case Rep::kMask:  // default-constructed empty set on a wide machine
+        rep_ = Rep::kPtrs;
+        bits_ = 0;
+        n_ = 0;
+        [[fallthrough]];
+      case Rep::kPtrs: {
+        int at = 0;
+        while (at < n_ && ptr(at) < c) ++at;
+        if (at < n_ && ptr(at) == c) return;
+        if (n_ < kInlinePtrs) {  // insert sorted (ascending iteration order)
+          for (int i = n_; i > at; --i) set_ptr(i, ptr(i - 1));
+          set_ptr(at, c);
+          ++n_;
+          return;
+        }
+        overflow(st, c);
+        return;
+      }
+      case Rep::kSpill: {
+        std::uint64_t* w = st.slot_words(static_cast<std::uint32_t>(bits_));
+        w[static_cast<std::size_t>(c) >> 6] |= bit(c & 63);
+        return;
+      }
+      case Rep::kCoarse:
+        bits_ |= bit(group(st, c));
+        return;
+    }
+  }
+
+  /// Removes `c` from an exact set. In kCoarse this is deliberately a
+  /// NO-OP: a group bit may cover live sharers, so clearing it on one
+  /// core's eviction would lose real members (membership must stay a
+  /// superset — the invariant checker enforces exactly this rule).
+  void remove(SharerStore& st, CoreId c) {
+    switch (rep_) {
+      case Rep::kMask:
+        bits_ &= ~bit(c);
+        return;
+      case Rep::kPtrs: {
+        for (int i = 0; i < n_; ++i) {
+          if (ptr(i) != c) continue;
+          for (int j = i + 1; j < n_; ++j) set_ptr(j - 1, ptr(j));
+          set_ptr(--n_ == 0 ? 0 : n_, 0);
+          return;
+        }
+        return;
+      }
+      case Rep::kSpill: {
+        std::uint64_t* w = st.slot_words(static_cast<std::uint32_t>(bits_));
+        w[static_cast<std::size_t>(c) >> 6] &= ~bit(c & 63);
+        if (empty(st)) demote(st);  // free the slot for the next hot line
+        return;
+      }
+      case Rep::kCoarse:
+        return;  // superset semantics: never clear a possibly-live group
+    }
+  }
+
+  /// Resets to the empty exact set, releasing any spill slot (demotion).
+  void clear(SharerStore& st) {
+    if (rep_ == Rep::kSpill) st.release_slot(static_cast<std::uint32_t>(bits_));
+    rep_ = Rep::kMask;
+    bits_ = 0;
+    n_ = 0;
+  }
+
+  /// Appends every covered core except `exclude` (pass -1 to keep all) to
+  /// `out`, in ascending core-ID order. For kCoarse this is the probe
+  /// fan-out: every core of every covered group.
+  void collect(const SharerStore& st, CoreId exclude, std::vector<CoreId>& out) const {
+    switch (rep_) {
+      case Rep::kMask:
+        for (std::uint64_t m = bits_; m != 0; m &= m - 1) {
+          const CoreId c = static_cast<CoreId>(std::countr_zero(m));
+          if (c != exclude) out.push_back(c);
+        }
+        return;
+      case Rep::kPtrs:
+        for (int i = 0; i < n_; ++i) {
+          if (ptr(i) != exclude) out.push_back(ptr(i));
+        }
+        return;
+      case Rep::kSpill: {
+        const std::uint64_t* w = st.slot_words(static_cast<std::uint32_t>(bits_));
+        for (std::size_t i = 0; i < st.words_per_set(); ++i) {
+          for (std::uint64_t m = w[i]; m != 0; m &= m - 1) {
+            const CoreId c = static_cast<CoreId>(i * 64 + static_cast<std::size_t>(std::countr_zero(m)));
+            if (c != exclude) out.push_back(c);
+          }
+        }
+        return;
+      }
+      case Rep::kCoarse: {
+        const int g = st.granularity();
+        for (std::uint64_t m = bits_; m != 0; m &= m - 1) {
+          const int grp = std::countr_zero(m);
+          const CoreId hi = static_cast<CoreId>(
+              std::min((grp + 1) * g, st.num_cores()));
+          for (CoreId c = static_cast<CoreId>(grp * g); c < hi; ++c) {
+            if (c != exclude) out.push_back(c);
+          }
+        }
+        return;
+      }
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t bit(std::int64_t i) noexcept {
+    return std::uint64_t{1} << static_cast<unsigned>(i);
+  }
+  static int group(const SharerStore& st, CoreId c) noexcept {
+    return static_cast<int>(c) / st.granularity();
+  }
+  CoreId ptr(int i) const noexcept {
+    return static_cast<CoreId>((bits_ >> (16 * i)) & 0xFFFF);
+  }
+  void set_ptr(int i, CoreId c) noexcept {
+    const int sh = 16 * i;
+    bits_ = (bits_ & ~(std::uint64_t{0xFFFF} << sh)) |
+            (static_cast<std::uint64_t>(static_cast<std::uint16_t>(c)) << sh);
+  }
+
+  /// kPtrs is full and a 5th distinct core arrived: promote to an exact
+  /// spill bitmap when the store has a free slot (the line is hot — five or
+  /// more concurrent sharers), else fall back to the coarse region vector.
+  void overflow(SharerStore& st, CoreId c) {
+    const std::uint32_t slot = st.acquire_slot();
+    if (slot != SharerStore::kNoSlot) {
+      std::uint64_t* w = st.slot_words(slot);
+      for (int i = 0; i < n_; ++i) {
+        const CoreId p = ptr(i);
+        w[static_cast<std::size_t>(p) >> 6] |= bit(p & 63);
+      }
+      w[static_cast<std::size_t>(c) >> 6] |= bit(c & 63);
+      rep_ = Rep::kSpill;
+      bits_ = slot;
+      n_ = 0;
+      return;
+    }
+    std::uint64_t groups = bit(group(st, c));
+    for (int i = 0; i < n_; ++i) groups |= bit(group(st, ptr(i)));
+    rep_ = Rep::kCoarse;
+    bits_ = groups;
+    n_ = 0;
+  }
+
+  /// kSpill emptied out: release the slot and return to the inline empty
+  /// set, so another overflowing line can promote.
+  void demote(SharerStore& st) {
+    st.release_slot(static_cast<std::uint32_t>(bits_));
+    rep_ = Rep::kPtrs;
+    bits_ = 0;
+    n_ = 0;
+  }
+
+  std::uint64_t bits_ = 0;  ///< Mask bits / packed pointers / slot / groups.
+  Rep rep_ = Rep::kMask;
+  std::uint8_t n_ = 0;  ///< Live inline pointers (kPtrs only).
+};
+
+}  // namespace lrsim

@@ -39,7 +39,8 @@ namespace lrsim {
 /// lives below; hitting this boundary from the global side is a hard error.
 inline constexpr Addr kArenaBase = Addr{1} << 32;
 
-/// Byte span of each core's arena (64 MiB: 64 cores fill [2^32, 2^33)).
+/// Byte span of each core's arena (64 MiB: a kMaxCores = 256 machine fills
+/// [2^32, 2^32 + 2^34), still far below any global-region address).
 inline constexpr Addr kArenaStride = Addr{1} << 26;
 
 /// Bump allocator over the simulated address space with per-size free

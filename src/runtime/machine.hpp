@@ -577,7 +577,12 @@ class Machine {
   /// rejected before the cast to std::size_t.
   static std::size_t checked_core_count(int n) {
     if (n <= 0) throw std::invalid_argument("num_cores must be positive");
-    if (n > 64) throw std::invalid_argument("num_cores must be <= 64 (directory sharer bitmask width)");
+    // Same limit the Directory itself enforces (SharerStore::configure) —
+    // the two guardrails share kMaxCores so they can never disagree again.
+    if (n > kMaxCores) {
+      throw std::invalid_argument("num_cores must be <= " + std::to_string(kMaxCores) +
+                                  " (kMaxCores, directory sharer-set limit)");
+    }
     return static_cast<std::size_t>(n);
   }
 

@@ -102,13 +102,30 @@ void InvariantChecker::on_dir_service(LineId line, CoreId requester) {
   q.pop_front();
 }
 
-void InvariantChecker::on_probe_send(LineId line, CoreId target) {
+void InvariantChecker::on_probe_send(LineId line, CoreId target, bool exact) {
   ++checks_;
-  if (cores_[static_cast<std::size_t>(target)]->line_state(line) == LineState::I) {
-    std::ostringstream os;
-    os << "probe targets core " << target
-       << " which holds no copy of the line (stale directory sharer)";
-    fail(InvariantKind::kSwmr, line, os.str());
+  if (exact) {
+    if (cores_[static_cast<std::size_t>(target)]->line_state(line) == LineState::I) {
+      std::ostringstream os;
+      os << "probe targets core " << target
+         << " which holds no copy of the line (stale directory sharer)";
+      fail(InvariantKind::kSwmr, line, os.str());
+    }
+    return;
+  }
+  // Coarse expansion: the fan-out may legally hit copyless cores, but the
+  // sharer set must still *cover* every true sharer — otherwise a live S
+  // copy would miss this invalidation round and survive an exclusive grant.
+  const CoreId dir_owner = dir_ != nullptr ? dir_->owner_of(line) : -1;
+  for (CacheController* cc : cores_) {
+    if (cc->core_id() == dir_owner) continue;  // O provider holds O, not S
+    if (cc->line_state(line) == LineState::S && dir_ != nullptr &&
+        !dir_->has_sharer(line, cc->core_id())) {
+      std::ostringstream os;
+      os << "coarse probe fan-out does not cover core " << cc->core_id()
+         << " which holds a live S copy (sharer set is not a superset)";
+      fail(InvariantKind::kSwmr, line, os.str());
+    }
   }
 }
 
@@ -181,17 +198,22 @@ void InvariantChecker::check_line(LineId line) {
              << " holds an exclusive L1 copy";
           fail(InvariantKind::kSwmr, line, os.str());
         }
-        // Sharer tracking is exact both ways: an *untracked* S copy would
-        // miss invalidations, and a *tracked* core without an S copy is a
-        // stale sharer (eager eviction notices must have cleared the bit).
+        // Membership must always be a superset: an *uncovered* S copy would
+        // miss invalidations (this is the coverage rule coarse mode lives
+        // by). The reverse direction — a *tracked* core without an S copy
+        // is a stale sharer — only holds while the set is exact (eager
+        // eviction notices clear members); a coarse cover legally includes
+        // copyless cores of a covered group.
         for (CacheController* cc : cores_) {
           if (cc->line_state(line) == LineState::S && !dir_->has_sharer(line, cc->core_id()) &&
               cc->core_id() != dir_owner) {
             std::ostringstream os;
-            os << "core " << cc->core_id() << " holds an S copy the directory does not track";
+            os << "core " << cc->core_id() << " holds an S copy the directory does not "
+               << (dir_->sharers_exact(line) ? "track" : "cover");
             fail(InvariantKind::kSwmr, line, os.str());
           }
-          if (dir_->has_sharer(line, cc->core_id()) && cc->line_state(line) != LineState::S) {
+          if (dir_->sharers_exact(line) && dir_->has_sharer(line, cc->core_id()) &&
+              cc->line_state(line) != LineState::S) {
             std::ostringstream os;
             os << "directory tracks core " << cc->core_id()
                << " as a sharer but its L1 holds no S copy (stale sharer bit)";

@@ -133,11 +133,18 @@ class InvariantChecker {
   void on_dir_service(LineId line, CoreId requester);
 
   /// The directory decided to send a coherence probe for `line` to `target`.
-  /// Sharer bitmasks are exact (eager eviction notices), so at the send
-  /// decision the target must hold a copy — a probe to a core without one
-  /// means the directory tracked a stale sharer. Checked at send time, not
-  /// arrival: the target may legally evict while the probe is in flight.
-  void on_probe_send(LineId line, CoreId target);
+  /// `exact` says whether the target came from an exact sharer set (inline
+  /// mask / pointers / spill) or a coarse cover:
+  ///  - exact: the target must hold a copy at the send decision — a probe
+  ///    to a core without one means the directory tracked a stale sharer.
+  ///    Checked at send time, not arrival: the target may legally evict
+  ///    while the probe is in flight.
+  ///  - coarse: membership is only a *superset*, so probing a copyless
+  ///    core is the modeled cost, not a bug. The rule flips to coverage:
+  ///    every core actually holding an S copy must be covered by the
+  ///    directory's sharer set (a naive group-bit clear on one core's
+  ///    eviction would break this — see SharerSet::remove).
+  void on_probe_send(LineId line, CoreId target, bool exact);
 
   /// A finite-L2 back-invalidation of `line` is in flight; directory
   /// cross-checks are suspended for the line until it completes (its dir

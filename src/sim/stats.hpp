@@ -57,6 +57,13 @@ struct Stats {
   std::uint64_t probes_queued = 0;         ///< Probes parked behind a lease.
   std::uint64_t probe_queued_cycles = 0;   ///< Total cycles probes spent parked.
 
+  // --- hybrid sharer sets (>64-core directories) --------------------------
+  /// Probes/back-invalidations fanned out from an inexact coarse-vector
+  /// cover (sharer_set.hpp). A sub-count of msgs_inv (already billed as
+  /// real NoC traffic in total_messages()/energy); it isolates the modeled
+  /// cost of the coarse representation. Always 0 when num_cores <= 64.
+  std::uint64_t probes_coarse = 0;
+
   // --- application-level -------------------------------------------------
   std::uint64_t ops_completed = 0;   ///< Data-structure operations finished.
   std::uint64_t cas_attempts = 0;
@@ -120,6 +127,7 @@ struct Stats {
     leases_suppressed += o.leases_suppressed;
     probes_queued += o.probes_queued;
     probe_queued_cycles += o.probe_queued_cycles;
+    probes_coarse += o.probes_coarse;
     ops_completed += o.ops_completed;
     cas_attempts += o.cas_attempts;
     cas_failures += o.cas_failures;
@@ -157,6 +165,7 @@ struct Stats {
     leases_suppressed -= o.leases_suppressed;
     probes_queued -= o.probes_queued;
     probe_queued_cycles -= o.probe_queued_cycles;
+    probes_coarse -= o.probes_coarse;
     ops_completed -= o.ops_completed;
     cas_attempts -= o.cas_attempts;
     cas_failures -= o.cas_failures;
@@ -178,7 +187,12 @@ struct Stats {
        << ", Ack " << msgs_ack << ", WB " << msgs_wb << ", Nack " << msgs_nack
        << ")  L1 hit/miss=" << l1_hits << "/"
        << l1_misses << "  leases=" << leases_taken << " (vol " << releases_voluntary << ", invol "
-       << releases_involuntary << ")  ops=" << ops_completed << "\n";
+       << releases_involuntary << ")  ops=" << ops_completed;
+    // Only >64-core machines can fan out coarse probes; keeping the line
+    // unchanged when zero preserves byte-identical output for every legacy
+    // config.
+    if (probes_coarse != 0) os << "  coarse-probes=" << probes_coarse;
+    os << "\n";
   }
 };
 
@@ -188,7 +202,7 @@ struct Stats {
 /// tests) and print — must enumerate all of them. Growing the struct
 /// without updating this count (and the member lists above) fails here at
 /// compile time instead of silently dropping the new counter from merges.
-inline constexpr std::size_t kStatsCounterCount = 29;
+inline constexpr std::size_t kStatsCounterCount = 30;
 static_assert(sizeof(Stats) == kStatsCounterCount * sizeof(std::uint64_t),
               "Stats gained or lost a counter: update kStatsCounterCount AND "
               "operator+=, operator-=, and print so merges stay lossless");

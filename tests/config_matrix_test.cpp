@@ -108,5 +108,69 @@ INSTANTIATE_TEST_SUITE_P(AllConfigs, ConfigMatrix, ::testing::ValuesIn(all_cases
                            return info.param.name();
                          });
 
+// --- >64-core machines across the sharer_granularity axis -----------------
+// The hybrid sharer sets (coherence/sharer_set.hpp) add a representation
+// axis: group size of the coarse vector and capacity of the exact spill
+// table. Every point must preserve conservation on a contended leased RMW
+// with interleaved sharers, with the invariant checker armed (it enforces
+// the membership-superset rule for coarse covers).
+
+struct WideCase {
+  int cores;
+  int granularity;  ///< 0 = auto
+  int spill;
+
+  std::string name() const {
+    return "c" + std::to_string(cores) + "_g" + std::to_string(granularity) + "_s" +
+           std::to_string(spill);
+  }
+};
+
+class WideSharerMatrix : public ::testing::TestWithParam<WideCase> {};
+
+TEST_P(WideSharerMatrix, LeasedRmwWithReadersConserves) {
+  const WideCase& c = GetParam();
+  MachineConfig cfg = testing::small_config(c.cores, true);
+  cfg.sharer_granularity = c.granularity;
+  cfg.sharer_spill_lines = c.spill;
+  cfg.max_lease_time = 2000;
+  Machine m{cfg};
+  InvariantChecker& inv = m.enable_invariants();
+  Addr a = m.heap().alloc_line();
+  constexpr int kThreads = 12;  // spans several coarse groups at every granularity
+  constexpr int kIncrements = 5;
+  testing::run_workers(m, kThreads, [&](Ctx& ctx, int) -> Task<void> {
+    for (int i = 0; i < kIncrements; ++i) {
+      // Read phase: pile S copies onto the line (overflows the inline
+      // pointers once > 4 cores share it, exercising spill/coarse).
+      (void)co_await ctx.load(a);
+      co_await ctx.work(ctx.rng().next_below(40));
+      (void)co_await ctx.load(a);
+      // RMW phase: a GetX that must invalidate every live sharer.
+      while (true) {
+        co_await ctx.lease(a, 1500);
+        const std::uint64_t v = co_await ctx.load(a);
+        const bool ok = co_await ctx.cas(a, v, v + 1);
+        co_await ctx.release(a);
+        if (ok) break;
+      }
+    }
+  });
+  EXPECT_EQ(m.memory().read(a), static_cast<std::uint64_t>(kThreads) * kIncrements)
+      << GetParam().name();
+  EXPECT_GT(inv.checks_run(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WideConfigs, WideSharerMatrix,
+    ::testing::ValuesIn(std::vector<WideCase>{
+        {65, 0, 64},   // just past the mask boundary, roomy spill (exact)
+        {128, 0, 0},   // auto pairs, no spill: overflow goes coarse
+        {128, 8, 4},   // chunky groups with a tiny spill table
+        {256, 0, 0},   // full-cap machine, pure pointers->coarse
+        {256, 16, 2},  // full-cap machine, 16-core groups
+    }),
+    [](const ::testing::TestParamInfo<WideCase>& info) { return info.param.name(); });
+
 }  // namespace
 }  // namespace lrsim

@@ -25,13 +25,42 @@ TEST(Guardrails, MachineRejectsNegativeCores) {
   EXPECT_THROW(Machine(cfg, /*seed=*/1), std::invalid_argument);
 }
 
-// The directory tracks sharers in a 64-bit core bitmask, so the machine is
-// hard-capped at 64 cores (the paper's largest configuration).
-TEST(Guardrails, MachineRejectsMoreThan64Cores) {
-  MachineConfig cfg = small_config(65, /*leases=*/false);
+// The hybrid sharer sets (coherence/sharer_set.hpp) lift the old 64-core
+// bitmask cap to kMaxCores = 256: every count up to the cap constructs,
+// one past it throws.
+TEST(Guardrails, MachineAcceptsUpToKMaxCores) {
+  for (int n : {64, 65, 128, 256}) {
+    MachineConfig cfg = small_config(n, /*leases=*/false);
+    EXPECT_NO_THROW(Machine(cfg, /*seed=*/1)) << n << " cores";
+  }
+  MachineConfig cfg = small_config(kMaxCores + 1, /*leases=*/false);
   EXPECT_THROW(Machine(cfg, /*seed=*/1), std::invalid_argument);
-  cfg = small_config(64, /*leases=*/false);
-  EXPECT_NO_THROW(Machine(cfg, /*seed=*/1));
+}
+
+// Constructing a Directory directly (bypassing Machine) used to silently
+// shift core_bit(c) out of the 64-bit mask for num_cores > 64 — UB, no
+// diagnostic. The Directory now validates through the same kMaxCores.
+TEST(Guardrails, DirectDirectoryConstructionChecksCoreCount) {
+  EventQueue ev;
+  SimMemory mem;
+  Stats stats;
+  MachineConfig cfg = small_config(kMaxCores + 1, /*leases=*/false);
+  EXPECT_THROW(Directory(ev, mem, cfg, stats), std::invalid_argument);
+  cfg.num_cores = 0;
+  EXPECT_THROW(Directory(ev, mem, cfg, stats), std::invalid_argument);
+  cfg.num_cores = 256;
+  EXPECT_NO_THROW(Directory(ev, mem, cfg, stats));
+  // A granularity whose coarse region vector cannot fit 64 group bits is
+  // rejected too (256 cores at granularity 1 would need 256 groups).
+  cfg.sharer_granularity = 1;
+  EXPECT_THROW(Directory(ev, mem, cfg, stats), std::invalid_argument);
+  cfg.sharer_granularity = 4;
+  EXPECT_NO_THROW(Directory(ev, mem, cfg, stats));
+  cfg.sharer_granularity = -1;
+  EXPECT_THROW(Directory(ev, mem, cfg, stats), std::invalid_argument);
+  cfg.sharer_granularity = 0;
+  cfg.sharer_spill_lines = -1;
+  EXPECT_THROW(Directory(ev, mem, cfg, stats), std::invalid_argument);
 }
 
 // Issuing a second memory op while one is in flight on the same core

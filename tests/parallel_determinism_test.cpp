@@ -101,6 +101,17 @@ TEST(ParallelDeterminism, FuzzAcrossSeedsMeshAndShardCounts) {
   }
 }
 
+TEST(ParallelDeterminism, WideMachine128CoresIdentical) {
+  // Past the old 64-core cap the directory runs the hybrid sharer sets
+  // (coherence/sharer_set.hpp) and the shard map must tag core domains
+  // correctly beyond 64; serial and 4-shard runs must stay bit-identical.
+  const RunOutcome serial = run_once(0, 128, /*mesh=*/false, 4242);
+  const RunOutcome par = run_once(4, 128, /*mesh=*/false, 4242);
+  expect_identical(serial, par);
+  EXPECT_EQ(serial.parallel_events, 0u);
+  EXPECT_GT(par.parallel_events, 0u) << "parallel kernel silently fell back to serial";
+}
+
 TEST(ParallelDeterminism, ParallelWindowsActuallyForm) {
   // Guard against the eligibility predicate rotting into always-serial: a
   // contended 16-core run at 4 shards must fire a meaningful fraction of
