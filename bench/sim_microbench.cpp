@@ -6,9 +6,12 @@
 // millions of cycles and need the engine to stay fast.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "lrsim.hpp"
 #include "ds/counter.hpp"
 #include "ds/treiber_stack.hpp"
+#include "workload/registry.hpp"
 
 namespace lrsim {
 namespace {
@@ -147,6 +150,46 @@ BENCHMARK(BM_Fig3CounterSimThroughputMT)
     ->Arg(0)
     ->Arg(2)
     ->Arg(4);
+
+// Open-loop client scheduling at scale: one simulated core drives `clients`
+// open-loop clients through the workload registry's timer-wheel engine
+// (src/util/timer_wheel.hpp). Total served ops are held constant
+// (~100k/clients each) so items/s measures *per-op scheduling cost* — the
+// wheel keeps it near-flat from 10^2 to 10^6 clients where the old linear
+// scan was O(clients) per op. scripts/bench_check.py
+// --assert-openloop-scaling gates 10^5 staying within a small factor of
+// 10^2 on this metric.
+void BM_OpenLoopClients(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const int ops = std::max(1, 100000 / clients);
+  std::uint64_t served = 0;
+  workload::WorkloadSpec spec;
+  spec.ds = "counter";
+  spec.arrival.kind = workload::ArrivalKind::kFixed;
+  spec.arrival.period = 64;
+  spec.clients = clients;
+  spec.ops = ops;
+  const workload::WorkloadRun wr = workload::make_workload(spec, "tts");
+  for (auto _ : state) {
+    MachineConfig cfg;
+    cfg.num_cores = 1;
+    if (wr.configure) wr.configure(cfg);
+    Machine m{cfg, spec.seed};
+    auto worker = wr.build(m);
+    m.spawn(0, [worker](Ctx& ctx) { return worker(ctx, 0); });
+    m.run();
+    served += m.total_stats().ops_completed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(served));
+  state.SetLabel("served open-loop ops (timer-wheel engine, 1 core)");
+}
+BENCHMARK(BM_OpenLoopClients)
+    ->ArgName("clients")
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000);
 
 }  // namespace
 }  // namespace lrsim

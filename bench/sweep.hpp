@@ -21,6 +21,7 @@
 //   threads = 2, 4, 8
 //   keys = 1024, 65536         # keyed structures only
 //   mixes = 50/50, 90/10
+//   clients = 1000, 100000     # open-loop only (closed: clients == threads)
 //   max_lease_time = 20000
 //   max_num_leases = 4
 #pragma once
@@ -55,6 +56,7 @@ struct SweepConfig {
   std::vector<int> threads{8};            ///< Axis 2 (simulated cores).
   std::vector<std::uint64_t> keys;        ///< Axis 3 (default: {base.key_range}).
   std::vector<double> mixes;              ///< Axis 4 (default: {base.mix}).
+  std::vector<int> clients;               ///< Axis 5 (default: {base.clients}).
   Cycle max_lease_time = 20000;           ///< Paper default (Table 1).
   int max_num_leases = 4;
 };
@@ -82,8 +84,9 @@ inline SweepConfig parse_sweep_config(const workload::ConfigFile& cfg) {
   // Resolve each policy eagerly so a typo fails at parse time, not mid-sweep.
   for (const std::string& p : sc.policies) (void)workload::make_workload(sc.base, p);
 
-  static const std::vector<std::string> kKnown = {"threads", "keys", "mixes", "max_lease_time",
-                                                  "max_num_leases"};
+  static const std::vector<std::string> kKnown = {"threads",        "keys",
+                                                  "mixes",          "clients",
+                                                  "max_lease_time", "max_num_leases"};
   for (const std::string& k : cfg.keys("sweep")) {
     bool known = false;
     for (const std::string& ok : kKnown) known = known || (k == ok);
@@ -112,8 +115,21 @@ inline SweepConfig parse_sweep_config(const workload::ConfigFile& cfg) {
   for (std::int64_t k : int_list("keys", 1)) sc.keys.push_back(static_cast<std::uint64_t>(k));
   for (const std::string& s : cfg.get_list("sweep", "mixes"))
     sc.mixes.push_back(workload::parse_mix(s));
+  // Open-loop only: each client count becomes spec.clients (innermost axis,
+  // so configs without it keep their exact row order). Validate here so a
+  // closed-loop config with a clients axis fails at parse time.
+  for (std::int64_t c : int_list("clients", 0)) {
+    if (c > workload::WorkloadSpec::kMaxClients)
+      throw std::invalid_argument(cfg.origin() + ": [sweep] clients entry exceeds 2^30");
+    sc.clients.push_back(static_cast<int>(c));
+  }
+  if (!sc.clients.empty() && !sc.base.arrival.open_loop())
+    throw std::invalid_argument(cfg.origin() +
+                                ": [sweep] clients requires an open-loop arrival "
+                                "(closed loops pin clients == threads)");
   if (sc.keys.empty()) sc.keys.push_back(sc.base.key_range);
   if (sc.mixes.empty()) sc.mixes.push_back(sc.base.mix);
+  if (sc.clients.empty()) sc.clients.push_back(sc.base.clients);
   sc.max_lease_time =
       static_cast<Cycle>(cfg.get_int("sweep", "max_lease_time", static_cast<std::int64_t>(sc.max_lease_time)));
   sc.max_num_leases = static_cast<int>(cfg.get_int("sweep", "max_num_leases", sc.max_num_leases));
@@ -121,18 +137,23 @@ inline SweepConfig parse_sweep_config(const workload::ConfigFile& cfg) {
 }
 
 /// Expands the matrix in a fixed order (policy-major, then threads, keys,
-/// mixes) — the CSV row order, independent of how the runs are scheduled.
+/// mixes, clients) — the CSV row order, independent of how the runs are
+/// scheduled.
 inline std::vector<SweepPoint> expand_sweep(const SweepConfig& sc) {
   std::vector<SweepPoint> points;
-  points.reserve(sc.policies.size() * sc.threads.size() * sc.keys.size() * sc.mixes.size());
+  points.reserve(sc.policies.size() * sc.threads.size() * sc.keys.size() * sc.mixes.size() *
+                 sc.clients.size());
   for (const std::string& policy : sc.policies) {
     for (int t : sc.threads) {
       for (std::uint64_t k : sc.keys) {
         for (double mix : sc.mixes) {
-          SweepPoint p{policy, t, sc.base};
-          p.spec.key_range = k;
-          p.spec.mix = mix;
-          points.push_back(std::move(p));
+          for (int clients : sc.clients) {
+            SweepPoint p{policy, t, sc.base};
+            p.spec.key_range = k;
+            p.spec.mix = mix;
+            p.spec.clients = clients;
+            points.push_back(std::move(p));
+          }
         }
       }
     }

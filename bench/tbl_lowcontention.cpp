@@ -4,111 +4,54 @@
 // trees, and lock-based hash tables with 20% updates / 80% searches on
 // uniform random keys. Expected: leases change throughput by <= ~5%
 // ("throughput is the same on these structures").
+//
+// The variants come from the workload registry (src/workload/): each
+// experiment is `ds = <set>, mix = 20/80, mix_shape = dice, keys = 512`
+// under the base and lease policies — mix_shape = dice replays the
+// pre-registry loop's draw sequence (key, then one d10) so the output is
+// byte-identical to the legacy bench (tests/workload_equiv_test.cpp).
+// The same runs are reproducible from a config file via workload_sweep
+// (docs/WORKLOADS.md).
 #include "bench/harness.hpp"
-#include "ds/bst.hpp"
-#include "ds/harris_list.hpp"
-#include "ds/hashtable.hpp"
-#include "ds/skiplist_set.hpp"
 
 namespace lrsim::bench {
 namespace {
-
-constexpr std::uint64_t kKeyRange = 512;
-constexpr int kPrefill = 256;
-
-// 20% updates (insert/remove split evenly), 80% searches.
-template <typename SetT>
-Task<void> mixed_ops(Ctx& ctx, std::shared_ptr<SetT> s, const BenchOptions& opt) {
-  for (int i = 0; i < opt.ops_per_thread; ++i) {
-    const std::uint64_t key = 1 + ctx.rng().next_below(kKeyRange);
-    const std::uint64_t dice = ctx.rng().next_below(10);
-    if (dice < 1) {
-      co_await s->insert(ctx, key);
-    } else if (dice < 2) {
-      co_await s->remove(ctx, key);
-    } else {
-      co_await s->contains(ctx, key);
-    }
-    co_await think(ctx, opt);
-  }
-}
-
-template <typename SetT>
-Task<void> prefill_set(Ctx& ctx, std::shared_ptr<SetT> s) {
-  for (int i = 0; i < kPrefill; ++i) {
-    co_await s->insert(ctx, 1 + ctx.rng().next_below(kKeyRange));
-  }
-}
-
-template <typename SetT, typename MakeFn>
-Variant set_variant(std::string name, bool lease, MakeFn make_set) {
-  Variant v;
-  v.name = std::move(name);
-  v.configure = [lease](MachineConfig& cfg) { cfg.leases_enabled = lease; };
-  v.make = [lease, make_set](Machine& m, const BenchOptions& opt) {
-    std::shared_ptr<SetT> s = make_set(m, lease);
-    m.spawn(0, [s](Ctx& ctx) { return prefill_set(ctx, s); });
-    m.run();
-    return [s, &opt](Ctx& ctx, int) { return mixed_ops(ctx, s, opt); };
-  };
-  return v;
-}
-
-// Hash table uses a get() lookup instead of contains(); adapt.
-struct HashAdapter {
-  std::shared_ptr<LockedHashTable> h;
-  Task<bool> insert(Ctx& ctx, std::uint64_t k) { co_return co_await h->insert(ctx, k, k); }
-  Task<bool> remove(Ctx& ctx, std::uint64_t k) { co_return co_await h->remove(ctx, k); }
-  Task<bool> contains(Ctx& ctx, std::uint64_t k) {
-    std::optional<std::uint64_t> v = co_await h->get(ctx, k);
-    co_return v.has_value();
-  }
-};
 
 int main_impl(int argc, char** argv) {
   BenchOptions opt;
   opt.ops_per_thread = 60;
   if (!parse_flags(argc, argv, "tbl_lowcontention", opt)) return 0;
 
+  workload::WorkloadSpec spec;
+  spec.mix = 0.2;
+  spec.mix_shape = workload::MixShape::kDice;
+  spec.key_range = 512;
+
   struct Exp {
     std::string title;
     std::string csv;
-    std::vector<Variant> variants;
+    workload::WorkloadSpec spec;
   };
   std::vector<Exp> exps;
 
-  auto make_harris = [](Machine& m, bool lease) {
-    return std::make_shared<HarrisList>(m, HarrisOptions{.use_lease = lease});
-  };
-  exps.push_back({"Low contention: Harris lock-free list (20% updates)", "tbl_lowcontention_list",
-                  {set_variant<HarrisList>("base", false, make_harris),
-                   set_variant<HarrisList>("lease", true, make_harris)}});
-
-  auto make_skip = [](Machine& m, bool lease) {
-    return std::make_shared<LockFreeSkipList>(m, LfSkipListOptions{.use_lease = lease});
-  };
-  exps.push_back({"Low contention: lock-free skiplist (20% updates)", "tbl_lowcontention_skiplist",
-                  {set_variant<LockFreeSkipList>("base", false, make_skip),
-                   set_variant<LockFreeSkipList>("lease", true, make_skip)}});
-
-  auto make_bst = [](Machine& m, bool lease) {
-    return std::make_shared<ExternalBst>(m, BstOptions{.use_lease = lease});
-  };
-  exps.push_back({"Low contention: external BST (20% updates)", "tbl_lowcontention_bst",
-                  {set_variant<ExternalBst>("base", false, make_bst),
-                   set_variant<ExternalBst>("lease", true, make_bst)}});
-
-  auto make_hash = [](Machine& m, bool lease) {
-    auto h = std::make_shared<LockedHashTable>(
-        m, HashTableOptions{.buckets = 1024, .stripes = 128, .use_lease = lease});
-    return std::make_shared<HashAdapter>(HashAdapter{h});
-  };
-  exps.push_back({"Low contention: lock-based hash table (20% updates)", "tbl_lowcontention_hash",
-                  {set_variant<HashAdapter>("base", false, make_hash),
-                   set_variant<HashAdapter>("lease", true, make_hash)}});
+  spec.ds = "harris_list";
+  exps.push_back(
+      {"Low contention: Harris lock-free list (20% updates)", "tbl_lowcontention_list", spec});
+  spec.ds = "skiplist_set";
+  exps.push_back(
+      {"Low contention: lock-free skiplist (20% updates)", "tbl_lowcontention_skiplist", spec});
+  spec.ds = "bst";
+  exps.push_back({"Low contention: external BST (20% updates)", "tbl_lowcontention_bst", spec});
+  spec.ds = "hashtable";
+  spec.ht_buckets = 1024;  // legacy sizing; the 256/16 default thrashes
+  spec.ht_stripes = 128;
+  exps.push_back(
+      {"Low contention: lock-based hash table (20% updates)", "tbl_lowcontention_hash", spec});
 
   for (const Exp& e : exps) {
-    auto samples = run_experiment(e.title, e.csv, e.variants, opt);
+    const std::vector<Variant> variants = {workload_variant(e.spec, "base"),
+                                           workload_variant(e.spec, "lease")};
+    auto samples = run_experiment(e.title, e.csv, variants, opt);
     // The headline number: lease-vs-base delta per thread count.
     Table delta{{"threads", "lease/base throughput"}};
     for (int t : opt.threads) {

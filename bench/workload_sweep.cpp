@@ -41,10 +41,12 @@ int main_impl(int argc, char** argv) {
   const SweepConfig sc = parse_sweep_config(cfg);
   const std::vector<SweepPoint> points = expand_sweep(sc);
   if (list) {
-    Table tbl{{"policy", "threads", "key_range", "mix", "dist", "arrival"}};
+    Table tbl{{"policy", "threads", "clients", "key_range", "mix", "dist", "arrival"}};
     for (const SweepPoint& p : points) {
-      tbl.add_row({p.policy, static_cast<std::int64_t>(p.threads), p.spec.key_range,
-                   workload::mix_string(p.spec.mix), std::string(dist_name(p.spec.dist.kind)),
+      tbl.add_row({p.policy, static_cast<std::int64_t>(p.threads),
+                   static_cast<std::int64_t>(p.spec.clients == 0 ? p.threads : p.spec.clients),
+                   p.spec.key_range, workload::mix_string(p.spec.mix),
+                   std::string(dist_name(p.spec.dist.kind)),
                    std::string(arrival_name(p.spec.arrival.kind))});
     }
     std::cout << points.size() << " runs:\n";

@@ -29,6 +29,18 @@ fewer than 4 CPUs (where sim_threads=4 cannot win) it prints an explicit
 "SKIPPED (host has N cpus)" line and exits 3 — distinct from pass (0)
 and failure (1/2) so CI can surface a mis-provisioned runner.
 
+Open-loop scaling mode:
+    scripts/bench_check.py --assert-openloop-scaling CANDIDATE.json
+                           [--openloop-max-slowdown 3.0]
+
+Asserts the timer-wheel open-loop engine stays near-flat in client count:
+within one JSON, BM_OpenLoopClients/clients:100000 throughput must be at
+least 1/--openloop-max-slowdown of the clients:100 entry. The benchmark
+holds total served ops constant, so this is pure per-op scheduling cost —
+the O(clients)-per-op linear scan fails this by orders of magnitude while
+the wheel passes with room to spare. Self-contained within the candidate
+(host-independent), like --assert-mt-speedup.
+
 Sweep mode:
     scripts/bench_check.py --sweep CANDIDATE.csv [--baseline BASELINE.csv]
                            [--tolerance 0.25]
@@ -315,6 +327,44 @@ def run_mt_speedup_gate(args):
     return 0
 
 
+def run_openloop_scaling_gate(args):
+    """--assert-openloop-scaling: huge client counts must stay near-flat.
+
+    Compares BM_OpenLoopClients/clients:100000 against the clients:100
+    entry of the *same* JSON (bench/sim_microbench.cpp): total served ops
+    are constant across the axis, so the throughput ratio isolates per-op
+    client-scheduling cost. The timer wheel (src/util/timer_wheel.hpp)
+    holds this near 1x; a return to per-op linear scanning shows up as a
+    ~1000x slowdown and fails loudly. Self-contained in one JSON — no
+    reference-host baseline involved — so it runs on any release build.
+    """
+    with open(args.candidate, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    check_release_build(args.candidate, doc)
+    tp = {}
+    for b in doc.get("benchmarks", []):
+        name = b.get("name", "")
+        if name.startswith("BM_OpenLoopClients/clients:") and "items_per_second" in b:
+            tp[name.rsplit(":", 1)[1]] = float(b["items_per_second"])
+    if "100" not in tp or "100000" not in tp:
+        print("error: --assert-openloop-scaling needs BM_OpenLoopClients entries "
+              "at clients:100 and clients:100000 in the candidate JSON.",
+              file=sys.stderr)
+        return 2
+    slowdown = tp["100"] / tp["100000"] if tp["100000"] > 0 else float("inf")
+    print(f"open-loop scaling: clients:100 = {tp['100']:.3e}, clients:100000 = "
+          f"{tp['100000']:.3e} served ops/s -> {slowdown:.2f}x per-op slowdown "
+          f"(ceiling {args.openloop_max_slowdown:.2f}x)")
+    if slowdown > args.openloop_max_slowdown:
+        print(f"error: serving an op among 10^5 open-loop clients costs "
+              f"{slowdown:.2f}x an op among 10^2 (ceiling "
+              f"{args.openloop_max_slowdown:.2f}x) — client scheduling is no "
+              "longer O(1) per op; check the timer-wheel engine.",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -336,12 +386,22 @@ def main():
                     help="minimum sim_threads:4 / sim_threads:0 throughput ratio "
                     "for --assert-mt-speedup (default 0.95: 'not slower', with "
                     "noise headroom for shared CI runners)")
+    ap.add_argument("--assert-openloop-scaling", action="store_true",
+                    help="assert BM_OpenLoopClients per-op cost at clients:100000 "
+                    "stays within --openloop-max-slowdown of clients:100 within "
+                    "the candidate JSON (timer-wheel near-flat scaling)")
+    ap.add_argument("--openloop-max-slowdown", type=float, default=3.0,
+                    help="maximum clients:100 / clients:100000 throughput ratio "
+                    "for --assert-openloop-scaling (default 3.0; the wheel "
+                    "measures ~1.2x, a linear scan ~1000x)")
     args = ap.parse_args()
 
     if args.sweep:
         return run_sweep_gate(args)
     if args.assert_mt_speedup:
         return run_mt_speedup_gate(args)
+    if args.assert_openloop_scaling:
+        return run_openloop_scaling_gate(args)
     if args.baseline is None:
         args.baseline = DEFAULT_BASELINE
 

@@ -1,0 +1,267 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Hierarchical timer wheel for open-loop arrival scheduling
+// (docs/WORKLOADS.md, "Scaling to huge client counts").
+//
+// The open-loop workload driver keys every simulated client by its next
+// arrival cycle. A linear scan over the per-core client list makes each
+// served op O(clients/core); this wheel makes it O(1) amortized, so 10^5+
+// clients per core are cheap (bench/sim_microbench.cpp BM_OpenLoopClients).
+//
+// Layout: kLevels levels of kSlots = 64 buckets each. Level l has a slot
+// granularity of 2^(6l) cycles, so level 0 resolves single cycles and the
+// levels together cover the full 64-bit cycle horizon. An entry lives at
+// the level of the highest bit in which its deadline differs from the
+// wheel's cursor `now()`; as the cursor advances past a higher-level
+// bucket's base, the bucket *cascades* — its entries re-file into lower
+// levels — so every entry reaches level 0 exactly when it is due. Each
+// entry cascades at most kLevels-1 times, giving O(1) amortized insert +
+// pop. Non-empty slots are tracked in one occupancy bitmask per level, so
+// finding the next populated slot is a single countr_zero.
+//
+// Buckets are intrusive doubly-linked FIFOs threaded through a pooled slab
+// indexed by the caller's dense ids — no per-entry allocation, O(1)
+// remove(id) mid-bucket, and ~24 bytes per entry.
+//
+// Determinism contract: pop() returns entries ordered by (deadline, id) —
+// ties on the same cycle break toward the *ascending id*, regardless of
+// insertion order. The open-loop driver relies on this to serve clients in
+// exactly the order of the reference linear scan (lowest client id wins a
+// tie), so sweep CSVs and fig tables stay byte-identical at any client
+// count. Same-cycle entries are batched through a min-heap on id; an
+// insert at the cycle currently being drained joins the live batch, again
+// exactly matching the reference scan.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace lrsim {
+
+class TimerWheel {
+ public:
+  /// Dense caller-chosen entry ids; the slab is indexed by them directly,
+  /// so ids should be small integers (e.g. per-core client slots).
+  using Id = std::uint32_t;
+
+  explicit TimerWheel(Cycle start = 0) noexcept : now_(start) {}
+
+  /// Pre-sizes the slab for ids in [0, n) (inserts auto-grow regardless).
+  void reserve(std::size_t n) {
+    nodes_.reserve(n);
+    due_.reserve(n);
+  }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  /// The wheel cursor: the deadline of the most recent pop. Inserts must
+  /// not be in its past (arrival timelines only move forward).
+  Cycle now() const noexcept { return now_; }
+
+  /// True iff `id` is currently scheduled.
+  bool pending(Id id) const noexcept {
+    return id < nodes_.size() && nodes_[id].state != State::kFree;
+  }
+
+  /// Schedules `id` at cycle `when` (>= now()). `id` must not be pending.
+  void insert(Id id, Cycle when) {
+    if (when < now_) throw std::logic_error("TimerWheel::insert into the past");
+    if (id >= nodes_.size()) nodes_.resize(static_cast<std::size_t>(id) + 1);
+    Node& n = nodes_[id];
+    if (n.state != State::kFree) throw std::logic_error("TimerWheel::insert of a pending id");
+    n.when = when;
+    if (due_live_ > 0 && when == now_) {
+      // The cycle being drained: join the live same-cycle batch so the id
+      // competes with the not-yet-served ties (reference-scan semantics).
+      n.state = State::kDue;
+      due_.push_back(id);
+      std::push_heap(due_.begin(), due_.end(), std::greater<Id>{});
+      ++due_live_;
+    } else {
+      link(level_of(when), id);
+    }
+    ++size_;
+  }
+
+  /// Unschedules a pending `id` (O(1) for filed entries; same-cycle batch
+  /// members are lazily skipped by pop).
+  void remove(Id id) {
+    if (!pending(id)) throw std::logic_error("TimerWheel::remove of a non-pending id");
+    Node& n = nodes_[id];
+    if (n.state == State::kListed) {
+      unlink(id);
+    } else {  // State::kDue — stale heap entry is skipped when popped
+      n.state = State::kFree;
+      --due_live_;
+      if (due_live_ == 0) due_.clear();
+    }
+    --size_;
+  }
+
+  /// Pops the earliest entry as (deadline, id); same-cycle ties come out in
+  /// ascending id order. Advances now() to the returned deadline.
+  std::pair<Cycle, Id> pop() {
+    if (size_ == 0) throw std::logic_error("TimerWheel::pop from an empty wheel");
+    if (due_live_ == 0) advance();
+    for (;;) {
+      std::pop_heap(due_.begin(), due_.end(), std::greater<Id>{});
+      const Id id = due_.back();
+      due_.pop_back();
+      if (nodes_[id].state != State::kDue) continue;  // lazily removed
+      nodes_[id].state = State::kFree;
+      --due_live_;
+      if (due_live_ == 0) due_.clear();  // drop any remaining stale ids
+      --size_;
+      return {now_, id};
+    }
+  }
+
+ private:
+  static constexpr int kSlotBits = 6;
+  static constexpr std::uint32_t kSlots = 1u << kSlotBits;
+  static constexpr std::uint32_t kSlotMask = kSlots - 1;
+  static constexpr int kLevels = (64 + kSlotBits - 1) / kSlotBits;  // 11
+  static constexpr Id kNil = ~Id{0};
+
+  enum class State : std::uint8_t { kFree, kListed, kDue };
+
+  struct Node {
+    Cycle when = 0;
+    Id prev = kNil;
+    Id next = kNil;
+    State state = State::kFree;
+  };
+
+  struct Bucket {
+    Id head = kNil;
+    Id tail = kNil;
+  };
+
+  /// The level whose slot field holds the highest bit in which `when`
+  /// differs from the cursor (level 0 when equal).
+  int level_of(Cycle when) const noexcept {
+    const Cycle diff = when ^ now_;
+    if (diff == 0) return 0;
+    return (std::bit_width(diff) - 1) / kSlotBits;
+  }
+
+  std::uint32_t slot_of(int level, Cycle when) const noexcept {
+    return static_cast<std::uint32_t>(when >> (level * kSlotBits)) & kSlotMask;
+  }
+
+  Bucket& bucket(int level, std::uint32_t slot) noexcept {
+    return buckets_[static_cast<std::size_t>(level) * kSlots + slot];
+  }
+
+  /// Appends `id` to its bucket's FIFO (insertion order preserved so
+  /// cascades re-file entries deterministically).
+  void link(int level, Id id) {
+    const std::uint32_t slot = slot_of(level, nodes_[id].when);
+    Bucket& b = bucket(level, slot);
+    Node& n = nodes_[id];
+    n.state = State::kListed;
+    n.next = kNil;
+    n.prev = b.tail;
+    if (b.tail == kNil) {
+      b.head = id;
+      occupied_[level] |= 1ull << slot;
+    } else {
+      nodes_[b.tail].next = id;
+    }
+    b.tail = id;
+  }
+
+  void unlink(Id id) {
+    Node& n = nodes_[id];
+    const int level = level_of(n.when);
+    const std::uint32_t slot = slot_of(level, n.when);
+    Bucket& b = bucket(level, slot);
+    if (n.prev != kNil) nodes_[n.prev].next = n.next; else b.head = n.next;
+    if (n.next != kNil) nodes_[n.next].prev = n.prev; else b.tail = n.prev;
+    if (b.head == kNil) occupied_[level] &= ~(1ull << slot);
+    n.prev = n.next = kNil;
+    n.state = State::kFree;
+  }
+
+  /// First occupied slot of `level` at or after `from`, or kSlots.
+  std::uint32_t next_slot(int level, std::uint32_t from) const noexcept {
+    const std::uint64_t mask = occupied_[level] & (~0ull << from);
+    return mask == 0 ? kSlots : static_cast<std::uint32_t>(std::countr_zero(mask));
+  }
+
+  /// Detaches the whole FIFO of (level, slot) and returns its head.
+  Id detach(int level, std::uint32_t slot) noexcept {
+    Bucket& b = bucket(level, slot);
+    const Id head = b.head;
+    b.head = b.tail = kNil;
+    occupied_[level] &= ~(1ull << slot);
+    return head;
+  }
+
+  /// Moves the cursor to the earliest filed deadline and loads every entry
+  /// on that exact cycle into the same-cycle batch (min-heap on id).
+  void advance() {
+    for (;;) {
+      // Level 0 holds exact cycles within the cursor's current 64-cycle
+      // window; the first occupied slot (the cursor's own slot included —
+      // an insert at now() files there while no batch is live) is the
+      // global minimum.
+      const std::uint32_t s0 = next_slot(0, slot_of(0, now_));
+      if (s0 != kSlots) {
+        now_ = (now_ & ~static_cast<Cycle>(kSlotMask)) | s0;
+        for (Id id = detach(0, s0); id != kNil;) {
+          Node& n = nodes_[id];
+          const Id next = n.next;
+          n.prev = n.next = kNil;
+          n.state = State::kDue;
+          due_.push_back(id);
+          ++due_live_;
+          id = next;
+        }
+        std::make_heap(due_.begin(), due_.end(), std::greater<Id>{});
+        return;
+      }
+      // Nothing left in this window: cascade the nearest future bucket of
+      // the lowest non-empty level. Jumping the cursor to that bucket's
+      // base is safe — every deadline below it has already been consumed —
+      // and re-filing its FIFO lands every entry at a strictly lower level.
+      bool cascaded = false;
+      for (int l = 1; l < kLevels && !cascaded; ++l) {
+        const std::uint32_t cur = slot_of(l, now_);
+        const std::uint32_t s = next_slot(l, cur + 1);
+        if (s == kSlots) continue;
+        const int shift = l * kSlotBits;
+        const Cycle above = shift + kSlotBits >= 64
+                                ? 0
+                                : (now_ >> (shift + kSlotBits)) << (shift + kSlotBits);
+        now_ = above | (static_cast<Cycle>(s) << shift);
+        for (Id id = detach(l, s); id != kNil;) {
+          const Id next = nodes_[id].next;
+          link(level_of(nodes_[id].when), id);
+          id = next;
+        }
+        cascaded = true;
+      }
+      if (!cascaded) throw std::logic_error("TimerWheel: corrupt occupancy (size > 0, no slot)");
+    }
+  }
+
+  Cycle now_;
+  std::size_t size_ = 0;
+  std::vector<Node> nodes_;                       ///< Slab, indexed by id.
+  std::vector<Bucket> buckets_ =
+      std::vector<Bucket>(static_cast<std::size_t>(kLevels) * kSlots);
+  std::uint64_t occupied_[kLevels] = {};          ///< Non-empty-slot bitmasks.
+  std::vector<Id> due_;      ///< Same-cycle batch: min-heap on id (+ stale ids).
+  std::size_t due_live_ = 0;  ///< Live entries in due_ (stales excluded).
+};
+
+}  // namespace lrsim

@@ -6,6 +6,8 @@
 
 #include "workload/registry.hpp"
 
+#include <atomic>
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 
@@ -21,9 +23,13 @@
 #include "ds/two_lock_queue.hpp"
 #include "sim/par_guard.hpp"
 #include "sync/cohort_lock.hpp"
+#include "util/timer_wheel.hpp"
 
 namespace lrsim::workload {
 namespace {
+
+/// Open-loop scheduling engine; flipped only by tests (fuzz oracle).
+std::atomic<OpenLoopEngine> g_open_loop_engine{OpenLoopEngine::kTimerWheel};
 
 /// Payload value pushed/enqueued by the keyless structures; matches the
 /// legacy bench loops so replays stay byte-identical.
@@ -85,36 +91,93 @@ Task<void> run_closed(Ctx& ctx, std::shared_ptr<const Shared> sh) {
 }
 
 /// Open loop: the core serves its clients (id ≡ core mod threads) in
-/// arrival order. Arrivals are scheduled on each client's own timeline —
-/// a client that falls behind accumulates backlog and drains it in order,
-/// which is what "open loop" means. Think time does not apply (service
-/// time is the op itself).
-Task<void> run_open(Ctx& ctx, std::shared_ptr<const Shared> sh, int tid) {
+/// arrival order — earliest next_arrival first, same-cycle ties broken
+/// toward the lowest client id. Arrivals are scheduled on each client's
+/// own timeline — a client that falls behind accumulates backlog and
+/// drains it in order, which is what "open loop" means. Think time does
+/// not apply (service time is the op itself).
+///
+/// This is the timer-wheel engine (src/util/timer_wheel.hpp): clients live
+/// in the wheel keyed by next_arrival, so picking the next arrival is O(1)
+/// amortized instead of a scan over every client on the core, and 10^5+
+/// clients/core stay cheap (docs/WORKLOADS.md, "Scaling to huge client
+/// counts"). Per-client state is struct-of-arrays: the Rng streams and
+/// remaining-op counts live in flat tables indexed by the client's dense
+/// per-core slot (slot k <-> client id tid + k*threads, so ascending slot
+/// == ascending id and the wheel's id tie-break is the reference loop's),
+/// and the next_arrival cycle lives only in the wheel node. The served-op
+/// sequence is byte-identical to run_open_linear below at any client
+/// count (tests/open_loop_wheel_test.cpp fuzzes the pair).
+Task<void> run_open_wheel(Ctx& ctx, std::shared_ptr<const Shared> sh, int tid) {
+  const int n = sh->clients > tid ? (sh->clients - 1 - tid) / sh->threads + 1 : 0;
+  if (n == 0 || sh->ops <= 0) co_return;
+  std::vector<Rng> rng;
+  rng.reserve(static_cast<std::size_t>(n));
+  std::vector<std::int32_t> remaining(static_cast<std::size_t>(n), sh->ops);
+  TimerWheel wheel;
+  wheel.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    rng.emplace_back(client_seed(sh->seed, tid + k * sh->threads));
+    wheel.insert(static_cast<TimerWheel::Id>(k), next_gap(sh->arrival, rng.back()));
+  }
+  while (!wheel.empty()) {
+    const std::pair<Cycle, TimerWheel::Id> due = wheel.pop();
+    const std::size_t k = due.second;
+    const Cycle now = ctx.now();
+    if (due.first > now) co_await ctx.work(due.first - now);
+    co_await exec_op(ctx, rng[k], *sh);
+    // Drained clients simply never re-enter the wheel — no tombstones to
+    // skip, unlike the old always-scan-everyone loop.
+    if (--remaining[k] > 0) wheel.insert(due.second, due.first + next_gap(sh->arrival, rng[k]));
+  }
+}
+
+/// The O(clients/core) reference loop, kept as the oracle the wheel engine
+/// is fuzzed against (tests/open_loop_wheel_test.cpp). Ties on the same
+/// arrival cycle break toward the lowest client id — explicitly, so that
+/// swap-removing drained clients (instead of skipping them in every scan,
+/// as this loop once did) cannot perturb the serve order.
+Task<void> run_open_linear(Ctx& ctx, std::shared_ptr<const Shared> sh, int tid) {
   struct Client {
     Rng rng;
     Cycle next_arrival;
+    int id;
     int remaining;
   };
   std::vector<Client> cs;
   for (int c = tid; c < sh->clients; c += sh->threads) {
-    Client cl{Rng{client_seed(sh->seed, c)}, 0, sh->ops};
+    Client cl{Rng{client_seed(sh->seed, c)}, 0, c, sh->ops};
     cl.next_arrival = next_gap(sh->arrival, cl.rng);
     if (cl.remaining > 0) cs.push_back(cl);
   }
-  for (;;) {
-    std::size_t best = cs.size();
-    for (std::size_t i = 0; i < cs.size(); ++i) {
-      if (cs[i].remaining == 0) continue;
-      if (best == cs.size() || cs[i].next_arrival < cs[best].next_arrival) best = i;
+  while (!cs.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < cs.size(); ++i) {
+      if (cs[i].next_arrival < cs[best].next_arrival ||
+          (cs[i].next_arrival == cs[best].next_arrival && cs[i].id < cs[best].id)) {
+        best = i;
+      }
     }
-    if (best == cs.size()) co_return;  // every client done
     Client& cl = cs[best];
     const Cycle now = ctx.now();
     if (cl.next_arrival > now) co_await ctx.work(cl.next_arrival - now);
     co_await exec_op(ctx, cl.rng, *sh);
-    --cl.remaining;
-    cl.next_arrival += next_gap(sh->arrival, cl.rng);
+    if (--cl.remaining == 0) {
+      // Swap-remove: a drained client leaves the scan instead of being
+      // skipped on every future iteration. Safe because ties are broken by
+      // client id, not vector position.
+      if (best != cs.size() - 1) cs[best] = std::move(cs.back());
+      cs.pop_back();
+    } else {
+      cl.next_arrival += next_gap(sh->arrival, cl.rng);
+    }
   }
+}
+
+Task<void> run_open(Ctx& ctx, std::shared_ptr<const Shared> sh, int tid) {
+  if (g_open_loop_engine.load(std::memory_order_relaxed) == OpenLoopEngine::kLinearScan)
+    return run_open_linear(ctx, sh, tid);
+  return run_open_wheel(ctx, sh, tid);
 }
 
 /// Resolves spec-level client/loop constraints against a concrete machine
@@ -370,6 +433,27 @@ std::function<std::function<Task<void>(Ctx&, int)>(Machine&)> set_build(
     m.run();
     auto sh = std::make_shared<Shared>();
     sh->sampler = sampler;
+    if (spec.mix_shape == MixShape::kDice) {
+      // Legacy dice mix (tbl_lowcontention's pre-registry loop, draw for
+      // draw): key first, then one next_below(10) dice — no mix-fraction
+      // draw. mix is the update fraction in tenths: dice < upd is an
+      // update, split insert-first when odd; the rest are lookups. With
+      // op_b unset, exec_op runs op_a unconditionally and draws nothing.
+      const std::uint64_t upd = static_cast<std::uint64_t>(std::llround(spec.mix * 10.0));
+      const std::uint64_t ins = upd - upd / 2;
+      sh->op_a = [set, sampler, ins, upd](Ctx& ctx, Rng& rng) -> Task<void> {
+        const std::uint64_t key = 1 + sampler->sample(rng, ctx.now(), ctx.core());
+        const std::uint64_t dice = rng.next_below(10);
+        if (dice < ins) {
+          co_await set_insert(*set, ctx, key);
+        } else if (dice < upd) {
+          co_await set->remove(ctx, key);
+        } else {
+          co_await set_lookup(*set, ctx, key);
+        }
+      };
+      return finish_build(spec, m, sh);
+    }
     sh->op_a = [set, sampler](Ctx& ctx, Rng& rng) -> Task<void> {
       const std::uint64_t key = 1 + sampler->sample(rng, ctx.now(), ctx.core());
       if (rng.next_bool(0.5)) {
@@ -396,10 +480,19 @@ bool set_policy_lease(const std::string& ds, const std::string& policy) {
 WorkloadRun make_hashtable(const WorkloadSpec& spec, const std::string& policy,
                            PhaseLog* phase_log) {
   const bool lease = set_policy_lease("hashtable", policy);
+  HashTableOptions opt;
+  opt.use_lease = lease;
+  if (spec.ht_buckets > 0) opt.buckets = static_cast<std::size_t>(spec.ht_buckets);
+  if (spec.ht_stripes > 0) opt.stripes = static_cast<std::size_t>(spec.ht_stripes);
+  if ((opt.buckets & (opt.buckets - 1)) != 0 || (opt.stripes & (opt.stripes - 1)) != 0 ||
+      opt.stripes > opt.buckets) {
+    throw std::invalid_argument(
+        "hashtable ht_buckets/ht_stripes must be powers of two with stripes <= buckets");
+  }
   WorkloadRun run;
   run.configure = [lease](MachineConfig& cfg) { cfg.leases_enabled = lease; };
-  run.build = set_build<LockedHashTable>(spec, phase_log, [lease](Machine& m) {
-    return std::make_shared<LockedHashTable>(m, HashTableOptions{.use_lease = lease});
+  run.build = set_build<LockedHashTable>(spec, phase_log, [opt](Machine& m) {
+    return std::make_shared<LockedHashTable>(m, opt);
   });
   return run;
 }
@@ -452,10 +545,24 @@ void latch_workload_name(const WorkloadSpec& spec, const std::string& policy) {
 
 }  // namespace
 
+void set_open_loop_engine(OpenLoopEngine e) noexcept {
+  g_open_loop_engine.store(e, std::memory_order_relaxed);
+}
+
+OpenLoopEngine open_loop_engine() noexcept {
+  return g_open_loop_engine.load(std::memory_order_relaxed);
+}
+
 WorkloadRun make_workload(const WorkloadSpec& spec, const std::string& policy,
                           PhaseLog* phase_log) {
   spec.validate();
   latch_workload_name(spec, policy);
+  const bool keyed_set = spec.ds == "hashtable" || spec.ds == "harris_list" ||
+                         spec.ds == "skiplist_set" || spec.ds == "bst";
+  if (spec.mix_shape == MixShape::kDice && !keyed_set) {
+    throw std::invalid_argument(
+        "mix_shape = dice is a keyed-set mix (hashtable, harris_list, skiplist_set, bst)");
+  }
   if (spec.ds == "counter") return make_counter(spec, policy);
   if (spec.ds == "treiber_stack") return make_stack(spec, policy);
   if (spec.ds == "ms_queue") return make_queue(spec, policy);

@@ -72,6 +72,20 @@ struct WorkloadRun {
 WorkloadRun make_workload(const WorkloadSpec& spec, const std::string& policy,
                           PhaseLog* phase_log = nullptr);
 
+/// Open-loop scheduling engine (docs/WORKLOADS.md, "Scaling to huge client
+/// counts"). kTimerWheel — the default — keys clients by next_arrival in a
+/// hierarchical timer wheel (src/util/timer_wheel.hpp), O(1) amortized per
+/// served op. kLinearScan is the O(clients/core) reference loop kept as
+/// the oracle the wheel is fuzzed against; both serve the exact same op
+/// sequence (earliest arrival, ties to the lowest client id), so flipping
+/// the engine never changes simulated output.
+enum class OpenLoopEngine { kTimerWheel, kLinearScan };
+
+/// Test hook: selects the engine for subsequently *started* open-loop
+/// workers. Process-global; flip it only from single-threaded test setup.
+void set_open_loop_engine(OpenLoopEngine e) noexcept;
+OpenLoopEngine open_loop_engine() noexcept;
+
 /// Registered structure names, in registry order.
 const std::vector<std::string>& registered_structures();
 

@@ -7,6 +7,7 @@
 // refactored fig benches; either path produces the identical run.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <sstream>
 #include <stdexcept>
@@ -19,8 +20,22 @@
 
 namespace lrsim::workload {
 
+/// How the keyed-set op mix consumes PRNG draws (other structures accept
+/// only kDraw). kDraw is the registry-native shape: one next_double()
+/// picks update vs lookup, updates draw key then next_bool(0.5) for
+/// insert-vs-remove. kDice reproduces the pre-registry tbl_lowcontention
+/// loop draw for draw: key first, then a single next_below(10) dice picks
+/// insert / remove / lookup — so the refactored bench replays the legacy
+/// output byte-identically (mix must be a multiple of 0.1).
+enum class MixShape { kDraw, kDice };
+
 struct WorkloadSpec {
   std::string ds = "counter";  ///< Registered structure (registry.hpp).
+
+  /// Open-loop client counts above this are refused: the per-core client
+  /// tables and timer wheel handle millions comfortably, but a parse typo
+  /// of 10^12 clients should fail loudly instead of eating the host.
+  static constexpr int kMaxClients = 1 << 30;
 
   /// Fraction of "op A" in the two-op mix. Per structure, op A / op B are:
   /// counter: inc / —, treiber_stack: push / pop, ms_queue: enq / deq,
@@ -29,6 +44,8 @@ struct WorkloadSpec {
   /// update fraction. Single-op structures ignore it (and the driver draws
   /// nothing, preserving the legacy PRNG sequences).
   double mix = 0.5;
+
+  MixShape mix_shape = MixShape::kDraw;  ///< Keyed sets: mix draw sequence.
 
   std::uint64_t key_range = 1 << 16;  ///< Keys in [0, key_range).
   DistSpec dist;                      ///< Key-access distribution.
@@ -46,13 +63,33 @@ struct WorkloadSpec {
   Cycle cs_work = 0;     ///< counter: extra cycles inside the critical section.
   std::uint64_t seed = 1;  ///< Per-client PRNG streams (open loop).
 
+  /// hashtable only: bucket/stripe counts (0 = the structure's defaults).
+  /// Powers of two, stripes <= buckets — checked when the workload builds.
+  std::int64_t ht_buckets = 0;
+  std::int64_t ht_stripes = 0;
+
   void validate() const {
     if (!(mix >= 0.0 && mix <= 1.0)) throw std::invalid_argument("mix must be in [0, 1]");
+    if (mix_shape == MixShape::kDice) {
+      const double tenths = mix * 10.0;
+      if (std::abs(tenths - std::llround(tenths)) > 1e-9)
+        throw std::invalid_argument("mix_shape = dice needs mix in tenths (0.0, 0.1, ... 1.0)");
+    }
     if (clients < 0) throw std::invalid_argument("clients must be >= 0");
+    if (clients > kMaxClients)
+      throw std::invalid_argument("clients must be <= 2^30 (is that a typo?)");
     if (ops < 0) throw std::invalid_argument("ops must be >= 0");
+    if (ht_buckets < 0 || ht_stripes < 0)
+      throw std::invalid_argument("ht_buckets/ht_stripes must be >= 0 (0 = ds default)");
     arrival.validate();
   }
 };
+
+inline MixShape parse_mix_shape(const std::string& name) {
+  if (name == "draw") return MixShape::kDraw;
+  if (name == "dice") return MixShape::kDice;
+  throw std::invalid_argument("unknown mix_shape `" + name + "` (draw, dice)");
+}
 
 /// Parses "a/b" (percent split, e.g. "90/10"), a bare fraction ("0.9"), or
 /// a bare percentage ("90") into the op-A fraction.
@@ -100,9 +137,10 @@ inline ArrivalKind parse_arrival_kind(const std::string& name) {
 /// allowed here.
 inline WorkloadSpec parse_workload_spec(const ConfigFile& cfg, const std::string& section = "workload") {
   static const std::vector<std::string> kKnown = {
-      "ds",     "policies", "mix",        "keys",      "dist",    "theta",
+      "ds",     "policies", "mix",        "mix_shape", "keys",    "dist",    "theta",
       "hot_frac", "hot_prob", "shift_every", "shift_by", "arrival", "period",
-      "clients", "ops",     "think",      "prefill",   "cs_work", "seed"};
+      "clients", "ops",     "think",      "prefill",   "cs_work", "seed",
+      "ht_buckets", "ht_stripes"};
   for (const std::string& k : cfg.keys(section)) {
     bool known = false;
     for (const std::string& ok : kKnown) known = known || (k == ok);
@@ -113,6 +151,7 @@ inline WorkloadSpec parse_workload_spec(const ConfigFile& cfg, const std::string
   WorkloadSpec spec;
   spec.ds = cfg.get(section, "ds", spec.ds);
   if (cfg.has(section, "mix")) spec.mix = parse_mix(cfg.get(section, "mix"));
+  spec.mix_shape = parse_mix_shape(cfg.get(section, "mix_shape", "draw"));
   spec.key_range = static_cast<std::uint64_t>(
       cfg.get_int(section, "keys", static_cast<std::int64_t>(spec.key_range)));
   spec.dist.kind = parse_dist_kind(cfg.get(section, "dist", "uniform"));
@@ -129,6 +168,8 @@ inline WorkloadSpec parse_workload_spec(const ConfigFile& cfg, const std::string
   spec.prefill = static_cast<int>(cfg.get_int(section, "prefill", spec.prefill));
   spec.cs_work = static_cast<Cycle>(cfg.get_int(section, "cs_work", 0));
   spec.seed = static_cast<std::uint64_t>(cfg.get_int(section, "seed", static_cast<std::int64_t>(spec.seed)));
+  spec.ht_buckets = cfg.get_int(section, "ht_buckets", 0);
+  spec.ht_stripes = cfg.get_int(section, "ht_stripes", 0);
   spec.validate();
   return spec;
 }

@@ -1,0 +1,131 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Fuzzes the timer-wheel open-loop engine against the linear-scan
+// reference (registry.hpp: OpenLoopEngine): for every combination of
+// seed x arrival process x client count x sim-thread count the two
+// engines must produce *identical* simulations — same final cycle, same
+// aggregate Stats — because they serve the exact same op sequence
+// (earliest next_arrival, ties to the lowest client id). Timer-wheel
+// unit tests live in tests/timer_wheel_test.cpp.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runtime/machine.hpp"
+#include "workload/registry.hpp"
+#include "workload/spec.hpp"
+
+namespace lrsim {
+namespace {
+
+using workload::OpenLoopEngine;
+
+/// Restores the process-global engine selection on scope exit so a failing
+/// test cannot leak kLinearScan into later tests.
+struct EngineGuard {
+  OpenLoopEngine saved = workload::open_loop_engine();
+  ~EngineGuard() { workload::set_open_loop_engine(saved); }
+};
+
+struct RunResult {
+  Stats stats;
+  Cycle cycles = 0;
+};
+
+RunResult run_with_engine(const workload::WorkloadSpec& spec, const std::string& policy,
+                          int threads, int sim_threads, OpenLoopEngine engine) {
+  EngineGuard guard;
+  workload::set_open_loop_engine(engine);
+  const workload::WorkloadRun wr = workload::make_workload(spec, policy);
+  MachineConfig cfg;
+  cfg.num_cores = threads;
+  if (wr.configure) wr.configure(cfg);
+  Machine m{cfg, spec.seed};
+  m.set_sim_threads(sim_threads);
+  auto worker = wr.build(m);
+  const Stats prefill = m.total_stats();
+  const Cycle start = m.events().now();
+  for (int t = 0; t < threads; ++t) {
+    m.spawn(t, [worker, t](Ctx& ctx) { return worker(ctx, t); });
+  }
+  m.run();
+  EXPECT_TRUE(m.all_done());
+  RunResult r;
+  r.stats = m.total_stats();
+  r.stats -= prefill;
+  r.cycles = m.events().now() - start;
+  return r;
+}
+
+void expect_engines_match(const workload::WorkloadSpec& spec, const std::string& policy,
+                          int threads, int sim_threads) {
+  const RunResult wheel = run_with_engine(spec, policy, threads, sim_threads,
+                                          OpenLoopEngine::kTimerWheel);
+  const RunResult linear = run_with_engine(spec, policy, threads, sim_threads,
+                                           OpenLoopEngine::kLinearScan);
+  EXPECT_EQ(wheel.cycles, linear.cycles)
+      << "ds=" << spec.ds << " policy=" << policy << " clients=" << spec.clients
+      << " seed=" << spec.seed << " arrival=" << static_cast<int>(spec.arrival.kind)
+      << " sim_threads=" << sim_threads;
+  EXPECT_EQ(wheel.stats, linear.stats)
+      << "ds=" << spec.ds << " policy=" << policy << " clients=" << spec.clients
+      << " seed=" << spec.seed << " arrival=" << static_cast<int>(spec.arrival.kind)
+      << " sim_threads=" << sim_threads;
+}
+
+workload::WorkloadSpec open_spec(const std::string& ds, workload::ArrivalKind arrival, Cycle period,
+                                 int clients, int ops, std::uint64_t seed) {
+  workload::WorkloadSpec spec;
+  spec.ds = ds;
+  spec.arrival.kind = arrival;
+  spec.arrival.period = period;
+  spec.clients = clients;
+  spec.ops = ops;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(OpenLoopWheel, MatchesLinearScanAcrossSeedsArrivalsAndClientCounts) {
+  // Fixed arrivals make every client on a core tie each period (worst case
+  // for the tie-break contract); poisson gaps can round to zero (same-cycle
+  // re-arrival). clients = 1 and 7 leave some of the 4 cores idle or
+  // unevenly loaded; 64 gives 16 clients per core.
+  const int kThreads = 4;
+  for (const std::uint64_t seed : {1ull, 7ull}) {
+    for (const int clients : {1, 7, 64}) {
+      for (const int sim_threads : {0, 2}) {
+        expect_engines_match(
+            open_spec("counter", workload::ArrivalKind::kFixed, 50, clients, 6, seed), "tts",
+            kThreads, sim_threads);
+        expect_engines_match(
+            open_spec("counter", workload::ArrivalKind::kPoisson, 80, clients, 6, seed), "tts",
+            kThreads, sim_threads);
+      }
+    }
+  }
+}
+
+TEST(OpenLoopWheel, MatchesLinearScanOnAKeyedStructure) {
+  // A stack exercises the two-op mix draw path (push/pop from one
+  // next_double per op) under both engines.
+  for (const std::uint64_t seed : {1ull, 7ull}) {
+    workload::WorkloadSpec spec =
+        open_spec("treiber_stack", workload::ArrivalKind::kPoisson, 60, 16, 5, seed);
+    spec.mix = 0.5;
+    expect_engines_match(spec, "base", /*threads=*/4, /*sim_threads=*/0);
+    expect_engines_match(spec, "lease", /*threads=*/4, /*sim_threads=*/2);
+  }
+}
+
+TEST(OpenLoopWheel, MatchesLinearScanAtTenThousandClients) {
+  // The scale point: 2500 clients per core, 2 ops each. The linear oracle
+  // is O(clients) per op here, so keep the op count tiny.
+  expect_engines_match(open_spec("counter", workload::ArrivalKind::kFixed, 64, 10000, 2, 1), "tts",
+                       /*threads=*/4, /*sim_threads=*/0);
+  expect_engines_match(open_spec("counter", workload::ArrivalKind::kPoisson, 96, 10000, 2, 1), "tts",
+                       /*threads=*/4, /*sim_threads=*/2);
+}
+
+}  // namespace
+}  // namespace lrsim

@@ -1,0 +1,192 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Unit tests for the hierarchical timer wheel (src/util/timer_wheel.hpp):
+// pop order across cascade boundaries, the ascending-id same-cycle
+// contract, remove mid-bucket and mid-batch, and a randomized oracle
+// against a sorted reference. The wheel-vs-linear-scan *workload* fuzz
+// lives in tests/open_loop_wheel_test.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/timer_wheel.hpp"
+
+namespace lrsim {
+namespace {
+
+using Entry = std::pair<Cycle, TimerWheel::Id>;
+
+std::vector<Entry> drain(TimerWheel& w) {
+  std::vector<Entry> out;
+  while (!w.empty()) out.push_back(w.pop());
+  return out;
+}
+
+TEST(TimerWheel, PopsInDeadlineOrderAcrossCascadeBoundaries) {
+  // Deadlines straddling every interesting boundary: within the level-0
+  // window (64 cycles), the level-1 window (4096), level-2 (2^18), and a
+  // couple of far jumps that live in high levels until they cascade down.
+  const std::vector<Cycle> times = {0,    1,    63,   64,   65,   127,  128,  4095,
+                                    4096, 4097, 8191, 8192, (1u << 18) - 1, 1u << 18,
+                                    (1u << 18) + 1, 1ull << 30, (1ull << 30) + 63, 1ull << 40};
+  // Insert in a scrambled order so bucket FIFOs differ from pop order.
+  std::vector<std::size_t> order(times.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = (i * 7) % order.size();
+  TimerWheel w;
+  for (std::size_t i : order) w.insert(static_cast<TimerWheel::Id>(i), times[i]);
+  ASSERT_EQ(w.size(), times.size());
+  const std::vector<Entry> popped = drain(w);
+  ASSERT_EQ(popped.size(), times.size());
+  for (std::size_t i = 0; i < popped.size(); ++i) {
+    EXPECT_EQ(popped[i].first, times[popped[i].second]) << "entry " << i;
+    if (i > 0) {
+      EXPECT_LT(popped[i - 1].first, popped[i].first) << "entry " << i;
+    }
+  }
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(TimerWheel, SameCycleTiesPopInAscendingIdOrder) {
+  // All on one cycle, inserted in descending id order: the determinism
+  // contract says pops ignore insertion order and go by ascending id.
+  TimerWheel w;
+  for (int id = 9; id >= 0; --id) w.insert(static_cast<TimerWheel::Id>(id), 100);
+  const std::vector<Entry> popped = drain(w);
+  ASSERT_EQ(popped.size(), 10u);
+  for (std::size_t i = 0; i < popped.size(); ++i) {
+    EXPECT_EQ(popped[i].first, 100u);
+    EXPECT_EQ(popped[i].second, static_cast<TimerWheel::Id>(i));
+  }
+}
+
+TEST(TimerWheel, InsertAtCurrentCycleJoinsTheLiveBatch) {
+  TimerWheel w;
+  w.insert(5, 10);
+  w.insert(9, 10);
+  w.insert(3, 20);
+  EXPECT_EQ(w.pop(), Entry(10, 5));
+  // Re-arrival on the cycle being drained (a zero inter-arrival gap):
+  // competes with the remaining ties, in id order — exactly what the
+  // linear reference scan does.
+  w.insert(1, 10);
+  EXPECT_EQ(w.now(), 10u);
+  EXPECT_EQ(w.pop(), Entry(10, 1));
+  EXPECT_EQ(w.pop(), Entry(10, 9));
+  EXPECT_EQ(w.pop(), Entry(20, 3));
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(TimerWheel, RemoveMidBucketUnlinksHeadMiddleAndTail) {
+  TimerWheel w;
+  w.insert(1, 300);
+  w.insert(2, 300);
+  w.insert(3, 300);
+  w.insert(4, 300);
+  w.remove(2);  // middle
+  EXPECT_FALSE(w.pending(2));
+  EXPECT_TRUE(w.pending(1));
+  w.remove(1);  // head
+  w.remove(4);  // tail
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.pop(), Entry(300, 3));
+  EXPECT_TRUE(w.empty());
+
+  // Removing from a live same-cycle batch is lazy but must still never
+  // surface the id.
+  w.insert(7, 300);
+  w.insert(8, 300);
+  EXPECT_EQ(w.pop(), Entry(300, 7));
+  w.remove(8);
+  w.insert(8, 301);  // reinsert while a stale heap slot exists
+  EXPECT_EQ(w.pop(), Entry(301, 8));
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(TimerWheel, RemovedIdsCanBeReinsertedAtOtherCycles) {
+  TimerWheel w;
+  w.insert(0, 50);
+  w.remove(0);
+  EXPECT_TRUE(w.empty());
+  w.insert(0, 9000);
+  EXPECT_EQ(w.pop(), Entry(9000, 0));
+}
+
+TEST(TimerWheel, MisuseThrows) {
+  TimerWheel w;
+  EXPECT_THROW(w.pop(), std::logic_error);
+  EXPECT_THROW(w.remove(0), std::logic_error);
+  w.insert(0, 5);
+  EXPECT_THROW(w.insert(0, 6), std::logic_error);  // already pending
+  EXPECT_EQ(w.pop(), Entry(5, 0));
+  EXPECT_THROW(w.insert(1, 4), std::logic_error);  // now() is 5: the past
+}
+
+TEST(TimerWheel, StartCursorOffsetsTheFirstWindow) {
+  TimerWheel w{1000};
+  EXPECT_THROW(w.insert(0, 999), std::logic_error);
+  w.insert(0, 1000);
+  w.insert(1, 1001);
+  EXPECT_EQ(w.pop(), Entry(1000, 0));
+  EXPECT_EQ(w.pop(), Entry(1001, 1));
+}
+
+// Randomized oracle: a stream of inserts / removes / pops must match a
+// sorted (deadline, id) multiset exactly — deadlines drawn with jumps big
+// enough to exercise every level, plus heavy same-cycle collisions.
+TEST(TimerWheel, RandomizedMatchesSortedOracle) {
+  Rng rng{0xfeedu};
+  TimerWheel w;
+  std::set<Entry> oracle;  // (when, id), unique ids
+  std::vector<bool> live(512, false);
+  std::vector<Cycle> when(512, 0);
+  Cycle horizon = 0;
+  int pops = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t action = rng.next_below(10);
+    if (action < 5) {  // insert a free id
+      const TimerWheel::Id id = static_cast<TimerWheel::Id>(rng.next_below(512));
+      if (live[id]) continue;
+      // Mostly near the cursor (collisions), sometimes far (high levels).
+      Cycle t = w.now();
+      const std::uint64_t r = rng.next_below(100);
+      if (r < 40) t += rng.next_below(4);
+      else if (r < 80) t += rng.next_below(1 << 10);
+      else t += rng.next_below(1ull << 40);
+      w.insert(id, t);
+      oracle.emplace(t, id);
+      live[id] = true;
+      when[id] = t;
+      horizon = std::max(horizon, t);
+    } else if (action < 7) {  // remove a random live id
+      if (oracle.empty()) continue;
+      const TimerWheel::Id id = static_cast<TimerWheel::Id>(rng.next_below(512));
+      if (!live[id]) continue;
+      w.remove(id);
+      oracle.erase(Entry(when[id], id));
+      live[id] = false;
+    } else {  // pop
+      if (oracle.empty()) continue;
+      const Entry got = w.pop();
+      const Entry want = *oracle.begin();
+      ASSERT_EQ(got, want) << "step " << step;
+      oracle.erase(oracle.begin());
+      live[got.second] = false;
+      ++pops;
+    }
+  }
+  while (!oracle.empty()) {
+    const Entry got = w.pop();
+    ASSERT_EQ(got, *oracle.begin());
+    oracle.erase(oracle.begin());
+    ++pops;
+  }
+  EXPECT_TRUE(w.empty());
+  EXPECT_GT(pops, 1000);  // the stream actually exercised the wheel
+}
+
+}  // namespace
+}  // namespace lrsim

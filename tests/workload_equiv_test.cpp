@@ -17,8 +17,12 @@
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "ds/bst.hpp"
 #include "ds/counter.hpp"
+#include "ds/harris_list.hpp"
+#include "ds/hashtable.hpp"
 #include "ds/skiplist_pq.hpp"
+#include "ds/skiplist_set.hpp"
 #include "ds/spraylist.hpp"
 #include "ds/treiber_stack.hpp"
 #include "sync/cohort_lock.hpp"
@@ -238,6 +242,132 @@ dist = uniform
                                     {"global-lock+lease", ""},
                                     {"spray", "spraylist (relaxed)"}}),
                    opt);
+  EXPECT_EQ(legacy, via_config);
+}
+
+// --- legacy tbl_lowcontention (pre-registry), copied verbatim ---------------
+
+constexpr std::uint64_t kLowcontKeyRange = 512;
+
+// 20% updates (insert/remove split evenly), 80% searches.
+template <typename SetT>
+Task<void> legacy_mixed_ops(Ctx& ctx, std::shared_ptr<SetT> s, const BenchOptions& opt) {
+  for (int i = 0; i < opt.ops_per_thread; ++i) {
+    const std::uint64_t key = 1 + ctx.rng().next_below(kLowcontKeyRange);
+    const std::uint64_t dice = ctx.rng().next_below(10);
+    if (dice < 1) {
+      co_await s->insert(ctx, key);
+    } else if (dice < 2) {
+      co_await s->remove(ctx, key);
+    } else {
+      co_await s->contains(ctx, key);
+    }
+    co_await think(ctx, opt);
+  }
+}
+
+template <typename SetT>
+Task<void> legacy_prefill_set(Ctx& ctx, std::shared_ptr<SetT> s) {
+  for (int i = 0; i < kPrefill; ++i) {
+    co_await s->insert(ctx, 1 + ctx.rng().next_below(kLowcontKeyRange));
+  }
+}
+
+template <typename SetT, typename MakeFn>
+Variant legacy_set_variant(std::string name, bool lease, MakeFn make_set) {
+  Variant v;
+  v.name = std::move(name);
+  v.configure = [lease](MachineConfig& cfg) { cfg.leases_enabled = lease; };
+  v.make = [lease, make_set](Machine& m, const BenchOptions& opt) {
+    std::shared_ptr<SetT> s = make_set(m, lease);
+    m.spawn(0, [s](Ctx& ctx) { return legacy_prefill_set(ctx, s); });
+    m.run();
+    return [s, &opt](Ctx& ctx, int) { return legacy_mixed_ops(ctx, s, opt); };
+  };
+  return v;
+}
+
+// Hash table uses a get() lookup instead of contains(); adapt.
+struct LegacyHashAdapter {
+  std::shared_ptr<LockedHashTable> h;
+  Task<bool> insert(Ctx& ctx, std::uint64_t k) { co_return co_await h->insert(ctx, k, k); }
+  Task<bool> remove(Ctx& ctx, std::uint64_t k) { co_return co_await h->remove(ctx, k); }
+  Task<bool> contains(Ctx& ctx, std::uint64_t k) {
+    std::optional<std::uint64_t> v = co_await h->get(ctx, k);
+    co_return v.has_value();
+  }
+};
+
+std::string lowcont_config(const std::string& ds, const std::string& extra = "") {
+  return "[workload]\nds = " + ds + "\nmix = 20/80\nmix_shape = dice\nkeys = 512\n" + extra;
+}
+
+TEST(WorkloadEquiv, TblLowcontentionListConfigReproducesLegacyBytes) {
+  const BenchOptions opt = small_opt(15);
+  const std::string title = "lowcontention list equivalence";
+  auto make_harris = [](Machine& m, bool lease) {
+    return std::make_shared<HarrisList>(m, HarrisOptions{.use_lease = lease});
+  };
+  const std::string legacy =
+      run_captured(title,
+                   {legacy_set_variant<HarrisList>("base", false, make_harris),
+                    legacy_set_variant<HarrisList>("lease", true, make_harris)},
+                   opt);
+  const std::string via_config = run_captured(
+      title, config_variants(lowcont_config("harris_list"), {{"base", ""}, {"lease", ""}}), opt);
+  EXPECT_EQ(legacy, via_config);
+}
+
+TEST(WorkloadEquiv, TblLowcontentionSkiplistConfigReproducesLegacyBytes) {
+  const BenchOptions opt = small_opt(15);
+  const std::string title = "lowcontention skiplist equivalence";
+  auto make_skip = [](Machine& m, bool lease) {
+    return std::make_shared<LockFreeSkipList>(m, LfSkipListOptions{.use_lease = lease});
+  };
+  const std::string legacy =
+      run_captured(title,
+                   {legacy_set_variant<LockFreeSkipList>("base", false, make_skip),
+                    legacy_set_variant<LockFreeSkipList>("lease", true, make_skip)},
+                   opt);
+  const std::string via_config = run_captured(
+      title, config_variants(lowcont_config("skiplist_set"), {{"base", ""}, {"lease", ""}}), opt);
+  EXPECT_EQ(legacy, via_config);
+}
+
+TEST(WorkloadEquiv, TblLowcontentionBstConfigReproducesLegacyBytes) {
+  const BenchOptions opt = small_opt(15);
+  const std::string title = "lowcontention bst equivalence";
+  auto make_bst = [](Machine& m, bool lease) {
+    return std::make_shared<ExternalBst>(m, BstOptions{.use_lease = lease});
+  };
+  const std::string legacy =
+      run_captured(title,
+                   {legacy_set_variant<ExternalBst>("base", false, make_bst),
+                    legacy_set_variant<ExternalBst>("lease", true, make_bst)},
+                   opt);
+  const std::string via_config = run_captured(
+      title, config_variants(lowcont_config("bst"), {{"base", ""}, {"lease", ""}}), opt);
+  EXPECT_EQ(legacy, via_config);
+}
+
+TEST(WorkloadEquiv, TblLowcontentionHashConfigReproducesLegacyBytes) {
+  const BenchOptions opt = small_opt(15);
+  const std::string title = "lowcontention hash equivalence";
+  auto make_hash = [](Machine& m, bool lease) {
+    auto h = std::make_shared<LockedHashTable>(
+        m, HashTableOptions{.buckets = 1024, .stripes = 128, .use_lease = lease});
+    return std::make_shared<LegacyHashAdapter>(LegacyHashAdapter{h});
+  };
+  const std::string legacy =
+      run_captured(title,
+                   {legacy_set_variant<LegacyHashAdapter>("base", false, make_hash),
+                    legacy_set_variant<LegacyHashAdapter>("lease", true, make_hash)},
+                   opt);
+  const std::string via_config = run_captured(
+      title,
+      config_variants(lowcont_config("hashtable", "ht_buckets = 1024\nht_stripes = 128\n"),
+                      {{"base", ""}, {"lease", ""}}),
+      opt);
   EXPECT_EQ(legacy, via_config);
 }
 
