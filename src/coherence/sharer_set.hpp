@@ -309,8 +309,15 @@ class SharerSet {
   }
 
  private:
+  /// Bit `i` of a 64-bit word, or 0 when `i` is out of range. The guard
+  /// matters on wide machines: a default-constructed (empty) set is still
+  /// kMask, and covers()/remove() may probe it with a core id >= 64 —
+  /// shifting by that count would be UB, while "bit absent" is the right
+  /// answer (an empty mask holds no core, and ~bit(c) leaves it unchanged).
   static constexpr std::uint64_t bit(std::int64_t i) noexcept {
-    return std::uint64_t{1} << static_cast<unsigned>(i);
+    return static_cast<std::uint64_t>(i) >= 64
+               ? 0
+               : std::uint64_t{1} << static_cast<unsigned>(i);
   }
   static int group(const SharerStore& st, CoreId c) noexcept {
     return static_cast<int>(c) / st.granularity();

@@ -191,8 +191,10 @@ class TimerWheel {
     n.state = State::kFree;
   }
 
-  /// First occupied slot of `level` at or after `from`, or kSlots.
+  /// First occupied slot of `level` at or after `from`, or kSlots. `from`
+  /// may be kSlots (a caller stepped past slot 63): the window is empty.
   std::uint32_t next_slot(int level, std::uint32_t from) const noexcept {
+    if (from >= kSlots) return kSlots;
     const std::uint64_t mask = occupied_[level] & (~0ull << from);
     return mask == 0 ? kSlots : static_cast<std::uint32_t>(std::countr_zero(mask));
   }
