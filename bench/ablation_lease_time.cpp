@@ -13,12 +13,13 @@ namespace {
 
 constexpr int kPrefill = 256;
 
-Variant stack_variant(std::string name, bool leases, Cycle mlt) {
+Variant stack_variant(std::string name, bool leases, Cycle mlt, bool adaptive = false) {
   Variant v;
   v.name = std::move(name);
-  v.configure = [leases, mlt](MachineConfig& cfg) {
+  v.configure = [leases, mlt, adaptive](MachineConfig& cfg) {
     cfg.leases_enabled = leases;
     if (mlt > 0) cfg.max_lease_time = mlt;
+    if (adaptive) cfg.lease_policy = LeasePolicy::kAdaptive;
   };
   v.make = [leases](Machine& m, const BenchOptions& opt) {
     auto stack = std::make_shared<TreiberStack>(m, TreiberOptions{.use_lease = leases});
@@ -49,13 +50,19 @@ int main_impl(int argc, char** argv) {
                                  stack_variant("lease-50", true, 50),
                                  stack_variant("lease-200", true, 200),
                                  stack_variant("lease-1k", true, 1000),
-                                 stack_variant("lease-20k", true, 20000)},
+                                 stack_variant("lease-20k", true, 20000),
+                                 stack_variant("lease-adaptive", true, 0, /*adaptive=*/true)},
                                 opt);
-  Table invol{{"threads", "variant", "involuntary releases", "voluntary releases"}};
+  // Raw expiry counts are incomparable across thread counts (more threads run
+  // more total ops), so the per-op rate rides alongside them.
+  Table invol{{"threads", "variant", "involuntary releases", "voluntary releases", "invol/op"}};
   for (const auto& s : samples) {
     if (s.variant == "base") continue;
+    const double rate = s.ops == 0 ? 0.0
+                                   : static_cast<double>(s.stats.releases_involuntary) /
+                                         static_cast<double>(s.ops);
     invol.add_row({static_cast<std::int64_t>(s.threads), s.variant,
-                   s.stats.releases_involuntary, s.stats.releases_voluntary});
+                   s.stats.releases_involuntary, s.stats.releases_voluntary, rate});
   }
   std::cout << "-- involuntary releases (leases expiring mid-operation) --\n";
   invol.print(std::cout);

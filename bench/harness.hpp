@@ -50,6 +50,9 @@ struct BenchOptions {
   std::string csv_dir = "bench_out";
   Cycle max_lease_time = 20000;  ///< Paper: 20K cycles (= 20 us at 1 GHz).
   int max_num_leases = 4;
+  /// --min_lease_time: adaptive-policy cold start / lower clamp; 0 keeps the
+  /// MachineConfig default (64). Static-policy runs never read it.
+  Cycle min_lease_time = 0;
   std::uint64_t seed = 1;
   Cycle think_max = 40;  ///< Random local work between ops (0..think_max).
   int jobs = 0;  ///< --jobs: host threads running samples; 0 = one per host CPU.
@@ -89,6 +92,8 @@ inline bool parse_flags(int argc, char** argv, const std::string& name, BenchOpt
   flags.add("csv_dir", &opt.csv_dir, "directory for CSV output (empty to disable)");
   flags.add("max_lease_time", &opt.max_lease_time, "MAX_LEASE_TIME in cycles");
   flags.add("max_num_leases", &opt.max_num_leases, "MAX_NUM_LEASES per core");
+  flags.add("min_lease_time", &opt.min_lease_time,
+            "adaptive lease policy: cold-start / lower-clamp duration (0 = default)");
   flags.add("seed", &opt.seed, "workload RNG seed");
   flags.add("think", &opt.think_max, "max random local work between ops (cycles)");
   flags.add("jobs", &opt.jobs, "host threads running samples in parallel (0 = one per host CPU)");
@@ -191,6 +196,7 @@ inline Sample run_one(const Variant& v, int threads, const BenchOptions& opt,
   cfg.num_cores = threads;
   cfg.max_lease_time = opt.max_lease_time;
   cfg.max_num_leases = opt.max_num_leases;
+  if (opt.min_lease_time > 0) cfg.min_lease_time = opt.min_lease_time;
   if (v.configure) v.configure(cfg);
   if (opt.fast_path != "auto") cfg.fast_path = opt.fast_path == "on";
   Machine m{cfg, opt.seed};

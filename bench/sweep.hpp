@@ -22,8 +22,11 @@
 //   keys = 1024, 65536         # keyed structures only
 //   mixes = 50/50, 90/10
 //   clients = 1000, 100000     # open-loop only (closed: clients == threads)
+//   lease_policies = static, adaptive
+//   lease_times = 0, 200, 20000  # lease-knob structures only (0 = policy)
 //   max_lease_time = 20000
 //   max_num_leases = 4
+//   min_lease_time = 64          # adaptive cold start / lower clamp
 #pragma once
 
 #include <cstdint>
@@ -57,8 +60,13 @@ struct SweepConfig {
   std::vector<std::uint64_t> keys;        ///< Axis 3 (default: {base.key_range}).
   std::vector<double> mixes;              ///< Axis 4 (default: {base.mix}).
   std::vector<int> clients;               ///< Axis 5 (default: {base.clients}).
+  /// Axis 6/7 (default: the base spec's single value). Innermost, after
+  /// clients, so configs without them keep their exact row order.
+  std::vector<LeasePolicy> lease_policies;
+  std::vector<std::int64_t> lease_times;
   Cycle max_lease_time = 20000;           ///< Paper default (Table 1).
   int max_num_leases = 4;
+  Cycle min_lease_time = 0;               ///< Adaptive cold start (0 = default).
 };
 
 /// One point of the expanded matrix: a concrete (policy, threads, spec).
@@ -86,7 +94,9 @@ inline SweepConfig parse_sweep_config(const workload::ConfigFile& cfg) {
 
   static const std::vector<std::string> kKnown = {"threads",        "keys",
                                                   "mixes",          "clients",
-                                                  "max_lease_time", "max_num_leases"};
+                                                  "lease_policies", "lease_times",
+                                                  "max_lease_time", "max_num_leases",
+                                                  "min_lease_time"};
   for (const std::string& k : cfg.keys("sweep")) {
     bool known = false;
     for (const std::string& ok : kKnown) known = known || (k == ok);
@@ -127,12 +137,28 @@ inline SweepConfig parse_sweep_config(const workload::ConfigFile& cfg) {
     throw std::invalid_argument(cfg.origin() +
                                 ": [sweep] clients requires an open-loop arrival "
                                 "(closed loops pin clients == threads)");
+  for (const std::string& s : cfg.get_list("sweep", "lease_policies"))
+    sc.lease_policies.push_back(workload::parse_lease_policy(s));
+  for (std::int64_t t : int_list("lease_times", 0)) sc.lease_times.push_back(t);
   if (sc.keys.empty()) sc.keys.push_back(sc.base.key_range);
   if (sc.mixes.empty()) sc.mixes.push_back(sc.base.mix);
   if (sc.clients.empty()) sc.clients.push_back(sc.base.clients);
+  if (sc.lease_policies.empty()) sc.lease_policies.push_back(sc.base.lease_policy);
+  if (sc.lease_times.empty()) sc.lease_times.push_back(sc.base.lease_time);
   sc.max_lease_time =
       static_cast<Cycle>(cfg.get_int("sweep", "max_lease_time", static_cast<std::int64_t>(sc.max_lease_time)));
   sc.max_num_leases = static_cast<int>(cfg.get_int("sweep", "max_num_leases", sc.max_num_leases));
+  sc.min_lease_time = static_cast<Cycle>(
+      cfg.get_int("sweep", "min_lease_time", static_cast<std::int64_t>(sc.min_lease_time)));
+  // A lease_times axis needs a structure with a lease_time knob; probe every
+  // policy eagerly so a bad combination fails at parse time, not mid-sweep.
+  for (std::int64_t t : sc.lease_times) {
+    if (t == 0) continue;
+    workload::WorkloadSpec probe = sc.base;
+    probe.lease_time = t;
+    for (const std::string& p : sc.policies) (void)workload::make_workload(probe, p);
+    break;
+  }
   return sc;
 }
 
@@ -142,17 +168,23 @@ inline SweepConfig parse_sweep_config(const workload::ConfigFile& cfg) {
 inline std::vector<SweepPoint> expand_sweep(const SweepConfig& sc) {
   std::vector<SweepPoint> points;
   points.reserve(sc.policies.size() * sc.threads.size() * sc.keys.size() * sc.mixes.size() *
-                 sc.clients.size());
+                 sc.clients.size() * sc.lease_policies.size() * sc.lease_times.size());
   for (const std::string& policy : sc.policies) {
     for (int t : sc.threads) {
       for (std::uint64_t k : sc.keys) {
         for (double mix : sc.mixes) {
           for (int clients : sc.clients) {
-            SweepPoint p{policy, t, sc.base};
-            p.spec.key_range = k;
-            p.spec.mix = mix;
-            p.spec.clients = clients;
-            points.push_back(std::move(p));
+            for (LeasePolicy lp : sc.lease_policies) {
+              for (std::int64_t lt : sc.lease_times) {
+                SweepPoint p{policy, t, sc.base};
+                p.spec.key_range = k;
+                p.spec.mix = mix;
+                p.spec.clients = clients;
+                p.spec.lease_policy = lp;
+                p.spec.lease_time = lt;
+                points.push_back(std::move(p));
+              }
+            }
           }
         }
       }
@@ -181,6 +213,7 @@ inline std::vector<SweepRow> run_sweep(const SweepConfig& sc, int jobs = 1, int 
     bo.seed = p.spec.seed;
     bo.max_lease_time = sc.max_lease_time;
     bo.max_num_leases = sc.max_num_leases;
+    bo.min_lease_time = sc.min_lease_time;
     bo.sim_threads = sim_threads;
     bo.csv_dir.clear();
     rows[i] = SweepRow{p, run_one(workload_variant(p.spec, p.policy), p.threads, bo)};
@@ -197,7 +230,8 @@ inline const std::vector<std::string>& sweep_csv_header() {
       "dist",        "dist_param",  "mix",           "arrival",          "arrival_param",
       "seed",        "ops",         "cycles",        "mops_per_sec",     "nj_per_op",
       "msgs_per_op", "misses_per_op", "cas_failure_rate", "leases",
-      "releases_voluntary", "releases_involuntary", "sim_build_type"};
+      "releases_voluntary", "releases_involuntary", "sim_build_type",
+      "lease_policy", "lease_time"};
   return kHeader;
 }
 
@@ -218,7 +252,8 @@ inline Table sweep_csv_table(const std::vector<SweepRow>& rows) {
                  s.arrival.open_loop() ? std::to_string(s.arrival.period) : std::string("-"),
                  s.seed, m.ops, m.cycles, m.mops_per_sec(), m.energy_per_op(), m.msgs_per_op(),
                  m.misses_per_op(), failrate, m.stats.leases_taken, m.stats.releases_voluntary,
-                 m.stats.releases_involuntary, std::string(sim_build_type())});
+                 m.stats.releases_involuntary, std::string(sim_build_type()),
+                 std::string(lease_policy_name(s.lease_policy)), s.lease_time});
   }
   return csv;
 }

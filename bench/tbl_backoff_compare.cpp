@@ -6,40 +6,28 @@
 // Expected shape: "adding backoffs improves performance by up to 3x over
 // the base implementation, but is considerably inferior to using leases"
 // (the paper quotes leases ~2.5x above even a highly tuned backoff stack).
+//
+// Variants are built through the workload registry (spec keys use_backoff /
+// backoff_min / backoff_max / lease_policy), so config-file sweeps and this
+// table share one code path; tests/workload_equiv_test.cpp pins the refactor
+// byte-for-byte against the pre-registry loop. `lease-adaptive` runs the
+// leased stack under the per-line AIMD lease-duration controller
+// (docs/ENGINE.md).
 #include "bench/harness.hpp"
-#include "ds/treiber_stack.hpp"
+#include "workload/spec.hpp"
 
 namespace lrsim::bench {
 namespace {
 
-constexpr int kPrefill = 256;
-
-Variant stack_variant(std::string name, bool leases, bool backoff, Cycle bo_min, Cycle bo_max) {
-  Variant v;
-  v.name = std::move(name);
-  v.configure = [leases](MachineConfig& cfg) { cfg.leases_enabled = leases; };
-  v.make = [leases, backoff, bo_min, bo_max](Machine& m, const BenchOptions& opt) {
-    auto stack = std::make_shared<TreiberStack>(
-        m, TreiberOptions{.use_lease = leases,
-                          .use_backoff = backoff,
-                          .backoff_min = bo_min,
-                          .backoff_max = bo_max});
-    m.spawn(0, [stack](Ctx& ctx) -> Task<void> {
-      for (int i = 0; i < kPrefill; ++i) co_await stack->push(ctx, 5);
-    });
-    m.run();
-    return [stack, &opt](Ctx& ctx, int) -> Task<void> {
-      for (int i = 0; i < opt.ops_per_thread; ++i) {
-        if (ctx.rng().next_bool(0.5)) {
-          co_await stack->push(ctx, 7);
-        } else {
-          co_await stack->pop(ctx);
-        }
-        co_await think(ctx, opt);
-      }
-    };
-  };
-  return v;
+Variant stack_variant(const std::string& name, const std::string& policy, std::int64_t bo_min,
+                      std::int64_t bo_max, LeasePolicy lease_policy = LeasePolicy::kStatic) {
+  workload::WorkloadSpec spec;
+  spec.ds = "treiber_stack";
+  spec.mix = 0.5;
+  spec.backoff_min = bo_min;
+  spec.backoff_max = bo_max;
+  spec.lease_policy = lease_policy;
+  return workload_variant(spec, policy, name);
 }
 
 int main_impl(int argc, char** argv) {
@@ -47,10 +35,11 @@ int main_impl(int argc, char** argv) {
   if (!parse_flags(argc, argv, "tbl_backoff_compare", opt)) return 0;
   run_experiment("Backoff comparison (Section 7): Treiber stack",
                  "tbl_backoff_compare",
-                 {stack_variant("base", false, false, 0, 0),
-                  stack_variant("backoff", false, true, 64, 4096),
-                  stack_variant("backoff-tuned", false, true, 256, 16384),
-                  stack_variant("lease", true, false, 0, 0)},
+                 {stack_variant("base", "base", 0, 0),
+                  stack_variant("backoff", "backoff", 64, 4096),
+                  stack_variant("backoff-tuned", "backoff", 256, 16384),
+                  stack_variant("lease", "lease", 0, 0),
+                  stack_variant("lease-adaptive", "lease", 0, 0, LeasePolicy::kAdaptive)},
                  opt);
   return 0;
 }

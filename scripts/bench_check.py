@@ -41,6 +41,19 @@ the O(clients)-per-op linear scan fails this by orders of magnitude while
 the wheel passes with room to spare. Self-contained within the candidate
 (host-independent), like --assert-mt-speedup.
 
+Adaptive-lease gate:
+    scripts/bench_check.py --assert-adaptive CANDIDATE.csv
+                           [--adaptive-min-frac 0.8]
+
+CANDIDATE.csv is the per-bench CSV that bench/ablation_lease_time writes
+(run_experiment schema: variant,threads,ops,...,mops_per_sec,...). At the
+largest thread count present, the `lease-adaptive` variant — the per-line
+AIMD lease-duration controller — must reach at least --adaptive-min-frac of
+the best static MAX_LEASE_TIME variant (`lease-*` excluding adaptive) and
+strictly beat the worst one. That is the controller's whole value
+proposition: near-best-static throughput without hand-tuning, never
+worst-static. Self-contained in one CSV, like --assert-mt-speedup.
+
 Sweep mode:
     scripts/bench_check.py --sweep CANDIDATE.csv [--baseline BASELINE.csv]
                            [--tolerance 0.25]
@@ -171,17 +184,19 @@ SWEEP_HEADER = [
     "mix", "arrival", "arrival_param", "seed", "ops", "cycles",
     "mops_per_sec", "nj_per_op", "msgs_per_op", "misses_per_op",
     "cas_failure_rate", "leases", "releases_voluntary",
-    "releases_involuntary", "sim_build_type",
+    "releases_involuntary", "sim_build_type", "lease_policy", "lease_time",
 ]
 
 # The run identity: every workload/machine axis, no measurements (ops is
 # per-client workload size, an axis; cycles is a result). Two sweep CSVs are
 # comparable per matching key.
 SWEEP_KEY = ["ds", "policy", "threads", "clients", "key_range", "dist",
-             "dist_param", "mix", "arrival", "arrival_param", "seed", "ops"]
+             "dist_param", "mix", "arrival", "arrival_param", "seed", "ops",
+             "lease_policy", "lease_time"]
 
 SWEEP_INT_COLS = ["threads", "clients", "key_range", "seed", "ops", "cycles",
-                  "leases", "releases_voluntary", "releases_involuntary"]
+                  "leases", "releases_voluntary", "releases_involuntary",
+                  "lease_time"]
 SWEEP_FLOAT_COLS = ["mops_per_sec", "nj_per_op", "msgs_per_op",
                     "misses_per_op", "cas_failure_rate"]
 
@@ -224,6 +239,9 @@ def load_sweep(path):
         if r["sim_build_type"] not in ("release", "debug"):
             fail(f"line {lineno}: sim_build_type = {r['sim_build_type']!r} "
                  "(want release or debug)")
+        if r["lease_policy"] not in ("static", "adaptive"):
+            fail(f"line {lineno}: lease_policy = {r['lease_policy']!r} "
+                 "(want static or adaptive)")
         key = tuple(r[c] for c in SWEEP_KEY)
         if key in out:
             fail(f"line {lineno}: duplicate run key {key}")
@@ -365,6 +383,77 @@ def run_openloop_scaling_gate(args):
     return 0
 
 
+def run_adaptive_gate(args):
+    """--assert-adaptive: the AIMD lease controller must track the best static.
+
+    Reads the per-bench CSV bench/ablation_lease_time writes under --csv_dir
+    (run_experiment schema: variant,threads,ops,cycles,mops_per_sec,...) and,
+    at the largest thread count present, requires
+
+      lease-adaptive >= --adaptive-min-frac * max(static lease-* variants)
+      lease-adaptive >  min(static lease-* variants)
+
+    The static variants are every `lease-*` row except `lease-adaptive`
+    itself (lease-50 ... lease-20k: the MAX_LEASE_TIME ablation axis); `base`
+    never gates. A controller below the floor is mistuning leases worse than
+    a hand-picked constant; one not beating the worst static is not adapting
+    at all. Exit codes match the other gates: 0 pass, 1 fail, 2 malformed.
+    """
+    import csv as csv_mod
+
+    def fail(msg):
+        print(f"error: {os.path.relpath(args.candidate)}: {msg}", file=sys.stderr)
+        return 2
+
+    with open(args.candidate, "r", encoding="utf-8", newline="") as f:
+        rows = list(csv_mod.reader(f))
+    if not rows:
+        return fail("empty file")
+    header = rows[0]
+    for col in ("variant", "threads", "mops_per_sec"):
+        if col not in header:
+            return fail(f"column {col!r} missing (not a run_experiment CSV?)")
+    idx = {c: header.index(c) for c in ("variant", "threads", "mops_per_sec")}
+    tp = {}  # (variant, threads) -> mops_per_sec
+    for lineno, row in enumerate(rows[1:], start=2):
+        if len(row) != len(header):
+            return fail(f"line {lineno}: {len(row)} fields, want {len(header)}")
+        try:
+            tp[(row[idx["variant"]], int(row[idx["threads"]]))] = \
+                float(row[idx["mops_per_sec"]])
+        except ValueError:
+            return fail(f"line {lineno}: bad threads/mops_per_sec")
+    threads = max((t for _, t in tp), default=0)
+    adaptive = tp.get(("lease-adaptive", threads))
+    statics = {v: x for (v, t), x in tp.items()
+               if t == threads and v.startswith("lease-") and v != "lease-adaptive"}
+    if adaptive is None or not statics:
+        return fail(f"need a lease-adaptive row and at least one static lease-* "
+                    f"row at threads={threads}")
+    best_v = max(statics, key=statics.get)
+    worst_v = min(statics, key=statics.get)
+    best, worst = statics[best_v], statics[worst_v]
+    floor = args.adaptive_min_frac * best
+    print(f"adaptive gate @{threads} threads: lease-adaptive = {adaptive:.3f} "
+          f"mops/s; best static {best_v} = {best:.3f}, worst static "
+          f"{worst_v} = {worst:.3f} (floor {floor:.3f} = "
+          f"{args.adaptive_min_frac:.2f} x best)")
+    failures = []
+    if adaptive < floor:
+        failures.append(f"lease-adaptive {adaptive:.3f} < {floor:.3f} "
+                        f"({args.adaptive_min_frac:.2f}x best static {best_v})")
+    if adaptive <= worst:
+        failures.append(f"lease-adaptive {adaptive:.3f} <= worst static "
+                        f"{worst_v} {worst:.3f} — the controller is not adapting")
+    if failures:
+        print("\nadaptive gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("adaptive gate passed.")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -390,6 +479,14 @@ def main():
                     help="assert BM_OpenLoopClients per-op cost at clients:100000 "
                     "stays within --openloop-max-slowdown of clients:100 within "
                     "the candidate JSON (timer-wheel near-flat scaling)")
+    ap.add_argument("--assert-adaptive", action="store_true",
+                    help="candidate is bench/ablation_lease_time's per-bench CSV: "
+                    "assert the lease-adaptive variant reaches --adaptive-min-frac "
+                    "of the best static lease-* variant and beats the worst one "
+                    "at the largest thread count")
+    ap.add_argument("--adaptive-min-frac", type=float, default=0.8,
+                    help="minimum lease-adaptive / best-static throughput fraction "
+                    "for --assert-adaptive (default 0.8)")
     ap.add_argument("--openloop-max-slowdown", type=float, default=3.0,
                     help="maximum clients:100 / clients:100000 throughput ratio "
                     "for --assert-openloop-scaling (default 3.0; the wheel "
@@ -402,6 +499,8 @@ def main():
         return run_mt_speedup_gate(args)
     if args.assert_openloop_scaling:
         return run_openloop_scaling_gate(args)
+    if args.assert_adaptive:
+        return run_adaptive_gate(args)
     if args.baseline is None:
         args.baseline = DEFAULT_BASELINE
 

@@ -19,6 +19,21 @@
 
 namespace lrsim {
 
+/// Lease-duration policy for "policy-chosen" leases (duration 0 at the
+/// Lease instruction). kStatic resolves every such lease to MAX_LEASE_TIME
+/// (the paper's fixed global bound); kAdaptive lets the per-core lease
+/// table pick a per-line duration via the AIMD controller
+/// (core/lease_table.hpp), still clamped to [min_lease_time,
+/// max_lease_time] so the invariant checker's lease-bound rule holds.
+enum class LeasePolicy : std::uint8_t {
+  kStatic,    ///< duration 0 => max_lease_time (legacy, byte-identical).
+  kAdaptive,  ///< duration 0 => per-line AIMD-controlled duration.
+};
+
+inline const char* lease_policy_name(LeasePolicy p) noexcept {
+  return p == LeasePolicy::kAdaptive ? "adaptive" : "static";
+}
+
 /// Coherence protocol family. Lease/Release applies to both with identical
 /// semantics (Section 8 "Other Protocols"): a leased line is held in an
 /// exclusive state and incoming requests are delayed until release.
@@ -116,6 +131,23 @@ struct MachineConfig {
   /// also bounds host memory on address-sweeping workloads). Oldest-tracked
   /// line is evicted on overflow.
   int predictor_map_capacity = 1024;
+
+  /// Per-line adaptive lease-duration control (ROADMAP "Adaptive lease
+  /// policies"). With kAdaptive, a Lease instruction carrying duration 0
+  /// ("policy-chosen") gets a per-line AIMD-controlled duration from the
+  /// core's lease table: multiplicative growth toward the observed
+  /// hold-time envelope on involuntary expiry, additive decay on sustained
+  /// voluntary release, always clamped to [min_lease_time, max_lease_time].
+  /// kStatic keeps the legacy behavior (0 => max_lease_time) byte-for-byte.
+  LeasePolicy lease_policy = LeasePolicy::kStatic;
+  Cycle min_lease_time = 64;     ///< Adaptive lower clamp (and cold-line start).
+  Cycle lease_grow_step = 64;    ///< Min growth per involuntary expiry (cycles).
+  Cycle lease_shrink_step = 256; ///< Decay per qualifying voluntary streak (cycles).
+  int lease_shrink_streak = 8;   ///< Voluntary releases required before a shrink.
+  /// Max lines the controller tracks per core (models a fixed SRAM table,
+  /// same discipline as predictor_map_capacity). Oldest-tracked line is
+  /// evicted on overflow.
+  int lease_ctrl_capacity = 1024;
 
   EnergyModel energy;
 

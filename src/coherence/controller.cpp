@@ -131,6 +131,11 @@ void CacheController::cpu_lease(Addr a, Cycle duration, DoneFn done) {
     return;
   }
   const LineId l = line_of(a);
+  // Duration 0 = "policy-chosen": the lease table resolves it (static:
+  // MAX_LEASE_TIME, exactly the legacy default; adaptive: the per-line AIMD
+  // duration). Resolved before the tracer emit so traces show the real
+  // granted duration.
+  if (duration == 0) duration = leases_.policy_duration(l);
   if (leases_.has(l)) {
     // No extension of an existing lease (footnote 1).
     ev_.schedule_tail_in_on(domain(), cfg_.l1_latency, std::move(done));
@@ -223,23 +228,31 @@ void CacheController::cpu_multi_lease(std::vector<Addr> addrs, Cycle duration, D
     // joint holding is *probable*, not guaranteed. Core-domain: the step
     // chain touches this core's lease table/L1 and schedules any directory
     // legs as separate global-tagged events.
-    ev_.schedule_in_on(domain(), cfg_.l1_latency, [this, lines, duration, boxed] {
+    ev_.schedule_in_on(domain(), cfg_.l1_latency, [this, lines, duration, boxed]() mutable {
       leases_.release_all();
+      duration = group_duration(*lines, duration);
       sw_multi_lease_step(lines, 0, duration, boxed);
     });
     return;
   }
 
-  ev_.schedule_in_on(domain(), cfg_.l1_latency, [this, lines, duration, boxed] {
+  ev_.schedule_in_on(domain(), cfg_.l1_latency, [this, lines, duration, boxed]() mutable {
     // Algorithm 2: release all currently held leases first; a group that
     // would exceed MAX_NUM_LEASES is ignored.
     leases_.release_all();
+    duration = group_duration(*lines, duration);
     if (static_cast<int>(lines->size()) + leases_.size() > cfg_.max_num_leases) {
       (*boxed)();
       return;
     }
     multi_lease_step(lines, 0, duration, boxed);
   });
+}
+
+Cycle CacheController::group_duration(const std::vector<LineId>& lines, Cycle duration) const {
+  if (duration != 0) return duration;
+  for (LineId l : lines) duration = std::max(duration, leases_.policy_duration(l));
+  return duration == 0 ? cfg_.max_lease_time : duration;
 }
 
 void CacheController::multi_lease_step(std::shared_ptr<std::vector<LineId>> lines, std::size_t i,

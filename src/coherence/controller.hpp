@@ -222,6 +222,11 @@ class CacheController {
   void sw_multi_lease_step(std::shared_ptr<std::vector<LineId>> lines, std::size_t i, Cycle duration,
                            std::shared_ptr<DoneFn> done);
 
+  /// Resolves a policy-chosen (0) MultiLease duration: the group shares one
+  /// timer, so take the longest per-line policy choice (static policy:
+  /// MAX_LEASE_TIME, the legacy default, for every line).
+  Cycle group_duration(const std::vector<LineId>& lines, Cycle duration) const;
+
   CoreId core_;
   EventQueue& ev_;
   SimMemory& mem_;

@@ -88,7 +88,10 @@ class LeaseTable {
     e.in_group = in_group;
     entries_.push_back(std::move(e));
     ++stats_.leases_taken;
-    if (obs_ != nullptr) obs_->on_lease_taken(line);
+    if (obs_ != nullptr) {
+      obs_->on_lease_taken(line);
+      obs_->on_lease_effective(entries_.back().duration);
+    }
     if (inv_ != nullptr) inv_->on_line_event(line);
     return true;
   }
@@ -215,6 +218,23 @@ class LeaseTable {
   /// Lines currently tracked by the futility predictor (bounded by
   /// MachineConfig::predictor_map_capacity; tests pin the bound down).
   std::size_t futility_tracked() const noexcept { return futility_.size(); }
+
+  /// Resolves a "policy-chosen" lease duration (a Lease instruction carrying
+  /// duration 0) for `line`. Static policy: MAX_LEASE_TIME, exactly the
+  /// legacy default. Adaptive policy: the line's AIMD-controlled duration
+  /// (cold lines start at min_lease_time), always clamped to
+  /// [min_lease_time, max_lease_time] so the invariant checker's
+  /// lease-bound rule is preserved by construction.
+  Cycle policy_duration(LineId line) const {
+    if (cfg_.lease_policy != LeasePolicy::kAdaptive) return cfg_.max_lease_time;
+    const auto it = adapt_.find(line);
+    const Cycle cur = it == adapt_.end() ? cfg_.min_lease_time : it->second.cur;
+    return std::min(cfg_.max_lease_time, std::max(cfg_.min_lease_time, cur));
+  }
+
+  /// Lines currently tracked by the adaptive controller (bounded by
+  /// MachineConfig::lease_ctrl_capacity; tests pin the bound down).
+  std::size_t adapt_tracked() const noexcept { return adapt_.size(); }
 
   /// Forcibly releases a lease (controller uses this when an L1 set fills
   /// with pinned lines and a victim is needed).
@@ -352,10 +372,15 @@ class LeaseTable {
         // Rehabilitated: dropping the entry (rather than zeroing it) keeps
         // the predictor map holding only lines with a live failure streak.
         if (cfg_.lease_predictor) futility_.erase(e.line);
+        // Only started leases carry a meaningful hold time (group members
+        // released mid-acquisition have no countdown to learn from).
+        if (cfg_.lease_policy == LeasePolicy::kAdaptive && e.started)
+          adapt_voluntary(e, ev_.now() - e.started_at);
         break;
       case ReleaseKind::kInvoluntary:
         ++stats_.releases_involuntary;
         if (cfg_.lease_predictor) note_futile(e.line);
+        if (cfg_.lease_policy == LeasePolicy::kAdaptive) adapt_involuntary(e);
         break;
       case ReleaseKind::kEvicted:
         ++stats_.releases_evicted;
@@ -399,6 +424,71 @@ class LeaseTable {
     }
   }
 
+  /// Per-line AIMD lease-duration control (ROADMAP "Adaptive lease
+  /// policies"). `cur` is the duration policy_duration() hands to the next
+  /// policy-chosen lease on the line; `hold_env` is a decaying envelope of
+  /// observed hold times (lease start -> voluntary release) that floors the
+  /// decay so a line never shrinks below what its critical sections
+  /// actually need. All state is per-core-private and mutated only inside
+  /// core-domain events, so the parallel kernel stays bit-identical.
+  struct AdaptState {
+    Cycle cur = 0;       ///< Current policy-chosen duration for the line.
+    Cycle hold_env = 0;  ///< Decaying max of observed voluntary hold times.
+    int vol_streak = 0;  ///< Consecutive voluntary releases since last expiry.
+  };
+
+  /// Finds-or-creates the line's controller state, seeding a fresh line
+  /// from the duration its lease actually ran with, and enforcing the
+  /// fixed-SRAM capacity with the same FIFO discipline as note_futile.
+  /// Unlike the futility map, entries only ever leave by eviction, so the
+  /// order deque never holds stale lines and needs no compaction.
+  AdaptState& adapt_touch(LineId line, Cycle seed) {
+    auto [it, fresh] = adapt_.try_emplace(line);
+    if (fresh) {
+      it->second.cur = std::min(cfg_.max_lease_time, std::max(cfg_.min_lease_time, seed));
+      adapt_order_.push_back(line);
+      const auto cap = static_cast<std::size_t>(std::max(cfg_.lease_ctrl_capacity, 1));
+      while (adapt_.size() > cap) {
+        const LineId victim = adapt_order_.front();
+        adapt_order_.pop_front();
+        if (victim != line) adapt_.erase(victim);
+      }
+    }
+    return it->second;
+  }
+
+  /// Multiplicative increase on involuntary expiry: the lease was too short
+  /// for the line's current contention window, so jump toward (and remember)
+  /// the hold-time envelope — doubling, but at least lease_grow_step, capped
+  /// at MAX_LEASE_TIME.
+  void adapt_involuntary(const Entry& e) {
+    AdaptState& st = adapt_touch(e.line, e.duration);
+    st.vol_streak = 0;
+    st.hold_env = std::max(st.hold_env, e.duration);
+    const Cycle grown =
+        std::min(cfg_.max_lease_time, std::max(st.cur + cfg_.lease_grow_step, st.cur * 2));
+    if (grown != st.cur) {
+      st.cur = grown;
+      ++stats_.lease_adapt_grow;
+    }
+  }
+
+  /// Additive decrease on sustained voluntary release: after
+  /// lease_shrink_streak clean releases in a row, step the duration down by
+  /// lease_shrink_step — but never below 1.25x the decayed hold-time
+  /// envelope (headroom for jitter) or min_lease_time.
+  void adapt_voluntary(const Entry& e, Cycle held) {
+    AdaptState& st = adapt_touch(e.line, e.duration);
+    st.hold_env = std::max(held, st.hold_env - st.hold_env / 8);
+    if (++st.vol_streak < std::max(cfg_.lease_shrink_streak, 1)) return;
+    st.vol_streak = 0;
+    const Cycle floor = std::min(cfg_.max_lease_time,
+                                 std::max(cfg_.min_lease_time, st.hold_env + st.hold_env / 4));
+    if (st.cur <= floor) return;
+    st.cur = st.cur > floor + cfg_.lease_shrink_step ? st.cur - cfg_.lease_shrink_step : floor;
+    ++stats_.lease_adapt_shrink;
+  }
+
   void service_parked(Entry& e) {
     if (!e.parked_probe) return;
     stats_.probe_queued_cycles += ev_.now() - e.parked_at;
@@ -416,6 +506,8 @@ class LeaseTable {
   std::vector<Entry> entries_;  ///< Insertion order == FIFO age order.
   std::unordered_map<LineId, int> futility_;  ///< Consecutive involuntary releases per line.
   std::deque<LineId> futility_order_;  ///< First-insertion order; bounds futility_.
+  std::unordered_map<LineId, AdaptState> adapt_;  ///< Per-line AIMD lease-duration state.
+  std::deque<LineId> adapt_order_;     ///< First-insertion order; bounds adapt_.
 };
 
 }  // namespace lrsim

@@ -5,7 +5,6 @@
 namespace lrsim {
 
 ExternalBst::ExternalBst(Machine& m, BstOptions opt) : m_(m), opt_(opt) {
-  if (opt_.lease_time == 0) opt_.lease_time = m.config().max_lease_time;
   // Sentinel construction (Ellen et al.): root is internal with key inf2;
   // its children are leaves inf1 (left) and inf2 (right). All real keys
   // route into the left subtree.

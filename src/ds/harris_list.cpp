@@ -11,7 +11,6 @@ constexpr std::uint64_t kTailKey = ~0ull;
 }  // namespace
 
 HarrisList::HarrisList(Machine& m, HarrisOptions opt) : m_(m), opt_(opt) {
-  if (opt_.lease_time == 0) opt_.lease_time = m.config().max_lease_time;
   head_ = m.heap().alloc_line(16);
   tail_ = m.heap().alloc_line(16);
   m.memory().write(head_ + kKeyOff, 0);

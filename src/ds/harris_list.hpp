@@ -22,7 +22,7 @@ namespace lrsim {
 
 struct HarrisOptions {
   bool use_lease = false;  ///< Lease the predecessor line around the CAS.
-  Cycle lease_time = 0;    ///< 0 => MAX_LEASE_TIME.
+  Cycle lease_time = 0;    ///< 0 => policy-chosen (static: MAX_LEASE_TIME).
 };
 
 /// Node: word 0 = key, word 1 = next | mark-bit.

@@ -11,7 +11,6 @@ constexpr Addr kNextOff = 8;
 
 MsQueue::MsQueue(Machine& m, MsQueueOptions opt)
     : m_(m), head_(m.heap().alloc_line()), tail_(m.heap().alloc_line()), opt_(opt) {
-  if (opt_.lease_time == 0) opt_.lease_time = m.config().max_lease_time;
   // Dummy node precedes the real items.
   const Addr dummy = m.heap().alloc_line(16);
   m.memory().write(dummy + kValueOff, 0);

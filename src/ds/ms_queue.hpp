@@ -37,7 +37,7 @@ enum class QueueLeaseMode {
 
 struct MsQueueOptions {
   QueueLeaseMode lease_mode = QueueLeaseMode::kNone;
-  Cycle lease_time = 0;  ///< 0 => MAX_LEASE_TIME.
+  Cycle lease_time = 0;  ///< 0 => policy-chosen (static: MAX_LEASE_TIME).
   bool use_backoff = false;
   Cycle backoff_min = 32;
   Cycle backoff_max = 8192;

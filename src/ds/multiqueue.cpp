@@ -74,7 +74,6 @@ Task<std::optional<std::uint64_t>> SimHeapPq::delete_min(Ctx& ctx) {
 // ---------------------------------------------------------------------------
 
 MultiQueue::MultiQueue(Machine& m, MultiQueueOptions opt) : m_(m), opt_(opt) {
-  if (opt_.lease_time == 0) opt_.lease_time = m.config().max_lease_time;
   for (std::size_t i = 0; i < opt_.num_queues; ++i) {
     queues_.push_back(std::make_unique<SimHeapPq>(m, opt_.capacity));
     // The lock lines are what the leases protect; try_lock/lease handling

@@ -9,7 +9,6 @@ constexpr std::uint64_t kTailKey = ~0ull;
 }
 
 LockFreeSkipList::LockFreeSkipList(Machine& m, LfSkipListOptions opt) : m_(m), opt_(opt) {
-  if (opt_.lease_time == 0) opt_.lease_time = m.config().max_lease_time;
   head_ = m.heap().alloc_line(kNodeBytes);
   tail_ = m.heap().alloc_line(kNodeBytes);
   m.memory().write(head_ + kKeyOff, 0);

@@ -12,7 +12,6 @@ constexpr std::uint64_t kInitialValue = 1000;
 }  // namespace
 
 Tl2Bench::Tl2Bench(Machine& m, Tl2Options opt) : m_(m), opt_(opt) {
-  if (opt_.lease_time == 0) opt_.lease_time = m.config().max_lease_time;
   objects_.reserve(opt_.num_objects);
   for (std::size_t i = 0; i < opt_.num_objects; ++i) {
     TxObject o{m.heap().alloc_line(), m.heap().alloc_line()};

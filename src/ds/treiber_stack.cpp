@@ -10,7 +10,6 @@ constexpr Addr kNextOff = 8;
 }  // namespace
 
 TreiberStack::TreiberStack(Machine& m, TreiberOptions opt) : m_(m), head_(m.heap().alloc_line()), opt_(opt) {
-  if (opt_.lease_time == 0) opt_.lease_time = m.config().max_lease_time;
   m.memory().write(head_, 0);
 }
 

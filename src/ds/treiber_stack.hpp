@@ -21,7 +21,7 @@ namespace lrsim {
 
 struct TreiberOptions {
   bool use_lease = false;
-  Cycle lease_time = 0;     ///< 0 => MAX_LEASE_TIME.
+  Cycle lease_time = 0;     ///< 0 => policy-chosen (static: MAX_LEASE_TIME).
   bool use_backoff = false; ///< Randomized exponential backoff after CAS failure.
   Cycle backoff_min = 32;
   Cycle backoff_max = 8192;

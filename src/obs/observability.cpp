@@ -224,6 +224,7 @@ void Observability::write_profile(std::ostream& os, std::size_t top_n) const {
     }
   };
   dump_hist("lease duration histogram (cycles, log2 buckets)", lease_hist_);
+  dump_hist("effective lease histogram (granted duration, cycles, log2 buckets)", eff_lease_hist_);
   dump_hist("probe-park latency histogram (cycles, log2 buckets)", park_hist_);
 }
 

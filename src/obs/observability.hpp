@@ -109,6 +109,12 @@ class Observability {
 
   void on_lease_taken(LineId line) { ++line_profile(line).leases; }
 
+  /// The duration a lease was actually granted with, post-clamp — under the
+  /// adaptive policy this is the AIMD controller's per-line choice, so the
+  /// histogram shows where the controller settles vs. the static
+  /// MAX_LEASE_TIME spike.
+  void on_lease_effective(Cycle duration) { eff_lease_hist_.add(duration); }
+
   /// A lease left the table. `started` distinguishes countdown-running
   /// entries (which produce a hold span) from ones evicted mid-acquisition.
   void on_lease_end(CoreId core, LineId line, Cycle started_at, Cycle now, ReleaseKind kind,
@@ -162,6 +168,7 @@ class Observability {
     return profile_;
   }
   const Log2Histogram& lease_duration_histogram() const noexcept { return lease_hist_; }
+  const Log2Histogram& effective_lease_histogram() const noexcept { return eff_lease_hist_; }
   const Log2Histogram& park_latency_histogram() const noexcept { return park_hist_; }
   const std::vector<SampleRow>& samples() const noexcept { return samples_; }
   const ObsOptions& options() const noexcept { return opts_; }
@@ -223,6 +230,7 @@ class Observability {
   std::uint64_t spans_dropped_ = 0;
   std::unordered_map<LineId, LineProfile> profile_;
   Log2Histogram lease_hist_;
+  Log2Histogram eff_lease_hist_;
   Log2Histogram park_hist_;
   const Tracer* tracer_ = nullptr;
 

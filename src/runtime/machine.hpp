@@ -226,7 +226,9 @@ class Ctx {
   // --- Lease/Release (Sections 3-4) ----------------------------------------
 
   /// Lease the line containing `a` for `duration` cycles (clamped to
-  /// MAX_LEASE_TIME). Resumes once the line is held exclusively and the
+  /// MAX_LEASE_TIME). Duration 0 = "policy-chosen": resolved by the core's
+  /// lease table (static policy: MAX_LEASE_TIME; adaptive: the per-line
+  /// AIMD duration). Resumes once the line is held exclusively and the
   /// countdown is running. No-op on a leases-disabled machine.
   auto lease(Addr a, Cycle duration) {
     struct Aw {
@@ -246,8 +248,9 @@ class Ctx {
     return Aw{this, a, duration};
   }
 
-  /// Convenience: lease for the full MAX_LEASE_TIME.
-  auto lease_max(Addr a) { return lease(a, cfg_.max_lease_time); }
+  /// Convenience: lease for the policy-chosen duration (static policy: the
+  /// full MAX_LEASE_TIME, as the name historically promised).
+  auto lease_max(Addr a) { return lease(a, 0); }
 
   /// Release; resumes with true iff the release was voluntary.
   auto release(Addr a) {
@@ -356,6 +359,15 @@ class Machine {
  public:
   explicit Machine(MachineConfig cfg = {}, std::uint64_t seed = 1)
       : cfg_(std::move(cfg)), seed_(seed), core_stats_(checked_core_count(cfg_.num_cores)) {
+    if (cfg_.lease_policy == LeasePolicy::kAdaptive) {
+      if (cfg_.min_lease_time == 0 || cfg_.min_lease_time > cfg_.max_lease_time)
+        throw std::invalid_argument(
+            "adaptive lease policy requires 0 < min_lease_time <= max_lease_time");
+      if (cfg_.lease_ctrl_capacity < 1)
+        throw std::invalid_argument("adaptive lease policy requires lease_ctrl_capacity >= 1");
+      if (cfg_.lease_shrink_streak < 1)
+        throw std::invalid_argument("adaptive lease policy requires lease_shrink_streak >= 1");
+    }
     heap_.configure_arenas(cfg_.num_cores);
     mem_.configure_arenas(cfg_.num_cores);
     dir_ = std::make_unique<Directory>(ev_, mem_, cfg_, dir_stats_);

@@ -54,6 +54,8 @@ struct Stats {
   std::uint64_t releases_evicted = 0;      ///< FIFO-evicted at MAX_NUM_LEASES.
   std::uint64_t releases_broken = 0;       ///< Broken by a priority request.
   std::uint64_t leases_suppressed = 0;     ///< Skipped by the futility predictor (Section 5).
+  std::uint64_t lease_adapt_grow = 0;      ///< Adaptive controller grew a per-line duration.
+  std::uint64_t lease_adapt_shrink = 0;    ///< Adaptive controller shrank a per-line duration.
   std::uint64_t probes_queued = 0;         ///< Probes parked behind a lease.
   std::uint64_t probe_queued_cycles = 0;   ///< Total cycles probes spent parked.
 
@@ -125,6 +127,8 @@ struct Stats {
     releases_evicted += o.releases_evicted;
     releases_broken += o.releases_broken;
     leases_suppressed += o.leases_suppressed;
+    lease_adapt_grow += o.lease_adapt_grow;
+    lease_adapt_shrink += o.lease_adapt_shrink;
     probes_queued += o.probes_queued;
     probe_queued_cycles += o.probe_queued_cycles;
     probes_coarse += o.probes_coarse;
@@ -163,6 +167,8 @@ struct Stats {
     releases_evicted -= o.releases_evicted;
     releases_broken -= o.releases_broken;
     leases_suppressed -= o.leases_suppressed;
+    lease_adapt_grow -= o.lease_adapt_grow;
+    lease_adapt_shrink -= o.lease_adapt_shrink;
     probes_queued -= o.probes_queued;
     probe_queued_cycles -= o.probe_queued_cycles;
     probes_coarse -= o.probes_coarse;
@@ -192,6 +198,10 @@ struct Stats {
     // unchanged when zero preserves byte-identical output for every legacy
     // config.
     if (probes_coarse != 0) os << "  coarse-probes=" << probes_coarse;
+    // Same discipline: only the adaptive lease policy moves these, so the
+    // static-policy line stays byte-identical.
+    if (lease_adapt_grow != 0 || lease_adapt_shrink != 0)
+      os << "  lease-adapt=+" << lease_adapt_grow << "/-" << lease_adapt_shrink;
     os << "\n";
   }
 };
@@ -202,7 +212,7 @@ struct Stats {
 /// tests) and print — must enumerate all of them. Growing the struct
 /// without updating this count (and the member lists above) fails here at
 /// compile time instead of silently dropping the new counter from merges.
-inline constexpr std::size_t kStatsCounterCount = 30;
+inline constexpr std::size_t kStatsCounterCount = 32;
 static_assert(sizeof(Stats) == kStatsCounterCount * sizeof(std::uint64_t),
               "Stats gained or lost a counter: update kStatsCounterCount AND "
               "operator+=, operator-=, and print so merges stay lossless");

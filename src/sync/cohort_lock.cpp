@@ -6,7 +6,6 @@ namespace lrsim {
 
 CohortTicketLock::CohortTicketLock(Machine& m, CohortOptions opt)
     : m_(m), opt_(opt), global_next_(m.heap().alloc_line()), global_serving_(m.heap().alloc_line()) {
-  if (opt_.lease_time == 0) opt_.lease_time = m.config().max_lease_time;
   m.memory().write(global_next_, 0);
   m.memory().write(global_serving_, 0);
   const int n_clusters =

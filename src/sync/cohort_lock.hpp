@@ -30,7 +30,7 @@ struct CohortOptions {
   int cluster_size = 8;  ///< Cores per cluster.
   int max_batch = 16;    ///< In-cluster handoffs before the global lock rotates.
   bool use_lease = false;
-  Cycle lease_time = 0;  ///< 0 => MAX_LEASE_TIME.
+  Cycle lease_time = 0;  ///< 0 => policy-chosen (static: MAX_LEASE_TIME).
 };
 
 class CohortTicketLock {

@@ -14,7 +14,6 @@ constexpr std::uint64_t kLocked = 1;
 // ---------------------------------------------------------------------------
 
 TTSLock::TTSLock(Machine& m, LockOptions opt) : addr_(m.heap().alloc_line()), opt_(opt) {
-  if (opt_.lease_time == 0) opt_.lease_time = m.config().max_lease_time;
   m.memory().write(addr_, kUnlocked);
 }
 

@@ -28,7 +28,7 @@ namespace lrsim {
 /// Options shared by the lease-aware locks.
 struct LockOptions {
   bool use_lease = false;  ///< Lease the lock line around acquire..release.
-  Cycle lease_time = 0;    ///< 0 => MAX_LEASE_TIME.
+  Cycle lease_time = 0;    ///< 0 => policy-chosen (static: MAX_LEASE_TIME).
 };
 
 /// Test&test&set spin lock.

@@ -272,6 +272,10 @@ WorkloadRun make_stack(const WorkloadSpec& spec, const std::string& policy) {
   if (policy == "lease") opt.use_lease = true;
   else if (policy == "backoff") opt.use_backoff = true;
   else if (policy != "base") throw std::invalid_argument("unknown treiber_stack policy `" + policy + "`");
+  opt.lease_time = static_cast<Cycle>(spec.lease_time);
+  opt.use_backoff = opt.use_backoff || spec.use_backoff;
+  if (spec.backoff_min > 0) opt.backoff_min = static_cast<Cycle>(spec.backoff_min);
+  if (spec.backoff_max > 0) opt.backoff_max = static_cast<Cycle>(spec.backoff_max);
   WorkloadRun run;
   const bool leases = opt.use_lease;
   run.configure = [leases](MachineConfig& cfg) { cfg.leases_enabled = leases; };
@@ -300,6 +304,9 @@ WorkloadRun make_queue(const WorkloadSpec& spec, const std::string& policy) {
   WorkloadRun run;
   if (policy == "two-lock" || policy == "two-lock+lease") {
     const bool lease = policy == "two-lock+lease";
+    if (spec.lease_time > 0 || spec.use_backoff || spec.backoff_min > 0 || spec.backoff_max > 0)
+      throw std::invalid_argument(
+          "ms_queue policy `" + policy + "` has no lease_time/backoff knobs");
     run.configure = [lease](MachineConfig& cfg) { cfg.leases_enabled = lease; };
     run.build = [spec, lease](Machine& m) {
       auto q = std::make_shared<TwoLockQueue>(m, TwoLockQueueOptions{.use_lease = lease});
@@ -323,6 +330,10 @@ WorkloadRun make_queue(const WorkloadSpec& spec, const std::string& policy) {
   else if (policy == "lease-nextptr") opt.lease_mode = QueueLeaseMode::kNextPtr;
   else if (policy == "backoff") opt.use_backoff = true;
   else throw std::invalid_argument("unknown ms_queue policy `" + policy + "`");
+  opt.lease_time = static_cast<Cycle>(spec.lease_time);
+  opt.use_backoff = opt.use_backoff || spec.use_backoff;
+  if (spec.backoff_min > 0) opt.backoff_min = static_cast<Cycle>(spec.backoff_min);
+  if (spec.backoff_max > 0) opt.backoff_max = static_cast<Cycle>(spec.backoff_max);
   const bool leases = opt.lease_mode != QueueLeaseMode::kNone;
   run.configure = [leases](MachineConfig& cfg) { cfg.leases_enabled = leases; };
   run.build = [spec, opt](Machine& m) {
@@ -502,8 +513,9 @@ WorkloadRun make_harris(const WorkloadSpec& spec, const std::string& policy,
   const bool lease = set_policy_lease("harris_list", policy);
   WorkloadRun run;
   run.configure = [lease](MachineConfig& cfg) { cfg.leases_enabled = lease; };
-  run.build = set_build<HarrisList>(spec, phase_log, [lease](Machine& m) {
-    return std::make_shared<HarrisList>(m, HarrisOptions{.use_lease = lease});
+  const Cycle lt = static_cast<Cycle>(spec.lease_time);
+  run.build = set_build<HarrisList>(spec, phase_log, [lease, lt](Machine& m) {
+    return std::make_shared<HarrisList>(m, HarrisOptions{.use_lease = lease, .lease_time = lt});
   });
   return run;
 }
@@ -513,8 +525,9 @@ WorkloadRun make_skiplist_set(const WorkloadSpec& spec, const std::string& polic
   const bool lease = set_policy_lease("skiplist_set", policy);
   WorkloadRun run;
   run.configure = [lease](MachineConfig& cfg) { cfg.leases_enabled = lease; };
-  run.build = set_build<LockFreeSkipList>(spec, phase_log, [lease](Machine& m) {
-    return std::make_shared<LockFreeSkipList>(m, LfSkipListOptions{.use_lease = lease});
+  const Cycle lt = static_cast<Cycle>(spec.lease_time);
+  run.build = set_build<LockFreeSkipList>(spec, phase_log, [lease, lt](Machine& m) {
+    return std::make_shared<LockFreeSkipList>(m, LfSkipListOptions{.use_lease = lease, .lease_time = lt});
   });
   return run;
 }
@@ -523,8 +536,9 @@ WorkloadRun make_bst(const WorkloadSpec& spec, const std::string& policy, PhaseL
   const bool lease = set_policy_lease("bst", policy);
   WorkloadRun run;
   run.configure = [lease](MachineConfig& cfg) { cfg.leases_enabled = lease; };
-  run.build = set_build<ExternalBst>(spec, phase_log, [lease](Machine& m) {
-    return std::make_shared<ExternalBst>(m, BstOptions{.use_lease = lease});
+  const Cycle lt = static_cast<Cycle>(spec.lease_time);
+  run.build = set_build<ExternalBst>(spec, phase_log, [lease, lt](Machine& m) {
+    return std::make_shared<ExternalBst>(m, BstOptions{.use_lease = lease, .lease_time = lt});
   });
   return run;
 }
@@ -563,17 +577,42 @@ WorkloadRun make_workload(const WorkloadSpec& spec, const std::string& policy,
     throw std::invalid_argument(
         "mix_shape = dice is a keyed-set mix (hashtable, harris_list, skiplist_set, bst)");
   }
-  if (spec.ds == "counter") return make_counter(spec, policy);
-  if (spec.ds == "treiber_stack") return make_stack(spec, policy);
-  if (spec.ds == "ms_queue") return make_queue(spec, policy);
-  if (spec.ds == "skiplist_pq") return make_pq(spec, policy, phase_log);
-  if (spec.ds == "hashtable") return make_hashtable(spec, policy, phase_log);
-  if (spec.ds == "harris_list") return make_harris(spec, policy, phase_log);
-  if (spec.ds == "skiplist_set") return make_skiplist_set(spec, policy, phase_log);
-  if (spec.ds == "bst") return make_bst(spec, policy, phase_log);
-  std::string known;
-  for (const auto& s : kStructures) known += (known.empty() ? "" : ", ") + s;
-  throw std::invalid_argument("unknown workload ds `" + spec.ds + "` (registered: " + known + ")");
+  // Tuning-knob support matrix — refuse at build time (parse time for
+  // sweeps), not silently mid-run.
+  const bool lease_knob = spec.ds == "treiber_stack" || spec.ds == "ms_queue" ||
+                          spec.ds == "harris_list" || spec.ds == "skiplist_set" ||
+                          spec.ds == "bst";
+  if (spec.lease_time > 0 && !lease_knob)
+    throw std::invalid_argument("lease_time is not a `" + spec.ds +
+                                "` knob (treiber_stack, ms_queue, harris_list, skiplist_set, bst)");
+  if ((spec.use_backoff || spec.backoff_min > 0 || spec.backoff_max > 0) &&
+      spec.ds != "treiber_stack" && spec.ds != "ms_queue")
+    throw std::invalid_argument("use_backoff/backoff_min/backoff_max are not `" + spec.ds +
+                                "` knobs (treiber_stack, ms_queue)");
+  WorkloadRun run;
+  if (spec.ds == "counter") run = make_counter(spec, policy);
+  else if (spec.ds == "treiber_stack") run = make_stack(spec, policy);
+  else if (spec.ds == "ms_queue") run = make_queue(spec, policy);
+  else if (spec.ds == "skiplist_pq") run = make_pq(spec, policy, phase_log);
+  else if (spec.ds == "hashtable") run = make_hashtable(spec, policy, phase_log);
+  else if (spec.ds == "harris_list") run = make_harris(spec, policy, phase_log);
+  else if (spec.ds == "skiplist_set") run = make_skiplist_set(spec, policy, phase_log);
+  else if (spec.ds == "bst") run = make_bst(spec, policy, phase_log);
+  else {
+    std::string known;
+    for (const auto& s : kStructures) known += (known.empty() ? "" : ", ") + s;
+    throw std::invalid_argument("unknown workload ds `" + spec.ds + "` (registered: " + known + ")");
+  }
+  // The machine-level lease policy rides on top of whatever the builder's
+  // own configure set (builders decide leases_enabled; the policy decides
+  // how policy-chosen durations resolve).
+  const LeasePolicy lp = spec.lease_policy;
+  auto inner = std::move(run.configure);
+  run.configure = [inner = std::move(inner), lp](MachineConfig& cfg) {
+    if (inner) inner(cfg);
+    cfg.lease_policy = lp;
+  };
+  return run;
 }
 
 const std::vector<std::string>& registered_structures() { return kStructures; }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "coherence/config.hpp"
 #include "workload/arrival.hpp"
 #include "workload/config.hpp"
 #include "workload/dist.hpp"
@@ -68,6 +69,25 @@ struct WorkloadSpec {
   std::int64_t ht_buckets = 0;
   std::int64_t ht_stripes = 0;
 
+  /// Lease-duration policy for the machine this workload runs on
+  /// (coherence/config.hpp): static resolves policy-chosen leases to
+  /// MAX_LEASE_TIME (the legacy default), adaptive engages the per-line
+  /// AIMD controller. Applied to every policy variant of the workload
+  /// (base variants simply never take leases).
+  LeasePolicy lease_policy = LeasePolicy::kStatic;
+
+  /// Lease-taking structures only: explicit per-op lease duration in
+  /// cycles. 0 = policy-chosen (see lease_policy). Refused for structures
+  /// without a lease_time knob.
+  std::int64_t lease_time = 0;
+
+  /// Structures with a CAS-backoff knob (treiber_stack, ms_queue) only:
+  /// enable the bounded-exponential failed-CAS backoff, optionally
+  /// overriding its window (0 = the structure's default window).
+  bool use_backoff = false;
+  std::int64_t backoff_min = 0;
+  std::int64_t backoff_max = 0;
+
   void validate() const {
     if (!(mix >= 0.0 && mix <= 1.0)) throw std::invalid_argument("mix must be in [0, 1]");
     if (mix_shape == MixShape::kDice) {
@@ -81,9 +101,27 @@ struct WorkloadSpec {
     if (ops < 0) throw std::invalid_argument("ops must be >= 0");
     if (ht_buckets < 0 || ht_stripes < 0)
       throw std::invalid_argument("ht_buckets/ht_stripes must be >= 0 (0 = ds default)");
+    if (lease_time < 0) throw std::invalid_argument("lease_time must be >= 0 (0 = policy-chosen)");
+    if (backoff_min < 0 || backoff_max < 0)
+      throw std::invalid_argument("backoff_min/backoff_max must be >= 0 (0 = ds default)");
+    if (backoff_min > 0 && backoff_max > 0 && backoff_min > backoff_max)
+      throw std::invalid_argument("backoff_min must be <= backoff_max");
     arrival.validate();
   }
 };
+
+inline LeasePolicy parse_lease_policy(const std::string& name) {
+  if (name == "static") return LeasePolicy::kStatic;
+  if (name == "adaptive") return LeasePolicy::kAdaptive;
+  throw std::invalid_argument("unknown lease_policy `" + name + "` (static, adaptive)");
+}
+
+/// Strict boolean for config keys (the TOML subset has no native bool).
+inline bool parse_bool_key(const std::string& text, const std::string& key) {
+  if (text == "true" || text == "1" || text == "yes" || text == "on") return true;
+  if (text == "false" || text == "0" || text == "no" || text == "off") return false;
+  throw std::invalid_argument("bad " + key + " `" + text + "` (true/false)");
+}
 
 inline MixShape parse_mix_shape(const std::string& name) {
   if (name == "draw") return MixShape::kDraw;
@@ -140,7 +178,8 @@ inline WorkloadSpec parse_workload_spec(const ConfigFile& cfg, const std::string
       "ds",     "policies", "mix",        "mix_shape", "keys",    "dist",    "theta",
       "hot_frac", "hot_prob", "shift_every", "shift_by", "arrival", "period",
       "clients", "ops",     "think",      "prefill",   "cs_work", "seed",
-      "ht_buckets", "ht_stripes"};
+      "ht_buckets", "ht_stripes", "lease_policy", "lease_time", "use_backoff",
+      "backoff_min", "backoff_max"};
   for (const std::string& k : cfg.keys(section)) {
     bool known = false;
     for (const std::string& ok : kKnown) known = known || (k == ok);
@@ -170,6 +209,12 @@ inline WorkloadSpec parse_workload_spec(const ConfigFile& cfg, const std::string
   spec.seed = static_cast<std::uint64_t>(cfg.get_int(section, "seed", static_cast<std::int64_t>(spec.seed)));
   spec.ht_buckets = cfg.get_int(section, "ht_buckets", 0);
   spec.ht_stripes = cfg.get_int(section, "ht_stripes", 0);
+  spec.lease_policy = parse_lease_policy(cfg.get(section, "lease_policy", "static"));
+  spec.lease_time = cfg.get_int(section, "lease_time", 0);
+  if (cfg.has(section, "use_backoff"))
+    spec.use_backoff = parse_bool_key(cfg.get(section, "use_backoff"), "use_backoff");
+  spec.backoff_min = cfg.get_int(section, "backoff_min", 0);
+  spec.backoff_max = cfg.get_int(section, "backoff_max", 0);
   spec.validate();
   return spec;
 }

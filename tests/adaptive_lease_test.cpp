@@ -1,0 +1,253 @@
+// Copyright (c) 2026 lrsim authors. MIT license.
+//
+// Adaptive per-line lease-time control (src/core/lease_table.hpp): AIMD
+// convergence and clamping at the table level, bounded controller-map
+// eviction, the static-policy no-op guarantee, invariant-checker runs with
+// adaptation live, and machine/sweep-level determinism with the controller
+// demonstrably engaged (grow counter > 0 — the equality checks are not
+// vacuously comparing static runs).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "bench/sweep.hpp"
+#include "core/lease_table.hpp"
+#include "sim_test_util.hpp"
+
+namespace lrsim::bench {
+namespace {
+
+// --- LeaseTable unit tests (no machine) -------------------------------------
+
+struct AdaptiveFixture : ::testing::Test {
+  AdaptiveFixture() : table(ev, stats, cfg) {
+    cfg.max_num_leases = 3;
+    cfg.max_lease_time = 1000;
+    cfg.min_lease_time = 50;
+    cfg.leases_enabled = true;
+    cfg.lease_policy = LeasePolicy::kAdaptive;
+  }
+
+  /// One full lease lifecycle ending in involuntary expiry.
+  void expire(LineId l, Cycle duration) {
+    table.add(l, duration);
+    table.on_granted(l);
+    ev.run(ev.now() + duration);
+    ASSERT_FALSE(table.has(l));
+  }
+
+  /// One full lease lifecycle released voluntarily after `held` cycles.
+  void hold_and_release(LineId l, Cycle duration, Cycle held) {
+    table.add(l, duration);
+    table.on_granted(l);
+    if (held > 0) ev.run(ev.now() + held);
+    ASSERT_TRUE(table.release(l));
+  }
+
+  EventQueue ev;
+  Stats stats;
+  MachineConfig cfg;
+  LeaseTable table;
+};
+
+TEST_F(AdaptiveFixture, ColdLineStartsAtMinLeaseTime) {
+  EXPECT_EQ(table.policy_duration(5), 50u);
+  EXPECT_EQ(table.adapt_tracked(), 0u);  // a read does not allocate state
+}
+
+TEST_F(AdaptiveFixture, StaticPolicyIsUntouchedByExpiries) {
+  cfg.lease_policy = LeasePolicy::kStatic;
+  expire(5, 100);
+  EXPECT_EQ(table.policy_duration(5), cfg.max_lease_time);
+  EXPECT_EQ(table.adapt_tracked(), 0u);
+  EXPECT_EQ(stats.lease_adapt_grow, 0u);
+}
+
+TEST_F(AdaptiveFixture, InvoluntaryExpiryGrowsMultiplicativelyToTheCap) {
+  // Each expiry doubles the controller's duration (floor +lease_grow_step)
+  // until the MAX_LEASE_TIME clamp: 100 -> 200 -> 400 -> 800 -> 1000.
+  expire(5, 100);
+  EXPECT_EQ(table.policy_duration(5), 200u);
+  for (int i = 0; i < 6; ++i) expire(5, table.policy_duration(5));
+  EXPECT_EQ(table.policy_duration(5), cfg.max_lease_time);
+  // Four growth events (200/400/800/1000); at the clamp, expiry is a no-op,
+  // not a counter increment.
+  EXPECT_EQ(stats.lease_adapt_grow, 4u);
+}
+
+TEST_F(AdaptiveFixture, SmallGrowthUsesTheAdditiveFloor) {
+  cfg.lease_grow_step = 500;
+  expire(5, 100);  // 2x = 200 < 100 + grow_step -> additive floor wins
+  EXPECT_EQ(table.policy_duration(5), 600u);
+}
+
+TEST_F(AdaptiveFixture, VoluntaryStreakShrinksTowardTheHoldEnvelope) {
+  cfg.lease_shrink_streak = 2;
+  for (int i = 0; i < 6; ++i) expire(5, table.policy_duration(5));
+  ASSERT_EQ(table.policy_duration(5), cfg.max_lease_time);
+  // Sustained quick voluntary releases: the hold envelope decays and the
+  // duration steps down behind it, never below min_lease_time.
+  for (int i = 0; i < 60; ++i) hold_and_release(5, table.policy_duration(5), 0);
+  EXPECT_EQ(table.policy_duration(5), cfg.min_lease_time);
+  EXPECT_GT(stats.lease_adapt_shrink, 0u);
+}
+
+TEST_F(AdaptiveFixture, ShrinkFloorsAboveTheObservedHoldTime) {
+  cfg.lease_shrink_streak = 2;
+  for (int i = 0; i < 6; ++i) expire(5, table.policy_duration(5));
+  // Real hold times of 400 cycles keep the envelope near 400: the duration
+  // must not shrink into territory that would expire those holds.
+  for (int i = 0; i < 60; ++i) hold_and_release(5, table.policy_duration(5), 400);
+  EXPECT_GE(table.policy_duration(5), 400u);
+  EXPECT_LT(table.policy_duration(5), cfg.max_lease_time);
+}
+
+TEST_F(AdaptiveFixture, AdaptedDurationNeverExceedsMaxLeaseTime) {
+  cfg.lease_grow_step = 10'000;  // pathological knob: still clamped
+  for (int i = 0; i < 8; ++i) expire(7, table.policy_duration(7));
+  EXPECT_LE(table.policy_duration(7), cfg.max_lease_time);
+  EXPECT_EQ(table.policy_duration(7), cfg.max_lease_time);
+}
+
+TEST_F(AdaptiveFixture, ControllerMapIsBoundedWithFifoEviction) {
+  cfg.lease_ctrl_capacity = 2;
+  for (LineId l = 10; l < 14; ++l) expire(l, 100);
+  EXPECT_LE(table.adapt_tracked(), 2u);
+  EXPECT_EQ(table.policy_duration(13), 200u);  // newest survives
+  EXPECT_EQ(table.policy_duration(10), 50u);   // oldest fell back to cold
+}
+
+// --- machine-level: invariants + determinism with adaptation engaged --------
+
+Task<void> adaptive_faa_worker(Ctx& ctx, std::vector<Addr> pool, int iters) {
+  for (int i = 0; i < iters; ++i) {
+    const Addr a = pool[ctx.rng().next_below(pool.size())];
+    co_await ctx.lease(a, 0);  // policy-chosen duration
+    co_await ctx.faa(a, 1);
+    if (ctx.rng().next_bool(0.5)) co_await ctx.work(ctx.rng().next_below(200));
+    co_await ctx.release(a);
+  }
+}
+
+TEST(AdaptiveLease, InvariantCheckerPassesWithAdaptationLive) {
+  MachineConfig cfg = testing::small_config(4, /*leases=*/true);
+  cfg.lease_policy = LeasePolicy::kAdaptive;
+  cfg.max_lease_time = 300;  // short cap: plenty of involuntary expiries
+  cfg.min_lease_time = 30;
+  Machine m{cfg, /*seed=*/11};
+  InvariantChecker& inv = m.enable_invariants();
+  std::vector<Addr> pool{m.heap().alloc_line(), m.heap().alloc_line()};
+  try {
+    testing::run_workers(m, 4,
+                         [&pool](Ctx& ctx, int) { return adaptive_faa_worker(ctx, pool, 60); });
+    inv.check_all();
+  } catch (const InvariantViolation& e) {
+    FAIL() << "adaptive workload tripped the checker: " << e.what();
+  }
+  EXPECT_GT(inv.checks_run(), 0u);
+  // The run actually adapted — the lease-bound invariant was checked against
+  // controller-chosen durations, not the static default.
+  EXPECT_GT(m.total_stats().lease_adapt_grow, 0u);
+}
+
+TEST(AdaptiveLease, MachineRejectsInvalidControllerKnobs) {
+  MachineConfig cfg = testing::small_config(2, true);
+  cfg.lease_policy = LeasePolicy::kAdaptive;
+  cfg.min_lease_time = 0;
+  EXPECT_THROW((Machine{cfg, 1}), std::invalid_argument);
+  cfg.min_lease_time = cfg.max_lease_time + 1;
+  EXPECT_THROW((Machine{cfg, 1}), std::invalid_argument);
+  cfg = testing::small_config(2, true);
+  cfg.lease_policy = LeasePolicy::kAdaptive;
+  cfg.lease_ctrl_capacity = 0;
+  EXPECT_THROW((Machine{cfg, 1}), std::invalid_argument);
+  cfg = testing::small_config(2, true);
+  cfg.lease_policy = LeasePolicy::kAdaptive;
+  cfg.lease_shrink_streak = 0;
+  EXPECT_THROW((Machine{cfg, 1}), std::invalid_argument);
+}
+
+struct AdaptiveRun {
+  Stats stats;
+  Cycle cycles = 0;
+  std::uint64_t parallel_events = 0;
+};
+
+AdaptiveRun run_adaptive(int threads, int sim_threads) {
+  workload::WorkloadSpec spec;
+  spec.ds = "treiber_stack";
+  spec.ops = 25;
+  spec.lease_policy = LeasePolicy::kAdaptive;
+  const workload::WorkloadRun wr = workload::make_workload(spec, "lease");
+  MachineConfig cfg;
+  cfg.num_cores = threads;
+  if (wr.configure) wr.configure(cfg);
+  // Cold lines start at 1-cycle leases: the first contended ops must expire
+  // involuntarily, so the controller demonstrably engages even in a short run.
+  cfg.min_lease_time = 1;
+  cfg.max_lease_time = 150;
+  Machine m{cfg, spec.seed};
+  m.set_sim_threads(sim_threads);
+  auto worker = wr.build(m);
+  const Stats prefill = m.total_stats();
+  const Cycle start = m.events().now();
+  for (int t = 0; t < threads; ++t) {
+    m.spawn(t, [worker, t](Ctx& ctx) { return worker(ctx, t); });
+  }
+  m.run();
+  EXPECT_TRUE(m.all_done());
+  AdaptiveRun r;
+  r.stats = m.total_stats();
+  r.stats -= prefill;
+  r.cycles = m.events().now() - start;
+  if (const ParKernelStats* ps = m.par_stats()) r.parallel_events = ps->parallel_events;
+  return r;
+}
+
+TEST(AdaptiveLease, ParallelKernelIsBitIdenticalWithAdaptationEngaged) {
+  const AdaptiveRun serial = run_adaptive(/*threads=*/4, /*sim_threads=*/0);
+  const AdaptiveRun par2 = run_adaptive(4, /*sim_threads=*/2);
+  const AdaptiveRun par4 = run_adaptive(4, /*sim_threads=*/4);
+  // Not vacuous on either axis: the controller adapted and the parallel
+  // kernel really ran.
+  EXPECT_GT(serial.stats.lease_adapt_grow, 0u);
+  EXPECT_GT(par2.parallel_events, 0u);
+  EXPECT_EQ(serial.parallel_events, 0u);
+  EXPECT_EQ(serial.cycles, par2.cycles);
+  EXPECT_EQ(serial.stats, par2.stats);
+  EXPECT_EQ(serial.cycles, par4.cycles);
+  EXPECT_EQ(serial.stats, par4.stats);
+}
+
+constexpr const char* kAdaptiveSweepConfig = R"(
+[workload]
+ds = treiber_stack
+policies = lease
+ops = 15
+[sweep]
+threads = 2, 4
+max_lease_time = 150
+lease_policies = static, adaptive
+)";
+
+std::string sweep_csv(int jobs, int sim_threads) {
+  const auto cfg = workload::ConfigFile::parse_string(kAdaptiveSweepConfig, "<test>");
+  const SweepConfig sc = parse_sweep_config(cfg);
+  const std::vector<SweepRow> rows = run_sweep(sc, jobs, sim_threads);
+  std::ostringstream os;
+  sweep_csv_table(rows).write_csv(os);
+  return os.str();
+}
+
+TEST(AdaptiveLease, SweepCsvIsByteIdenticalAcrossJobsAndSimThreads) {
+  const std::string serial = sweep_csv(/*jobs=*/1, /*sim_threads=*/0);
+  EXPECT_NE(serial.find(",adaptive,"), std::string::npos);
+  EXPECT_NE(serial.find(",static,"), std::string::npos);
+  EXPECT_EQ(serial, sweep_csv(1, 0));  // replay
+  EXPECT_EQ(serial, sweep_csv(4, 0));  // host parallelism over matrix points
+  EXPECT_EQ(serial, sweep_csv(1, 2));  // parallel in-run kernel
+}
+
+}  // namespace
+}  // namespace lrsim::bench

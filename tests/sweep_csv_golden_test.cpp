@@ -73,7 +73,9 @@ TEST(SweepCsvGolden, CiSweepConfigExpandsToTheFullMatrix) {
   const std::vector<SweepPoint> points = expand_sweep(sc);
   // 2 policies x 2 thread counts x 2 mixes — the documented CI matrix.
   EXPECT_GE(points.size(), 8u);
-  EXPECT_EQ(points.size(), sc.policies.size() * sc.threads.size() * sc.keys.size() * sc.mixes.size());
+  EXPECT_EQ(points.size(), sc.policies.size() * sc.threads.size() * sc.keys.size() *
+                               sc.mixes.size() * sc.clients.size() * sc.lease_policies.size() *
+                               sc.lease_times.size());
 }
 
 TEST(SweepCsvGolden, InProcessSweepEmitsSchemaStableRows) {
@@ -111,10 +113,12 @@ threads = 2, 4
     EXPECT_GT(std::stoull(f[11]), 0u);               // ops completed
     EXPECT_GT(std::stod(f[13]), 0.0);                // mops_per_sec
 #ifdef NDEBUG
-    EXPECT_EQ(f.back(), "release");
+    EXPECT_EQ(f[21], "release");                     // sim_build_type
 #else
-    EXPECT_EQ(f.back(), "debug");
+    EXPECT_EQ(f[21], "debug");
 #endif
+    EXPECT_EQ(f[22], "static");                      // lease_policy default
+    EXPECT_EQ(f[23], "0");                           // lease_time default
     ++data_rows;
   }
   EXPECT_EQ(data_rows, 4u);

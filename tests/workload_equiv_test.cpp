@@ -109,6 +109,81 @@ mix = 50/50
   EXPECT_EQ(legacy, via_config);
 }
 
+// --- legacy tbl_backoff_compare (pre-registry), copied verbatim -------------
+
+Variant legacy_backoff_variant(std::string name, bool leases, bool backoff, Cycle bo_min,
+                               Cycle bo_max) {
+  Variant v;
+  v.name = std::move(name);
+  v.configure = [leases](MachineConfig& cfg) { cfg.leases_enabled = leases; };
+  v.make = [leases, backoff, bo_min, bo_max](Machine& m, const BenchOptions& opt) {
+    auto stack = std::make_shared<TreiberStack>(
+        m, TreiberOptions{.use_lease = leases,
+                          .use_backoff = backoff,
+                          .backoff_min = bo_min,
+                          .backoff_max = bo_max});
+    m.spawn(0, [stack](Ctx& ctx) -> Task<void> {
+      for (int i = 0; i < kPrefill; ++i) co_await stack->push(ctx, 5);
+    });
+    m.run();
+    return [stack, &opt](Ctx& ctx, int) -> Task<void> {
+      for (int i = 0; i < opt.ops_per_thread; ++i) {
+        if (ctx.rng().next_bool(0.5)) {
+          co_await stack->push(ctx, 7);
+        } else {
+          co_await stack->pop(ctx);
+        }
+        co_await think(ctx, opt);
+      }
+    };
+  };
+  return v;
+}
+
+TEST(WorkloadEquiv, TblBackoffCompareConfigReproducesLegacyBytes) {
+  const BenchOptions opt = small_opt(20);
+  const std::string title = "backoff compare equivalence";
+  const std::string legacy =
+      run_captured(title,
+                   {legacy_backoff_variant("base", false, false, 0, 0),
+                    legacy_backoff_variant("backoff", false, true, 64, 4096),
+                    legacy_backoff_variant("backoff-tuned", false, true, 256, 16384),
+                    legacy_backoff_variant("lease", true, false, 0, 0)},
+                   opt);
+  auto spec_variant = [](const std::string& name, const std::string& policy, std::int64_t bo_min,
+                         std::int64_t bo_max) {
+    workload::WorkloadSpec spec;
+    spec.ds = "treiber_stack";
+    spec.mix = 0.5;
+    spec.backoff_min = bo_min;
+    spec.backoff_max = bo_max;
+    return workload_variant(spec, policy, name);
+  };
+  const std::string via_registry = run_captured(title,
+                                                {spec_variant("base", "base", 0, 0),
+                                                 spec_variant("backoff", "backoff", 64, 4096),
+                                                 spec_variant("backoff-tuned", "backoff", 256, 16384),
+                                                 spec_variant("lease", "lease", 0, 0)},
+                                                opt);
+  EXPECT_EQ(legacy, via_registry);
+  // The spec keys also parse from config text (the [workload] table the
+  // sweep driver and configs/*.toml use).
+  const std::string via_config = run_captured(title,
+                                              config_variants(R"(
+[workload]
+ds = treiber_stack
+mix = 50/50
+use_backoff = true
+backoff_min = 64
+backoff_max = 4096
+)",
+                                                              {{"backoff", ""}}),
+                                              opt);
+  const std::string one_variant =
+      run_captured(title, {spec_variant("backoff", "backoff", 64, 4096)}, opt);
+  EXPECT_EQ(one_variant, via_config);
+}
+
 // --- legacy fig3_counter (pre-registry), copied verbatim --------------------
 
 Variant legacy_counter_variant(std::string name, CounterLockKind kind, Cycle cs_work) {
